@@ -1,0 +1,299 @@
+//! A Porcupine-style linearizability checker.
+//!
+//! Porcupine implements the Wing–Gong / Lowe linearizability search with
+//! P-compositionality: the history is partitioned per object (linearizability
+//! is local), and for each object a depth-first search tries to linearize one
+//! operation at a time. An operation can be linearized next only if no other
+//! pending operation *finished* before it started (it is "minimal" in the
+//! real-time order) and its effect is consistent with the current sequential
+//! state of the object. Visited `(linearized-set, state)` pairs are memoized.
+//!
+//! The search is exponential in the worst case — precisely the behaviour
+//! Figure 9 of the paper contrasts with the linear-time `VL-LWT` algorithm of
+//! `mtc-core`.
+
+use mtc_history::{Key, LwtKind, TimedOp, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Outcome of a Porcupine-style check.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PorcupineOutcome {
+    /// True iff the history is linearizable.
+    pub linearizable: bool,
+    /// True iff the search budget was exhausted before a conclusion (treated
+    /// as "not shown linearizable").
+    pub timed_out: bool,
+    /// Number of search states visited across all objects.
+    pub states_visited: usize,
+}
+
+/// Maximum number of search states before giving up.
+pub const STATE_BUDGET: usize = 20_000_000;
+
+/// The sequential state of a single register object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum ObjState {
+    /// The object has not been inserted yet.
+    Unset,
+    /// The object currently holds this value.
+    Set(Value),
+}
+
+/// Checks linearizability of a lightweight-transaction history by
+/// per-object Wing–Gong–Lowe search.
+pub fn porcupine_check_linearizability(ops: &[TimedOp]) -> PorcupineOutcome {
+    let mut per_key: HashMap<Key, Vec<TimedOp>> = HashMap::new();
+    for op in ops {
+        per_key.entry(op.key).or_default().push(*op);
+    }
+    let mut keys: Vec<Key> = per_key.keys().copied().collect();
+    keys.sort_unstable();
+
+    let mut total_states = 0usize;
+    for key in keys {
+        let ops = &per_key[&key];
+        let (ok, states, timed_out) = check_single_object(ops, STATE_BUDGET - total_states);
+        total_states += states;
+        if timed_out {
+            return PorcupineOutcome {
+                linearizable: false,
+                timed_out: true,
+                states_visited: total_states,
+            };
+        }
+        if !ok {
+            return PorcupineOutcome {
+                linearizable: false,
+                timed_out: false,
+                states_visited: total_states,
+            };
+        }
+    }
+    PorcupineOutcome {
+        linearizable: true,
+        timed_out: false,
+        states_visited: total_states,
+    }
+}
+
+/// Applies `op` to `state`, returning the next state if the operation is
+/// consistent with the sequential semantics of a CAS register.
+fn apply(state: ObjState, op: &TimedOp) -> Option<ObjState> {
+    match (state, op.kind) {
+        (ObjState::Unset, LwtKind::Insert { value }) => Some(ObjState::Set(value)),
+        (ObjState::Set(_), LwtKind::Insert { .. }) => None,
+        (ObjState::Set(v), LwtKind::ReadWrite { expected, new }) if v == expected => {
+            Some(ObjState::Set(new))
+        }
+        (ObjState::Set(v), LwtKind::Read { value }) if v == value => Some(ObjState::Set(v)),
+        _ => None,
+    }
+}
+
+/// Wing–Gong–Lowe search over the operations of one object. Returns
+/// `(linearizable, states_visited, timed_out)`.
+fn check_single_object(ops: &[TimedOp], budget: usize) -> (bool, usize, bool) {
+    let n = ops.len();
+    if n == 0 {
+        return (true, 0, false);
+    }
+    if n > 128 {
+        // The bitset below is capped; histories this large should use VL-LWT.
+        // Fall back to a coarse chunked bitset.
+        return check_single_object_large(ops, budget);
+    }
+
+    // linearized-set represented as a bitmask (n ≤ 128).
+    type Mask = u128;
+    let full: Mask = if n == 128 { !0 } else { (1u128 << n) - 1 };
+
+    let mut memo: HashSet<(Mask, ObjState)> = HashSet::new();
+    let mut states = 0usize;
+
+    // Iterative DFS over (mask, state).
+    let mut stack: Vec<(Mask, ObjState)> = vec![(0, ObjState::Unset)];
+    while let Some((mask, state)) = stack.pop() {
+        if mask == full {
+            return (true, states, false);
+        }
+        if !memo.insert((mask, state)) {
+            continue;
+        }
+        states += 1;
+        if states > budget {
+            return (false, states, true);
+        }
+        // The minimal-finish among pending operations: a pending op may be
+        // linearized next only if its start does not exceed this value
+        // (otherwise some pending op finished before it started and must be
+        // linearized first).
+        let mut min_finish = u64::MAX;
+        for (i, op) in ops.iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                min_finish = min_finish.min(op.finish);
+            }
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                continue;
+            }
+            if op.start > min_finish {
+                continue;
+            }
+            if let Some(next_state) = apply(state, op) {
+                stack.push((mask | (1 << i), next_state));
+            }
+        }
+    }
+    (false, states, false)
+}
+
+/// Variant for objects with more than 128 operations: the linearized set is a
+/// boxed bitset. Slower, but only needed for stress benchmarks.
+fn check_single_object_large(ops: &[TimedOp], budget: usize) -> (bool, usize, bool) {
+    let n = ops.len();
+    let words = n.div_ceil(64);
+    type State = (Vec<u64>, ObjState);
+    let full = {
+        let mut v = vec![!0u64; words];
+        let rem = n % 64;
+        if rem != 0 {
+            v[words - 1] = (1u64 << rem) - 1;
+        }
+        v
+    };
+    let mut memo: HashSet<State> = HashSet::new();
+    let mut states = 0usize;
+    let mut stack: Vec<State> = vec![(vec![0u64; words], ObjState::Unset)];
+    while let Some((mask, state)) = stack.pop() {
+        if mask == full {
+            return (true, states, false);
+        }
+        if !memo.insert((mask.clone(), state)) {
+            continue;
+        }
+        states += 1;
+        if states > budget {
+            return (false, states, true);
+        }
+        let is_set = |m: &[u64], i: usize| m[i / 64] & (1 << (i % 64)) != 0;
+        let mut min_finish = u64::MAX;
+        for (i, op) in ops.iter().enumerate() {
+            if !is_set(&mask, i) {
+                min_finish = min_finish.min(op.finish);
+            }
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if is_set(&mask, i) || op.start > min_finish {
+                continue;
+            }
+            if let Some(next_state) = apply(state, op) {
+                let mut next_mask = mask.clone();
+                next_mask[i / 64] |= 1 << (i % 64);
+                stack.push((next_mask, next_state));
+            }
+        }
+    }
+    (false, states, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_core::check_linearizability;
+
+    fn figure_4a() -> Vec<TimedOp> {
+        vec![
+            TimedOp::insert(0, 0, 0u64, 0u64),
+            TimedOp::read_write(3, 6, 0u64, 0u64, 1u64),
+            TimedOp::read_write(1, 4, 0u64, 1u64, 2u64),
+            TimedOp::read_write(5, 8, 0u64, 2u64, 3u64),
+        ]
+    }
+
+    fn figure_4b() -> Vec<TimedOp> {
+        vec![
+            TimedOp::insert(0, 0, 0u64, 0u64),
+            TimedOp::read_write(6, 9, 0u64, 0u64, 1u64),
+            TimedOp::read_write(1, 4, 0u64, 1u64, 2u64),
+            TimedOp::read_write(5, 8, 0u64, 2u64, 3u64),
+        ]
+    }
+
+    #[test]
+    fn figure_4_histories() {
+        assert!(porcupine_check_linearizability(&figure_4a()).linearizable);
+        assert!(!porcupine_check_linearizability(&figure_4b()).linearizable);
+    }
+
+    #[test]
+    fn plain_reads_are_supported() {
+        let ops = vec![
+            TimedOp::insert(0, 1, 0u64, 0u64),
+            TimedOp::read_write(2, 3, 0u64, 0u64, 5u64),
+            TimedOp::read(4, 6, 0u64, 5u64),
+        ];
+        assert!(porcupine_check_linearizability(&ops).linearizable);
+        // Reading a value that was already overwritten after the overwriter
+        // finished is not linearizable.
+        let ops = vec![
+            TimedOp::insert(0, 1, 0u64, 0u64),
+            TimedOp::read_write(2, 3, 0u64, 0u64, 5u64),
+            TimedOp::read(4, 6, 0u64, 0u64),
+        ];
+        assert!(!porcupine_check_linearizability(&ops).linearizable);
+    }
+
+    #[test]
+    fn agrees_with_vl_lwt_on_generated_histories() {
+        use mtc_workload::{generate_lwt_history, LwtHistorySpec};
+        for seed in 0..5u64 {
+            for inject in [false, true] {
+                let spec = LwtHistorySpec {
+                    sessions: 4,
+                    txns_per_session: 15,
+                    num_keys: 3,
+                    concurrent_fraction: 0.5,
+                    inject_violation: inject,
+                    seed,
+                };
+                let ops = generate_lwt_history(&spec);
+                let porcupine = porcupine_check_linearizability(&ops);
+                let vl = check_linearizability(&ops).unwrap();
+                assert!(!porcupine.timed_out);
+                assert_eq!(
+                    porcupine.linearizable,
+                    vl.is_satisfied(),
+                    "disagreement at seed {seed}, inject {inject}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(porcupine_check_linearizability(&[]).linearizable);
+    }
+
+    #[test]
+    fn double_insert_is_rejected() {
+        let ops = vec![
+            TimedOp::insert(0, 1, 0u64, 0u64),
+            TimedOp::insert(2, 3, 0u64, 7u64),
+        ];
+        assert!(!porcupine_check_linearizability(&ops).linearizable);
+    }
+
+    #[test]
+    fn large_object_falls_back_to_wide_bitset() {
+        // 150 sequential CAS operations on one key: exercises the >128 path.
+        let mut ops = vec![TimedOp::insert(0, 1, 0u64, 0u64)];
+        for i in 0..150u64 {
+            ops.push(TimedOp::read_write(2 + 2 * i, 3 + 2 * i, 0u64, i, i + 1));
+        }
+        let out = porcupine_check_linearizability(&ops);
+        assert!(out.linearizable);
+        assert!(!out.timed_out);
+    }
+}

@@ -1,0 +1,74 @@
+//! MTC versus the baselines on identical histories: the micro-level version
+//! of Figures 7, 8 and 9.
+
+mod common;
+
+use common::serial_mt_history;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtc_baselines::cobra::{cobra_check_ser, cobra_check_ser_with};
+use mtc_baselines::polysi::polysi_check_si;
+use mtc_baselines::porcupine::porcupine_check_linearizability;
+use mtc_core::{check_linearizability, check_ser, check_si};
+use mtc_workload::{generate_lwt_history, LwtHistorySpec};
+
+fn bench_baseline_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ser_checkers");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[200u64, 500, 1000] {
+        let history = serial_mt_history(n, 16, 8);
+        group.bench_with_input(BenchmarkId::new("mtc_ser", n), &history, |b, h| {
+            b.iter(|| check_ser(h).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cobra", n), &history, |b, h| {
+            b.iter(|| cobra_check_ser(h))
+        });
+        group.bench_with_input(BenchmarkId::new("cobra_no_pruning", n), &history, |b, h| {
+            b.iter(|| cobra_check_ser_with(h, false))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("si_checkers");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[200u64, 500, 1000] {
+        let history = serial_mt_history(n, 16, 8);
+        group.bench_with_input(BenchmarkId::new("mtc_si", n), &history, |b, h| {
+            b.iter(|| check_si(h).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("polysi", n), &history, |b, h| {
+            b.iter(|| polysi_check_si(h))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("lin_checkers");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &(sessions, per) in &[(4u32, 20u32), (8, 20)] {
+        let spec = LwtHistorySpec {
+            sessions,
+            txns_per_session: per,
+            num_keys: 1,
+            concurrent_fraction: 1.0,
+            inject_violation: false,
+            seed: 7,
+        };
+        let ops = generate_lwt_history(&spec);
+        let label = format!("{sessions}x{per}");
+        group.bench_with_input(BenchmarkId::new("vl_lwt", &label), &ops, |b, o| {
+            b.iter(|| check_linearizability(o).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("porcupine", &label), &ops, |b, o| {
+            b.iter(|| porcupine_check_linearizability(o))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_comparison);
+criterion_main!(benches);

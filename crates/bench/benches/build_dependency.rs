@@ -1,0 +1,48 @@
+//! Ablation: the optimized `BUILDDEPENDENCY` (Section IV-C) versus the
+//! reference variant that computes the per-object WW transitive closure, and
+//! the effect of the DIVERGENCE early exit in `CHECKSI`.
+
+mod common;
+
+use common::serial_mt_history;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtc_core::{build_dependency, build_dependency_reference, check_si_with, CheckOptions};
+
+fn bench_build_dependency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_dependency");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[500u64, 1000, 2000] {
+        // Few keys → long per-key WW chains → the transitive closure hurts.
+        let history = serial_mt_history(n, 8, 8);
+        group.bench_with_input(BenchmarkId::new("optimized", n), &history, |b, h| {
+            b.iter(|| build_dependency(h, false).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("reference_closure", n), &history, |b, h| {
+            b.iter(|| build_dependency_reference(h, false).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("si_divergence_early_exit");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let history = serial_mt_history(1000, 16, 8);
+    let with = CheckOptions::default();
+    let without = CheckOptions {
+        skip_divergence_early_exit: true,
+        ..CheckOptions::default()
+    };
+    group.bench_function("early_exit_enabled", |b| {
+        b.iter(|| check_si_with(&history, &with).unwrap())
+    });
+    group.bench_function("early_exit_disabled", |b| {
+        b.iter(|| check_si_with(&history, &without).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_dependency);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Throughput of the simulated database under the different isolation modes:
+//! how fast histories can be generated, and how abort rates respond to
+//! contention (the mechanism behind Figures 10, 11, 14 and 17).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtc_dbsim::{execute_workload, ClientOptions, Database, DbConfig, IsolationMode};
+use mtc_workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
+
+fn bench_dbsim_throughput(c: &mut Criterion) {
+    let spec = MtWorkloadSpec {
+        sessions: 4,
+        txns_per_session: 250,
+        num_keys: 64,
+        distribution: Distribution::Uniform,
+        read_only_fraction: 0.2,
+        two_key_fraction: 0.5,
+        seed: 11,
+    };
+    let workload = generate_mt_workload(&spec);
+    let mut group = c.benchmark_group("dbsim_execute_1000_mts");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for mode in [
+        IsolationMode::ReadCommitted,
+        IsolationMode::Snapshot,
+        IsolationMode::Serializable,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("mode", mode.label()),
+            &workload,
+            |b, w| {
+                b.iter(|| {
+                    let db = Database::new(DbConfig::correct(mode, 64));
+                    execute_workload(&db, w, &ClientOptions::default())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbsim_throughput);
+criterion_main!(benches);

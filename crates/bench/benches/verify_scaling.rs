@@ -1,0 +1,46 @@
+//! Scaling of the MTC verifiers with history size (Section IV-D):
+//! `CHECKSER` and `CHECKSI` are expected to scale linearly, the naive
+//! `CHECKSSER` quadratically, and the time-chain `CHECKSSER` quasi-linearly.
+
+mod common;
+
+use common::serial_mt_history;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtc_core::{check_ser, check_si, check_sser, check_sser_naive};
+
+fn bench_verify_scaling(c: &mut Criterion) {
+    let sizes = [250u64, 500, 1000, 2000];
+    let mut group = c.benchmark_group("verify_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &sizes {
+        let history = serial_mt_history(n, 32, 8);
+        group.bench_with_input(BenchmarkId::new("check_ser", n), &history, |b, h| {
+            b.iter(|| check_ser(h).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("check_si", n), &history, |b, h| {
+            b.iter(|| check_si(h).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("check_sser_timechain", n), &history, |b, h| {
+            b.iter(|| check_sser(h).unwrap())
+        });
+    }
+    group.finish();
+
+    // The naive quadratic SSER verifier is benchmarked on smaller inputs.
+    let mut group = c.benchmark_group("sser_naive_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[100u64, 200, 400] {
+        let history = serial_mt_history(n, 16, 4);
+        group.bench_with_input(BenchmarkId::new("check_sser_naive", n), &history, |b, h| {
+            b.iter(|| check_sser_naive(h).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify_scaling);
+criterion_main!(benches);

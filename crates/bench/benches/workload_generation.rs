@@ -1,0 +1,60 @@
+//! Throughput of the MT and GT workload generators and of the key samplers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtc_workload::{
+    generate_gt_workload, generate_mt_workload, Distribution, GtWorkloadSpec, KeySampler,
+    MtWorkloadSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &txns in &[1000u32, 5000] {
+        let mt = MtWorkloadSpec {
+            sessions: 10,
+            txns_per_session: txns / 10,
+            num_keys: 1000,
+            distribution: Distribution::Zipf { theta: 1.0 },
+            read_only_fraction: 0.2,
+            two_key_fraction: 0.5,
+            seed: 1,
+        };
+        group.bench_with_input(BenchmarkId::new("mt", txns), &mt, |b, spec| {
+            b.iter(|| generate_mt_workload(spec))
+        });
+        let gt = GtWorkloadSpec {
+            sessions: 10,
+            txns_per_session: txns / 10,
+            ops_per_txn: 20,
+            num_keys: 1000,
+            distribution: Distribution::Zipf { theta: 1.0 },
+            read_only_fraction: 0.2,
+            write_only_fraction: 0.4,
+            seed: 1,
+        };
+        group.bench_with_input(BenchmarkId::new("gt", txns), &gt, |b, spec| {
+            b.iter(|| generate_gt_workload(spec))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("key_sampling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for dist in Distribution::paper_set() {
+        let sampler = KeySampler::new(10_000, dist);
+        group.bench_function(dist.label(), |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| sampler.sample(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload_generation);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Regenerates Figure 10: end-to-end SER checking time and memory,
+//! MTC (MT workloads) vs Cobra (GT workloads).
+use mtc_runner::experiments::{fig10_end_to_end_ser, EndToEndSweep};
+fn main() {
+    let sweep = if mtc_bench::quick_requested() {
+        EndToEndSweep::quick()
+    } else {
+        EndToEndSweep::paper()
+    };
+    mtc_bench::emit(&fig10_end_to_end_ser(&sweep));
+}

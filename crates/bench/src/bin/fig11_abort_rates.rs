@@ -1,0 +1,10 @@
+//! Regenerates Figure 11: abort rates of GT vs MT workloads under SER and SI.
+use mtc_runner::experiments::{fig11_abort_rates, AbortRateSweep};
+fn main() {
+    let sweep = if mtc_bench::quick_requested() {
+        AbortRateSweep::quick()
+    } else {
+        AbortRateSweep::paper()
+    };
+    mtc_bench::emit(&fig11_abort_rates(&sweep));
+}

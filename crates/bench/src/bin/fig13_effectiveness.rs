@@ -1,0 +1,11 @@
+//! Regenerates Figure 13: bug-detecting trials of MTC vs Elle (list-append and
+//! rw-register) as the maximum transaction length varies.
+use mtc_runner::experiments::{fig13_effectiveness, EffectivenessSweep};
+fn main() {
+    let sweep = if mtc_bench::quick_requested() {
+        EffectivenessSweep::quick()
+    } else {
+        EffectivenessSweep::paper()
+    };
+    mtc_bench::emit(&fig13_effectiveness(&sweep));
+}

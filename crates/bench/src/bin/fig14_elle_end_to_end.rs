@@ -1,0 +1,11 @@
+//! Regenerates Figure 14: end-to-end checking time (generation +
+//! verification) of MTC vs Elle across transaction lengths.
+use mtc_runner::experiments::{fig14_elle_end_to_end, EffectivenessSweep};
+fn main() {
+    let sweep = if mtc_bench::quick_requested() {
+        EffectivenessSweep::quick()
+    } else {
+        EffectivenessSweep::paper()
+    };
+    mtc_bench::emit(&fig14_elle_end_to_end(&sweep));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 17 (Appendix D): end-to-end SI checking time and
+//! memory, MTC (MT workloads) vs PolySI (GT workloads).
+use mtc_runner::experiments::{fig17_end_to_end_si, EndToEndSweep};
+fn main() {
+    let sweep = if mtc_bench::quick_requested() {
+        EndToEndSweep::quick()
+    } else {
+        EndToEndSweep::paper()
+    };
+    mtc_bench::emit(&fig17_end_to_end_si(&sweep));
+}

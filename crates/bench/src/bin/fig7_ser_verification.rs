@@ -1,0 +1,11 @@
+//! Regenerates Figure 7: SER verification time, MTC-SER vs Cobra, across the
+//! object-access distribution, #objects, #sessions and #txns sweeps.
+use mtc_runner::experiments::{fig7_ser_verification, VerificationSweep};
+fn main() {
+    let sweep = if mtc_bench::quick_requested() {
+        VerificationSweep::quick()
+    } else {
+        VerificationSweep::paper()
+    };
+    mtc_bench::emit(&fig7_ser_verification(&sweep));
+}

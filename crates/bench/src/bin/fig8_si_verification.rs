@@ -1,0 +1,10 @@
+//! Regenerates Figure 8: SI verification time, MTC-SI vs PolySI.
+use mtc_runner::experiments::{fig8_si_verification, VerificationSweep};
+fn main() {
+    let sweep = if mtc_bench::quick_requested() {
+        VerificationSweep::quick()
+    } else {
+        VerificationSweep::paper()
+    };
+    mtc_bench::emit(&fig8_si_verification(&sweep));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 9: SSER/LIN verification on synthetic LWT histories,
+//! MTC-SSER (VL-LWT) vs a Porcupine-style checker.
+use mtc_runner::experiments::{fig9_sser_verification, SserSweep};
+fn main() {
+    let sweep = if mtc_bench::quick_requested() {
+        SserSweep::quick()
+    } else {
+        SserSweep::paper()
+    };
+    mtc_bench::emit(&fig9_sser_verification(&sweep));
+}

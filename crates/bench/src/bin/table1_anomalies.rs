@@ -1,0 +1,6 @@
+//! Regenerates Table I / Figure 5: the 14 anomalies expressed as MT
+//! histories and the verdict of each MTC verifier on them.
+fn main() {
+    let table = mtc_runner::experiments::table1_anomalies();
+    mtc_bench::emit(&[table]);
+}

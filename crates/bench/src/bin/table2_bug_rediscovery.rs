@@ -1,0 +1,11 @@
+//! Regenerates Table II / Figures 12 and 18: rediscovery of the six injected
+//! isolation bugs, with counterexample position and stage timings.
+use mtc_runner::experiments::{table2_bug_rediscovery, BugSweep};
+fn main() {
+    let sweep = if mtc_bench::quick_requested() {
+        BugSweep::quick()
+    } else {
+        BugSweep::paper()
+    };
+    mtc_bench::emit(&[table2_bug_rediscovery(&sweep)]);
+}

@@ -1,0 +1,531 @@
+//! The verifiers `CHECKSSER`, `CHECKSER` and `CHECKSI` (Algorithm 1).
+//!
+//! All three share the same structure:
+//!
+//! 1. validate that the input is a mini-transaction history (Definition 9);
+//! 2. pre-scan for intra-transactional / read-provenance anomalies
+//!    (Figures 5a–5g) — any hit refutes every strong level immediately;
+//! 3. build the (unique) dependency graph with [`crate::build_dependency`];
+//! 4. decide acyclicity of the appropriate edge combination and, on a cycle,
+//!    return a labelled counterexample.
+//!
+//! `CHECKSI` additionally rejects the DIVERGENCE pattern before any graph
+//! work (Lemma 1), and checks acyclicity of the *composed* graph
+//! `(SO ∪ WR ∪ WW) ; RW?` rather than of the plain union.
+//!
+//! `CHECKSSER` comes in two flavours: [`check_sser_naive`] materializes all
+//! `Θ(n²)` real-time edges exactly as in the paper, while [`check_sser`]
+//! encodes the real-time order through a sorted chain of *time nodes*,
+//! bringing the complexity down to `O(n log n)` without changing verdicts.
+
+use crate::build::{build_dependency, build_dependency_reference};
+use crate::divergence::find_divergence;
+use crate::mini::validate_history;
+use crate::verdict::{CheckError, Verdict, Violation};
+use mtc_history::{
+    find_intra_anomalies, DependencyGraph, DiGraph, Edge, EdgeKind, History, TxnId,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The three strong isolation levels handled by MTC.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum IsolationLevel {
+    /// Strict serializability (Definition 4).
+    StrictSerializability,
+    /// Serializability (Definition 5).
+    Serializability,
+    /// Snapshot isolation (Definition 6).
+    SnapshotIsolation,
+}
+
+impl std::fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IsolationLevel::StrictSerializability => write!(f, "SSER"),
+            IsolationLevel::Serializability => write!(f, "SER"),
+            IsolationLevel::SnapshotIsolation => write!(f, "SI"),
+        }
+    }
+}
+
+/// Tuning knobs for the verifiers. The defaults match the paper's MTC tool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Validate the mini-transaction shape and unique values first
+    /// (Definition 9). Disable only for inputs known to be valid.
+    pub validate_mt: bool,
+    /// Run the intra-transactional pre-scan (footnote 1 of Section IV-B).
+    pub prescan_intra: bool,
+    /// Use the reference `BUILDDEPENDENCY` with per-object WW transitive
+    /// closure instead of the optimized variant (Section IV-C). Only affects
+    /// performance, never verdicts (Theorems 1 and 2).
+    pub reference_build: bool,
+    /// For `CHECKSI`, skip the early DIVERGENCE test and rely on the general
+    /// construction plus Lemma 3 reasoning. Exposed for the ablation bench.
+    pub skip_divergence_early_exit: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            validate_mt: true,
+            prescan_intra: true,
+            reference_build: false,
+            skip_divergence_early_exit: false,
+        }
+    }
+}
+
+/// Checks a history against `level` with default options.
+pub fn check(level: IsolationLevel, history: &History) -> Result<Verdict, CheckError> {
+    match level {
+        IsolationLevel::StrictSerializability => check_sser(history),
+        IsolationLevel::Serializability => check_ser(history),
+        IsolationLevel::SnapshotIsolation => check_si(history),
+    }
+}
+
+/// `CHECKSER` with default options.
+pub fn check_ser(history: &History) -> Result<Verdict, CheckError> {
+    check_ser_with(history, &CheckOptions::default())
+}
+
+/// `CHECKSI` with default options.
+pub fn check_si(history: &History) -> Result<Verdict, CheckError> {
+    check_si_with(history, &CheckOptions::default())
+}
+
+/// `CHECKSSER` (time-chain encoding of RT) with default options.
+pub fn check_sser(history: &History) -> Result<Verdict, CheckError> {
+    check_sser_with(history, &CheckOptions::default())
+}
+
+/// `CHECKSSER` materializing all RT edges, exactly as in Algorithm 1
+/// (`Θ(n²)`), with default options.
+pub fn check_sser_naive(history: &History) -> Result<Verdict, CheckError> {
+    check_sser_naive_with(history, &CheckOptions::default())
+}
+
+fn preflight(history: &History, opts: &CheckOptions) -> Result<Option<Verdict>, CheckError> {
+    if opts.validate_mt {
+        if let Err(v) = validate_history(history) {
+            return Err(CheckError::NotMiniTransaction(v));
+        }
+    }
+    if opts.prescan_intra {
+        let violations = find_intra_anomalies(history);
+        if !violations.is_empty() {
+            return Ok(Some(Verdict::Violated(Violation::Intra(violations))));
+        }
+    }
+    Ok(None)
+}
+
+fn build(history: &History, with_rt: bool, opts: &CheckOptions) -> Result<DependencyGraph, CheckError> {
+    if opts.reference_build {
+        build_dependency_reference(history, with_rt)
+    } else {
+        build_dependency(history, with_rt)
+    }
+}
+
+/// `CHECKSER` with explicit options.
+pub fn check_ser_with(history: &History, opts: &CheckOptions) -> Result<Verdict, CheckError> {
+    if let Some(verdict) = preflight(history, opts)? {
+        return Ok(verdict);
+    }
+    let g = build(history, false, opts)?;
+    Ok(match g.find_labelled_cycle(|_| true) {
+        Some(edges) => Verdict::Violated(Violation::Cycle { edges }),
+        None => Verdict::Satisfied,
+    })
+}
+
+/// `CHECKSI` with explicit options.
+pub fn check_si_with(history: &History, opts: &CheckOptions) -> Result<Verdict, CheckError> {
+    if let Some(verdict) = preflight(history, opts)? {
+        return Ok(verdict);
+    }
+    if !opts.skip_divergence_early_exit {
+        if let Some(d) = find_divergence(history) {
+            return Ok(Verdict::Violated(d.into_violation()));
+        }
+    }
+    let g = build(history, false, opts)?;
+
+    // Even without the early exit, a DIVERGENCE manifests as a WW "fork":
+    // when present, the graph is not a legal dependency graph (Lemma 3) and
+    // the two derived RW edges already form a cycle in the plain union, which
+    // the composed-graph construction below would mask. Catch it here.
+    if opts.skip_divergence_early_exit {
+        if let Some(d) = find_divergence(history) {
+            return Ok(Verdict::Violated(d.into_violation()));
+        }
+    }
+
+    match composed_si_cycle(&g) {
+        Some(edges) => Ok(Verdict::Violated(Violation::Cycle { edges })),
+        None => Ok(Verdict::Satisfied),
+    }
+}
+
+/// Finds a cycle in `(SO ∪ WR ∪ WW) ; RW?` and expands it back to labelled
+/// dependency edges; returns `None` if the composed graph is acyclic.
+fn composed_si_cycle(g: &DependencyGraph) -> Option<Vec<Edge>> {
+    let n = g.node_count();
+    let mut composed = DiGraph::new(n);
+    // Provenance of each composed edge: the one or two original edges it
+    // expands to. Keep the first (shortest) expansion per (from, to).
+    let mut provenance: HashMap<(usize, usize), Vec<Edge>> = HashMap::new();
+
+    // Per-node RW successors for the `; RW?` part.
+    let mut rw_out: Vec<Vec<Edge>> = vec![Vec::new(); n];
+    for e in g.edges() {
+        if e.kind.is_rw() {
+            rw_out[e.from.index()].push(*e);
+        }
+    }
+
+    let mut push = |composed: &mut DiGraph, from: usize, to: usize, path: Vec<Edge>| {
+        let key = (from, to);
+        if let std::collections::hash_map::Entry::Vacant(entry) = provenance.entry(key) {
+            entry.insert(path);
+            composed.add_edge(from, to);
+        }
+    };
+
+    for e in g.edges() {
+        let base = matches!(e.kind, EdgeKind::So | EdgeKind::Wr(_) | EdgeKind::Ww(_));
+        if !base {
+            continue;
+        }
+        let (a, b) = (e.from.index(), e.to.index());
+        // base edge alone (the `?` of `RW?`)
+        push(&mut composed, a, b, vec![*e]);
+        // base ; RW
+        for rw in &rw_out[b] {
+            let c = rw.to.index();
+            if a != c {
+                push(&mut composed, a, c, vec![*e, *rw]);
+            } else {
+                // A two-edge cycle a → b → a: report it directly.
+                return Some(vec![*e, *rw]);
+            }
+        }
+    }
+
+    let cycle = composed.find_cycle()?;
+    let mut edges = Vec::new();
+    for i in 0..cycle.len() {
+        let u = cycle[i];
+        let v = cycle[(i + 1) % cycle.len()];
+        if let Some(path) = provenance.get(&(u, v)) {
+            edges.extend(path.iter().copied());
+        }
+    }
+    Some(edges)
+}
+
+/// `CHECKSSER` materializing all RT edges (`Θ(n²)`), with explicit options.
+pub fn check_sser_naive_with(
+    history: &History,
+    opts: &CheckOptions,
+) -> Result<Verdict, CheckError> {
+    if let Some(verdict) = preflight(history, opts)? {
+        return Ok(verdict);
+    }
+    let g = build(history, true, opts)?;
+    Ok(match g.find_labelled_cycle(|_| true) {
+        Some(edges) => Verdict::Violated(Violation::Cycle { edges }),
+        None => Verdict::Satisfied,
+    })
+}
+
+/// `CHECKSSER` using the time-chain encoding of the real-time order, with
+/// explicit options.
+///
+/// Instead of adding an edge for every real-time-ordered pair of
+/// transactions, the begin/end instants are sorted and turned into a chain of
+/// auxiliary *time nodes*; each transaction points to the first instant after
+/// its end and is pointed to from the instant of its begin. A dependency path
+/// "travels back in time" exactly when the naive graph has an RT-involving
+/// cycle, so verdicts coincide with [`check_sser_naive`] while the
+/// construction stays `O(n log n)`.
+pub fn check_sser_with(history: &History, opts: &CheckOptions) -> Result<Verdict, CheckError> {
+    if let Some(verdict) = preflight(history, opts)? {
+        return Ok(verdict);
+    }
+    let g = build(history, false, opts)?;
+    let n = g.node_count();
+
+    // Collect the distinct instants of committed, timed transactions.
+    let mut instants: Vec<u64> = Vec::new();
+    for t in history.committed() {
+        if let (Some(b), Some(e)) = (t.begin, t.end) {
+            instants.push(b);
+            instants.push(e);
+        }
+    }
+    instants.sort_unstable();
+    instants.dedup();
+    let time_node = |instant: u64| -> Option<usize> {
+        instants.binary_search(&instant).ok().map(|i| n + i)
+    };
+    let first_after = |instant: u64| -> Option<usize> {
+        match instants.binary_search(&instant) {
+            Ok(i) | Err(i) => {
+                let j = if instants.get(i) == Some(&instant) { i + 1 } else { i };
+                if j < instants.len() {
+                    Some(n + j)
+                } else {
+                    None
+                }
+            }
+        }
+    };
+
+    let mut aug = DiGraph::new(n + instants.len());
+    for e in g.edges() {
+        aug.add_edge(e.from.index(), e.to.index());
+    }
+    for w in 0..instants.len().saturating_sub(1) {
+        aug.add_edge(n + w, n + w + 1);
+    }
+    for t in history.committed() {
+        if let (Some(b), Some(e)) = (t.begin, t.end) {
+            if let Some(tn) = time_node(b) {
+                aug.add_edge(tn, t.id.index());
+            }
+            if let Some(tn) = first_after(e) {
+                aug.add_edge(t.id.index(), tn);
+            }
+        }
+    }
+
+    let Some(cycle) = aug.find_cycle() else {
+        return Ok(Verdict::Satisfied);
+    };
+
+    // Splice time nodes out of the cycle: consecutive real transactions with
+    // time nodes in between are connected by an RT edge.
+    let reals: Vec<usize> = cycle.iter().copied().filter(|&v| v < n).collect();
+    debug_assert!(!reals.is_empty(), "a cycle cannot consist of time nodes only");
+    let mut edges = Vec::new();
+    let len = cycle.len();
+    // Position of each real node in the cycle, to know whether the hop to the
+    // next real node went through time nodes.
+    let real_positions: Vec<usize> = (0..len).filter(|&i| cycle[i] < n).collect();
+    for (idx, &pos) in real_positions.iter().enumerate() {
+        let next_pos = real_positions[(idx + 1) % real_positions.len()];
+        let u = cycle[pos];
+        let v = cycle[next_pos];
+        let direct_hop = (pos + 1) % len == next_pos;
+        if direct_hop {
+            let labelled = g.label_node_cycle(&[u, v], |_| true);
+            if let Some(e) = labelled.into_iter().find(|e| e.from.index() == u) {
+                edges.push(e);
+                continue;
+            }
+        }
+        edges.push(Edge {
+            from: TxnId(u as u32),
+            to: TxnId(v as u32),
+            kind: EdgeKind::Rt,
+        });
+    }
+    Ok(Verdict::Violated(Violation::Cycle { edges }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_history::anomalies;
+    use mtc_history::{HistoryBuilder, Op};
+
+    /// A serial history: strictly increasing updates in one session.
+    fn serial_history() -> History {
+        let mut b = HistoryBuilder::new().with_init(2);
+        b.committed_timed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)], 10, 11);
+        b.committed_timed(0, vec![Op::read(1u64, 0u64), Op::write(1u64, 2u64)], 12, 13);
+        b.committed_timed(1, vec![Op::read(0u64, 1u64), Op::read(1u64, 2u64)], 20, 21);
+        b.build()
+    }
+
+    #[test]
+    fn serial_history_satisfies_everything() {
+        let h = serial_history();
+        assert_eq!(check_ser(&h).unwrap(), Verdict::Satisfied);
+        assert_eq!(check_si(&h).unwrap(), Verdict::Satisfied);
+        assert_eq!(check_sser(&h).unwrap(), Verdict::Satisfied);
+        assert_eq!(check_sser_naive(&h).unwrap(), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn anomaly_catalogue_matches_expected_matrix() {
+        for (kind, h) in anomalies::catalogue() {
+            let expected = kind.expected();
+            let ser = check_ser(&h).unwrap();
+            let si = check_si(&h).unwrap();
+            let sser = check_sser(&h).unwrap();
+            assert_eq!(
+                ser.is_violated(),
+                expected.violates_ser,
+                "SER verdict mismatch for {kind}: {ser:?}"
+            );
+            assert_eq!(
+                si.is_violated(),
+                expected.violates_si,
+                "SI verdict mismatch for {kind}: {si:?}"
+            );
+            assert_eq!(
+                sser.is_violated(),
+                expected.violates_sser,
+                "SSER verdict mismatch for {kind}: {sser:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn divergence_early_exit_and_general_path_agree() {
+        let h = anomalies::divergence();
+        let with = check_si(&h).unwrap();
+        let without = check_si_with(
+            &h,
+            &CheckOptions {
+                skip_divergence_early_exit: true,
+                ..CheckOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(with.is_violated());
+        assert!(without.is_violated());
+    }
+
+    #[test]
+    fn reference_build_yields_identical_verdicts() {
+        let opts = CheckOptions {
+            reference_build: true,
+            ..CheckOptions::default()
+        };
+        for (kind, h) in anomalies::catalogue() {
+            assert_eq!(
+                check_ser(&h).unwrap().is_violated(),
+                check_ser_with(&h, &opts).unwrap().is_violated(),
+                "SER/reference mismatch for {kind}"
+            );
+            assert_eq!(
+                check_si(&h).unwrap().is_violated(),
+                check_si_with(&h, &opts).unwrap().is_violated(),
+                "SI/reference mismatch for {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_skew_cycle_has_two_adjacent_rw_edges() {
+        let h = anomalies::write_skew();
+        let verdict = check_ser(&h).unwrap();
+        let Some(Violation::Cycle { edges }) = verdict.violation() else {
+            panic!("expected a cycle, got {verdict:?}");
+        };
+        let rw_count = edges.iter().filter(|e| e.kind.is_rw()).count();
+        assert!(rw_count >= 2, "write skew must involve two RW edges: {edges:?}");
+    }
+
+    #[test]
+    fn lost_update_reported_as_divergence_for_si() {
+        let h = anomalies::lost_update();
+        let verdict = check_si(&h).unwrap();
+        assert!(matches!(
+            verdict.violation(),
+            Some(Violation::Divergence { .. })
+        ));
+    }
+
+    #[test]
+    fn non_mt_history_is_rejected() {
+        let mut b = HistoryBuilder::new().with_init(1);
+        // Blind write: not a mini-transaction.
+        b.committed(0, vec![Op::write(0u64, 1u64)]);
+        let h = b.build();
+        assert!(matches!(
+            check_ser(&h),
+            Err(CheckError::NotMiniTransaction(_))
+        ));
+        // With validation disabled the history is handled (blind write simply
+        // lacks a WW predecessor).
+        let opts = CheckOptions {
+            validate_mt: false,
+            ..CheckOptions::default()
+        };
+        assert!(check_ser_with(&h, &opts).is_ok());
+    }
+
+    #[test]
+    fn real_time_violation_detected_only_by_sser() {
+        // T1 writes x and finishes before T2 starts, but T2 still reads the
+        // initial value of x: allowed by SER, forbidden by SSER.
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.committed_timed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)], 10, 20);
+        b.committed_timed(1, vec![Op::read(0u64, 0u64)], 30, 40);
+        let h = b.build();
+        assert_eq!(check_ser(&h).unwrap(), Verdict::Satisfied);
+        assert_eq!(check_si(&h).unwrap(), Verdict::Satisfied);
+        let sser = check_sser(&h).unwrap();
+        let sser_naive = check_sser_naive(&h).unwrap();
+        assert!(sser.is_violated(), "time-chain SSER missed the violation");
+        assert!(sser_naive.is_violated(), "naive SSER missed the violation");
+    }
+
+    #[test]
+    fn sser_counterexample_contains_an_rt_edge() {
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.committed_timed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)], 10, 20);
+        b.committed_timed(1, vec![Op::read(0u64, 0u64)], 30, 40);
+        let h = b.build();
+        let verdict = check_sser(&h).unwrap();
+        let Some(Violation::Cycle { edges }) = verdict.violation() else {
+            panic!("expected cycle, got {verdict:?}");
+        };
+        assert!(
+            edges.iter().any(|e| e.kind == EdgeKind::Rt),
+            "counterexample should mention real time: {edges:?}"
+        );
+    }
+
+    #[test]
+    fn naive_and_timechain_sser_agree_on_the_catalogue() {
+        for (kind, h) in anomalies::catalogue() {
+            assert_eq!(
+                check_sser(&h).unwrap().is_violated(),
+                check_sser_naive(&h).unwrap().is_violated(),
+                "SSER variants disagree on {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_dispatch_matches_direct_calls() {
+        let h = anomalies::long_fork();
+        assert_eq!(
+            check(IsolationLevel::Serializability, &h).unwrap().is_violated(),
+            check_ser(&h).unwrap().is_violated()
+        );
+        assert_eq!(
+            check(IsolationLevel::SnapshotIsolation, &h).unwrap().is_violated(),
+            check_si(&h).unwrap().is_violated()
+        );
+        assert_eq!(
+            check(IsolationLevel::StrictSerializability, &h).unwrap().is_violated(),
+            check_sser(&h).unwrap().is_violated()
+        );
+    }
+
+    #[test]
+    fn level_display() {
+        assert_eq!(IsolationLevel::Serializability.to_string(), "SER");
+        assert_eq!(IsolationLevel::SnapshotIsolation.to_string(), "SI");
+        assert_eq!(IsolationLevel::StrictSerializability.to_string(), "SSER");
+    }
+}

@@ -1,0 +1,283 @@
+//! `VL-LWT`: linearizability of lightweight-transaction histories
+//! (Algorithm 2, Section IV-E of the paper).
+//!
+//! A lightweight transaction (LWT) is a single `read&write`
+//! (Compare-And-Set) or `insert-if-not-exists` invocation on one object.
+//! When each transaction is a single operation, strict serializability
+//! degenerates to linearizability, and linearizability is *local*: a history
+//! is linearizable iff each per-object sub-history is. For each object the
+//! algorithm:
+//!
+//! 1. requires exactly one insert-if-not-exists (the initial version);
+//! 2. arranges the `read&write` operations into a chain where each operation
+//!    reads the value installed by its predecessor — with unique values the
+//!    chain is unique and found in expected `O(n)` time via a hash map;
+//! 3. walks the chain *backwards* keeping the minimum finish time seen, and
+//!    rejects as soon as an operation starts after that minimum — the
+//!    real-time requirement.
+
+use crate::verdict::{CheckError, Verdict, Violation};
+use crate::verdict::LwtViolation;
+use mtc_history::{Key, LwtKind, TimedOp, Value};
+use std::collections::HashMap;
+
+/// Errors that make a lightweight-transaction history unverifiable (as
+/// opposed to non-linearizable).
+pub type LwtError = CheckError;
+
+/// Checks linearizability of a complete LWT history (operations on any
+/// number of objects). The history is partitioned per object (locality of
+/// linearizability) and [`check_linearizability_single_key`] is applied to
+/// each partition.
+pub fn check_linearizability(ops: &[TimedOp]) -> Result<Verdict, LwtError> {
+    let mut per_key: HashMap<Key, Vec<TimedOp>> = HashMap::new();
+    for op in ops {
+        per_key.entry(op.key).or_default().push(*op);
+    }
+    let mut keys: Vec<Key> = per_key.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let verdict = check_linearizability_single_key(&per_key[&key])?;
+        if verdict.is_violated() {
+            return Ok(verdict);
+        }
+    }
+    Ok(Verdict::Satisfied)
+}
+
+/// Algorithm 2 (`VL-LWT`) on the sub-history of a single object.
+///
+/// The input must be non-empty and contain only operations on one key;
+/// plain-read operations are not part of Algorithm 2's input model and are
+/// rejected with [`CheckError::UnsupportedLwtOp`].
+pub fn check_linearizability_single_key(ops: &[TimedOp]) -> Result<Verdict, LwtError> {
+    assert!(!ops.is_empty(), "the per-object history must be non-empty");
+    let key = ops[0].key;
+    debug_assert!(ops.iter().all(|o| o.key == key));
+
+    // ── Validity: exactly one insert-if-not-exists. ────────────────────────
+    let inserts: Vec<&TimedOp> = ops
+        .iter()
+        .filter(|o| matches!(o.kind, LwtKind::Insert { .. }))
+        .collect();
+    if inserts.len() != 1 {
+        return Ok(Verdict::Violated(Violation::Lwt(
+            LwtViolation::BadInsertCount {
+                key,
+                count: inserts.len(),
+            },
+        )));
+    }
+    let insert = *inserts[0];
+
+    // ── Step ❶: construct the read-from chain. ─────────────────────────────
+    // Index the read&write operations by the value they expect. With unique
+    // values each expected value has at most one candidate, so the chain is
+    // built in expected O(n).
+    let mut by_expected: HashMap<Value, Vec<usize>> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op.kind {
+            LwtKind::ReadWrite { expected, .. } => {
+                by_expected.entry(expected).or_default().push(i);
+            }
+            LwtKind::Insert { .. } => {}
+            LwtKind::Read { .. } => {
+                return Err(CheckError::UnsupportedLwtOp { key });
+            }
+        }
+    }
+
+    let rw_count = ops.len() - 1;
+    let mut chain: Vec<TimedOp> = Vec::with_capacity(ops.len());
+    chain.push(insert);
+    let mut current = insert.written_value().expect("insert writes a value");
+    for _ in 0..rw_count {
+        let candidates = by_expected.get(&current).map(Vec::as_slice).unwrap_or(&[]);
+        if candidates.len() != 1 {
+            return Ok(Verdict::Violated(Violation::Lwt(
+                LwtViolation::BrokenChain {
+                    key,
+                    value: current,
+                    candidates: candidates.len(),
+                },
+            )));
+        }
+        let op = ops[candidates[0]];
+        current = match op.kind {
+            LwtKind::ReadWrite { new, .. } => new,
+            _ => unreachable!("only read&write operations are indexed"),
+        };
+        chain.push(op);
+    }
+
+    // ── Step ❷: the real-time requirement, in one backward pass. ──────────
+    let mut min_finish = u64::MAX;
+    for (idx, op) in chain.iter().enumerate().rev() {
+        if op.start > min_finish {
+            return Ok(Verdict::Violated(Violation::Lwt(LwtViolation::RealTime {
+                key,
+                chain_index: idx,
+                start: op.start,
+                min_later_finish: min_finish,
+            })));
+        }
+        min_finish = min_finish.min(op.finish);
+    }
+
+    Ok(Verdict::Satisfied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: u64 = 0;
+    const Y: u64 = 1;
+
+    /// The linearizable history of Figure 4a: O1 = R&W(x,0,1) [3,6],
+    /// O2 = R&W(x,1,2) [1,4], O3 = R&W(x,2,3) [5,8], initial value 0.
+    fn figure_4a() -> Vec<TimedOp> {
+        vec![
+            TimedOp::insert(0, 0, X, 0u64),
+            TimedOp::read_write(3, 6, X, 0u64, 1u64),
+            TimedOp::read_write(1, 4, X, 1u64, 2u64),
+            TimedOp::read_write(5, 8, X, 2u64, 3u64),
+        ]
+    }
+
+    /// The non-linearizable history of Figure 4b: O1 = R&W(x,0,1) [6,9],
+    /// O2 = R&W(x,1,2) [1,4], O3 = R&W(x,2,3) [5,8].
+    fn figure_4b() -> Vec<TimedOp> {
+        vec![
+            TimedOp::insert(0, 0, X, 0u64),
+            TimedOp::read_write(6, 9, X, 0u64, 1u64),
+            TimedOp::read_write(1, 4, X, 1u64, 2u64),
+            TimedOp::read_write(5, 8, X, 2u64, 3u64),
+        ]
+    }
+
+    #[test]
+    fn figure_4a_is_linearizable() {
+        assert_eq!(
+            check_linearizability(&figure_4a()).unwrap(),
+            Verdict::Satisfied
+        );
+    }
+
+    #[test]
+    fn figure_4b_is_not_linearizable() {
+        let verdict = check_linearizability(&figure_4b()).unwrap();
+        let Some(Violation::Lwt(LwtViolation::RealTime { key, .. })) = verdict.violation() else {
+            panic!("expected a real-time violation, got {verdict:?}");
+        };
+        assert_eq!(*key, Key(X));
+    }
+
+    #[test]
+    fn missing_insert_is_invalid() {
+        let ops = vec![TimedOp::read_write(0, 1, X, 0u64, 1u64)];
+        let verdict = check_linearizability(&ops).unwrap();
+        assert!(matches!(
+            verdict.violation(),
+            Some(Violation::Lwt(LwtViolation::BadInsertCount { count: 0, .. }))
+        ));
+    }
+
+    #[test]
+    fn duplicate_insert_is_invalid() {
+        let ops = vec![
+            TimedOp::insert(0, 1, X, 0u64),
+            TimedOp::insert(2, 3, X, 5u64),
+        ];
+        let verdict = check_linearizability(&ops).unwrap();
+        assert!(matches!(
+            verdict.violation(),
+            Some(Violation::Lwt(LwtViolation::BadInsertCount { count: 2, .. }))
+        ));
+    }
+
+    #[test]
+    fn broken_chain_when_a_value_is_never_produced() {
+        let ops = vec![
+            TimedOp::insert(0, 1, X, 0u64),
+            // expects value 7, which nobody wrote
+            TimedOp::read_write(2, 3, X, 7u64, 8u64),
+        ];
+        let verdict = check_linearizability(&ops).unwrap();
+        assert!(matches!(
+            verdict.violation(),
+            Some(Violation::Lwt(LwtViolation::BrokenChain { candidates: 0, .. }))
+        ));
+    }
+
+    #[test]
+    fn broken_chain_when_two_ops_expect_the_same_value() {
+        let ops = vec![
+            TimedOp::insert(0, 1, X, 0u64),
+            TimedOp::read_write(2, 3, X, 0u64, 1u64),
+            TimedOp::read_write(4, 5, X, 0u64, 2u64),
+        ];
+        let verdict = check_linearizability(&ops).unwrap();
+        assert!(matches!(
+            verdict.violation(),
+            Some(Violation::Lwt(LwtViolation::BrokenChain { candidates: 2, .. }))
+        ));
+    }
+
+    #[test]
+    fn plain_reads_are_not_supported_by_algorithm_2() {
+        let ops = vec![
+            TimedOp::insert(0, 1, X, 0u64),
+            TimedOp::read(2, 3, X, 0u64),
+        ];
+        assert!(matches!(
+            check_linearizability(&ops),
+            Err(CheckError::UnsupportedLwtOp { .. })
+        ));
+    }
+
+    #[test]
+    fn sequential_chain_is_linearizable() {
+        let mut ops = vec![TimedOp::insert(0, 1, X, 0u64)];
+        for i in 0..100u64 {
+            ops.push(TimedOp::read_write(2 + 2 * i, 3 + 2 * i, X, i, i + 1));
+        }
+        assert_eq!(check_linearizability(&ops).unwrap(), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn concurrent_overlapping_chain_is_linearizable() {
+        // Chain order O1 → O2 → O3 with heavily overlapping intervals is
+        // still fine: no operation starts after a later one finished.
+        let ops = vec![
+            TimedOp::insert(0, 0, X, 0u64),
+            TimedOp::read_write(1, 10, X, 0u64, 1u64),
+            TimedOp::read_write(2, 9, X, 1u64, 2u64),
+            TimedOp::read_write(3, 8, X, 2u64, 3u64),
+        ];
+        assert_eq!(check_linearizability(&ops).unwrap(), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn locality_checks_each_object_separately() {
+        // Key X is fine; key Y has a real-time violation.
+        let ops = vec![
+            TimedOp::insert(0, 0, X, 0u64),
+            TimedOp::read_write(1, 2, X, 0u64, 1u64),
+            TimedOp::insert(0, 0, Y, 0u64),
+            TimedOp::read_write(10, 12, Y, 0u64, 1u64),
+            TimedOp::read_write(1, 4, Y, 1u64, 2u64), // starts before its predecessor
+        ];
+        let verdict = check_linearizability(&ops).unwrap();
+        let Some(Violation::Lwt(LwtViolation::RealTime { key, .. })) = verdict.violation() else {
+            panic!("expected real-time violation, got {verdict:?}");
+        };
+        assert_eq!(*key, Key(Y));
+    }
+
+    #[test]
+    fn single_insert_only_history_is_linearizable() {
+        let ops = vec![TimedOp::insert(5, 9, X, 0u64)];
+        assert_eq!(check_linearizability(&ops).unwrap(), Verdict::Satisfied);
+    }
+}

@@ -1,0 +1,342 @@
+//! The Appendix-C artefact: NP-hardness of checking strong isolation on
+//! mini-transaction histories *without* unique values.
+//!
+//! Theorem 8 of the paper reduces boolean satisfiability to SI-checking of MT
+//! histories in which several writes may install the *same* value. This
+//! module makes the reduction executable:
+//!
+//! * [`Cnf`] represents a CNF formula (with a brute-force [`Cnf::is_satisfiable`]
+//!   reference solver used in tests and in the `npc_reduction` example);
+//! * [`reduce_to_history`] builds the history `hϕ` of the proof: per variable
+//!   `xₖ` a transaction pair `(aₖ, bₖ)`, per literal `λᵢⱼ` a triple
+//!   `(wᵢⱼ, yᵢⱼ, zᵢⱼ)` whose reads and writes all use the *same* value on a
+//!   dedicated object `vᵢⱼ`, wired together by the session-order pairs of
+//!   Figure 16.
+//!
+//! Because the session order of the reduction is a DAG rather than a union of
+//! per-client sequences, the result is returned as a [`NonUniqueHistory`]
+//! (transactions plus an explicit set of session-order pairs) instead of an
+//! ordinary [`mtc_history::History`]. The point of the artefact is the
+//! *structure* of the instance — its size is linear in the formula and every
+//! transaction is a mini-transaction — demonstrating exactly which assumption
+//! (value uniqueness) the polynomial-time algorithms of this crate rely on.
+
+use mtc_history::{Op, SessionId, Transaction, TxnId, TxnStatus};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A literal: variable index (0-based) and polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Literal {
+    /// Variable index.
+    pub var: usize,
+    /// True for a positive literal `xᵥ`, false for `¬xᵥ`.
+    pub positive: bool,
+}
+
+/// A CNF formula.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Clauses; each clause is a disjunction of literals.
+    pub clauses: Vec<Vec<Literal>>,
+}
+
+impl Cnf {
+    /// Builds a CNF formula from DIMACS-style signed integers: `3` means
+    /// `x₂` (1-based positive), `-1` means `¬x₀`.
+    pub fn from_clauses(num_vars: usize, clauses: &[&[i32]]) -> Self {
+        let clauses = clauses
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|&l| {
+                        assert!(l != 0, "0 is not a valid literal");
+                        Literal {
+                            var: (l.unsigned_abs() as usize) - 1,
+                            positive: l > 0,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Cnf { num_vars, clauses }
+    }
+
+    /// Evaluates the formula under `assignment` (one bool per variable).
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|l| assignment[l.var] == l.positive)
+        })
+    }
+
+    /// Brute-force satisfiability (2^num_vars assignments). Returns a
+    /// satisfying assignment if one exists. Intended for the small formulas
+    /// used in tests and examples.
+    pub fn is_satisfiable(&self) -> Option<Vec<bool>> {
+        assert!(
+            self.num_vars <= 24,
+            "brute-force solver limited to 24 variables"
+        );
+        for bits in 0u64..(1u64 << self.num_vars) {
+            let assignment: Vec<bool> =
+                (0..self.num_vars).map(|i| bits & (1 << i) != 0).collect();
+            if self.evaluate(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+
+    /// Total number of literal occurrences.
+    pub fn literal_count(&self) -> usize {
+        self.clauses.iter().map(Vec::len).sum()
+    }
+}
+
+/// The role a transaction plays in the reduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GadgetRole {
+    /// `aₖ` for variable `k`.
+    A(usize),
+    /// `bₖ` for variable `k`.
+    B(usize),
+    /// `wᵢⱼ` for clause `i`, literal `j`.
+    W(usize, usize),
+    /// `yᵢⱼ` for clause `i`, literal `j`.
+    Y(usize, usize),
+    /// `zᵢⱼ` for clause `i`, literal `j`.
+    Z(usize, usize),
+}
+
+/// A mini-transaction history whose session order is an arbitrary partial
+/// order (given as explicit pairs) and whose writes need *not* install unique
+/// values — the input class of the NP-hardness theorems of Appendix C.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NonUniqueHistory {
+    /// The transactions of the history.
+    pub txns: Vec<Transaction>,
+    /// The role of each transaction, parallel to `txns`.
+    pub roles: Vec<GadgetRole>,
+    /// The explicit session-order pairs (indices into `txns`).
+    pub so_pairs: Vec<(TxnId, TxnId)>,
+}
+
+impl NonUniqueHistory {
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// True iff there are no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// The transaction playing `role`, if present.
+    pub fn by_role(&self, role: GadgetRole) -> Option<&Transaction> {
+        self.roles
+            .iter()
+            .position(|&r| r == role)
+            .map(|i| &self.txns[i])
+    }
+
+    /// True iff some value is written by two different transactions on the
+    /// same object (i.e. the unique-value convention is intentionally
+    /// violated).
+    pub fn has_duplicate_values(&self) -> bool {
+        let mut seen: HashMap<(u64, u64), TxnId> = HashMap::new();
+        for t in &self.txns {
+            for op in &t.ops {
+                if op.is_write() {
+                    let k = (op.key().raw(), op.value().raw());
+                    if let Some(&prev) = seen.get(&k) {
+                        if prev != t.id {
+                            return true;
+                        }
+                    } else {
+                        seen.insert(k, t.id);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Builds the history `hϕ` of Theorem 8 for the given CNF formula.
+///
+/// Objects are numbered as follows: object `k` (for `k < num_vars`) is the
+/// anchor object of variable `k` read by `aₖ`/`bₖ`; objects
+/// `num_vars + occurrence_index` are the per-literal objects `vᵢⱼ`.
+pub fn reduce_to_history(cnf: &Cnf) -> NonUniqueHistory {
+    let mut txns = Vec::new();
+    let mut roles = Vec::new();
+    let mut so_pairs = Vec::new();
+
+    let push = |ops: Vec<Op>, role: GadgetRole, txns: &mut Vec<Transaction>, roles: &mut Vec<GadgetRole>| -> TxnId {
+        let id = TxnId(txns.len() as u32);
+        let mut t = Transaction::committed(id, SessionId(0), ops);
+        t.status = TxnStatus::Committed;
+        txns.push(t);
+        roles.push(role);
+        id
+    };
+
+    // Variable gadgets: aₖ and bₖ read the anchor object of their variable.
+    let mut a_of = Vec::with_capacity(cnf.num_vars);
+    let mut b_of = Vec::with_capacity(cnf.num_vars);
+    for k in 0..cnf.num_vars {
+        let anchor = k as u64;
+        a_of.push(push(
+            vec![Op::read(anchor, 0u64)],
+            GadgetRole::A(k),
+            &mut txns,
+            &mut roles,
+        ));
+        b_of.push(push(
+            vec![Op::read(anchor, 0u64)],
+            GadgetRole::B(k),
+            &mut txns,
+            &mut roles,
+        ));
+    }
+
+    // Literal gadgets.
+    let mut occurrence = 0u64;
+    for (i, clause) in cnf.clauses.iter().enumerate() {
+        let mut clause_members: Vec<(TxnId, TxnId)> = Vec::new(); // (y, z) per literal
+        for (j, lit) in clause.iter().enumerate() {
+            let v_obj = cnf.num_vars as u64 + occurrence;
+            occurrence += 1;
+            // yᵢⱼ and zᵢⱼ both read value 0 of vᵢⱼ and write value 0 back —
+            // deliberately identical, non-unique values.
+            let y = push(
+                vec![Op::read(v_obj, 0u64), Op::write(v_obj, 0u64)],
+                GadgetRole::Y(i, j),
+                &mut txns,
+                &mut roles,
+            );
+            let z = push(
+                vec![Op::read(v_obj, 0u64), Op::write(v_obj, 0u64)],
+                GadgetRole::Z(i, j),
+                &mut txns,
+                &mut roles,
+            );
+            let w = push(
+                vec![Op::read(v_obj, 0u64)],
+                GadgetRole::W(i, j),
+                &mut txns,
+                &mut roles,
+            );
+            // Consistency sub-history (Figure 16): positive literals attach
+            // y → aₖ and bₖ → w; negative literals swap aₖ and bₖ.
+            if lit.positive {
+                so_pairs.push((y, a_of[lit.var]));
+                so_pairs.push((b_of[lit.var], w));
+            } else {
+                so_pairs.push((y, b_of[lit.var]));
+                so_pairs.push((a_of[lit.var], w));
+            }
+            clause_members.push((y, z));
+        }
+        // Clause chain: zᵢⱼ → yᵢ,(j+1) mod mᵢ, so that an all-false clause
+        // closes a commit-order cycle.
+        let m = clause_members.len();
+        for j in 0..m {
+            let (_, z) = clause_members[j];
+            let (y_next, _) = clause_members[(j + 1) % m];
+            so_pairs.push((z, y_next));
+        }
+    }
+
+    NonUniqueHistory {
+        txns,
+        roles,
+        so_pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mini::validate_transaction;
+
+    fn sample_cnf() -> Cnf {
+        // (x1 ∨ ¬x2) ∧ (x2 ∨ x3)
+        Cnf::from_clauses(3, &[&[1, -2], &[2, 3]])
+    }
+
+    #[test]
+    fn cnf_evaluation() {
+        let cnf = sample_cnf();
+        assert!(cnf.evaluate(&[true, false, true]));
+        assert!(cnf.evaluate(&[true, true, false]));
+        assert!(!cnf.evaluate(&[false, true, false]));
+    }
+
+    #[test]
+    fn brute_force_sat_finds_models() {
+        let cnf = sample_cnf();
+        let model = cnf.is_satisfiable().expect("satisfiable");
+        assert!(cnf.evaluate(&model));
+
+        // x1 ∧ ¬x1 is unsatisfiable.
+        let unsat = Cnf::from_clauses(1, &[&[1], &[-1]]);
+        assert!(unsat.is_satisfiable().is_none());
+    }
+
+    #[test]
+    fn reduction_size_is_linear() {
+        let cnf = sample_cnf();
+        let h = reduce_to_history(&cnf);
+        // 2 transactions per variable + 3 per literal occurrence.
+        assert_eq!(h.len(), 2 * cnf.num_vars + 3 * cnf.literal_count());
+        // 2 SO pairs per literal + 1 chain pair per literal.
+        assert_eq!(h.so_pairs.len(), 3 * cnf.literal_count());
+    }
+
+    #[test]
+    fn reduction_transactions_are_mini_transactions() {
+        let h = reduce_to_history(&sample_cnf());
+        for t in &h.txns {
+            assert!(validate_transaction(t).is_ok(), "{t:?} is not an MT");
+        }
+    }
+
+    #[test]
+    fn reduction_violates_unique_values_on_purpose() {
+        let h = reduce_to_history(&sample_cnf());
+        assert!(h.has_duplicate_values());
+    }
+
+    #[test]
+    fn roles_are_addressable() {
+        let h = reduce_to_history(&sample_cnf());
+        assert!(h.by_role(GadgetRole::A(0)).is_some());
+        assert!(h.by_role(GadgetRole::Y(1, 1)).is_some());
+        assert!(h.by_role(GadgetRole::Y(5, 0)).is_none());
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn so_pairs_follow_literal_polarity() {
+        let cnf = Cnf::from_clauses(1, &[&[1], &[-1]]);
+        let h = reduce_to_history(&cnf);
+        let a = h.by_role(GadgetRole::A(0)).unwrap().id;
+        let b = h.by_role(GadgetRole::B(0)).unwrap().id;
+        let y_pos = h.by_role(GadgetRole::Y(0, 0)).unwrap().id;
+        let y_neg = h.by_role(GadgetRole::Y(1, 0)).unwrap().id;
+        assert!(h.so_pairs.contains(&(y_pos, a)));
+        assert!(h.so_pairs.contains(&(y_neg, b)));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 is not a valid literal")]
+    fn zero_literal_rejected() {
+        Cnf::from_clauses(1, &[&[0]]);
+    }
+}

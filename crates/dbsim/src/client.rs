@@ -1,0 +1,238 @@
+//! The multi-threaded client driver: executes a register workload against a
+//! database and collects the unified execution history (steps ①–③ of the
+//! black-box checking workflow, Figure 2 of the paper).
+//!
+//! Each session runs on its own thread, issues its transaction templates in
+//! order, assigns unique values to writes from its per-session allocator,
+//! records begin/commit timestamps, and retries aborted transactions up to a
+//! configurable bound. The per-session logs are then merged into a single
+//! [`History`] whose initial transaction `⊥T` covers the pre-initialized key
+//! space.
+
+use crate::db::Database;
+use crate::txn::AbortReason;
+use mtc_history::{History, HistoryBuilder, Op, TxnStatus, ValueAllocator};
+use mtc_workload::{ReqOp, Workload};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Client-side execution options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientOptions {
+    /// How many times an aborted transaction template is retried before the
+    /// client gives up on it (0 = no retries).
+    pub max_retries: u32,
+    /// Record aborted attempts in the history (needed to detect
+    /// `ABORTEDREAD`-style anomalies; the paper's checkers assume aborted
+    /// transactions are visible in the log).
+    pub record_aborted: bool,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            max_retries: 3,
+            record_aborted: true,
+        }
+    }
+}
+
+/// Statistics of one workload execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Transaction templates that eventually committed.
+    pub committed: usize,
+    /// Templates that never committed (all attempts aborted).
+    pub failed: usize,
+    /// Total attempts (committed + every aborted attempt).
+    pub attempts: usize,
+    /// Aborted attempts.
+    pub aborted_attempts: usize,
+    /// Wall-clock duration of history generation.
+    pub wall_time: Duration,
+}
+
+impl ExecutionReport {
+    /// Fraction of attempts that aborted — the abort rate of Figure 11.
+    pub fn abort_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.aborted_attempts as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// A transaction record produced by one client thread.
+struct TxnRecord {
+    session: u32,
+    ops: Vec<Op>,
+    status: TxnStatus,
+    begin: u64,
+    end: u64,
+}
+
+/// Executes `workload` against `db` with one thread per session and returns
+/// the collected history together with execution statistics.
+pub fn execute_workload(
+    db: &Database,
+    workload: &Workload,
+    opts: &ClientOptions,
+) -> (History, ExecutionReport) {
+    let start = Instant::now();
+    let mut session_logs: Vec<(u32, Vec<TxnRecord>, SessionStats)> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for session in &workload.sessions {
+            handles.push(scope.spawn(move || run_session(db, session.session, &session.txns, opts)));
+        }
+        for h in handles {
+            session_logs.push(h.join().expect("client thread panicked"));
+        }
+    });
+
+    // Deterministic assembly order: by session id.
+    session_logs.sort_by_key(|(s, _, _)| *s);
+
+    let mut report = ExecutionReport {
+        wall_time: start.elapsed(),
+        ..ExecutionReport::default()
+    };
+    let mut builder = HistoryBuilder::new().with_init(workload.num_keys);
+    for (_, records, stats) in session_logs {
+        report.committed += stats.committed;
+        report.failed += stats.failed;
+        report.attempts += stats.attempts;
+        report.aborted_attempts += stats.aborted_attempts;
+        for r in records {
+            builder.push_timed(r.session, r.ops, r.status, r.begin, r.end);
+        }
+    }
+    (builder.build(), report)
+}
+
+// ───────────────────────── internal helpers ─────────────────────────────────
+
+struct SessionStats {
+    committed: usize,
+    failed: usize,
+    attempts: usize,
+    aborted_attempts: usize,
+}
+
+fn run_session(
+    db: &Database,
+    session: u32,
+    templates: &[mtc_workload::TxnTemplate],
+    opts: &ClientOptions,
+) -> (u32, Vec<TxnRecord>, SessionStats) {
+    let mut allocator = ValueAllocator::new(session);
+    let mut records = Vec::with_capacity(templates.len());
+    let mut stats = SessionStats {
+        committed: 0,
+        failed: 0,
+        attempts: 0,
+        aborted_attempts: 0,
+    };
+
+    for template in templates {
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            stats.attempts += 1;
+            let mut handle = db.begin();
+            let begin = handle.begin_ts();
+            let mut ops = Vec::with_capacity(template.ops.len());
+            for op in &template.ops {
+                match *op {
+                    ReqOp::Read(key) => {
+                        let v = handle.read_register(key);
+                        ops.push(Op::Read { key, value: v });
+                    }
+                    ReqOp::Write(key) => {
+                        let v = allocator.next();
+                        handle.write_register(key, v);
+                        ops.push(Op::Write { key, value: v });
+                    }
+                }
+            }
+            match handle.commit() {
+                Ok(info) => {
+                    stats.committed += 1;
+                    records.push(TxnRecord {
+                        session,
+                        ops,
+                        status: TxnStatus::Committed,
+                        begin,
+                        end: info.commit_ts,
+                    });
+                    break;
+                }
+                Err(reason) => {
+                    stats.aborted_attempts += 1;
+                    if opts.record_aborted {
+                        records.push(TxnRecord {
+                            session,
+                            ops,
+                            status: TxnStatus::Aborted,
+                            begin,
+                            end: db.now(),
+                        });
+                    }
+                    // An InjectedAbort already published its writes; retrying
+                    // it would duplicate values, so treat it as final.
+                    let retry = attempt <= opts.max_retries && reason != AbortReason::InjectedAbort;
+                    if !retry {
+                        stats.failed += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    (session, records, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DbConfig, IsolationMode};
+    use mtc_workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
+
+    fn spec(sessions: u32, txns: u32, keys: u64) -> MtWorkloadSpec {
+        MtWorkloadSpec {
+            sessions,
+            txns_per_session: txns,
+            num_keys: keys,
+            distribution: Distribution::Uniform,
+            read_only_fraction: 0.2,
+            two_key_fraction: 0.5,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn executes_a_small_workload_and_counts_add_up() {
+        let db = Database::new(DbConfig::correct(IsolationMode::Serializable, 20));
+        let workload = generate_mt_workload(&spec(4, 50, 20));
+        let (history, report) = execute_workload(&db, &workload, &ClientOptions::default());
+        assert_eq!(report.committed + report.failed, workload.txn_count());
+        assert_eq!(report.attempts, report.committed + report.aborted_attempts);
+        assert_eq!(history.committed_count(), report.committed + 1); // + ⊥T
+        assert!(history.has_init());
+        assert!(history.has_unique_values());
+        assert!(report.abort_rate() <= 1.0);
+    }
+
+    #[test]
+    fn histories_have_timestamps_on_committed_transactions() {
+        let db = Database::new(DbConfig::correct(IsolationMode::Serializable, 10));
+        let workload = generate_mt_workload(&spec(2, 20, 10));
+        let (history, _) = execute_workload(&db, &workload, &ClientOptions::default());
+        for t in history.committed() {
+            assert!(t.begin.is_some(), "{t:?} lacks a begin timestamp");
+            assert!(t.end.is_some(), "{t:?} lacks an end timestamp");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Database configuration: isolation mode, latency model, fault injection.
+
+use crate::faults::FaultSpec;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The isolation level the simulated database *claims* to provide.
+///
+/// Without fault injection each mode really provides its level:
+///
+/// * [`IsolationMode::ReadCommitted`] — reads always observe the latest
+///   committed version at the time of the read; no commit-time validation.
+/// * [`IsolationMode::Snapshot`] — every transaction reads from the snapshot
+///   taken at its begin timestamp and commits only if none of its written
+///   keys has a version newer than that snapshot (first-committer-wins).
+/// * [`IsolationMode::Serializable`] — snapshot reads plus commit-time
+///   validation of the *read set* (optimistic concurrency control with
+///   backward validation); every committed transaction logically executes at
+///   its commit instant, which also yields strict serializability with
+///   respect to the recorded wall-clock timestamps.
+/// * [`IsolationMode::StrictSerializable`] — an alias of the serializable
+///   engine, kept separate so experiment configurations read naturally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IsolationMode {
+    /// Weak isolation: no snapshot, no validation.
+    ReadCommitted,
+    /// Snapshot isolation with first-committer-wins.
+    Snapshot,
+    /// Serializability via optimistic read/write validation.
+    Serializable,
+    /// Strict serializability (same engine as [`IsolationMode::Serializable`]).
+    StrictSerializable,
+}
+
+impl IsolationMode {
+    /// True when commit-time write validation (first-committer-wins) applies.
+    pub fn validates_writes(self) -> bool {
+        !matches!(self, IsolationMode::ReadCommitted)
+    }
+
+    /// True when commit-time read validation applies.
+    pub fn validates_reads(self) -> bool {
+        matches!(
+            self,
+            IsolationMode::Serializable | IsolationMode::StrictSerializable
+        )
+    }
+
+    /// True when reads come from the transaction's begin snapshot rather than
+    /// from the latest committed state.
+    pub fn snapshot_reads(self) -> bool {
+        !matches!(self, IsolationMode::ReadCommitted)
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IsolationMode::ReadCommitted => "RC",
+            IsolationMode::Snapshot => "SI",
+            IsolationMode::Serializable => "SER",
+            IsolationMode::StrictSerializable => "SSER",
+        }
+    }
+}
+
+/// Full configuration of a simulated database instance.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DbConfig {
+    /// Isolation mode of the engine.
+    pub isolation: IsolationMode,
+    /// Number of register keys to pre-initialize with the initial value
+    /// (mirroring the `⊥T` transaction assumed by the checkers).
+    pub num_keys: u64,
+    /// Artificial latency added to every read/write/append operation,
+    /// modelling network plus execution cost of a real DBMS.
+    pub op_latency: Duration,
+    /// Artificial latency added to every commit.
+    pub commit_latency: Duration,
+    /// Fault-injection specification (empty = behave correctly).
+    pub faults: Vec<FaultSpec>,
+    /// Seed for the fault-injection randomness.
+    pub fault_seed: u64,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            isolation: IsolationMode::Serializable,
+            num_keys: 1000,
+            op_latency: Duration::ZERO,
+            commit_latency: Duration::ZERO,
+            faults: Vec::new(),
+            fault_seed: 0xDB,
+        }
+    }
+}
+
+impl DbConfig {
+    /// A correct database at the given isolation level with `num_keys`
+    /// pre-initialized registers and no artificial latency.
+    pub fn correct(isolation: IsolationMode, num_keys: u64) -> Self {
+        DbConfig {
+            isolation,
+            num_keys,
+            ..DbConfig::default()
+        }
+    }
+
+    /// Adds a latency model (builder style).
+    pub fn with_latency(mut self, op: Duration, commit: Duration) -> Self {
+        self.op_latency = op;
+        self.commit_latency = commit;
+        self
+    }
+
+    /// Adds fault injection (builder style).
+    pub fn with_faults(mut self, faults: Vec<FaultSpec>, seed: u64) -> Self {
+        self.faults = faults;
+        self.fault_seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_predicates() {
+        assert!(!IsolationMode::ReadCommitted.validates_writes());
+        assert!(IsolationMode::Snapshot.validates_writes());
+        assert!(!IsolationMode::Snapshot.validates_reads());
+        assert!(IsolationMode::Serializable.validates_reads());
+        assert!(IsolationMode::StrictSerializable.validates_reads());
+        assert!(IsolationMode::Snapshot.snapshot_reads());
+        assert!(!IsolationMode::ReadCommitted.snapshot_reads());
+    }
+
+    #[test]
+    fn builder_style_config() {
+        let cfg = DbConfig::correct(IsolationMode::Snapshot, 10)
+            .with_latency(Duration::from_micros(5), Duration::from_micros(10))
+            .with_faults(vec![], 7);
+        assert_eq!(cfg.isolation, IsolationMode::Snapshot);
+        assert_eq!(cfg.num_keys, 10);
+        assert_eq!(cfg.op_latency, Duration::from_micros(5));
+        assert_eq!(cfg.fault_seed, 7);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(IsolationMode::Snapshot.label(), "SI");
+        assert_eq!(IsolationMode::Serializable.label(), "SER");
+    }
+}

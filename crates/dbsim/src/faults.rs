@@ -1,0 +1,162 @@
+//! Fault injection: making the simulator misbehave on purpose.
+//!
+//! Q4 of the paper's evaluation asks whether MTC detects isolation bugs in
+//! production databases (Table II, Figures 12 and 18). We reproduce the
+//! *detection* side by injecting the same classes of misbehaviour into the
+//! simulated store. Each [`FaultKind`] corresponds to a concrete mechanism in
+//! the transaction engine and, through it, to one or more of the documented
+//! anomalies:
+//!
+//! | Fault | Mechanism | Reproduced bug |
+//! |---|---|---|
+//! | `SkipWriteValidation` | first-committer-wins is skipped for the affected transaction | `LOSTUPDATE` (MariaDB Galera) |
+//! | `SkipReadValidation`  | read-set validation is skipped under a serializable engine | `WRITESKEW` / `LONGFORK` (PostgreSQL) |
+//! | `StaleSnapshot`       | the transaction reads from a snapshot older than its begin point | `CAUSALITYVIOLATION` (Dgraph), session-guarantee violations |
+//! | `DirtyRelease`        | the transaction's writes become visible before commit and the transaction then aborts | `ABORTEDREAD` / read-uncommitted (MongoDB, Cassandra) |
+//!
+//! Each fault fires per transaction with the configured probability, so bug
+//! density (and therefore the "counterexample position" of Table II) is
+//! controllable.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The injectable fault classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Skip first-committer-wins write validation → lost updates.
+    SkipWriteValidation,
+    /// Skip commit-time read validation → write skew, long fork.
+    SkipReadValidation,
+    /// Read from a stale snapshot (ignoring the most recent committed
+    /// versions) → causality violations, non-monotonic/session anomalies.
+    StaleSnapshot,
+    /// Publish writes before commit and then abort → aborted reads /
+    /// read-uncommitted behaviour.
+    DirtyRelease,
+}
+
+impl FaultKind {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::SkipWriteValidation => "skip-write-validation",
+            FaultKind::SkipReadValidation => "skip-read-validation",
+            FaultKind::StaleSnapshot => "stale-snapshot",
+            FaultKind::DirtyRelease => "dirty-release",
+        }
+    }
+}
+
+/// A fault plus its per-transaction firing probability.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Probability (0.0–1.0) that a given transaction is affected.
+    pub probability: f64,
+}
+
+impl FaultSpec {
+    /// Convenience constructor.
+    pub fn new(kind: FaultKind, probability: f64) -> Self {
+        FaultSpec {
+            kind,
+            probability: probability.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// The faults that fire for one particular transaction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ActiveFaults {
+    /// Write validation disabled for this transaction.
+    pub skip_write_validation: bool,
+    /// Read validation disabled for this transaction.
+    pub skip_read_validation: bool,
+    /// Number of most-recent versions to ignore when reading (0 = none).
+    pub stale_versions: usize,
+    /// Publish writes eagerly and abort at commit.
+    pub dirty_release: bool,
+}
+
+impl ActiveFaults {
+    /// Draws the set of active faults for a fresh transaction.
+    pub fn draw(specs: &[FaultSpec], rng: &mut StdRng) -> Self {
+        let mut active = ActiveFaults::default();
+        for spec in specs {
+            if rng.gen::<f64>() >= spec.probability {
+                continue;
+            }
+            match spec.kind {
+                FaultKind::SkipWriteValidation => active.skip_write_validation = true,
+                FaultKind::SkipReadValidation => active.skip_read_validation = true,
+                FaultKind::StaleSnapshot => active.stale_versions = 1 + rng.gen_range(0..2),
+                FaultKind::DirtyRelease => active.dirty_release = true,
+            }
+        }
+        active
+    }
+
+    /// True iff no fault fired.
+    pub fn is_clean(&self) -> bool {
+        *self == ActiveFaults::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let specs = vec![
+            FaultSpec::new(FaultKind::SkipWriteValidation, 0.0),
+            FaultSpec::new(FaultKind::DirtyRelease, 0.0),
+        ];
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(ActiveFaults::draw(&specs, &mut rng).is_clean());
+        }
+    }
+
+    #[test]
+    fn full_probability_always_fires() {
+        let specs = vec![
+            FaultSpec::new(FaultKind::SkipReadValidation, 1.0),
+            FaultSpec::new(FaultKind::StaleSnapshot, 1.0),
+        ];
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let a = ActiveFaults::draw(&specs, &mut rng);
+            assert!(a.skip_read_validation);
+            assert!(a.stale_versions >= 1);
+            assert!(!a.is_clean());
+        }
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        let spec = FaultSpec::new(FaultKind::DirtyRelease, 7.0);
+        assert_eq!(spec.probability, 1.0);
+        let spec = FaultSpec::new(FaultKind::DirtyRelease, -3.0);
+        assert_eq!(spec.probability, 0.0);
+    }
+
+    #[test]
+    fn intermediate_probability_fires_sometimes() {
+        let specs = vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.3)];
+        let mut rng = StdRng::seed_from_u64(3);
+        let fired = (0..1000)
+            .filter(|_| ActiveFaults::draw(&specs, &mut rng).skip_write_validation)
+            .count();
+        assert!((200..400).contains(&fired), "fired {fired} times");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(FaultKind::StaleSnapshot.label(), "stale-snapshot");
+    }
+}

@@ -1,0 +1,308 @@
+//! The multi-version storage layer.
+//!
+//! Every key maps to a chain of committed versions ordered by commit
+//! timestamp. Reads select the newest version visible at a snapshot
+//! timestamp; commits append new versions. The store itself is isolation-
+//! agnostic — all policy (snapshots, validation, faults) lives in
+//! [`crate::txn`].
+
+use mtc_history::{Key, Value, INIT_VALUE};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A stored value: either a register or an append-only list.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StoredValue {
+    /// A single 64-bit register value.
+    Register(Value),
+    /// An append-only list of elements.
+    List(Vec<Value>),
+}
+
+impl StoredValue {
+    /// The register value, if this is a register.
+    pub fn as_register(&self) -> Option<Value> {
+        match self {
+            StoredValue::Register(v) => Some(*v),
+            StoredValue::List(_) => None,
+        }
+    }
+
+    /// The list elements, if this is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            StoredValue::List(l) => Some(l),
+            StoredValue::Register(_) => None,
+        }
+    }
+}
+
+/// One committed version of a key.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Version {
+    /// Commit timestamp that installed the version.
+    pub commit_ts: u64,
+    /// The value installed.
+    pub value: StoredValue,
+}
+
+/// The version chain of a single key, ordered by ascending commit timestamp.
+#[derive(Clone, Debug, Default)]
+pub struct VersionChain {
+    versions: Vec<Version>,
+}
+
+impl VersionChain {
+    /// Creates a chain with a single initial version.
+    pub fn with_initial(value: StoredValue) -> Self {
+        VersionChain {
+            versions: vec![Version {
+                commit_ts: 0,
+                value,
+            }],
+        }
+    }
+
+    /// Number of versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True iff the chain has no versions.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// The newest version.
+    pub fn latest(&self) -> Option<&Version> {
+        self.versions.last()
+    }
+
+    /// The newest version with `commit_ts <= snapshot_ts`, optionally
+    /// skipping the `skip_recent` newest such versions (used by the
+    /// stale-snapshot fault). Returns `None` if nothing is visible.
+    pub fn visible_at(&self, snapshot_ts: u64, skip_recent: usize) -> Option<&Version> {
+        let visible: Vec<&Version> = self
+            .versions
+            .iter()
+            .filter(|v| v.commit_ts <= snapshot_ts)
+            .collect();
+        if visible.is_empty() {
+            return None;
+        }
+        let idx = visible.len().saturating_sub(1 + skip_recent);
+        Some(visible[idx.min(visible.len() - 1)])
+    }
+
+    /// True iff some version is newer than `snapshot_ts`.
+    pub fn has_newer_than(&self, snapshot_ts: u64) -> bool {
+        self.versions
+            .last()
+            .map(|v| v.commit_ts > snapshot_ts)
+            .unwrap_or(false)
+    }
+
+    /// Appends a version. Panics if the commit timestamp does not increase.
+    pub fn push(&mut self, version: Version) {
+        if let Some(last) = self.versions.last() {
+            assert!(
+                version.commit_ts >= last.commit_ts,
+                "commit timestamps must be monotone"
+            );
+        }
+        self.versions.push(version);
+    }
+}
+
+/// The shared, thread-safe store.
+#[derive(Debug, Default)]
+pub struct Store {
+    map: RwLock<HashMap<Key, VersionChain>>,
+}
+
+impl Store {
+    /// Creates a store with `num_keys` registers pre-initialized to the
+    /// initial value at commit timestamp 0 (the `⊥T` transaction).
+    pub fn with_register_keys(num_keys: u64) -> Self {
+        let mut map = HashMap::with_capacity(num_keys as usize);
+        for k in 0..num_keys {
+            map.insert(
+                Key(k),
+                VersionChain::with_initial(StoredValue::Register(INIT_VALUE)),
+            );
+        }
+        Store {
+            map: RwLock::new(map),
+        }
+    }
+
+    /// Reads the version of `key` visible at `snapshot_ts`. A missing key or
+    /// an empty chain yields `None` (the caller substitutes the implicit
+    /// initial value).
+    pub fn read(&self, key: Key, snapshot_ts: u64, skip_recent: usize) -> Option<Version> {
+        self.map
+            .read()
+            .get(&key)
+            .and_then(|c| c.visible_at(snapshot_ts, skip_recent))
+            .cloned()
+    }
+
+    /// The newest committed version of `key`.
+    pub fn read_latest(&self, key: Key) -> Option<Version> {
+        self.map.read().get(&key).and_then(|c| c.latest()).cloned()
+    }
+
+    /// True iff `key` has a version newer than `snapshot_ts`.
+    pub fn has_newer_than(&self, key: Key, snapshot_ts: u64) -> bool {
+        self.map
+            .read()
+            .get(&key)
+            .map(|c| c.has_newer_than(snapshot_ts))
+            .unwrap_or(false)
+    }
+
+    /// Installs `value` for `key` at `commit_ts`.
+    pub fn install(&self, key: Key, commit_ts: u64, value: StoredValue) {
+        self.map
+            .write()
+            .entry(key)
+            .or_default()
+            .push(Version { commit_ts, value });
+    }
+
+    /// Installs a whole write set atomically (the caller must hold the commit
+    /// mutex so that timestamps stay monotone per chain).
+    pub fn install_all<'a>(
+        &self,
+        commit_ts: u64,
+        writes: impl IntoIterator<Item = (Key, &'a StoredValue)>,
+    ) {
+        let mut map = self.map.write();
+        for (key, value) in writes {
+            map.entry(key).or_default().push(Version {
+                commit_ts,
+                value: value.clone(),
+            });
+        }
+    }
+
+    /// Number of keys with at least one version.
+    pub fn key_count(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Total number of versions across all keys (storage footprint proxy).
+    pub fn version_count(&self) -> usize {
+        self.map.read().values().map(VersionChain::len).sum()
+    }
+
+    /// The current register value of `key` (latest version), interpreting a
+    /// missing key as the initial value. Intended for tests and examples.
+    pub fn current_register(&self, key: Key) -> Value {
+        self.read_latest(key)
+            .and_then(|v| v.value.as_register())
+            .unwrap_or(INIT_VALUE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_registers_are_visible_at_any_snapshot() {
+        let store = Store::with_register_keys(3);
+        assert_eq!(store.key_count(), 3);
+        let v = store.read(Key(1), 0, 0).unwrap();
+        assert_eq!(v.commit_ts, 0);
+        assert_eq!(v.value, StoredValue::Register(INIT_VALUE));
+        assert!(store.read(Key(7), 10, 0).is_none());
+    }
+
+    #[test]
+    fn snapshot_reads_see_only_older_versions() {
+        let store = Store::with_register_keys(1);
+        store.install(Key(0), 5, StoredValue::Register(Value(50)));
+        store.install(Key(0), 9, StoredValue::Register(Value(90)));
+        assert_eq!(
+            store.read(Key(0), 4, 0).unwrap().value,
+            StoredValue::Register(INIT_VALUE)
+        );
+        assert_eq!(
+            store.read(Key(0), 5, 0).unwrap().value,
+            StoredValue::Register(Value(50))
+        );
+        assert_eq!(
+            store.read(Key(0), 100, 0).unwrap().value,
+            StoredValue::Register(Value(90))
+        );
+        assert_eq!(store.current_register(Key(0)), Value(90));
+    }
+
+    #[test]
+    fn stale_snapshot_skips_recent_versions() {
+        let store = Store::with_register_keys(1);
+        store.install(Key(0), 5, StoredValue::Register(Value(50)));
+        store.install(Key(0), 9, StoredValue::Register(Value(90)));
+        let v = store.read(Key(0), 100, 1).unwrap();
+        assert_eq!(v.value, StoredValue::Register(Value(50)));
+        // Skipping more versions than exist still returns the oldest one.
+        let v = store.read(Key(0), 100, 10).unwrap();
+        assert_eq!(v.value, StoredValue::Register(INIT_VALUE));
+    }
+
+    #[test]
+    fn newer_than_detection() {
+        let store = Store::with_register_keys(1);
+        assert!(!store.has_newer_than(Key(0), 0));
+        store.install(Key(0), 7, StoredValue::Register(Value(1)));
+        assert!(store.has_newer_than(Key(0), 3));
+        assert!(!store.has_newer_than(Key(0), 7));
+        assert!(!store.has_newer_than(Key(99), 0));
+    }
+
+    #[test]
+    fn lists_grow_by_whole_values() {
+        let store = Store::default();
+        store.install(Key(4), 3, StoredValue::List(vec![Value(1)]));
+        store.install(Key(4), 6, StoredValue::List(vec![Value(1), Value(2)]));
+        let v = store.read(Key(4), 10, 0).unwrap();
+        assert_eq!(v.value.as_list().unwrap(), &[Value(1), Value(2)]);
+        assert_eq!(store.version_count(), 2);
+    }
+
+    #[test]
+    fn install_all_is_atomic_per_timestamp() {
+        let store = Store::with_register_keys(2);
+        let w0 = StoredValue::Register(Value(10));
+        let w1 = StoredValue::Register(Value(11));
+        store.install_all(4, vec![(Key(0), &w0), (Key(1), &w1)]);
+        assert_eq!(store.read(Key(0), 4, 0).unwrap().commit_ts, 4);
+        assert_eq!(store.read(Key(1), 4, 0).unwrap().commit_ts, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_commit_timestamps_panic() {
+        let mut chain = VersionChain::with_initial(StoredValue::Register(INIT_VALUE));
+        chain.push(Version {
+            commit_ts: 5,
+            value: StoredValue::Register(Value(1)),
+        });
+        chain.push(Version {
+            commit_ts: 3,
+            value: StoredValue::Register(Value(2)),
+        });
+    }
+
+    #[test]
+    fn stored_value_accessors() {
+        assert_eq!(
+            StoredValue::Register(Value(3)).as_register(),
+            Some(Value(3))
+        );
+        assert_eq!(StoredValue::Register(Value(3)).as_list(), None);
+        assert_eq!(StoredValue::List(vec![]).as_register(), None);
+    }
+}

@@ -1,0 +1,381 @@
+//! Transaction execution: snapshot reads, buffered writes, optimistic
+//! commit-time validation, and the fault hooks.
+
+use crate::db::Database;
+use crate::faults::ActiveFaults;
+use crate::store::StoredValue;
+use mtc_history::{Key, Value, INIT_VALUE};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a transaction aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// First-committer-wins: a written key has a version newer than the
+    /// transaction's snapshot.
+    WriteConflict,
+    /// Commit-time read validation failed: a read key has a version newer
+    /// than the transaction's snapshot.
+    ReadConflict,
+    /// The transaction was aborted by the injected `DirtyRelease` fault
+    /// (after publishing its writes).
+    InjectedAbort,
+    /// The client explicitly rolled back.
+    UserAbort,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::WriteConflict => write!(f, "write-write conflict"),
+            AbortReason::ReadConflict => write!(f, "read validation conflict"),
+            AbortReason::InjectedAbort => write!(f, "injected abort"),
+            AbortReason::UserAbort => write!(f, "user abort"),
+        }
+    }
+}
+
+/// Information returned by a successful commit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitInfo {
+    /// Commit timestamp assigned to the transaction.
+    pub commit_ts: u64,
+}
+
+/// An open transaction.
+pub struct TxnHandle<'db> {
+    db: &'db Database,
+    begin_ts: u64,
+    faults: ActiveFaults,
+    /// Keys read from the store, with the commit timestamp of the version
+    /// observed (used for read validation).
+    read_set: HashMap<Key, u64>,
+    /// Buffered writes (applied at commit), in first-write order.
+    write_buffer: HashMap<Key, StoredValue>,
+    write_order: Vec<Key>,
+}
+
+impl<'db> TxnHandle<'db> {
+    pub(crate) fn new(db: &'db Database, begin_ts: u64, faults: ActiveFaults) -> Self {
+        TxnHandle {
+            db,
+            begin_ts,
+            faults,
+            read_set: HashMap::new(),
+            write_buffer: HashMap::new(),
+            write_order: Vec::new(),
+        }
+    }
+
+    /// The transaction's begin timestamp (also its snapshot timestamp).
+    pub fn begin_ts(&self) -> u64 {
+        self.begin_ts
+    }
+
+    fn op_latency(&self) {
+        let d = self.db.config.op_latency;
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+
+    fn snapshot_ts(&self) -> u64 {
+        if self.db.config.isolation.snapshot_reads() {
+            self.begin_ts
+        } else {
+            u64::MAX // read-committed: always the latest committed version
+        }
+    }
+
+    fn read_stored(&mut self, key: Key) -> StoredValue {
+        self.op_latency();
+        if let Some(v) = self.write_buffer.get(&key) {
+            return v.clone();
+        }
+        let version = self
+            .db
+            .store
+            .read(key, self.snapshot_ts(), self.faults.stale_versions);
+        match version {
+            Some(v) => {
+                self.read_set.entry(key).or_insert(v.commit_ts);
+                v.value
+            }
+            None => {
+                self.read_set.entry(key).or_insert(0);
+                StoredValue::Register(INIT_VALUE)
+            }
+        }
+    }
+
+    /// Reads the register at `key` (the implicit initial value if never
+    /// written).
+    pub fn read_register(&mut self, key: Key) -> Value {
+        match self.read_stored(key) {
+            StoredValue::Register(v) => v,
+            StoredValue::List(_) => INIT_VALUE,
+        }
+    }
+
+    /// Reads the list at `key` (empty if never written).
+    pub fn read_list(&mut self, key: Key) -> Vec<Value> {
+        match self.read_stored(key) {
+            StoredValue::List(l) => l,
+            StoredValue::Register(v) if v == INIT_VALUE => Vec::new(),
+            StoredValue::Register(v) => vec![v],
+        }
+    }
+
+    fn buffer_write(&mut self, key: Key, value: StoredValue) {
+        self.op_latency();
+        if !self.write_buffer.contains_key(&key) {
+            self.write_order.push(key);
+        }
+        self.write_buffer.insert(key, value);
+    }
+
+    /// Writes `value` to the register at `key`.
+    pub fn write_register(&mut self, key: Key, value: Value) {
+        self.buffer_write(key, StoredValue::Register(value));
+    }
+
+    /// Appends `element` to the list at `key` (a read-modify-write on the
+    /// whole list, as in SQL `UPDATE ... SET l = l || elem`).
+    pub fn append(&mut self, key: Key, element: Value) {
+        let mut list = self.read_list(key);
+        list.push(element);
+        self.buffer_write(key, StoredValue::List(list));
+    }
+
+    /// The keys this transaction has written so far.
+    pub fn write_set(&self) -> &[Key] {
+        &self.write_order
+    }
+
+    /// Attempts to commit. On success the buffered writes become visible
+    /// atomically at the returned commit timestamp.
+    pub fn commit(self) -> Result<CommitInfo, AbortReason> {
+        let db = self.db;
+        let commit_latency = db.config.commit_latency;
+        let _guard = db.commit_lock.lock();
+
+        // Injected dirty release: publish, then abort.
+        if self.faults.dirty_release && !self.write_buffer.is_empty() {
+            let commit_ts = db.tick();
+            db.store.install_all(
+                commit_ts,
+                self.write_order
+                    .iter()
+                    .map(|k| (*k, self.write_buffer.get(k).expect("buffered"))),
+            );
+            if !commit_latency.is_zero() {
+                std::thread::sleep(commit_latency);
+            }
+            return Err(AbortReason::InjectedAbort);
+        }
+
+        let isolation = db.config.isolation;
+        if isolation.validates_writes() && !self.faults.skip_write_validation {
+            for key in &self.write_order {
+                if db.store.has_newer_than(*key, self.begin_ts) {
+                    return Err(AbortReason::WriteConflict);
+                }
+            }
+        }
+        if isolation.validates_reads() && !self.faults.skip_read_validation {
+            for (key, _observed) in &self.read_set {
+                if db.store.has_newer_than(*key, self.begin_ts) {
+                    return Err(AbortReason::ReadConflict);
+                }
+            }
+        }
+
+        let commit_ts = db.tick();
+        if !self.write_buffer.is_empty() {
+            db.store.install_all(
+                commit_ts,
+                self.write_order
+                    .iter()
+                    .map(|k| (*k, self.write_buffer.get(k).expect("buffered"))),
+            );
+        }
+        if !commit_latency.is_zero() {
+            std::thread::sleep(commit_latency);
+        }
+        Ok(CommitInfo { commit_ts })
+    }
+
+    /// Rolls the transaction back. Buffered writes are discarded.
+    pub fn abort(self) -> AbortReason {
+        AbortReason::UserAbort
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DbConfig, IsolationMode};
+    use crate::faults::{FaultKind, FaultSpec};
+
+    fn db(mode: IsolationMode) -> Database {
+        Database::new(DbConfig::correct(mode, 4))
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let db = db(IsolationMode::Serializable);
+        let mut t = db.begin();
+        assert_eq!(t.read_register(Key(0)), INIT_VALUE);
+        t.write_register(Key(0), Value(42));
+        assert_eq!(t.read_register(Key(0)), Value(42));
+        t.commit().unwrap();
+        assert_eq!(db.store().current_register(Key(0)), Value(42));
+    }
+
+    #[test]
+    fn snapshot_isolation_hides_concurrent_commits() {
+        let db = db(IsolationMode::Snapshot);
+        let mut t1 = db.begin();
+        // t2 commits a new value after t1 began.
+        let mut t2 = db.begin();
+        t2.write_register(Key(0), Value(7));
+        t2.commit().unwrap();
+        // t1 still sees the initial value.
+        assert_eq!(t1.read_register(Key(0)), INIT_VALUE);
+    }
+
+    #[test]
+    fn read_committed_sees_latest() {
+        let db = db(IsolationMode::ReadCommitted);
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        t2.write_register(Key(0), Value(7));
+        t2.commit().unwrap();
+        assert_eq!(t1.read_register(Key(0)), Value(7));
+    }
+
+    #[test]
+    fn first_committer_wins_aborts_the_second_writer() {
+        let db = db(IsolationMode::Snapshot);
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        t1.write_register(Key(0), Value(1));
+        t2.write_register(Key(0), Value(2));
+        assert!(t1.commit().is_ok());
+        assert_eq!(t2.commit(), Err(AbortReason::WriteConflict));
+        assert_eq!(db.store().current_register(Key(0)), Value(1));
+    }
+
+    #[test]
+    fn serializable_read_validation_prevents_write_skew() {
+        let db = db(IsolationMode::Serializable);
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        // Classic write skew: each reads both keys, writes the other one.
+        t1.read_register(Key(0));
+        t1.read_register(Key(1));
+        t2.read_register(Key(0));
+        t2.read_register(Key(1));
+        t1.write_register(Key(0), Value(10));
+        t2.write_register(Key(1), Value(20));
+        assert!(t1.commit().is_ok());
+        assert_eq!(t2.commit(), Err(AbortReason::ReadConflict));
+    }
+
+    #[test]
+    fn snapshot_mode_allows_write_skew() {
+        let db = db(IsolationMode::Snapshot);
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        t1.read_register(Key(0));
+        t1.read_register(Key(1));
+        t2.read_register(Key(0));
+        t2.read_register(Key(1));
+        t1.write_register(Key(0), Value(10));
+        t2.write_register(Key(1), Value(20));
+        assert!(t1.commit().is_ok());
+        assert!(t2.commit().is_ok(), "SI must allow disjoint-key write skew");
+    }
+
+    #[test]
+    fn skip_write_validation_fault_permits_lost_updates() {
+        let cfg = DbConfig::correct(IsolationMode::Snapshot, 2).with_faults(
+            vec![FaultSpec::new(FaultKind::SkipWriteValidation, 1.0)],
+            1,
+        );
+        let db = Database::new(cfg);
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        t1.read_register(Key(0));
+        t2.read_register(Key(0));
+        t1.write_register(Key(0), Value(1));
+        t2.write_register(Key(0), Value(2));
+        assert!(t1.commit().is_ok());
+        assert!(t2.commit().is_ok(), "fault must disable first-committer-wins");
+    }
+
+    #[test]
+    fn dirty_release_publishes_and_aborts() {
+        let cfg = DbConfig::correct(IsolationMode::Snapshot, 1)
+            .with_faults(vec![FaultSpec::new(FaultKind::DirtyRelease, 1.0)], 2);
+        let db = Database::new(cfg);
+        let mut t = db.begin();
+        t.read_register(Key(0));
+        t.write_register(Key(0), Value(99));
+        assert_eq!(t.commit(), Err(AbortReason::InjectedAbort));
+        // The "aborted" value is nevertheless visible.
+        assert_eq!(db.store().current_register(Key(0)), Value(99));
+    }
+
+    #[test]
+    fn lists_append_accumulates_elements() {
+        let db = Database::new(DbConfig::correct(IsolationMode::Serializable, 0));
+        let mut t1 = db.begin();
+        t1.append(Key(9), Value(1));
+        t1.append(Key(9), Value(2));
+        t1.commit().unwrap();
+        let mut t2 = db.begin();
+        assert_eq!(t2.read_list(Key(9)), vec![Value(1), Value(2)]);
+        t2.append(Key(9), Value(3));
+        t2.commit().unwrap();
+        let mut t3 = db.begin();
+        assert_eq!(t3.read_list(Key(9)), vec![Value(1), Value(2), Value(3)]);
+    }
+
+    #[test]
+    fn user_abort_discards_writes() {
+        let db = db(IsolationMode::Serializable);
+        let mut t = db.begin();
+        t.write_register(Key(0), Value(5));
+        assert_eq!(t.abort(), AbortReason::UserAbort);
+        assert_eq!(db.store().current_register(Key(0)), INIT_VALUE);
+    }
+
+    #[test]
+    fn read_only_transactions_always_commit() {
+        let db = db(IsolationMode::Snapshot);
+        let mut t1 = db.begin();
+        t1.read_register(Key(0));
+        let mut t2 = db.begin();
+        t2.write_register(Key(0), Value(3));
+        t2.commit().unwrap();
+        assert!(t1.commit().is_ok());
+    }
+
+    #[test]
+    fn write_set_tracks_first_write_order() {
+        let db = db(IsolationMode::Serializable);
+        let mut t = db.begin();
+        t.write_register(Key(2), Value(1));
+        t.write_register(Key(0), Value(2));
+        t.write_register(Key(2), Value(3));
+        assert_eq!(t.write_set(), &[Key(2), Key(0)]);
+    }
+
+    #[test]
+    fn abort_reason_display() {
+        assert_eq!(AbortReason::WriteConflict.to_string(), "write-write conflict");
+        assert_eq!(AbortReason::InjectedAbort.to_string(), "injected abort");
+    }
+}

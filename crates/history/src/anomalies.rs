@@ -1,0 +1,452 @@
+//! The catalogue of the 14 isolation anomalies of Figure 5 / Table I,
+//! expressed as mini-transaction histories.
+//!
+//! Every constructor returns a small, self-contained [`History`] whose
+//! transactions obey the mini-transaction shape (at most two reads, at most
+//! two writes, every write preceded by a read of the same object) and the
+//! unique-value convention, demonstrating that MTs are expressive enough to
+//! capture each anomaly. [`AnomalyKind::expected`] records which of the three
+//! strong isolation levels each anomaly violates — this matrix is what the
+//! `table1_anomalies` experiment reproduces.
+//!
+//! Object `x` is key `0` and object `y` is key `1` throughout.
+
+use crate::history::{History, HistoryBuilder};
+use crate::op::Op;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which isolation levels a history is expected to violate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ExpectedVerdicts {
+    /// Violates strict serializability.
+    pub violates_sser: bool,
+    /// Violates serializability.
+    pub violates_ser: bool,
+    /// Violates snapshot isolation.
+    pub violates_si: bool,
+}
+
+/// The 14 anomalies of Figure 5 of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AnomalyKind {
+    ThinAirRead,
+    AbortedRead,
+    FutureRead,
+    NotMyLastWrite,
+    NotMyOwnWrite,
+    IntermediateRead,
+    NonRepeatableReads,
+    SessionGuaranteeViolation,
+    NonMonotonicRead,
+    FracturedRead,
+    CausalityViolation,
+    LongFork,
+    LostUpdate,
+    WriteSkew,
+}
+
+impl AnomalyKind {
+    /// All 14 anomalies, in the order of Figure 5.
+    pub const ALL: [AnomalyKind; 14] = [
+        AnomalyKind::ThinAirRead,
+        AnomalyKind::AbortedRead,
+        AnomalyKind::FutureRead,
+        AnomalyKind::NotMyLastWrite,
+        AnomalyKind::NotMyOwnWrite,
+        AnomalyKind::IntermediateRead,
+        AnomalyKind::NonRepeatableReads,
+        AnomalyKind::SessionGuaranteeViolation,
+        AnomalyKind::NonMonotonicRead,
+        AnomalyKind::FracturedRead,
+        AnomalyKind::CausalityViolation,
+        AnomalyKind::LongFork,
+        AnomalyKind::LostUpdate,
+        AnomalyKind::WriteSkew,
+    ];
+
+    /// The witness history of Figure 5 for this anomaly.
+    pub fn history(self) -> History {
+        match self {
+            AnomalyKind::ThinAirRead => thin_air_read(),
+            AnomalyKind::AbortedRead => aborted_read(),
+            AnomalyKind::FutureRead => future_read(),
+            AnomalyKind::NotMyLastWrite => not_my_last_write(),
+            AnomalyKind::NotMyOwnWrite => not_my_own_write(),
+            AnomalyKind::IntermediateRead => intermediate_read(),
+            AnomalyKind::NonRepeatableReads => non_repeatable_reads(),
+            AnomalyKind::SessionGuaranteeViolation => session_guarantee_violation(),
+            AnomalyKind::NonMonotonicRead => non_monotonic_read(),
+            AnomalyKind::FracturedRead => fractured_read(),
+            AnomalyKind::CausalityViolation => causality_violation(),
+            AnomalyKind::LongFork => long_fork(),
+            AnomalyKind::LostUpdate => lost_update(),
+            AnomalyKind::WriteSkew => write_skew(),
+        }
+    }
+
+    /// Which isolation levels the witness history violates.
+    ///
+    /// Every anomaly violates SER and hence SSER. `WRITESKEW` is the one
+    /// anomaly *allowed* under snapshot isolation: its dependency cycle
+    /// contains two adjacent RW edges. (`LONGFORK` is allowed under *parallel*
+    /// snapshot isolation but not under SI, whose start-ordered snapshots
+    /// cannot show two writes in opposite orders to two readers.)
+    pub fn expected(self) -> ExpectedVerdicts {
+        let violates_si = !matches!(self, AnomalyKind::WriteSkew);
+        ExpectedVerdicts {
+            violates_sser: true,
+            violates_ser: true,
+            violates_si,
+        }
+    }
+
+    /// True for anomalies detected by the intra-transactional / read-
+    /// provenance pre-check (Figures 5a–5g) rather than by graph analysis.
+    pub fn is_intra(self) -> bool {
+        matches!(
+            self,
+            AnomalyKind::ThinAirRead
+                | AnomalyKind::AbortedRead
+                | AnomalyKind::FutureRead
+                | AnomalyKind::NotMyLastWrite
+                | AnomalyKind::NotMyOwnWrite
+                | AnomalyKind::IntermediateRead
+                | AnomalyKind::NonRepeatableReads
+        )
+    }
+
+    /// The one-line description of Table I.
+    pub fn description(self) -> &'static str {
+        match self {
+            AnomalyKind::ThinAirRead => "A transaction reads a value out of thin air.",
+            AnomalyKind::AbortedRead => "A transaction reads a value from an aborted transaction.",
+            AnomalyKind::FutureRead => {
+                "A transaction reads from a write that occurs later in the same transaction."
+            }
+            AnomalyKind::NotMyLastWrite => {
+                "A transaction reads from its own but not the last write on the same object."
+            }
+            AnomalyKind::NotMyOwnWrite => {
+                "A transaction does not read from its own write on the same object."
+            }
+            AnomalyKind::IntermediateRead => {
+                "A transaction reads a value that was later overwritten by the transaction that wrote it."
+            }
+            AnomalyKind::NonRepeatableReads => {
+                "A transaction reads multiple times from the same object but receives different values."
+            }
+            AnomalyKind::SessionGuaranteeViolation => {
+                "A transaction misses the effect of the preceding transaction in the same session."
+            }
+            AnomalyKind::NonMonotonicRead => {
+                "T3 reads y from T2 and then reads x from T1, but T2 has overwritten T1 on x."
+            }
+            AnomalyKind::FracturedRead => {
+                "T1 updates both x and y, but T2 observes only the update to x."
+            }
+            AnomalyKind::CausalityViolation => {
+                "T3 sees the effect of T2 on y, but misses the effect of T1, which is seen by T2, on x."
+            }
+            AnomalyKind::LongFork => {
+                "T3 observes T1's write to x but misses T2's write to y, while T4 observes the opposite."
+            }
+            AnomalyKind::LostUpdate => {
+                "Concurrent transactions write to the same object, and one of the writes is lost."
+            }
+            AnomalyKind::WriteSkew => {
+                "Concurrent transactions read both x and y, then write to x and y respectively."
+            }
+        }
+    }
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// All 14 anomalies paired with their witness histories.
+pub fn catalogue() -> Vec<(AnomalyKind, History)> {
+    AnomalyKind::ALL
+        .iter()
+        .map(|&k| (k, k.history()))
+        .collect()
+}
+
+const X: u64 = 0;
+const Y: u64 = 1;
+
+/// Fig. 5a — a read of a value nobody ever wrote.
+pub fn thin_air_read() -> History {
+    let mut b = HistoryBuilder::new().with_init(1);
+    b.committed(0, vec![Op::read(X, 42u64)]);
+    b.build()
+}
+
+/// Fig. 5b — reading the write of an aborted transaction.
+pub fn aborted_read() -> History {
+    let mut b = HistoryBuilder::new().with_init(1);
+    b.aborted(0, vec![Op::read(X, 0u64), Op::write(X, 1u64)]);
+    b.committed(1, vec![Op::read(X, 1u64)]);
+    b.build()
+}
+
+/// Fig. 5c — reading a value the same transaction writes only later.
+pub fn future_read() -> History {
+    let mut b = HistoryBuilder::new().with_init(1);
+    b.committed(0, vec![Op::read(X, 7u64), Op::write(X, 7u64)]);
+    b.build()
+}
+
+/// Fig. 5d — reading an own write that is not the latest own write.
+pub fn not_my_last_write() -> History {
+    let mut b = HistoryBuilder::new().with_init(1);
+    b.committed(
+        0,
+        vec![
+            Op::read(X, 0u64),
+            Op::write(X, 1u64),
+            Op::write(X, 2u64),
+            Op::read(X, 1u64),
+        ],
+    );
+    b.build()
+}
+
+/// Fig. 5e — a read after an own write returning a foreign value.
+pub fn not_my_own_write() -> History {
+    let mut b = HistoryBuilder::new().with_init(1);
+    b.committed(
+        0,
+        vec![Op::read(X, 0u64), Op::write(X, 2u64), Op::read(X, 1u64)],
+    );
+    b.committed(1, vec![Op::read(X, 0u64), Op::write(X, 1u64)]);
+    b.build()
+}
+
+/// Fig. 5f — reading a value its writer later overwrote.
+pub fn intermediate_read() -> History {
+    let mut b = HistoryBuilder::new().with_init(1);
+    b.committed(0, vec![Op::read(X, 1u64)]);
+    b.committed(
+        1,
+        vec![Op::read(X, 0u64), Op::write(X, 1u64), Op::write(X, 2u64)],
+    );
+    b.build()
+}
+
+/// Fig. 5g — two reads of the same object returning different values.
+pub fn non_repeatable_reads() -> History {
+    let mut b = HistoryBuilder::new().with_init(1);
+    b.committed(0, vec![Op::read(X, 0u64), Op::write(X, 1u64)]);
+    b.committed(1, vec![Op::read(X, 0u64), Op::write(X, 2u64)]);
+    b.committed(2, vec![Op::read(X, 1u64), Op::read(X, 2u64)]);
+    b.build()
+}
+
+/// Fig. 5h — a transaction misses the effect of its session predecessor.
+pub fn session_guarantee_violation() -> History {
+    let mut b = HistoryBuilder::new().with_init(1);
+    // All three transactions run in the same session.
+    b.committed(0, vec![Op::read(X, 0u64), Op::write(X, 1u64)]);
+    b.committed(0, vec![Op::read(X, 1u64), Op::write(X, 2u64)]);
+    b.committed(0, vec![Op::read(X, 1u64)]);
+    b.build()
+}
+
+/// Fig. 5i — non-monotonic read across two objects.
+pub fn non_monotonic_read() -> History {
+    let mut b = HistoryBuilder::new().with_init(2);
+    b.committed(0, vec![Op::read(X, 0u64), Op::write(X, 1u64)]);
+    b.committed(
+        1,
+        vec![
+            Op::read(X, 1u64),
+            Op::write(X, 2u64),
+            Op::read(Y, 0u64),
+            Op::write(Y, 1u64),
+        ],
+    );
+    b.committed(2, vec![Op::read(Y, 1u64), Op::read(X, 1u64)]);
+    b.build()
+}
+
+/// Fig. 5j — observing only half of another transaction's updates.
+pub fn fractured_read() -> History {
+    let mut b = HistoryBuilder::new().with_init(2);
+    b.committed(
+        0,
+        vec![
+            Op::read(X, 0u64),
+            Op::write(X, 1u64),
+            Op::read(Y, 0u64),
+            Op::write(Y, 1u64),
+        ],
+    );
+    b.committed(1, vec![Op::read(X, 1u64), Op::read(Y, 0u64)]);
+    b.build()
+}
+
+/// Fig. 5k — causality violation across three transactions.
+pub fn causality_violation() -> History {
+    let mut b = HistoryBuilder::new().with_init(2);
+    b.committed(0, vec![Op::read(X, 0u64), Op::write(X, 1u64)]);
+    b.committed(
+        1,
+        vec![Op::read(X, 1u64), Op::read(Y, 0u64), Op::write(Y, 1u64)],
+    );
+    b.committed(2, vec![Op::read(X, 0u64), Op::read(Y, 1u64)]);
+    b.build()
+}
+
+/// Fig. 5l — the long-fork anomaly (forbidden by both SER and SI; it is only
+/// allowed under *parallel* snapshot isolation).
+pub fn long_fork() -> History {
+    let mut b = HistoryBuilder::new().with_init(2);
+    b.committed(0, vec![Op::read(X, 0u64), Op::write(X, 1u64)]);
+    b.committed(1, vec![Op::read(Y, 0u64), Op::write(Y, 1u64)]);
+    b.committed(2, vec![Op::read(X, 1u64), Op::read(Y, 0u64)]);
+    b.committed(3, vec![Op::read(X, 0u64), Op::read(Y, 1u64)]);
+    b.build()
+}
+
+/// Fig. 5m — the lost-update anomaly (forbidden by SI).
+pub fn lost_update() -> History {
+    let mut b = HistoryBuilder::new().with_init(1);
+    b.committed(0, vec![Op::read(X, 0u64), Op::write(X, 1u64)]);
+    b.committed(1, vec![Op::read(X, 0u64), Op::write(X, 2u64)]);
+    b.committed(2, vec![Op::read(X, 2u64)]);
+    b.build()
+}
+
+/// Fig. 5n — the write-skew anomaly (allowed by SI, forbidden by SER).
+pub fn write_skew() -> History {
+    let mut b = HistoryBuilder::new().with_init(2);
+    b.committed(
+        0,
+        vec![Op::read(X, 0u64), Op::read(Y, 0u64), Op::write(X, 1u64)],
+    );
+    b.committed(
+        1,
+        vec![Op::read(X, 0u64), Op::read(Y, 0u64), Op::write(Y, 1u64)],
+    );
+    b.build()
+}
+
+/// The DIVERGENCE pattern of Figure 3: two transactions read the same value
+/// of `x` from a third and then write different values. Not itself one of the
+/// 14 anomalies, but the key pattern `CHECKSI` rejects early.
+pub fn divergence() -> History {
+    let mut b = HistoryBuilder::new().with_init(1);
+    b.committed(0, vec![Op::read(X, 0u64), Op::write(X, 1u64)]);
+    b.committed(1, vec![Op::read(X, 1u64), Op::write(X, 2u64)]);
+    b.committed(2, vec![Op::read(X, 1u64), Op::write(X, 3u64)]);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intra::find_intra_anomalies;
+    use crate::intra::IntraAnomaly;
+
+    #[test]
+    fn catalogue_has_fourteen_entries() {
+        assert_eq!(catalogue().len(), 14);
+        assert_eq!(AnomalyKind::ALL.len(), 14);
+    }
+
+    #[test]
+    fn every_history_is_composed_of_mini_transactions() {
+        for (kind, h) in catalogue() {
+            for t in h.txns() {
+                if Some(t.id) == h.init_txn() {
+                    continue;
+                }
+                assert!(
+                    t.read_count() >= 1 && t.read_count() <= 2,
+                    "{kind}: {t:?} has {} reads",
+                    t.read_count()
+                );
+                assert!(t.write_count() <= 2, "{kind}: {t:?} has too many writes");
+                assert!(t.len() <= 4, "{kind}: {t:?} has more than four operations");
+                // RMW pattern: every written key is read earlier in the txn.
+                for key in t.write_set() {
+                    let first_write = t
+                        .ops
+                        .iter()
+                        .position(|o| o.is_write() && o.key() == key)
+                        .unwrap();
+                    let read_before = t.ops[..first_write]
+                        .iter()
+                        .any(|o| o.is_read() && o.key() == key);
+                    assert!(read_before, "{kind}: write of {key} in {t:?} not preceded by a read");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_history_uses_unique_values() {
+        for (kind, h) in catalogue() {
+            assert!(h.has_unique_values(), "{kind} violates unique values");
+        }
+    }
+
+    #[test]
+    fn intra_anomalies_are_detected_by_the_prescan() {
+        for (kind, h) in catalogue() {
+            let found = find_intra_anomalies(&h);
+            if kind.is_intra() {
+                assert!(!found.is_empty(), "{kind} should be caught by the pre-scan");
+                let expected = match kind {
+                    AnomalyKind::ThinAirRead => IntraAnomaly::ThinAirRead,
+                    AnomalyKind::AbortedRead => IntraAnomaly::AbortedRead,
+                    AnomalyKind::FutureRead => IntraAnomaly::FutureRead,
+                    AnomalyKind::NotMyLastWrite => IntraAnomaly::NotMyLastWrite,
+                    AnomalyKind::NotMyOwnWrite => IntraAnomaly::NotMyOwnWrite,
+                    AnomalyKind::IntermediateRead => IntraAnomaly::IntermediateRead,
+                    AnomalyKind::NonRepeatableReads => IntraAnomaly::NonRepeatableReads,
+                    _ => unreachable!(),
+                };
+                assert!(
+                    found.iter().any(|v| v.anomaly == expected),
+                    "{kind}: expected {expected:?}, found {found:?}"
+                );
+            } else {
+                assert!(
+                    found.is_empty(),
+                    "{kind} should not trigger the pre-scan but found {found:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expected_matrix_si_exceptions() {
+        assert!(AnomalyKind::LongFork.expected().violates_si);
+        assert!(!AnomalyKind::WriteSkew.expected().violates_si);
+        assert!(AnomalyKind::LostUpdate.expected().violates_si);
+        for k in AnomalyKind::ALL {
+            assert!(k.expected().violates_ser);
+            assert!(k.expected().violates_sser);
+        }
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for k in AnomalyKind::ALL {
+            assert!(!k.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn divergence_pattern_history_shape() {
+        let h = divergence();
+        assert_eq!(h.committed_count(), 4);
+        assert!(h.has_unique_values());
+    }
+}

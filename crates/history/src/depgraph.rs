@@ -1,0 +1,365 @@
+//! Transactional dependency graphs (Definition 3 of the paper).
+//!
+//! A dependency graph extends a history with labelled edges between
+//! transactions:
+//!
+//! * `SO` — session order,
+//! * `RT` — real-time order (needed only for strict serializability),
+//! * `WR(x)` — `T → S` when `S` reads from `x` the value written by `T`,
+//! * `WW(x)` — a version order among the transactions writing `x`,
+//! * `RW(x)` — the anti-dependency derived from `WR` and `WW`.
+//!
+//! [`DependencyGraph`] stores the labelled edges and offers projections onto
+//! the unlabelled [`DiGraph`] used for cycle detection, plus helpers to label
+//! a node cycle back into a readable counterexample.
+
+use crate::graph::DiGraph;
+use crate::txn::TxnId;
+use crate::value::Key;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a dependency edge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Session order.
+    So,
+    /// Real-time order.
+    Rt,
+    /// Write-read dependency on a key.
+    Wr(Key),
+    /// Write-write dependency on a key.
+    Ww(Key),
+    /// Read-write anti-dependency on a key.
+    Rw(Key),
+}
+
+impl EdgeKind {
+    /// True for `WR(_)`.
+    #[inline]
+    pub fn is_wr(self) -> bool {
+        matches!(self, EdgeKind::Wr(_))
+    }
+
+    /// True for `WW(_)`.
+    #[inline]
+    pub fn is_ww(self) -> bool {
+        matches!(self, EdgeKind::Ww(_))
+    }
+
+    /// True for `RW(_)`.
+    #[inline]
+    pub fn is_rw(self) -> bool {
+        matches!(self, EdgeKind::Rw(_))
+    }
+
+    /// The key the edge is about, if any.
+    #[inline]
+    pub fn key(self) -> Option<Key> {
+        match self {
+            EdgeKind::Wr(k) | EdgeKind::Ww(k) | EdgeKind::Rw(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeKind::So => write!(f, "SO"),
+            EdgeKind::Rt => write!(f, "RT"),
+            EdgeKind::Wr(k) => write!(f, "WR({k})"),
+            EdgeKind::Ww(k) => write!(f, "WW({k})"),
+            EdgeKind::Rw(k) => write!(f, "RW({k})"),
+        }
+    }
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A labelled dependency edge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source transaction.
+    pub from: TxnId,
+    /// Target transaction.
+    pub to: TxnId,
+    /// Edge label.
+    pub kind: EdgeKind,
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -{}-> {}", self.from, self.kind, self.to)
+    }
+}
+
+/// A dependency graph over the transactions of a history.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DependencyGraph {
+    node_count: usize,
+    edges: Vec<Edge>,
+    /// adjacency (indices into `edges`), per source node
+    #[serde(skip)]
+    adj: Vec<Vec<u32>>,
+}
+
+impl DependencyGraph {
+    /// Creates an empty dependency graph over `node_count` transactions.
+    pub fn new(node_count: usize) -> Self {
+        DependencyGraph {
+            node_count,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); node_count],
+        }
+    }
+
+    /// Number of transactions (nodes).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of labelled edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a labelled edge.
+    pub fn add_edge(&mut self, from: TxnId, to: TxnId, kind: EdgeKind) {
+        debug_assert!(from.index() < self.node_count && to.index() < self.node_count);
+        let idx = self.edges.len() as u32;
+        self.edges.push(Edge { from, to, kind });
+        self.adj[from.index()].push(idx);
+    }
+
+    /// Adds a labelled edge unless an identical one is already present.
+    pub fn add_edge_dedup(&mut self, from: TxnId, to: TxnId, kind: EdgeKind) {
+        if !self.contains_edge(from, to, kind) {
+            self.add_edge(from, to, kind);
+        }
+    }
+
+    /// True iff the exact labelled edge is present.
+    pub fn contains_edge(&self, from: TxnId, to: TxnId, kind: EdgeKind) -> bool {
+        self.adj[from.index()]
+            .iter()
+            .any(|&i| self.edges[i as usize].to == to && self.edges[i as usize].kind == kind)
+    }
+
+    /// True iff some edge of any kind goes `from → to`.
+    pub fn contains_any_edge(&self, from: TxnId, to: TxnId) -> bool {
+        self.adj[from.index()]
+            .iter()
+            .any(|&i| self.edges[i as usize].to == to)
+    }
+
+    /// All labelled edges.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Labelled out-edges of `from`.
+    pub fn out_edges(&self, from: TxnId) -> impl Iterator<Item = &Edge> + '_ {
+        self.adj[from.index()]
+            .iter()
+            .map(move |&i| &self.edges[i as usize])
+    }
+
+    /// Edges whose kind satisfies `pred`.
+    pub fn edges_matching<'a, F>(&'a self, pred: F) -> impl Iterator<Item = &'a Edge> + 'a
+    where
+        F: Fn(EdgeKind) -> bool + 'a,
+    {
+        self.edges.iter().filter(move |e| pred(e.kind))
+    }
+
+    /// Projects the edges whose kind satisfies `pred` onto an unlabelled
+    /// [`DiGraph`] for cycle analysis.
+    pub fn project<F>(&self, pred: F) -> DiGraph
+    where
+        F: Fn(EdgeKind) -> bool,
+    {
+        let mut g = DiGraph::new(self.node_count);
+        for e in &self.edges {
+            if pred(e.kind) {
+                g.add_edge(e.from.index(), e.to.index());
+            }
+        }
+        g
+    }
+
+    /// Projects *all* edges onto a [`DiGraph`].
+    pub fn project_all(&self) -> DiGraph {
+        self.project(|_| true)
+    }
+
+    /// True iff the subgraph restricted to edges matching `pred` is acyclic.
+    pub fn is_acyclic<F>(&self, pred: F) -> bool
+    where
+        F: Fn(EdgeKind) -> bool,
+    {
+        self.project(pred).is_acyclic()
+    }
+
+    /// Finds a cycle (over edges matching `pred`) and labels it: for each
+    /// consecutive node pair one labelled edge is selected (preferring, in
+    /// order, `WW`, `WR`, `RW`, `SO`, `RT`, to match the paper's
+    /// counterexample style). Returns `None` if the projection is acyclic.
+    pub fn find_labelled_cycle<F>(&self, pred: F) -> Option<Vec<Edge>>
+    where
+        F: Fn(EdgeKind) -> bool + Copy,
+    {
+        let projected = self.project(pred);
+        let cycle = projected.find_cycle()?;
+        Some(self.label_node_cycle(&cycle, pred))
+    }
+
+    /// Labels a node cycle obtained from a projection. For each consecutive
+    /// pair of nodes, picks a labelled edge of the allowed kinds.
+    pub fn label_node_cycle<F>(&self, cycle: &[usize], pred: F) -> Vec<Edge>
+    where
+        F: Fn(EdgeKind) -> bool,
+    {
+        let rank = |k: EdgeKind| match k {
+            EdgeKind::Ww(_) => 0,
+            EdgeKind::Wr(_) => 1,
+            EdgeKind::Rw(_) => 2,
+            EdgeKind::So => 3,
+            EdgeKind::Rt => 4,
+        };
+        let mut labelled = Vec::with_capacity(cycle.len());
+        for i in 0..cycle.len() {
+            let u = cycle[i];
+            let v = cycle[(i + 1) % cycle.len()];
+            let best = self.adj[u]
+                .iter()
+                .map(|&idx| &self.edges[idx as usize])
+                .filter(|e| e.to.index() == v && pred(e.kind))
+                .min_by_key(|e| rank(e.kind));
+            if let Some(e) = best {
+                labelled.push(*e);
+            }
+        }
+        labelled
+    }
+
+    /// The `WW(key)` successors of `from` (direct edges only).
+    pub fn ww_successors(&self, from: TxnId, key: Key) -> Vec<TxnId> {
+        self.out_edges(from)
+            .filter(|e| e.kind == EdgeKind::Ww(key))
+            .map(|e| e.to)
+            .collect()
+    }
+
+    /// Count of edges per kind class `(so, rt, wr, ww, rw)`.
+    pub fn edge_kind_counts(&self) -> (usize, usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0, 0);
+        for e in &self.edges {
+            match e.kind {
+                EdgeKind::So => c.0 += 1,
+                EdgeKind::Rt => c.1 += 1,
+                EdgeKind::Wr(_) => c.2 += 1,
+                EdgeKind::Ww(_) => c.3 += 1,
+                EdgeKind::Rw(_) => c.4 += 1,
+            }
+        }
+        c
+    }
+
+    /// Rebuilds the adjacency index. Needed after deserialization (the
+    /// adjacency is not serialized).
+    pub fn rebuild_index(&mut self) {
+        self.adj = vec![Vec::new(); self.node_count];
+        for (i, e) in self.edges.iter().enumerate() {
+            self.adj[e.from.index()].push(i as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TxnId {
+        TxnId(i)
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = DependencyGraph::new(3);
+        g.add_edge(t(0), t(1), EdgeKind::Wr(Key(5)));
+        g.add_edge(t(1), t(2), EdgeKind::Ww(Key(5)));
+        g.add_edge_dedup(t(1), t(2), EdgeKind::Ww(Key(5)));
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.contains_edge(t(0), t(1), EdgeKind::Wr(Key(5))));
+        assert!(!g.contains_edge(t(0), t(1), EdgeKind::Ww(Key(5))));
+        assert!(g.contains_any_edge(t(1), t(2)));
+        assert!(!g.contains_any_edge(t(2), t(1)));
+        assert_eq!(g.ww_successors(t(1), Key(5)), vec![t(2)]);
+        assert_eq!(g.ww_successors(t(1), Key(6)), Vec::<TxnId>::new());
+    }
+
+    #[test]
+    fn projection_and_acyclicity() {
+        let mut g = DependencyGraph::new(3);
+        g.add_edge(t(0), t(1), EdgeKind::So);
+        g.add_edge(t(1), t(2), EdgeKind::Wr(Key(0)));
+        g.add_edge(t(2), t(0), EdgeKind::Rw(Key(0)));
+        // Full graph is cyclic ...
+        assert!(!g.is_acyclic(|_| true));
+        // ... but the SO∪WR projection is acyclic.
+        assert!(g.is_acyclic(|k| matches!(k, EdgeKind::So | EdgeKind::Wr(_))));
+    }
+
+    #[test]
+    fn labelled_cycle_extraction_prefers_dependency_kinds() {
+        let mut g = DependencyGraph::new(2);
+        g.add_edge(t(0), t(1), EdgeKind::Rt);
+        g.add_edge(t(0), t(1), EdgeKind::Ww(Key(1)));
+        g.add_edge(t(1), t(0), EdgeKind::Rw(Key(1)));
+        let cycle = g.find_labelled_cycle(|_| true).unwrap();
+        assert_eq!(cycle.len(), 2);
+        // The WW edge is preferred over the RT edge for the 0→1 leg.
+        let leg01 = cycle.iter().find(|e| e.from == t(0)).unwrap();
+        assert_eq!(leg01.kind, EdgeKind::Ww(Key(1)));
+    }
+
+    #[test]
+    fn edge_kind_counts_are_tracked() {
+        let mut g = DependencyGraph::new(4);
+        g.add_edge(t(0), t(1), EdgeKind::So);
+        g.add_edge(t(0), t(2), EdgeKind::Rt);
+        g.add_edge(t(1), t(2), EdgeKind::Wr(Key(0)));
+        g.add_edge(t(1), t(3), EdgeKind::Ww(Key(0)));
+        g.add_edge(t(2), t(3), EdgeKind::Rw(Key(0)));
+        g.add_edge(t(3), t(0), EdgeKind::Rw(Key(1)));
+        assert_eq!(g.edge_kind_counts(), (1, 1, 1, 1, 2));
+    }
+
+    #[test]
+    fn rebuild_index_restores_adjacency() {
+        let mut g = DependencyGraph::new(2);
+        g.add_edge(t(0), t(1), EdgeKind::So);
+        let json = serde_json::to_string(&g).unwrap();
+        let mut back: DependencyGraph = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert!(back.contains_edge(t(0), t(1), EdgeKind::So));
+    }
+
+    #[test]
+    fn display_of_edges() {
+        let e = Edge {
+            from: t(1),
+            to: t(2),
+            kind: EdgeKind::Wr(Key(3)),
+        };
+        assert_eq!(format!("{e:?}"), "T1 -WR(3)-> T2");
+    }
+}

@@ -1,0 +1,416 @@
+//! Generic directed-graph utilities.
+//!
+//! The verification algorithms of `mtc-core` and the baselines in
+//! `mtc-baselines` all reduce to questions about directed graphs whose nodes
+//! are transactions: *is the graph acyclic?*, *extract one cycle as a
+//! counterexample*, *compute strongly connected components*. This module
+//! provides those primitives on a compact adjacency-list representation with
+//! `usize` node identifiers.
+//!
+//! All traversals are iterative (explicit stacks) so that histories with
+//! hundreds of thousands of transactions do not overflow the call stack.
+
+use std::collections::VecDeque;
+
+/// A directed graph over nodes `0..n` with unlabelled edges.
+///
+/// Parallel edges are tolerated (they do not affect cycle questions) but can
+/// be avoided by callers via [`DiGraph::add_edge_dedup`].
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    adj: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges (counting duplicates).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds the edge `from → to`.
+    #[inline]
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        debug_assert!(from < self.adj.len() && to < self.adj.len());
+        self.adj[from].push(to);
+        self.edge_count += 1;
+    }
+
+    /// Adds `from → to` unless an identical edge is already present.
+    ///
+    /// This is a linear scan of `from`'s adjacency list; callers with dense
+    /// out-degrees should deduplicate externally instead.
+    pub fn add_edge_dedup(&mut self, from: usize, to: usize) {
+        if !self.adj[from].contains(&to) {
+            self.add_edge(from, to);
+        }
+    }
+
+    /// Successors of `node`.
+    #[inline]
+    pub fn successors(&self, node: usize) -> &[usize] {
+        &self.adj[node]
+    }
+
+    /// Iterator over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// True iff the graph contains no directed cycle.
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// Kahn's algorithm. Returns a topological order, or `None` if the graph
+    /// has a cycle.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.node_count();
+        let mut indeg = vec![0usize; n];
+        for (_, v) in self.edges() {
+            indeg[v] += 1;
+        }
+        let mut queue: VecDeque<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &self.adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Finds one directed cycle and returns its nodes in order
+    /// (`c[0] → c[1] → … → c[k-1] → c[0]`), or `None` if the graph is acyclic.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let n = self.node_count();
+        let mut color = vec![WHITE; n];
+        let mut parent = vec![usize::MAX; n];
+
+        for start in 0..n {
+            if color[start] != WHITE {
+                continue;
+            }
+            // Iterative DFS: stack of (node, next-successor-index).
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = GRAY;
+            while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+                if *i < self.adj[u].len() {
+                    let v = self.adj[u][*i];
+                    *i += 1;
+                    match color[v] {
+                        WHITE => {
+                            color[v] = GRAY;
+                            parent[v] = u;
+                            stack.push((v, 0));
+                        }
+                        GRAY => {
+                            // Back edge u → v closes a cycle v → … → u → v.
+                            let mut cycle = vec![u];
+                            let mut cur = u;
+                            while cur != v {
+                                cur = parent[cur];
+                                cycle.push(cur);
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[u] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Tarjan's strongly-connected-components algorithm (iterative).
+    ///
+    /// Returns the list of components; every node appears in exactly one
+    /// component. Components are emitted in reverse topological order of the
+    /// condensation.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.node_count();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut result: Vec<Vec<usize>> = Vec::new();
+        let mut next_index = 0usize;
+
+        // call stack of (node, next child index)
+        let mut call: Vec<(usize, usize)> = Vec::new();
+
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            call.push((start, 0));
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+
+            while let Some(&mut (u, ref mut i)) = call.last_mut() {
+                if *i < self.adj[u].len() {
+                    let v = self.adj[u][*i];
+                    *i += 1;
+                    if index[v] == usize::MAX {
+                        index[v] = next_index;
+                        low[v] = next_index;
+                        next_index += 1;
+                        stack.push(v);
+                        on_stack[v] = true;
+                        call.push((v, 0));
+                    } else if on_stack[v] {
+                        low[u] = low[u].min(index[v]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(p, _)) = call.last() {
+                        low[p] = low[p].min(low[u]);
+                    }
+                    if low[u] == index[u] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack invariant");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == u {
+                                break;
+                            }
+                        }
+                        result.push(comp);
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// The set of nodes reachable from `start` (including `start`).
+    pub fn reachable_from(&self, start: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &self.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Shortest path (in edge count) from `from` to `to`, as the list of
+    /// nodes visited, or `None` if unreachable. Used to build readable
+    /// counterexample cycles.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        let n = self.node_count();
+        let mut parent = vec![usize::MAX; n];
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        seen[from] = true;
+        while let Some(u) = queue.pop_front() {
+            if u == to {
+                let mut path = vec![to];
+                let mut cur = to;
+                while cur != from {
+                    cur = parent[cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &v in &self.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Computes the transitive closure restricted to the given node subset,
+    /// returning, for every node in `nodes`, the subset members reachable
+    /// from it. Quadratic in `nodes.len()`; used only by the reference
+    /// (non-optimized) `BUILDDEPENDENCY` on per-key write sets, which are
+    /// small for mini-transaction histories.
+    pub fn closure_within(&self, nodes: &[usize]) -> Vec<(usize, Vec<usize>)> {
+        nodes
+            .iter()
+            .map(|&u| {
+                let seen = self.reachable_from(u);
+                let reach = nodes
+                    .iter()
+                    .copied()
+                    .filter(|&v| v != u && seen[v])
+                    .collect();
+                (u, reach)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let g = DiGraph::new(0);
+        assert!(g.is_acyclic());
+        assert_eq!(g.find_cycle(), None);
+        assert_eq!(g.topological_order(), Some(vec![]));
+    }
+
+    #[test]
+    fn dag_is_acyclic_and_topo_sorted() {
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert!(g.is_acyclic());
+        let order = g.topological_order().unwrap();
+        let pos = |x: usize| order.iter().position(|&v| v == x).unwrap();
+        assert!(pos(0) < pos(1) && pos(0) < pos(2));
+        assert!(pos(1) < pos(3) && pos(2) < pos(3));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = graph(2, &[(1, 1)]);
+        assert!(!g.is_acyclic());
+        assert_eq!(g.find_cycle(), Some(vec![1]));
+    }
+
+    #[test]
+    fn two_node_cycle_found() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 1)]);
+        assert!(!g.is_acyclic());
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&1) && cycle.contains(&2));
+    }
+
+    #[test]
+    fn cycle_nodes_form_a_closed_walk() {
+        let g = graph(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 1), (0, 5)]);
+        let cycle = g.find_cycle().unwrap();
+        // verify each consecutive pair is an edge, and last → first
+        for i in 0..cycle.len() {
+            let u = cycle[i];
+            let v = cycle[(i + 1) % cycle.len()];
+            assert!(g.successors(u).contains(&v), "missing edge {u}->{v}");
+        }
+    }
+
+    #[test]
+    fn sccs_partition_the_nodes() {
+        let g = graph(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (5, 6)]);
+        let mut sccs = g.sccs();
+        for c in &mut sccs {
+            c.sort_unstable();
+        }
+        sccs.sort();
+        assert!(sccs.contains(&vec![0, 1, 2]));
+        assert!(sccs.contains(&vec![3, 4]));
+        assert!(sccs.contains(&vec![5]));
+        assert!(sccs.contains(&vec![6]));
+        let total: usize = sccs.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn reachability_and_shortest_path() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let r = g.reachable_from(0);
+        assert_eq!(r, vec![true, true, true, true, false]);
+        assert_eq!(g.shortest_path(0, 3), Some(vec![0, 3]));
+        assert_eq!(g.shortest_path(1, 3), Some(vec![1, 2, 3]));
+        assert_eq!(g.shortest_path(3, 0), None);
+    }
+
+    #[test]
+    fn dedup_edges() {
+        let mut g = DiGraph::new(2);
+        g.add_edge_dedup(0, 1);
+        g.add_edge_dedup(0, 1);
+        assert_eq!(g.edge_count(), 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn closure_within_subset() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let closure = g.closure_within(&[0, 2, 4]);
+        let get = |u: usize| {
+            closure
+                .iter()
+                .find(|(n, _)| *n == u)
+                .map(|(_, r)| r.clone())
+                .unwrap()
+        };
+        assert_eq!(get(0), vec![2, 4]);
+        assert_eq!(get(2), vec![4]);
+        assert_eq!(get(4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn large_path_graph_does_not_overflow_stack() {
+        // 200k-node path exercises the iterative DFS/Tarjan implementations.
+        let n = 200_000;
+        let mut g = DiGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        assert!(g.is_acyclic());
+        assert_eq!(g.sccs().len(), n);
+        g.add_edge(n - 1, 0);
+        assert!(!g.is_acyclic());
+        assert_eq!(g.find_cycle().unwrap().len(), n);
+    }
+}

@@ -1,0 +1,422 @@
+//! The `INT` axiom and the "read-your-writes"-style anomalies of
+//! Figures 5a–5g of the paper.
+//!
+//! Before running any of the graph-based verifiers, MTC first checks the
+//! history for *intra-transactional* anomalies and for reads of values that
+//! were never (or not validly) installed — `THINAIRREAD`, `ABORTEDREAD`,
+//! `FUTUREREAD`, `NOTMYLASTWRITE`, `NOTMYOWNWRITE`, `INTERMEDIATEREAD` and
+//! `NONREPEATABLEREADS` (footnote 1, Section IV-B). Histories exhibiting any
+//! of them trivially violate every strong isolation level.
+
+use crate::history::History;
+use crate::op::Op;
+use crate::txn::{Transaction, TxnId, TxnStatus};
+use crate::value::{Key, Value, INIT_VALUE};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The anomalies detectable without building a dependency graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum IntraAnomaly {
+    /// A read returned a value no transaction ever wrote (Fig. 5a).
+    ThinAirRead,
+    /// A read returned a value written only by aborted transactions (Fig. 5b).
+    AbortedRead,
+    /// A read returned a value the same transaction writes only later (Fig. 5c).
+    FutureRead,
+    /// A read returned one of the transaction's own earlier writes, but not
+    /// the latest one (Fig. 5d).
+    NotMyLastWrite,
+    /// A read following the transaction's own write returned a foreign value
+    /// (Fig. 5e).
+    NotMyOwnWrite,
+    /// A read returned a value that its writer later overwrote inside the
+    /// same writing transaction (Fig. 5f).
+    IntermediateRead,
+    /// Two reads of the same object within one transaction, with no
+    /// intervening own write, returned different values (Fig. 5g).
+    NonRepeatableReads,
+}
+
+impl fmt::Display for IntraAnomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            IntraAnomaly::ThinAirRead => "ThinAirRead",
+            IntraAnomaly::AbortedRead => "AbortedRead",
+            IntraAnomaly::FutureRead => "FutureRead",
+            IntraAnomaly::NotMyLastWrite => "NotMyLastWrite",
+            IntraAnomaly::NotMyOwnWrite => "NotMyOwnWrite",
+            IntraAnomaly::IntermediateRead => "IntermediateRead",
+            IntraAnomaly::NonRepeatableReads => "NonRepeatableReads",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A detected occurrence of an [`IntraAnomaly`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct IntraViolation {
+    /// Which anomaly was detected.
+    pub anomaly: IntraAnomaly,
+    /// The transaction containing the offending read.
+    pub txn: TxnId,
+    /// Index of the offending read in the transaction's program order.
+    pub op_index: usize,
+    /// Object read.
+    pub key: Key,
+    /// Value returned.
+    pub value: Value,
+}
+
+impl fmt::Display for IntraViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {}[{}]: R({},{})",
+            self.anomaly, self.txn, self.op_index, self.key, self.value
+        )
+    }
+}
+
+/// Checks the `INT` axiom for a single transaction: every read of an object
+/// must return the value of the latest preceding operation (read or write) on
+/// that object within the transaction, if one exists.
+pub fn check_int(txn: &Transaction) -> bool {
+    let mut last_access: HashMap<Key, Value> = HashMap::new();
+    for op in &txn.ops {
+        match *op {
+            Op::Read { key, value } => {
+                if let Some(&prev) = last_access.get(&key) {
+                    if prev != value {
+                        return false;
+                    }
+                }
+                last_access.insert(key, value);
+            }
+            Op::Write { key, value } => {
+                last_access.insert(key, value);
+            }
+        }
+    }
+    true
+}
+
+/// Checks the `INT` axiom for every committed transaction of a history.
+pub fn check_int_history(history: &History) -> bool {
+    history.committed().all(check_int)
+}
+
+/// Scans a history for all intra-transactional and read-provenance anomalies.
+///
+/// Returns every detected violation; an empty result means the history passes
+/// the `INT` axiom and contains neither thin-air, aborted, intermediate nor
+/// future reads. Only *committed* transactions are scanned for offending
+/// reads (aborted transactions never make it into dependency graphs), but
+/// aborted transactions do count as potential writers for [`IntraAnomaly::AbortedRead`].
+pub fn find_intra_anomalies(history: &History) -> Vec<IntraViolation> {
+    let any_writes = history.any_write_index();
+    let mut violations = Vec::new();
+
+    for txn in history.committed() {
+        scan_transaction(history, txn, &any_writes, &mut violations);
+    }
+    violations
+}
+
+fn scan_transaction(
+    history: &History,
+    txn: &Transaction,
+    any_writes: &HashMap<(Key, Value), Vec<TxnId>>,
+    out: &mut Vec<IntraViolation>,
+) {
+    // Last access (read or write) per key, with the op index and whether it
+    // was a write, plus the set of values this transaction has written so far.
+    struct Access {
+        value: Value,
+        was_write: bool,
+    }
+    let mut last_access: HashMap<Key, Access> = HashMap::new();
+    let mut own_writes: HashMap<Key, Vec<Value>> = HashMap::new();
+
+    for (i, op) in txn.ops.iter().enumerate() {
+        match *op {
+            Op::Write { key, value } => {
+                own_writes.entry(key).or_default().push(value);
+                last_access.insert(
+                    key,
+                    Access {
+                        value,
+                        was_write: true,
+                    },
+                );
+            }
+            Op::Read { key, value } => {
+                let report = |anomaly| IntraViolation {
+                    anomaly,
+                    txn: txn.id,
+                    op_index: i,
+                    key,
+                    value,
+                };
+                match last_access.get(&key) {
+                    Some(prev) if prev.value == value => {
+                        // Internally consistent read.
+                    }
+                    Some(prev) => {
+                        // INT violation: classify it.
+                        let anomaly = if prev.was_write {
+                            let earlier = own_writes.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+                            if earlier.contains(&value) {
+                                IntraAnomaly::NotMyLastWrite
+                            } else {
+                                IntraAnomaly::NotMyOwnWrite
+                            }
+                        } else {
+                            IntraAnomaly::NonRepeatableReads
+                        };
+                        out.push(report(anomaly));
+                    }
+                    None => {
+                        // External read: check where the value came from.
+                        if let Some(v) =
+                            classify_external_read(history, txn, i, key, value, any_writes)
+                        {
+                            out.push(report(v));
+                        }
+                    }
+                }
+                last_access.insert(
+                    key,
+                    Access {
+                        value,
+                        was_write: false,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Classifies an *external* read (no preceding own access of the object).
+fn classify_external_read(
+    history: &History,
+    reader: &Transaction,
+    read_index: usize,
+    key: Key,
+    value: Value,
+    any_writes: &HashMap<(Key, Value), Vec<TxnId>>,
+) -> Option<IntraAnomaly> {
+    let writers = any_writes.get(&(key, value));
+    match writers {
+        None => {
+            // Nobody ever wrote this value. Reading the conventional initial
+            // value is acceptable only when the history has no ⊥T (otherwise
+            // ⊥T would appear as a writer).
+            if value == INIT_VALUE && !history.has_init() {
+                None
+            } else {
+                Some(IntraAnomaly::ThinAirRead)
+            }
+        }
+        Some(writers) => {
+            // A future read: the only writes of this value live later in the
+            // reading transaction itself.
+            if writers.len() == 1 && writers[0] == reader.id {
+                let own_later = reader.ops[read_index + 1..].iter().any(
+                    |op| matches!(*op, Op::Write { key: k, value: v } if k == key && v == value),
+                );
+                if own_later {
+                    return Some(IntraAnomaly::FutureRead);
+                }
+                return Some(IntraAnomaly::ThinAirRead);
+            }
+            let external: Vec<TxnId> = writers
+                .iter()
+                .copied()
+                .filter(|&w| w != reader.id)
+                .collect();
+            if external.is_empty() {
+                return Some(IntraAnomaly::ThinAirRead);
+            }
+            // Aborted read: every external writer of the value aborted (or is
+            // of unknown status).
+            if external
+                .iter()
+                .all(|&w| history.txn(w).status != TxnStatus::Committed)
+            {
+                return Some(IntraAnomaly::AbortedRead);
+            }
+            // Intermediate read: the committed writer overwrote the value
+            // before committing.
+            let committed_writers: Vec<TxnId> = external
+                .iter()
+                .copied()
+                .filter(|&w| history.txn(w).status == TxnStatus::Committed)
+                .collect();
+            if committed_writers
+                .iter()
+                .all(|&w| history.txn(w).last_write(key) != Some(value))
+            {
+                return Some(IntraAnomaly::IntermediateRead);
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+
+    fn anomalies_of(h: &History) -> Vec<IntraAnomaly> {
+        find_intra_anomalies(h).into_iter().map(|v| v.anomaly).collect()
+    }
+
+    #[test]
+    fn clean_history_has_no_violations() {
+        let mut b = HistoryBuilder::new().with_init(2);
+        b.committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 10u64)]);
+        b.committed(1, vec![Op::read(0u64, 10u64), Op::write(1u64, 20u64)]);
+        let h = b.build();
+        assert!(check_int_history(&h));
+        assert!(find_intra_anomalies(&h).is_empty());
+    }
+
+    #[test]
+    fn thin_air_read_detected() {
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.committed(0, vec![Op::read(0u64, 777u64)]);
+        let h = b.build();
+        assert_eq!(anomalies_of(&h), vec![IntraAnomaly::ThinAirRead]);
+    }
+
+    #[test]
+    fn reading_init_value_without_init_txn_is_allowed() {
+        let mut b = HistoryBuilder::new();
+        b.committed(0, vec![Op::read(0u64, 0u64)]);
+        let h = b.build();
+        assert!(find_intra_anomalies(&h).is_empty());
+    }
+
+    #[test]
+    fn aborted_read_detected() {
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.aborted(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 5u64)]);
+        b.committed(1, vec![Op::read(0u64, 5u64)]);
+        let h = b.build();
+        assert_eq!(anomalies_of(&h), vec![IntraAnomaly::AbortedRead]);
+    }
+
+    #[test]
+    fn future_read_detected() {
+        // Fig 5c: T reads the value it only writes later.
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.committed(0, vec![Op::read(0u64, 9u64), Op::write(0u64, 9u64)]);
+        let h = b.build();
+        assert_eq!(anomalies_of(&h), vec![IntraAnomaly::FutureRead]);
+    }
+
+    #[test]
+    fn not_my_last_write_detected() {
+        // Fig 5d: R(x,0) W(x,1) W(x,2) R(x,1)
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.committed(
+            0,
+            vec![
+                Op::read(0u64, 0u64),
+                Op::write(0u64, 1u64),
+                Op::write(0u64, 2u64),
+                Op::read(0u64, 1u64),
+            ],
+        );
+        let h = b.build();
+        assert_eq!(anomalies_of(&h), vec![IntraAnomaly::NotMyLastWrite]);
+        assert!(!check_int_history(&h));
+    }
+
+    #[test]
+    fn not_my_own_write_detected() {
+        // Fig 5e: T writes 2 then reads 1 written by T'.
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.committed(
+            0,
+            vec![
+                Op::read(0u64, 0u64),
+                Op::write(0u64, 2u64),
+                Op::read(0u64, 1u64),
+            ],
+        );
+        b.committed(1, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)]);
+        let h = b.build();
+        assert_eq!(anomalies_of(&h), vec![IntraAnomaly::NotMyOwnWrite]);
+    }
+
+    #[test]
+    fn intermediate_read_detected() {
+        // Fig 5f: T' writes 1 then 2; T reads 1.
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.committed(0, vec![Op::read(0u64, 1u64)]);
+        b.committed(
+            1,
+            vec![
+                Op::read(0u64, 0u64),
+                Op::write(0u64, 1u64),
+                Op::write(0u64, 2u64),
+            ],
+        );
+        let h = b.build();
+        assert_eq!(anomalies_of(&h), vec![IntraAnomaly::IntermediateRead]);
+    }
+
+    #[test]
+    fn non_repeatable_reads_detected() {
+        // Fig 5g: T reads 1 then 2 from x.
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)]);
+        b.committed(1, vec![Op::read(0u64, 0u64), Op::write(0u64, 2u64)]);
+        b.committed(2, vec![Op::read(0u64, 1u64), Op::read(0u64, 2u64)]);
+        let h = b.build();
+        assert_eq!(anomalies_of(&h), vec![IntraAnomaly::NonRepeatableReads]);
+    }
+
+    #[test]
+    fn read_your_own_write_is_fine() {
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.committed(
+            0,
+            vec![
+                Op::read(0u64, 0u64),
+                Op::write(0u64, 3u64),
+                Op::read(0u64, 3u64),
+            ],
+        );
+        let h = b.build();
+        assert!(find_intra_anomalies(&h).is_empty());
+        assert!(check_int_history(&h));
+    }
+
+    #[test]
+    fn violation_reports_location() {
+        let mut b = HistoryBuilder::new().with_init(1);
+        let t = b.committed(0, vec![Op::read(0u64, 42u64)]);
+        let h = b.build();
+        let v = &find_intra_anomalies(&h)[0];
+        assert_eq!(v.txn, t);
+        assert_eq!(v.op_index, 0);
+        assert_eq!(v.key, Key(0));
+        assert_eq!(v.value, Value(42));
+        let msg = v.to_string();
+        assert!(msg.contains("ThinAirRead"));
+        assert!(msg.contains("T1"));
+    }
+
+    #[test]
+    fn aborted_transactions_reads_are_not_scanned() {
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.aborted(0, vec![Op::read(0u64, 999u64)]);
+        let h = b.build();
+        assert!(find_intra_anomalies(&h).is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! # mtc-history
+//!
+//! History model substrate for the MTC isolation-checking tool-chain.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: keys and values, read/write operations, transactions with a
+//! program order, sessions, *histories* (the client-visible record of an
+//! execution, Definition 2 of the paper), and *dependency graphs*
+//! (Definition 3) together with generic digraph utilities (cycle detection,
+//! strongly connected components, topological order).
+//!
+//! It also ships the complete catalogue of the 14 isolation anomalies of
+//! Figure 5 / Table I of the paper (module [`anomalies`]), expressed as
+//! mini-transaction histories, and the *intra-transactional* consistency
+//! checks (the `INT` axiom and the anomalies of Figures 5c–5g) in module
+//! [`intra`].
+//!
+//! The types here are deliberately database-agnostic: a history can come from
+//! the in-process simulator of `mtc-dbsim`, from a synthetic generator, or be
+//! deserialized from a JSON-lines file produced by an external client
+//! (module [`serde_io`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anomalies;
+pub mod depgraph;
+pub mod graph;
+pub mod history;
+pub mod intra;
+pub mod op;
+pub mod serde_io;
+pub mod session;
+pub mod txn;
+pub mod value;
+
+pub use anomalies::{AnomalyKind, ExpectedVerdicts};
+pub use depgraph::{DependencyGraph, Edge, EdgeKind};
+pub use graph::DiGraph;
+pub use history::{History, HistoryBuilder};
+pub use intra::{check_int, check_int_history, find_intra_anomalies, IntraAnomaly, IntraViolation};
+pub use op::{LwtKind, Op, TimedOp};
+pub use session::SessionId;
+pub use txn::{Transaction, TxnId, TxnStatus};
+pub use value::{Key, Value, ValueAllocator, INIT_VALUE};

@@ -1,0 +1,282 @@
+//! Read and write operations.
+//!
+//! An operation invocation is either `R(x, v)` — a read of object `x`
+//! returning value `v` — or `W(x, v)` — a write of value `v` to object `x`
+//! (Section II-B of the paper). For lightweight-transaction histories
+//! (Section II-F) the start and finish wall-clock instants of an operation
+//! matter, which [`TimedOp`] captures.
+
+use crate::value::{Key, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single read or write operation inside a transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// `R(key, value)` — read `value` from `key`.
+    Read {
+        /// Object read.
+        key: Key,
+        /// Value returned by the database.
+        value: Value,
+    },
+    /// `W(key, value)` — write `value` to `key`.
+    Write {
+        /// Object written.
+        key: Key,
+        /// Value installed.
+        value: Value,
+    },
+}
+
+impl Op {
+    /// Convenience constructor for a read.
+    #[inline]
+    pub fn read(key: impl Into<Key>, value: impl Into<Value>) -> Self {
+        Op::Read {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Convenience constructor for a write.
+    #[inline]
+    pub fn write(key: impl Into<Key>, value: impl Into<Value>) -> Self {
+        Op::Write {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+
+    /// The object this operation touches.
+    #[inline]
+    pub fn key(&self) -> Key {
+        match *self {
+            Op::Read { key, .. } | Op::Write { key, .. } => key,
+        }
+    }
+
+    /// The value read or written.
+    #[inline]
+    pub fn value(&self) -> Value {
+        match *self {
+            Op::Read { value, .. } | Op::Write { value, .. } => value,
+        }
+    }
+
+    /// True iff this is a read.
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Read { .. })
+    }
+
+    /// True iff this is a write.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Write { .. })
+    }
+}
+
+impl fmt::Debug for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read { key, value } => write!(f, "R({key},{value})"),
+            Op::Write { key, value } => write!(f, "W({key},{value})"),
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Monotonic wall-clock instant, in nanoseconds since an arbitrary origin.
+///
+/// Only the relative order of instants matters for real-time precedence.
+pub type Instant = u64;
+
+/// A lightweight-transaction operation with its start and finish instants.
+///
+/// Used by the `VL-LWT` linearizability checker and the Porcupine-style
+/// baseline, where each "transaction" is a single `read&write`
+/// (Compare-And-Set), `read`, or `insert-if-not-exists` invocation on one
+/// object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimedOp {
+    /// Start instant (invocation).
+    pub start: Instant,
+    /// Finish instant (response). Must satisfy `finish >= start`.
+    pub finish: Instant,
+    /// The object touched.
+    pub key: Key,
+    /// What the operation did.
+    pub kind: LwtKind,
+}
+
+/// The three lightweight-transaction shapes of Section II-F.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LwtKind {
+    /// `R&W(x, expected, new)` — read `expected` from `x` and write `new`.
+    ReadWrite {
+        /// Value observed by the read part.
+        expected: Value,
+        /// Value installed by the write part.
+        new: Value,
+    },
+    /// A plain read returning `value` (also the result of a failed CAS).
+    Read {
+        /// Value observed.
+        value: Value,
+    },
+    /// A successful insert-if-not-exists installing `value`.
+    Insert {
+        /// Value installed.
+        value: Value,
+    },
+}
+
+impl TimedOp {
+    /// A successful compare-and-set.
+    pub fn read_write(
+        start: Instant,
+        finish: Instant,
+        key: impl Into<Key>,
+        expected: impl Into<Value>,
+        new: impl Into<Value>,
+    ) -> Self {
+        TimedOp {
+            start,
+            finish,
+            key: key.into(),
+            kind: LwtKind::ReadWrite {
+                expected: expected.into(),
+                new: new.into(),
+            },
+        }
+    }
+
+    /// A plain read.
+    pub fn read(
+        start: Instant,
+        finish: Instant,
+        key: impl Into<Key>,
+        value: impl Into<Value>,
+    ) -> Self {
+        TimedOp {
+            start,
+            finish,
+            key: key.into(),
+            kind: LwtKind::Read {
+                value: value.into(),
+            },
+        }
+    }
+
+    /// A successful insert-if-not-exists.
+    pub fn insert(
+        start: Instant,
+        finish: Instant,
+        key: impl Into<Key>,
+        value: impl Into<Value>,
+    ) -> Self {
+        TimedOp {
+            start,
+            finish,
+            key: key.into(),
+            kind: LwtKind::Insert {
+                value: value.into(),
+            },
+        }
+    }
+
+    /// The value this operation installs, if it writes.
+    pub fn written_value(&self) -> Option<Value> {
+        match self.kind {
+            LwtKind::ReadWrite { new, .. } => Some(new),
+            LwtKind::Insert { value } => Some(value),
+            LwtKind::Read { .. } => None,
+        }
+    }
+
+    /// The value this operation observes, if it reads.
+    pub fn read_value(&self) -> Option<Value> {
+        match self.kind {
+            LwtKind::ReadWrite { expected, .. } => Some(expected),
+            LwtKind::Read { value } => Some(value),
+            LwtKind::Insert { .. } => None,
+        }
+    }
+
+    /// True iff `self` finishes before `other` starts (real-time precedence).
+    #[inline]
+    pub fn precedes(&self, other: &TimedOp) -> bool {
+        self.finish < other.start
+    }
+}
+
+impl fmt::Debug for TimedOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            LwtKind::ReadWrite { expected, new } => write!(
+                f,
+                "R&W({},{},{},{},{})",
+                self.start, self.finish, self.key, expected, new
+            ),
+            LwtKind::Read { value } => {
+                write!(f, "R({},{},{},{})", self.start, self.finish, self.key, value)
+            }
+            LwtKind::Insert { value } => {
+                write!(f, "I({},{},{},{})", self.start, self.finish, self.key, value)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_accessors() {
+        let r = Op::read(1u64, 2u64);
+        let w = Op::write(3u64, 4u64);
+        assert!(r.is_read() && !r.is_write());
+        assert!(w.is_write() && !w.is_read());
+        assert_eq!(r.key(), Key(1));
+        assert_eq!(r.value(), Value(2));
+        assert_eq!(w.key(), Key(3));
+        assert_eq!(w.value(), Value(4));
+    }
+
+    #[test]
+    fn op_debug_format_matches_paper_notation() {
+        assert_eq!(format!("{:?}", Op::read(2u64, 4738u64)), "R(2,4738)");
+        assert_eq!(format!("{:?}", Op::write(2u64, 4743u64)), "W(2,4743)");
+    }
+
+    #[test]
+    fn timed_op_precedence_is_strict() {
+        let a = TimedOp::read_write(1, 4, 0u64, 0u64, 1u64);
+        let b = TimedOp::read_write(5, 8, 0u64, 1u64, 2u64);
+        let c = TimedOp::read_write(4, 9, 0u64, 2u64, 3u64);
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+        // Overlapping (c starts exactly when a finishes) is not precedence.
+        assert!(!a.precedes(&c));
+    }
+
+    #[test]
+    fn timed_op_read_and_written_values() {
+        let rw = TimedOp::read_write(0, 1, 9u64, 10u64, 11u64);
+        assert_eq!(rw.read_value(), Some(Value(10)));
+        assert_eq!(rw.written_value(), Some(Value(11)));
+        let r = TimedOp::read(0, 1, 9u64, 10u64);
+        assert_eq!(r.read_value(), Some(Value(10)));
+        assert_eq!(r.written_value(), None);
+        let i = TimedOp::insert(0, 1, 9u64, 10u64);
+        assert_eq!(i.read_value(), None);
+        assert_eq!(i.written_value(), Some(Value(10)));
+    }
+}

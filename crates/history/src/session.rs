@@ -1,0 +1,58 @@
+//! Sessions and the session order.
+//!
+//! Transactions issued by one client are grouped into a *session*: a sequence
+//! of transactions. The session order `SO` relates every transaction to all
+//! later transactions of the same session, plus the initial transaction `⊥T`
+//! to every other transaction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a session (client).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct SessionId(pub u32);
+
+impl SessionId {
+    /// Session reserved for the initial transaction `⊥T`.
+    pub const INIT: SessionId = SessionId(u32::MAX);
+
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == SessionId::INIT {
+            write!(f, "s⊥")
+        } else {
+            write!(f, "s{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u32> for SessionId {
+    fn from(s: u32) -> Self {
+        SessionId(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_session_is_distinct() {
+        assert_ne!(SessionId::INIT, SessionId(0));
+        assert_eq!(format!("{:?}", SessionId::INIT), "s⊥");
+        assert_eq!(format!("{:?}", SessionId(3)), "s3");
+    }
+}

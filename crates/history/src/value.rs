@@ -1,0 +1,187 @@
+//! Keys, values and the unique-value convention.
+//!
+//! Black-box isolation checkers assume that every write installs a *unique*
+//! value for its object (Section II-A of the paper). In practice the value is
+//! a combination of a client identifier and a per-client counter. We model
+//! both keys and values as 64-bit integers; [`ValueAllocator`] packs a session
+//! identifier into the high bits and a counter into the low bits so that two
+//! distinct writes can never collide, regardless of which session issued them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an object (a key in the key-value data model).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Key(pub u64);
+
+/// A value read from or written to an object.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Value(pub u64);
+
+/// The value installed for every object by the initial transaction `⊥T`.
+pub const INIT_VALUE: Value = Value(0);
+
+impl Key {
+    /// Returns the raw key number.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl Value {
+    /// Returns the raw value number.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// True iff this is the initial value written by `⊥T`.
+    #[inline]
+    pub fn is_init(self) -> bool {
+        self == INIT_VALUE
+    }
+}
+
+impl From<u64> for Key {
+    fn from(k: u64) -> Self {
+        Key(k)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value(v)
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Allocates values that are globally unique across sessions.
+///
+/// The layout is `(session_id + 1) << 40 | counter`, which supports up to
+/// 2^24 sessions and 2^40 writes per session — far beyond any workload in
+/// this repository. Adding one to the session identifier keeps the whole
+/// range disjoint from [`INIT_VALUE`].
+#[derive(Debug, Clone)]
+pub struct ValueAllocator {
+    session: u64,
+    counter: u64,
+}
+
+impl ValueAllocator {
+    /// Number of low bits reserved for the per-session counter.
+    pub const COUNTER_BITS: u32 = 40;
+
+    /// Creates an allocator for the given session.
+    pub fn new(session: u32) -> Self {
+        ValueAllocator {
+            session: session as u64,
+            counter: 0,
+        }
+    }
+
+    /// Returns the next unique value for this session.
+    pub fn next(&mut self) -> Value {
+        self.counter += 1;
+        Value(((self.session + 1) << Self::COUNTER_BITS) | self.counter)
+    }
+
+    /// Decodes the session that allocated `v`, if it came from a
+    /// `ValueAllocator` (the initial value and arbitrary foreign values
+    /// return `None`).
+    pub fn session_of(v: Value) -> Option<u32> {
+        let sess = v.0 >> Self::COUNTER_BITS;
+        if sess == 0 {
+            None
+        } else {
+            Some((sess - 1) as u32)
+        }
+    }
+
+    /// Decodes the per-session counter of `v`.
+    pub fn counter_of(v: Value) -> u64 {
+        v.0 & ((1u64 << Self::COUNTER_BITS) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn init_value_is_zero() {
+        assert_eq!(INIT_VALUE, Value(0));
+        assert!(INIT_VALUE.is_init());
+        assert!(!Value(7).is_init());
+    }
+
+    #[test]
+    fn allocator_values_are_unique_within_a_session() {
+        let mut a = ValueAllocator::new(3);
+        let vs: Vec<Value> = (0..1000).map(|_| a.next()).collect();
+        let set: HashSet<Value> = vs.iter().copied().collect();
+        assert_eq!(set.len(), vs.len());
+    }
+
+    #[test]
+    fn allocator_values_are_unique_across_sessions() {
+        let mut a = ValueAllocator::new(0);
+        let mut b = ValueAllocator::new(1);
+        let mut all = HashSet::new();
+        for _ in 0..1000 {
+            assert!(all.insert(a.next()));
+            assert!(all.insert(b.next()));
+        }
+    }
+
+    #[test]
+    fn allocator_never_produces_the_initial_value() {
+        let mut a = ValueAllocator::new(0);
+        for _ in 0..100 {
+            assert_ne!(a.next(), INIT_VALUE);
+        }
+    }
+
+    #[test]
+    fn allocator_round_trips_session_and_counter() {
+        let mut a = ValueAllocator::new(42);
+        let v1 = a.next();
+        let v2 = a.next();
+        assert_eq!(ValueAllocator::session_of(v1), Some(42));
+        assert_eq!(ValueAllocator::counter_of(v1), 1);
+        assert_eq!(ValueAllocator::counter_of(v2), 2);
+        assert_eq!(ValueAllocator::session_of(INIT_VALUE), None);
+    }
+
+    #[test]
+    fn key_and_value_display() {
+        assert_eq!(format!("{:?}", Key(5)), "k5");
+        assert_eq!(format!("{:?}", Value(9)), "v9");
+        assert_eq!(format!("{}", Key(5)), "5");
+        assert_eq!(format!("{}", Value(9)), "9");
+    }
+}

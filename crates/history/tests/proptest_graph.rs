@@ -1,0 +1,147 @@
+//! Property-based tests of the graph utilities and of the history builder —
+//! the data structures every checker in the workspace relies on.
+
+use mtc_history::{DiGraph, HistoryBuilder, Op, TxnStatus};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_edges(nodes: usize, max_edges: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..nodes, 0..nodes), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A topological order exists iff no cycle is found, and when it exists it
+    /// is consistent with every edge.
+    #[test]
+    fn topological_order_and_cycle_detection_agree(edges in arb_edges(24, 80)) {
+        let mut g = DiGraph::new(24);
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        match (g.topological_order(), g.find_cycle()) {
+            (Some(order), None) => {
+                let pos: Vec<usize> = {
+                    let mut p = vec![0; 24];
+                    for (i, &v) in order.iter().enumerate() {
+                        p[v] = i;
+                    }
+                    p
+                };
+                for &(a, b) in &edges {
+                    prop_assert!(pos[a] < pos[b], "edge {a}->{b} violates the order");
+                }
+            }
+            (None, Some(cycle)) => {
+                // The reported cycle must be a closed walk over real edges.
+                prop_assert!(!cycle.is_empty());
+                for i in 0..cycle.len() {
+                    let u = cycle[i];
+                    let v = cycle[(i + 1) % cycle.len()];
+                    prop_assert!(g.successors(u).contains(&v), "missing edge {u}->{v}");
+                }
+            }
+            (topo, cycle) => {
+                prop_assert!(false, "inconsistent answers: topo={topo:?} cycle={cycle:?}");
+            }
+        }
+    }
+
+    /// Strongly connected components partition the node set, and two nodes on
+    /// a common cycle end up in the same component.
+    #[test]
+    fn sccs_partition_nodes(edges in arb_edges(16, 48)) {
+        let mut g = DiGraph::new(16);
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        let sccs = g.sccs();
+        let mut seen = HashSet::new();
+        for comp in &sccs {
+            for &v in comp {
+                prop_assert!(seen.insert(v), "node {v} appears in two components");
+            }
+        }
+        prop_assert_eq!(seen.len(), 16);
+        // Mutual reachability implies same component.
+        for a in 0..16usize {
+            let ra = g.reachable_from(a);
+            for b in 0..16usize {
+                if a != b && ra[b] && g.reachable_from(b)[a] {
+                    let ca = sccs.iter().position(|c| c.contains(&a));
+                    let cb = sccs.iter().position(|c| c.contains(&b));
+                    prop_assert_eq!(ca, cb, "{} and {} are mutually reachable", a, b);
+                }
+            }
+        }
+    }
+
+    /// Reachability is consistent with shortest paths.
+    #[test]
+    fn shortest_paths_exist_iff_reachable(edges in arb_edges(12, 36), from in 0usize..12, to in 0usize..12) {
+        let mut g = DiGraph::new(12);
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        let reachable = g.reachable_from(from)[to];
+        let path = g.shortest_path(from, to);
+        prop_assert_eq!(reachable, path.is_some());
+        if let Some(p) = path {
+            prop_assert_eq!(*p.first().unwrap(), from);
+            prop_assert_eq!(*p.last().unwrap(), to);
+            for w in p.windows(2) {
+                prop_assert!(w[0] == w[1] || g.successors(w[0]).contains(&w[1]));
+            }
+        }
+    }
+
+    /// The history builder preserves session structure, ids and op counts.
+    #[test]
+    fn history_builder_preserves_structure(
+        txns in prop::collection::vec((0u32..4, 1usize..5, any::<bool>()), 1..30),
+        keys in 1u64..6,
+    ) {
+        let mut builder = HistoryBuilder::new().with_init(keys);
+        let mut expected_per_session = vec![0usize; 4];
+        let mut value = 1u64;
+        for &(session, ops, committed) in &txns {
+            let ops: Vec<Op> = (0..ops)
+                .map(|i| {
+                    let key = (i as u64) % keys;
+                    if i % 2 == 0 {
+                        Op::read(key, 0u64)
+                    } else {
+                        value += 1;
+                        Op::write(key, value)
+                    }
+                })
+                .collect();
+            if committed {
+                builder.committed(session, ops);
+            } else {
+                builder.aborted(session, ops);
+            }
+            expected_per_session[session as usize] += 1;
+        }
+        let history = builder.build();
+        prop_assert_eq!(history.len(), txns.len() + 1); // + ⊥T
+        prop_assert_eq!(
+            history.aborted_count(),
+            txns.iter().filter(|t| !t.2).count()
+        );
+        for (s, &count) in expected_per_session.iter().enumerate() {
+            if s < history.session_count() {
+                prop_assert_eq!(history.session(mtc_history::SessionId(s as u32)).len(), count);
+            } else {
+                prop_assert_eq!(count, 0);
+            }
+        }
+        // Every non-init transaction is reachable via its id and keeps its status.
+        for t in history.txns() {
+            if Some(t.id) != history.init_txn() {
+                prop_assert!(matches!(t.status, TxnStatus::Committed | TxnStatus::Aborted));
+            }
+        }
+    }
+}

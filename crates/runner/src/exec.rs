@@ -1,0 +1,494 @@
+//! Executing workloads and verifying the collected histories.
+//!
+//! This module glues the pipeline together: `mtc-workload` templates are
+//! executed against an `mtc-dbsim` instance, the resulting history is checked
+//! by MTC or by one of the baselines, and both stages are timed. Memory is
+//! reported as a structural estimate (bytes of history + bytes of the
+//! checker's graph/constraint encoding), which is the quantity the paper's
+//! memory plots track qualitatively.
+
+use mtc_baselines::cobra::{cobra_check_ser, BaselineOutcome};
+use mtc_baselines::elle::{ListHistory, ListOp, ListTxn};
+use mtc_baselines::polysi::polysi_check_si;
+use mtc_core::{build_dependency, check_ser, check_si, check_sser, check_sser_naive};
+use mtc_dbsim::{execute_workload, ClientOptions, Database, DbConfig, ExecutionReport};
+use mtc_history::{History, HistoryBuilder, Op, SessionId, TxnStatus, ValueAllocator};
+use mtc_workload::{ElleOpTemplate, ElleWorkload, Workload};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// The checkers the harness can run on a register history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Checker {
+    /// MTC's linear-time serializability verifier.
+    MtcSer,
+    /// MTC's linear-time snapshot-isolation verifier.
+    MtcSi,
+    /// MTC's strict-serializability verifier (time-chain encoding).
+    MtcSser,
+    /// MTC's strict-serializability verifier with materialized RT edges.
+    MtcSserNaive,
+    /// Cobra-style serializability baseline (polygraph + constraint search).
+    CobraSer,
+    /// PolySI-style snapshot-isolation baseline.
+    PolySiSi,
+    /// Elle-style read-write-register serializability check.
+    ElleRwSer,
+    /// Elle-style read-write-register snapshot-isolation check.
+    ElleRwSi,
+}
+
+impl Checker {
+    /// Short label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Checker::MtcSer => "MTC-SER",
+            Checker::MtcSi => "MTC-SI",
+            Checker::MtcSser => "MTC-SSER",
+            Checker::MtcSserNaive => "MTC-SSER-naive",
+            Checker::CobraSer => "Cobra",
+            Checker::PolySiSi => "PolySI",
+            Checker::ElleRwSer => "Elle-wr(SER)",
+            Checker::ElleRwSi => "Elle-wr(SI)",
+        }
+    }
+}
+
+/// Result of running one checker on one history.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VerifyOutcome {
+    /// Which checker ran.
+    pub checker: Checker,
+    /// True iff a violation of the target isolation level was reported.
+    pub violated: bool,
+    /// Verification wall-clock time.
+    pub duration: Duration,
+    /// Structural memory estimate of the checker's working set, in bytes.
+    pub memory_bytes: usize,
+    /// Free-form detail (counterexample summary or solver statistics).
+    pub detail: String,
+}
+
+/// Approximate number of bytes needed to hold a history in memory.
+pub fn history_memory_bytes(history: &History) -> usize {
+    // Transaction header + per-operation payload; matches the in-memory
+    // layout closely enough for trend comparisons.
+    history.len() * 96 + history.op_count() * 24
+}
+
+fn baseline_memory(stats: &mtc_baselines::cobra::SolverStats) -> usize {
+    stats.txns * 96 + stats.known_edges * 24 + stats.constraints * 96
+}
+
+/// Runs `checker` on `history`, timing it.
+pub fn verify(checker: Checker, history: &History) -> VerifyOutcome {
+    let start = Instant::now();
+    let (violated, memory, detail) = match checker {
+        Checker::MtcSer | Checker::MtcSi | Checker::MtcSser | Checker::MtcSserNaive => {
+            let verdict = match checker {
+                Checker::MtcSer => check_ser(history),
+                Checker::MtcSi => check_si(history),
+                Checker::MtcSser => check_sser(history),
+                Checker::MtcSserNaive => check_sser_naive(history),
+                _ => unreachable!(),
+            };
+            match verdict {
+                Ok(verdict) => {
+                    let edges = build_dependency(history, false)
+                        .map(|g| g.edge_count())
+                        .unwrap_or(0);
+                    let mem = history_memory_bytes(history) + edges * 24;
+                    let detail = match verdict.violation() {
+                        Some(v) => format!("{v}"),
+                        None => "ok".to_string(),
+                    };
+                    (verdict.is_violated(), mem, detail)
+                }
+                Err(e) => (
+                    false,
+                    history_memory_bytes(history),
+                    format!("checker not applicable: {e}"),
+                ),
+            }
+        }
+        Checker::CobraSer | Checker::ElleRwSer => {
+            let out: BaselineOutcome = cobra_check_ser(history);
+            summarize_baseline(history, &out)
+        }
+        Checker::PolySiSi | Checker::ElleRwSi => {
+            let out: BaselineOutcome = polysi_check_si(history);
+            summarize_baseline(history, &out)
+        }
+    };
+    VerifyOutcome {
+        checker,
+        violated,
+        duration: start.elapsed(),
+        memory_bytes: memory,
+        detail,
+    }
+}
+
+fn summarize_baseline(history: &History, out: &BaselineOutcome) -> (bool, usize, String) {
+    let mem = history_memory_bytes(history) + baseline_memory(&out.stats);
+    let detail = format!(
+        "constraints={} pruned={} decisions={}{}",
+        out.stats.constraints,
+        out.stats.pruned,
+        out.stats.decisions,
+        if out.timed_out { " TIMEOUT" } else { "" }
+    );
+    (!out.satisfied, mem, detail)
+}
+
+/// Executes a register workload against a fresh database with the given
+/// configuration.
+pub fn run_register_workload(
+    config: &DbConfig,
+    workload: &Workload,
+    opts: &ClientOptions,
+) -> (History, ExecutionReport) {
+    let db = Database::new(config.clone());
+    execute_workload(&db, workload, opts)
+}
+
+/// A complete end-to-end measurement: generation plus verification.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EndToEnd {
+    /// History-generation wall-clock time.
+    pub generation: Duration,
+    /// Verification wall-clock time.
+    pub verification: Duration,
+    /// Committed transactions in the history (excluding `⊥T`).
+    pub committed: usize,
+    /// Abort rate observed during generation.
+    pub abort_rate: f64,
+    /// Whether the checker reported a violation.
+    pub violated: bool,
+    /// Structural memory estimate of the verification stage.
+    pub memory_bytes: usize,
+}
+
+impl EndToEnd {
+    /// Total end-to-end time.
+    pub fn total(&self) -> Duration {
+        self.generation + self.verification
+    }
+}
+
+/// Runs the full pipeline: execute `workload` on a database configured by
+/// `config`, then verify the collected history with `checker`.
+pub fn end_to_end(
+    config: &DbConfig,
+    workload: &Workload,
+    opts: &ClientOptions,
+    checker: Checker,
+) -> EndToEnd {
+    let (history, report) = run_register_workload(config, workload, opts);
+    let outcome = verify(checker, &history);
+    EndToEnd {
+        generation: report.wall_time,
+        verification: outcome.duration,
+        committed: report.committed,
+        abort_rate: report.abort_rate(),
+        violated: outcome.violated,
+        memory_bytes: outcome.memory_bytes,
+    }
+}
+
+/// Executes an Elle list-append workload, returning the committed list
+/// history and the execution report.
+pub fn run_elle_append_workload(
+    config: &DbConfig,
+    workload: &ElleWorkload,
+    opts: &ClientOptions,
+) -> (ListHistory, ExecutionReport) {
+    let db = Database::new(config.clone());
+    let start = Instant::now();
+    let mut per_session: Vec<(u32, Vec<ListTxn>, usize, usize)> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (sid, templates) in workload.sessions.iter().enumerate() {
+            let db = &db;
+            handles.push(scope.spawn(move || {
+                let mut allocator = ValueAllocator::new(sid as u32);
+                let mut txns = Vec::new();
+                let mut attempts = 0usize;
+                let mut aborted = 0usize;
+                for template in templates {
+                    for _attempt in 0..=opts.max_retries {
+                        attempts += 1;
+                        let mut handle = db.begin();
+                        let mut ops = Vec::with_capacity(template.ops.len());
+                        for op in &template.ops {
+                            match op {
+                                ElleOpTemplate::Append(key) => {
+                                    let element = allocator.next();
+                                    handle.append(*key, element);
+                                    ops.push(ListOp::Append {
+                                        key: *key,
+                                        element,
+                                    });
+                                }
+                                ElleOpTemplate::ReadList(key) => {
+                                    let elements = handle.read_list(*key);
+                                    ops.push(ListOp::Read {
+                                        key: *key,
+                                        elements,
+                                    });
+                                }
+                                ElleOpTemplate::WriteRegister(_)
+                                | ElleOpTemplate::ReadRegister(_) => {
+                                    // Register templates do not belong in an
+                                    // append execution; skip them.
+                                }
+                            }
+                        }
+                        if handle.commit().is_ok() {
+                            txns.push(ListTxn {
+                                session: SessionId(sid as u32),
+                                ops,
+                            });
+                            break;
+                        }
+                        aborted += 1;
+                    }
+                }
+                (sid as u32, txns, attempts, aborted)
+            }));
+        }
+        for h in handles {
+            per_session.push(h.join().expect("elle client thread panicked"));
+        }
+    });
+
+    per_session.sort_by_key(|(s, ..)| *s);
+    let mut history = ListHistory::default();
+    let mut report = ExecutionReport {
+        wall_time: start.elapsed(),
+        ..ExecutionReport::default()
+    };
+    for (_, txns, attempts, aborted) in per_session {
+        report.committed += txns.len();
+        report.attempts += attempts;
+        report.aborted_attempts += aborted;
+        history.txns.extend(txns);
+    }
+    (history, report)
+}
+
+/// Executes an Elle read-write-register workload (blind writes permitted),
+/// returning the collected register history.
+pub fn run_elle_register_workload(
+    config: &DbConfig,
+    workload: &ElleWorkload,
+    opts: &ClientOptions,
+) -> (History, ExecutionReport) {
+    let db = Database::new(config.clone());
+    let start = Instant::now();
+    let mut per_session: Vec<(u32, Vec<(Vec<Op>, TxnStatus, u64, u64)>, usize, usize)> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (sid, templates) in workload.sessions.iter().enumerate() {
+            let db = &db;
+            handles.push(scope.spawn(move || {
+                let mut allocator = ValueAllocator::new(sid as u32);
+                let mut records = Vec::new();
+                let mut attempts = 0usize;
+                let mut aborted = 0usize;
+                for template in templates {
+                    for _attempt in 0..=opts.max_retries {
+                        attempts += 1;
+                        let mut handle = db.begin();
+                        let begin = handle.begin_ts();
+                        let mut ops = Vec::with_capacity(template.ops.len());
+                        for op in &template.ops {
+                            match op {
+                                ElleOpTemplate::WriteRegister(key) => {
+                                    let v = allocator.next();
+                                    handle.write_register(*key, v);
+                                    ops.push(Op::Write {
+                                        key: *key,
+                                        value: v,
+                                    });
+                                }
+                                ElleOpTemplate::ReadRegister(key) => {
+                                    let v = handle.read_register(*key);
+                                    ops.push(Op::Read {
+                                        key: *key,
+                                        value: v,
+                                    });
+                                }
+                                ElleOpTemplate::Append(_) | ElleOpTemplate::ReadList(_) => {}
+                            }
+                        }
+                        match handle.commit() {
+                            Ok(info) => {
+                                records.push((ops, TxnStatus::Committed, begin, info.commit_ts));
+                                break;
+                            }
+                            Err(_) => {
+                                aborted += 1;
+                                if opts.record_aborted {
+                                    records.push((ops, TxnStatus::Aborted, begin, db.now()));
+                                }
+                            }
+                        }
+                    }
+                }
+                (sid as u32, records, attempts, aborted)
+            }));
+        }
+        for h in handles {
+            per_session.push(h.join().expect("elle client thread panicked"));
+        }
+    });
+
+    per_session.sort_by_key(|(s, ..)| *s);
+    let mut builder = HistoryBuilder::new().with_init(workload.num_keys);
+    let mut report = ExecutionReport {
+        wall_time: start.elapsed(),
+        ..ExecutionReport::default()
+    };
+    for (sid, records, attempts, aborted) in per_session {
+        report.attempts += attempts;
+        report.aborted_attempts += aborted;
+        for (ops, status, begin, end) in records {
+            if status == TxnStatus::Committed {
+                report.committed += 1;
+            }
+            builder.push_timed(sid, ops, status, begin, end);
+        }
+    }
+    (builder.build(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_dbsim::IsolationMode;
+    use mtc_workload::{
+        generate_elle_workload, generate_mt_workload, Distribution, ElleWorkloadKind,
+        ElleWorkloadSpec, MtWorkloadSpec,
+    };
+
+    fn small_mt_spec() -> MtWorkloadSpec {
+        MtWorkloadSpec {
+            sessions: 3,
+            txns_per_session: 40,
+            num_keys: 12,
+            distribution: Distribution::Uniform,
+            read_only_fraction: 0.2,
+            two_key_fraction: 0.5,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn correct_serializable_database_passes_all_checkers() {
+        let workload = generate_mt_workload(&small_mt_spec());
+        let config = DbConfig::correct(IsolationMode::Serializable, 12);
+        let (history, report) = run_register_workload(&config, &workload, &ClientOptions::default());
+        assert!(report.committed > 0);
+        for checker in [
+            Checker::MtcSer,
+            Checker::MtcSi,
+            Checker::MtcSser,
+            Checker::CobraSer,
+            Checker::PolySiSi,
+        ] {
+            let out = verify(checker, &history);
+            assert!(
+                !out.violated,
+                "{} reported a spurious violation: {}",
+                checker.label(),
+                out.detail
+            );
+            assert!(out.memory_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_database_passes_si_and_may_fail_ser() {
+        let workload = generate_mt_workload(&MtWorkloadSpec {
+            num_keys: 4,
+            txns_per_session: 60,
+            ..small_mt_spec()
+        });
+        let config = DbConfig::correct(IsolationMode::Snapshot, 4);
+        let (history, _) = run_register_workload(&config, &workload, &ClientOptions::default());
+        let si = verify(Checker::MtcSi, &history);
+        assert!(!si.violated, "SI store must produce SI histories: {}", si.detail);
+    }
+
+    #[test]
+    fn end_to_end_produces_consistent_totals() {
+        let workload = generate_mt_workload(&small_mt_spec());
+        let config = DbConfig::correct(IsolationMode::Serializable, 12);
+        let e2e = end_to_end(&config, &workload, &ClientOptions::default(), Checker::MtcSer);
+        assert!(!e2e.violated);
+        assert!(e2e.total() >= e2e.generation);
+        assert!(e2e.committed > 0);
+        assert!(e2e.abort_rate >= 0.0 && e2e.abort_rate <= 1.0);
+    }
+
+    #[test]
+    fn elle_append_workload_executes_and_checks_clean() {
+        use mtc_baselines::elle::{elle_check_list_append, ElleLevel};
+        let spec = ElleWorkloadSpec {
+            sessions: 3,
+            txns_per_session: 30,
+            max_txn_len: 4,
+            num_keys: 5,
+            ..ElleWorkloadSpec::default()
+        };
+        let workload = generate_elle_workload(&spec);
+        let config = DbConfig::correct(IsolationMode::Serializable, 0);
+        let (history, report) =
+            run_elle_append_workload(&config, &workload, &ClientOptions::default());
+        assert!(report.committed > 0);
+        assert!(!history.is_empty());
+        let out = elle_check_list_append(&history, ElleLevel::Serializability);
+        assert!(out.satisfied, "unexpected anomalies: {:?}", out.anomalies);
+    }
+
+    #[test]
+    fn elle_register_workload_executes_and_checks_clean() {
+        let spec = ElleWorkloadSpec {
+            kind: ElleWorkloadKind::ReadWriteRegister,
+            sessions: 3,
+            txns_per_session: 25,
+            max_txn_len: 4,
+            num_keys: 6,
+            ..ElleWorkloadSpec::default()
+        };
+        let workload = generate_elle_workload(&spec);
+        let config = DbConfig::correct(IsolationMode::Serializable, 6);
+        let (history, report) =
+            run_elle_register_workload(&config, &workload, &ClientOptions::default());
+        assert!(report.committed > 0);
+        let out = verify(Checker::ElleRwSer, &history);
+        assert!(!out.violated, "{}", out.detail);
+    }
+
+    #[test]
+    fn checker_labels_are_distinct() {
+        use std::collections::HashSet;
+        let labels: HashSet<&str> = [
+            Checker::MtcSer,
+            Checker::MtcSi,
+            Checker::MtcSser,
+            Checker::MtcSserNaive,
+            Checker::CobraSer,
+            Checker::PolySiSi,
+            Checker::ElleRwSer,
+            Checker::ElleRwSi,
+        ]
+        .iter()
+        .map(|c| c.label())
+        .collect();
+        assert_eq!(labels.len(), 8);
+    }
+}

@@ -1,0 +1,24 @@
+//! # mtc-runner
+//!
+//! The end-to-end checking harness: generate a workload, execute it against
+//! the simulated database (`mtc-dbsim`), collect the unified history, verify
+//! it with MTC or one of the baseline checkers, and record wall-clock time,
+//! memory estimates and abort rates.
+//!
+//! The [`experiments`] module contains one parameterized sweep per table and
+//! figure of the paper's evaluation; the binaries in `mtc-bench` are thin
+//! wrappers that run those sweeps at full scale and print the resulting
+//! series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod experiments;
+pub mod report;
+
+pub use exec::{
+    end_to_end, run_elle_append_workload, run_elle_register_workload, run_register_workload,
+    verify, Checker, EndToEnd, VerifyOutcome,
+};
+pub use report::Table;

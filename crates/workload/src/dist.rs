@@ -1,0 +1,269 @@
+//! Object-access distributions controlling workload skew.
+//!
+//! The MT workload generator of the paper is parameterized by the
+//! object-access distribution: `uniform`, `zipfian`, `hotspot` and
+//! `exponential` (Section V-A1). [`KeySampler`] pre-computes the cumulative
+//! distribution once and then draws keys in `O(log #objects)` per sample.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The access distributions supported by the workload generators.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Every object is equally likely.
+    Uniform,
+    /// Zipfian with exponent `theta` (the paper's default skewed workload;
+    /// `theta ≈ 1.0` corresponds to classic Zipf).
+    Zipf {
+        /// Skew exponent; larger means more skewed.
+        theta: f64,
+    },
+    /// A fraction of "hot" objects receives most of the accesses.
+    HotSpot {
+        /// Fraction of the key space that is hot (e.g. `0.2`).
+        hot_fraction: f64,
+        /// Probability that an access goes to the hot set (e.g. `0.8`).
+        hot_probability: f64,
+    },
+    /// Exponentially decaying access probability over the key space.
+    Exponential {
+        /// Decay rate; larger concentrates accesses on low-numbered keys.
+        lambda: f64,
+    },
+}
+
+impl Distribution {
+    /// The four distributions evaluated in Figures 7a/8a, with the paper's
+    /// conventional parameters.
+    pub fn paper_set() -> [Distribution; 4] {
+        [
+            Distribution::Uniform,
+            Distribution::Zipf { theta: 1.0 },
+            Distribution::HotSpot {
+                hot_fraction: 0.2,
+                hot_probability: 0.8,
+            },
+            Distribution::Exponential { lambda: 10.0 },
+        ]
+    }
+
+    /// Short label used in reports ("uniform", "zipf", "hotspot", "exp").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Distribution::Uniform => "uniform",
+            Distribution::Zipf { .. } => "zipf",
+            Distribution::HotSpot { .. } => "hotspot",
+            Distribution::Exponential { .. } => "exp",
+        }
+    }
+}
+
+/// Draws keys from `0..num_keys` according to a [`Distribution`].
+#[derive(Clone, Debug)]
+pub struct KeySampler {
+    num_keys: u64,
+    kind: SamplerKind,
+}
+
+#[derive(Clone, Debug)]
+enum SamplerKind {
+    Uniform,
+    /// Pre-computed cumulative weights (normalized to 1.0).
+    Cdf(Vec<f64>),
+    HotSpot {
+        hot_keys: u64,
+        hot_probability: f64,
+    },
+}
+
+impl KeySampler {
+    /// Builds a sampler for `num_keys` objects under `dist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_keys == 0`.
+    pub fn new(num_keys: u64, dist: Distribution) -> Self {
+        assert!(num_keys > 0, "cannot sample from an empty key space");
+        let kind = match dist {
+            Distribution::Uniform => SamplerKind::Uniform,
+            Distribution::Zipf { theta } => {
+                SamplerKind::Cdf(cumulative(num_keys, |i| 1.0 / ((i + 1) as f64).powf(theta)))
+            }
+            Distribution::Exponential { lambda } => SamplerKind::Cdf(cumulative(num_keys, |i| {
+                (-lambda * (i as f64) / (num_keys as f64)).exp()
+            })),
+            Distribution::HotSpot {
+                hot_fraction,
+                hot_probability,
+            } => {
+                let hot_keys = ((num_keys as f64 * hot_fraction).ceil() as u64)
+                    .clamp(1, num_keys);
+                SamplerKind::HotSpot {
+                    hot_keys,
+                    hot_probability: hot_probability.clamp(0.0, 1.0),
+                }
+            }
+        };
+        KeySampler { num_keys, kind }
+    }
+
+    /// Number of keys in the sampled space.
+    pub fn num_keys(&self) -> u64 {
+        self.num_keys
+    }
+
+    /// Draws one key.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match &self.kind {
+            SamplerKind::Uniform => rng.gen_range(0..self.num_keys),
+            SamplerKind::Cdf(cdf) => {
+                let x: f64 = rng.gen();
+                match cdf.binary_search_by(|w| w.partial_cmp(&x).unwrap()) {
+                    Ok(i) | Err(i) => (i as u64).min(self.num_keys - 1),
+                }
+            }
+            SamplerKind::HotSpot {
+                hot_keys,
+                hot_probability,
+            } => {
+                if rng.gen::<f64>() < *hot_probability {
+                    rng.gen_range(0..*hot_keys)
+                } else if *hot_keys < self.num_keys {
+                    rng.gen_range(*hot_keys..self.num_keys)
+                } else {
+                    rng.gen_range(0..self.num_keys)
+                }
+            }
+        }
+    }
+
+    /// Draws `k` *distinct* keys (or all keys if `k >= num_keys`).
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<u64> {
+        let k = k.min(self.num_keys as usize);
+        let mut out = Vec::with_capacity(k);
+        let mut attempts = 0usize;
+        while out.len() < k {
+            let key = self.sample(rng);
+            if !out.contains(&key) {
+                out.push(key);
+            }
+            attempts += 1;
+            // With heavy skew, rejection sampling may stall; fall back to a
+            // linear probe from the last sample.
+            if attempts > 16 * k + 64 {
+                let mut key = key;
+                while out.contains(&key) {
+                    key = (key + 1) % self.num_keys;
+                }
+                out.push(key);
+            }
+        }
+        out
+    }
+}
+
+fn cumulative(num_keys: u64, weight: impl Fn(u64) -> f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(num_keys as usize);
+    let mut total = 0.0;
+    for i in 0..num_keys {
+        total += weight(i);
+        cdf.push(total);
+    }
+    for w in &mut cdf {
+        *w /= total;
+    }
+    cdf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(dist: Distribution, num_keys: u64, samples: usize) -> Vec<usize> {
+        let sampler = KeySampler::new(num_keys, dist);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; num_keys as usize];
+        for _ in 0..samples {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_covers_the_key_space_evenly() {
+        let counts = histogram(Distribution::Uniform, 10, 20_000);
+        for &c in &counts {
+            assert!((1_600..2_400).contains(&c), "uniform bucket out of range: {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_heavily_skewed_toward_low_keys() {
+        let counts = histogram(Distribution::Zipf { theta: 1.0 }, 100, 20_000);
+        assert!(counts[0] > counts[50] * 5);
+        assert!(counts[0] > counts[99]);
+    }
+
+    #[test]
+    fn hotspot_sends_most_accesses_to_the_hot_set() {
+        let counts = histogram(
+            Distribution::HotSpot {
+                hot_fraction: 0.2,
+                hot_probability: 0.8,
+            },
+            10,
+            20_000,
+        );
+        let hot: usize = counts[..2].iter().sum();
+        assert!(hot > 14_000, "hot set received only {hot} accesses");
+    }
+
+    #[test]
+    fn exponential_decays() {
+        let counts = histogram(Distribution::Exponential { lambda: 10.0 }, 50, 20_000);
+        assert!(counts[0] > counts[25]);
+        assert!(counts[0] > counts[49]);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        for dist in Distribution::paper_set() {
+            let sampler = KeySampler::new(7, dist);
+            let mut rng = StdRng::seed_from_u64(3);
+            for _ in 0..1000 {
+                assert!(sampler.sample(&mut rng) < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_sampling_returns_distinct_keys() {
+        let sampler = KeySampler::new(5, Distribution::Zipf { theta: 2.0 });
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let keys = sampler.sample_distinct(&mut rng, 3);
+            assert_eq!(keys.len(), 3);
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3);
+        }
+        // Requesting more keys than exist returns the whole space.
+        assert_eq!(sampler.sample_distinct(&mut rng, 10).len(), 5);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Distribution::Uniform.label(), "uniform");
+        assert_eq!(Distribution::Zipf { theta: 1.0 }.label(), "zipf");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty key space")]
+    fn zero_keys_panics() {
+        KeySampler::new(0, Distribution::Uniform);
+    }
+}

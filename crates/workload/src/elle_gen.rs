@@ -1,0 +1,242 @@
+//! Elle-style workloads: list-append and read-write registers
+//! (Section V-F2 of the paper).
+//!
+//! The effectiveness comparison of Figures 13 and 14 tests databases with the
+//! two Jepsen/Elle workload families:
+//!
+//! * **list append** — every object holds a list; transactions either append
+//!   a unique element to a list or read the whole list. Reading a list of
+//!   `n` elements reveals the version order of the corresponding `n`
+//!   appends, which is what makes Elle's write-write inference possible.
+//! * **read-write registers** — plain reads and *blind* writes of registers
+//!   (no RMW pattern), with a configurable maximum transaction length.
+//!
+//! Templates are generated here; `mtc-dbsim` executes them (registers against
+//! the versioned store, appends against the list store) and
+//! `mtc-baselines::elle` infers dependencies from the resulting histories.
+
+use crate::dist::{Distribution, KeySampler};
+use mtc_history::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The two Elle workload families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ElleWorkloadKind {
+    /// Append-to-list plus whole-list reads.
+    ListAppend,
+    /// Blind writes and reads of registers.
+    ReadWriteRegister,
+}
+
+impl ElleWorkloadKind {
+    /// Label used in reports ("append" / "wr").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ElleWorkloadKind::ListAppend => "append",
+            ElleWorkloadKind::ReadWriteRegister => "wr",
+        }
+    }
+}
+
+/// One operation of an Elle-style transaction template.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ElleOpTemplate {
+    /// Append a fresh unique element to the list at `key`.
+    Append(Key),
+    /// Read the whole list at `key`.
+    ReadList(Key),
+    /// Blind-write a fresh unique value to the register at `key`.
+    WriteRegister(Key),
+    /// Read the register at `key`.
+    ReadRegister(Key),
+}
+
+impl ElleOpTemplate {
+    /// The key the operation touches.
+    pub fn key(&self) -> Key {
+        match *self {
+            ElleOpTemplate::Append(k)
+            | ElleOpTemplate::ReadList(k)
+            | ElleOpTemplate::WriteRegister(k)
+            | ElleOpTemplate::ReadRegister(k) => k,
+        }
+    }
+
+    /// True for mutating operations.
+    pub fn is_mutation(&self) -> bool {
+        matches!(
+            self,
+            ElleOpTemplate::Append(_) | ElleOpTemplate::WriteRegister(_)
+        )
+    }
+}
+
+/// A transaction template of an Elle workload.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElleTxnTemplate {
+    /// Operations in program order.
+    pub ops: Vec<ElleOpTemplate>,
+}
+
+/// A complete Elle-style workload.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElleWorkload {
+    /// Which family the workload belongs to.
+    pub kind: ElleWorkloadKind,
+    /// Per-session transaction templates.
+    pub sessions: Vec<Vec<ElleTxnTemplate>>,
+    /// Number of objects.
+    pub num_keys: u64,
+    /// Maximum operations per transaction used during generation.
+    pub max_txn_len: u32,
+}
+
+impl ElleWorkload {
+    /// Total number of transaction templates.
+    pub fn txn_count(&self) -> usize {
+        self.sessions.iter().map(Vec::len).sum()
+    }
+}
+
+/// Parameters of the Elle workload generators.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ElleWorkloadSpec {
+    /// Which family to generate.
+    pub kind: ElleWorkloadKind,
+    /// Number of client sessions.
+    pub sessions: u32,
+    /// Transactions per session.
+    pub txns_per_session: u32,
+    /// Maximum operations per transaction (the x-axis of Figure 13).
+    pub max_txn_len: u32,
+    /// Number of objects (the paper uses 10 to increase contention).
+    pub num_keys: u64,
+    /// Object-access distribution (the paper uses "exponential").
+    pub distribution: Distribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ElleWorkloadSpec {
+    fn default() -> Self {
+        ElleWorkloadSpec {
+            kind: ElleWorkloadKind::ListAppend,
+            sessions: 10,
+            txns_per_session: 300,
+            max_txn_len: 4,
+            num_keys: 10,
+            distribution: Distribution::Exponential { lambda: 10.0 },
+            seed: 0x454c4c45, // "ELLE"
+        }
+    }
+}
+
+/// Generates an Elle-style workload.
+pub fn generate_elle_workload(spec: &ElleWorkloadSpec) -> ElleWorkload {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let sampler = KeySampler::new(spec.num_keys, spec.distribution);
+    let mut sessions = Vec::with_capacity(spec.sessions as usize);
+    for _ in 0..spec.sessions {
+        let mut txns = Vec::with_capacity(spec.txns_per_session as usize);
+        for _ in 0..spec.txns_per_session {
+            let len = rng.gen_range(1..=spec.max_txn_len.max(1)) as usize;
+            let mut ops = Vec::with_capacity(len);
+            for _ in 0..len {
+                let key = Key(sampler.sample(&mut rng));
+                let mutate = rng.gen_bool(0.5);
+                let op = match (spec.kind, mutate) {
+                    (ElleWorkloadKind::ListAppend, true) => ElleOpTemplate::Append(key),
+                    (ElleWorkloadKind::ListAppend, false) => ElleOpTemplate::ReadList(key),
+                    (ElleWorkloadKind::ReadWriteRegister, true) => {
+                        ElleOpTemplate::WriteRegister(key)
+                    }
+                    (ElleWorkloadKind::ReadWriteRegister, false) => {
+                        ElleOpTemplate::ReadRegister(key)
+                    }
+                };
+                ops.push(op);
+            }
+            txns.push(ElleTxnTemplate { ops });
+        }
+        sessions.push(txns);
+    }
+    ElleWorkload {
+        kind: spec.kind,
+        sessions,
+        num_keys: spec.num_keys,
+        max_txn_len: spec.max_txn_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_workload_contains_only_list_ops() {
+        let w = generate_elle_workload(&ElleWorkloadSpec::default());
+        assert_eq!(w.kind, ElleWorkloadKind::ListAppend);
+        assert_eq!(w.txn_count(), 3000);
+        for t in w.sessions.iter().flatten() {
+            assert!(!t.ops.is_empty());
+            assert!(t.ops.len() <= 4);
+            for op in &t.ops {
+                assert!(matches!(
+                    op,
+                    ElleOpTemplate::Append(_) | ElleOpTemplate::ReadList(_)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn register_workload_contains_only_register_ops() {
+        let spec = ElleWorkloadSpec {
+            kind: ElleWorkloadKind::ReadWriteRegister,
+            max_txn_len: 8,
+            ..ElleWorkloadSpec::default()
+        };
+        let w = generate_elle_workload(&spec);
+        for t in w.sessions.iter().flatten() {
+            assert!(t.ops.len() <= 8);
+            for op in &t.ops {
+                assert!(matches!(
+                    op,
+                    ElleOpTemplate::WriteRegister(_) | ElleOpTemplate::ReadRegister(_)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn keys_respect_the_key_space() {
+        let w = generate_elle_workload(&ElleWorkloadSpec::default());
+        for t in w.sessions.iter().flatten() {
+            for op in &t.ops {
+                assert!(op.key().raw() < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = ElleWorkloadSpec::default();
+        assert_eq!(generate_elle_workload(&spec), generate_elle_workload(&spec));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ElleWorkloadKind::ListAppend.label(), "append");
+        assert_eq!(ElleWorkloadKind::ReadWriteRegister.label(), "wr");
+    }
+
+    #[test]
+    fn mutation_detection() {
+        assert!(ElleOpTemplate::Append(Key(1)).is_mutation());
+        assert!(ElleOpTemplate::WriteRegister(Key(1)).is_mutation());
+        assert!(!ElleOpTemplate::ReadList(Key(1)).is_mutation());
+        assert!(!ElleOpTemplate::ReadRegister(Key(1)).is_mutation());
+    }
+}

@@ -1,0 +1,154 @@
+//! The Cobra-style general-transaction (GT) workload generator.
+//!
+//! Each GT workload consists of 20% read-only, 40% write-only and 40%
+//! read-modify-write transactions (the split used in the paper's end-to-end
+//! experiments), with a configurable number of operations per transaction.
+//! Unlike mini-transactions, GTs may perform blind writes and may touch many
+//! objects, which is what drives both the higher abort rates (Figure 11) and
+//! the denser constraint graphs the baseline checkers have to solve.
+
+use crate::dist::KeySampler;
+use crate::spec::{GtWorkloadSpec, ReqOp, SessionWorkload, TxnTemplate, Workload};
+use mtc_history::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three GT transaction classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TxnClass {
+    ReadOnly,
+    WriteOnly,
+    ReadModifyWrite,
+}
+
+/// Generates a GT workload from `spec`.
+pub fn generate_gt_workload(spec: &GtWorkloadSpec) -> Workload {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let sampler = KeySampler::new(spec.num_keys, spec.distribution);
+    let mut sessions = Vec::with_capacity(spec.sessions as usize);
+    for s in 0..spec.sessions {
+        let mut txns = Vec::with_capacity(spec.txns_per_session as usize);
+        for _ in 0..spec.txns_per_session {
+            txns.push(generate_gt_txn(&mut rng, &sampler, spec));
+        }
+        sessions.push(SessionWorkload { session: s, txns });
+    }
+    Workload {
+        sessions,
+        num_keys: spec.num_keys,
+    }
+}
+
+fn pick_class(rng: &mut StdRng, spec: &GtWorkloadSpec) -> TxnClass {
+    let x: f64 = rng.gen();
+    if x < spec.read_only_fraction {
+        TxnClass::ReadOnly
+    } else if x < spec.read_only_fraction + spec.write_only_fraction {
+        TxnClass::WriteOnly
+    } else {
+        TxnClass::ReadModifyWrite
+    }
+}
+
+fn generate_gt_txn(rng: &mut StdRng, sampler: &KeySampler, spec: &GtWorkloadSpec) -> TxnTemplate {
+    let class = pick_class(rng, spec);
+    let ops_per_txn = spec.ops_per_txn.max(1) as usize;
+    let mut ops = Vec::with_capacity(ops_per_txn);
+    match class {
+        TxnClass::ReadOnly => {
+            for _ in 0..ops_per_txn {
+                ops.push(ReqOp::Read(Key(sampler.sample(rng))));
+            }
+        }
+        TxnClass::WriteOnly => {
+            for _ in 0..ops_per_txn {
+                ops.push(ReqOp::Write(Key(sampler.sample(rng))));
+            }
+        }
+        TxnClass::ReadModifyWrite => {
+            // Pairs of read-then-write on the same key; an odd budget gets a
+            // trailing read.
+            let pairs = ops_per_txn / 2;
+            for _ in 0..pairs {
+                let k = Key(sampler.sample(rng));
+                ops.push(ReqOp::Read(k));
+                ops.push(ReqOp::Write(k));
+            }
+            if ops_per_txn % 2 == 1 {
+                ops.push(ReqOp::Read(Key(sampler.sample(rng))));
+            }
+        }
+    }
+    TxnTemplate { ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Distribution;
+
+    fn spec() -> GtWorkloadSpec {
+        GtWorkloadSpec {
+            sessions: 5,
+            txns_per_session: 400,
+            ops_per_txn: 20,
+            num_keys: 100,
+            distribution: Distribution::Uniform,
+            read_only_fraction: 0.2,
+            write_only_fraction: 0.4,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn sizes_are_as_requested() {
+        let w = generate_gt_workload(&spec());
+        assert_eq!(w.txn_count(), 2000);
+        assert_eq!(w.op_count(), 2000 * 20);
+    }
+
+    #[test]
+    fn class_mix_roughly_matches_20_40_40() {
+        let w = generate_gt_workload(&spec());
+        let mut ro = 0;
+        let mut wo = 0;
+        let mut rmw = 0;
+        for t in w.sessions.iter().flat_map(|s| s.txns.iter()) {
+            let reads = t.ops.iter().filter(|o| !o.is_write()).count();
+            let writes = t.ops.len() - reads;
+            if writes == 0 {
+                ro += 1;
+            } else if reads == 0 {
+                wo += 1;
+            } else {
+                rmw += 1;
+            }
+        }
+        let total = (ro + wo + rmw) as f64;
+        assert!((0.15..0.25).contains(&(ro as f64 / total)), "ro = {ro}");
+        assert!((0.33..0.47).contains(&(wo as f64 / total)), "wo = {wo}");
+        assert!((0.33..0.47).contains(&(rmw as f64 / total)), "rmw = {rmw}");
+    }
+
+    #[test]
+    fn gt_workloads_are_generally_not_mini() {
+        let w = generate_gt_workload(&spec());
+        assert!(!w.is_mini());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate_gt_workload(&spec()), generate_gt_workload(&spec()));
+    }
+
+    #[test]
+    fn odd_op_count_is_handled() {
+        let w = generate_gt_workload(&GtWorkloadSpec {
+            ops_per_txn: 7,
+            ..spec()
+        });
+        for t in w.sessions.iter().flat_map(|s| s.txns.iter()) {
+            assert_eq!(t.len(), 7);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # mtc-workload
+//!
+//! Workload generators for the MTC tool-chain (Section V-A of the paper).
+//!
+//! Two families of *workloads* (transaction templates whose read results are
+//! filled in by the database at execution time) are produced:
+//!
+//! * **MT workloads** ([`mt_gen`]): mini-transactions only — at most two
+//!   reads, at most two writes, every write preceded by a read of the same
+//!   object;
+//! * **GT workloads** ([`gt_gen`]): Cobra-style general transactions — a
+//!   configurable number of operations per transaction split into 20%
+//!   read-only, 40% write-only and 40% read-modify-write transactions.
+//!
+//! In addition, [`lwt_gen`] synthesizes complete *lightweight-transaction
+//! histories* with a controllable degree of real-time concurrency (used to
+//! benchmark the SSER checkers of Figure 9), and [`elle_gen`] produces the
+//! list-append and read-write-register workloads used in the Elle
+//! effectiveness comparison (Figures 13 and 14).
+//!
+//! Object-access skew is controlled by the distributions in [`dist`]
+//! (uniform, zipfian, hotspot, exponential).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod elle_gen;
+pub mod gt_gen;
+pub mod lwt_gen;
+pub mod mt_gen;
+pub mod spec;
+
+pub use dist::{Distribution, KeySampler};
+pub use elle_gen::{
+    generate_elle_workload, ElleOpTemplate, ElleTxnTemplate, ElleWorkload, ElleWorkloadKind,
+    ElleWorkloadSpec,
+};
+pub use gt_gen::generate_gt_workload;
+pub use lwt_gen::{generate_lwt_history, LwtHistorySpec};
+pub use mt_gen::generate_mt_workload;
+pub use spec::{GtWorkloadSpec, MtWorkloadSpec, ReqOp, SessionWorkload, TxnTemplate, Workload};

@@ -1,0 +1,202 @@
+//! Synthetic lightweight-transaction histories (Section V-A2).
+//!
+//! For databases supporting lightweight transactions the concurrency level of
+//! generated histories cannot be controlled reliably through workload
+//! parameters alone, so the paper uses a *parametric synthetic history
+//! generator* to benchmark the SSER/LIN checkers (Figure 9). The generator
+//! produces valid (linearizable) histories of `read&write` operations on a
+//! configurable number of objects, where:
+//!
+//! * `sessions` and `txns_per_session` fix the history size,
+//! * `concurrent_fraction` controls how many sessions issue operations whose
+//!   intervals overlap (higher ⇒ more concurrency for the checker to
+//!   disambiguate),
+//! * optionally a violation can be injected to produce non-linearizable
+//!   histories for negative testing.
+
+use mtc_history::TimedOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic LWT history generator.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LwtHistorySpec {
+    /// Number of client sessions.
+    pub sessions: u32,
+    /// Operations (lightweight transactions) per session.
+    pub txns_per_session: u32,
+    /// Number of objects; the operations are spread round-robin over them.
+    pub num_keys: u64,
+    /// Fraction of sessions whose operations overlap in real time with
+    /// operations of other sessions (0.0 = fully sequential, 1.0 = all
+    /// sessions concurrent).
+    pub concurrent_fraction: f64,
+    /// If true, one real-time inversion is injected per object, making the
+    /// history non-linearizable.
+    pub inject_violation: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LwtHistorySpec {
+    fn default() -> Self {
+        LwtHistorySpec {
+            sessions: 10,
+            txns_per_session: 100,
+            num_keys: 1,
+            concurrent_fraction: 0.5,
+            inject_violation: false,
+            seed: 0x4c5754, // "LWT"
+        }
+    }
+}
+
+impl LwtHistorySpec {
+    /// Total number of operations the spec will generate (including the one
+    /// initial insert per object).
+    pub fn total_ops(&self) -> usize {
+        (self.sessions as usize) * (self.txns_per_session as usize) + self.num_keys as usize
+    }
+}
+
+/// Generates a lightweight-transaction history according to `spec`.
+///
+/// The returned operations are in no particular order (as a real collected
+/// history would be); each object receives exactly one initial
+/// insert-if-not-exists followed by a chain of `read&write` operations with
+/// unique values.
+pub fn generate_lwt_history(spec: &LwtHistorySpec) -> Vec<TimedOp> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let total = (spec.sessions as u64) * (spec.txns_per_session as u64);
+    let num_keys = spec.num_keys.max(1);
+    let concurrent_sessions =
+        ((spec.sessions as f64) * spec.concurrent_fraction).round() as u32;
+
+    let mut ops = Vec::with_capacity(total as usize + num_keys as usize);
+    // Per-key chains: the i-th operation on key k carries value i (value 0 is
+    // installed by the insert).
+    let mut per_key_counter = vec![0u64; num_keys as usize];
+
+    // The i-th operation overall happens in time slot i (slot width 10).
+    // Sequential sessions get narrow intervals fully inside their slot;
+    // concurrent sessions get intervals stretched to overlap neighbours but
+    // never so far as to start after a successor finishes.
+    for k in 0..num_keys {
+        ops.push(TimedOp::insert(0, 1, k, 0u64));
+    }
+    for i in 0..total {
+        let session = (i % spec.sessions as u64) as u32;
+        let key = i % num_keys;
+        let slot = 10 * (i / num_keys) + 10;
+        let concurrent = session < concurrent_sessions;
+        let (start, finish) = if concurrent {
+            // Long overlapping interval: starts during a previous slot and
+            // finishes during a later one.
+            let back = rng.gen_range(1..=8);
+            let ahead = rng.gen_range(5..=25);
+            (slot.saturating_sub(back), slot + ahead)
+        } else {
+            let jitter = rng.gen_range(0..3);
+            (slot + jitter, slot + jitter + 2)
+        };
+        let counter = &mut per_key_counter[key as usize];
+        let expected = *counter;
+        let new = *counter + 1;
+        *counter = new;
+        ops.push(TimedOp::read_write(start, finish, key, expected, new));
+    }
+
+    if spec.inject_violation {
+        inject_real_time_violation(&mut ops, num_keys);
+    }
+
+    // Shuffle to mimic the arbitrary order of a collected multi-client log.
+    for i in (1..ops.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        ops.swap(i, j);
+    }
+    ops
+}
+
+/// Moves the *first* `read&write` of each per-key chain to start only after
+/// every other operation has finished (the shape of Figure 4b): it still
+/// reads the initial value although later chain elements already completed —
+/// a real-time violation.
+fn inject_real_time_violation(ops: &mut [TimedOp], num_keys: u64) {
+    let max_finish = ops.iter().map(|o| o.finish).max().unwrap_or(0);
+    for k in 0..num_keys {
+        if let Some(first) = ops
+            .iter_mut()
+            .filter(|o| o.key.raw() == k && o.read_value().is_some())
+            .min_by_key(|o| o.written_value().map(|v| v.raw()).unwrap_or(u64::MAX))
+        {
+            first.start = max_finish + 100;
+            first.finish = max_finish + 110;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_core::check_linearizability;
+
+    #[test]
+    fn generated_histories_are_linearizable() {
+        for concurrent in [0.0, 0.5, 1.0] {
+            let spec = LwtHistorySpec {
+                sessions: 8,
+                txns_per_session: 50,
+                num_keys: 4,
+                concurrent_fraction: concurrent,
+                inject_violation: false,
+                seed: 9,
+            };
+            let ops = generate_lwt_history(&spec);
+            assert_eq!(ops.len(), spec.total_ops());
+            let verdict = check_linearizability(&ops).unwrap();
+            assert!(
+                verdict.is_satisfied(),
+                "expected linearizable history at concurrency {concurrent}: {verdict:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_violations_are_detected() {
+        let spec = LwtHistorySpec {
+            inject_violation: true,
+            sessions: 4,
+            txns_per_session: 20,
+            num_keys: 2,
+            concurrent_fraction: 0.5,
+            seed: 10,
+        };
+        let ops = generate_lwt_history(&spec);
+        let verdict = check_linearizability(&ops).unwrap();
+        assert!(verdict.is_violated());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = LwtHistorySpec::default();
+        assert_eq!(generate_lwt_history(&spec), generate_lwt_history(&spec));
+    }
+
+    #[test]
+    fn one_insert_per_key() {
+        let spec = LwtHistorySpec {
+            num_keys: 5,
+            ..LwtHistorySpec::default()
+        };
+        let ops = generate_lwt_history(&spec);
+        for k in 0..5u64 {
+            let inserts = ops
+                .iter()
+                .filter(|o| o.key.raw() == k && o.written_value().is_some() && o.read_value().is_none())
+                .count();
+            assert_eq!(inserts, 1, "key {k} has {inserts} inserts");
+        }
+    }
+}

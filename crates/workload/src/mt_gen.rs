@@ -1,0 +1,168 @@
+//! The mini-transaction workload generator.
+//!
+//! Generates per-session streams of mini-transaction templates:
+//!
+//! * a *read-only* MT reads one or two objects;
+//! * a *single-key RMW* MT reads one object and writes it back;
+//! * a *two-key RMW* MT reads two objects and writes both (the shape needed
+//!   to exercise `WRITESKEW`-style interleavings, Figure 5n).
+//!
+//! Transactions are distributed uniformly across sessions; keys are drawn
+//! from the configured access distribution.
+
+use crate::dist::KeySampler;
+use crate::spec::{MtWorkloadSpec, ReqOp, SessionWorkload, TxnTemplate, Workload};
+use mtc_history::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an MT workload from `spec`.
+pub fn generate_mt_workload(spec: &MtWorkloadSpec) -> Workload {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let sampler = KeySampler::new(spec.num_keys, spec.distribution);
+    let mut sessions = Vec::with_capacity(spec.sessions as usize);
+    for s in 0..spec.sessions {
+        let mut txns = Vec::with_capacity(spec.txns_per_session as usize);
+        for _ in 0..spec.txns_per_session {
+            txns.push(generate_mini_txn(&mut rng, &sampler, spec));
+        }
+        sessions.push(SessionWorkload { session: s, txns });
+    }
+    Workload {
+        sessions,
+        num_keys: spec.num_keys,
+    }
+}
+
+fn generate_mini_txn(rng: &mut StdRng, sampler: &KeySampler, spec: &MtWorkloadSpec) -> TxnTemplate {
+    let two_keys = rng.gen::<f64>() < spec.two_key_fraction && spec.num_keys >= 2;
+    let read_only = rng.gen::<f64>() < spec.read_only_fraction;
+    let keys = if two_keys {
+        sampler.sample_distinct(rng, 2)
+    } else {
+        vec![sampler.sample(rng)]
+    };
+    let mut ops = Vec::with_capacity(4);
+    if read_only {
+        for &k in &keys {
+            ops.push(ReqOp::Read(Key(k)));
+        }
+    } else if two_keys {
+        // Mix the three RMW flavours over two keys: "read both, write both",
+        // "read-write, read-write" (chained updates), and "read both, write
+        // one" — the write-skew shape of Figure 5n, which is what lets MT
+        // workloads expose SI-vs-SER divergences.
+        match rng.gen_range(0..3u8) {
+            0 => {
+                ops.push(ReqOp::Read(Key(keys[0])));
+                ops.push(ReqOp::Read(Key(keys[1])));
+                ops.push(ReqOp::Write(Key(keys[0])));
+                ops.push(ReqOp::Write(Key(keys[1])));
+            }
+            1 => {
+                ops.push(ReqOp::Read(Key(keys[0])));
+                ops.push(ReqOp::Write(Key(keys[0])));
+                ops.push(ReqOp::Read(Key(keys[1])));
+                ops.push(ReqOp::Write(Key(keys[1])));
+            }
+            _ => {
+                ops.push(ReqOp::Read(Key(keys[0])));
+                ops.push(ReqOp::Read(Key(keys[1])));
+                ops.push(ReqOp::Write(Key(keys[0])));
+            }
+        }
+    } else {
+        ops.push(ReqOp::Read(Key(keys[0])));
+        ops.push(ReqOp::Write(Key(keys[0])));
+    }
+    TxnTemplate { ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Distribution;
+
+    fn spec() -> MtWorkloadSpec {
+        MtWorkloadSpec {
+            sessions: 4,
+            txns_per_session: 250,
+            num_keys: 50,
+            distribution: Distribution::Zipf { theta: 1.0 },
+            read_only_fraction: 0.2,
+            two_key_fraction: 0.5,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generates_the_requested_number_of_transactions() {
+        let w = generate_mt_workload(&spec());
+        assert_eq!(w.sessions.len(), 4);
+        assert_eq!(w.txn_count(), 1000);
+        for (i, s) in w.sessions.iter().enumerate() {
+            assert_eq!(s.session, i as u32);
+            assert_eq!(s.txns.len(), 250);
+        }
+    }
+
+    #[test]
+    fn every_template_is_a_mini_transaction() {
+        let w = generate_mt_workload(&spec());
+        assert!(w.is_mini());
+        for t in w.sessions.iter().flat_map(|s| s.txns.iter()) {
+            assert!(t.len() <= 4);
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn keys_stay_inside_the_key_space() {
+        let w = generate_mt_workload(&spec());
+        for t in w.sessions.iter().flat_map(|s| s.txns.iter()) {
+            for op in &t.ops {
+                assert!(op.key().raw() < 50);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate_mt_workload(&spec());
+        let b = generate_mt_workload(&spec());
+        assert_eq!(a, b);
+        let mut other = spec();
+        other.seed = 43;
+        assert_ne!(a, generate_mt_workload(&other));
+    }
+
+    #[test]
+    fn read_only_fraction_is_respected_approximately() {
+        let w = generate_mt_workload(&MtWorkloadSpec {
+            txns_per_session: 2000,
+            sessions: 1,
+            ..spec()
+        });
+        let read_only = w.sessions[0]
+            .txns
+            .iter()
+            .filter(|t| t.ops.iter().all(|o| !o.is_write()))
+            .count();
+        let frac = read_only as f64 / 2000.0;
+        assert!((0.12..0.28).contains(&frac), "read-only fraction {frac}");
+    }
+
+    #[test]
+    fn single_key_workload_works() {
+        let w = generate_mt_workload(&MtWorkloadSpec {
+            num_keys: 1,
+            ..spec()
+        });
+        assert!(w.is_mini());
+        assert!(w
+            .sessions
+            .iter()
+            .flat_map(|s| s.txns.iter())
+            .all(|t| t.ops.iter().all(|o| o.key() == Key(0))));
+    }
+}

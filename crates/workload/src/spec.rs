@@ -1,0 +1,241 @@
+//! Workload specifications and transaction templates.
+//!
+//! A *workload* is a set of per-session transaction templates. Templates
+//! contain the operation shapes (which keys to read, which to write); the
+//! concrete values read are determined only when the workload is executed
+//! against a database, and written values are assigned by the executing
+//! client from its unique-value allocator.
+
+use crate::dist::Distribution;
+use mtc_history::Key;
+use serde::{Deserialize, Serialize};
+
+/// One operation of a transaction template.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReqOp {
+    /// Read the current value of the key.
+    Read(Key),
+    /// Write a fresh unique value to the key.
+    Write(Key),
+}
+
+impl ReqOp {
+    /// The key touched by the operation.
+    pub fn key(&self) -> Key {
+        match *self {
+            ReqOp::Read(k) | ReqOp::Write(k) => k,
+        }
+    }
+
+    /// True for [`ReqOp::Write`].
+    pub fn is_write(&self) -> bool {
+        matches!(self, ReqOp::Write(_))
+    }
+}
+
+/// A transaction template: operations in program order.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnTemplate {
+    /// The operations to issue.
+    pub ops: Vec<ReqOp>,
+}
+
+impl TxnTemplate {
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True iff the template has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// True iff the template follows the mini-transaction shape:
+    /// 1–2 reads, ≤ 2 writes, every write preceded by a read of its key.
+    pub fn is_mini(&self) -> bool {
+        let reads = self.ops.iter().filter(|o| !o.is_write()).count();
+        let writes = self.ops.iter().filter(|o| o.is_write()).count();
+        if reads == 0 || reads > 2 || writes > 2 {
+            return false;
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.is_write()
+                && !self.ops[..i]
+                    .iter()
+                    .any(|o| !o.is_write() && o.key() == op.key())
+            {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The templates issued by a single session.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionWorkload {
+    /// Session identifier (0-based).
+    pub session: u32,
+    /// Transactions in issue order.
+    pub txns: Vec<TxnTemplate>,
+}
+
+/// A complete workload: per-session templates plus the key-space size.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Per-session transaction templates.
+    pub sessions: Vec<SessionWorkload>,
+    /// Number of objects the workload addresses (keys `0..num_keys`).
+    pub num_keys: u64,
+}
+
+impl Workload {
+    /// Total number of transaction templates.
+    pub fn txn_count(&self) -> usize {
+        self.sessions.iter().map(|s| s.txns.len()).sum()
+    }
+
+    /// Total number of operations.
+    pub fn op_count(&self) -> usize {
+        self.sessions
+            .iter()
+            .flat_map(|s| s.txns.iter())
+            .map(TxnTemplate::len)
+            .sum()
+    }
+
+    /// True iff every template is a mini-transaction.
+    pub fn is_mini(&self) -> bool {
+        self.sessions
+            .iter()
+            .flat_map(|s| s.txns.iter())
+            .all(TxnTemplate::is_mini)
+    }
+}
+
+/// Parameters of the MT workload generator (Section V-A1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MtWorkloadSpec {
+    /// Number of client sessions.
+    pub sessions: u32,
+    /// Transactions per session.
+    pub txns_per_session: u32,
+    /// Number of objects.
+    pub num_keys: u64,
+    /// Object-access distribution.
+    pub distribution: Distribution,
+    /// Fraction of read-only mini-transactions (the rest are RMW-shaped).
+    pub read_only_fraction: f64,
+    /// Fraction of two-key mini-transactions (the rest touch one key).
+    pub two_key_fraction: f64,
+    /// RNG seed, for reproducible workloads.
+    pub seed: u64,
+}
+
+impl Default for MtWorkloadSpec {
+    fn default() -> Self {
+        MtWorkloadSpec {
+            sessions: 10,
+            txns_per_session: 100,
+            num_keys: 1000,
+            distribution: Distribution::Uniform,
+            read_only_fraction: 0.2,
+            two_key_fraction: 0.5,
+            seed: 0x4d5443, // "MTC"
+        }
+    }
+}
+
+/// Parameters of the Cobra-style GT workload generator (Section V-A1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GtWorkloadSpec {
+    /// Number of client sessions.
+    pub sessions: u32,
+    /// Transactions per session.
+    pub txns_per_session: u32,
+    /// Operations per transaction.
+    pub ops_per_txn: u32,
+    /// Number of objects.
+    pub num_keys: u64,
+    /// Object-access distribution.
+    pub distribution: Distribution,
+    /// Fraction of read-only transactions (paper: 0.2).
+    pub read_only_fraction: f64,
+    /// Fraction of write-only transactions (paper: 0.4). The remainder are
+    /// RMW transactions.
+    pub write_only_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GtWorkloadSpec {
+    fn default() -> Self {
+        GtWorkloadSpec {
+            sessions: 10,
+            txns_per_session: 100,
+            ops_per_txn: 20,
+            num_keys: 1000,
+            distribution: Distribution::Uniform,
+            read_only_fraction: 0.2,
+            write_only_fraction: 0.4,
+            seed: 0x474f54,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_mini_detection() {
+        let mini = TxnTemplate {
+            ops: vec![ReqOp::Read(Key(0)), ReqOp::Write(Key(0))],
+        };
+        assert!(mini.is_mini());
+        let blind = TxnTemplate {
+            ops: vec![ReqOp::Write(Key(0))],
+        };
+        assert!(!blind.is_mini());
+        let too_long = TxnTemplate {
+            ops: vec![
+                ReqOp::Read(Key(0)),
+                ReqOp::Read(Key(1)),
+                ReqOp::Read(Key(2)),
+            ],
+        };
+        assert!(!too_long.is_mini());
+        assert_eq!(mini.len(), 2);
+        assert!(!mini.is_empty());
+    }
+
+    #[test]
+    fn workload_counting() {
+        let w = Workload {
+            sessions: vec![
+                SessionWorkload {
+                    session: 0,
+                    txns: vec![TxnTemplate {
+                        ops: vec![ReqOp::Read(Key(0))],
+                    }],
+                },
+                SessionWorkload {
+                    session: 1,
+                    txns: vec![
+                        TxnTemplate {
+                            ops: vec![ReqOp::Read(Key(1)), ReqOp::Write(Key(1))],
+                        },
+                        TxnTemplate {
+                            ops: vec![ReqOp::Read(Key(2))],
+                        },
+                    ],
+                },
+            ],
+            num_keys: 3,
+        };
+        assert_eq!(w.txn_count(), 3);
+        assert_eq!(w.op_count(), 4);
+        assert!(w.is_mini());
+    }
+}

@@ -1,0 +1,61 @@
+//! Lightweight-transaction (Compare-And-Set) linearizability checking with
+//! `VL-LWT` (Algorithm 2 of the paper), including the two example histories
+//! of Figure 4, and a quick comparison against the Porcupine-style search on
+//! a larger synthetic history.
+//!
+//! Run with `cargo run --release --example lwt_linearizability`.
+
+use mtc::baselines::porcupine::porcupine_check_linearizability;
+use mtc::core::check_linearizability;
+use mtc::history::TimedOp;
+use mtc::workload::{generate_lwt_history, LwtHistorySpec};
+use std::time::Instant;
+
+fn main() {
+    // Figure 4a: linearizable.
+    let fig4a = vec![
+        TimedOp::insert(0, 0, 0u64, 0u64),
+        TimedOp::read_write(3, 6, 0u64, 0u64, 1u64), // O1
+        TimedOp::read_write(1, 4, 0u64, 1u64, 2u64), // O2
+        TimedOp::read_write(5, 8, 0u64, 2u64, 3u64), // O3
+    ];
+    println!("Figure 4a: {:?}", check_linearizability(&fig4a).unwrap());
+
+    // Figure 4b: O1 starts only after O2 finished — not linearizable.
+    let fig4b = vec![
+        TimedOp::insert(0, 0, 0u64, 0u64),
+        TimedOp::read_write(6, 9, 0u64, 0u64, 1u64),
+        TimedOp::read_write(1, 4, 0u64, 1u64, 2u64),
+        TimedOp::read_write(5, 8, 0u64, 2u64, 3u64),
+    ];
+    match check_linearizability(&fig4b).unwrap() {
+        mtc::core::Verdict::Violated(v) => println!("Figure 4b: violated — {v}"),
+        ok => println!("Figure 4b: {ok:?}"),
+    }
+
+    // A bigger synthetic history: all sessions concurrent.
+    let spec = LwtHistorySpec {
+        sessions: 12,
+        txns_per_session: 60,
+        num_keys: 4,
+        concurrent_fraction: 1.0,
+        inject_violation: false,
+        seed: 3,
+    };
+    let ops = generate_lwt_history(&spec);
+    println!("\nsynthetic LWT history: {} operations on 4 objects", ops.len());
+
+    let start = Instant::now();
+    let vl = check_linearizability(&ops).unwrap();
+    let vl_time = start.elapsed();
+
+    let start = Instant::now();
+    let porcupine = porcupine_check_linearizability(&ops);
+    let porcupine_time = start.elapsed();
+
+    println!("  VL-LWT     : {:?} in {:?}", vl.is_satisfied(), vl_time);
+    println!(
+        "  Porcupine  : {:?} in {:?} ({} states visited)",
+        porcupine.linearizable, porcupine_time, porcupine.states_visited
+    );
+}

@@ -1,0 +1,51 @@
+//! The Appendix-C artefact: reducing boolean satisfiability to isolation
+//! checking of mini-transaction histories *without* unique values.
+//!
+//! The reduction shows why the unique-value convention matters: with it the
+//! verifiers of `mtc-core` run in linear time; without it, deciding SI (or
+//! SER, or SSER) is NP-complete.
+//!
+//! Run with `cargo run --release --example npc_reduction`.
+
+use mtc::core::npc::{reduce_to_history, Cnf};
+
+fn main() {
+    // (x1 ∨ ¬x2) ∧ (x2 ∨ x3) ∧ (¬x1 ∨ ¬x3)
+    let satisfiable = Cnf::from_clauses(3, &[&[1, -2], &[2, 3], &[-1, -3]]);
+    // x1 ∧ ¬x1
+    let unsatisfiable = Cnf::from_clauses(1, &[&[1], &[-1]]);
+
+    for (name, cnf) in [("satisfiable φ", &satisfiable), ("unsatisfiable φ", &unsatisfiable)] {
+        println!("── {name} ───────────────────────────────────────────");
+        println!(
+            "  variables: {}, clauses: {}, literal occurrences: {}",
+            cnf.num_vars,
+            cnf.clauses.len(),
+            cnf.literal_count()
+        );
+        match cnf.is_satisfiable() {
+            Some(model) => println!("  brute-force SAT: satisfiable, model = {model:?}"),
+            None => println!("  brute-force SAT: unsatisfiable"),
+        }
+        let h = reduce_to_history(cnf);
+        println!(
+            "  reduced history h_φ: {} mini-transactions, {} session-order pairs",
+            h.len(),
+            h.so_pairs.len()
+        );
+        println!(
+            "  duplicate values present (uniqueness intentionally violated): {}",
+            h.has_duplicate_values()
+        );
+        println!(
+            "  => φ is satisfiable  ⇔  h_φ satisfies snapshot isolation (Theorem 8)\n"
+        );
+    }
+
+    println!(
+        "The gadget history is linear in |φ| ({} transactions per variable, {} per literal),\n\
+         so the reduction is polynomial — deciding SI on histories without unique values is\n\
+         therefore NP-complete, which is why MTC insists on unique written values.",
+        2, 3
+    );
+}

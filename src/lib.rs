@@ -1,0 +1,19 @@
+//! # MTC — Mini-Transaction isolation Checking
+//!
+//! Facade crate re-exporting the whole MTC workspace:
+//!
+//! * [`history`] — histories, transactions, dependency graphs, the 14-anomaly catalogue;
+//! * [`core`] — the mini-transaction verifiers (`CHECKSSER`, `CHECKSER`, `CHECKSI`, `VL-LWT`);
+//! * [`workload`] — MT / GT / LWT / Elle-style workload generators;
+//! * [`dbsim`] — the in-memory MVCC transactional store used as the system under test;
+//! * [`baselines`] — Cobra-, PolySI-, Porcupine- and Elle-style baseline checkers;
+//! * [`runner`] — the end-to-end harness (generate → execute → collect → verify → report).
+//!
+//! See `examples/quickstart.rs` for a three-minute tour.
+
+pub use mtc_baselines as baselines;
+pub use mtc_core as core;
+pub use mtc_dbsim as dbsim;
+pub use mtc_history as history;
+pub use mtc_runner as runner;
+pub use mtc_workload as workload;

@@ -1,0 +1,47 @@
+//! Integration test: the 14-anomaly catalogue (Table I / Figure 5) against
+//! every checker in the workspace — MTC's verifiers, the Cobra/PolySI
+//! baselines and the brute-force ground truth all have to agree with the
+//! expected verdict matrix.
+
+use mtc::baselines::{brute_check_ser, brute_check_si, cobra_check_ser, polysi_check_si};
+use mtc::core::{check_ser, check_si, check_sser};
+use mtc::history::anomalies::AnomalyKind;
+
+#[test]
+fn every_anomaly_matches_the_expected_matrix_across_all_checkers() {
+    for kind in AnomalyKind::ALL {
+        let history = kind.history();
+        let expected = kind.expected();
+
+        let mtc_ser = check_ser(&history).unwrap().is_violated();
+        let mtc_si = check_si(&history).unwrap().is_violated();
+        let mtc_sser = check_sser(&history).unwrap().is_violated();
+        assert_eq!(mtc_ser, expected.violates_ser, "MTC-SER on {kind}");
+        assert_eq!(mtc_si, expected.violates_si, "MTC-SI on {kind}");
+        assert_eq!(mtc_sser, expected.violates_sser, "MTC-SSER on {kind}");
+
+        let cobra = cobra_check_ser(&history);
+        assert!(!cobra.timed_out);
+        assert_eq!(!cobra.satisfied, expected.violates_ser, "Cobra on {kind}");
+
+        let polysi = polysi_check_si(&history);
+        assert!(!polysi.timed_out);
+        assert_eq!(!polysi.satisfied, expected.violates_si, "PolySI on {kind}");
+
+        assert_eq!(!brute_check_ser(&history), expected.violates_ser, "brute SER on {kind}");
+        assert_eq!(!brute_check_si(&history), expected.violates_si, "brute SI on {kind}");
+    }
+}
+
+#[test]
+fn witness_histories_are_minimal_mini_transaction_histories() {
+    for kind in AnomalyKind::ALL {
+        let history = kind.history();
+        assert!(mtc::core::validate_history(&history).is_ok(), "{kind}");
+        // Each witness needs at most four user transactions plus ⊥T.
+        assert!(history.len() <= 5, "{kind} uses {} transactions", history.len());
+        for txn in history.txns() {
+            assert!(txn.len() <= 4, "{kind}: {txn:?}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Integration tests for the lightweight-transaction path (VL-LWT vs the
+//! Porcupine-style baseline) and for the Elle-style pipeline on the simulated
+//! store.
+
+use mtc::baselines::elle::{elle_check_list_append, ElleLevel};
+use mtc::baselines::porcupine_check_linearizability;
+use mtc::core::check_linearizability;
+use mtc::dbsim::{ClientOptions, DbConfig, FaultKind, FaultSpec, IsolationMode};
+use mtc::runner::{run_elle_append_workload, run_elle_register_workload, verify, Checker};
+use mtc::workload::{
+    generate_elle_workload, generate_lwt_history, ElleWorkloadKind, ElleWorkloadSpec,
+    LwtHistorySpec,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// VL-LWT and the Porcupine-style checker agree on synthetic LWT
+    /// histories, valid or injected-invalid, across concurrency levels.
+    #[test]
+    fn vl_lwt_agrees_with_porcupine(
+        sessions in 2u32..6,
+        txns in 5u32..25,
+        keys in 1u64..4,
+        concurrency in 0.0f64..1.0,
+        inject in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let spec = LwtHistorySpec {
+            sessions,
+            txns_per_session: txns,
+            num_keys: keys,
+            concurrent_fraction: concurrency,
+            inject_violation: inject,
+            seed,
+        };
+        let ops = generate_lwt_history(&spec);
+        let vl = check_linearizability(&ops).unwrap();
+        let porcupine = porcupine_check_linearizability(&ops);
+        prop_assume!(!porcupine.timed_out);
+        prop_assert_eq!(vl.is_satisfied(), porcupine.linearizable);
+        if inject {
+            prop_assert!(vl.is_violated());
+        } else {
+            prop_assert!(vl.is_satisfied());
+        }
+    }
+}
+
+#[test]
+fn elle_append_pipeline_on_a_correct_store_is_clean() {
+    let spec = ElleWorkloadSpec {
+        kind: ElleWorkloadKind::ListAppend,
+        sessions: 4,
+        txns_per_session: 60,
+        max_txn_len: 4,
+        num_keys: 6,
+        ..ElleWorkloadSpec::default()
+    };
+    let workload = generate_elle_workload(&spec);
+    let config = DbConfig::correct(IsolationMode::Serializable, 0);
+    let (history, report) = run_elle_append_workload(&config, &workload, &ClientOptions::default());
+    assert!(report.committed > 0);
+    let out = elle_check_list_append(&history, ElleLevel::Serializability);
+    assert!(out.satisfied, "{:?}", out.anomalies);
+}
+
+#[test]
+fn elle_append_pipeline_detects_injected_lost_updates() {
+    // A single hot list plus frequent reads maximizes the chance that some
+    // read observes a version that a conflicting (validation-skipping) append
+    // later overwrites, which is what Elle's order inference flags.
+    let spec = ElleWorkloadSpec {
+        kind: ElleWorkloadKind::ListAppend,
+        sessions: 4,
+        txns_per_session: 150,
+        max_txn_len: 4,
+        num_keys: 1,
+        ..ElleWorkloadSpec::default()
+    };
+    let workload = generate_elle_workload(&spec);
+    let config = DbConfig::correct(IsolationMode::Snapshot, 0)
+        .with_latency(
+            std::time::Duration::from_micros(200),
+            std::time::Duration::from_micros(100),
+        )
+        .with_faults(vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.8)], 3);
+    let (history, _) = run_elle_append_workload(&config, &workload, &ClientOptions::default());
+    let out = elle_check_list_append(&history, ElleLevel::SnapshotIsolation);
+    assert!(
+        !out.satisfied,
+        "the list-append checker should observe the forked version order"
+    );
+}
+
+#[test]
+fn elle_register_pipeline_on_a_correct_store_is_clean() {
+    let spec = ElleWorkloadSpec {
+        kind: ElleWorkloadKind::ReadWriteRegister,
+        sessions: 4,
+        txns_per_session: 40,
+        max_txn_len: 6,
+        num_keys: 8,
+        ..ElleWorkloadSpec::default()
+    };
+    let workload = generate_elle_workload(&spec);
+    let config = DbConfig::correct(IsolationMode::Serializable, 8);
+    let (history, report) =
+        run_elle_register_workload(&config, &workload, &ClientOptions::default());
+    assert!(report.committed > 0);
+    let out = verify(Checker::ElleRwSer, &history);
+    assert!(!out.violated, "{}", out.detail);
+}

@@ -1,0 +1,102 @@
+//! Integration test: the full black-box pipeline of Figure 2 — workload
+//! generation, execution against the simulated database, history collection,
+//! and verification — for correct and fault-injected databases.
+
+use mtc::baselines::{cobra_check_ser, polysi_check_si};
+use mtc::core::{check_ser, check_si, check_sser};
+use mtc::dbsim::{
+    execute_workload, ClientOptions, Database, DbConfig, FaultKind, FaultSpec, IsolationMode,
+};
+use mtc::history::serde_io;
+use mtc::workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
+use std::time::Duration;
+
+fn mt_spec(seed: u64, num_keys: u64) -> MtWorkloadSpec {
+    MtWorkloadSpec {
+        sessions: 4,
+        txns_per_session: 80,
+        num_keys,
+        distribution: Distribution::Zipf { theta: 1.0 },
+        read_only_fraction: 0.2,
+        two_key_fraction: 0.5,
+        seed,
+    }
+}
+
+#[test]
+fn serializable_store_produces_histories_every_checker_accepts() {
+    let spec = mt_spec(1, 24);
+    let workload = generate_mt_workload(&spec);
+    let db = Database::new(DbConfig::correct(IsolationMode::Serializable, spec.num_keys));
+    let (history, report) = execute_workload(&db, &workload, &ClientOptions::default());
+
+    assert!(report.committed > 200, "too few commits: {report:?}");
+    assert!(history.has_unique_values());
+    assert!(check_sser(&history).unwrap().is_satisfied());
+    assert!(check_ser(&history).unwrap().is_satisfied());
+    assert!(check_si(&history).unwrap().is_satisfied());
+    assert!(cobra_check_ser(&history).satisfied);
+    assert!(polysi_check_si(&history).satisfied);
+}
+
+#[test]
+fn snapshot_store_satisfies_si_across_seeds() {
+    for seed in 0..3u64 {
+        let spec = mt_spec(seed, 8);
+        let workload = generate_mt_workload(&spec);
+        let db = Database::new(DbConfig::correct(IsolationMode::Snapshot, spec.num_keys));
+        let (history, _) = execute_workload(&db, &workload, &ClientOptions::default());
+        let verdict = check_si(&history).unwrap();
+        assert!(
+            verdict.is_satisfied(),
+            "seed {seed}: SI store produced a non-SI history: {:?}",
+            verdict.violation()
+        );
+    }
+}
+
+#[test]
+fn lost_update_fault_is_caught_by_mtc_si() {
+    // Skip first-committer-wins often enough, with per-operation latency so
+    // that transactions overlap, and MTC-SI must flag the history.
+    let spec = mt_spec(7, 4);
+    let workload = generate_mt_workload(&spec);
+    let config = DbConfig::correct(IsolationMode::Snapshot, spec.num_keys)
+        .with_latency(Duration::from_micros(200), Duration::from_micros(100))
+        .with_faults(vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.6)], 7);
+    let db = Database::new(config);
+    let (history, _) = execute_workload(&db, &workload, &ClientOptions::default());
+    let verdict = check_si(&history).unwrap();
+    assert!(
+        verdict.is_violated(),
+        "expected an SI violation from the lost-update fault"
+    );
+}
+
+#[test]
+fn dirty_release_fault_is_caught_as_aborted_read() {
+    let spec = mt_spec(9, 4);
+    let workload = generate_mt_workload(&spec);
+    let config = DbConfig::correct(IsolationMode::Snapshot, spec.num_keys)
+        .with_faults(vec![FaultSpec::new(FaultKind::DirtyRelease, 0.2)], 9);
+    let db = Database::new(config);
+    let (history, _) = execute_workload(&db, &workload, &ClientOptions::default());
+    let verdict = check_si(&history).unwrap();
+    assert!(verdict.is_violated());
+}
+
+#[test]
+fn histories_survive_a_serialization_round_trip() {
+    let spec = mt_spec(11, 16);
+    let workload = generate_mt_workload(&spec);
+    let db = Database::new(DbConfig::correct(IsolationMode::Serializable, spec.num_keys));
+    let (history, _) = execute_workload(&db, &workload, &ClientOptions::default());
+
+    let text = serde_io::to_json_lines(&history).unwrap();
+    let restored = serde_io::from_json_lines(&text).unwrap();
+    assert_eq!(history, restored);
+    assert_eq!(
+        check_ser(&history).unwrap().is_satisfied(),
+        check_ser(&restored).unwrap().is_satisfied()
+    );
+}
