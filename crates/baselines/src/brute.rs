@@ -8,9 +8,7 @@
 //! and therefore usable only on tiny histories — which is exactly its job: it
 //! serves as ground truth in differential and property-based tests.
 
-use mtc_history::{
-    find_intra_anomalies, DiGraph, History, Key, TxnId, INIT_VALUE,
-};
+use mtc_history::{find_intra_anomalies, DiGraph, History, Key, TxnId, INIT_VALUE};
 use std::collections::HashMap;
 
 /// Upper bound on the number of WW-order combinations explored.
@@ -92,10 +90,8 @@ fn brute_check(history: &History, level: Level) -> bool {
 
     // Writers per key.
     let keys = history.keys();
-    let writer_sets: Vec<(Key, Vec<TxnId>)> = keys
-        .iter()
-        .map(|&k| (k, history.writers_of(k)))
-        .collect();
+    let writer_sets: Vec<(Key, Vec<TxnId>)> =
+        keys.iter().map(|&k| (k, history.writers_of(k))).collect();
 
     // Enumerate the cartesian product of per-key writer permutations.
     let mut budget = COMBINATION_BUDGET;
@@ -127,7 +123,12 @@ fn brute_check(history: &History, level: Level) -> bool {
             match level {
                 Level::Ser | Level::Sser => {
                     let mut g = DiGraph::new(n);
-                    for &(a, b) in base.iter().chain(wr.iter()).chain(ww.iter()).chain(rw.iter()) {
+                    for &(a, b) in base
+                        .iter()
+                        .chain(wr.iter())
+                        .chain(ww.iter())
+                        .chain(rw.iter())
+                    {
                         g.add_edge(a, b);
                     }
                     g.is_acyclic()

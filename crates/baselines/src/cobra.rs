@@ -140,8 +140,9 @@ impl Search<'_> {
     /// leave `b` through existing edges and come back through one of the new
     /// sources: one DFS from `b` suffices.
     fn orientation_admissible(&self, alt: &crate::polygraph::Alternative) -> bool {
-        let target_sources: Vec<usize> =
-            std::iter::once(alt.ww.0).chain(alt.rw.iter().map(|&(r, _)| r)).collect();
+        let target_sources: Vec<usize> = std::iter::once(alt.ww.0)
+            .chain(alt.rw.iter().map(|&(r, _)| r))
+            .collect();
         let b = alt.ww.1;
         // DFS from b over the current adjacency.
         let mut seen = vec![false; self.adj.len()];

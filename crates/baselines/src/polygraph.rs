@@ -355,8 +355,8 @@ mod tests {
                 (a, b) == (2, 3) || (a, b) == (3, 2)
             })
             .expect("diverging writer pair must be constrained");
-        assert!(c.first.len() >= 1);
-        assert!(c.second.len() >= 1);
+        assert!(!c.first.is_empty());
+        assert!(!c.second.is_empty());
         // The divergence itself already shows up as two crossing
         // anti-dependencies among the known edges, so the known graph alone
         // is cyclic (this is what makes the history non-serializable no
@@ -365,6 +365,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::explicit_counter_loop)] // `v` is state, not a counter
     fn pruning_reduces_constraints() {
         let mut b = HistoryBuilder::new().with_init(2);
         let mut last = [0u64, 0u64];

@@ -19,9 +19,11 @@ fn bench_build_dependency(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("optimized", n), &history, |b, h| {
             b.iter(|| build_dependency(h, false).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("reference_closure", n), &history, |b, h| {
-            b.iter(|| build_dependency_reference(h, false).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("reference_closure", n),
+            &history,
+            |b, h| b.iter(|| build_dependency_reference(h, false).unwrap()),
+        );
     }
     group.finish();
 

@@ -8,6 +8,7 @@ use mtc_history::{History, HistoryBuilder, Op};
 /// history of `n` transactions over `keys` objects issued by `sessions`
 /// sessions: each transaction reads the current value of one key and writes
 /// the next value, with strictly increasing begin/end instants.
+#[allow(clippy::explicit_counter_loop)] // `value` is state, not a counter
 pub fn serial_mt_history(n: u64, keys: u64, sessions: u32) -> History {
     let mut builder = HistoryBuilder::new().with_init(keys);
     let mut last = vec![0u64; keys as usize];

@@ -26,16 +26,12 @@ fn bench_dbsim_throughput(c: &mut Criterion) {
         IsolationMode::Snapshot,
         IsolationMode::Serializable,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("mode", mode.label()),
-            &workload,
-            |b, w| {
-                b.iter(|| {
-                    let db = Database::new(DbConfig::correct(mode, 64));
-                    execute_workload(&db, w, &ClientOptions::default())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("mode", mode.label()), &workload, |b, w| {
+            b.iter(|| {
+                let db = Database::new(DbConfig::correct(mode, 64));
+                execute_workload(&db, w, &ClientOptions::default())
+            })
+        });
     }
     group.finish();
 }

@@ -1,0 +1,66 @@
+//! Streaming verification throughput: batch `CHECKSER`/`CHECKSI` versus the
+//! incremental checker versus the key-sharded incremental checker.
+//!
+//! The batch checkers see the whole history at once; the streaming checkers
+//! consume it transaction-by-transaction (the incremental one) or in batches
+//! fanned out across 4 key shards (the sharded one). On multi-core machines
+//! the sharded variant should meet or beat the sequential incremental
+//! checker, while both stay within a small factor of the batch verifier —
+//! the price of an online answer.
+
+mod common;
+
+use common::{serial_mt_history, two_key_mt_history};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtc_core::{check_ser, check_si, check_streaming, check_streaming_sharded, IsolationLevel};
+
+const SHARDS: usize = 4;
+const BATCH: usize = 1024;
+
+fn bench_streaming_throughput(c: &mut Criterion) {
+    let sizes = [1000u64, 8000];
+
+    let mut group = c.benchmark_group("streaming_throughput_ser");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &sizes {
+        let history = serial_mt_history(n, 64, 8);
+        group.bench_with_input(BenchmarkId::new("batch", n), &history, |b, h| {
+            b.iter(|| check_ser(h).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &history, |b, h| {
+            b.iter(|| check_streaming(IsolationLevel::Serializability, h).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sharded", n), &history, |b, h| {
+            b.iter(|| {
+                check_streaming_sharded(IsolationLevel::Serializability, h, SHARDS, BATCH).unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("streaming_throughput_si");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &sizes {
+        let history = two_key_mt_history(n, 64, 8);
+        group.bench_with_input(BenchmarkId::new("batch", n), &history, |b, h| {
+            b.iter(|| check_si(h).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &history, |b, h| {
+            b.iter(|| check_streaming(IsolationLevel::SnapshotIsolation, h).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sharded", n), &history, |b, h| {
+            b.iter(|| {
+                check_streaming_sharded(IsolationLevel::SnapshotIsolation, h, SHARDS, BATCH)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_throughput);
+criterion_main!(benches);

@@ -22,9 +22,11 @@ fn bench_verify_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("check_si", n), &history, |b, h| {
             b.iter(|| check_si(h).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("check_sser_timechain", n), &history, |b, h| {
-            b.iter(|| check_sser(h).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("check_sser_timechain", n),
+            &history,
+            |b, h| b.iter(|| check_sser(h).unwrap()),
+        );
     }
     group.finish();
 

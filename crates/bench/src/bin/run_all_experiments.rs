@@ -5,18 +5,42 @@ fn main() {
     let quick = mtc_bench::quick_requested();
     println!("# MTC reproduction — running all experiments (quick = {quick})\n");
     mtc_bench::emit(&[e::table1_anomalies()]);
-    let v = if quick { e::VerificationSweep::quick() } else { e::VerificationSweep::paper() };
+    let v = if quick {
+        e::VerificationSweep::quick()
+    } else {
+        e::VerificationSweep::paper()
+    };
     mtc_bench::emit(&e::fig7_ser_verification(&v));
     mtc_bench::emit(&e::fig8_si_verification(&v));
-    let s = if quick { e::SserSweep::quick() } else { e::SserSweep::paper() };
+    let s = if quick {
+        e::SserSweep::quick()
+    } else {
+        e::SserSweep::paper()
+    };
     mtc_bench::emit(&e::fig9_sser_verification(&s));
-    let e2e = if quick { e::EndToEndSweep::quick() } else { e::EndToEndSweep::paper() };
+    let e2e = if quick {
+        e::EndToEndSweep::quick()
+    } else {
+        e::EndToEndSweep::paper()
+    };
     mtc_bench::emit(&e::fig10_end_to_end_ser(&e2e));
-    let a = if quick { e::AbortRateSweep::quick() } else { e::AbortRateSweep::paper() };
+    let a = if quick {
+        e::AbortRateSweep::quick()
+    } else {
+        e::AbortRateSweep::paper()
+    };
     mtc_bench::emit(&e::fig11_abort_rates(&a));
-    let b = if quick { e::BugSweep::quick() } else { e::BugSweep::paper() };
+    let b = if quick {
+        e::BugSweep::quick()
+    } else {
+        e::BugSweep::paper()
+    };
     mtc_bench::emit(&[e::table2_bug_rediscovery(&b)]);
-    let eff = if quick { e::EffectivenessSweep::quick() } else { e::EffectivenessSweep::paper() };
+    let eff = if quick {
+        e::EffectivenessSweep::quick()
+    } else {
+        e::EffectivenessSweep::paper()
+    };
     mtc_bench::emit(&e::fig13_effectiveness(&eff));
     mtc_bench::emit(&e::fig14_elle_end_to_end(&eff));
     mtc_bench::emit(&e::fig17_end_to_end_si(&e2e));

@@ -1,0 +1,466 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real `serde` cannot be fetched in this build environment, so this
+//! crate provides the small surface the workspace actually uses: a
+//! [`Serialize`]/[`Deserialize`] trait pair over an owned JSON value tree
+//! ([`JsonValue`]), derive macros for both traits (re-exported from the
+//! sibling `serde_derive` proc-macro crate), and implementations for the
+//! primitive types, `String`, `Option`, `Vec`, tuples, maps and
+//! `std::time::Duration`.
+//!
+//! Unsigned 64-bit integers are preserved exactly (not routed through `f64`),
+//! which matters because unique write values pack session ids into the high
+//! bits and must round-trip bit-identically.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// An owned JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer that fits `u64`, kept exact.
+    U64(u64),
+    /// A negative integer, kept exact.
+    I64(i64),
+    /// Any other number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON text.
+    pub fn render(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(n) => out.push_str(&n.to_string()),
+            JsonValue::I64(n) => out.push_str(&n.to_string()),
+            JsonValue::F64(x) => {
+                if x.is_finite() {
+                    // `{:?}` prints the shortest representation that
+                    // round-trips through parsing.
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => render_string(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// A free-form error.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+
+    /// `ty` expected a JSON shape it did not get.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        Error(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// A struct field was absent.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(ty: &str, tag: &str) -> Self {
+        Error(format!("unknown variant `{tag}` of {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`JsonValue`].
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_json_value(&self) -> JsonValue;
+}
+
+/// Types that can be reconstructed from a [`JsonValue`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value tree.
+    fn from_json_value(v: &JsonValue) -> Result<Self, Error>;
+}
+
+// ── primitive impls ─────────────────────────────────────────────────────────
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &JsonValue) -> Result<Self, Error> {
+                match v {
+                    JsonValue::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    JsonValue::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    _ => Err(Error::expected("unsigned integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue {
+                let n = *self as i64;
+                if n >= 0 {
+                    JsonValue::U64(n as u64)
+                } else {
+                    JsonValue::I64(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &JsonValue) -> Result<Self, Error> {
+                match v {
+                    JsonValue::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    JsonValue::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    _ => Err(Error::expected("signed integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &JsonValue) -> Result<Self, Error> {
+                match v {
+                    JsonValue::F64(x) => Ok(*x as $t),
+                    JsonValue::U64(n) => Ok(*n as $t),
+                    JsonValue::I64(n) => Ok(*n as $t),
+                    _ => Err(Error::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &JsonValue) -> Result<Self, Error> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("boolean", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &JsonValue) -> Result<Self, Error> {
+        match v {
+            JsonValue::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &JsonValue) -> Result<Self, Error> {
+        match v {
+            JsonValue::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, Error> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => Ok(Some(T::from_json_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, Error> {
+        match v {
+            JsonValue::Array(items) => items.iter().map(T::from_json_value).collect(),
+            _ => Err(Error::expected("array", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &JsonValue) -> Result<Self, Error> {
+                match v {
+                    JsonValue::Array(items) => {
+                        Ok(($($t::from_json_value(
+                            items.get($n).ok_or_else(|| Error::expected("longer array", "tuple"))?,
+                        )?,)+))
+                    }
+                    _ => Err(Error::expected("array", "tuple")),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(
+            self.iter()
+                .map(|(k, v)| JsonValue::Array(vec![k.to_json_value(), v.to_json_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json_value(v: &JsonValue) -> Result<Self, Error> {
+        match v {
+            JsonValue::Array(items) => {
+                let mut map = HashMap::with_capacity_and_hasher(items.len(), S::default());
+                for item in items {
+                    let (k, val) = <(K, V)>::from_json_value(item)?;
+                    map.insert(k, val);
+                }
+                Ok(map)
+            }
+            _ => Err(Error::expected("array of pairs", "HashMap")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(
+            self.iter()
+                .map(|(k, v)| JsonValue::Array(vec![k.to_json_value(), v.to_json_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, Error> {
+        match v {
+            JsonValue::Array(items) => {
+                let mut map = BTreeMap::new();
+                for item in items {
+                    let (k, val) = <(K, V)>::from_json_value(item)?;
+                    map.insert(k, val);
+                }
+                Ok(map)
+            }
+            _ => Err(Error::expected("array of pairs", "BTreeMap")),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("secs".to_string(), JsonValue::U64(self.as_secs())),
+            (
+                "nanos".to_string(),
+                JsonValue::U64(self.subsec_nanos() as u64),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_json_value(v: &JsonValue) -> Result<Self, Error> {
+        let secs = u64::from_json_value(
+            v.get("secs")
+                .ok_or_else(|| Error::missing_field("Duration", "secs"))?,
+        )?;
+        let nanos = u32::from_json_value(
+            v.get("nanos")
+                .ok_or_else(|| Error::missing_field("Duration", "nanos"))?,
+        )?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_values_survive_exactly() {
+        let big: u64 = (37u64 + 1) << 40 | 123; // allocator-style packed value
+        let v = big.to_json_value();
+        assert_eq!(u64::from_json_value(&v).unwrap(), big);
+    }
+
+    #[test]
+    fn string_escaping() {
+        let mut out = String::new();
+        JsonValue::Str("a\"b\\c\n".to_string()).render(&mut out);
+        assert_eq!(out, r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn object_get() {
+        let v = JsonValue::Object(vec![("k".into(), JsonValue::U64(1))]);
+        assert_eq!(v.get("k"), Some(&JsonValue::U64(1)));
+        assert_eq!(v.get("missing"), None);
+    }
+}

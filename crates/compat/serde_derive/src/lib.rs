@@ -1,0 +1,455 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the offline `serde` stand-in.
+//!
+//! Without `syn`/`quote` available, the input item is parsed directly from
+//! the `proc_macro` token stream. The supported shapes are exactly the ones
+//! this workspace uses:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]` on a field),
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * unit structs,
+//! * enums with unit, newtype, tuple and struct variants (externally tagged,
+//!   matching serde's default representation).
+//!
+//! Generic type parameters are not supported; deriving on a generic item
+//! produces a compile error naming this limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct NamedField {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Named(Vec<NamedField>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl must parse"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl must parse"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ── parsing ─────────────────────────────────────────────────────────────────
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    skip_attrs_and_vis(&tokens, &mut i, &mut false);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive does not support generic type `{name}`"
+        ));
+    }
+
+    match kw.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances `i` past any `#[...]` attributes and `pub` / `pub(...)`
+/// visibility tokens. Sets `skip` if a `#[serde(skip)]` attribute was seen.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize, skip: &mut bool) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if attr_is_serde_skip(g.stream()) {
+                        *skip = true;
+                    }
+                }
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(path)), Some(TokenTree::Group(args)))
+            if path.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Parses `name: Type, ...` field lists, tracking angle-bracket depth so that
+/// commas inside `HashMap<K, V>`-style types do not end a field early.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<NamedField>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let mut skip = false;
+        skip_attrs_and_vis(&tokens, &mut i, &mut skip);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(NamedField { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Counts top-level comma-separated entries of a tuple-struct body, ignoring
+/// per-field attributes/visibility and commas nested in generics.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let mut skip = false;
+        skip_attrs_and_vis(&tokens, &mut i, &mut skip);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // consume the trailing comma, if any
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ── code generation ─────────────────────────────────────────────────────────
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let mut pushes = String::new();
+                    for f in fs {
+                        if f.skip {
+                            continue;
+                        }
+                        pushes.push_str(&format!(
+                            "entries.push(({:?}.to_string(), ::serde::Serialize::to_json_value(&self.{})));\n",
+                            f.name, f.name
+                        ));
+                    }
+                    format!(
+                        "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::JsonValue)> = ::std::vec::Vec::new();\n{pushes}::serde::JsonValue::Object(entries)"
+                    )
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("::serde::JsonValue::Array(vec![{items}])")
+                }
+                Fields::Unit => "::serde::JsonValue::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_json_value(&self) -> ::serde::JsonValue {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::JsonValue::Str({vn:?}.to_string()),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds = (0..*n).map(|i| format!("x{i}")).collect::<Vec<_>>();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_json_value(x0)".to_string()
+                        } else {
+                            let items = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("::serde::JsonValue::Array(vec![{items}])")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::JsonValue::Object(vec![({vn:?}.to_string(), {payload})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.iter().map(|f| f.name.clone()).collect::<Vec<_>>();
+                        let items = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({:?}.to_string(), ::serde::Serialize::to_json_value({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::JsonValue::Object(vec![({vn:?}.to_string(), ::serde::JsonValue::Object(vec![{items}]))]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_json_value(&self) -> ::serde::JsonValue {{ match self {{ {arms} }} }}\n}}"
+            )
+        }
+    }
+}
+
+fn named_fields_ctor(ty: &str, path: &str, fs: &[NamedField], src: &str) -> String {
+    let mut inits = String::new();
+    for f in fs {
+        if f.skip {
+            inits.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{field}: ::serde::Deserialize::from_json_value({src}.get({field:?}).ok_or_else(|| ::serde::Error::missing_field({ty:?}, {field:?}))?)?,\n",
+                field = f.name,
+            ));
+        }
+    }
+    format!("{path} {{ {inits} }}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let ctor = named_fields_ctor(name, name, fs, "v");
+                    format!(
+                        "match v {{\n ::serde::JsonValue::Object(_) => Ok({ctor}),\n _ => Err(::serde::Error::expected(\"object\", {name:?})),\n}}"
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_json_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_json_value(items.get({i}).ok_or_else(|| ::serde::Error::expected(\"longer array\", {name:?}))?)?"
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "match v {{\n ::serde::JsonValue::Array(items) => Ok({name}({items})),\n _ => Err(::serde::Error::expected(\"array\", {name:?})),\n}}"
+                    )
+                }
+                Fields::Unit => format!("match v {{ _ => Ok({name}) }}"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_json_value(v: &::serde::JsonValue) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                        // Tolerate `{ "Variant": null }` in the tagged form too.
+                        tagged_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                    }
+                    Fields::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_json_value(payload)?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let items = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_json_value(items.get({i}).ok_or_else(|| ::serde::Error::expected(\"longer array\", {name:?}))?)?"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => match payload {{\n ::serde::JsonValue::Array(items) => Ok({name}::{vn}({items})),\n _ => Err(::serde::Error::expected(\"array\", {name:?})),\n}},\n"
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let ctor = named_fields_ctor(name, &format!("{name}::{vn}"), fs, "payload");
+                        tagged_arms.push_str(&format!("{vn:?} => Ok({ctor}),\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_json_value(v: &::serde::JsonValue) -> ::std::result::Result<Self, ::serde::Error> {{\n match v {{\n ::serde::JsonValue::Str(tag) => match tag.as_str() {{\n {unit_arms} other => Err(::serde::Error::unknown_variant({name:?}, other)),\n }},\n ::serde::JsonValue::Object(entries) if entries.len() == 1 => {{\n let (tag, payload) = &entries[0];\n match tag.as_str() {{\n {tagged_arms} other => Err(::serde::Error::unknown_variant({name:?}, other)),\n }}\n }},\n _ => Err(::serde::Error::expected(\"string or single-key object\", {name:?})),\n }}\n }}\n}}"
+            )
+        }
+    }
+}

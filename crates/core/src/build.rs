@@ -117,11 +117,8 @@ fn build_impl(
     // We iterate over the edge list snapshot so that, in the reference
     // variant, closure WW edges participate as well (yielding the
     // "derived" R̂W edges of Figure 6).
-    let snapshot: Vec<(TxnId, TxnId, EdgeKind)> = g
-        .edges()
-        .iter()
-        .map(|e| (e.from, e.to, e.kind))
-        .collect();
+    let snapshot: Vec<(TxnId, TxnId, EdgeKind)> =
+        g.edges().iter().map(|e| (e.from, e.to, e.kind)).collect();
     let mut wr_by_source: HashMap<(TxnId, Key), Vec<TxnId>> = HashMap::new();
     let mut ww_by_source: HashMap<(TxnId, Key), Vec<TxnId>> = HashMap::new();
     for &(from, to, kind) in &snapshot {
@@ -316,6 +313,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::explicit_counter_loop)] // `val` is state, not a counter
     fn edge_budget_is_linear_for_mt_histories() {
         // Each mini-transaction contributes O(1) SO/WR/WW/RW edges.
         let mut b = HistoryBuilder::new().with_init(4);

@@ -22,9 +22,7 @@ use crate::build::{build_dependency, build_dependency_reference};
 use crate::divergence::find_divergence;
 use crate::mini::validate_history;
 use crate::verdict::{CheckError, Verdict, Violation};
-use mtc_history::{
-    find_intra_anomalies, DependencyGraph, DiGraph, Edge, EdgeKind, History, TxnId,
-};
+use mtc_history::{find_intra_anomalies, DependencyGraph, DiGraph, Edge, EdgeKind, History, TxnId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -122,7 +120,11 @@ fn preflight(history: &History, opts: &CheckOptions) -> Result<Option<Verdict>, 
     Ok(None)
 }
 
-fn build(history: &History, with_rt: bool, opts: &CheckOptions) -> Result<DependencyGraph, CheckError> {
+fn build(
+    history: &History,
+    with_rt: bool,
+    opts: &CheckOptions,
+) -> Result<DependencyGraph, CheckError> {
     if opts.reference_build {
         build_dependency_reference(history, with_rt)
     } else {
@@ -269,13 +271,16 @@ pub fn check_sser_with(history: &History, opts: &CheckOptions) -> Result<Verdict
     }
     instants.sort_unstable();
     instants.dedup();
-    let time_node = |instant: u64| -> Option<usize> {
-        instants.binary_search(&instant).ok().map(|i| n + i)
-    };
+    let time_node =
+        |instant: u64| -> Option<usize> { instants.binary_search(&instant).ok().map(|i| n + i) };
     let first_after = |instant: u64| -> Option<usize> {
         match instants.binary_search(&instant) {
             Ok(i) | Err(i) => {
-                let j = if instants.get(i) == Some(&instant) { i + 1 } else { i };
+                let j = if instants.get(i) == Some(&instant) {
+                    i + 1
+                } else {
+                    i
+                };
                 if j < instants.len() {
                     Some(n + j)
                 } else {
@@ -310,7 +315,10 @@ pub fn check_sser_with(history: &History, opts: &CheckOptions) -> Result<Verdict
     // Splice time nodes out of the cycle: consecutive real transactions with
     // time nodes in between are connected by an RT edge.
     let reals: Vec<usize> = cycle.iter().copied().filter(|&v| v < n).collect();
-    debug_assert!(!reals.is_empty(), "a cycle cannot consist of time nodes only");
+    debug_assert!(
+        !reals.is_empty(),
+        "a cycle cannot consist of time nodes only"
+    );
     let mut edges = Vec::new();
     let len = cycle.len();
     // Position of each real node in the cycle, to know whether the hop to the
@@ -430,7 +438,10 @@ mod tests {
             panic!("expected a cycle, got {verdict:?}");
         };
         let rw_count = edges.iter().filter(|e| e.kind.is_rw()).count();
-        assert!(rw_count >= 2, "write skew must involve two RW edges: {edges:?}");
+        assert!(
+            rw_count >= 2,
+            "write skew must involve two RW edges: {edges:?}"
+        );
     }
 
     #[test]
@@ -509,15 +520,21 @@ mod tests {
     fn check_dispatch_matches_direct_calls() {
         let h = anomalies::long_fork();
         assert_eq!(
-            check(IsolationLevel::Serializability, &h).unwrap().is_violated(),
+            check(IsolationLevel::Serializability, &h)
+                .unwrap()
+                .is_violated(),
             check_ser(&h).unwrap().is_violated()
         );
         assert_eq!(
-            check(IsolationLevel::SnapshotIsolation, &h).unwrap().is_violated(),
+            check(IsolationLevel::SnapshotIsolation, &h)
+                .unwrap()
+                .is_violated(),
             check_si(&h).unwrap().is_violated()
         );
         assert_eq!(
-            check(IsolationLevel::StrictSerializability, &h).unwrap().is_violated(),
+            check(IsolationLevel::StrictSerializability, &h)
+                .unwrap()
+                .is_violated(),
             check_sser(&h).unwrap().is_violated()
         );
     }

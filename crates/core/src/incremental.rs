@@ -1,0 +1,1894 @@
+//! Streaming verification: incremental SER/SI checking of mini-transaction
+//! histories, one committed transaction at a time.
+//!
+//! The batch verifiers of [`crate::check`] need the whole history before they
+//! answer. Yet the property that makes MT histories attractive — the
+//! dependency graph is unique and grows by `O(1)` edges per transaction — is
+//! exactly what makes *online* checking feasible: as each transaction
+//! commits, its edges are derived from per-key indexes and inserted into an
+//! incrementally maintained topological order
+//! ([`mtc_history::IncrementalTopo`], Pearce–Kelly style). A violation is
+//! reported the moment the offending transaction is consumed instead of
+//! after the run ends, and the amortized cost per transaction is `O(1)` for
+//! histories fed in commit order.
+//!
+//! Two drivers share the same derivation code:
+//!
+//! * [`IncrementalChecker`] — consumes transactions one by one on the caller
+//!   thread;
+//! * [`ShardedIncrementalChecker`] — partitions per-key edge derivation
+//!   across worker threads by key (`hash(key) mod shards`) and merges the
+//!   resulting edge events into the shared topological order in a canonical
+//!   deterministic order, so its verdicts are identical to the sequential
+//!   checker's by construction.
+//!
+//! ## Equivalence with the batch checkers
+//!
+//! On any completed stream, [`IncrementalChecker::finish`] agrees with
+//! [`crate::check_ser`] / [`crate::check_si`] on accept/reject. Violation
+//! payloads coincide up to the inherent reordering of online reporting:
+//!
+//! * intra-transactional anomalies local to one transaction (`INT`
+//!   violations, `FUTUREREAD`) are reported at that transaction;
+//! * read-provenance anomalies that batch mode classifies with the *whole*
+//!   history in hand (`THINAIRREAD`, `ABORTEDREAD`, `INTERMEDIATEREAD`) stay
+//!   *pending* while a future writer could still legitimize the read and are
+//!   settled at the latest by `finish()`;
+//! * cycles are reported when the closing edge arrives, with the same
+//!   labelling rules as the batch counterexamples;
+//! * the DIVERGENCE pattern is checked before the edges of each transaction,
+//!   mirroring `CHECKSI`'s early exit.
+//!
+//! Because a violation is latched as soon as it is *provable from the
+//! prefix*, a corrupted transaction in the middle of a long run is reported
+//! without consuming the tail — the "time-to-first-violation" metric
+//! reported by `mtc-runner`'s streaming mode.
+
+use crate::check::{CheckOptions, IsolationLevel};
+use crate::divergence::Divergence;
+use crate::mini::{validate_transaction, MtViolation};
+use crate::verdict::{CheckError, Verdict, Violation};
+use mtc_history::{
+    DependencyGraph, Edge, EdgeKind, IncrementalTopo, IntraAnomaly, IntraViolation, Key, Op,
+    SessionId, Transaction, TxnId, TxnStatus, Value, INIT_VALUE,
+};
+use std::collections::HashMap;
+
+// ───────────────────────── events ───────────────────────────────────────────
+
+/// Sub-pass indices fixing the canonical order of events within one
+/// transaction (mirroring the batch pipeline: validation, pre-scan,
+/// divergence, graph construction).
+const PASS_ERROR: u8 = 0;
+const PASS_INTRA: u8 = 1;
+const PASS_DIVERGENCE: u8 = 2;
+const PASS_EDGES: u8 = 3;
+/// Ablation mode (`skip_divergence_early_exit`): the divergence scan still
+/// runs, but its events sort *after* the transaction's edges — mirroring the
+/// batch `CHECKSI`, which always re-checks divergence because the composed
+/// graph can mask the RW 2-cycle a DIVERGENCE induces.
+const PASS_LATE_DIVERGENCE: u8 = 4;
+
+/// One derived consequence of consuming a transaction.
+#[derive(Clone, Debug)]
+enum Event {
+    /// The input left the checker's domain (malformed MT, duplicate value).
+    Error(CheckError),
+    /// An intra-transactional / read-provenance anomaly became provable.
+    Intra(IntraViolation),
+    /// The DIVERGENCE pattern completed (SI only).
+    Divergence(Divergence),
+    /// A dependency edge; `dedup` requests add-if-absent semantics (RW).
+    Edge {
+        from: TxnId,
+        to: TxnId,
+        kind: EdgeKind,
+        dedup: bool,
+    },
+}
+
+/// An event tagged with its canonical position within the transaction.
+#[derive(Clone, Debug)]
+struct TaggedEvent {
+    pass: u8,
+    key_rank: u32,
+    seq: u32,
+    event: Event,
+}
+
+// ───────────────────────── per-key state ────────────────────────────────────
+
+/// Everything ever written as `(key, value)`, as far as the stream has been
+/// consumed. Mirrors the roles of `History::write_index` /
+/// `History::any_write_index` in batch mode.
+#[derive(Clone, Debug, Default)]
+struct WriteReg {
+    /// First committed transaction whose *last* write of the key installed
+    /// the value (the version the WR relation points at).
+    committed_last: Option<TxnId>,
+    /// A committed transaction wrote the value but overwrote it before
+    /// committing (`INTERMEDIATEREAD` witness).
+    committed_intermediate: Option<TxnId>,
+    /// A non-committed (aborted/unknown) transaction wrote the value
+    /// (`ABORTEDREAD` candidate).
+    non_committed: Option<TxnId>,
+    /// First committed writer of the value, intermediate or not (duplicate
+    /// detection, Definition 9).
+    first_committed_any: Option<TxnId>,
+}
+
+/// An external read whose provenance cannot be classified yet.
+#[derive(Clone, Debug)]
+struct PendingRead {
+    txn: TxnId,
+    op_index: usize,
+    key: Key,
+    value: Value,
+    /// The reader itself writes this very value later in its own program
+    /// order (`FUTUREREAD` if nobody else ever installs it).
+    future_candidate: bool,
+    /// The reader also writes the key (so a resolution adds a WW edge).
+    writes_key: bool,
+}
+
+/// The key-partitioned indexes of the streaming checker. A sharded checker
+/// owns one `KeyState` per shard; the sequential checker owns exactly one.
+#[derive(Clone, Debug, Default)]
+struct KeyState {
+    /// Provenance of every value seen so far, per key.
+    writes: HashMap<(Key, Value), WriteReg>,
+    /// Per `(writer, key)`: transactions that read this version, and those
+    /// that read it and overwrote it (RW derivation, Algorithm 1).
+    readers_of: HashMap<(TxnId, Key), (Vec<TxnId>, Vec<TxnId>)>,
+    /// Per `(key, value)`: first committed reader-writer (DIVERGENCE scan).
+    first_reader_writer: HashMap<(Key, Value), TxnId>,
+    /// Reads waiting for their writer to appear in the stream.
+    pending: HashMap<(Key, Value), Vec<PendingRead>>,
+}
+
+/// The per-key slice of one transaction, precomputed once by the coordinator
+/// so shard workers never touch the full op list.
+#[derive(Clone, Debug)]
+struct KeyWork {
+    key: Key,
+    /// Rank of the key in the transaction's `key_set` order.
+    key_rank: u32,
+    /// Rank of the key in the transaction's `write_set` order (`u32::MAX`
+    /// when the key is not written) — fixes the divergence-check order.
+    write_rank: u32,
+    /// The external read of the key, with its op index.
+    external_read: Option<(Value, usize)>,
+    /// Every write of the key, in program order, with "is last write" flags.
+    writes: Vec<(Value, bool)>,
+    /// True iff the transaction writes the key.
+    writes_key: bool,
+    /// True iff the external read returns a value the transaction itself
+    /// installs later (FUTUREREAD candidate).
+    future_candidate: bool,
+}
+
+/// A transaction decomposed for shard processing.
+#[derive(Clone, Debug)]
+struct TxnWork {
+    id: TxnId,
+    status: TxnStatus,
+    is_init: bool,
+    per_key: Vec<KeyWork>,
+}
+
+fn decompose(txn: &Transaction, is_init: bool) -> TxnWork {
+    let key_set = txn.key_set();
+    let write_set = txn.write_set();
+    let per_key = key_set
+        .iter()
+        .enumerate()
+        .map(|(rank, &key)| {
+            let external_read = txn.ops.iter().enumerate().find_map(|(i, op)| match *op {
+                Op::Write { key: k, .. } if k == key => Some(None),
+                Op::Read { key: k, value } if k == key => Some(Some((value, i))),
+                _ => None,
+            });
+            let external_read = external_read.flatten();
+            let writes: Vec<(Value, bool)> = {
+                let last = txn.last_write(key);
+                txn.ops
+                    .iter()
+                    .filter_map(|op| match *op {
+                        Op::Write { key: k, value } if k == key => {
+                            Some((value, Some(value) == last))
+                        }
+                        _ => None,
+                    })
+                    .collect()
+            };
+            let future_candidate = match external_read {
+                Some((v, i)) => txn.ops[i + 1..]
+                    .iter()
+                    .any(|op| matches!(*op, Op::Write { key: k, value } if k == key && value == v)),
+                None => false,
+            };
+            KeyWork {
+                key,
+                key_rank: rank as u32,
+                write_rank: write_set
+                    .iter()
+                    .position(|&k| k == key)
+                    .map(|p| p as u32)
+                    .unwrap_or(u32::MAX),
+                external_read,
+                writes_key: !writes.is_empty(),
+                writes,
+                future_candidate,
+            }
+        })
+        .collect();
+    TxnWork {
+        id: txn.id,
+        status: txn.status,
+        is_init,
+        per_key,
+    }
+}
+
+impl KeyState {
+    /// Processes the slice of `txn` whose keys this state owns, appending
+    /// tagged events. `divergence_pass` enables the SI-only DIVERGENCE scan
+    /// and fixes where its events sort ([`PASS_DIVERGENCE`] normally,
+    /// [`PASS_LATE_DIVERGENCE`] in ablation mode).
+    #[allow(clippy::too_many_arguments)]
+    fn derive(
+        &mut self,
+        txn: &TxnWork,
+        owned: impl Fn(Key) -> bool,
+        divergence_pass: Option<u8>,
+        has_init: bool,
+        validate_mt: bool,
+        prescan: bool,
+        out: &mut Vec<TaggedEvent>,
+    ) {
+        let committed = txn.status == TxnStatus::Committed;
+        let mut seq = 0u32;
+        let mut push = |out: &mut Vec<TaggedEvent>, pass: u8, key_rank: u32, event: Event| {
+            out.push(TaggedEvent {
+                pass,
+                key_rank,
+                seq,
+                event,
+            });
+            seq += 1;
+        };
+
+        // ── register writes (duplicate detection + pending resolution) ──
+        for work in txn.per_key.iter().filter(|w| owned(w.key)) {
+            for &(value, is_last) in &work.writes {
+                let reg = self.writes.entry((work.key, value)).or_default();
+                if committed {
+                    if validate_mt {
+                        if let Some(first) = reg.first_committed_any {
+                            if first != txn.id {
+                                push(
+                                    out,
+                                    PASS_ERROR,
+                                    work.key_rank,
+                                    Event::Error(CheckError::NotMiniTransaction(
+                                        MtViolation::DuplicateValue {
+                                            key: work.key,
+                                            value,
+                                            first,
+                                            second: txn.id,
+                                        },
+                                    )),
+                                );
+                            }
+                        }
+                    }
+                    if reg.first_committed_any.is_none() {
+                        reg.first_committed_any = Some(txn.id);
+                    }
+                    if is_last {
+                        if reg.committed_last.is_none() {
+                            reg.committed_last = Some(txn.id);
+                        }
+                    } else if reg.committed_intermediate.is_none() {
+                        reg.committed_intermediate = Some(txn.id);
+                    }
+                } else if reg.non_committed.is_none() {
+                    reg.non_committed = Some(txn.id);
+                }
+            }
+        }
+
+        // ── resolve reads that were waiting for these writes ──
+        if committed {
+            for work in txn.per_key.iter().filter(|w| owned(w.key)) {
+                for &(value, is_last) in &work.writes {
+                    let Some(waiters) = self.pending.remove(&(work.key, value)) else {
+                        continue;
+                    };
+                    if is_last {
+                        // The version now exists: emit the deferred WR/WW/RW
+                        // edges for every waiting reader, in arrival order.
+                        for waiter in waiters {
+                            self.emit_reads_from(
+                                txn.id,
+                                waiter.txn,
+                                work.key,
+                                waiter.writes_key,
+                                work.key_rank,
+                                &mut push,
+                                out,
+                            );
+                        }
+                    } else if prescan {
+                        // The value only ever existed mid-transaction.
+                        for waiter in waiters {
+                            push(
+                                out,
+                                PASS_INTRA,
+                                work.key_rank,
+                                Event::Intra(IntraViolation {
+                                    anomaly: IntraAnomaly::IntermediateRead,
+                                    txn: waiter.txn,
+                                    op_index: waiter.op_index,
+                                    key: waiter.key,
+                                    value: waiter.value,
+                                }),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        if !committed || txn.is_init {
+            return;
+        }
+
+        // ── DIVERGENCE scan (write_set order, like `find_divergence`) ──
+        if let Some(pass) = divergence_pass {
+            let mut write_keys: Vec<&KeyWork> = txn
+                .per_key
+                .iter()
+                .filter(|w| owned(w.key) && w.writes_key && w.external_read.is_some())
+                .collect();
+            write_keys.sort_unstable_by_key(|w| w.write_rank);
+            for work in write_keys {
+                let (value, _) = work.external_read.expect("filtered above");
+                match self.first_reader_writer.get(&(work.key, value)) {
+                    None => {
+                        self.first_reader_writer.insert((work.key, value), txn.id);
+                    }
+                    Some(&other) if other != txn.id => {
+                        let writer = self
+                            .writes
+                            .get(&(work.key, value))
+                            .and_then(|r| r.committed_last);
+                        push(
+                            out,
+                            pass,
+                            work.write_rank,
+                            Event::Divergence(Divergence {
+                                key: work.key,
+                                value,
+                                writer,
+                                reader1: other,
+                                reader2: txn.id,
+                            }),
+                        );
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+
+        // ── resolve this transaction's own external reads ──
+        for work in txn.per_key.iter().filter(|w| owned(w.key)) {
+            let Some((value, op_index)) = work.external_read else {
+                continue;
+            };
+            if value == INIT_VALUE && !has_init {
+                // Read of the implicit initial state: no dependency.
+                continue;
+            }
+            let reg = self
+                .writes
+                .get(&(work.key, value))
+                .cloned()
+                .unwrap_or_default();
+            match reg.committed_last {
+                Some(writer) if writer != txn.id => {
+                    self.emit_reads_from(
+                        writer,
+                        txn.id,
+                        work.key,
+                        work.writes_key,
+                        work.key_rank,
+                        &mut push,
+                        out,
+                    );
+                }
+                _ => {
+                    // A *foreign* committed transaction overwrote the value
+                    // before committing (the reader's own intermediate write
+                    // is the FUTUREREAD case, settled at finish()).
+                    let foreign_intermediate =
+                        reg.committed_intermediate.is_some_and(|w| w != txn.id);
+                    if foreign_intermediate && prescan {
+                        push(
+                            out,
+                            PASS_INTRA,
+                            work.key_rank,
+                            Event::Intra(IntraViolation {
+                                anomaly: IntraAnomaly::IntermediateRead,
+                                txn: txn.id,
+                                op_index,
+                                key: work.key,
+                                value,
+                            }),
+                        );
+                        continue;
+                    }
+                    // Nobody (valid) has installed the value yet: defer.
+                    self.pending
+                        .entry((work.key, value))
+                        .or_default()
+                        .push(PendingRead {
+                            txn: txn.id,
+                            op_index,
+                            key: work.key,
+                            value,
+                            future_candidate: work.future_candidate,
+                            writes_key: work.writes_key,
+                        });
+                }
+            }
+        }
+    }
+
+    /// Emits the WR / WW edges of "`reader` reads `key` from `writer`" plus
+    /// the RW anti-dependencies derivable from the updated indexes.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_reads_from(
+        &mut self,
+        writer: TxnId,
+        reader: TxnId,
+        key: Key,
+        reader_writes_key: bool,
+        key_rank: u32,
+        push: &mut impl FnMut(&mut Vec<TaggedEvent>, u8, u32, Event),
+        out: &mut Vec<TaggedEvent>,
+    ) {
+        push(
+            out,
+            PASS_EDGES,
+            key_rank,
+            Event::Edge {
+                from: writer,
+                to: reader,
+                kind: EdgeKind::Wr(key),
+                dedup: false,
+            },
+        );
+        let entry = self.readers_of.entry((writer, key)).or_default();
+        entry.0.push(reader);
+        // New reader anti-depends on every known overwriter of the version.
+        for &overwriter in entry.1.iter() {
+            if overwriter != reader {
+                push(
+                    out,
+                    PASS_EDGES,
+                    key_rank,
+                    Event::Edge {
+                        from: reader,
+                        to: overwriter,
+                        kind: EdgeKind::Rw(key),
+                        dedup: true,
+                    },
+                );
+            }
+        }
+        if reader_writes_key {
+            push(
+                out,
+                PASS_EDGES,
+                key_rank,
+                Event::Edge {
+                    from: writer,
+                    to: reader,
+                    kind: EdgeKind::Ww(key),
+                    dedup: false,
+                },
+            );
+            // Every known reader of the version anti-depends on the new
+            // overwriter.
+            let readers: Vec<TxnId> = entry.0.iter().copied().filter(|&r| r != reader).collect();
+            entry.1.push(reader);
+            for other in readers {
+                push(
+                    out,
+                    PASS_EDGES,
+                    key_rank,
+                    Event::Edge {
+                        from: other,
+                        to: reader,
+                        kind: EdgeKind::Rw(key),
+                        dedup: true,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Drains the still-unresolved reads for end-of-stream classification.
+    fn drain_pending(&mut self) -> Vec<PendingRead> {
+        let mut all: Vec<PendingRead> = self.pending.drain().flat_map(|(_, v)| v).collect();
+        all.sort_by_key(|p| (p.txn, p.op_index));
+        all
+    }
+
+    /// Classifies a drained pending read exactly as the batch pre-scan
+    /// would, now that the stream is complete.
+    fn classify_settled(&self, p: &PendingRead) -> IntraViolation {
+        let reg = self
+            .writes
+            .get(&(p.key, p.value))
+            .cloned()
+            .unwrap_or_default();
+        let foreign_non_committed = reg.non_committed.is_some_and(|w| w != p.txn);
+        let foreign_intermediate = reg.committed_intermediate.is_some_and(|w| w != p.txn);
+        let anomaly = if p.future_candidate && !foreign_non_committed && !foreign_intermediate {
+            IntraAnomaly::FutureRead
+        } else if foreign_non_committed {
+            IntraAnomaly::AbortedRead
+        } else if foreign_intermediate {
+            IntraAnomaly::IntermediateRead
+        } else {
+            IntraAnomaly::ThinAirRead
+        };
+        IntraViolation {
+            anomaly,
+            txn: p.txn,
+            op_index: p.op_index,
+            key: p.key,
+            value: p.value,
+        }
+    }
+}
+
+// ───────────────────────── the engine ───────────────────────────────────────
+
+/// Shared core: labelled graph, topological order(s), verdict latch and
+/// session bookkeeping. Both checker flavours feed it the same event stream.
+#[derive(Clone, Debug)]
+struct Engine {
+    level: IsolationLevel,
+    opts: CheckOptions,
+    graph: DependencyGraph,
+    /// SER: maintained over *all* edges.
+    topo: IncrementalTopo,
+    /// SI: maintained over the composed graph `(SO ∪ WR ∪ WW) ; RW?`.
+    composed: IncrementalTopo,
+    /// SI: provenance of each composed edge (base edge, optional RW suffix).
+    composed_prov: HashMap<(usize, usize), (Edge, Option<Edge>)>,
+    /// SI: base edges indexed by target (for compositions with later RW).
+    base_in: Vec<Vec<Edge>>,
+    /// SI: RW edges indexed by source.
+    rw_out: Vec<Vec<Edge>>,
+    /// Last transaction of each session, with its commit status.
+    sessions: Vec<Option<(TxnId, bool)>>,
+    has_init: bool,
+    txn_count: usize,
+    committed_count: usize,
+    violation: Option<Violation>,
+    error: Option<CheckError>,
+    violated_at: Option<TxnId>,
+}
+
+impl Engine {
+    fn new(level: IsolationLevel, opts: CheckOptions) -> Self {
+        Engine {
+            level,
+            opts,
+            graph: DependencyGraph::new(0),
+            topo: IncrementalTopo::new(),
+            composed: IncrementalTopo::new(),
+            composed_prov: HashMap::new(),
+            base_in: Vec::new(),
+            rw_out: Vec::new(),
+            sessions: Vec::new(),
+            has_init: false,
+            txn_count: 0,
+            committed_count: 0,
+            violation: None,
+            error: None,
+            violated_at: None,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.violation.is_some() || self.error.is_some()
+    }
+
+    fn latch_violation(&mut self, v: Violation, at: TxnId) {
+        if !self.done() {
+            self.violation = Some(v);
+            self.violated_at = Some(at);
+        }
+    }
+
+    /// Registers the next transaction: assigns its node, validates its
+    /// shape, runs the local intra scan and derives its SO edge. Returns the
+    /// events to apply before the key-derived ones.
+    fn admit(&mut self, txn: &Transaction, is_init: bool) -> Vec<TaggedEvent> {
+        let id = txn.id;
+        debug_assert_eq!(id.index(), self.txn_count);
+        self.txn_count += 1;
+        self.graph.add_node();
+        self.topo.add_node();
+        self.composed.add_node();
+        self.base_in.push(Vec::new());
+        self.rw_out.push(Vec::new());
+
+        let mut out = Vec::new();
+        let mut seq = 0u32;
+        let mut push = |out: &mut Vec<TaggedEvent>, pass: u8, event: Event| {
+            out.push(TaggedEvent {
+                pass,
+                key_rank: 0,
+                seq,
+                event,
+            });
+            seq += 1;
+        };
+
+        if is_init {
+            self.has_init = true;
+            self.committed_count += 1;
+            return out;
+        }
+
+        if self.opts.validate_mt {
+            if let Err(v) = validate_transaction(txn) {
+                push(
+                    &mut out,
+                    PASS_ERROR,
+                    Event::Error(CheckError::NotMiniTransaction(v)),
+                );
+            }
+        }
+
+        if txn.status == TxnStatus::Committed {
+            self.committed_count += 1;
+            if self.opts.prescan_intra {
+                self.local_intra_scan(txn, &mut push, &mut out);
+            }
+            // SO edge: predecessor in the session (or ⊥T for the first).
+            if txn.session != SessionId::INIT {
+                let s = txn.session.index();
+                while self.sessions.len() <= s {
+                    self.sessions.push(None);
+                }
+                let prev = self.sessions[s];
+                let source = match prev {
+                    Some((p, committed)) => committed.then_some(p),
+                    None => self.has_init.then_some(TxnId(0)),
+                };
+                if let Some(p) = source {
+                    push(
+                        &mut out,
+                        PASS_EDGES,
+                        Event::Edge {
+                            from: p,
+                            to: id,
+                            kind: EdgeKind::So,
+                            dedup: false,
+                        },
+                    );
+                }
+            }
+        }
+        if txn.session != SessionId::INIT {
+            let s = txn.session.index();
+            while self.sessions.len() <= s {
+                self.sessions.push(None);
+            }
+            self.sessions[s] = Some((id, txn.status == TxnStatus::Committed));
+        }
+        out
+    }
+
+    /// The purely intra-transactional half of the pre-scan (`INT` axiom
+    /// violations), mirroring `mtc_history::intra`'s classification.
+    fn local_intra_scan(
+        &self,
+        txn: &Transaction,
+        push: &mut impl FnMut(&mut Vec<TaggedEvent>, u8, Event),
+        out: &mut Vec<TaggedEvent>,
+    ) {
+        struct Access {
+            value: Value,
+            was_write: bool,
+        }
+        let mut last_access: HashMap<Key, Access> = HashMap::new();
+        let mut own_writes: HashMap<Key, Vec<Value>> = HashMap::new();
+        for (i, op) in txn.ops.iter().enumerate() {
+            match *op {
+                Op::Write { key, value } => {
+                    own_writes.entry(key).or_default().push(value);
+                    last_access.insert(
+                        key,
+                        Access {
+                            value,
+                            was_write: true,
+                        },
+                    );
+                }
+                Op::Read { key, value } => {
+                    if let Some(prev) = last_access.get(&key) {
+                        if prev.value != value {
+                            let anomaly = if prev.was_write {
+                                let earlier =
+                                    own_writes.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+                                if earlier.contains(&value) {
+                                    IntraAnomaly::NotMyLastWrite
+                                } else {
+                                    IntraAnomaly::NotMyOwnWrite
+                                }
+                            } else {
+                                IntraAnomaly::NonRepeatableReads
+                            };
+                            push(
+                                out,
+                                PASS_INTRA,
+                                Event::Intra(IntraViolation {
+                                    anomaly,
+                                    txn: txn.id,
+                                    op_index: i,
+                                    key,
+                                    value,
+                                }),
+                            );
+                        }
+                    }
+                    last_access.insert(
+                        key,
+                        Access {
+                            value,
+                            was_write: false,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Applies one event; no-op once a verdict is latched.
+    fn apply(&mut self, at: TxnId, event: Event) {
+        if self.done() {
+            return;
+        }
+        match event {
+            Event::Error(e) => self.error = Some(e),
+            Event::Intra(v) => self.latch_violation(Violation::Intra(vec![v]), at),
+            Event::Divergence(d) => self.latch_violation(d.into_violation(), at),
+            Event::Edge {
+                from,
+                to,
+                kind,
+                dedup,
+            } => {
+                if dedup {
+                    if self.graph.contains_edge(from, to, kind) {
+                        return;
+                    }
+                    self.graph.add_edge(from, to, kind);
+                } else {
+                    self.graph.add_edge(from, to, kind);
+                }
+                let edge = Edge { from, to, kind };
+                match self.level {
+                    IsolationLevel::Serializability => self.apply_ser_edge(at, edge),
+                    IsolationLevel::SnapshotIsolation => self.apply_si_edge(at, edge),
+                    IsolationLevel::StrictSerializability => {
+                        unreachable!("streaming checkers support SER and SI only")
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_ser_edge(&mut self, at: TxnId, edge: Edge) {
+        if let Err(cycle) = self.topo.try_add_edge(edge.from.index(), edge.to.index()) {
+            let edges = self.graph.label_node_cycle(&cycle, |_| true);
+            self.latch_violation(Violation::Cycle { edges }, at);
+        }
+    }
+
+    fn apply_si_edge(&mut self, at: TxnId, edge: Edge) {
+        match edge.kind {
+            EdgeKind::So | EdgeKind::Wr(_) | EdgeKind::Ww(_) => {
+                let (a, b) = (edge.from.index(), edge.to.index());
+                self.add_composed(at, a, b, (edge, None));
+                if self.done() {
+                    return;
+                }
+                let suffixes: Vec<Edge> = self.rw_out[b].clone();
+                for rw in suffixes {
+                    let c = rw.to.index();
+                    if c == a {
+                        self.latch_violation(
+                            Violation::Cycle {
+                                edges: vec![edge, rw],
+                            },
+                            at,
+                        );
+                        return;
+                    }
+                    self.add_composed(at, a, c, (edge, Some(rw)));
+                    if self.done() {
+                        return;
+                    }
+                }
+                self.base_in[b].push(edge);
+            }
+            EdgeKind::Rw(_) => {
+                let (b, c) = (edge.from.index(), edge.to.index());
+                let bases: Vec<Edge> = self.base_in[b].clone();
+                for base in bases {
+                    let a = base.from.index();
+                    if a == c {
+                        self.latch_violation(
+                            Violation::Cycle {
+                                edges: vec![base, edge],
+                            },
+                            at,
+                        );
+                        return;
+                    }
+                    self.add_composed(at, a, c, (base, Some(edge)));
+                    if self.done() {
+                        return;
+                    }
+                }
+                self.rw_out[b].push(edge);
+            }
+            EdgeKind::Rt => {}
+        }
+    }
+
+    /// Inserts a composed edge (first provenance wins, like the batch
+    /// construction) and checks acyclicity of the composed graph.
+    fn add_composed(&mut self, at: TxnId, a: usize, c: usize, prov: (Edge, Option<Edge>)) {
+        use std::collections::hash_map::Entry;
+        match self.composed_prov.entry((a, c)) {
+            Entry::Occupied(_) => return,
+            Entry::Vacant(v) => {
+                v.insert(prov);
+            }
+        }
+        if let Err(cycle) = self.composed.try_add_edge(a, c) {
+            let mut edges = Vec::new();
+            for i in 0..cycle.len() {
+                let u = cycle[i];
+                let v = cycle[(i + 1) % cycle.len()];
+                if let Some((base, rw)) = self.composed_prov.get(&(u, v)) {
+                    edges.push(*base);
+                    if let Some(rw) = rw {
+                        edges.push(*rw);
+                    }
+                }
+            }
+            self.latch_violation(Violation::Cycle { edges }, at);
+        }
+    }
+}
+
+/// Where (and whether) the DIVERGENCE scan's events sort for the given
+/// level and options. SER never scans; SI scans before the edges by default
+/// and after them in ablation mode (matching `check_si_with`, which always
+/// re-checks divergence because the composed graph can mask it).
+fn divergence_pass(level: IsolationLevel, opts: &CheckOptions) -> Option<u8> {
+    (level == IsolationLevel::SnapshotIsolation).then_some(if opts.skip_divergence_early_exit {
+        PASS_LATE_DIVERGENCE
+    } else {
+        PASS_DIVERGENCE
+    })
+}
+
+// ───────────────────────── public checkers ──────────────────────────────────
+
+/// Streaming verdict over the prefix consumed so far.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamStatus {
+    /// No violation is provable from the consumed prefix.
+    ConsistentSoFar,
+    /// The prefix already violates the isolation level.
+    Violated,
+}
+
+/// An online SER/SI checker consuming committed transactions one at a time.
+///
+/// ```
+/// use mtc_core::{IncrementalChecker, IsolationLevel};
+/// use mtc_history::Op;
+///
+/// let mut checker = IncrementalChecker::new_ser().with_init_keys(0..2u64);
+/// checker.push_committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 7u64)]).unwrap();
+/// checker.push_committed(1, vec![Op::read(0u64, 7u64)]).unwrap();
+/// assert!(checker.violation().is_none());
+/// assert!(checker.finish().unwrap().is_satisfied());
+/// ```
+#[derive(Clone, Debug)]
+pub struct IncrementalChecker {
+    engine: Engine,
+    keys: KeyState,
+}
+
+impl IncrementalChecker {
+    /// A streaming checker for `level` with default [`CheckOptions`] (the
+    /// very same defaults the batch checkers use).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`IsolationLevel::StrictSerializability`]: the real-time
+    /// order needs the complete history, so SSER stays batch-only.
+    pub fn new(level: IsolationLevel) -> Self {
+        assert!(
+            level != IsolationLevel::StrictSerializability,
+            "streaming checkers support SER and SI only"
+        );
+        IncrementalChecker {
+            engine: Engine::new(level, CheckOptions::default()),
+            keys: KeyState::default(),
+        }
+    }
+
+    /// A streaming `CHECKSER`.
+    pub fn new_ser() -> Self {
+        IncrementalChecker::new(IsolationLevel::Serializability)
+    }
+
+    /// A streaming `CHECKSI`.
+    pub fn new_si() -> Self {
+        IncrementalChecker::new(IsolationLevel::SnapshotIsolation)
+    }
+
+    /// Overrides the tuning options (shared with the batch checkers).
+    pub fn with_options(mut self, opts: CheckOptions) -> Self {
+        self.engine.opts = opts;
+        self
+    }
+
+    /// Seeds the stream with the initial transaction `⊥T` writing
+    /// [`INIT_VALUE`] to `keys`, exactly like
+    /// [`mtc_history::HistoryBuilder::with_init_keys`].
+    pub fn with_init_keys<K: Into<Key>, I: IntoIterator<Item = K>>(mut self, keys: I) -> Self {
+        assert_eq!(self.engine.txn_count, 0, "⊥T must be the first transaction");
+        let ops = keys
+            .into_iter()
+            .map(|k| Op::Write {
+                key: k.into(),
+                value: INIT_VALUE,
+            })
+            .collect();
+        let init = Transaction {
+            id: TxnId(0),
+            session: SessionId::INIT,
+            ops,
+            status: TxnStatus::Committed,
+            begin: Some(0),
+            end: Some(0),
+        };
+        self.feed(init, true);
+        self
+    }
+
+    /// Feeds the next transaction of the stream (committed or aborted). The
+    /// transaction is assigned the next dense id, mirroring
+    /// [`mtc_history::HistoryBuilder`] numbering.
+    ///
+    /// Returns the streaming status for the consumed prefix, or the error
+    /// that took the input outside the checker's domain. Both violations and
+    /// errors latch: later pushes are cheap no-ops returning the same answer.
+    pub fn push(&mut self, mut txn: Transaction) -> Result<StreamStatus, CheckError> {
+        txn.id = TxnId(self.engine.txn_count as u32);
+        self.feed(txn, false);
+        self.status_result()
+    }
+
+    /// Convenience: feeds a committed transaction.
+    pub fn push_committed(
+        &mut self,
+        session: u32,
+        ops: Vec<Op>,
+    ) -> Result<StreamStatus, CheckError> {
+        let txn = Transaction::committed(TxnId(0), SessionId(session), ops);
+        self.push(txn)
+    }
+
+    /// Convenience: feeds an aborted transaction (participates in
+    /// `ABORTEDREAD` provenance, contributes no edges).
+    pub fn push_aborted(&mut self, session: u32, ops: Vec<Op>) -> Result<StreamStatus, CheckError> {
+        let txn = Transaction::aborted(TxnId(0), SessionId(session), ops);
+        self.push(txn)
+    }
+
+    /// Replays a complete [`mtc_history::History`] in transaction-id order:
+    /// seeds `⊥T` first when the history has one (the checker must be empty
+    /// in that case) and pushes every other transaction. This is the single
+    /// replay path shared by [`check_streaming`] and `mtc-runner`.
+    pub fn push_history(
+        &mut self,
+        history: &mtc_history::History,
+    ) -> Result<StreamStatus, CheckError> {
+        if let Some(init) = history.init_txn() {
+            assert_eq!(
+                self.engine.txn_count, 0,
+                "a history with ⊥T can only be replayed into an empty checker"
+            );
+            self.feed(history.txn(init).clone(), true);
+        }
+        for txn in history.txns() {
+            if Some(txn.id) == history.init_txn() {
+                continue;
+            }
+            let _ = self.push(txn.clone());
+        }
+        self.status_result()
+    }
+
+    fn feed(&mut self, txn: Transaction, is_init: bool) {
+        if self.engine.done() {
+            self.engine.txn_count += 1;
+            return;
+        }
+        let work = decompose(&txn, is_init);
+        let mut events = self.engine.admit(&txn, is_init);
+        let opts = self.engine.opts;
+        self.keys.derive(
+            &work,
+            |_| true,
+            divergence_pass(self.engine.level, &opts),
+            self.engine.has_init,
+            opts.validate_mt,
+            opts.prescan_intra,
+            &mut events,
+        );
+        events.sort_by_key(|e| (e.pass, e.key_rank, e.seq));
+        for e in events {
+            self.engine.apply(txn.id, e.event);
+        }
+    }
+
+    fn status_result(&self) -> Result<StreamStatus, CheckError> {
+        if let Some(e) = &self.engine.error {
+            return Err(e.clone());
+        }
+        if self.engine.violation.is_some() {
+            Ok(StreamStatus::Violated)
+        } else {
+            Ok(StreamStatus::ConsistentSoFar)
+        }
+    }
+
+    /// The latched violation, if any.
+    pub fn violation(&self) -> Option<&Violation> {
+        self.engine.violation.as_ref()
+    }
+
+    /// True iff the consumed prefix already violates the isolation level.
+    pub fn is_violated(&self) -> bool {
+        self.engine.violation.is_some()
+    }
+
+    /// Id of the transaction whose consumption latched the violation — the
+    /// basis of the time-to-first-violation metric.
+    pub fn first_violation_at(&self) -> Option<TxnId> {
+        self.engine.violated_at
+    }
+
+    /// Number of transactions consumed (including `⊥T` and aborted ones).
+    pub fn txn_count(&self) -> usize {
+        self.engine.txn_count
+    }
+
+    /// Number of labelled dependency edges derived so far.
+    pub fn edge_count(&self) -> usize {
+        self.engine.graph.edge_count()
+    }
+
+    /// The dependency graph grown so far (for inspection / reporting).
+    pub fn graph(&self) -> &DependencyGraph {
+        &self.engine.graph
+    }
+
+    /// The isolation level being enforced.
+    pub fn level(&self) -> IsolationLevel {
+        self.engine.level
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &CheckOptions {
+        &self.engine.opts
+    }
+
+    /// Ends the stream: settles reads still waiting for a writer (they can
+    /// no longer be satisfied) and returns the final verdict, which agrees
+    /// with the batch checkers on the equivalent [`mtc_history::History`].
+    pub fn finish(mut self) -> Result<Verdict, CheckError> {
+        if let Some(e) = self.engine.error {
+            return Err(e);
+        }
+        if let Some(v) = self.engine.violation {
+            return Ok(Verdict::Violated(v));
+        }
+        if self.engine.opts.prescan_intra {
+            let pending = self.keys.drain_pending();
+            if !pending.is_empty() {
+                let violations: Vec<IntraViolation> = pending
+                    .iter()
+                    .map(|p| self.keys.classify_settled(p))
+                    .collect();
+                return Ok(Verdict::Violated(Violation::Intra(violations)));
+            }
+        } else {
+            // Without the pre-scan, an unreadable value is a domain error,
+            // exactly as in `BUILDDEPENDENCY`.
+            let pending = self.keys.drain_pending();
+            if let Some(p) = pending.first() {
+                return Err(CheckError::UnreadableValue {
+                    txn: p.txn,
+                    key: p.key,
+                    value: p.value,
+                });
+            }
+        }
+        Ok(Verdict::Satisfied)
+    }
+}
+
+/// Runs a complete [`mtc_history::History`] through an
+/// [`IncrementalChecker`] in transaction-id order — the drop-in streaming
+/// replacement for [`crate::check_ser`] / [`crate::check_si`].
+pub fn check_streaming(
+    level: IsolationLevel,
+    history: &mtc_history::History,
+) -> Result<Verdict, CheckError> {
+    check_streaming_with(level, history, &CheckOptions::default())
+}
+
+/// [`check_streaming`] with explicit options.
+pub fn check_streaming_with(
+    level: IsolationLevel,
+    history: &mtc_history::History,
+    opts: &CheckOptions,
+) -> Result<Verdict, CheckError> {
+    let mut checker = IncrementalChecker::new(level).with_options(*opts);
+    let _ = checker.push_history(history);
+    checker.finish()
+}
+
+/// Runs a complete history through a [`ShardedIncrementalChecker`], feeding
+/// it in batches of `batch` transactions across `shards` workers.
+pub fn check_streaming_sharded(
+    level: IsolationLevel,
+    history: &mtc_history::History,
+    shards: usize,
+    batch: usize,
+) -> Result<Verdict, CheckError> {
+    let mut checker = ShardedIncrementalChecker::new(level, shards);
+    let _ = checker.push_history(history, batch);
+    checker.finish()
+}
+
+// ───────────────────────── sharded checker ──────────────────────────────────
+
+/// Key-sharded streaming checker: per-key edge derivation fans out across a
+/// pool of persistent worker threads (one per shard, each owning the key
+/// state of its shard), and the resulting events merge into the shared
+/// topological order in canonical `(transaction, pass, key)` order — so
+/// verdicts are identical to [`IncrementalChecker`]'s by construction.
+///
+/// Feed it batches with [`ShardedIncrementalChecker::push_batch`]; larger
+/// batches amortize the per-batch hand-off to the pool. With one shard no
+/// threads are spawned and the behaviour degenerates to the sequential
+/// checker.
+#[derive(Debug)]
+pub struct ShardedIncrementalChecker {
+    engine: Engine,
+    pool: ShardPool,
+}
+
+fn shard_of(key: Key, shards: usize) -> usize {
+    // Multiplicative hash so that striped and clustered key spaces spread.
+    (key.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % shards
+}
+
+/// One batch of decomposed transactions plus the option snapshot the workers
+/// need to derive events for it.
+struct BatchJob {
+    works: Vec<TxnWork>,
+    divergence_pass: Option<u8>,
+    has_init: bool,
+    validate_mt: bool,
+    prescan: bool,
+}
+
+enum ShardMsg {
+    Batch(std::sync::Arc<BatchJob>),
+    /// End of stream: drain and classify the shard's pending reads.
+    Finish,
+}
+
+enum ShardReply {
+    /// Per transaction of the batch, the shard's tagged events.
+    Events(Vec<Vec<TaggedEvent>>),
+    /// Settled pending reads, classified (reply to [`ShardMsg::Finish`]).
+    Settled(Vec<IntraViolation>),
+}
+
+#[derive(Debug)]
+struct ShardWorker {
+    tx: Option<std::sync::mpsc::Sender<ShardMsg>>,
+    rx: std::sync::mpsc::Receiver<ShardReply>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ShardWorker {
+    fn drop(&mut self) {
+        self.tx.take(); // closing the channel makes the worker exit
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[derive(Debug)]
+enum ShardPool {
+    /// Single shard: derive inline, no threads.
+    Inline(Box<KeyState>),
+    Workers(Vec<ShardWorker>),
+}
+
+impl ShardPool {
+    fn new(shards: usize) -> Self {
+        if shards == 1 {
+            return ShardPool::Inline(Box::default());
+        }
+        let workers = (0..shards)
+            .map(|s| {
+                let (tx, worker_rx) = std::sync::mpsc::channel::<ShardMsg>();
+                let (reply_tx, rx) = std::sync::mpsc::channel::<ShardReply>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("mtc-shard-{s}"))
+                    .spawn(move || {
+                        let mut state = KeyState::default();
+                        while let Ok(msg) = worker_rx.recv() {
+                            match msg {
+                                ShardMsg::Batch(job) => {
+                                    let events: Vec<Vec<TaggedEvent>> = job
+                                        .works
+                                        .iter()
+                                        .map(|w| {
+                                            let mut out = Vec::new();
+                                            state.derive(
+                                                w,
+                                                |k| shard_of(k, shards) == s,
+                                                job.divergence_pass,
+                                                job.has_init,
+                                                job.validate_mt,
+                                                job.prescan,
+                                                &mut out,
+                                            );
+                                            out
+                                        })
+                                        .collect();
+                                    if reply_tx.send(ShardReply::Events(events)).is_err() {
+                                        break;
+                                    }
+                                }
+                                ShardMsg::Finish => {
+                                    let settled = state
+                                        .drain_pending()
+                                        .iter()
+                                        .map(|p| state.classify_settled(p))
+                                        .collect();
+                                    let _ = reply_tx.send(ShardReply::Settled(settled));
+                                    break;
+                                }
+                            }
+                        }
+                    })
+                    .expect("failed to spawn shard worker");
+                ShardWorker {
+                    tx: Some(tx),
+                    rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ShardPool::Workers(workers)
+    }
+
+    fn shard_count(&self) -> usize {
+        match self {
+            ShardPool::Inline(_) => 1,
+            ShardPool::Workers(ws) => ws.len(),
+        }
+    }
+}
+
+impl ShardedIncrementalChecker {
+    /// A sharded streaming checker for `level` over `shards` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0` or for
+    /// [`IsolationLevel::StrictSerializability`] (see
+    /// [`IncrementalChecker::new`]).
+    pub fn new(level: IsolationLevel, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard is required");
+        assert!(
+            level != IsolationLevel::StrictSerializability,
+            "streaming checkers support SER and SI only"
+        );
+        ShardedIncrementalChecker {
+            engine: Engine::new(level, CheckOptions::default()),
+            pool: ShardPool::new(shards),
+        }
+    }
+
+    /// Overrides the tuning options (shared with the batch checkers).
+    pub fn with_options(mut self, opts: CheckOptions) -> Self {
+        self.engine.opts = opts;
+        self
+    }
+
+    /// Seeds the stream with `⊥T` (see [`IncrementalChecker::with_init_keys`]).
+    pub fn with_init_keys<K: Into<Key>, I: IntoIterator<Item = K>>(mut self, keys: I) -> Self {
+        assert_eq!(self.engine.txn_count, 0, "⊥T must be the first transaction");
+        let ops: Vec<Op> = keys
+            .into_iter()
+            .map(|k| Op::Write {
+                key: k.into(),
+                value: INIT_VALUE,
+            })
+            .collect();
+        let init = Transaction {
+            id: TxnId(0),
+            session: SessionId::INIT,
+            ops,
+            status: TxnStatus::Committed,
+            begin: Some(0),
+            end: Some(0),
+        };
+        self.consume_batch(vec![(init, true)]);
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.pool.shard_count()
+    }
+
+    /// Feeds one transaction (a batch of one).
+    pub fn push(&mut self, txn: Transaction) -> Result<StreamStatus, CheckError> {
+        self.push_batch(vec![txn])
+    }
+
+    /// Feeds a batch of transactions, in stream order. Edge derivation for
+    /// the whole batch runs key-sharded across the workers; the merge into
+    /// the topological order happens on the calling thread.
+    pub fn push_batch(&mut self, txns: Vec<Transaction>) -> Result<StreamStatus, CheckError> {
+        let mut next = self.engine.txn_count as u32;
+        let batch: Vec<(Transaction, bool)> = txns
+            .into_iter()
+            .map(|mut t| {
+                t.id = TxnId(next);
+                next += 1;
+                (t, false)
+            })
+            .collect();
+        self.consume_batch(batch);
+        self.status_result()
+    }
+
+    /// Replays a complete [`mtc_history::History`] in transaction-id order,
+    /// feeding it in batches of `batch` transactions (see
+    /// [`IncrementalChecker::push_history`]).
+    pub fn push_history(
+        &mut self,
+        history: &mtc_history::History,
+        batch: usize,
+    ) -> Result<StreamStatus, CheckError> {
+        if let Some(init) = history.init_txn() {
+            assert_eq!(
+                self.engine.txn_count, 0,
+                "a history with ⊥T can only be replayed into an empty checker"
+            );
+            self.consume_batch(vec![(history.txn(init).clone(), true)]);
+        }
+        let batch = batch.max(1);
+        let mut buf = Vec::with_capacity(batch);
+        for txn in history.txns() {
+            if Some(txn.id) == history.init_txn() {
+                continue;
+            }
+            buf.push(txn.clone());
+            if buf.len() == batch {
+                let _ = self.push_batch(std::mem::take(&mut buf));
+            }
+        }
+        if !buf.is_empty() {
+            let _ = self.push_batch(buf);
+        }
+        self.status_result()
+    }
+
+    fn consume_batch(&mut self, batch: Vec<(Transaction, bool)>) {
+        if batch.is_empty() {
+            return;
+        }
+        if self.engine.done() {
+            self.engine.txn_count += batch.len();
+            return;
+        }
+        let works: Vec<TxnWork> = batch.iter().map(|(t, i)| decompose(t, *i)).collect();
+        let div_pass = divergence_pass(self.engine.level, &self.engine.opts);
+        let has_init = self.engine.has_init || batch[0].1;
+        let (validate_mt, prescan) = (self.engine.opts.validate_mt, self.engine.opts.prescan_intra);
+
+        // Fan the per-key derivation out across the shard pool. Each worker
+        // walks the whole batch but only touches the keys it owns, so the
+        // shard states never alias.
+        let mut per_shard_events: Vec<Vec<Vec<TaggedEvent>>> = match &mut self.pool {
+            ShardPool::Inline(state) => {
+                vec![works
+                    .iter()
+                    .map(|w| {
+                        let mut out = Vec::new();
+                        state.derive(
+                            w,
+                            |_| true,
+                            div_pass,
+                            has_init,
+                            validate_mt,
+                            prescan,
+                            &mut out,
+                        );
+                        out
+                    })
+                    .collect()]
+            }
+            ShardPool::Workers(workers) => {
+                let job = std::sync::Arc::new(BatchJob {
+                    works,
+                    divergence_pass: div_pass,
+                    has_init,
+                    validate_mt,
+                    prescan,
+                });
+                for w in workers.iter() {
+                    w.tx.as_ref()
+                        .expect("pool already shut down")
+                        .send(ShardMsg::Batch(job.clone()))
+                        .expect("shard worker hung up");
+                }
+                workers
+                    .iter()
+                    .map(|w| match w.rx.recv().expect("shard worker hung up") {
+                        ShardReply::Events(events) => events,
+                        ShardReply::Settled(_) => unreachable!("finish reply out of order"),
+                    })
+                    .collect()
+            }
+        };
+
+        // Merge: per transaction, admit it sequentially, then apply the
+        // shard events in canonical (pass, key_rank, seq) order.
+        for (i, (txn, is_init)) in batch.iter().enumerate() {
+            if self.engine.done() {
+                self.engine.txn_count += batch.len() - i;
+                break;
+            }
+            let mut events = self.engine.admit(txn, *is_init);
+            for shard_events in per_shard_events.iter_mut() {
+                events.append(&mut shard_events[i]);
+            }
+            events.sort_by_key(|e| (e.pass, e.key_rank, e.seq));
+            for e in events {
+                self.engine.apply(txn.id, e.event);
+            }
+        }
+    }
+
+    fn status_result(&self) -> Result<StreamStatus, CheckError> {
+        if let Some(e) = &self.engine.error {
+            return Err(e.clone());
+        }
+        if self.engine.violation.is_some() {
+            Ok(StreamStatus::Violated)
+        } else {
+            Ok(StreamStatus::ConsistentSoFar)
+        }
+    }
+
+    /// The latched violation, if any.
+    pub fn violation(&self) -> Option<&Violation> {
+        self.engine.violation.as_ref()
+    }
+
+    /// True iff the consumed prefix already violates the isolation level.
+    pub fn is_violated(&self) -> bool {
+        self.engine.violation.is_some()
+    }
+
+    /// Id of the transaction whose consumption latched the violation.
+    pub fn first_violation_at(&self) -> Option<TxnId> {
+        self.engine.violated_at
+    }
+
+    /// Number of transactions consumed.
+    pub fn txn_count(&self) -> usize {
+        self.engine.txn_count
+    }
+
+    /// Number of labelled dependency edges derived so far.
+    pub fn edge_count(&self) -> usize {
+        self.engine.graph.edge_count()
+    }
+
+    /// Ends the stream and returns the final verdict (see
+    /// [`IncrementalChecker::finish`]).
+    pub fn finish(mut self) -> Result<Verdict, CheckError> {
+        if let Some(e) = self.engine.error {
+            return Err(e);
+        }
+        if let Some(v) = self.engine.violation {
+            return Ok(Verdict::Violated(v));
+        }
+        let mut settled: Vec<IntraViolation> = match &mut self.pool {
+            ShardPool::Inline(state) => {
+                let pending = state.drain_pending();
+                pending.iter().map(|p| state.classify_settled(p)).collect()
+            }
+            ShardPool::Workers(workers) => {
+                for w in workers.iter() {
+                    w.tx.as_ref()
+                        .expect("pool already shut down")
+                        .send(ShardMsg::Finish)
+                        .expect("shard worker hung up");
+                }
+                workers
+                    .iter()
+                    .flat_map(|w| match w.rx.recv().expect("shard worker hung up") {
+                        ShardReply::Settled(s) => s,
+                        ShardReply::Events(_) => unreachable!("batch reply out of order"),
+                    })
+                    .collect()
+            }
+        };
+        settled.sort_by_key(|v| (v.txn, v.op_index));
+        if settled.is_empty() {
+            return Ok(Verdict::Satisfied);
+        }
+        if self.engine.opts.prescan_intra {
+            Ok(Verdict::Violated(Violation::Intra(settled)))
+        } else {
+            let p = &settled[0];
+            Err(CheckError::UnreadableValue {
+                txn: p.txn,
+                key: p.key,
+                value: p.value,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{check_ser, check_si};
+    use mtc_history::{anomalies, History, HistoryBuilder};
+
+    fn stream_verdict(level: IsolationLevel, h: &History) -> Verdict {
+        check_streaming(level, h).unwrap()
+    }
+
+    /// The witness of a cycle verdict must be a closed walk over real edges
+    /// of the history's (batch-built) dependency graph.
+    fn assert_cycle_is_certified(h: &History, edges: &[Edge]) {
+        assert!(!edges.is_empty(), "empty cycle witness");
+        let g = crate::build_dependency(h, false).unwrap();
+        for (i, e) in edges.iter().enumerate() {
+            assert!(
+                g.contains_edge(e.from, e.to, e.kind),
+                "witness edge {e:?} does not exist"
+            );
+            let next = &edges[(i + 1) % edges.len()];
+            assert_eq!(e.to, next.from, "witness walk is not closed: {edges:?}");
+        }
+    }
+
+    #[test]
+    fn serial_histories_are_accepted_online() {
+        let mut b = HistoryBuilder::new().with_init(2);
+        b.committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)]);
+        b.committed(1, vec![Op::read(0u64, 1u64), Op::write(0u64, 2u64)]);
+        b.committed(0, vec![Op::read(1u64, 0u64), Op::read(0u64, 2u64)]);
+        let h = b.build();
+        assert!(stream_verdict(IsolationLevel::Serializability, &h).is_satisfied());
+        assert!(stream_verdict(IsolationLevel::SnapshotIsolation, &h).is_satisfied());
+    }
+
+    #[test]
+    fn catalogue_agrees_with_batch_checkers_on_ser() {
+        for (kind, h) in anomalies::catalogue() {
+            let batch = check_ser(&h).unwrap();
+            let streaming = stream_verdict(IsolationLevel::Serializability, &h);
+            assert_eq!(
+                batch.is_violated(),
+                streaming.is_violated(),
+                "SER mismatch on {kind}: batch={batch:?} streaming={streaming:?}"
+            );
+            if let Some(Violation::Cycle { edges }) = streaming.violation() {
+                assert_cycle_is_certified(&h, edges);
+            }
+        }
+    }
+
+    #[test]
+    fn catalogue_agrees_with_batch_checkers_on_si() {
+        for (kind, h) in anomalies::catalogue() {
+            let batch = check_si(&h).unwrap();
+            let streaming = stream_verdict(IsolationLevel::SnapshotIsolation, &h);
+            assert_eq!(
+                batch.is_violated(),
+                streaming.is_violated(),
+                "SI mismatch on {kind}: batch={batch:?} streaming={streaming:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn divergence_payload_matches_batch() {
+        let h = anomalies::lost_update();
+        let batch = check_si(&h).unwrap();
+        let streaming = stream_verdict(IsolationLevel::SnapshotIsolation, &h);
+        assert_eq!(batch, streaming, "lost update must be the same DIVERGENCE");
+    }
+
+    #[test]
+    fn intra_anomalies_match_batch_payloads() {
+        // A thin-air read is only settled at finish(), like the batch
+        // pre-scan that needs the whole history.
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.committed(0, vec![Op::read(0u64, 777u64)]);
+        let h = b.build();
+        let batch = check_ser(&h).unwrap();
+        let streaming = stream_verdict(IsolationLevel::Serializability, &h);
+        assert_eq!(batch, streaming);
+    }
+
+    #[test]
+    fn aborted_read_is_settled_at_finish() {
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.aborted(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 5u64)]);
+        b.committed(1, vec![Op::read(0u64, 5u64)]);
+        let h = b.build();
+        let batch = check_ser(&h).unwrap();
+        let streaming = stream_verdict(IsolationLevel::Serializability, &h);
+        assert_eq!(batch, streaming);
+    }
+
+    #[test]
+    fn early_exit_reports_violation_mid_stream() {
+        // A long stream with a lost-update corruption planted early: the
+        // checker must latch at the corrupted transaction, long before the
+        // tail is consumed.
+        let n = 400u64;
+        let mut checker = IncrementalChecker::new_si().with_init_keys(0..1u64);
+        // T1 installs 1; T2 and T3 both read 1 and overwrite: DIVERGENCE.
+        checker
+            .push_committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)])
+            .unwrap();
+        checker
+            .push_committed(1, vec![Op::read(0u64, 1u64), Op::write(0u64, 2u64)])
+            .unwrap();
+        let status = checker
+            .push_committed(2, vec![Op::read(0u64, 1u64), Op::write(0u64, 3u64)])
+            .unwrap();
+        assert_eq!(status, StreamStatus::Violated);
+        let latched_at = checker.first_violation_at().unwrap();
+        assert_eq!(latched_at, TxnId(3));
+        // Feed a long consistent tail; the verdict must stay latched and the
+        // trigger index must not move.
+        let mut last = 3u64;
+        for i in 0..n {
+            checker
+                .push_committed(0, vec![Op::read(0u64, last), Op::write(0u64, 100 + i)])
+                .unwrap();
+            last = 100 + i;
+        }
+        assert_eq!(checker.first_violation_at(), Some(TxnId(3)));
+        assert!(
+            (latched_at.index() as u64) < n,
+            "violation latched before the tail"
+        );
+        let verdict = checker.finish().unwrap();
+        assert!(matches!(
+            verdict,
+            Verdict::Violated(Violation::Divergence { .. })
+        ));
+    }
+
+    #[test]
+    fn ser_cycle_latches_when_closing_edge_arrives() {
+        // Write skew: T1 and T2 read both keys, then write one each.
+        let mut checker = IncrementalChecker::new_ser().with_init_keys(0..2u64);
+        checker
+            .push_committed(
+                0,
+                vec![
+                    Op::read(0u64, 0u64),
+                    Op::read(1u64, 0u64),
+                    Op::write(0u64, 1u64),
+                ],
+            )
+            .unwrap();
+        let status = checker
+            .push_committed(
+                1,
+                vec![
+                    Op::read(0u64, 0u64),
+                    Op::read(1u64, 0u64),
+                    Op::write(1u64, 2u64),
+                ],
+            )
+            .unwrap();
+        assert_eq!(
+            status,
+            StreamStatus::Violated,
+            "write skew must latch at T2"
+        );
+        assert_eq!(checker.first_violation_at(), Some(TxnId(2)));
+    }
+
+    #[test]
+    fn sharded_checker_agrees_with_sequential_on_the_catalogue() {
+        for (kind, h) in anomalies::catalogue() {
+            for level in [
+                IsolationLevel::Serializability,
+                IsolationLevel::SnapshotIsolation,
+            ] {
+                let sequential = check_streaming(level, &h).unwrap();
+                for shards in [1usize, 2, 4] {
+                    for batch in [1usize, 3, 64] {
+                        let sharded = check_streaming_sharded(level, &h, shards, batch).unwrap();
+                        assert_eq!(
+                            sequential, sharded,
+                            "{level} mismatch on {kind} with {shards} shards, batch {batch}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::explicit_counter_loop)] // `value` is state, not a counter
+    fn sharded_checker_matches_on_larger_streams() {
+        // A serial multi-key history plus one corrupted read near the end.
+        for corrupt in [false, true] {
+            let keys = 16u64;
+            let mut b = HistoryBuilder::new().with_init(keys);
+            let mut last = vec![0u64; keys as usize];
+            let mut value = 1u64;
+            for i in 0..600u64 {
+                let k = (i * 7) % keys;
+                let read = if corrupt && i == 500 {
+                    0
+                } else {
+                    last[k as usize]
+                };
+                b.committed((i % 6) as u32, vec![Op::read(k, read), Op::write(k, value)]);
+                last[k as usize] = value;
+                value += 1;
+            }
+            let h = b.build();
+            for level in [
+                IsolationLevel::Serializability,
+                IsolationLevel::SnapshotIsolation,
+            ] {
+                let batch_verdict = match level {
+                    IsolationLevel::Serializability => check_ser(&h).unwrap(),
+                    _ => check_si(&h).unwrap(),
+                };
+                let sequential = check_streaming(level, &h).unwrap();
+                let sharded = check_streaming_sharded(level, &h, 4, 128).unwrap();
+                assert_eq!(batch_verdict.is_violated(), sequential.is_violated());
+                assert_eq!(sequential, sharded);
+            }
+        }
+    }
+
+    #[test]
+    fn options_default_is_shared_with_batch_checkers() {
+        let checker = IncrementalChecker::new_ser();
+        assert_eq!(*checker.options(), CheckOptions::default());
+        let sharded = ShardedIncrementalChecker::new(IsolationLevel::SnapshotIsolation, 2);
+        assert_eq!(sharded.engine.opts, CheckOptions::default());
+    }
+
+    #[test]
+    fn divergence_ablation_option_still_rejects() {
+        // A DIVERGENCE can be invisible in the composed graph, so the late
+        // scan must run even with the early exit disabled — in the
+        // sequential AND the sharded checker.
+        let h = anomalies::lost_update();
+        let opts = CheckOptions {
+            skip_divergence_early_exit: true,
+            ..CheckOptions::default()
+        };
+        let v = check_streaming_with(IsolationLevel::SnapshotIsolation, &h, &opts).unwrap();
+        assert!(v.is_violated());
+        for shards in [1usize, 3] {
+            let mut c = ShardedIncrementalChecker::new(IsolationLevel::SnapshotIsolation, shards)
+                .with_options(opts);
+            let _ = c.push_history(&h, 2);
+            let sharded = c.finish().unwrap();
+            assert_eq!(v, sharded, "ablation mismatch with {shards} shards");
+        }
+    }
+
+    #[test]
+    fn non_mt_transaction_is_rejected_online() {
+        let mut checker = IncrementalChecker::new_ser().with_init_keys(0..1u64);
+        let err = checker
+            .push_committed(0, vec![Op::write(0u64, 1u64)])
+            .unwrap_err();
+        assert!(matches!(err, CheckError::NotMiniTransaction(_)));
+        // The error latches.
+        let again = checker.push_committed(1, vec![Op::read(0u64, 0u64)]);
+        assert!(again.is_err());
+        assert!(checker.finish().is_err());
+    }
+
+    #[test]
+    fn duplicate_values_are_rejected_online() {
+        let mut checker = IncrementalChecker::new_ser().with_init_keys(0..1u64);
+        checker
+            .push_committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 5u64)])
+            .unwrap();
+        let err = checker
+            .push_committed(1, vec![Op::read(0u64, 0u64), Op::write(0u64, 5u64)])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CheckError::NotMiniTransaction(MtViolation::DuplicateValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unreadable_value_without_prescan_is_a_domain_error() {
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.committed(0, vec![Op::read(0u64, 77u64)]);
+        let h = b.build();
+        let opts = CheckOptions {
+            prescan_intra: false,
+            ..CheckOptions::default()
+        };
+        let batch = crate::check_ser_with(&h, &opts);
+        let streaming = check_streaming_with(IsolationLevel::Serializability, &h, &opts);
+        assert!(matches!(batch, Err(CheckError::UnreadableValue { .. })));
+        assert!(matches!(streaming, Err(CheckError::UnreadableValue { .. })));
+    }
+
+    #[test]
+    fn sser_is_batch_only() {
+        let r = std::panic::catch_unwind(|| {
+            IncrementalChecker::new(IsolationLevel::StrictSerializability)
+        });
+        assert!(r.is_err());
+    }
+}

@@ -32,6 +32,7 @@
 pub mod build;
 pub mod check;
 pub mod divergence;
+pub mod incremental;
 pub mod lwt;
 pub mod mini;
 pub mod npc;
@@ -43,6 +44,10 @@ pub use check::{
     check_sser_naive_with, check_sser_with, CheckOptions, IsolationLevel,
 };
 pub use divergence::{find_divergence, Divergence};
+pub use incremental::{
+    check_streaming, check_streaming_sharded, check_streaming_with, IncrementalChecker,
+    ShardedIncrementalChecker, StreamStatus,
+};
 pub use lwt::{check_linearizability, check_linearizability_single_key, LwtError};
 pub use mini::{validate_history, validate_transaction, MtViolation};
 pub use verdict::{CheckError, Verdict, Violation};

@@ -16,8 +16,8 @@
 //!    rejects as soon as an operation starts after that minimum — the
 //!    real-time requirement.
 
-use crate::verdict::{CheckError, Verdict, Violation};
 use crate::verdict::LwtViolation;
+use crate::verdict::{CheckError, Verdict, Violation};
 use mtc_history::{Key, LwtKind, TimedOp, Value};
 use std::collections::HashMap;
 
@@ -179,7 +179,10 @@ mod tests {
         let verdict = check_linearizability(&ops).unwrap();
         assert!(matches!(
             verdict.violation(),
-            Some(Violation::Lwt(LwtViolation::BadInsertCount { count: 0, .. }))
+            Some(Violation::Lwt(LwtViolation::BadInsertCount {
+                count: 0,
+                ..
+            }))
         ));
     }
 
@@ -192,7 +195,10 @@ mod tests {
         let verdict = check_linearizability(&ops).unwrap();
         assert!(matches!(
             verdict.violation(),
-            Some(Violation::Lwt(LwtViolation::BadInsertCount { count: 2, .. }))
+            Some(Violation::Lwt(LwtViolation::BadInsertCount {
+                count: 2,
+                ..
+            }))
         ));
     }
 
@@ -206,7 +212,10 @@ mod tests {
         let verdict = check_linearizability(&ops).unwrap();
         assert!(matches!(
             verdict.violation(),
-            Some(Violation::Lwt(LwtViolation::BrokenChain { candidates: 0, .. }))
+            Some(Violation::Lwt(LwtViolation::BrokenChain {
+                candidates: 0,
+                ..
+            }))
         ));
     }
 
@@ -220,16 +229,16 @@ mod tests {
         let verdict = check_linearizability(&ops).unwrap();
         assert!(matches!(
             verdict.violation(),
-            Some(Violation::Lwt(LwtViolation::BrokenChain { candidates: 2, .. }))
+            Some(Violation::Lwt(LwtViolation::BrokenChain {
+                candidates: 2,
+                ..
+            }))
         ));
     }
 
     #[test]
     fn plain_reads_are_not_supported_by_algorithm_2() {
-        let ops = vec![
-            TimedOp::insert(0, 1, X, 0u64),
-            TimedOp::read(2, 3, X, 0u64),
-        ];
+        let ops = vec![TimedOp::insert(0, 1, X, 0u64), TimedOp::read(2, 3, X, 0u64)];
         assert!(matches!(
             check_linearizability(&ops),
             Err(CheckError::UnsupportedLwtOp { .. })

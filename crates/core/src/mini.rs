@@ -101,10 +101,7 @@ pub fn validate_transaction(txn: &Transaction) -> Result<(), MtViolation> {
         return Err(MtViolation::NoRead { txn: txn.id });
     }
     if reads > MAX_READS {
-        return Err(MtViolation::TooManyReads {
-            txn: txn.id,
-            reads,
-        });
+        return Err(MtViolation::TooManyReads { txn: txn.id, reads });
     }
     if writes > MAX_WRITES {
         return Err(MtViolation::TooManyWrites {

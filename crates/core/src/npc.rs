@@ -66,11 +66,9 @@ impl Cnf {
 
     /// Evaluates the formula under `assignment` (one bool per variable).
     pub fn evaluate(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|clause| {
-            clause
-                .iter()
-                .any(|l| assignment[l.var] == l.positive)
-        })
+        self.clauses
+            .iter()
+            .all(|clause| clause.iter().any(|l| assignment[l.var] == l.positive))
     }
 
     /// Brute-force satisfiability (2^num_vars assignments). Returns a
@@ -82,8 +80,7 @@ impl Cnf {
             "brute-force solver limited to 24 variables"
         );
         for bits in 0u64..(1u64 << self.num_vars) {
-            let assignment: Vec<bool> =
-                (0..self.num_vars).map(|i| bits & (1 << i) != 0).collect();
+            let assignment: Vec<bool> = (0..self.num_vars).map(|i| bits & (1 << i) != 0).collect();
             if self.evaluate(&assignment) {
                 return Some(assignment);
             }
@@ -177,7 +174,11 @@ pub fn reduce_to_history(cnf: &Cnf) -> NonUniqueHistory {
     let mut roles = Vec::new();
     let mut so_pairs = Vec::new();
 
-    let push = |ops: Vec<Op>, role: GadgetRole, txns: &mut Vec<Transaction>, roles: &mut Vec<GadgetRole>| -> TxnId {
+    let push = |ops: Vec<Op>,
+                role: GadgetRole,
+                txns: &mut Vec<Transaction>,
+                roles: &mut Vec<GadgetRole>|
+     -> TxnId {
         let id = TxnId(txns.len() as u32);
         let mut t = Transaction::committed(id, SessionId(0), ops);
         t.status = TxnStatus::Committed;

@@ -234,7 +234,10 @@ impl fmt::Display for CheckError {
                 write!(f, "{txn} lacks begin/end timestamps required for SSER")
             }
             CheckError::UnsupportedLwtOp { key } => {
-                write!(f, "unsupported lightweight-transaction operation on key {key}")
+                write!(
+                    f,
+                    "unsupported lightweight-transaction operation on key {key}"
+                )
             }
         }
     }

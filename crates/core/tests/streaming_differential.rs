@@ -1,0 +1,194 @@
+//! Property-based differential testing of the streaming engine: for random
+//! mini-transaction histories — valid serial ones and corrupted ones — the
+//! [`IncrementalChecker`] fed transaction-by-transaction and the
+//! [`ShardedIncrementalChecker`] fed in batches must agree with the batch
+//! `CHECKSER`/`CHECKSI` on accept/reject, and with each other exactly.
+
+use mtc_core::{
+    check_ser, check_si, check_streaming, check_streaming_sharded, IncrementalChecker,
+    IsolationLevel, StreamStatus,
+};
+use mtc_history::{History, HistoryBuilder, Op, Value};
+use proptest::prelude::*;
+
+/// Mini-transaction shapes, as in the top-level differential suite.
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    ReadOne,
+    ReadTwo,
+    Rmw,
+    DoubleRmw,
+    WriteSkewHalf,
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        Just(Shape::ReadOne),
+        Just(Shape::ReadTwo),
+        Just(Shape::Rmw),
+        Just(Shape::DoubleRmw),
+        Just(Shape::WriteSkewHalf),
+    ]
+}
+
+/// Builds a valid serial MT history (satisfies SER and SI by construction).
+fn serial_history(shapes: &[(Shape, u64, u64)], keys: u64, sessions: u32) -> History {
+    let keys = keys.max(2);
+    let mut state = vec![0u64; keys as usize];
+    let mut next_value = 1u64;
+    let mut builder = HistoryBuilder::new().with_init(keys);
+    for (i, &(shape, k1, k2)) in shapes.iter().enumerate() {
+        let a = (k1 % keys) as usize;
+        let b = (k2 % keys) as usize;
+        let b = if a == b { (a + 1) % keys as usize } else { b };
+        let session = (i as u32) % sessions;
+        let mut ops = Vec::new();
+        match shape {
+            Shape::ReadOne => ops.push(Op::read(a as u64, state[a])),
+            Shape::ReadTwo => {
+                ops.push(Op::read(a as u64, state[a]));
+                ops.push(Op::read(b as u64, state[b]));
+            }
+            Shape::Rmw => {
+                ops.push(Op::read(a as u64, state[a]));
+                ops.push(Op::write(a as u64, next_value));
+                state[a] = next_value;
+                next_value += 1;
+            }
+            Shape::DoubleRmw => {
+                ops.push(Op::read(a as u64, state[a]));
+                ops.push(Op::write(a as u64, next_value));
+                state[a] = next_value;
+                next_value += 1;
+                ops.push(Op::read(b as u64, state[b]));
+                ops.push(Op::write(b as u64, next_value));
+                state[b] = next_value;
+                next_value += 1;
+            }
+            Shape::WriteSkewHalf => {
+                ops.push(Op::read(a as u64, state[a]));
+                ops.push(Op::read(b as u64, state[b]));
+                ops.push(Op::write(a as u64, next_value));
+                state[a] = next_value;
+                next_value += 1;
+            }
+        }
+        builder.committed(session, ops);
+    }
+    builder.build()
+}
+
+/// Corrupts one read to return a stale value (may or may not introduce a
+/// violation — stale pure reads can still be serializable).
+fn corrupt(history: &History, txn_pick: usize, stale: u64) -> History {
+    let mut builder = HistoryBuilder::new().with_init(history.keys().len() as u64);
+    let user_txns: Vec<_> = history
+        .txns()
+        .iter()
+        .filter(|t| Some(t.id) != history.init_txn())
+        .collect();
+    let target = txn_pick % user_txns.len().max(1);
+    for (i, t) in user_txns.iter().enumerate() {
+        let mut ops = t.ops.clone();
+        if i == target {
+            if let Some(Op::Read { value, .. }) = ops.first_mut() {
+                *value = Value(stale % value.raw().max(1));
+            }
+        }
+        builder.committed(t.session.0, ops);
+    }
+    builder.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Valid serial histories are accepted online, and the sharded checker
+    /// produces the exact same verdict as the sequential one.
+    #[test]
+    fn valid_histories_accepted_by_all_streaming_variants(
+        shapes in prop::collection::vec((shape_strategy(), 0u64..6, 0u64..6), 1..24),
+        keys in 2u64..6,
+        sessions in 1u32..4,
+    ) {
+        let history = serial_history(&shapes, keys, sessions);
+        for level in [IsolationLevel::Serializability, IsolationLevel::SnapshotIsolation] {
+            let streaming = check_streaming(level, &history).unwrap();
+            prop_assert!(streaming.is_satisfied(), "{level}: {streaming:?}");
+            let sharded = check_streaming_sharded(level, &history, 3, 7).unwrap();
+            prop_assert_eq!(streaming, sharded);
+        }
+    }
+
+    /// On corrupted histories, the streaming checkers agree with the batch
+    /// verdicts on accept/reject, and sequential == sharded exactly.
+    #[test]
+    fn streaming_agrees_with_batch_on_corrupted_histories(
+        shapes in prop::collection::vec((shape_strategy(), 0u64..4, 0u64..4), 2..16),
+        pick in 0usize..16,
+        stale in 0u64..3,
+        shards in 1usize..5,
+        batch in 1usize..9,
+    ) {
+        let valid = serial_history(&shapes, 3, 2);
+        let corrupted = corrupt(&valid, pick, stale);
+        for level in [IsolationLevel::Serializability, IsolationLevel::SnapshotIsolation] {
+            let batch_verdict = match level {
+                IsolationLevel::Serializability => check_ser(&corrupted).unwrap(),
+                _ => check_si(&corrupted).unwrap(),
+            };
+            let streaming = check_streaming(level, &corrupted).unwrap();
+            prop_assert_eq!(
+                batch_verdict.is_violated(),
+                streaming.is_violated(),
+                "{} accept/reject mismatch: batch={:?} streaming={:?}",
+                level, batch_verdict, streaming
+            );
+            let sharded = check_streaming_sharded(level, &corrupted, shards, batch).unwrap();
+            prop_assert_eq!(&streaming, &sharded, "sequential and sharded diverge at {}", level);
+        }
+    }
+
+    /// Early exit: when a violating prefix exists, the checker latches no
+    /// later than the batch verdict over that same prefix would flag it, and
+    /// the latched status never reverts while the tail streams in.
+    #[test]
+    fn violations_latch_and_stay_latched(
+        shapes in prop::collection::vec((shape_strategy(), 0u64..4, 0u64..4), 4..16),
+        pick in 0usize..8,
+        tail in 1usize..12,
+    ) {
+        let valid = serial_history(&shapes, 3, 2);
+        let corrupted = corrupt(&valid, pick, 0);
+        let mut checker = IncrementalChecker::new_ser()
+            .with_init_keys(corrupted.keys());
+        let mut latched_at: Option<usize> = None;
+        for txn in corrupted.txns() {
+            if Some(txn.id) == corrupted.init_txn() {
+                continue;
+            }
+            if let Ok(StreamStatus::Violated) = checker.push(txn.clone()) {
+                latched_at.get_or_insert(txn.id.index());
+            }
+        }
+        // Extend with a tail of serial updates on a fresh key (untouched by
+        // the corrupted prefix); the verdict must not change.
+        let was_violated = checker.is_violated();
+        let first = checker.first_violation_at();
+        let fresh_key = 9_999u64;
+        let mut last = Value(0);
+        for i in 0..tail {
+            let next = Value(1_000_000 + i as u64);
+            let _ = checker.push_committed(
+                0,
+                vec![Op::read(fresh_key, last), Op::write(fresh_key, next)],
+            );
+            last = next;
+        }
+        prop_assert_eq!(checker.is_violated(), was_violated);
+        prop_assert_eq!(checker.first_violation_at(), first);
+        if let (Some(pos), Some(at)) = (latched_at, first) {
+            prop_assert_eq!(pos, at.index());
+        }
+    }
+}

@@ -85,7 +85,8 @@ pub fn execute_workload(
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for session in &workload.sessions {
-            handles.push(scope.spawn(move || run_session(db, session.session, &session.txns, opts)));
+            handles
+                .push(scope.spawn(move || run_session(db, session.session, &session.txns, opts)));
         }
         for h in handles {
             session_logs.push(h.join().expect("client thread panicked"));

@@ -31,6 +31,7 @@ pub mod client;
 pub mod config;
 pub mod db;
 pub mod faults;
+pub mod live;
 pub mod store;
 pub mod txn;
 
@@ -38,5 +39,8 @@ pub use client::{execute_workload, ClientOptions, ExecutionReport};
 pub use config::{DbConfig, IsolationMode};
 pub use db::Database;
 pub use faults::{FaultKind, FaultSpec};
+pub use live::{
+    execute_workload_live, ExecutionReportLive, LiveOutcome, LiveVerifier, LiveViolation,
+};
 pub use store::StoredValue;
 pub use txn::{AbortReason, CommitInfo, TxnHandle};

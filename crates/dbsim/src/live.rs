@@ -1,0 +1,333 @@
+//! Live verification: checking the simulated database *while* it executes.
+//!
+//! The batch pipeline collects a complete history and verifies it afterwards
+//! (steps ③–④ of Figure 2). With the streaming engine of `mtc-core`, the
+//! same check can run concurrently with execution: every session thread
+//! reports each finished transaction attempt to a shared [`LiveVerifier`],
+//! which feeds an [`IncrementalChecker`] in commit order. The first
+//! isolation violation is latched the moment the offending transaction
+//! commits — typically long before the workload ends — and can optionally
+//! stop the run ([`LiveVerifier::stop_on_violation`]), which is what turns
+//! "verify a million transactions, then learn the bug happened at #1302"
+//! into "stop at #1302".
+//!
+//! The verifier consumes transactions in *commit order* (the order the
+//! session threads acquire the verifier lock), which preserves each
+//! session's order and therefore yields the same verdict as checking the
+//! collected history, even though transaction ids differ from the
+//! per-session renumbering of the final [`History`](mtc_history::History).
+
+use crate::client::ClientOptions;
+use crate::db::Database;
+use crate::txn::AbortReason;
+use mtc_core::{CheckError, IncrementalChecker, IsolationLevel, StreamStatus, Verdict, Violation};
+use mtc_history::{History, HistoryBuilder, Op, TxnStatus, ValueAllocator};
+use mtc_workload::{ReqOp, Workload};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// A thread-safe streaming verifier shared by the client sessions.
+pub struct LiveVerifier {
+    inner: Mutex<LiveInner>,
+    stop_on_violation: bool,
+    violated: AtomicBool,
+}
+
+struct LiveInner {
+    checker: IncrementalChecker,
+    first_violation: Option<LiveViolation>,
+    /// Start of the run: set when [`execute_workload_live`] begins (or at
+    /// construction, for hand-driven use), so `LiveViolation::elapsed` is
+    /// comparable with the run's wall time.
+    started: Instant,
+}
+
+/// Metadata about the first violation observed during a live run.
+#[derive(Clone, Debug)]
+pub struct LiveViolation {
+    /// How many transactions the verifier had consumed when it latched
+    /// (including the offending one, excluding `⊥T`).
+    pub at_txn: usize,
+    /// Wall-clock time from the start of the run to the latch.
+    pub elapsed: Duration,
+}
+
+/// Outcome of a live-verified execution.
+#[derive(Debug)]
+pub struct LiveOutcome {
+    /// The final verdict over everything the verifier consumed.
+    pub verdict: Result<Verdict, CheckError>,
+    /// First-violation metadata, if a violation was latched mid-run.
+    pub first_violation: Option<LiveViolation>,
+    /// Transactions consumed by the verifier (excluding `⊥T`).
+    pub checked_txns: usize,
+}
+
+impl LiveVerifier {
+    /// A live verifier for `level` over a database pre-initialized with
+    /// `num_keys` register keys. When `stop_on_violation` is set, sessions
+    /// executing through [`execute_workload_live`] stop issuing new
+    /// transactions once a violation is latched.
+    pub fn new(level: IsolationLevel, num_keys: u64, stop_on_violation: bool) -> Self {
+        LiveVerifier {
+            inner: Mutex::new(LiveInner {
+                checker: IncrementalChecker::new(level).with_init_keys(0..num_keys),
+                first_violation: None,
+                started: Instant::now(),
+            }),
+            stop_on_violation,
+            violated: AtomicBool::new(false),
+        }
+    }
+
+    /// Restarts the time-to-first-violation clock. Called by
+    /// [`execute_workload_live`] when the run actually begins, so that
+    /// verifier construction and other setup do not count towards
+    /// [`LiveViolation::elapsed`].
+    pub fn mark_started(&self) {
+        self.inner.lock().started = Instant::now();
+    }
+
+    /// True iff a violation has been latched.
+    pub fn is_violated(&self) -> bool {
+        self.violated.load(Ordering::Relaxed)
+    }
+
+    /// True iff sessions should stop issuing transactions.
+    pub fn should_stop(&self) -> bool {
+        self.stop_on_violation && self.is_violated()
+    }
+
+    /// Feeds one finished transaction attempt. Called by the session threads
+    /// in commit order; also usable directly when driving [`Database`] by
+    /// hand (see `examples/streaming_check.rs`).
+    pub fn record(&self, session: u32, ops: Vec<Op>, status: TxnStatus) {
+        let mut inner = self.inner.lock();
+        if inner.checker.violation().is_some() {
+            return;
+        }
+        let result = match status {
+            TxnStatus::Committed => inner.checker.push_committed(session, ops),
+            _ => inner.checker.push_aborted(session, ops),
+        };
+        if matches!(result, Ok(StreamStatus::Violated)) && inner.first_violation.is_none() {
+            inner.first_violation = Some(LiveViolation {
+                at_txn: inner.checker.txn_count().saturating_sub(1),
+                elapsed: inner.started.elapsed(),
+            });
+            self.violated.store(true, Ordering::Relaxed);
+        }
+        if result.is_err() {
+            // Domain errors latch inside the checker; surfaced by finish().
+            self.violated.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// A snapshot of the currently latched violation, if any.
+    pub fn violation(&self) -> Option<Violation> {
+        self.inner.lock().checker.violation().cloned()
+    }
+
+    /// Ends the stream and returns the final outcome.
+    pub fn finish(self) -> LiveOutcome {
+        let inner = self.inner.into_inner();
+        let checked = inner.checker.txn_count().saturating_sub(1);
+        LiveOutcome {
+            verdict: inner.checker.finish(),
+            first_violation: inner.first_violation,
+            checked_txns: checked,
+        }
+    }
+}
+
+/// Executes `workload` against `db` with one thread per session — like
+/// [`crate::execute_workload`] — while feeding every finished attempt to
+/// `verifier`. Returns the collected history and execution statistics; call
+/// [`LiveVerifier::finish`] afterwards for the verification outcome.
+pub fn execute_workload_live(
+    db: &Database,
+    workload: &Workload,
+    opts: &ClientOptions,
+    verifier: &LiveVerifier,
+) -> (History, ExecutionReportLive) {
+    verifier.mark_started();
+    let start = Instant::now();
+    type SessionLog = (
+        u32,
+        Vec<(Vec<Op>, TxnStatus, u64, u64)>,
+        usize,
+        usize,
+        usize,
+    );
+    let mut session_logs: Vec<SessionLog> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for session in &workload.sessions {
+            let sid = session.session;
+            let templates = &session.txns;
+            handles.push(scope.spawn(move || {
+                let mut allocator = ValueAllocator::new(sid);
+                let mut records = Vec::with_capacity(templates.len());
+                let (mut committed, mut aborted, mut attempts) = (0usize, 0usize, 0usize);
+                'templates: for template in templates {
+                    if verifier.should_stop() {
+                        break 'templates;
+                    }
+                    let mut attempt = 0;
+                    loop {
+                        attempt += 1;
+                        attempts += 1;
+                        let mut handle = db.begin();
+                        let begin = handle.begin_ts();
+                        let mut ops = Vec::with_capacity(template.ops.len());
+                        for op in &template.ops {
+                            match *op {
+                                ReqOp::Read(key) => {
+                                    let v = handle.read_register(key);
+                                    ops.push(Op::Read { key, value: v });
+                                }
+                                ReqOp::Write(key) => {
+                                    let v = allocator.next();
+                                    handle.write_register(key, v);
+                                    ops.push(Op::Write { key, value: v });
+                                }
+                            }
+                        }
+                        match handle.commit() {
+                            Ok(info) => {
+                                committed += 1;
+                                verifier.record(sid, ops.clone(), TxnStatus::Committed);
+                                records.push((ops, TxnStatus::Committed, begin, info.commit_ts));
+                                break;
+                            }
+                            Err(reason) => {
+                                aborted += 1;
+                                if opts.record_aborted {
+                                    verifier.record(sid, ops.clone(), TxnStatus::Aborted);
+                                    records.push((ops, TxnStatus::Aborted, begin, db.now()));
+                                }
+                                let retry = attempt <= opts.max_retries
+                                    && reason != AbortReason::InjectedAbort;
+                                if !retry {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                (sid, records, committed, aborted, attempts)
+            }));
+        }
+        for h in handles {
+            session_logs.push(h.join().expect("live client thread panicked"));
+        }
+    });
+
+    session_logs.sort_by_key(|(s, ..)| *s);
+    let mut builder = HistoryBuilder::new().with_init(workload.num_keys);
+    let mut report = ExecutionReportLive {
+        wall_time: start.elapsed(),
+        ..ExecutionReportLive::default()
+    };
+    for (sid, records, committed, aborted, attempts) in session_logs {
+        report.committed += committed;
+        report.aborted_attempts += aborted;
+        report.attempts += attempts;
+        for (ops, status, begin, end) in records {
+            builder.push_timed(sid, ops, status, begin, end);
+        }
+    }
+    (builder.build(), report)
+}
+
+/// Statistics of one live-verified execution. (A separate type from
+/// [`crate::ExecutionReport`] because a live run may stop early, making the
+/// "failed templates" notion meaningless.)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecutionReportLive {
+    /// Committed transactions.
+    pub committed: usize,
+    /// Aborted attempts.
+    pub aborted_attempts: usize,
+    /// Total attempts.
+    pub attempts: usize,
+    /// Wall-clock duration of the (possibly truncated) run.
+    pub wall_time: Duration,
+}
+
+impl ExecutionReportLive {
+    /// Fraction of attempts that aborted.
+    pub fn abort_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.aborted_attempts as f64 / self.attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DbConfig, IsolationMode};
+    use crate::faults::{FaultKind, FaultSpec};
+    use mtc_workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
+
+    fn spec(seed: u64, keys: u64, txns: u32) -> MtWorkloadSpec {
+        MtWorkloadSpec {
+            sessions: 4,
+            txns_per_session: txns,
+            num_keys: keys,
+            distribution: Distribution::Uniform,
+            read_only_fraction: 0.2,
+            two_key_fraction: 0.5,
+            seed,
+        }
+    }
+
+    #[test]
+    fn clean_database_passes_live_verification() {
+        let s = spec(3, 16, 50);
+        let workload = generate_mt_workload(&s);
+        let db = Database::new(DbConfig::correct(IsolationMode::Serializable, s.num_keys));
+        let verifier = LiveVerifier::new(IsolationLevel::Serializability, s.num_keys, false);
+        let (history, report) =
+            execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+        assert!(report.committed > 0);
+        let outcome = verifier.finish();
+        assert!(outcome.verdict.unwrap().is_satisfied());
+        assert!(outcome.first_violation.is_none());
+        assert_eq!(
+            outcome.checked_txns,
+            history.len() - 1,
+            "verifier must have consumed every recorded transaction"
+        );
+    }
+
+    #[test]
+    fn faulty_database_is_caught_while_running() {
+        let s = spec(7, 4, 150);
+        let workload = generate_mt_workload(&s);
+        let config = DbConfig::correct(IsolationMode::Snapshot, s.num_keys)
+            .with_latency(Duration::from_micros(200), Duration::from_micros(100))
+            .with_faults(vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.6)], 7);
+        let db = Database::new(config);
+        let verifier = LiveVerifier::new(IsolationLevel::SnapshotIsolation, s.num_keys, true);
+        let (_, _) = execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+        let outcome = verifier.finish();
+        let total = (s.sessions * s.txns_per_session) as usize;
+        assert!(
+            outcome.verdict.unwrap().is_violated(),
+            "the injected lost update must be caught"
+        );
+        let first = outcome.first_violation.expect("must latch mid-run");
+        assert!(
+            first.at_txn <= outcome.checked_txns && outcome.checked_txns <= total,
+            "stop-on-violation must truncate the run: latched at {} of {}",
+            first.at_txn,
+            outcome.checked_txns
+        );
+    }
+}

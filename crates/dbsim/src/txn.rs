@@ -184,7 +184,7 @@ impl<'db> TxnHandle<'db> {
             }
         }
         if isolation.validates_reads() && !self.faults.skip_read_validation {
-            for (key, _observed) in &self.read_set {
+            for key in self.read_set.keys() {
                 if db.store.has_newer_than(*key, self.begin_ts) {
                     return Err(AbortReason::ReadConflict);
                 }
@@ -300,10 +300,8 @@ mod tests {
 
     #[test]
     fn skip_write_validation_fault_permits_lost_updates() {
-        let cfg = DbConfig::correct(IsolationMode::Snapshot, 2).with_faults(
-            vec![FaultSpec::new(FaultKind::SkipWriteValidation, 1.0)],
-            1,
-        );
+        let cfg = DbConfig::correct(IsolationMode::Snapshot, 2)
+            .with_faults(vec![FaultSpec::new(FaultKind::SkipWriteValidation, 1.0)], 1);
         let db = Database::new(cfg);
         let mut t1 = db.begin();
         let mut t2 = db.begin();
@@ -312,7 +310,10 @@ mod tests {
         t1.write_register(Key(0), Value(1));
         t2.write_register(Key(0), Value(2));
         assert!(t1.commit().is_ok());
-        assert!(t2.commit().is_ok(), "fault must disable first-committer-wins");
+        assert!(
+            t2.commit().is_ok(),
+            "fault must disable first-committer-wins"
+        );
     }
 
     #[test]
@@ -375,7 +376,10 @@ mod tests {
 
     #[test]
     fn abort_reason_display() {
-        assert_eq!(AbortReason::WriteConflict.to_string(), "write-write conflict");
+        assert_eq!(
+            AbortReason::WriteConflict.to_string(),
+            "write-write conflict"
+        );
         assert_eq!(AbortReason::InjectedAbort.to_string(), "injected abort");
     }
 }

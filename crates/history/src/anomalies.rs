@@ -170,10 +170,7 @@ impl fmt::Display for AnomalyKind {
 
 /// All 14 anomalies paired with their witness histories.
 pub fn catalogue() -> Vec<(AnomalyKind, History)> {
-    AnomalyKind::ALL
-        .iter()
-        .map(|&k| (k, k.history()))
-        .collect()
+    AnomalyKind::ALL.iter().map(|&k| (k, k.history())).collect()
 }
 
 const X: u64 = 0;
@@ -383,7 +380,10 @@ mod tests {
                     let read_before = t.ops[..first_write]
                         .iter()
                         .any(|o| o.is_read() && o.key() == key);
-                    assert!(read_before, "{kind}: write of {key} in {t:?} not preceded by a read");
+                    assert!(
+                        read_before,
+                        "{kind}: write of {key} in {t:?} not preceded by a read"
+                    );
                 }
             }
         }

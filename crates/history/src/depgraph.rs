@@ -124,6 +124,15 @@ impl DependencyGraph {
         self.node_count
     }
 
+    /// Appends a fresh node (transaction slot) with no edges, returning its
+    /// index. Supports the streaming checkers, whose graphs grow one
+    /// committed transaction at a time.
+    pub fn add_node(&mut self) -> usize {
+        self.node_count += 1;
+        self.adj.push(Vec::new());
+        self.node_count - 1
+    }
+
     /// Number of labelled edges.
     #[inline]
     pub fn edge_count(&self) -> usize {

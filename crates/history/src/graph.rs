@@ -37,6 +37,14 @@ impl DiGraph {
         self.adj.len()
     }
 
+    /// Appends a fresh node with no edges, returning its id. Supports the
+    /// streaming checkers, whose graphs grow one transaction at a time.
+    #[inline]
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
     /// Number of edges (counting duplicates).
     #[inline]
     pub fn edge_count(&self) -> usize {

@@ -83,10 +83,7 @@ impl History {
 
     /// Iterator over ids of committed transactions (includes `⊥T`).
     pub fn committed_ids(&self) -> impl Iterator<Item = TxnId> + '_ {
-        self.txns
-            .iter()
-            .filter(|t| t.is_committed())
-            .map(|t| t.id)
+        self.txns.iter().filter(|t| t.is_committed()).map(|t| t.id)
     }
 
     /// Number of committed transactions, including `⊥T` if present.
@@ -351,13 +348,7 @@ impl HistoryBuilder {
     }
 
     /// Appends a committed transaction with wall-clock begin/end instants.
-    pub fn committed_timed(
-        &mut self,
-        session: u32,
-        ops: Vec<Op>,
-        begin: u64,
-        end: u64,
-    ) -> TxnId {
+    pub fn committed_timed(&mut self, session: u32, ops: Vec<Op>, begin: u64, end: u64) -> TxnId {
         self.push_timed(session, ops, TxnStatus::Committed, begin, end)
     }
 

@@ -271,7 +271,10 @@ mod tests {
     use crate::history::HistoryBuilder;
 
     fn anomalies_of(h: &History) -> Vec<IntraAnomaly> {
-        find_intra_anomalies(h).into_iter().map(|v| v.anomaly).collect()
+        find_intra_anomalies(h)
+            .into_iter()
+            .map(|v| v.anomaly)
+            .collect()
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod anomalies;
 pub mod depgraph;
 pub mod graph;
 pub mod history;
+pub mod incremental;
 pub mod intra;
 pub mod op;
 pub mod serde_io;
@@ -38,6 +39,7 @@ pub use anomalies::{AnomalyKind, ExpectedVerdicts};
 pub use depgraph::{DependencyGraph, Edge, EdgeKind};
 pub use graph::DiGraph;
 pub use history::{History, HistoryBuilder};
+pub use incremental::IncrementalTopo;
 pub use intra::{check_int, check_int_history, find_intra_anomalies, IntraAnomaly, IntraViolation};
 pub use op::{LwtKind, Op, TimedOp};
 pub use session::SessionId;

@@ -225,10 +225,18 @@ impl fmt::Debug for TimedOp {
                 self.start, self.finish, self.key, expected, new
             ),
             LwtKind::Read { value } => {
-                write!(f, "R({},{},{},{})", self.start, self.finish, self.key, value)
+                write!(
+                    f,
+                    "R({},{},{},{})",
+                    self.start, self.finish, self.key, value
+                )
             }
             LwtKind::Insert { value } => {
-                write!(f, "I({},{},{},{})", self.start, self.finish, self.key, value)
+                write!(
+                    f,
+                    "I({},{},{},{})",
+                    self.start, self.finish, self.key, value
+                )
             }
         }
     }

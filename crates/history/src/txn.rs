@@ -143,9 +143,7 @@ impl Transaction {
 
     /// True iff this transaction writes to `key`.
     pub fn writes(&self, key: Key) -> bool {
-        self.ops
-            .iter()
-            .any(|op| op.is_write() && op.key() == key)
+        self.ops.iter().any(|op| op.is_write() && op.key() == key)
     }
 
     /// True iff this transaction reads `key` before writing it (i.e. has an

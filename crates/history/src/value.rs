@@ -104,6 +104,7 @@ impl ValueAllocator {
     }
 
     /// Returns the next unique value for this session.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, infallible
     pub fn next(&mut self) -> Value {
         self.counter += 1;
         Value(((self.session + 1) << Self::COUNTER_BITS) | self.counter)

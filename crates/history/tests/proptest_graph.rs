@@ -65,6 +65,7 @@ proptest! {
         }
         prop_assert_eq!(seen.len(), 16);
         // Mutual reachability implies same component.
+        #[allow(clippy::needless_range_loop)] // `b` indexes two parallel structures
         for a in 0..16usize {
             let ra = g.reachable_from(a);
             for b in 0..16usize {
@@ -103,7 +104,7 @@ proptest! {
         keys in 1u64..6,
     ) {
         let mut builder = HistoryBuilder::new().with_init(keys);
-        let mut expected_per_session = vec![0usize; 4];
+        let mut expected_per_session = [0usize; 4];
         let mut value = 1u64;
         for &(session, ops, committed) in &txns {
             let ops: Vec<Op> = (0..ops)

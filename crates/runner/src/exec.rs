@@ -10,8 +10,14 @@
 use mtc_baselines::cobra::{cobra_check_ser, BaselineOutcome};
 use mtc_baselines::elle::{ListHistory, ListOp, ListTxn};
 use mtc_baselines::polysi::polysi_check_si;
-use mtc_core::{build_dependency, check_ser, check_si, check_sser, check_sser_naive};
-use mtc_dbsim::{execute_workload, ClientOptions, Database, DbConfig, ExecutionReport};
+use mtc_core::{
+    build_dependency, check_ser, check_si, check_sser, check_sser_naive, IncrementalChecker,
+    IsolationLevel, ShardedIncrementalChecker,
+};
+use mtc_dbsim::{
+    execute_workload, execute_workload_live, ClientOptions, Database, DbConfig, ExecutionReport,
+    LiveVerifier,
+};
 use mtc_history::{History, HistoryBuilder, Op, SessionId, TxnStatus, ValueAllocator};
 use mtc_workload::{ElleOpTemplate, ElleWorkload, Workload};
 use serde::{Deserialize, Serialize};
@@ -28,6 +34,16 @@ pub enum Checker {
     MtcSser,
     /// MTC's strict-serializability verifier with materialized RT edges.
     MtcSserNaive,
+    /// Streaming serializability verifier (incremental topological order,
+    /// transaction-by-transaction).
+    MtcSerIncremental,
+    /// Streaming snapshot-isolation verifier.
+    MtcSiIncremental,
+    /// Streaming serializability verifier with key-sharded parallel edge
+    /// derivation (4 shards, batches of 256).
+    MtcSerSharded,
+    /// Streaming snapshot-isolation verifier, key-sharded.
+    MtcSiSharded,
     /// Cobra-style serializability baseline (polygraph + constraint search).
     CobraSer,
     /// PolySI-style snapshot-isolation baseline.
@@ -46,6 +62,10 @@ impl Checker {
             Checker::MtcSi => "MTC-SI",
             Checker::MtcSser => "MTC-SSER",
             Checker::MtcSserNaive => "MTC-SSER-naive",
+            Checker::MtcSerIncremental => "MTC-SER-inc",
+            Checker::MtcSiIncremental => "MTC-SI-inc",
+            Checker::MtcSerSharded => "MTC-SER-shard",
+            Checker::MtcSiSharded => "MTC-SI-shard",
             Checker::CobraSer => "Cobra",
             Checker::PolySiSi => "PolySI",
             Checker::ElleRwSer => "Elle-wr(SER)",
@@ -84,6 +104,35 @@ fn baseline_memory(stats: &mtc_baselines::cobra::SolverStats) -> usize {
 pub fn verify(checker: Checker, history: &History) -> VerifyOutcome {
     let start = Instant::now();
     let (violated, memory, detail) = match checker {
+        Checker::MtcSerIncremental | Checker::MtcSiIncremental => {
+            let level = if checker == Checker::MtcSerIncremental {
+                IsolationLevel::Serializability
+            } else {
+                IsolationLevel::SnapshotIsolation
+            };
+            verify_streaming(level, history)
+        }
+        Checker::MtcSerSharded | Checker::MtcSiSharded => {
+            let level = if checker == Checker::MtcSerSharded {
+                IsolationLevel::Serializability
+            } else {
+                IsolationLevel::SnapshotIsolation
+            };
+            let mut c = ShardedIncrementalChecker::new(level, 4);
+            let _ = c.push_history(history, 256);
+            let edges = c.edge_count();
+            let mem = history_memory_bytes(history) + edges * 24;
+            match c.finish() {
+                Ok(verdict) => {
+                    let detail = match verdict.violation() {
+                        Some(v) => format!("{v}"),
+                        None => "ok".to_string(),
+                    };
+                    (verdict.is_violated(), mem, detail)
+                }
+                Err(e) => (false, mem, format!("checker not applicable: {e}")),
+            }
+        }
         Checker::MtcSer | Checker::MtcSi | Checker::MtcSser | Checker::MtcSserNaive => {
             let verdict = match checker {
                 Checker::MtcSer => check_ser(history),
@@ -126,6 +175,30 @@ pub fn verify(checker: Checker, history: &History) -> VerifyOutcome {
         duration: start.elapsed(),
         memory_bytes: memory,
         detail,
+    }
+}
+
+/// Feeds `history` transaction-by-transaction into an [`IncrementalChecker`]
+/// and summarizes the outcome, including how early the violation latched.
+fn verify_streaming(level: IsolationLevel, history: &History) -> (bool, usize, String) {
+    let mut checker = IncrementalChecker::new(level);
+    let _ = checker.push_history(history);
+    let first = checker.first_violation_at();
+    let edges = checker.edge_count();
+    let total = checker.txn_count();
+    let mem = history_memory_bytes(history) + edges * 24;
+    match checker.finish() {
+        Ok(verdict) => {
+            let detail = match (verdict.violation(), first) {
+                (Some(v), Some(at)) => {
+                    format!("first violation at txn {}/{}: {v}", at.index(), total)
+                }
+                (Some(v), None) => format!("settled at finish: {v}"),
+                (None, _) => "ok".to_string(),
+            };
+            (verdict.is_violated(), mem, detail)
+        }
+        Err(e) => (false, mem, format!("checker not applicable: {e}")),
     }
 }
 
@@ -196,6 +269,64 @@ pub fn end_to_end(
     }
 }
 
+/// Result of a streaming (live-verified) end-to-end run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamingEndToEnd {
+    /// Wall-clock duration of the (possibly truncated) run.
+    pub wall_time: Duration,
+    /// Committed transactions executed before the run ended.
+    pub committed: usize,
+    /// Abort rate observed during the run.
+    pub abort_rate: f64,
+    /// Whether a violation was latched (live or at settlement).
+    pub violated: bool,
+    /// Transactions the verifier consumed when the violation latched, if it
+    /// latched mid-run.
+    pub first_violation_txn: Option<usize>,
+    /// Wall-clock time from workload start to the first latched violation —
+    /// the headline "time-to-first-violation" metric.
+    pub time_to_first_violation: Option<Duration>,
+    /// Counterexample / settlement detail.
+    pub detail: String,
+}
+
+/// Runs a register workload with *live* verification: the streaming checker
+/// consumes transactions as they commit, concurrently with execution. With
+/// `stop_on_violation`, sessions cease issuing transactions once a violation
+/// is latched, so the run's cost is proportional to the time-to-first-
+/// violation rather than to the workload size.
+pub fn end_to_end_streaming(
+    config: &DbConfig,
+    workload: &Workload,
+    opts: &ClientOptions,
+    level: IsolationLevel,
+    stop_on_violation: bool,
+) -> StreamingEndToEnd {
+    let db = Database::new(config.clone());
+    let verifier = LiveVerifier::new(level, workload.num_keys, stop_on_violation);
+    let (_history, report) = execute_workload_live(&db, workload, opts, &verifier);
+    let outcome = verifier.finish();
+    let (violated, detail) = match &outcome.verdict {
+        Ok(verdict) => (
+            verdict.is_violated(),
+            verdict
+                .violation()
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "ok".to_string()),
+        ),
+        Err(e) => (false, format!("checker not applicable: {e}")),
+    };
+    StreamingEndToEnd {
+        wall_time: report.wall_time,
+        committed: report.committed,
+        abort_rate: report.abort_rate(),
+        violated,
+        first_violation_txn: outcome.first_violation.as_ref().map(|f| f.at_txn),
+        time_to_first_violation: outcome.first_violation.as_ref().map(|f| f.elapsed),
+        detail,
+    }
+}
+
 /// Executes an Elle list-append workload, returning the committed list
 /// history and the execution report.
 pub fn run_elle_append_workload(
@@ -226,10 +357,7 @@ pub fn run_elle_append_workload(
                                 ElleOpTemplate::Append(key) => {
                                     let element = allocator.next();
                                     handle.append(*key, element);
-                                    ops.push(ListOp::Append {
-                                        key: *key,
-                                        element,
-                                    });
+                                    ops.push(ListOp::Append { key: *key, element });
                                 }
                                 ElleOpTemplate::ReadList(key) => {
                                     let elements = handle.read_list(*key);
@@ -287,7 +415,8 @@ pub fn run_elle_register_workload(
 ) -> (History, ExecutionReport) {
     let db = Database::new(config.clone());
     let start = Instant::now();
-    let mut per_session: Vec<(u32, Vec<(Vec<Op>, TxnStatus, u64, u64)>, usize, usize)> = Vec::new();
+    type SessionRecords = Vec<(Vec<Op>, TxnStatus, u64, u64)>;
+    let mut per_session: Vec<(u32, SessionRecords, usize, usize)> = Vec::new();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -390,7 +519,8 @@ mod tests {
     fn correct_serializable_database_passes_all_checkers() {
         let workload = generate_mt_workload(&small_mt_spec());
         let config = DbConfig::correct(IsolationMode::Serializable, 12);
-        let (history, report) = run_register_workload(&config, &workload, &ClientOptions::default());
+        let (history, report) =
+            run_register_workload(&config, &workload, &ClientOptions::default());
         assert!(report.committed > 0);
         for checker in [
             Checker::MtcSer,
@@ -420,14 +550,23 @@ mod tests {
         let config = DbConfig::correct(IsolationMode::Snapshot, 4);
         let (history, _) = run_register_workload(&config, &workload, &ClientOptions::default());
         let si = verify(Checker::MtcSi, &history);
-        assert!(!si.violated, "SI store must produce SI histories: {}", si.detail);
+        assert!(
+            !si.violated,
+            "SI store must produce SI histories: {}",
+            si.detail
+        );
     }
 
     #[test]
     fn end_to_end_produces_consistent_totals() {
         let workload = generate_mt_workload(&small_mt_spec());
         let config = DbConfig::correct(IsolationMode::Serializable, 12);
-        let e2e = end_to_end(&config, &workload, &ClientOptions::default(), Checker::MtcSer);
+        let e2e = end_to_end(
+            &config,
+            &workload,
+            &ClientOptions::default(),
+            Checker::MtcSer,
+        );
         assert!(!e2e.violated);
         assert!(e2e.total() >= e2e.generation);
         assert!(e2e.committed > 0);
@@ -481,6 +620,10 @@ mod tests {
             Checker::MtcSi,
             Checker::MtcSser,
             Checker::MtcSserNaive,
+            Checker::MtcSerIncremental,
+            Checker::MtcSiIncremental,
+            Checker::MtcSerSharded,
+            Checker::MtcSiSharded,
             Checker::CobraSer,
             Checker::PolySiSi,
             Checker::ElleRwSer,
@@ -489,6 +632,81 @@ mod tests {
         .iter()
         .map(|c| c.label())
         .collect();
-        assert_eq!(labels.len(), 8);
+        assert_eq!(labels.len(), 12);
+    }
+
+    #[test]
+    fn incremental_checkers_agree_with_batch_on_collected_histories() {
+        let workload = generate_mt_workload(&small_mt_spec());
+        let config = DbConfig::correct(IsolationMode::Serializable, 12);
+        let (history, _) = run_register_workload(&config, &workload, &ClientOptions::default());
+        for (batch, streaming) in [
+            (Checker::MtcSer, Checker::MtcSerIncremental),
+            (Checker::MtcSi, Checker::MtcSiIncremental),
+            (Checker::MtcSer, Checker::MtcSerSharded),
+            (Checker::MtcSi, Checker::MtcSiSharded),
+        ] {
+            let a = verify(batch, &history);
+            let b = verify(streaming, &history);
+            assert_eq!(
+                a.violated,
+                b.violated,
+                "{} and {} disagree: {} vs {}",
+                batch.label(),
+                streaming.label(),
+                a.detail,
+                b.detail
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_end_to_end_reports_time_to_first_violation() {
+        use mtc_dbsim::{FaultKind, FaultSpec};
+        let workload = generate_mt_workload(&MtWorkloadSpec {
+            num_keys: 4,
+            txns_per_session: 120,
+            ..small_mt_spec()
+        });
+        let config = DbConfig::correct(IsolationMode::Snapshot, 4)
+            .with_latency(
+                std::time::Duration::from_micros(200),
+                std::time::Duration::from_micros(100),
+            )
+            .with_faults(
+                vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.6)],
+                11,
+            );
+        let out = end_to_end_streaming(
+            &config,
+            &workload,
+            &ClientOptions::default(),
+            IsolationLevel::SnapshotIsolation,
+            true,
+        );
+        assert!(
+            out.violated,
+            "fault injection must be caught: {}",
+            out.detail
+        );
+        let first = out.first_violation_txn.expect("latched mid-run");
+        assert!(first <= out.committed + workload.txn_count());
+        assert!(out.time_to_first_violation.unwrap() <= out.wall_time);
+    }
+
+    #[test]
+    fn streaming_end_to_end_clean_run_is_satisfied() {
+        let workload = generate_mt_workload(&small_mt_spec());
+        let config = DbConfig::correct(IsolationMode::Serializable, 12);
+        let out = end_to_end_streaming(
+            &config,
+            &workload,
+            &ClientOptions::default(),
+            IsolationLevel::Serializability,
+            true,
+        );
+        assert!(!out.violated, "{}", out.detail);
+        assert!(out.first_violation_txn.is_none());
+        assert!(out.committed > 0);
     }
 }

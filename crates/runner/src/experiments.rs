@@ -119,10 +119,7 @@ impl VerificationSweep {
     }
 }
 
-fn generate_valid_history(
-    spec: &MtWorkloadSpec,
-    isolation: IsolationMode,
-) -> mtc_history::History {
+fn generate_valid_history(spec: &MtWorkloadSpec, isolation: IsolationMode) -> mtc_history::History {
     let workload = generate_mt_workload(spec);
     let config = DbConfig::correct(isolation, spec.num_keys);
     let (history, _) = run_register_workload(&config, &workload, &ClientOptions::default());
@@ -581,10 +578,22 @@ pub fn fig11_abort_rates(sweep: &AbortRateSweep) -> Vec<Table> {
     for &sessions in sweep.session_points {
         by_sessions.push_row(vec![
             sessions.to_string(),
-            format!("{:.3}", run(IsolationMode::Serializable, sessions, sweep.num_keys, true)),
-            format!("{:.3}", run(IsolationMode::Snapshot, sessions, sweep.num_keys, true)),
-            format!("{:.3}", run(IsolationMode::Serializable, sessions, sweep.num_keys, false)),
-            format!("{:.3}", run(IsolationMode::Snapshot, sessions, sweep.num_keys, false)),
+            format!(
+                "{:.3}",
+                run(IsolationMode::Serializable, sessions, sweep.num_keys, true)
+            ),
+            format!(
+                "{:.3}",
+                run(IsolationMode::Snapshot, sessions, sweep.num_keys, true)
+            ),
+            format!(
+                "{:.3}",
+                run(IsolationMode::Serializable, sessions, sweep.num_keys, false)
+            ),
+            format!(
+                "{:.3}",
+                run(IsolationMode::Snapshot, sessions, sweep.num_keys, false)
+            ),
         ]);
     }
 
@@ -599,10 +608,22 @@ pub fn fig11_abort_rates(sweep: &AbortRateSweep) -> Vec<Table> {
         let num_keys = (total_txns / skew as u64).max(1);
         by_skew.push_row(vec![
             skew.to_string(),
-            format!("{:.3}", run(IsolationMode::Serializable, sessions, num_keys, true)),
-            format!("{:.3}", run(IsolationMode::Snapshot, sessions, num_keys, true)),
-            format!("{:.3}", run(IsolationMode::Serializable, sessions, num_keys, false)),
-            format!("{:.3}", run(IsolationMode::Snapshot, sessions, num_keys, false)),
+            format!(
+                "{:.3}",
+                run(IsolationMode::Serializable, sessions, num_keys, true)
+            ),
+            format!(
+                "{:.3}",
+                run(IsolationMode::Snapshot, sessions, num_keys, true)
+            ),
+            format!(
+                "{:.3}",
+                run(IsolationMode::Serializable, sessions, num_keys, false)
+            ),
+            format!(
+                "{:.3}",
+                run(IsolationMode::Snapshot, sessions, num_keys, false)
+            ),
         ]);
     }
     vec![by_sessions, by_skew]
@@ -788,7 +809,9 @@ pub fn table2_bug_rediscovery(sweep: &BugSweep) -> Table {
             scenario.level.to_string(),
             scenario.anomaly.to_string(),
             outcome.violated.to_string(),
-            ce_position.map(|p| p.to_string()).unwrap_or_else(|| "-".to_string()),
+            ce_position
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".to_string()),
             secs(report.wall_time),
             secs(outcome.duration),
         ]);
@@ -1088,7 +1111,10 @@ mod tests {
         let tables = fig7_ser_verification(&VerificationSweep::quick());
         assert_eq!(tables.len(), 4);
         assert_eq!(tables[0].len(), 4); // four distributions
-        assert_eq!(tables[1].len(), VerificationSweep::quick().object_points.len());
+        assert_eq!(
+            tables[1].len(),
+            VerificationSweep::quick().object_points.len()
+        );
     }
 
     #[test]
@@ -1133,7 +1159,11 @@ mod tests {
         let t = table2_bug_rediscovery(&BugSweep::quick());
         assert_eq!(t.len(), 6);
         for row in &t.rows {
-            assert_eq!(row[3], "true", "bug not detected for {} ({})", row[0], row[2]);
+            assert_eq!(
+                row[3], "true",
+                "bug not detected for {} ({})",
+                row[0], row[2]
+            );
         }
     }
 
@@ -1149,7 +1179,11 @@ mod tests {
         // deterministically (the published-then-aborted value is read by a
         // later transaction almost surely at this contention level).
         let mongo = &tables[1];
-        let total: u32 = mongo.rows.iter().map(|r| r[1].parse::<u32>().unwrap()).sum();
+        let total: u32 = mongo
+            .rows
+            .iter()
+            .map(|r| r[1].parse::<u32>().unwrap())
+            .sum();
         assert!(total > 0, "MTC detected no bugs in {}", mongo.title);
     }
 

@@ -18,7 +18,7 @@ pub mod experiments;
 pub mod report;
 
 pub use exec::{
-    end_to_end, run_elle_append_workload, run_elle_register_workload, run_register_workload,
-    verify, Checker, EndToEnd, VerifyOutcome,
+    end_to_end, end_to_end_streaming, run_elle_append_workload, run_elle_register_workload,
+    run_register_workload, verify, Checker, EndToEnd, StreamingEndToEnd, VerifyOutcome,
 };
 pub use report::Table;

@@ -97,8 +97,7 @@ impl KeySampler {
                 hot_fraction,
                 hot_probability,
             } => {
-                let hot_keys = ((num_keys as f64 * hot_fraction).ceil() as u64)
-                    .clamp(1, num_keys);
+                let hot_keys = ((num_keys as f64 * hot_fraction).ceil() as u64).clamp(1, num_keys);
                 SamplerKind::HotSpot {
                     hot_keys,
                     hot_probability: hot_probability.clamp(0.0, 1.0),
@@ -196,7 +195,10 @@ mod tests {
     fn uniform_covers_the_key_space_evenly() {
         let counts = histogram(Distribution::Uniform, 10, 20_000);
         for &c in &counts {
-            assert!((1_600..2_400).contains(&c), "uniform bucket out of range: {c}");
+            assert!(
+                (1_600..2_400).contains(&c),
+                "uniform bucket out of range: {c}"
+            );
         }
     }
 

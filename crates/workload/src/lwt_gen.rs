@@ -70,8 +70,7 @@ pub fn generate_lwt_history(spec: &LwtHistorySpec) -> Vec<TimedOp> {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let total = (spec.sessions as u64) * (spec.txns_per_session as u64);
     let num_keys = spec.num_keys.max(1);
-    let concurrent_sessions =
-        ((spec.sessions as f64) * spec.concurrent_fraction).round() as u32;
+    let concurrent_sessions = ((spec.sessions as f64) * spec.concurrent_fraction).round() as u32;
 
     let mut ops = Vec::with_capacity(total as usize + num_keys as usize);
     // Per-key chains: the i-th operation on key k carries value i (value 0 is
@@ -194,7 +193,9 @@ mod tests {
         for k in 0..5u64 {
             let inserts = ops
                 .iter()
-                .filter(|o| o.key.raw() == k && o.written_value().is_some() && o.read_value().is_none())
+                .filter(|o| {
+                    o.key.raw() == k && o.written_value().is_some() && o.read_value().is_none()
+                })
                 .count();
             assert_eq!(inserts, 1, "key {k} has {inserts} inserts");
         }

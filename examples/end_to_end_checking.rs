@@ -42,7 +42,10 @@ fn main() {
     println!("isolation level under test: serializability\n");
 
     let mtc = end_to_end(&config, &mt_workload, &opts, Checker::MtcSer);
-    println!("MTC with MT workload ({} transactions):", mt_workload.txn_count());
+    println!(
+        "MTC with MT workload ({} transactions):",
+        mt_workload.txn_count()
+    );
     println!("  history generation : {:?}", mtc.generation);
     println!("  verification       : {:?}", mtc.verification);
     println!("  abort rate         : {:.1}%", 100.0 * mtc.abort_rate);

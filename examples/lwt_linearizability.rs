@@ -43,7 +43,10 @@ fn main() {
         seed: 3,
     };
     let ops = generate_lwt_history(&spec);
-    println!("\nsynthetic LWT history: {} operations on 4 objects", ops.len());
+    println!(
+        "\nsynthetic LWT history: {} operations on 4 objects",
+        ops.len()
+    );
 
     let start = Instant::now();
     let vl = check_linearizability(&ops).unwrap();

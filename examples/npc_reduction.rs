@@ -15,7 +15,10 @@ fn main() {
     // x1 ∧ ¬x1
     let unsatisfiable = Cnf::from_clauses(1, &[&[1], &[-1]]);
 
-    for (name, cnf) in [("satisfiable φ", &satisfiable), ("unsatisfiable φ", &unsatisfiable)] {
+    for (name, cnf) in [
+        ("satisfiable φ", &satisfiable),
+        ("unsatisfiable φ", &unsatisfiable),
+    ] {
         println!("── {name} ───────────────────────────────────────────");
         println!(
             "  variables: {}, clauses: {}, literal occurrences: {}",
@@ -37,9 +40,7 @@ fn main() {
             "  duplicate values present (uniqueness intentionally violated): {}",
             h.has_duplicate_values()
         );
-        println!(
-            "  => φ is satisfiable  ⇔  h_φ satisfies snapshot isolation (Theorem 8)\n"
-        );
+        println!("  => φ is satisfiable  ⇔  h_φ satisfies snapshot isolation (Theorem 8)\n");
     }
 
     println!(

@@ -35,7 +35,10 @@ fn main() {
     );
 
     // ── 2–3. Execute against a correct serializable store. ──────────────────
-    let db = Database::new(DbConfig::correct(IsolationMode::Serializable, spec.num_keys));
+    let db = Database::new(DbConfig::correct(
+        IsolationMode::Serializable,
+        spec.num_keys,
+    ));
     let (history, report) = execute_workload(&db, &workload, &ClientOptions::default());
     println!(
         "executed: {} committed, {} aborted attempts, abort rate {:.1}%, {:?}",

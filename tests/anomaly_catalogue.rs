@@ -28,8 +28,16 @@ fn every_anomaly_matches_the_expected_matrix_across_all_checkers() {
         assert!(!polysi.timed_out);
         assert_eq!(!polysi.satisfied, expected.violates_si, "PolySI on {kind}");
 
-        assert_eq!(!brute_check_ser(&history), expected.violates_ser, "brute SER on {kind}");
-        assert_eq!(!brute_check_si(&history), expected.violates_si, "brute SI on {kind}");
+        assert_eq!(
+            !brute_check_ser(&history),
+            expected.violates_ser,
+            "brute SER on {kind}"
+        );
+        assert_eq!(
+            !brute_check_si(&history),
+            expected.violates_si,
+            "brute SI on {kind}"
+        );
     }
 }
 
@@ -39,7 +47,11 @@ fn witness_histories_are_minimal_mini_transaction_histories() {
         let history = kind.history();
         assert!(mtc::core::validate_history(&history).is_ok(), "{kind}");
         // Each witness needs at most four user transactions plus ⊥T.
-        assert!(history.len() <= 5, "{kind} uses {} transactions", history.len());
+        assert!(
+            history.len() <= 5,
+            "{kind} uses {} transactions",
+            history.len()
+        );
         for txn in history.txns() {
             assert!(txn.len() <= 4, "{kind}: {txn:?}");
         }

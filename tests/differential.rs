@@ -97,12 +97,7 @@ fn corrupt(history: &History, txn_pick: usize, stale: u64) -> History {
                 *value = mtc::history::Value(stale % value.raw().max(1));
             }
         }
-        builder.committed_timed(
-            t.session.0,
-            ops,
-            t.begin.unwrap_or(1),
-            t.end.unwrap_or(2),
-        );
+        builder.committed_timed(t.session.0, ops, t.begin.unwrap_or(1), t.end.unwrap_or(2));
     }
     builder.build()
 }

@@ -27,7 +27,10 @@ fn mt_spec(seed: u64, num_keys: u64) -> MtWorkloadSpec {
 fn serializable_store_produces_histories_every_checker_accepts() {
     let spec = mt_spec(1, 24);
     let workload = generate_mt_workload(&spec);
-    let db = Database::new(DbConfig::correct(IsolationMode::Serializable, spec.num_keys));
+    let db = Database::new(DbConfig::correct(
+        IsolationMode::Serializable,
+        spec.num_keys,
+    ));
     let (history, report) = execute_workload(&db, &workload, &ClientOptions::default());
 
     assert!(report.committed > 200, "too few commits: {report:?}");
@@ -89,7 +92,10 @@ fn dirty_release_fault_is_caught_as_aborted_read() {
 fn histories_survive_a_serialization_round_trip() {
     let spec = mt_spec(11, 16);
     let workload = generate_mt_workload(&spec);
-    let db = Database::new(DbConfig::correct(IsolationMode::Serializable, spec.num_keys));
+    let db = Database::new(DbConfig::correct(
+        IsolationMode::Serializable,
+        spec.num_keys,
+    ));
     let (history, _) = execute_workload(&db, &workload, &ClientOptions::default());
 
     let text = serde_io::to_json_lines(&history).unwrap();

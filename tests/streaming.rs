@@ -1,0 +1,134 @@
+//! Integration tests of the streaming verification engine through the
+//! facade: live-verified dbsim runs, facade re-exports, and agreement of the
+//! streaming checkers with the batch ones on executed (not synthetic)
+//! histories.
+
+use mtc::core::{check_ser, check_si};
+use mtc::dbsim::{ClientOptions, Database, DbConfig, FaultKind, FaultSpec, IsolationMode};
+use mtc::runner::{end_to_end_streaming, verify, Checker};
+use mtc::workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
+// The streaming types are re-exported at the facade root.
+use mtc::{check_streaming, check_streaming_sharded, CheckOptions, IsolationLevel, LiveVerifier};
+
+fn mt_spec(seed: u64, num_keys: u64) -> MtWorkloadSpec {
+    MtWorkloadSpec {
+        sessions: 4,
+        txns_per_session: 60,
+        num_keys,
+        distribution: Distribution::Zipf { theta: 1.0 },
+        read_only_fraction: 0.2,
+        two_key_fraction: 0.5,
+        seed,
+    }
+}
+
+#[test]
+fn streaming_checkers_agree_with_batch_on_executed_histories() {
+    for seed in 0..3u64 {
+        let spec = mt_spec(seed, 12);
+        let workload = generate_mt_workload(&spec);
+        let db = Database::new(DbConfig::correct(
+            IsolationMode::Serializable,
+            spec.num_keys,
+        ));
+        let (history, _) = mtc::dbsim::execute_workload(&db, &workload, &ClientOptions::default());
+
+        let batch_ser = check_ser(&history).unwrap();
+        let batch_si = check_si(&history).unwrap();
+        let inc_ser = check_streaming(IsolationLevel::Serializability, &history).unwrap();
+        let inc_si = check_streaming(IsolationLevel::SnapshotIsolation, &history).unwrap();
+        let shard_ser =
+            check_streaming_sharded(IsolationLevel::Serializability, &history, 4, 64).unwrap();
+        assert_eq!(
+            batch_ser.is_violated(),
+            inc_ser.is_violated(),
+            "seed {seed}"
+        );
+        assert_eq!(batch_si.is_violated(), inc_si.is_violated(), "seed {seed}");
+        assert_eq!(inc_ser, shard_ser, "seed {seed}");
+    }
+}
+
+#[test]
+fn live_verifier_catches_the_fault_before_the_run_ends() {
+    let spec = mt_spec(7, 4);
+    let workload = generate_mt_workload(&spec);
+    let total = workload.txn_count();
+    let config = DbConfig::correct(IsolationMode::Snapshot, spec.num_keys)
+        .with_latency(
+            std::time::Duration::from_micros(200),
+            std::time::Duration::from_micros(100),
+        )
+        .with_faults(vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.6)], 7);
+    let db = Database::new(config);
+    let verifier = LiveVerifier::new(IsolationLevel::SnapshotIsolation, spec.num_keys, true);
+    let (_, _) =
+        mtc::dbsim::execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+    let outcome = verifier.finish();
+    assert!(outcome.verdict.unwrap().is_violated());
+    let first = outcome.first_violation.expect("latched mid-run");
+    // Early exit: the violation is latched before the tail of the workload
+    // is consumed (time-to-first-violation < full history length).
+    assert!(
+        first.at_txn < total && outcome.checked_txns < total,
+        "latched at {} after checking {} of {} transactions",
+        first.at_txn,
+        outcome.checked_txns,
+        total
+    );
+}
+
+#[test]
+fn runner_streaming_mode_reports_time_to_first_violation() {
+    let spec = mt_spec(11, 4);
+    let workload = generate_mt_workload(&spec);
+    let config = DbConfig::correct(IsolationMode::Snapshot, spec.num_keys)
+        .with_latency(
+            std::time::Duration::from_micros(200),
+            std::time::Duration::from_micros(100),
+        )
+        .with_faults(
+            vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.6)],
+            11,
+        );
+    let out = end_to_end_streaming(
+        &config,
+        &workload,
+        &ClientOptions::default(),
+        IsolationLevel::SnapshotIsolation,
+        true,
+    );
+    assert!(out.violated, "{}", out.detail);
+    assert!(out.time_to_first_violation.unwrap() <= out.wall_time);
+}
+
+#[test]
+fn incremental_runner_checkers_are_wired() {
+    let spec = mt_spec(3, 16);
+    let workload = generate_mt_workload(&spec);
+    let db = Database::new(DbConfig::correct(
+        IsolationMode::Serializable,
+        spec.num_keys,
+    ));
+    let (history, _) = mtc::dbsim::execute_workload(&db, &workload, &ClientOptions::default());
+    for checker in [
+        Checker::MtcSerIncremental,
+        Checker::MtcSiIncremental,
+        Checker::MtcSerSharded,
+        Checker::MtcSiSharded,
+    ] {
+        let out = verify(checker, &history);
+        assert!(!out.violated, "{}: {}", checker.label(), out.detail);
+    }
+}
+
+#[test]
+fn default_options_are_shared_between_batch_and_streaming() {
+    // One `CheckOptions` type, one `Default`: the streaming checkers start
+    // from exactly the options the batch checkers use.
+    let opts = CheckOptions::default();
+    assert!(opts.validate_mt && opts.prescan_intra);
+    assert!(!opts.reference_build && !opts.skip_divergence_early_exit);
+    let checker = mtc::IncrementalChecker::new(IsolationLevel::Serializability);
+    assert_eq!(*checker.options(), opts);
+}
