@@ -1,18 +1,25 @@
-//! Streaming verification throughput: batch `CHECKSER`/`CHECKSI` versus the
-//! incremental checker versus the key-sharded incremental checker.
+//! Streaming verification throughput: batch `CHECKSER`/`CHECKSI`/`CHECKSSER`
+//! versus the incremental checker versus the key-sharded incremental
+//! checker.
 //!
 //! The batch checkers see the whole history at once; the streaming checkers
 //! consume it transaction-by-transaction (the incremental one) or in batches
 //! fanned out across 4 key shards (the sharded one). On multi-core machines
 //! the sharded variant should meet or beat the sequential incremental
 //! checker, while both stay within a small factor of the batch verifier —
-//! the price of an online answer.
+//! the price of an online answer. The SSER group additionally pits the
+//! `Θ(n²)` naive RT materialization against the `O(n log n)` batch
+//! time-chain and the online time-chain (naive runs on the small size only —
+//! it would dominate the wall-clock budget at the large one).
 
 mod common;
 
 use common::{serial_mt_history, two_key_mt_history};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mtc_core::{check_ser, check_si, check_streaming, check_streaming_sharded, IsolationLevel};
+use mtc_core::{
+    check_ser, check_si, check_sser, check_sser_naive, check_streaming, check_streaming_sharded,
+    IsolationLevel,
+};
 
 const SHARDS: usize = 4;
 const BATCH: usize = 1024;
@@ -55,6 +62,32 @@ fn bench_streaming_throughput(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sharded", n), &history, |b, h| {
             b.iter(|| {
                 check_streaming_sharded(IsolationLevel::SnapshotIsolation, h, SHARDS, BATCH)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("streaming_throughput_sser");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &sizes {
+        let history = serial_mt_history(n, 64, 8);
+        group.bench_with_input(BenchmarkId::new("batch", n), &history, |b, h| {
+            b.iter(|| check_sser(h).unwrap())
+        });
+        if n <= 1000 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &history, |b, h| {
+                b.iter(|| check_sser_naive(h).unwrap())
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("incremental", n), &history, |b, h| {
+            b.iter(|| check_streaming(IsolationLevel::StrictSerializability, h).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sharded", n), &history, |b, h| {
+            b.iter(|| {
+                check_streaming_sharded(IsolationLevel::StrictSerializability, h, SHARDS, BATCH)
                     .unwrap()
             })
         });

@@ -268,9 +268,61 @@ pub mod collection {
     }
 }
 
+/// Optional-value strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen::<bool>() {
+                Some(self.0.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `prop::option::of(strategy)` — `Some` roughly half the time.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
+/// Sampling strategies over concrete collections.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// The strategy returned by [`select`].
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+
+    /// `prop::sample::select(options)` — a uniform choice among the given
+    /// values. Panics when `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select(options)
+    }
+}
+
 /// Module alias used by the prelude (`prop::collection::vec` and friends).
 pub mod prop {
     pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
     pub use crate::strategy;
 }
 
@@ -401,6 +453,17 @@ mod tests {
         fn assume_rejects_without_hanging(x in 0u32..100) {
             prop_assume!(x % 2 == 0);
             prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn option_and_select_sample_their_domains(
+            maybe in prop::option::of(0u32..4),
+            choice in prop::sample::select(vec![10u64, 20, 30]),
+        ) {
+            if let Some(v) = maybe {
+                prop_assert!(v < 4);
+            }
+            prop_assert!([10, 20, 30].contains(&choice));
         }
     }
 

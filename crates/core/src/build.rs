@@ -156,9 +156,12 @@ fn add_rt_edges(history: &History, g: &mut DependencyGraph) -> Result<(), BuildE
             continue;
         }
         for &b in &committed {
-            if a == b {
-                continue;
-            }
+            // `a == b` is deliberately *not* skipped: a transaction whose
+            // reported commit instant precedes its own begin (corrupt or
+            // skewed clocks) makes RT non-irreflexive, so no strict
+            // serialization exists. The self RT edge materializes that —
+            // matching the time-chain encoding, where such an interval wraps
+            // around the chain into a one-transaction cycle.
             if ta.precedes_in_real_time(history.txn(b)) {
                 g.add_edge(a, b, EdgeKind::Rt);
             }

@@ -261,11 +261,16 @@ pub fn check_sser_with(history: &History, opts: &CheckOptions) -> Result<Verdict
     let g = build(history, false, opts)?;
     let n = g.node_count();
 
-    // Collect the distinct instants of committed, timed transactions.
+    // Collect the distinct instants of committed transactions. A partially
+    // timed transaction (only a begin or only an end recorded) still
+    // constrains the real-time order on the side it has — exactly as in the
+    // naive RT materialization, which only needs `a.end` and `b.begin`.
     let mut instants: Vec<u64> = Vec::new();
     for t in history.committed() {
-        if let (Some(b), Some(e)) = (t.begin, t.end) {
+        if let Some(b) = t.begin {
             instants.push(b);
+        }
+        if let Some(e) = t.end {
             instants.push(e);
         }
     }
@@ -298,10 +303,12 @@ pub fn check_sser_with(history: &History, opts: &CheckOptions) -> Result<Verdict
         aug.add_edge(n + w, n + w + 1);
     }
     for t in history.committed() {
-        if let (Some(b), Some(e)) = (t.begin, t.end) {
+        if let Some(b) = t.begin {
             if let Some(tn) = time_node(b) {
                 aug.add_edge(tn, t.id.index());
             }
+        }
+        if let Some(e) = t.end {
             if let Some(tn) = first_after(e) {
                 aug.add_edge(t.id.index(), tn);
             }
@@ -503,6 +510,20 @@ mod tests {
             edges.iter().any(|e| e.kind == EdgeKind::Rt),
             "counterexample should mention real time: {edges:?}"
         );
+    }
+
+    #[test]
+    fn self_inconsistent_interval_rejected_by_both_sser_flavours() {
+        // A commit acknowledged before its own begin makes the real-time
+        // relation non-irreflexive: no strict serialization exists. Both
+        // encodings must reject (the naive one used to skip the self pair).
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.committed_timed(0, vec![Op::read(0u64, 0u64)], 30, 10);
+        let h = b.build();
+        assert!(check_sser(&h).unwrap().is_violated());
+        assert!(check_sser_naive(&h).unwrap().is_violated());
+        assert!(check_ser(&h).unwrap().is_satisfied());
+        assert!(check_si(&h).unwrap().is_satisfied());
     }
 
     #[test]

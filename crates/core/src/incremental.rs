@@ -1,5 +1,5 @@
-//! Streaming verification: incremental SER/SI checking of mini-transaction
-//! histories, one committed transaction at a time.
+//! Streaming verification: incremental SER/SI/SSER checking of
+//! mini-transaction histories, one committed transaction at a time.
 //!
 //! The batch verifiers of [`crate::check`] need the whole history before they
 //! answer. Yet the property that makes MT histories attractive — the
@@ -22,11 +22,31 @@
 //!   deterministic order, so its verdicts are identical to the sequential
 //!   checker's by construction.
 //!
+//! ## Strict serializability and the online time-chain
+//!
+//! Strict serializability adds the real-time order to the mix: a dependency
+//! path must never run from a transaction back to one that *finished before
+//! it began*. The batch [`crate::check_sser`] encodes this by sorting every
+//! begin/commit instant once and threading them into a chain of time nodes.
+//! The streaming engine keeps the same encoding **online** via
+//! [`mtc_history::TimeChain`]: instants are spliced into the maintained
+//! topological order as they arrive (out-of-order instants included — a
+//! commit acknowledged now may report a begin far in the past), each
+//! committed transaction is hooked in with `begin-node(begin) → txn` and
+//! `txn → end-node(end)` edges, and a real-time-order violation latches the
+//! moment a dependency edge contradicts the chain. Use
+//! [`IncrementalSserChecker`] (or `IncrementalChecker::new_sser()` plus the
+//! `*_timed` push methods) for the sequential driver; the sharded checker
+//! accepts [`IsolationLevel::StrictSerializability`] too and reuses the same
+//! worker pool — time-chain maintenance stays on the merge thread, so the
+//! workers are oblivious to timestamps.
+//!
 //! ## Equivalence with the batch checkers
 //!
 //! On any completed stream, [`IncrementalChecker::finish`] agrees with
-//! [`crate::check_ser`] / [`crate::check_si`] on accept/reject. Violation
-//! payloads coincide up to the inherent reordering of online reporting:
+//! [`crate::check_ser`] / [`crate::check_si`] / [`crate::check_sser`] on
+//! accept/reject. Violation payloads coincide up to the inherent reordering
+//! of online reporting:
 //!
 //! * intra-transactional anomalies local to one transaction (`INT`
 //!   violations, `FUTUREREAD`) are reported at that transaction;
@@ -50,7 +70,7 @@ use crate::mini::{validate_transaction, MtViolation};
 use crate::verdict::{CheckError, Verdict, Violation};
 use mtc_history::{
     DependencyGraph, Edge, EdgeKind, IncrementalTopo, IntraAnomaly, IntraViolation, Key, Op,
-    SessionId, Transaction, TxnId, TxnStatus, Value, INIT_VALUE,
+    SessionId, TimeChain, TimeSlot, Transaction, TxnId, TxnStatus, Value, INIT_VALUE,
 };
 use std::collections::HashMap;
 
@@ -84,6 +104,14 @@ enum Event {
         to: TxnId,
         kind: EdgeKind,
         dedup: bool,
+    },
+    /// The transaction's begin/commit instants (SSER only): hooks the
+    /// transaction into the online time-chain. Either side may be absent —
+    /// a partially timed transaction still constrains the real-time order
+    /// on the side it has, matching the naive RT materialization.
+    TimeBounds {
+        begin: Option<u64>,
+        end: Option<u64>,
     },
 }
 
@@ -557,6 +585,14 @@ impl KeyState {
 
 // ───────────────────────── the engine ───────────────────────────────────────
 
+/// Owner of one node of the SER/SSER topological order: a transaction, or
+/// an auxiliary time node of the SSER time-chain.
+#[derive(Clone, Copy, Debug)]
+enum NodeOwner {
+    Txn(TxnId),
+    Time,
+}
+
 /// Shared core: labelled graph, topological order(s), verdict latch and
 /// session bookkeeping. Both checker flavours feed it the same event stream.
 #[derive(Clone, Debug)]
@@ -564,7 +600,8 @@ struct Engine {
     level: IsolationLevel,
     opts: CheckOptions,
     graph: DependencyGraph,
-    /// SER: maintained over *all* edges.
+    /// SER: maintained over *all* edges. SSER: additionally contains the
+    /// time-chain nodes and the begin/end hook edges.
     topo: IncrementalTopo,
     /// SI: maintained over the composed graph `(SO ∪ WR ∪ WW) ; RW?`.
     composed: IncrementalTopo,
@@ -574,6 +611,13 @@ struct Engine {
     base_in: Vec<Vec<Edge>>,
     /// SI: RW edges indexed by source.
     rw_out: Vec<Vec<Edge>>,
+    /// SSER: the online time-chain over begin/commit instants.
+    chain: TimeChain,
+    /// SSER: topological-order node of each transaction (identity for
+    /// SER/SI, where no time nodes interleave).
+    txn_node: Vec<usize>,
+    /// SSER: owner of each topological-order node, for cycle splicing.
+    node_owner: Vec<NodeOwner>,
     /// Last transaction of each session, with its commit status.
     sessions: Vec<Option<(TxnId, bool)>>,
     has_init: bool,
@@ -595,6 +639,9 @@ impl Engine {
             composed_prov: HashMap::new(),
             base_in: Vec::new(),
             rw_out: Vec::new(),
+            chain: TimeChain::new(),
+            txn_node: Vec::new(),
+            node_owner: Vec::new(),
             sessions: Vec::new(),
             has_init: false,
             txn_count: 0,
@@ -624,7 +671,9 @@ impl Engine {
         debug_assert_eq!(id.index(), self.txn_count);
         self.txn_count += 1;
         self.graph.add_node();
-        self.topo.add_node();
+        let node = self.topo.add_node();
+        self.txn_node.push(node);
+        self.node_owner.push(NodeOwner::Txn(id));
         self.composed.add_node();
         self.base_in.push(Vec::new());
         self.rw_out.push(Vec::new());
@@ -641,9 +690,20 @@ impl Engine {
             seq += 1;
         };
 
+        // SSER: committed transactions with at least one recorded instant
+        // (⊥T included, matching `check_sser`'s instant collection) hook
+        // into the time-chain.
+        let time_bounds = (self.level == IsolationLevel::StrictSerializability
+            && txn.status == TxnStatus::Committed
+            && (txn.begin.is_some() || txn.end.is_some()))
+        .then_some((txn.begin, txn.end));
+
         if is_init {
             self.has_init = true;
             self.committed_count += 1;
+            if let Some((begin, end)) = time_bounds {
+                push(&mut out, PASS_EDGES, Event::TimeBounds { begin, end });
+            }
             return out;
         }
 
@@ -685,6 +745,9 @@ impl Engine {
                         },
                     );
                 }
+            }
+            if let Some((begin, end)) = time_bounds {
+                push(&mut out, PASS_EDGES, Event::TimeBounds { begin, end });
             }
         }
         if txn.session != SessionId::INIT {
@@ -789,11 +852,10 @@ impl Engine {
                 match self.level {
                     IsolationLevel::Serializability => self.apply_ser_edge(at, edge),
                     IsolationLevel::SnapshotIsolation => self.apply_si_edge(at, edge),
-                    IsolationLevel::StrictSerializability => {
-                        unreachable!("streaming checkers support SER and SI only")
-                    }
+                    IsolationLevel::StrictSerializability => self.apply_sser_edge(at, edge),
                 }
             }
+            Event::TimeBounds { begin, end } => self.apply_time_bounds(at, begin, end),
         }
     }
 
@@ -802,6 +864,96 @@ impl Engine {
             let edges = self.graph.label_node_cycle(&cycle, |_| true);
             self.latch_violation(Violation::Cycle { edges }, at);
         }
+    }
+
+    /// SSER: a dependency edge is inserted into the *augmented* order (time
+    /// nodes included); a rejection means a dependency path contradicts the
+    /// time-chain and is spliced back into a labelled counterexample.
+    fn apply_sser_edge(&mut self, at: TxnId, edge: Edge) {
+        let (u, v) = (
+            self.txn_node[edge.from.index()],
+            self.txn_node[edge.to.index()],
+        );
+        if let Err(cycle) = self.topo.try_add_edge(u, v) {
+            let edges = self.sser_cycle_edges(&cycle);
+            self.latch_violation(Violation::Cycle { edges }, at);
+        }
+    }
+
+    /// SSER: hooks transaction `at` into the time-chain at its begin/commit
+    /// instants (each side independently — a partially timed transaction
+    /// still constrains one direction of the real-time order). The hook
+    /// edges themselves can close a cycle (e.g. a commit whose reported
+    /// instants contradict edges already derived), which latches exactly
+    /// like a dependency-edge rejection.
+    fn apply_time_bounds(&mut self, at: TxnId, begin: Option<u64>, end: Option<u64>) {
+        let tnode = self.txn_node[at.index()];
+        if let Some(begin) = begin {
+            let slot = self.touch_instant(begin);
+            if let Err(cycle) = self.topo.try_add_edge(slot.begin_node, tnode) {
+                let edges = self.sser_cycle_edges(&cycle);
+                self.latch_violation(Violation::Cycle { edges }, at);
+                return;
+            }
+        }
+        if let Some(end) = end {
+            let slot = self.touch_instant(end);
+            if let Err(cycle) = self.topo.try_add_edge(tnode, slot.end_node) {
+                let edges = self.sser_cycle_edges(&cycle);
+                self.latch_violation(Violation::Cycle { edges }, at);
+            }
+        }
+    }
+
+    /// Splices `instant` into the chain (if new) and keeps the node-owner
+    /// map aligned with the nodes the chain created.
+    fn touch_instant(&mut self, instant: u64) -> TimeSlot {
+        let slot = self.chain.touch(instant, &mut self.topo);
+        while self.node_owner.len() < self.topo.node_count() {
+            self.node_owner.push(NodeOwner::Time);
+        }
+        slot
+    }
+
+    /// Maps a cycle over the augmented (transaction + time node) order back
+    /// to labelled edges, mirroring the splice of [`crate::check_sser`]:
+    /// direct transaction-to-transaction hops are labelled from the
+    /// dependency graph, hops through time nodes become RT edges.
+    fn sser_cycle_edges(&self, cycle: &[usize]) -> Vec<Edge> {
+        let len = cycle.len();
+        let real_positions: Vec<usize> = (0..len)
+            .filter(|&i| matches!(self.node_owner[cycle[i]], NodeOwner::Txn(_)))
+            .collect();
+        debug_assert!(
+            !real_positions.is_empty(),
+            "a cycle cannot consist of time nodes only"
+        );
+        let mut edges = Vec::new();
+        for (idx, &pos) in real_positions.iter().enumerate() {
+            let next_pos = real_positions[(idx + 1) % real_positions.len()];
+            let NodeOwner::Txn(u) = self.node_owner[cycle[pos]] else {
+                unreachable!("filtered to transaction nodes");
+            };
+            let NodeOwner::Txn(v) = self.node_owner[cycle[next_pos]] else {
+                unreachable!("filtered to transaction nodes");
+            };
+            let direct_hop = (pos + 1) % len == next_pos;
+            if direct_hop {
+                let labelled = self
+                    .graph
+                    .label_node_cycle(&[u.index(), v.index()], |_| true);
+                if let Some(e) = labelled.into_iter().find(|e| e.from == u) {
+                    edges.push(e);
+                    continue;
+                }
+            }
+            edges.push(Edge {
+                from: u,
+                to: v,
+                kind: EdgeKind::Rt,
+            });
+        }
+        edges
     }
 
     fn apply_si_edge(&mut self, at: TxnId, edge: Edge) {
@@ -928,15 +1080,12 @@ impl IncrementalChecker {
     /// A streaming checker for `level` with default [`CheckOptions`] (the
     /// very same defaults the batch checkers use).
     ///
-    /// # Panics
-    ///
-    /// Panics for [`IsolationLevel::StrictSerializability`]: the real-time
-    /// order needs the complete history, so SSER stays batch-only.
+    /// For [`IsolationLevel::StrictSerializability`], transactions should be
+    /// fed with begin/commit instants (the `*_timed` push methods, or
+    /// [`Transaction`]s carrying `begin`/`end`); untimed transactions simply
+    /// contribute no real-time constraints, exactly as in the batch
+    /// [`crate::check_sser`].
     pub fn new(level: IsolationLevel) -> Self {
-        assert!(
-            level != IsolationLevel::StrictSerializability,
-            "streaming checkers support SER and SI only"
-        );
         IncrementalChecker {
             engine: Engine::new(level, CheckOptions::default()),
             keys: KeyState::default(),
@@ -951,6 +1100,12 @@ impl IncrementalChecker {
     /// A streaming `CHECKSI`.
     pub fn new_si() -> Self {
         IncrementalChecker::new(IsolationLevel::SnapshotIsolation)
+    }
+
+    /// A streaming `CHECKSSER` (online time-chain). See also the
+    /// timestamp-first wrapper [`IncrementalSserChecker`].
+    pub fn new_sser() -> Self {
+        IncrementalChecker::new(IsolationLevel::StrictSerializability)
     }
 
     /// Overrides the tuning options (shared with the batch checkers).
@@ -1010,6 +1165,20 @@ impl IncrementalChecker {
     /// `ABORTEDREAD` provenance, contributes no edges).
     pub fn push_aborted(&mut self, session: u32, ops: Vec<Op>) -> Result<StreamStatus, CheckError> {
         let txn = Transaction::aborted(TxnId(0), SessionId(session), ops);
+        self.push(txn)
+    }
+
+    /// Convenience: feeds a committed transaction with wall-clock begin and
+    /// commit-acknowledgement instants (the inputs of the SSER time-chain;
+    /// ignored by SER/SI checkers).
+    pub fn push_committed_timed(
+        &mut self,
+        session: u32,
+        ops: Vec<Op>,
+        begin: u64,
+        end: u64,
+    ) -> Result<StreamStatus, CheckError> {
+        let txn = Transaction::committed(TxnId(0), SessionId(session), ops).with_times(begin, end);
         self.push(txn)
     }
 
@@ -1097,6 +1266,12 @@ impl IncrementalChecker {
         self.engine.graph.edge_count()
     }
 
+    /// Number of distinct begin/commit instants spliced into the SSER
+    /// time-chain so far (always 0 for SER/SI).
+    pub fn time_instant_count(&self) -> usize {
+        self.engine.chain.len()
+    }
+
     /// The dependency graph grown so far (for inspection / reporting).
     pub fn graph(&self) -> &DependencyGraph {
         &self.engine.graph
@@ -1147,9 +1322,148 @@ impl IncrementalChecker {
     }
 }
 
+// ───────────────────────── the SSER checker ─────────────────────────────────
+
+/// An online strict-serializability checker: an [`IncrementalChecker`] in
+/// SSER mode behind a timestamp-first API.
+///
+/// Each committed transaction is pushed together with its wall-clock begin
+/// and commit-acknowledgement instants; the checker splices the instants
+/// into an online time-chain ([`mtc_history::TimeChain`]) and latches a
+/// violation the moment a dependency edge contradicts the real-time order —
+/// including commits whose instants arrive out of order (clock skew,
+/// long-running transactions). Reads whose writer has not appeared yet are
+/// the only thing deferred to [`IncrementalSserChecker::finish`], exactly as
+/// for SER/SI, so final verdicts agree with [`crate::check_sser`] and
+/// [`crate::check_sser_naive`].
+///
+/// ```
+/// use mtc_core::{IncrementalSserChecker, StreamStatus};
+/// use mtc_history::Op;
+///
+/// let mut checker = IncrementalSserChecker::new().with_init_keys(0..1u64);
+/// // T1 = [10, 20] installs x = 7 ...
+/// checker
+///     .push_committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 7u64)], 10, 20)
+///     .unwrap();
+/// // ... and T2 = [30, 40] starts after T1 finished but misses its write.
+/// let status = checker
+///     .push_committed(1, vec![Op::read(0u64, 0u64)], 30, 40)
+///     .unwrap();
+/// assert_eq!(status, StreamStatus::Violated);
+/// assert!(checker.finish().unwrap().is_violated());
+/// ```
+#[derive(Clone, Debug)]
+pub struct IncrementalSserChecker {
+    inner: IncrementalChecker,
+}
+
+impl Default for IncrementalSserChecker {
+    fn default() -> Self {
+        IncrementalSserChecker::new()
+    }
+}
+
+impl IncrementalSserChecker {
+    /// A streaming `CHECKSSER` with default [`CheckOptions`].
+    pub fn new() -> Self {
+        IncrementalSserChecker {
+            inner: IncrementalChecker::new_sser(),
+        }
+    }
+
+    /// Overrides the tuning options (shared with the batch checkers).
+    pub fn with_options(mut self, opts: CheckOptions) -> Self {
+        self.inner = self.inner.with_options(opts);
+        self
+    }
+
+    /// Seeds the stream with `⊥T` at instant 0 (see
+    /// [`IncrementalChecker::with_init_keys`]).
+    pub fn with_init_keys<K: Into<Key>, I: IntoIterator<Item = K>>(mut self, keys: I) -> Self {
+        self.inner = self.inner.with_init_keys(keys);
+        self
+    }
+
+    /// Feeds the next transaction of the stream. Transactions without any
+    /// recorded instant contribute no real-time constraints; a partially
+    /// timed one constrains the side it has.
+    pub fn push(&mut self, txn: Transaction) -> Result<StreamStatus, CheckError> {
+        self.inner.push(txn)
+    }
+
+    /// Feeds a committed transaction with its begin/commit instants.
+    pub fn push_committed(
+        &mut self,
+        session: u32,
+        ops: Vec<Op>,
+        begin: u64,
+        end: u64,
+    ) -> Result<StreamStatus, CheckError> {
+        self.inner.push_committed_timed(session, ops, begin, end)
+    }
+
+    /// Feeds an aborted transaction (no time-chain hook: aborted
+    /// transactions never constrain the real-time order).
+    pub fn push_aborted(&mut self, session: u32, ops: Vec<Op>) -> Result<StreamStatus, CheckError> {
+        self.inner.push_aborted(session, ops)
+    }
+
+    /// Replays a complete [`mtc_history::History`] in transaction-id order
+    /// (see [`IncrementalChecker::push_history`]).
+    pub fn push_history(
+        &mut self,
+        history: &mtc_history::History,
+    ) -> Result<StreamStatus, CheckError> {
+        self.inner.push_history(history)
+    }
+
+    /// The latched violation, if any.
+    pub fn violation(&self) -> Option<&Violation> {
+        self.inner.violation()
+    }
+
+    /// True iff the consumed prefix already violates SSER.
+    pub fn is_violated(&self) -> bool {
+        self.inner.is_violated()
+    }
+
+    /// Id of the transaction whose consumption latched the violation.
+    pub fn first_violation_at(&self) -> Option<TxnId> {
+        self.inner.first_violation_at()
+    }
+
+    /// Number of transactions consumed (including `⊥T` and aborted ones).
+    pub fn txn_count(&self) -> usize {
+        self.inner.txn_count()
+    }
+
+    /// Number of labelled dependency edges derived so far.
+    pub fn edge_count(&self) -> usize {
+        self.inner.edge_count()
+    }
+
+    /// Number of distinct instants in the online time-chain.
+    pub fn time_instant_count(&self) -> usize {
+        self.inner.time_instant_count()
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &CheckOptions {
+        self.inner.options()
+    }
+
+    /// Ends the stream and returns the final verdict, which agrees with
+    /// [`crate::check_sser`] on the equivalent history.
+    pub fn finish(self) -> Result<Verdict, CheckError> {
+        self.inner.finish()
+    }
+}
+
 /// Runs a complete [`mtc_history::History`] through an
 /// [`IncrementalChecker`] in transaction-id order — the drop-in streaming
-/// replacement for [`crate::check_ser`] / [`crate::check_si`].
+/// replacement for [`crate::check_ser`] / [`crate::check_si`] /
+/// [`crate::check_sser`].
 pub fn check_streaming(
     level: IsolationLevel,
     history: &mtc_history::History,
@@ -1319,19 +1633,16 @@ impl ShardPool {
 }
 
 impl ShardedIncrementalChecker {
-    /// A sharded streaming checker for `level` over `shards` workers.
+    /// A sharded streaming checker for `level` over `shards` workers. In
+    /// SSER mode the per-key derivation is sharded exactly as for SER while
+    /// the time-chain lives on the merge thread (workers never see
+    /// timestamps), so verdicts stay identical to the sequential checker's.
     ///
     /// # Panics
     ///
-    /// Panics when `shards == 0` or for
-    /// [`IsolationLevel::StrictSerializability`] (see
-    /// [`IncrementalChecker::new`]).
+    /// Panics when `shards == 0`.
     pub fn new(level: IsolationLevel, shards: usize) -> Self {
         assert!(shards > 0, "at least one shard is required");
-        assert!(
-            level != IsolationLevel::StrictSerializability,
-            "streaming checkers support SER and SI only"
-        );
         ShardedIncrementalChecker {
             engine: Engine::new(level, CheckOptions::default()),
             pool: ShardPool::new(shards),
@@ -1885,10 +2196,189 @@ mod tests {
     }
 
     #[test]
-    fn sser_is_batch_only() {
-        let r = std::panic::catch_unwind(|| {
-            IncrementalChecker::new(IsolationLevel::StrictSerializability)
-        });
-        assert!(r.is_err());
+    fn sser_catches_a_real_time_violation_online() {
+        // T1 writes x and finishes before T2 starts, but T2 still reads the
+        // initial value: allowed by SER, forbidden by SSER — and the online
+        // checker latches at T2, not at finish().
+        let mut checker = IncrementalSserChecker::new().with_init_keys(0..1u64);
+        checker
+            .push_committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)], 10, 20)
+            .unwrap();
+        let status = checker
+            .push_committed(1, vec![Op::read(0u64, 0u64)], 30, 40)
+            .unwrap();
+        assert_eq!(status, StreamStatus::Violated);
+        assert_eq!(checker.first_violation_at(), Some(TxnId(2)));
+        let verdict = checker.finish().unwrap();
+        let Verdict::Violated(Violation::Cycle { edges }) = verdict else {
+            panic!("expected a cycle, got {verdict:?}");
+        };
+        assert!(
+            edges.iter().any(|e| e.kind == EdgeKind::Rt),
+            "counterexample should mention real time: {edges:?}"
+        );
+    }
+
+    #[test]
+    fn sser_accepts_overlapping_transactions() {
+        // Overlapping intervals are not real-time ordered: both serial
+        // orders are admissible, so a "stale" read by a concurrent
+        // transaction is fine.
+        let mut checker = IncrementalSserChecker::new().with_init_keys(0..1u64);
+        checker
+            .push_committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)], 10, 30)
+            .unwrap();
+        let status = checker
+            .push_committed(1, vec![Op::read(0u64, 0u64)], 20, 40)
+            .unwrap();
+        assert_eq!(status, StreamStatus::ConsistentSoFar);
+        assert!(checker.finish().unwrap().is_satisfied());
+    }
+
+    #[test]
+    fn sser_handles_equal_instants_as_overlap() {
+        // end(T1) == begin(T2): the real-time order is strict, so no RT edge
+        // and the stale read stays SSER-acceptable.
+        let mut checker = IncrementalSserChecker::new().with_init_keys(0..1u64);
+        checker
+            .push_committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)], 10, 20)
+            .unwrap();
+        let status = checker
+            .push_committed(1, vec![Op::read(0u64, 0u64)], 20, 40)
+            .unwrap();
+        assert_eq!(status, StreamStatus::ConsistentSoFar);
+        assert!(checker.finish().unwrap().is_satisfied());
+    }
+
+    #[test]
+    fn sser_latches_on_out_of_order_instants() {
+        // The violating commit *reports* instants in the past (clock skew):
+        // T2 reads T1's write but claims to have finished before T1 began.
+        let mut checker = IncrementalSserChecker::new().with_init_keys(0..1u64);
+        checker
+            .push_committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)], 50, 60)
+            .unwrap();
+        let status = checker
+            .push_committed(1, vec![Op::read(0u64, 1u64)], 5, 9)
+            .unwrap();
+        assert_eq!(status, StreamStatus::Violated);
+        assert_eq!(checker.first_violation_at(), Some(TxnId(2)));
+    }
+
+    #[test]
+    fn sser_self_inconsistent_interval_is_rejected() {
+        // A commit whose reported end precedes its own begin contradicts the
+        // time-chain by itself.
+        let mut checker = IncrementalSserChecker::new().with_init_keys(0..1u64);
+        let status = checker
+            .push_committed(0, vec![Op::read(0u64, 0u64)], 30, 10)
+            .unwrap();
+        assert_eq!(status, StreamStatus::Violated);
+    }
+
+    #[test]
+    fn streaming_sser_agrees_with_batch_on_the_catalogue() {
+        use crate::check::check_sser;
+        for (kind, h) in anomalies::catalogue() {
+            let batch = check_sser(&h).unwrap();
+            let streaming = check_streaming(IsolationLevel::StrictSerializability, &h).unwrap();
+            assert_eq!(
+                batch.is_violated(),
+                streaming.is_violated(),
+                "SSER mismatch on {kind}: batch={batch:?} streaming={streaming:?}"
+            );
+            for shards in [1usize, 2, 4] {
+                for batch_size in [1usize, 3, 64] {
+                    let sharded = check_streaming_sharded(
+                        IsolationLevel::StrictSerializability,
+                        &h,
+                        shards,
+                        batch_size,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        streaming, sharded,
+                        "sequential/sharded SSER mismatch on {kind} ({shards} shards, batch {batch_size})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sser_untimed_transactions_degrade_to_ser() {
+        // Without instants there are no real-time constraints: SSER accepts
+        // exactly what SER accepts, matching the batch checkers.
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)]);
+        b.committed(1, vec![Op::read(0u64, 0u64)]);
+        let h = b.build();
+        assert!(crate::check::check_sser(&h).unwrap().is_satisfied());
+        let streaming = check_streaming(IsolationLevel::StrictSerializability, &h).unwrap();
+        assert!(streaming.is_satisfied());
+    }
+
+    #[test]
+    fn partially_timed_transactions_still_constrain_real_time() {
+        use crate::check::{check_sser, check_sser_naive};
+        // T1 records only its commit instant, T2 only its begin — the RT
+        // edge T1 → T2 needs exactly those two, so all three SSER flavours
+        // must reject the stale read (the time-chain flavours used to skip
+        // any transaction missing one instant).
+        for (t1_times, t2_times) in [
+            ((None, Some(20)), (Some(30), Some(40))),
+            ((Some(10), Some(20)), (Some(30), None)),
+            ((None, Some(20)), (Some(30), None)),
+        ] {
+            let mut b = HistoryBuilder::new().with_init(1);
+            let mut t1 = Transaction::committed(
+                TxnId(0),
+                SessionId(0),
+                vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)],
+            );
+            (t1.begin, t1.end) = t1_times;
+            b.push_cloned(t1);
+            let mut t2 = Transaction::committed(TxnId(0), SessionId(1), vec![Op::read(0u64, 0u64)]);
+            (t2.begin, t2.end) = t2_times;
+            b.push_cloned(t2);
+            let h = b.build();
+            let naive = check_sser_naive(&h).unwrap();
+            let chain = check_sser(&h).unwrap();
+            let streaming = check_streaming(IsolationLevel::StrictSerializability, &h).unwrap();
+            assert!(naive.is_violated(), "{t1_times:?}/{t2_times:?}: naive");
+            assert!(chain.is_violated(), "{t1_times:?}/{t2_times:?}: time-chain");
+            assert!(
+                streaming.is_violated(),
+                "{t1_times:?}/{t2_times:?}: streaming"
+            );
+        }
+    }
+
+    #[test]
+    fn sser_time_chain_grows_with_distinct_instants() {
+        let mut checker = IncrementalSserChecker::new().with_init_keys(0..1u64);
+        assert_eq!(checker.time_instant_count(), 1); // ⊥T at instant 0
+        checker
+            .push_committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)], 10, 20)
+            .unwrap();
+        checker
+            .push_committed(1, vec![Op::read(0u64, 1u64), Op::write(0u64, 2u64)], 25, 30)
+            .unwrap();
+        assert_eq!(checker.time_instant_count(), 5);
+        // SER checkers never touch the chain.
+        let ser = IncrementalChecker::new_ser().with_init_keys(0..1u64);
+        assert_eq!(ser.time_instant_count(), 0);
+    }
+
+    #[test]
+    fn sser_pending_reads_settle_at_finish() {
+        // A read of a never-written value stays pending and settles as a
+        // THINAIRREAD at finish(), matching the batch pre-scan.
+        let mut b = HistoryBuilder::new().with_init(1);
+        b.committed_timed(0, vec![Op::read(0u64, 777u64)], 10, 20);
+        let h = b.build();
+        let batch = crate::check::check_sser(&h).unwrap();
+        let streaming = check_streaming(IsolationLevel::StrictSerializability, &h).unwrap();
+        assert_eq!(batch, streaming);
     }
 }

@@ -46,7 +46,7 @@ pub use check::{
 pub use divergence::{find_divergence, Divergence};
 pub use incremental::{
     check_streaming, check_streaming_sharded, check_streaming_with, IncrementalChecker,
-    ShardedIncrementalChecker, StreamStatus,
+    IncrementalSserChecker, ShardedIncrementalChecker, StreamStatus,
 };
 pub use lwt::{check_linearizability, check_linearizability_single_key, LwtError};
 pub use mini::{validate_history, validate_transaction, MtViolation};

@@ -3,12 +3,19 @@
 //! [`IncrementalChecker`] fed transaction-by-transaction and the
 //! [`ShardedIncrementalChecker`] fed in batches must agree with the batch
 //! `CHECKSER`/`CHECKSI` on accept/reject, and with each other exactly.
+//!
+//! The SSER section additionally generates *timed* histories — overlapping
+//! commit intervals, shuffled key spaces (which shuffle the shard ownership
+//! and therefore the per-shard delivery order) and clock-skewed instants —
+//! and asserts that the online time-chain checker agrees with both batch
+//! `CHECKSSER` flavours on accept/reject, and that sequential and sharded
+//! streaming verdicts are identical bit for bit.
 
 use mtc_core::{
-    check_ser, check_si, check_streaming, check_streaming_sharded, IncrementalChecker,
-    IsolationLevel, StreamStatus,
+    check_ser, check_si, check_sser, check_sser_naive, check_streaming, check_streaming_sharded,
+    IncrementalChecker, IncrementalSserChecker, IsolationLevel, StreamStatus,
 };
-use mtc_history::{History, HistoryBuilder, Op, Value};
+use mtc_history::{History, HistoryBuilder, Op, Transaction, TxnId, Value};
 use proptest::prelude::*;
 
 /// Mini-transaction shapes, as in the top-level differential suite.
@@ -96,6 +103,129 @@ fn corrupt(history: &History, txn_pick: usize, stale: u64) -> History {
             }
         }
         builder.committed(t.session.0, ops);
+    }
+    builder.build()
+}
+
+/// Like [`serial_history`], but every transaction carries a commit interval:
+/// begins are non-decreasing (`gap` apart) and each transaction stays open
+/// for `duration` ticks, so large durations produce intervals overlapping
+/// many successors — which must *not* constrain the real-time order. The key
+/// space is shifted by `key_offset`, which shuffles `hash(key) mod shards`
+/// ownership and therefore the per-shard delivery order of the sharded
+/// checker.
+fn timed_serial_history(
+    shapes: &[(Shape, u64, u64)],
+    keys: u64,
+    sessions: u32,
+    key_offset: u64,
+    intervals: &[(u64, u64)],
+) -> History {
+    let keys = keys.max(2);
+    let mut state = vec![0u64; keys as usize];
+    let mut next_value = 1u64;
+    let mut builder = HistoryBuilder::new().with_init_keys((0..keys).map(|k| k + key_offset));
+    let mut begin = 1u64;
+    for (i, &(shape, k1, k2)) in shapes.iter().enumerate() {
+        let a = (k1 % keys) as usize;
+        let b = (k2 % keys) as usize;
+        let b = if a == b { (a + 1) % keys as usize } else { b };
+        let session = (i as u32) % sessions;
+        let (ka, kb) = (a as u64 + key_offset, b as u64 + key_offset);
+        let mut ops = Vec::new();
+        match shape {
+            Shape::ReadOne => ops.push(Op::read(ka, state[a])),
+            Shape::ReadTwo => {
+                ops.push(Op::read(ka, state[a]));
+                ops.push(Op::read(kb, state[b]));
+            }
+            Shape::Rmw => {
+                ops.push(Op::read(ka, state[a]));
+                ops.push(Op::write(ka, next_value));
+                state[a] = next_value;
+                next_value += 1;
+            }
+            Shape::DoubleRmw => {
+                ops.push(Op::read(ka, state[a]));
+                ops.push(Op::write(ka, next_value));
+                state[a] = next_value;
+                next_value += 1;
+                ops.push(Op::read(kb, state[b]));
+                ops.push(Op::write(kb, next_value));
+                state[b] = next_value;
+                next_value += 1;
+            }
+            Shape::WriteSkewHalf => {
+                ops.push(Op::read(ka, state[a]));
+                ops.push(Op::read(kb, state[b]));
+                ops.push(Op::write(ka, next_value));
+                state[a] = next_value;
+                next_value += 1;
+            }
+        }
+        let (gap, duration) = intervals[i % intervals.len().max(1)];
+        begin += gap;
+        builder.committed_timed(session, ops, begin, begin + duration);
+    }
+    builder.build()
+}
+
+/// Rebuilds a timed history, pulling the *reported* end of the `pick`-th
+/// user transaction `delta` ticks into the past (clock skew; saturating, so
+/// a large delta yields a self-inconsistent interval), optionally replacing
+/// the first read of the `corrupt`-th transaction with a stale value, and
+/// optionally stripping one instant of the `strip`-th transaction (a
+/// partially timed record — only its remaining side constrains real time).
+fn skewed(
+    history: &History,
+    pick: usize,
+    delta: u64,
+    corrupt: Option<(usize, u64)>,
+    strip: Option<(usize, bool)>,
+) -> History {
+    let init_keys = history.init_txn().map(|id| history.txn(id).write_set());
+    let mut builder = match &init_keys {
+        Some(keys) => HistoryBuilder::new().with_init_keys(keys.iter().copied()),
+        None => HistoryBuilder::new(),
+    };
+    let user: Vec<_> = history
+        .txns()
+        .iter()
+        .filter(|t| Some(t.id) != history.init_txn())
+        .collect();
+    let target = pick % user.len().max(1);
+    for (i, t) in user.iter().enumerate() {
+        let mut ops = t.ops.clone();
+        if let Some((cp, stale)) = corrupt {
+            if i == cp % user.len().max(1) {
+                if let Some(Op::Read { value, .. }) = ops.first_mut() {
+                    *value = Value(stale % value.raw().max(1));
+                }
+            }
+        }
+        let begin = t.begin.unwrap_or(0);
+        let mut end = t.end.unwrap_or(begin);
+        if i == target {
+            end = end.saturating_sub(delta);
+        }
+        let (mut begin, mut end) = (Some(begin), Some(end));
+        if let Some((sp, strip_begin)) = strip {
+            if i == sp % user.len().max(1) {
+                if strip_begin {
+                    begin = None;
+                } else {
+                    end = None;
+                }
+            }
+        }
+        builder.push_cloned(Transaction {
+            id: TxnId(0), // renumbered by the builder
+            session: t.session,
+            ops,
+            status: t.status,
+            begin,
+            end,
+        });
     }
     builder.build()
 }
@@ -190,5 +320,142 @@ proptest! {
         if let (Some(pos), Some(at)) = (latched_at, first) {
             prop_assert_eq!(pos, at.index());
         }
+    }
+
+    /// Valid timed histories — overlapping commit intervals included — are
+    /// accepted by both batch SSER flavours and by the streaming checker,
+    /// and sequential == sharded exactly for every shard/batch geometry.
+    #[test]
+    fn timed_valid_histories_accepted_by_all_sser_variants(
+        shapes in prop::collection::vec((shape_strategy(), 0u64..6, 0u64..6), 1..20),
+        intervals in prop::collection::vec((0u64..6, 0u64..40), 20),
+        keys in 2u64..6,
+        sessions in 1u32..4,
+        key_offset in prop::sample::select(vec![0u64, 17, 1_000_003]),
+    ) {
+        let history = timed_serial_history(&shapes, keys, sessions, key_offset, &intervals);
+        prop_assert!(check_sser(&history).unwrap().is_satisfied());
+        prop_assert!(check_sser_naive(&history).unwrap().is_satisfied());
+        let streaming =
+            check_streaming(IsolationLevel::StrictSerializability, &history).unwrap();
+        prop_assert!(streaming.is_satisfied(), "streaming SSER: {streaming:?}");
+        for shards in [1usize, 2, 4] {
+            for batch in [1usize, 5, 64] {
+                let sharded = check_streaming_sharded(
+                    IsolationLevel::StrictSerializability,
+                    &history,
+                    shards,
+                    batch,
+                )
+                .unwrap();
+                prop_assert_eq!(&streaming, &sharded);
+            }
+        }
+    }
+
+    /// Under injected commit-timestamp skew and/or a corrupted read, the
+    /// streaming SSER verdict agrees with `check_sser` *and*
+    /// `check_sser_naive` on accept/reject, and the sharded checker — fed in
+    /// shuffled shard orders via varying shard counts, batch sizes and key
+    /// spaces — returns a verdict identical to the sequential one.
+    #[test]
+    fn sser_streaming_agrees_with_batch_on_skewed_histories(
+        shapes in prop::collection::vec((shape_strategy(), 0u64..4, 0u64..4), 2..16),
+        intervals in prop::collection::vec((0u64..6, 0u64..40), 16),
+        pick in 0usize..16,
+        delta in 0u64..120,
+        corrupt_read in prop::option::of((0usize..16, 0u64..3)),
+        strip in prop::option::of((0usize..16, any::<bool>())),
+        key_offset in prop::sample::select(vec![0u64, 23, 999_983]),
+        shards in 1usize..5,
+        batch in 1usize..9,
+    ) {
+        let valid = timed_serial_history(&shapes, 3, 2, key_offset, &intervals);
+        let history = skewed(&valid, pick, delta, corrupt_read, strip);
+        let batch_verdict = check_sser(&history).unwrap();
+        let naive_verdict = check_sser_naive(&history).unwrap();
+        prop_assert_eq!(
+            batch_verdict.is_violated(),
+            naive_verdict.is_violated(),
+            "batch SSER flavours disagree: {:?} vs {:?}",
+            batch_verdict,
+            naive_verdict
+        );
+        let streaming =
+            check_streaming(IsolationLevel::StrictSerializability, &history).unwrap();
+        prop_assert_eq!(
+            batch_verdict.is_violated(),
+            streaming.is_violated(),
+            "batch/streaming SSER mismatch: batch={:?} streaming={:?}",
+            batch_verdict,
+            streaming
+        );
+        let sharded = check_streaming_sharded(
+            IsolationLevel::StrictSerializability,
+            &history,
+            shards,
+            batch,
+        )
+        .unwrap();
+        prop_assert_eq!(&streaming, &sharded, "sequential and sharded SSER diverge");
+    }
+
+    /// Feeding one transaction at a time, an SSER violation latches at some
+    /// prefix and never un-latches while a clean, later-in-time tail streams
+    /// in; the pre-tail verdict agrees with batch `check_sser`.
+    #[test]
+    fn sser_violations_latch_and_stay_latched(
+        shapes in prop::collection::vec((shape_strategy(), 0u64..4, 0u64..4), 4..16),
+        intervals in prop::collection::vec((0u64..6, 0u64..40), 16),
+        pick in 0usize..8,
+        delta in 10u64..200,
+        tail in 1usize..12,
+    ) {
+        let valid = timed_serial_history(&shapes, 3, 2, 0, &intervals);
+        let history = skewed(&valid, pick, delta, None, None);
+        let mut checker = IncrementalSserChecker::new()
+            .with_init_keys(history.txn(history.init_txn().unwrap()).write_set());
+        for txn in history.txns() {
+            if Some(txn.id) == history.init_txn() {
+                continue;
+            }
+            let _ = checker.push(txn.clone());
+        }
+        // The completed-stream verdict agrees with batch on accept/reject.
+        let batch_verdict = check_sser(&history).unwrap();
+        prop_assert_eq!(
+            checker.clone().finish().unwrap().is_violated(),
+            batch_verdict.is_violated()
+        );
+        // A clean tail far in the future must not disturb the latch. The
+        // tail transactions RMW one of the init keys, reading whatever the
+        // checker's key state last installed there.
+        let was_violated = checker.is_violated();
+        let first = checker.first_violation_at();
+        let tail_key = 0u64;
+        let mut last = Value(0);
+        for t in history.txns() {
+            for key in t.write_set() {
+                if key.raw() == tail_key {
+                    if let Some(v) = t.last_write(key) {
+                        last = v;
+                    }
+                }
+            }
+        }
+        let mut instant = 1_000_000u64;
+        for i in 0..tail {
+            let next = Value(10_000_000 + i as u64);
+            let _ = checker.push_committed(
+                0,
+                vec![Op::read(tail_key, last), Op::write(tail_key, next)],
+                instant,
+                instant + 3,
+            );
+            last = next;
+            instant += 10;
+        }
+        prop_assert_eq!(checker.is_violated(), was_violated);
+        prop_assert_eq!(checker.first_violation_at(), first);
     }
 }

@@ -13,6 +13,7 @@
 //! | `SkipReadValidation`  | read-set validation is skipped under a serializable engine | `WRITESKEW` / `LONGFORK` (PostgreSQL) |
 //! | `StaleSnapshot`       | the transaction reads from a snapshot older than its begin point | `CAUSALITYVIOLATION` (Dgraph), session-guarantee violations |
 //! | `DirtyRelease`        | the transaction's writes become visible before commit and the transaction then aborts | `ABORTEDREAD` / read-uncommitted (MongoDB, Cassandra) |
+//! | `CommitTimestampSkew` | the commit timestamp *reported to the client* lags behind the install timestamp (clamped at the begin instant), as from a node with a skewed clock | stale-read-after-commit / causality reversal — invisible to SER/SI, caught only by SSER (CockroachDB-style clock-skew bugs) |
 //!
 //! Each fault fires per transaction with the configured probability, so bug
 //! density (and therefore the "counterexample position" of Table II) is
@@ -35,6 +36,11 @@ pub enum FaultKind {
     /// Publish writes before commit and then abort → aborted reads /
     /// read-uncommitted behaviour.
     DirtyRelease,
+    /// Report a commit timestamp older than the actual install timestamp
+    /// (never older than the transaction's begin, keeping the interval
+    /// self-consistent) → real-time-order violations visible only to the
+    /// strict-serializability checker.
+    CommitTimestampSkew,
 }
 
 impl FaultKind {
@@ -45,6 +51,7 @@ impl FaultKind {
             FaultKind::SkipReadValidation => "skip-read-validation",
             FaultKind::StaleSnapshot => "stale-snapshot",
             FaultKind::DirtyRelease => "dirty-release",
+            FaultKind::CommitTimestampSkew => "commit-ts-skew",
         }
     }
 }
@@ -79,6 +86,9 @@ pub struct ActiveFaults {
     pub stale_versions: usize,
     /// Publish writes eagerly and abort at commit.
     pub dirty_release: bool,
+    /// How many ticks the *reported* commit timestamp lags behind the
+    /// install timestamp (0 = none; always clamped at the begin instant).
+    pub commit_ts_skew: u64,
 }
 
 impl ActiveFaults {
@@ -94,6 +104,7 @@ impl ActiveFaults {
                 FaultKind::SkipReadValidation => active.skip_read_validation = true,
                 FaultKind::StaleSnapshot => active.stale_versions = 1 + rng.gen_range(0..2),
                 FaultKind::DirtyRelease => active.dirty_release = true,
+                FaultKind::CommitTimestampSkew => active.commit_ts_skew = 8 + rng.gen_range(0..24),
             }
         }
         active
@@ -158,5 +169,26 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(FaultKind::StaleSnapshot.label(), "stale-snapshot");
+        assert_eq!(FaultKind::CommitTimestampSkew.label(), "commit-ts-skew");
+    }
+
+    #[test]
+    fn commit_timestamp_skew_draws_a_bounded_lag() {
+        let specs = vec![FaultSpec::new(FaultKind::CommitTimestampSkew, 1.0)];
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let a = ActiveFaults::draw(&specs, &mut rng);
+            assert!(
+                (8..32).contains(&a.commit_ts_skew),
+                "skew {} out of range",
+                a.commit_ts_skew
+            );
+            assert!(!a.is_clean());
+        }
+        // With probability 0 the clock stays honest.
+        let specs = vec![FaultSpec::new(FaultKind::CommitTimestampSkew, 0.0)];
+        for _ in 0..100 {
+            assert_eq!(ActiveFaults::draw(&specs, &mut rng).commit_ts_skew, 0);
+        }
     }
 }

@@ -21,7 +21,9 @@ use crate::client::ClientOptions;
 use crate::db::Database;
 use crate::txn::AbortReason;
 use mtc_core::{CheckError, IncrementalChecker, IsolationLevel, StreamStatus, Verdict, Violation};
-use mtc_history::{History, HistoryBuilder, Op, TxnStatus, ValueAllocator};
+use mtc_history::{
+    History, HistoryBuilder, Op, SessionId, Transaction, TxnId, TxnStatus, ValueAllocator,
+};
 use mtc_workload::{ReqOp, Workload};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -101,16 +103,53 @@ impl LiveVerifier {
 
     /// Feeds one finished transaction attempt. Called by the session threads
     /// in commit order; also usable directly when driving [`Database`] by
-    /// hand (see `examples/streaming_check.rs`).
+    /// hand (see `examples/streaming_check.rs`). Without begin/commit
+    /// instants the SSER mode degenerates to SER — prefer
+    /// [`LiveVerifier::record_timed`] when the instants are known.
     pub fn record(&self, session: u32, ops: Vec<Op>, status: TxnStatus) {
+        self.record_inner(session, ops, status, None)
+    }
+
+    /// Feeds one finished transaction attempt together with its begin and
+    /// commit-acknowledgement instants (the simulated store's logical
+    /// clock). In SSER mode the instants feed the online time-chain, so
+    /// real-time-order violations — including skewed commit timestamps —
+    /// latch the moment the offending commit is recorded.
+    pub fn record_timed(
+        &self,
+        session: u32,
+        ops: Vec<Op>,
+        status: TxnStatus,
+        begin: u64,
+        end: u64,
+    ) {
+        self.record_inner(session, ops, status, Some((begin, end)))
+    }
+
+    fn record_inner(
+        &self,
+        session: u32,
+        ops: Vec<Op>,
+        status: TxnStatus,
+        times: Option<(u64, u64)>,
+    ) {
         let mut inner = self.inner.lock();
         if inner.checker.violation().is_some() {
             return;
         }
-        let result = match status {
-            TxnStatus::Committed => inner.checker.push_committed(session, ops),
-            _ => inner.checker.push_aborted(session, ops),
+        let mut txn = Transaction {
+            id: TxnId(0), // renumbered by the checker
+            session: SessionId(session),
+            ops,
+            status,
+            begin: None,
+            end: None,
         };
+        if let Some((begin, end)) = times {
+            txn.begin = Some(begin);
+            txn.end = Some(end);
+        }
+        let result = inner.checker.push(txn);
         if matches!(result, Ok(StreamStatus::Violated)) && inner.first_violation.is_none() {
             inner.first_violation = Some(LiveViolation {
                 at_txn: inner.checker.txn_count().saturating_sub(1),
@@ -198,15 +237,28 @@ pub fn execute_workload_live(
                         match handle.commit() {
                             Ok(info) => {
                                 committed += 1;
-                                verifier.record(sid, ops.clone(), TxnStatus::Committed);
+                                verifier.record_timed(
+                                    sid,
+                                    ops.clone(),
+                                    TxnStatus::Committed,
+                                    begin,
+                                    info.commit_ts,
+                                );
                                 records.push((ops, TxnStatus::Committed, begin, info.commit_ts));
                                 break;
                             }
                             Err(reason) => {
                                 aborted += 1;
                                 if opts.record_aborted {
-                                    verifier.record(sid, ops.clone(), TxnStatus::Aborted);
-                                    records.push((ops, TxnStatus::Aborted, begin, db.now()));
+                                    let end = db.now();
+                                    verifier.record_timed(
+                                        sid,
+                                        ops.clone(),
+                                        TxnStatus::Aborted,
+                                        begin,
+                                        end,
+                                    );
+                                    records.push((ops, TxnStatus::Aborted, begin, end));
                                 }
                                 let retry = attempt <= opts.max_retries
                                     && reason != AbortReason::InjectedAbort;
@@ -304,6 +356,68 @@ mod tests {
             history.len() - 1,
             "verifier must have consumed every recorded transaction"
         );
+    }
+
+    #[test]
+    fn clean_serializable_database_passes_live_sser_verification() {
+        // A correct serializable store with honest timestamps is strictly
+        // serializable: the SSER live verifier must stay quiet.
+        let s = spec(5, 8, 60);
+        let workload = generate_mt_workload(&s);
+        let db = Database::new(DbConfig::correct(IsolationMode::Serializable, s.num_keys));
+        let verifier = LiveVerifier::new(IsolationLevel::StrictSerializability, s.num_keys, false);
+        let (history, _) =
+            execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+        let outcome = verifier.finish();
+        assert!(
+            outcome.verdict.unwrap().is_satisfied(),
+            "clean run must pass SSER"
+        );
+        assert!(outcome.first_violation.is_none());
+        assert_eq!(outcome.checked_txns, history.len() - 1);
+    }
+
+    #[test]
+    fn skewed_commit_timestamps_are_caught_by_live_sser() {
+        // Clock-skewed commit acknowledgements violate only the real-time
+        // order: live SER stays quiet while live SSER latches mid-run.
+        let s = spec(9, 4, 150);
+        let workload = generate_mt_workload(&s);
+        let make_db = || {
+            Database::new(
+                DbConfig::correct(IsolationMode::Serializable, s.num_keys)
+                    .with_latency(Duration::from_micros(200), Duration::from_micros(100))
+                    .with_faults(vec![FaultSpec::new(FaultKind::CommitTimestampSkew, 0.4)], 9),
+            )
+        };
+
+        let ser_verifier = LiveVerifier::new(IsolationLevel::Serializability, s.num_keys, false);
+        execute_workload_live(
+            &make_db(),
+            &workload,
+            &ClientOptions::default(),
+            &ser_verifier,
+        );
+        assert!(
+            ser_verifier.finish().verdict.unwrap().is_satisfied(),
+            "commit-timestamp skew must be invisible to SER"
+        );
+
+        let sser_verifier =
+            LiveVerifier::new(IsolationLevel::StrictSerializability, s.num_keys, true);
+        execute_workload_live(
+            &make_db(),
+            &workload,
+            &ClientOptions::default(),
+            &sser_verifier,
+        );
+        let outcome = sser_verifier.finish();
+        assert!(
+            outcome.verdict.unwrap().is_violated(),
+            "the skewed commit must violate SSER"
+        );
+        let first = outcome.first_violation.expect("must latch mid-run");
+        assert!(first.at_txn <= outcome.checked_txns);
     }
 
     #[test]

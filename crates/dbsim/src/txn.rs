@@ -203,7 +203,20 @@ impl<'db> TxnHandle<'db> {
         if !commit_latency.is_zero() {
             std::thread::sleep(commit_latency);
         }
-        Ok(CommitInfo { commit_ts })
+        // Injected clock skew: the store installs at the true timestamp
+        // (keeping version chains monotone) but the client — and therefore
+        // the collected history — sees a commit instant from the past, never
+        // earlier than the transaction's own begin.
+        let reported = if self.faults.commit_ts_skew == 0 {
+            commit_ts
+        } else {
+            commit_ts
+                .saturating_sub(self.faults.commit_ts_skew)
+                .max(self.begin_ts)
+        };
+        Ok(CommitInfo {
+            commit_ts: reported,
+        })
     }
 
     /// Rolls the transaction back. Buffered writes are discarded.
@@ -372,6 +385,68 @@ mod tests {
         t.write_register(Key(0), Value(2));
         t.write_register(Key(2), Value(3));
         assert_eq!(t.write_set(), &[Key(2), Key(0)]);
+    }
+
+    #[test]
+    fn commit_timestamp_skew_reports_a_past_instant() {
+        let cfg = DbConfig::correct(IsolationMode::Snapshot, 1)
+            .with_faults(vec![FaultSpec::new(FaultKind::CommitTimestampSkew, 1.0)], 3);
+        let db = Database::new(cfg);
+        let mut t = db.begin(); // begin_ts = 1
+        t.read_register(Key(0));
+        t.write_register(Key(0), Value(7));
+        let begin = t.begin_ts();
+        let info = t.commit().unwrap(); // installs at ts 2, skew >= 8 clamps to begin
+        assert_eq!(
+            info.commit_ts, begin,
+            "skew must clamp at the begin instant"
+        );
+        // The store still installed the version at the true (later) instant.
+        assert!(db.store().read(Key(0), begin, 0).unwrap().commit_ts == 0);
+        assert_eq!(db.store().current_register(Key(0)), Value(7));
+    }
+
+    #[test]
+    fn commit_timestamp_skew_produces_an_sser_only_violation() {
+        use mtc_history::HistoryBuilder;
+        // T1 writes x inside [1, 3] but, skewed, reports [1, 1]. T2 begins at
+        // 2 — after T1's *reported* commit — and still reads the initial
+        // value: a stale read after (claimed) commit. SER and SI accept the
+        // history (T2 merely serializes before T1); SSER rejects it.
+        let cfg = DbConfig::correct(IsolationMode::Snapshot, 1)
+            .with_faults(vec![FaultSpec::new(FaultKind::CommitTimestampSkew, 1.0)], 3);
+        let db = Database::new(cfg);
+        let mut t1 = db.begin(); // begin_ts = 1
+        t1.read_register(Key(0));
+        t1.write_register(Key(0), Value(10));
+        let b1 = t1.begin_ts();
+        let mut t2 = db.begin(); // begin_ts = 2, inside T1's true window
+        let b2 = t2.begin_ts();
+        let read = t2.read_register(Key(0));
+        assert_eq!(read, INIT_VALUE, "T1 is uncommitted at T2's snapshot");
+        let i1 = t1.commit().unwrap();
+        let i2 = t2.commit().unwrap();
+        assert!(
+            i1.commit_ts < b2,
+            "the skew must backdate T1 past T2's begin"
+        );
+
+        let mut builder = HistoryBuilder::new().with_init(1);
+        builder.committed_timed(
+            0,
+            vec![
+                mtc_history::Op::read(0u64, 0u64),
+                mtc_history::Op::write(0u64, 10u64),
+            ],
+            b1,
+            i1.commit_ts,
+        );
+        builder.committed_timed(1, vec![mtc_history::Op::read(0u64, 0u64)], b2, i2.commit_ts);
+        let h = builder.build();
+        assert!(mtc_core::check_ser(&h).unwrap().is_satisfied());
+        assert!(mtc_core::check_si(&h).unwrap().is_satisfied());
+        assert!(mtc_core::check_sser(&h).unwrap().is_violated());
+        assert!(mtc_core::check_sser_naive(&h).unwrap().is_violated());
     }
 
     #[test]

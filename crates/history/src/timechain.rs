@@ -1,0 +1,250 @@
+//! The online time-chain: an incrementally maintained encoding of the
+//! real-time order for streaming strict-serializability checking.
+//!
+//! The batch `CHECKSSER` sorts every begin/commit instant of the complete
+//! history once and threads them into a chain of auxiliary *time nodes*, so
+//! a dependency path "travels back in time" exactly when the naive
+//! `Θ(n²)`-edge real-time relation has a cycle. A streaming checker cannot
+//! sort up front: transactions arrive in commit order, and a commit
+//! acknowledged *now* may report a begin instant far in the past (clock
+//! skew, long-running transactions). [`TimeChain`] therefore keeps the
+//! instants in a balanced order (a `BTreeMap`) and splices each new instant
+//! into an [`IncrementalTopo`]-backed chain with `O(log n)` insertion and
+//! predecessor/successor queries.
+//!
+//! Each distinct instant `t` owns **two** chain nodes:
+//!
+//! * `begin_node(t)` — transactions beginning at `t` hang *off* this node
+//!   (`begin_node(t) → txn`);
+//! * `end_node(t)` — transactions ending at `t` point *into* this node
+//!   (`txn → end_node(t)`).
+//!
+//! The chain is ordered `… → begin(t) → end(t) → begin(t') → end(t') → …`
+//! for `t < t'`, so a path `end(t) ⟶ begin(t')` exists **iff `t < t'`** —
+//! the strict inequality of the real-time order (`T1 <rt T2` iff
+//! `end(T1) < begin(T2)`; transactions sharing an instant overlap and are
+//! *not* real-time ordered). Splitting each instant into a begin/end pair is
+//! what makes the equal-instant case come out right without edge deletion:
+//! inserting `t` between chain neighbours `p < n` only *adds* edges
+//! (`end(p) → begin(t)`, `begin(t) → end(t)`, `end(t) → begin(n)`); the
+//! now-redundant direct edge `end(p) → begin(n)` stays behind as a harmless
+//! transitive shortcut.
+//!
+//! Chain edges can never be rejected by the host topology: a fresh pair of
+//! nodes has no other incident edges, the direct edge between the current
+//! neighbours already orders them, and the host graph is acyclic whenever
+//! the checker is still running (violations latch before a cycle is ever
+//! committed into the structure).
+
+use crate::incremental::IncrementalTopo;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// The pair of chain nodes owned by one distinct instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeSlot {
+    /// Node transactions beginning at this instant are reached from.
+    pub begin_node: usize,
+    /// Node transactions ending at this instant point into.
+    pub end_node: usize,
+}
+
+/// An incrementally maintained chain of begin/end instants, integrated with
+/// a growable [`IncrementalTopo`].
+///
+/// ```
+/// use mtc_history::{IncrementalTopo, TimeChain};
+///
+/// let mut topo = IncrementalTopo::new();
+/// let mut chain = TimeChain::new();
+/// let t10 = chain.touch(10, &mut topo);
+/// let t30 = chain.touch(30, &mut topo);
+/// // Inserted out of order, 20 is spliced between 10 and 30.
+/// let t20 = chain.touch(20, &mut topo);
+/// assert!(topo.precedes(t10.end_node, t20.begin_node));
+/// assert!(topo.precedes(t20.end_node, t30.begin_node));
+/// assert_eq!(chain.len(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TimeChain {
+    slots: BTreeMap<u64, TimeSlot>,
+}
+
+impl TimeChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        TimeChain::default()
+    }
+
+    /// Number of distinct instants in the chain.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True iff no instant has been touched yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The chain nodes of `instant`, if it has been touched.
+    pub fn slot(&self, instant: u64) -> Option<TimeSlot> {
+        self.slots.get(&instant).copied()
+    }
+
+    /// The greatest touched instant strictly below `instant`.
+    pub fn pred(&self, instant: u64) -> Option<(u64, TimeSlot)> {
+        self.slots
+            .range((Bound::Unbounded, Bound::Excluded(instant)))
+            .next_back()
+            .map(|(&t, &s)| (t, s))
+    }
+
+    /// The smallest touched instant strictly above `instant`.
+    pub fn succ(&self, instant: u64) -> Option<(u64, TimeSlot)> {
+        self.slots
+            .range((Bound::Excluded(instant), Bound::Unbounded))
+            .next()
+            .map(|(&t, &s)| (t, s))
+    }
+
+    /// Returns the chain nodes of `instant`, creating and splicing them into
+    /// `topo` on first touch. `O(log n)` plus the (amortized `O(1)`) cost of
+    /// the chain-edge insertions.
+    pub fn touch(&mut self, instant: u64, topo: &mut IncrementalTopo) -> TimeSlot {
+        if let Some(slot) = self.slots.get(&instant) {
+            return *slot;
+        }
+        let begin_node = topo.add_node();
+        let end_node = topo.add_node();
+        topo.try_add_edge(begin_node, end_node)
+            .expect("fresh begin/end pair cannot close a cycle");
+        if let Some((_, prev)) = self.pred(instant) {
+            topo.try_add_edge(prev.end_node, begin_node)
+                .expect("chain edge from the predecessor cannot close a cycle");
+        }
+        if let Some((_, next)) = self.succ(instant) {
+            topo.try_add_edge(end_node, next.begin_node)
+                .expect("chain edge to the successor cannot close a cycle");
+        }
+        let slot = TimeSlot {
+            begin_node,
+            end_node,
+        };
+        self.slots.insert(instant, slot);
+        slot
+    }
+
+    /// The touched instants in ascending order (for inspection and tests).
+    pub fn instants(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every pair of distinct instants must be chain-connected in order, and
+    /// within an instant `begin` precedes `end` with no path back.
+    fn assert_chain_invariant(chain: &TimeChain, topo: &IncrementalTopo) {
+        let slots: Vec<(u64, TimeSlot)> = chain.slots.iter().map(|(&t, &s)| (t, s)).collect();
+        for w in slots.windows(2) {
+            let (ta, a) = w[0];
+            let (tb, b) = w[1];
+            assert!(ta < tb);
+            assert!(
+                topo.precedes(a.end_node, b.begin_node),
+                "end({ta}) must precede begin({tb})"
+            );
+        }
+        for &(t, s) in &slots {
+            assert!(
+                topo.precedes(s.begin_node, s.end_node),
+                "begin({t}) must precede end({t})"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_order_insertion_links_the_chain() {
+        let mut topo = IncrementalTopo::new();
+        let mut chain = TimeChain::new();
+        for t in [50u64, 10, 30, 20, 40, 60, 5] {
+            chain.touch(t, &mut topo);
+        }
+        assert_eq!(chain.len(), 7);
+        assert_eq!(
+            chain.instants().collect::<Vec<_>>(),
+            vec![5, 10, 20, 30, 40, 50, 60]
+        );
+        assert_chain_invariant(&chain, &topo);
+    }
+
+    #[test]
+    fn touch_is_idempotent() {
+        let mut topo = IncrementalTopo::new();
+        let mut chain = TimeChain::new();
+        let first = chain.touch(7, &mut topo);
+        let again = chain.touch(7, &mut topo);
+        assert_eq!(first, again);
+        assert_eq!(chain.len(), 1);
+        assert_eq!(topo.node_count(), 2);
+    }
+
+    #[test]
+    fn pred_and_succ_are_strict() {
+        let mut topo = IncrementalTopo::new();
+        let mut chain = TimeChain::new();
+        chain.touch(10, &mut topo);
+        chain.touch(20, &mut topo);
+        assert_eq!(chain.pred(10), None);
+        assert_eq!(chain.pred(20).map(|(t, _)| t), Some(10));
+        assert_eq!(chain.pred(15).map(|(t, _)| t), Some(10));
+        assert_eq!(chain.succ(10).map(|(t, _)| t), Some(20));
+        assert_eq!(chain.succ(20), None);
+        assert_eq!(chain.succ(15).map(|(t, _)| t), Some(20));
+    }
+
+    #[test]
+    fn equal_instants_do_not_create_a_real_time_edge() {
+        // T1 ends at t = 42 and T2 begins at t = 42: they overlap, so the
+        // real-time order must not relate them. A dependency edge in either
+        // direction must therefore be accepted.
+        let mut topo = IncrementalTopo::new();
+        let mut chain = TimeChain::new();
+        let t1 = topo.add_node();
+        let t2 = topo.add_node();
+        let slot = chain.touch(42, &mut topo);
+        topo.try_add_edge(t1, slot.end_node).unwrap();
+        topo.try_add_edge(slot.begin_node, t2).unwrap();
+        // T2 → T1 would be rejected if end(42) ⟶ begin(42) existed; it must
+        // not, because `end(T1) < begin(T2)` is strict.
+        assert!(topo.try_add_edge(t2, t1).is_ok());
+    }
+
+    #[test]
+    fn transactions_hang_off_the_chain_in_real_time_order() {
+        // T1 = [1, 5], T2 = [9, 12]: T1 <rt T2, so end(5) ⟶ begin(9) and
+        // hooking T1 → end(5), begin(9) → T2 yields a path T1 ⟶ T2 while the
+        // reverse edge T2 → T1's chain hook closes a cycle.
+        let mut topo = IncrementalTopo::new();
+        let mut chain = TimeChain::new();
+        let t1 = topo.add_node();
+        let t2 = topo.add_node();
+        let s1b = chain.touch(1, &mut topo);
+        let s1e = chain.touch(5, &mut topo);
+        let s2b = chain.touch(9, &mut topo);
+        let s2e = chain.touch(12, &mut topo);
+        topo.try_add_edge(s1b.begin_node, t1).unwrap();
+        topo.try_add_edge(t1, s1e.end_node).unwrap();
+        topo.try_add_edge(s2b.begin_node, t2).unwrap();
+        topo.try_add_edge(t2, s2e.end_node).unwrap();
+        assert!(topo.precedes(t1, t2));
+        // A dependency edge T2 → T1 contradicts real time: rejected.
+        assert!(topo.try_add_edge(t2, t1).is_err());
+        // The other direction agrees with real time: accepted.
+        assert!(topo.try_add_edge(t1, t2).is_ok());
+    }
+}

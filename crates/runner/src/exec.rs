@@ -39,11 +39,17 @@ pub enum Checker {
     MtcSerIncremental,
     /// Streaming snapshot-isolation verifier.
     MtcSiIncremental,
+    /// Streaming strict-serializability verifier (online time-chain,
+    /// transaction-by-transaction).
+    MtcSserIncremental,
     /// Streaming serializability verifier with key-sharded parallel edge
     /// derivation (4 shards, batches of 256).
     MtcSerSharded,
     /// Streaming snapshot-isolation verifier, key-sharded.
     MtcSiSharded,
+    /// Streaming strict-serializability verifier, key-sharded (the
+    /// time-chain stays on the merge thread).
+    MtcSserSharded,
     /// Cobra-style serializability baseline (polygraph + constraint search).
     CobraSer,
     /// PolySI-style snapshot-isolation baseline.
@@ -64,8 +70,10 @@ impl Checker {
             Checker::MtcSserNaive => "MTC-SSER-naive",
             Checker::MtcSerIncremental => "MTC-SER-inc",
             Checker::MtcSiIncremental => "MTC-SI-inc",
+            Checker::MtcSserIncremental => "MTC-SSER-inc",
             Checker::MtcSerSharded => "MTC-SER-shard",
             Checker::MtcSiSharded => "MTC-SI-shard",
+            Checker::MtcSserSharded => "MTC-SSER-shard",
             Checker::CobraSer => "Cobra",
             Checker::PolySiSi => "PolySI",
             Checker::ElleRwSer => "Elle-wr(SER)",
@@ -104,19 +112,19 @@ fn baseline_memory(stats: &mtc_baselines::cobra::SolverStats) -> usize {
 pub fn verify(checker: Checker, history: &History) -> VerifyOutcome {
     let start = Instant::now();
     let (violated, memory, detail) = match checker {
-        Checker::MtcSerIncremental | Checker::MtcSiIncremental => {
-            let level = if checker == Checker::MtcSerIncremental {
-                IsolationLevel::Serializability
-            } else {
-                IsolationLevel::SnapshotIsolation
+        Checker::MtcSerIncremental | Checker::MtcSiIncremental | Checker::MtcSserIncremental => {
+            let level = match checker {
+                Checker::MtcSerIncremental => IsolationLevel::Serializability,
+                Checker::MtcSiIncremental => IsolationLevel::SnapshotIsolation,
+                _ => IsolationLevel::StrictSerializability,
             };
             verify_streaming(level, history)
         }
-        Checker::MtcSerSharded | Checker::MtcSiSharded => {
-            let level = if checker == Checker::MtcSerSharded {
-                IsolationLevel::Serializability
-            } else {
-                IsolationLevel::SnapshotIsolation
+        Checker::MtcSerSharded | Checker::MtcSiSharded | Checker::MtcSserSharded => {
+            let level = match checker {
+                Checker::MtcSerSharded => IsolationLevel::Serializability,
+                Checker::MtcSiSharded => IsolationLevel::SnapshotIsolation,
+                _ => IsolationLevel::StrictSerializability,
             };
             let mut c = ShardedIncrementalChecker::new(level, 4);
             let _ = c.push_history(history, 256);
@@ -622,8 +630,10 @@ mod tests {
             Checker::MtcSserNaive,
             Checker::MtcSerIncremental,
             Checker::MtcSiIncremental,
+            Checker::MtcSserIncremental,
             Checker::MtcSerSharded,
             Checker::MtcSiSharded,
+            Checker::MtcSserSharded,
             Checker::CobraSer,
             Checker::PolySiSi,
             Checker::ElleRwSer,
@@ -632,7 +642,7 @@ mod tests {
         .iter()
         .map(|c| c.label())
         .collect();
-        assert_eq!(labels.len(), 12);
+        assert_eq!(labels.len(), 14);
     }
 
     #[test]
@@ -643,8 +653,10 @@ mod tests {
         for (batch, streaming) in [
             (Checker::MtcSer, Checker::MtcSerIncremental),
             (Checker::MtcSi, Checker::MtcSiIncremental),
+            (Checker::MtcSser, Checker::MtcSserIncremental),
             (Checker::MtcSer, Checker::MtcSerSharded),
             (Checker::MtcSi, Checker::MtcSiSharded),
+            (Checker::MtcSser, Checker::MtcSserSharded),
         ] {
             let a = verify(batch, &history);
             let b = verify(streaming, &history);
@@ -692,6 +704,39 @@ mod tests {
         let first = out.first_violation_txn.expect("latched mid-run");
         assert!(first <= out.committed + workload.txn_count());
         assert!(out.time_to_first_violation.unwrap() <= out.wall_time);
+    }
+
+    #[test]
+    fn streaming_end_to_end_sser_catches_commit_timestamp_skew() {
+        use mtc_dbsim::{FaultKind, FaultSpec};
+        let workload = generate_mt_workload(&MtWorkloadSpec {
+            num_keys: 4,
+            txns_per_session: 150,
+            ..small_mt_spec()
+        });
+        let config = DbConfig::correct(IsolationMode::Serializable, 4)
+            .with_latency(
+                std::time::Duration::from_micros(200),
+                std::time::Duration::from_micros(100),
+            )
+            .with_faults(
+                vec![FaultSpec::new(FaultKind::CommitTimestampSkew, 0.4)],
+                13,
+            );
+        let out = end_to_end_streaming(
+            &config,
+            &workload,
+            &ClientOptions::default(),
+            IsolationLevel::StrictSerializability,
+            true,
+        );
+        assert!(
+            out.violated,
+            "skewed commits must violate SSER: {}",
+            out.detail
+        );
+        let ttfv = out.time_to_first_violation.expect("latched mid-run");
+        assert!(ttfv <= out.wall_time);
     }
 
     #[test]

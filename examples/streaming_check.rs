@@ -6,11 +6,13 @@
 //!    `execute_workload_live`, with `stop_on_violation` so a buggy database
 //!    run ends at the first violation instead of at the end of the workload;
 //! 2. the low-level path — driving an [`IncrementalChecker`] by hand,
-//!    transaction by transaction, and watching it latch.
+//!    transaction by transaction, and watching it latch;
+//! 3. the strict-serializability path — an [`IncrementalSserChecker`]
+//!    catching a commit-timestamp-skew bug that SER cannot see.
 //!
 //! Run with `cargo run --release --example streaming_check`.
 
-use mtc::core::{IncrementalChecker, IsolationLevel, StreamStatus};
+use mtc::core::{IncrementalChecker, IncrementalSserChecker, IsolationLevel, StreamStatus};
 use mtc::dbsim::{
     execute_workload_live, ClientOptions, Database, DbConfig, FaultKind, FaultSpec, IsolationMode,
     LiveVerifier,
@@ -107,4 +109,28 @@ fn main() {
     }
     let verdict = checker.finish().unwrap();
     assert!(verdict.is_violated(), "write skew must be rejected");
+
+    // ── 3. Online strict serializability: a stale read after commit. ──
+    // T1 = [10, 20] installs x = 1; T2 = [30, 40] begins after T1's commit
+    // was acknowledged yet still reads the initial value. SER admits the
+    // serial order T2, T1 — real time does not.
+    println!("\n── hand-fed SSER checker (stale read after commit) ──");
+    let mut sser = IncrementalSserChecker::new().with_init_keys(0..1u64);
+    sser.push_committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)], 10, 20)
+        .unwrap();
+    let status = sser
+        .push_committed(1, vec![Op::read(0u64, 0u64)], 30, 40)
+        .unwrap();
+    println!(
+        "after the stale read: {}",
+        match status {
+            StreamStatus::ConsistentSoFar => "consistent so far".to_string(),
+            StreamStatus::Violated => format!("VIOLATED — {}", sser.violation().expect("latched")),
+        }
+    );
+    let verdict = sser.finish().unwrap();
+    assert!(
+        verdict.is_violated(),
+        "stale read after commit must be rejected"
+    );
 }

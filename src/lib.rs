@@ -21,8 +21,8 @@ pub use mtc_workload as workload;
 // The streaming verification engine, re-exported at the facade root: the
 // online checkers share `CheckOptions`/`IsolationLevel` with the batch path.
 pub use mtc_core::{
-    check_streaming, check_streaming_sharded, CheckOptions, IncrementalChecker, IsolationLevel,
-    ShardedIncrementalChecker, StreamStatus,
+    check_streaming, check_streaming_sharded, CheckOptions, IncrementalChecker,
+    IncrementalSserChecker, IsolationLevel, ShardedIncrementalChecker, StreamStatus,
 };
 pub use mtc_dbsim::{execute_workload_live, LiveVerifier};
-pub use mtc_history::IncrementalTopo;
+pub use mtc_history::{IncrementalTopo, TimeChain};

@@ -1,11 +1,17 @@
 //! Integration test: the 14-anomaly catalogue (Table I / Figure 5) against
 //! every checker in the workspace — MTC's verifiers, the Cobra/PolySI
 //! baselines and the brute-force ground truth all have to agree with the
-//! expected verdict matrix.
+//! expected verdict matrix — plus hand-crafted SSER-*specific* anomalies
+//! (SER-accepted, SSER-rejected) checked against both batch flavours and the
+//! streaming time-chain checker.
 
 use mtc::baselines::{brute_check_ser, brute_check_si, cobra_check_ser, polysi_check_si};
-use mtc::core::{check_ser, check_si, check_sser};
+use mtc::core::{
+    check_ser, check_si, check_sser, check_sser_naive, check_streaming, Verdict, Violation,
+};
 use mtc::history::anomalies::AnomalyKind;
+use mtc::history::{EdgeKind, History, HistoryBuilder, Op};
+use mtc::IsolationLevel;
 
 #[test]
 fn every_anomaly_matches_the_expected_matrix_across_all_checkers() {
@@ -38,6 +44,75 @@ fn every_anomaly_matches_the_expected_matrix_across_all_checkers() {
             expected.violates_si,
             "brute SI on {kind}"
         );
+    }
+}
+
+/// Stale read after commit: T1 installs x = 1 and finishes; T2 begins
+/// strictly later yet still observes the initial value. SER admits the
+/// serial order T2, T1 — SSER cannot, because real time pins T1 before T2.
+fn stale_read_after_commit() -> History {
+    let mut b = HistoryBuilder::new().with_init(1);
+    b.committed_timed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)], 10, 20);
+    b.committed_timed(1, vec![Op::read(0u64, 0u64)], 30, 40);
+    b.build()
+}
+
+/// Causality reversal across three transactions: T3 starts after both T1
+/// and T2 finished, sees T2's write to y but misses T1's earlier write to x.
+/// SER admits the serial order T3 before T1 (T3 only anti-depends on T1);
+/// SSER rejects it, because the anti-dependency T3 →rw T1 contradicts the
+/// real-time edge RT(T1, T3).
+fn causality_reversal() -> History {
+    let mut b = HistoryBuilder::new().with_init(2);
+    b.committed_timed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)], 10, 20);
+    b.committed_timed(1, vec![Op::read(1u64, 0u64), Op::write(1u64, 2u64)], 30, 40);
+    b.committed_timed(2, vec![Op::read(1u64, 2u64), Op::read(0u64, 0u64)], 50, 60);
+    b.build()
+}
+
+/// Backdated commit: T2 reads T1's write but *reports* an interval that lies
+/// entirely before T1 began (a skewed clock on the acknowledging node). The
+/// WR dependency T1 → T2 contradicts RT(T2, T1).
+fn backdated_commit() -> History {
+    let mut b = HistoryBuilder::new().with_init(1);
+    b.committed_timed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)], 30, 40);
+    b.committed_timed(1, vec![Op::read(0u64, 1u64)], 5, 9);
+    b.build()
+}
+
+#[test]
+fn sser_specific_anomalies_are_rejected_only_by_sser() {
+    let witnesses: [(&str, History); 3] = [
+        ("stale-read-after-commit", stale_read_after_commit()),
+        ("causality-reversal", causality_reversal()),
+        ("backdated-commit", backdated_commit()),
+    ];
+    for (name, h) in &witnesses {
+        // SER and SI accept: the anomaly lives purely in the real-time order.
+        assert!(
+            check_ser(h).unwrap().is_satisfied(),
+            "SER must accept {name}"
+        );
+        assert!(check_si(h).unwrap().is_satisfied(), "SI must accept {name}");
+
+        // Both batch SSER flavours and the streaming time-chain checker
+        // reject, with a cycle counterexample that names real time.
+        let batch = check_sser(h).unwrap();
+        let naive = check_sser_naive(h).unwrap();
+        let streaming = check_streaming(IsolationLevel::StrictSerializability, h).unwrap();
+        for (flavour, verdict) in [
+            ("check_sser", &batch),
+            ("check_sser_naive", &naive),
+            ("streaming", &streaming),
+        ] {
+            let Verdict::Violated(Violation::Cycle { edges }) = verdict else {
+                panic!("{flavour} must reject {name} with a cycle, got {verdict:?}");
+            };
+            assert!(
+                edges.iter().any(|e| e.kind == EdgeKind::Rt),
+                "{flavour} counterexample for {name} must contain an RT edge: {edges:?}"
+            );
+        }
     }
 }
 

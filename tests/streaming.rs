@@ -1,14 +1,19 @@
 //! Integration tests of the streaming verification engine through the
 //! facade: live-verified dbsim runs, facade re-exports, and agreement of the
 //! streaming checkers with the batch ones on executed (not synthetic)
-//! histories.
+//! histories — including the strict-serializability mode with real commit
+//! timestamps from the simulated store.
 
-use mtc::core::{check_ser, check_si};
+use mtc::core::{check_ser, check_si, check_sser};
 use mtc::dbsim::{ClientOptions, Database, DbConfig, FaultKind, FaultSpec, IsolationMode};
+use mtc::history::{HistoryBuilder, Op};
 use mtc::runner::{end_to_end_streaming, verify, Checker};
 use mtc::workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
 // The streaming types are re-exported at the facade root.
-use mtc::{check_streaming, check_streaming_sharded, CheckOptions, IsolationLevel, LiveVerifier};
+use mtc::{
+    check_streaming, check_streaming_sharded, CheckOptions, IncrementalSserChecker, IsolationLevel,
+    LiveVerifier, StreamStatus,
+};
 
 fn mt_spec(seed: u64, num_keys: u64) -> MtWorkloadSpec {
     MtWorkloadSpec {
@@ -120,6 +125,163 @@ fn incremental_runner_checkers_are_wired() {
         let out = verify(checker, &history);
         assert!(!out.violated, "{}: {}", checker.label(), out.detail);
     }
+}
+
+#[test]
+fn streaming_sser_agrees_with_batch_on_executed_histories() {
+    // Clean serializable executions carry honest commit timestamps: batch
+    // CHECKSSER and the streaming time-chain checker must both accept, and
+    // the sharded verdict must equal the sequential one exactly.
+    for seed in 0..3u64 {
+        let spec = mt_spec(seed, 12);
+        let workload = generate_mt_workload(&spec);
+        let db = Database::new(DbConfig::correct(
+            IsolationMode::Serializable,
+            spec.num_keys,
+        ));
+        let (history, _) = mtc::dbsim::execute_workload(&db, &workload, &ClientOptions::default());
+        let batch = check_sser(&history).unwrap();
+        let streaming = check_streaming(IsolationLevel::StrictSerializability, &history).unwrap();
+        assert_eq!(batch.is_violated(), streaming.is_violated(), "seed {seed}");
+        assert!(batch.is_satisfied(), "seed {seed}: {batch:?}");
+        let sharded =
+            check_streaming_sharded(IsolationLevel::StrictSerializability, &history, 4, 64)
+                .unwrap();
+        assert_eq!(streaming, sharded, "seed {seed}");
+    }
+}
+
+#[test]
+fn sser_stop_on_violation_truncates_the_run() {
+    // Commit-timestamp skew violates only the real-time order; with
+    // stop_on_violation the SSER live verifier must end the run early.
+    let spec = mt_spec(13, 4);
+    let workload = generate_mt_workload(&spec);
+    let total = workload.txn_count();
+    let config = DbConfig::correct(IsolationMode::Serializable, spec.num_keys)
+        .with_latency(
+            std::time::Duration::from_micros(200),
+            std::time::Duration::from_micros(100),
+        )
+        .with_faults(
+            vec![FaultSpec::new(FaultKind::CommitTimestampSkew, 0.4)],
+            13,
+        );
+    let db = Database::new(config);
+    let verifier = LiveVerifier::new(IsolationLevel::StrictSerializability, spec.num_keys, true);
+    let (_, _) =
+        mtc::dbsim::execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+    let outcome = verifier.finish();
+    assert!(outcome.verdict.unwrap().is_violated());
+    let first = outcome.first_violation.expect("latched mid-run");
+    assert!(
+        first.at_txn < total && outcome.checked_txns < total,
+        "stop-on-violation must truncate: latched at {} after {} of {}",
+        first.at_txn,
+        outcome.checked_txns,
+        total
+    );
+}
+
+#[test]
+fn sser_first_violation_is_no_later_than_batch_prefix_detection() {
+    // Time-to-first-violation monotonicity: feeding one transaction at a
+    // time, the streaming checker latches at the *shortest* prefix the batch
+    // checker would reject — never later.
+    let mut b = HistoryBuilder::new().with_init(2);
+    // A clean warm-up prefix ...
+    b.committed_timed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)], 10, 20);
+    b.committed_timed(1, vec![Op::read(0u64, 1u64), Op::write(0u64, 2u64)], 30, 40);
+    b.committed_timed(0, vec![Op::read(1u64, 0u64), Op::write(1u64, 3u64)], 50, 60);
+    // ... then a stale read after commit (reads x = 1 long after x = 2
+    // committed and every earlier writer finished) ...
+    b.committed_timed(2, vec![Op::read(0u64, 1u64)], 70, 80);
+    // ... and a clean tail that must never be needed.
+    b.committed_timed(1, vec![Op::read(1u64, 3u64), Op::write(1u64, 4u64)], 90, 95);
+    b.committed_timed(2, vec![Op::read(0u64, 2u64)], 100, 110);
+    let history = b.build();
+
+    // Smallest violating prefix according to the batch checker.
+    let user: Vec<_> = history
+        .txns()
+        .iter()
+        .filter(|t| Some(t.id) != history.init_txn())
+        .collect();
+    let mut batch_first = None;
+    for j in 1..=user.len() {
+        let mut pb = HistoryBuilder::new().with_init(2);
+        for t in &user[..j] {
+            pb.push_timed(
+                t.session.0,
+                t.ops.clone(),
+                t.status,
+                t.begin.unwrap(),
+                t.end.unwrap(),
+            );
+        }
+        if check_sser(&pb.build()).unwrap().is_violated() {
+            batch_first = Some(j);
+            break;
+        }
+    }
+    let batch_first = batch_first.expect("the crafted history must violate SSER");
+    assert_eq!(batch_first, 4, "the stale read is the fourth transaction");
+
+    // The streaming checker must latch at exactly that prefix.
+    let mut checker = IncrementalSserChecker::new().with_init_keys(0..2u64);
+    let mut streaming_first = None;
+    for (i, t) in user.iter().enumerate() {
+        let status = checker.push((*t).clone()).unwrap();
+        if status == StreamStatus::Violated && streaming_first.is_none() {
+            streaming_first = Some(i + 1);
+        }
+    }
+    let streaming_first = streaming_first.expect("streaming must latch");
+    assert!(
+        streaming_first <= batch_first,
+        "streaming latched at prefix {streaming_first}, batch already rejects at {batch_first}"
+    );
+    assert_eq!(streaming_first, batch_first);
+    // The j-th user transaction carries id j (⊥T is id 0).
+    assert_eq!(
+        checker.first_violation_at().map(|t| t.index()),
+        Some(batch_first)
+    );
+}
+
+#[test]
+fn sser_runner_checkers_are_wired() {
+    let spec = mt_spec(3, 16);
+    let workload = generate_mt_workload(&spec);
+    let db = Database::new(DbConfig::correct(
+        IsolationMode::Serializable,
+        spec.num_keys,
+    ));
+    let (history, _) = mtc::dbsim::execute_workload(&db, &workload, &ClientOptions::default());
+    for checker in [Checker::MtcSserIncremental, Checker::MtcSserSharded] {
+        let out = verify(checker, &history);
+        assert!(!out.violated, "{}: {}", checker.label(), out.detail);
+    }
+    // And with an injected skew the runner's streaming SSER mode reports
+    // time-to-first-violation while stopping early.
+    let config = DbConfig::correct(IsolationMode::Serializable, spec.num_keys)
+        .with_latency(
+            std::time::Duration::from_micros(200),
+            std::time::Duration::from_micros(100),
+        )
+        .with_faults(
+            vec![FaultSpec::new(FaultKind::CommitTimestampSkew, 0.4)],
+            29,
+        );
+    let out = end_to_end_streaming(
+        &config,
+        &workload,
+        &ClientOptions::default(),
+        IsolationLevel::StrictSerializability,
+        true,
+    );
+    assert!(out.violated, "{}", out.detail);
+    assert!(out.time_to_first_violation.unwrap() <= out.wall_time);
 }
 
 #[test]
