@@ -1,51 +1,8 @@
-//! Shared helpers for the Criterion benches: fast, purely synthetic history
-//! generators (no simulator in the loop, so the benches time the checkers
-//! only).
+//! Shared helpers for the Criterion benches: re-exports of the fast, purely
+//! synthetic history generators (no simulator in the loop, so the benches
+//! time the checkers only). The definitions live in `mtc_bench::histories`
+//! so the CI perf-regression gate measures the exact same histories.
 
-use mtc_history::{History, HistoryBuilder, Op};
-
-/// Builds a valid (serializable and strictly serializable) mini-transaction
-/// history of `n` transactions over `keys` objects issued by `sessions`
-/// sessions: each transaction reads the current value of one key and writes
-/// the next value, with strictly increasing begin/end instants.
-#[allow(clippy::explicit_counter_loop)] // `value` is state, not a counter
-pub fn serial_mt_history(n: u64, keys: u64, sessions: u32) -> History {
-    let mut builder = HistoryBuilder::new().with_init(keys);
-    let mut last = vec![0u64; keys as usize];
-    let mut value = 1u64;
-    for i in 0..n {
-        let key = i % keys;
-        let session = (i % sessions as u64) as u32;
-        let ops = vec![Op::read(key, last[key as usize]), Op::write(key, value)];
-        builder.committed_timed(session, ops, 10 * i + 1, 10 * i + 5);
-        last[key as usize] = value;
-        value += 1;
-    }
-    builder.build()
-}
-
-/// Builds a valid history where pairs of transactions touch two keys each
-/// (the write-skew-shaped MT flavour), still serial.
-#[allow(dead_code)]
-pub fn two_key_mt_history(n: u64, keys: u64, sessions: u32) -> History {
-    let keys = keys.max(2);
-    let mut builder = HistoryBuilder::new().with_init(keys);
-    let mut last = vec![0u64; keys as usize];
-    let mut value = 1u64;
-    for i in 0..n {
-        let a = i % keys;
-        let b = (i + 1) % keys;
-        let session = (i % sessions as u64) as u32;
-        let ops = vec![
-            Op::read(a, last[a as usize]),
-            Op::read(b, last[b as usize]),
-            Op::write(a, value),
-            Op::write(b, value + 1),
-        ];
-        builder.committed_timed(session, ops, 10 * i + 1, 10 * i + 5);
-        last[a as usize] = value;
-        last[b as usize] = value + 1;
-        value += 2;
-    }
-    builder.build()
-}
+pub use mtc_bench::histories::serial_mt_history;
+#[allow(unused_imports)] // not every bench uses both flavours
+pub use mtc_bench::histories::two_key_mt_history;

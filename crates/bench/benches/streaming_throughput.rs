@@ -4,7 +4,8 @@
 //!
 //! The batch checkers see the whole history at once; the streaming checkers
 //! consume it transaction-by-transaction (the incremental one) or in batches
-//! fanned out across 4 key shards (the sharded one). On multi-core machines
+//! fanned out across the autotuned shard geometry (the sharded one — see
+//! `mtc_core::tune`). On multi-core machines
 //! the sharded variant should meet or beat the sequential incremental
 //! checker, while both stay within a small factor of the batch verifier —
 //! the price of an online answer. The SSER group additionally pits the
@@ -18,14 +19,16 @@ use common::{serial_mt_history, two_key_mt_history};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mtc_core::{
     check_ser, check_si, check_sser, check_sser_naive, check_streaming, check_streaming_sharded,
-    IsolationLevel,
+    tune, IsolationLevel,
 };
-
-const SHARDS: usize = 4;
-const BATCH: usize = 1024;
 
 fn bench_streaming_throughput(c: &mut Criterion) {
     let sizes = [1000u64, 8000];
+    // Shard geometry comes from the autotuner, so the bench measures what a
+    // caller on this machine would actually get.
+    let tuning = tune();
+    let (shards, batch) = (tuning.shards, tuning.batch);
+    eprintln!("streaming_throughput: autotuned geometry = {shards} shards, batch {batch}");
 
     let mut group = c.benchmark_group("streaming_throughput_ser");
     group.sample_size(10);
@@ -41,7 +44,7 @@ fn bench_streaming_throughput(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("sharded", n), &history, |b, h| {
             b.iter(|| {
-                check_streaming_sharded(IsolationLevel::Serializability, h, SHARDS, BATCH).unwrap()
+                check_streaming_sharded(IsolationLevel::Serializability, h, shards, batch).unwrap()
             })
         });
     }
@@ -61,7 +64,7 @@ fn bench_streaming_throughput(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("sharded", n), &history, |b, h| {
             b.iter(|| {
-                check_streaming_sharded(IsolationLevel::SnapshotIsolation, h, SHARDS, BATCH)
+                check_streaming_sharded(IsolationLevel::SnapshotIsolation, h, shards, batch)
                     .unwrap()
             })
         });
@@ -87,7 +90,7 @@ fn bench_streaming_throughput(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("sharded", n), &history, |b, h| {
             b.iter(|| {
-                check_streaming_sharded(IsolationLevel::StrictSerializability, h, SHARDS, BATCH)
+                check_streaming_sharded(IsolationLevel::StrictSerializability, h, shards, batch)
                     .unwrap()
             })
         });

@@ -1,0 +1,275 @@
+//! CI perf-regression gate for the streaming checkers.
+//!
+//! Times the batch, incremental and autotuned-sharded checkers at every
+//! isolation level over synthetic serial histories, writes the measurements
+//! as `BENCH_streaming.json` (uploaded as a CI artifact so every PR leaves a
+//! throughput trail), and — with `--check <baseline.json>` — fails when a
+//! streaming checker regressed more than 30% against the committed baseline.
+//!
+//! Raw throughput is machine-dependent, so the gate normalizes by machine
+//! speed before comparing: for each isolation level, the batch checker's
+//! current/baseline throughput ratio is the machine scale, and each
+//! streaming series must reach at least 70% of `baseline × scale`. That
+//! turns the gate into a test of *streaming overhead relative to batch
+//! checking* — exactly the quantity the merge-path work optimizes — and
+//! keeps it stable across CI runner generations. The sharded series are
+//! gated like-for-like: when this box's autotuned geometry differs from the
+//! baseline's recorded one, the gate re-measures the sharded checkers at
+//! the baseline geometry for the comparison (the autotuned numbers stay in
+//! the artifact as this machine's trail).
+//!
+//! ```text
+//! cargo run --release -p mtc-bench --bin streaming_bench_gate -- \
+//!     --out BENCH_streaming.json --check ci/BENCH_streaming_baseline.json
+//! ```
+//!
+//! Flags: `--txns N` sets the history size (default 4000), `--out PATH` the
+//! report path, `--check PATH` enables the regression comparison.
+
+use mtc_bench::histories::serial_mt_history;
+use mtc_core::{
+    check_ser, check_si, check_sser, check_streaming, check_streaming_sharded, tune,
+    IsolationLevel, Verdict,
+};
+use mtc_history::History;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Throughput must stay above this fraction of the machine-scaled baseline.
+const MIN_RELATIVE_THROUGHPUT: f64 = 0.70;
+
+/// Timing repetitions per series; the best run is reported (CI noise floor).
+const REPS: usize = 5;
+
+/// One measured checker configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Series {
+    /// `<level>/<flavour>`, e.g. `ser/sharded`.
+    name: String,
+    /// Best-of-[`REPS`] wall time for one pass, in milliseconds.
+    millis: f64,
+    /// Transactions per second at that wall time.
+    txns_per_sec: f64,
+}
+
+/// The `BENCH_streaming.json` document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct BenchReport {
+    /// Format version.
+    schema: u32,
+    /// Transactions per measured history (excluding `⊥T`).
+    txns: u64,
+    /// Autotuned shard count used by the sharded series.
+    shards: u64,
+    /// Autotuned hand-off batch size used by the sharded series.
+    batch: u64,
+    /// All measured series.
+    series: Vec<Series>,
+}
+
+impl BenchReport {
+    fn series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+}
+
+/// Best-of-[`REPS`] wall time of `run`, which must return a clean verdict.
+fn measure(label: &str, mut run: impl FnMut() -> Verdict) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let verdict = run();
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            verdict.is_satisfied(),
+            "{label}: the gate history is serial by construction"
+        );
+        best = best.min(elapsed);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let txns: u64 = flag("--txns")
+        .map(|v| v.parse().expect("--txns takes a number"))
+        .unwrap_or(4000);
+    let out = flag("--out").unwrap_or_else(|| "BENCH_streaming.json".to_string());
+    let baseline_path = flag("--check");
+
+    let tuning = tune();
+    let history = serial_mt_history(txns, 64, 8);
+    let per_level: [(&str, IsolationLevel); 3] = [
+        ("ser", IsolationLevel::Serializability),
+        ("si", IsolationLevel::SnapshotIsolation),
+        ("sser", IsolationLevel::StrictSerializability),
+    ];
+
+    let mut series = Vec::new();
+    for (tag, level) in per_level {
+        let batch_fn: fn(&History) -> Verdict = match level {
+            IsolationLevel::Serializability => |h| check_ser(h).unwrap(),
+            IsolationLevel::SnapshotIsolation => |h| check_si(h).unwrap(),
+            IsolationLevel::StrictSerializability => |h| check_sser(h).unwrap(),
+        };
+        for (flavour, millis) in [
+            (
+                "batch",
+                measure(&format!("{tag}/batch"), || batch_fn(&history)),
+            ),
+            (
+                "incremental",
+                measure(&format!("{tag}/incremental"), || {
+                    check_streaming(level, &history).unwrap()
+                }),
+            ),
+            (
+                "sharded",
+                measure(&format!("{tag}/sharded"), || {
+                    check_streaming_sharded(level, &history, tuning.shards, tuning.batch).unwrap()
+                }),
+            ),
+        ] {
+            let name = format!("{tag}/{flavour}");
+            let txns_per_sec = txns as f64 / (millis / 1e3);
+            println!("{name:<18} {millis:>9.3} ms   {txns_per_sec:>12.0} txns/s");
+            series.push(Series {
+                name,
+                millis,
+                txns_per_sec,
+            });
+        }
+    }
+
+    let report = BenchReport {
+        schema: 1,
+        txns,
+        shards: tuning.shards as u64,
+        batch: tuning.batch as u64,
+        series,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!(
+        "wrote {out} (autotuned: {} shards, batch {})",
+        report.shards, report.batch
+    );
+
+    let Some(baseline_path) = baseline_path else {
+        return;
+    };
+    let baseline_text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let baseline: BenchReport =
+        serde_json::from_str(&baseline_text).expect("baseline parses as a BenchReport");
+
+    let mut failures = Vec::new();
+    // Machine scale: how much faster/slower this box runs the batch
+    // checkers than the baseline box did — the geometric mean over all
+    // three levels, so single-series noise cannot skew the expectation.
+    let mut log_scale_sum = 0.0f64;
+    let mut refs = 0usize;
+    for (tag, _) in per_level {
+        let reference = format!("{tag}/batch");
+        if let (Some(cur), Some(base)) = (report.series(&reference), baseline.series(&reference)) {
+            log_scale_sum += (cur.txns_per_sec / base.txns_per_sec).ln();
+            refs += 1;
+        } else {
+            failures.push(format!("missing reference series {reference}"));
+        }
+    }
+    let scale = if refs > 0 {
+        (log_scale_sum / refs as f64).exp()
+    } else {
+        1.0
+    };
+    println!("gate machine scale vs baseline: {scale:.3}");
+    // The sharded series are only comparable like-for-like: the baseline's
+    // sharded numbers were measured at the geometry recorded in its JSON.
+    // When this box's autotuned geometry differs (e.g. a multi-core CI
+    // runner vs a single-core baseline box), re-measure the sharded
+    // checkers at the *baseline's* geometry for gating — deterministic and
+    // like-for-like — while the autotuned series above remain the artifact
+    // trail of what a caller on this machine actually gets.
+    let same_geometry = report.shards == baseline.shards && report.batch == baseline.batch;
+    let gate_geom =
+        mtc_core::ShardTuning::clamped(baseline.shards as usize, baseline.batch as usize);
+    if !same_geometry {
+        println!(
+            "gate note: autotuned geometry ({}x{}) differs from the baseline's \
+             ({}x{}); gating sharded series re-measured at the baseline geometry",
+            report.shards, report.batch, baseline.shards, baseline.batch
+        );
+    }
+    let mut sharded_gate_tps: Vec<(String, f64)> = Vec::new();
+    for (tag, level) in per_level {
+        let name = format!("{tag}/sharded");
+        if same_geometry {
+            if let Some(s) = report.series(&name) {
+                sharded_gate_tps.push((name, s.txns_per_sec));
+            }
+            continue;
+        }
+        let millis = measure(&name, || {
+            check_streaming_sharded(level, &history, gate_geom.shards, gate_geom.batch).unwrap()
+        });
+        let tps = txns as f64 / (millis / 1e3);
+        println!(
+            "{name:<18} {millis:>9.3} ms   {tps:>12.0} txns/s   (baseline geometry {}x{})",
+            gate_geom.shards, gate_geom.batch
+        );
+        sharded_gate_tps.push((name, tps));
+    }
+    for (tag, _) in per_level {
+        for flavour in ["incremental", "sharded"] {
+            let name = format!("{tag}/{flavour}");
+            let cur_tps = if flavour == "sharded" {
+                sharded_gate_tps
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|&(_, tps)| tps)
+            } else {
+                report.series(&name).map(|s| s.txns_per_sec)
+            };
+            let (Some(cur_tps), Some(base)) = (cur_tps, baseline.series(&name)) else {
+                failures.push(format!("missing series {name}"));
+                continue;
+            };
+            let expected = base.txns_per_sec * scale;
+            let ratio = cur_tps / expected;
+            let verdict = if ratio >= MIN_RELATIVE_THROUGHPUT {
+                "ok"
+            } else {
+                failures.push(format!(
+                    "{name}: {cur_tps:.0} txns/s is {:.0}% of the machine-scaled baseline \
+                     ({expected:.0} txns/s expected)",
+                    ratio * 100.0,
+                ));
+                "REGRESSED"
+            };
+            println!(
+                "gate {name:<18} {:>6.1}% of scaled baseline   [{verdict}]",
+                ratio * 100.0
+            );
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "streaming throughput regression (> {:.0}% drop):",
+            (1.0 - MIN_RELATIVE_THROUGHPUT) * 100.0
+        );
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "gate passed: no streaming series regressed more than {:.0}%",
+        (1.0 - MIN_RELATIVE_THROUGHPUT) * 100.0
+    );
+}

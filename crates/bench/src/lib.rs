@@ -24,6 +24,8 @@
 use mtc_runner::Table;
 use std::path::PathBuf;
 
+pub mod histories;
+
 /// Where the figure binaries drop their CSV series.
 pub fn experiments_dir() -> PathBuf {
     PathBuf::from("target/experiments")

@@ -72,7 +72,9 @@ use mtc_history::{
     DependencyGraph, Edge, EdgeKind, IncrementalTopo, IntraAnomaly, IntraViolation, Key, Op,
     SessionId, TimeChain, TimeSlot, Transaction, TxnId, TxnStatus, Value, INIT_VALUE,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+pub mod tune;
 
 // ───────────────────────── events ───────────────────────────────────────────
 
@@ -593,6 +595,26 @@ enum NodeOwner {
     Time,
 }
 
+/// One queued insertion of the merge thread's batched path. The queue is
+/// flushed through [`IncrementalTopo::try_add_edges`] — one affected-region
+/// recomputation per flush instead of one per edge — and because the batched
+/// insertion is sequence-equivalent to per-edge insertion (same accepted
+/// set, same first offender, same canonical cycle certificate), deferring
+/// edges is unobservable in the verdicts.
+#[derive(Clone, Copy, Debug)]
+struct PendingInsert {
+    /// Node pair for the level's maintained order (`topo` for SER/SSER,
+    /// `composed` for SI). `None` for SI bookkeeping entries, which exist
+    /// only to commit their labelled edge to the graph in sequence order.
+    pair: Option<(usize, usize)>,
+    /// Labelled edge committed to the dependency graph once this entry (and
+    /// everything queued before it) is accepted. `None` for SSER time-chain
+    /// hook edges and SI composed pairs, which have no labelled counterpart.
+    edge: Option<Edge>,
+    /// Transaction a rejection of this insert is attributed to.
+    at: TxnId,
+}
+
 /// Shared core: labelled graph, topological order(s), verdict latch and
 /// session bookkeeping. Both checker flavours feed it the same event stream.
 #[derive(Clone, Debug)]
@@ -620,6 +642,13 @@ struct Engine {
     node_owner: Vec<NodeOwner>,
     /// Last transaction of each session, with its commit status.
     sessions: Vec<Option<(TxnId, bool)>>,
+    /// Merge-path queue of deferred insertions (empty on the sequential
+    /// per-edge path, which applies immediately).
+    pending: Vec<PendingInsert>,
+    /// Dedup membership of the queued-but-uncommitted labelled edges, so
+    /// add-if-absent semantics see the queue exactly as the sequential
+    /// checker sees its graph.
+    pending_set: HashSet<(TxnId, TxnId, EdgeKind)>,
     has_init: bool,
     txn_count: usize,
     committed_count: usize,
@@ -643,6 +672,8 @@ impl Engine {
             txn_node: Vec::new(),
             node_owner: Vec::new(),
             sessions: Vec::new(),
+            pending: Vec::new(),
+            pending_set: HashSet::new(),
             has_init: false,
             txn_count: 0,
             committed_count: 0,
@@ -967,15 +998,6 @@ impl Engine {
                 let suffixes: Vec<Edge> = self.rw_out[b].clone();
                 for rw in suffixes {
                     let c = rw.to.index();
-                    if c == a {
-                        self.latch_violation(
-                            Violation::Cycle {
-                                edges: vec![edge, rw],
-                            },
-                            at,
-                        );
-                        return;
-                    }
                     self.add_composed(at, a, c, (edge, Some(rw)));
                     if self.done() {
                         return;
@@ -988,15 +1010,6 @@ impl Engine {
                 let bases: Vec<Edge> = self.base_in[b].clone();
                 for base in bases {
                     let a = base.from.index();
-                    if a == c {
-                        self.latch_violation(
-                            Violation::Cycle {
-                                edges: vec![base, edge],
-                            },
-                            at,
-                        );
-                        return;
-                    }
                     self.add_composed(at, a, c, (base, Some(edge)));
                     if self.done() {
                         return;
@@ -1009,28 +1022,221 @@ impl Engine {
     }
 
     /// Inserts a composed edge (first provenance wins, like the batch
-    /// construction) and checks acyclicity of the composed graph.
+    /// construction) and checks acyclicity of the composed graph. A 2-cycle
+    /// `a → c → a` through an RW suffix surfaces as the self-pair `(a, a)`,
+    /// which the maintained order rejects as a one-node cycle labelled from
+    /// its own provenance — no special casing needed.
     fn add_composed(&mut self, at: TxnId, a: usize, c: usize, prov: (Edge, Option<Edge>)) {
-        use std::collections::hash_map::Entry;
-        match self.composed_prov.entry((a, c)) {
-            Entry::Occupied(_) => return,
-            Entry::Vacant(v) => {
-                v.insert(prov);
-            }
+        if !self.record_composed(a, c, prov) {
+            return;
         }
         if let Err(cycle) = self.composed.try_add_edge(a, c) {
-            let mut edges = Vec::new();
-            for i in 0..cycle.len() {
-                let u = cycle[i];
-                let v = cycle[(i + 1) % cycle.len()];
-                if let Some((base, rw)) = self.composed_prov.get(&(u, v)) {
-                    edges.push(*base);
-                    if let Some(rw) = rw {
-                        edges.push(*rw);
+            let edges = self.composed_cycle_edges(&cycle);
+            self.latch_violation(Violation::Cycle { edges }, at);
+        }
+    }
+
+    /// Records the provenance of a composed pair; false iff the pair is
+    /// already present (first provenance wins, like the batch construction).
+    fn record_composed(&mut self, a: usize, c: usize, prov: (Edge, Option<Edge>)) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.composed_prov.entry((a, c)) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(prov);
+                true
+            }
+        }
+    }
+
+    /// Expands a composed-graph node cycle into labelled edges via the
+    /// recorded provenance.
+    fn composed_cycle_edges(&self, cycle: &[usize]) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for i in 0..cycle.len() {
+            let u = cycle[i];
+            let v = cycle[(i + 1) % cycle.len()];
+            if let Some((base, rw)) = self.composed_prov.get(&(u, v)) {
+                edges.push(*base);
+                if let Some(rw) = rw {
+                    edges.push(*rw);
+                }
+            }
+        }
+        edges
+    }
+
+    // ── the deferred (merge-thread) path ────────────────────────────────
+
+    /// Merge-path variant of [`Engine::apply`]: dependency edges — and, in
+    /// SSER mode, the time-chain hook edges — are queued instead of inserted,
+    /// and the queue is drained through the batched
+    /// [`IncrementalTopo::try_add_edges`] at the next [`Engine::flush_deferred`].
+    /// Every non-edge event forces a flush first, so the observable sequence
+    /// of verdict-relevant effects is identical to the sequential per-edge
+    /// path by construction.
+    fn apply_deferred(&mut self, at: TxnId, event: Event) {
+        if self.done() {
+            return;
+        }
+        match event {
+            Event::Edge {
+                from,
+                to,
+                kind,
+                dedup,
+            } => {
+                if dedup
+                    && (self.graph.contains_edge(from, to, kind)
+                        || !self.pending_set.insert((from, to, kind)))
+                {
+                    return;
+                }
+                let edge = Edge { from, to, kind };
+                match self.level {
+                    IsolationLevel::Serializability => self.pending.push(PendingInsert {
+                        pair: Some((from.index(), to.index())),
+                        edge: Some(edge),
+                        at,
+                    }),
+                    IsolationLevel::StrictSerializability => self.pending.push(PendingInsert {
+                        pair: Some((self.txn_node[from.index()], self.txn_node[to.index()])),
+                        edge: Some(edge),
+                        at,
+                    }),
+                    IsolationLevel::SnapshotIsolation => {
+                        self.pending.push(PendingInsert {
+                            pair: None,
+                            edge: Some(edge),
+                            at,
+                        });
+                        self.compose_deferred(at, edge);
                     }
                 }
             }
-            self.latch_violation(Violation::Cycle { edges }, at);
+            Event::TimeBounds { begin, end } => self.defer_time_bounds(at, begin, end),
+            other => {
+                self.flush_deferred();
+                self.apply(at, other);
+            }
+        }
+    }
+
+    /// SI collection-time composition: mirrors [`Engine::apply_si_edge`],
+    /// but queues the composed pairs for the next flush instead of
+    /// inserting them into the maintained order.
+    fn compose_deferred(&mut self, at: TxnId, edge: Edge) {
+        match edge.kind {
+            EdgeKind::So | EdgeKind::Wr(_) | EdgeKind::Ww(_) => {
+                let (a, b) = (edge.from.index(), edge.to.index());
+                self.queue_composed(at, a, b, (edge, None));
+                let suffixes: Vec<Edge> = self.rw_out[b].clone();
+                for rw in suffixes {
+                    let c = rw.to.index();
+                    self.queue_composed(at, a, c, (edge, Some(rw)));
+                }
+                self.base_in[b].push(edge);
+            }
+            EdgeKind::Rw(_) => {
+                let (b, c) = (edge.from.index(), edge.to.index());
+                let bases: Vec<Edge> = self.base_in[b].clone();
+                for base in bases {
+                    let a = base.from.index();
+                    self.queue_composed(at, a, c, (base, Some(edge)));
+                }
+                self.rw_out[b].push(edge);
+            }
+            EdgeKind::Rt => {}
+        }
+    }
+
+    fn queue_composed(&mut self, at: TxnId, a: usize, c: usize, prov: (Edge, Option<Edge>)) {
+        if self.record_composed(a, c, prov) {
+            self.pending.push(PendingInsert {
+                pair: Some((a, c)),
+                edge: None,
+                at,
+            });
+        }
+    }
+
+    /// SSER merge path: the time-chain splice itself happens immediately
+    /// (chain edges can never be rejected, and their node ids must be
+    /// assigned in event order), while the begin/end *hook* edges join the
+    /// deferred queue like any dependency edge — so one flush inserts
+    /// dependency and time-chain constraints together.
+    fn defer_time_bounds(&mut self, at: TxnId, begin: Option<u64>, end: Option<u64>) {
+        let tnode = self.txn_node[at.index()];
+        if let Some(begin) = begin {
+            let slot = self.touch_instant(begin);
+            self.pending.push(PendingInsert {
+                pair: Some((slot.begin_node, tnode)),
+                edge: None,
+                at,
+            });
+        }
+        if let Some(end) = end {
+            let slot = self.touch_instant(end);
+            self.pending.push(PendingInsert {
+                pair: Some((tnode, slot.end_node)),
+                edge: None,
+                at,
+            });
+        }
+    }
+
+    /// Drains the deferred queue: inserts the queued node pairs with one
+    /// batched call, commits the accepted labelled edges to the dependency
+    /// graph in sequence order, and — when the batch closes a cycle —
+    /// latches exactly the violation the sequential path would latch, with
+    /// the same canonical certificate, attributed to the same transaction.
+    fn flush_deferred(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        if self.done() {
+            self.pending.clear();
+            self.pending_set.clear();
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        self.pending_set.clear();
+        let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(pending.len());
+        let mut entry_of_pair: Vec<usize> = Vec::with_capacity(pending.len());
+        for (i, p) in pending.iter().enumerate() {
+            if let Some(pair) = p.pair {
+                pairs.push(pair);
+                entry_of_pair.push(i);
+            }
+        }
+        let result = match self.level {
+            IsolationLevel::SnapshotIsolation => self.composed.try_add_edges(&pairs),
+            _ => self.topo.try_add_edges(&pairs),
+        };
+        match result {
+            Ok(()) => {
+                for p in &pending {
+                    if let Some(e) = p.edge {
+                        self.graph.add_edge(e.from, e.to, e.kind);
+                    }
+                }
+            }
+            Err((k, cycle)) => {
+                let offender = entry_of_pair[k];
+                for p in &pending[..=offender] {
+                    if let Some(e) = p.edge {
+                        self.graph.add_edge(e.from, e.to, e.kind);
+                    }
+                }
+                let edges = match self.level {
+                    IsolationLevel::Serializability => {
+                        self.graph.label_node_cycle(&cycle, |_| true)
+                    }
+                    IsolationLevel::StrictSerializability => self.sser_cycle_edges(&cycle),
+                    IsolationLevel::SnapshotIsolation => self.composed_cycle_edges(&cycle),
+                };
+                self.latch_violation(Violation::Cycle { edges }, pending[offender].at);
+            }
         }
     }
 }
@@ -1526,6 +1732,10 @@ struct BatchJob {
     has_init: bool,
     validate_mt: bool,
     prescan: bool,
+    /// True when an intra-shard dependency cycle implies a violation
+    /// (SER/SSER). SI violations live in the *composed* graph, so SI
+    /// workers pre-filter duplicates but never hint.
+    cycle_hints: bool,
 }
 
 enum ShardMsg {
@@ -1535,10 +1745,74 @@ enum ShardMsg {
 }
 
 enum ShardReply {
-    /// Per transaction of the batch, the shard's tagged events.
-    Events(Vec<Vec<TaggedEvent>>),
+    /// Per transaction of the batch, the shard's tagged events (duplicates
+    /// already filtered), plus the batch index of the first transaction
+    /// whose edges closed a cycle in the shard's *local* order, if any.
+    Events(Vec<Vec<TaggedEvent>>, Option<usize>),
     /// Settled pending reads, classified (reply to [`ShardMsg::Finish`]).
     Settled(Vec<IntraViolation>),
+}
+
+/// Per-worker pre-filter: a local Pearce–Kelly order over the shard's own
+/// edges plus a dedup set of the add-if-absent edges already forwarded.
+///
+/// * Duplicate `dedup` edges are dropped before the hand-off. Every RW edge
+///   of a key is derived by the single shard owning that key, so the local
+///   set sees exactly what the merge thread's graph would see — the merge
+///   outcome is unchanged, the channel traffic and merge work shrink.
+/// * An edge that closes a cycle in the local order certifies a violation
+///   no later than the transaction being derived (the local edge set is a
+///   subset of the global one). The worker reports the transaction's batch
+///   index as a *hint*; the merge thread flushes its deferred queue right
+///   after that transaction, latching the violation without collecting or
+///   merging the rest of the batch.
+#[derive(Debug, Default)]
+struct ShardPrefilter {
+    topo: IncrementalTopo,
+    node_of: HashMap<TxnId, usize>,
+    forwarded: HashSet<(TxnId, TxnId, EdgeKind)>,
+}
+
+impl ShardPrefilter {
+    /// Filters one transaction's events in place; true iff an edge closed a
+    /// cycle in the local order (only meaningful with `cycle_hints`).
+    fn filter(&mut self, events: &mut Vec<TaggedEvent>, cycle_hints: bool) -> bool {
+        let mut local_cycle = false;
+        events.retain(|e| {
+            let Event::Edge {
+                from,
+                to,
+                kind,
+                dedup,
+            } = e.event
+            else {
+                return true;
+            };
+            if dedup && !self.forwarded.insert((from, to, kind)) {
+                return false;
+            }
+            if cycle_hints {
+                let u = self.node(from);
+                let v = self.node(to);
+                if self.topo.try_add_edge(u, v).is_err() {
+                    local_cycle = true;
+                }
+            }
+            true
+        });
+        local_cycle
+    }
+
+    fn node(&mut self, txn: TxnId) -> usize {
+        match self.node_of.get(&txn) {
+            Some(&n) => n,
+            None => {
+                let n = self.topo.add_node();
+                self.node_of.insert(txn, n);
+                n
+            }
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -1548,20 +1822,16 @@ struct ShardWorker {
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
-impl Drop for ShardWorker {
-    fn drop(&mut self) {
-        self.tx.take(); // closing the channel makes the worker exit
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
-    }
-}
-
 #[derive(Debug)]
 enum ShardPool {
     /// Single shard: derive inline, no threads.
     Inline(Box<KeyState>),
-    Workers(Vec<ShardWorker>),
+    Workers {
+        workers: Vec<ShardWorker>,
+        /// One clone per live worker thread; lets the pool (and its tests)
+        /// observe that every thread has actually exited after a shutdown.
+        alive: std::sync::Arc<()>,
+    },
 }
 
 impl ShardPool {
@@ -1569,21 +1839,27 @@ impl ShardPool {
         if shards == 1 {
             return ShardPool::Inline(Box::default());
         }
+        let alive = std::sync::Arc::new(());
         let workers = (0..shards)
             .map(|s| {
                 let (tx, worker_rx) = std::sync::mpsc::channel::<ShardMsg>();
                 let (reply_tx, rx) = std::sync::mpsc::channel::<ShardReply>();
+                let token = alive.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("mtc-shard-{s}"))
                     .spawn(move || {
+                        let _token = token; // dropped when the thread exits
                         let mut state = KeyState::default();
+                        let mut prefilter = ShardPrefilter::default();
                         while let Ok(msg) = worker_rx.recv() {
                             match msg {
                                 ShardMsg::Batch(job) => {
+                                    let mut hint: Option<usize> = None;
                                     let events: Vec<Vec<TaggedEvent>> = job
                                         .works
                                         .iter()
-                                        .map(|w| {
+                                        .enumerate()
+                                        .map(|(i, w)| {
                                             let mut out = Vec::new();
                                             state.derive(
                                                 w,
@@ -1594,10 +1870,15 @@ impl ShardPool {
                                                 job.prescan,
                                                 &mut out,
                                             );
+                                            if prefilter.filter(&mut out, job.cycle_hints)
+                                                && hint.is_none()
+                                            {
+                                                hint = Some(i);
+                                            }
                                             out
                                         })
                                         .collect();
-                                    if reply_tx.send(ShardReply::Events(events)).is_err() {
+                                    if reply_tx.send(ShardReply::Events(events, hint)).is_err() {
                                         break;
                                     }
                                 }
@@ -1621,14 +1902,38 @@ impl ShardPool {
                 }
             })
             .collect();
-        ShardPool::Workers(workers)
+        ShardPool::Workers { workers, alive }
     }
 
     fn shard_count(&self) -> usize {
         match self {
             ShardPool::Inline(_) => 1,
-            ShardPool::Workers(ws) => ws.len(),
+            ShardPool::Workers { workers, .. } => workers.len(),
         }
+    }
+
+    /// Shuts the pool down deterministically: closes every job channel first
+    /// (so all workers see end-of-stream at once, even mid-batch), then
+    /// joins every thread. Idempotent; also run on drop, so a checker
+    /// abandoned mid-stream — e.g. `stop_on_violation` firing before
+    /// `finish()` — never leaks worker threads.
+    fn shutdown(&mut self) {
+        if let ShardPool::Workers { workers, .. } = self {
+            for w in workers.iter_mut() {
+                w.tx.take();
+            }
+            for w in workers.iter_mut() {
+                if let Some(h) = w.handle.take() {
+                    let _ = h.join();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -1647,6 +1952,13 @@ impl ShardedIncrementalChecker {
             engine: Engine::new(level, CheckOptions::default()),
             pool: ShardPool::new(shards),
         }
+    }
+
+    /// A sharded streaming checker with the shard count picked by the
+    /// autotuner for this machine ([`tune::tune`]); pair it with
+    /// [`tune::ShardTuning::batch`] when feeding batches.
+    pub fn new_tuned(level: IsolationLevel) -> Self {
+        ShardedIncrementalChecker::new(level, tune::tune().shards)
     }
 
     /// Overrides the tuning options (shared with the batch checkers).
@@ -1680,6 +1992,17 @@ impl ShardedIncrementalChecker {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.pool.shard_count()
+    }
+
+    /// Number of worker threads currently alive (0 for the single-shard
+    /// inline pool). Drops to 0 once the pool shuts down — on `finish()` or
+    /// drop — which the shutdown tests assert; also handy as a leak check
+    /// in long-running harnesses.
+    pub fn live_worker_threads(&self) -> usize {
+        match &self.pool {
+            ShardPool::Inline(_) => 0,
+            ShardPool::Workers { alive, .. } => std::sync::Arc::strong_count(alive) - 1,
+        }
     }
 
     /// Feeds one transaction (a batch of one).
@@ -1748,10 +2071,14 @@ impl ShardedIncrementalChecker {
         let div_pass = divergence_pass(self.engine.level, &self.engine.opts);
         let has_init = self.engine.has_init || batch[0].1;
         let (validate_mt, prescan) = (self.engine.opts.validate_mt, self.engine.opts.prescan_intra);
+        let cycle_hints = self.engine.level != IsolationLevel::SnapshotIsolation;
 
         // Fan the per-key derivation out across the shard pool. Each worker
         // walks the whole batch but only touches the keys it owns, so the
-        // shard states never alias.
+        // shard states never alias. Workers pre-filter duplicate edges and
+        // latch intra-shard cycles in their local orders, reporting the
+        // earliest affected transaction as a hint.
+        let mut hint: Option<usize> = None;
         let mut per_shard_events: Vec<Vec<Vec<TaggedEvent>>> = match &mut self.pool {
             ShardPool::Inline(state) => {
                 vec![works
@@ -1771,13 +2098,14 @@ impl ShardedIncrementalChecker {
                     })
                     .collect()]
             }
-            ShardPool::Workers(workers) => {
+            ShardPool::Workers { workers, .. } => {
                 let job = std::sync::Arc::new(BatchJob {
                     works,
                     divergence_pass: div_pass,
                     has_init,
                     validate_mt,
                     prescan,
+                    cycle_hints,
                 });
                 for w in workers.iter() {
                     w.tx.as_ref()
@@ -1788,15 +2116,25 @@ impl ShardedIncrementalChecker {
                 workers
                     .iter()
                     .map(|w| match w.rx.recv().expect("shard worker hung up") {
-                        ShardReply::Events(events) => events,
+                        ShardReply::Events(events, shard_hint) => {
+                            hint = match (hint, shard_hint) {
+                                (Some(a), Some(b)) => Some(a.min(b)),
+                                (a, b) => a.or(b),
+                            };
+                            events
+                        }
                         ShardReply::Settled(_) => unreachable!("finish reply out of order"),
                     })
                     .collect()
             }
         };
 
-        // Merge: per transaction, admit it sequentially, then apply the
-        // shard events in canonical (pass, key_rank, seq) order.
+        // Merge: per transaction, admit it sequentially, then queue the
+        // shard events in canonical (pass, key_rank, seq) order. Edges
+        // accumulate across transactions and hit the topological order in
+        // one batched insertion per flush. A worker hint forces the flush
+        // right after the hinted transaction — its local cycle guarantees
+        // the latch, so the rest of the batch is skipped.
         for (i, (txn, is_init)) in batch.iter().enumerate() {
             if self.engine.done() {
                 self.engine.txn_count += batch.len() - i;
@@ -1808,9 +2146,17 @@ impl ShardedIncrementalChecker {
             }
             events.sort_by_key(|e| (e.pass, e.key_rank, e.seq));
             for e in events {
-                self.engine.apply(txn.id, e.event);
+                self.engine.apply_deferred(txn.id, e.event);
+            }
+            if hint == Some(i) {
+                self.engine.flush_deferred();
+                debug_assert!(
+                    self.engine.done(),
+                    "a worker-local cycle must latch at the hinted transaction"
+                );
             }
         }
+        self.engine.flush_deferred();
     }
 
     fn status_result(&self) -> Result<StreamStatus, CheckError> {
@@ -1863,7 +2209,7 @@ impl ShardedIncrementalChecker {
                 let pending = state.drain_pending();
                 pending.iter().map(|p| state.classify_settled(p)).collect()
             }
-            ShardPool::Workers(workers) => {
+            ShardPool::Workers { workers, .. } => {
                 for w in workers.iter() {
                     w.tx.as_ref()
                         .expect("pool already shut down")
@@ -1874,7 +2220,7 @@ impl ShardedIncrementalChecker {
                     .iter()
                     .flat_map(|w| match w.rx.recv().expect("shard worker hung up") {
                         ShardReply::Settled(s) => s,
-                        ShardReply::Events(_) => unreachable!("batch reply out of order"),
+                        ShardReply::Events(..) => unreachable!("batch reply out of order"),
                     })
                     .collect()
             }
@@ -2368,6 +2714,61 @@ mod tests {
         // SER checkers never touch the chain.
         let ser = IncrementalChecker::new_ser().with_init_keys(0..1u64);
         assert_eq!(ser.time_instant_count(), 0);
+    }
+
+    /// The alive-token of the pool's worker threads, for shutdown tests.
+    fn pool_canary(checker: &ShardedIncrementalChecker) -> Option<std::sync::Arc<()>> {
+        match &checker.pool {
+            ShardPool::Inline(_) => None,
+            ShardPool::Workers { alive, .. } => Some(alive.clone()),
+        }
+    }
+
+    #[test]
+    fn dropping_a_sharded_checker_mid_stream_joins_its_workers() {
+        // Abandon the checker after a violation latched but before finish()
+        // — the stop_on_violation shape. Drop must join every worker thread.
+        let h = anomalies::lost_update();
+        let mut checker = ShardedIncrementalChecker::new(IsolationLevel::SnapshotIsolation, 3);
+        assert_eq!(checker.live_worker_threads(), 3);
+        let canary = pool_canary(&checker).expect("multi-shard pool must spawn workers");
+        let status = checker.push_history(&h, 2).unwrap();
+        assert_eq!(status, StreamStatus::Violated, "lost update must latch");
+        assert_eq!(
+            std::sync::Arc::strong_count(&canary),
+            1 + 3 + 1,
+            "pool + one token per live worker + test clone"
+        );
+        drop(checker);
+        assert_eq!(
+            std::sync::Arc::strong_count(&canary),
+            1,
+            "every worker thread must have exited and been joined"
+        );
+    }
+
+    #[test]
+    fn dropping_a_clean_sharded_checker_joins_its_workers() {
+        let mut b = HistoryBuilder::new().with_init(4);
+        b.committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)]);
+        let h = b.build();
+        let mut checker = ShardedIncrementalChecker::new(IsolationLevel::Serializability, 2);
+        let canary = pool_canary(&checker).expect("multi-shard pool must spawn workers");
+        let _ = checker.push_history(&h, 8);
+        drop(checker); // mid-stream: no finish(), workers idle in recv
+        assert_eq!(std::sync::Arc::strong_count(&canary), 1);
+    }
+
+    #[test]
+    fn finish_consumes_the_pool_and_joins_its_workers() {
+        let mut b = HistoryBuilder::new().with_init(2);
+        b.committed(0, vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)]);
+        let h = b.build();
+        let mut checker = ShardedIncrementalChecker::new(IsolationLevel::Serializability, 2);
+        let canary = pool_canary(&checker).expect("multi-shard pool must spawn workers");
+        let _ = checker.push_history(&h, 8);
+        assert!(checker.finish().unwrap().is_satisfied());
+        assert_eq!(std::sync::Arc::strong_count(&canary), 1);
     }
 
     #[test]

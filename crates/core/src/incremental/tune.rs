@@ -1,0 +1,176 @@
+//! Self-tuning shard geometry for the sharded streaming checker.
+//!
+//! The sharded checker has two knobs: the number of shard workers and the
+//! hand-off batch size. Both used to be hard-coded call-site constants; this
+//! module picks them from the machine instead:
+//!
+//! * **shards** — one worker per available core, minus one core reserved for
+//!   the merge thread (which runs the batched topological-order insertion),
+//!   clamped to `[1, MAX_SHARDS]`. On a single-core box this degenerates to
+//!   one shard, which the checker runs inline without spawning threads — the
+//!   measured-fastest configuration there.
+//! * **batch** — a short calibration burst: a small synthetic serial
+//!   history is pushed through the sharded checker once per candidate batch
+//!   size and the fastest candidate wins. Calibration runs once per process
+//!   (the result is cached) and is skipped entirely when only one shard is
+//!   available, where the batch size only sets hand-off granularity and the
+//!   default is used.
+//!
+//! [`tune`] is the cached entry point used by `mtc-dbsim`'s live verifier,
+//! the `mtc-runner` sharded checkers and the `streaming_throughput` bench;
+//! [`tune_for`] is the pure clamping core, kept separate so the policy is
+//! unit-testable without touching the host machine.
+
+use crate::check::IsolationLevel;
+use crate::incremental::ShardedIncrementalChecker;
+use std::sync::OnceLock;
+
+/// Upper bound on the worker count: beyond this, per-shard key states get so
+/// sparse that hand-off overhead dominates any derivation parallelism.
+pub const MAX_SHARDS: usize = 32;
+
+/// Upper bound on the hand-off batch size: larger batches only delay
+/// violation latching without measurable throughput gain.
+pub const MAX_BATCH: usize = 8192;
+
+/// Batch size used when calibration is skipped (single shard) or
+/// unavailable.
+pub const DEFAULT_BATCH: usize = 512;
+
+/// Candidate batch sizes tried by the calibration burst.
+const BATCH_CANDIDATES: [usize; 3] = [128, 512, 2048];
+
+/// A shard-count / batch-size pair for [`ShardedIncrementalChecker`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardTuning {
+    /// Number of shard workers (1 ⇒ inline, no threads spawned).
+    pub shards: usize,
+    /// Transactions per hand-off batch.
+    pub batch: usize,
+}
+
+impl ShardTuning {
+    /// Clamps arbitrary values into the supported geometry: at least one
+    /// shard (at most [`MAX_SHARDS`]), at least a batch of one (at most
+    /// [`MAX_BATCH`]).
+    pub fn clamped(shards: usize, batch: usize) -> Self {
+        ShardTuning {
+            shards: shards.clamp(1, MAX_SHARDS),
+            batch: batch.clamp(1, MAX_BATCH),
+        }
+    }
+}
+
+/// The pure tuning policy: shard count for a machine with `parallelism`
+/// hardware threads, reserving one for the merge thread, with the default
+/// batch size. `parallelism == 0` (unknown) is treated as a single core.
+pub fn tune_for(parallelism: usize) -> ShardTuning {
+    ShardTuning::clamped(parallelism.saturating_sub(1).max(1), DEFAULT_BATCH)
+}
+
+/// The tuned geometry for this machine: [`tune_for`] over
+/// `available_parallelism()`, with the batch size refined by a one-off
+/// calibration burst when more than one shard is available. Cached for the
+/// lifetime of the process.
+pub fn tune() -> ShardTuning {
+    static TUNED: OnceLock<ShardTuning> = OnceLock::new();
+    *TUNED.get_or_init(|| {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let base = tune_for(parallelism);
+        if base.shards <= 1 {
+            return base;
+        }
+        ShardTuning {
+            batch: calibrate_batch(base.shards),
+            ..base
+        }
+    })
+}
+
+/// Times one sharded pass over a small synthetic serial history per batch
+/// candidate and returns the fastest. The burst is ~1.5k transactions, so
+/// the whole calibration stays in the low milliseconds.
+fn calibrate_batch(shards: usize) -> usize {
+    let history = burst_history(1536, 64, 8);
+    let mut best = (DEFAULT_BATCH, std::time::Duration::MAX);
+    for candidate in BATCH_CANDIDATES {
+        let start = std::time::Instant::now();
+        let mut checker = ShardedIncrementalChecker::new(IsolationLevel::Serializability, shards);
+        let _ = checker.push_history(&history, candidate);
+        let ok = checker.finish().map(|v| v.is_satisfied()).unwrap_or(false);
+        let elapsed = start.elapsed();
+        debug_assert!(ok, "the calibration burst is serial by construction");
+        if elapsed < best.1 {
+            best = (candidate, elapsed);
+        }
+    }
+    best.0
+}
+
+/// The calibration workload: the same serial read-modify-write shape the
+/// benches and the CI gate measure (`mtc_history::synthetic`), untimed.
+fn burst_history(n: u64, keys: u64, sessions: u32) -> mtc_history::History {
+    mtc_history::synthetic::serial_rmw_history(n, keys, sessions, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_machines_run_inline() {
+        assert_eq!(tune_for(0).shards, 1, "unknown parallelism");
+        assert_eq!(tune_for(1).shards, 1, "one core");
+        // Two cores: one worker plus the merge thread.
+        assert_eq!(tune_for(2).shards, 1);
+        assert_eq!(tune_for(3).shards, 2);
+    }
+
+    #[test]
+    fn huge_core_counts_are_capped() {
+        assert_eq!(tune_for(4096).shards, MAX_SHARDS);
+        assert_eq!(tune_for(usize::MAX).shards, MAX_SHARDS);
+    }
+
+    #[test]
+    fn zero_sized_batches_are_clamped_to_one() {
+        let t = ShardTuning::clamped(4, 0);
+        assert_eq!(t.batch, 1);
+        assert_eq!(t.shards, 4);
+    }
+
+    #[test]
+    fn oversized_geometry_is_clamped() {
+        let t = ShardTuning::clamped(0, usize::MAX);
+        assert_eq!(t.shards, 1);
+        assert_eq!(t.batch, MAX_BATCH);
+    }
+
+    #[test]
+    fn tune_is_cached_and_valid() {
+        let a = tune();
+        let b = tune();
+        assert_eq!(a, b, "tune() must be stable within a process");
+        assert!(a.shards >= 1 && a.shards <= MAX_SHARDS);
+        assert!(a.batch >= 1 && a.batch <= MAX_BATCH);
+    }
+
+    #[test]
+    fn calibration_picks_a_candidate() {
+        let batch = calibrate_batch(2);
+        assert!(BATCH_CANDIDATES.contains(&batch));
+    }
+
+    #[test]
+    fn tuned_checker_agrees_with_sequential() {
+        let history = burst_history(300, 8, 4);
+        let sequential =
+            crate::incremental::check_streaming(IsolationLevel::Serializability, &history).unwrap();
+        let mut checker = ShardedIncrementalChecker::new_tuned(IsolationLevel::Serializability);
+        let t = tune();
+        let _ = checker.push_history(&history, t.batch);
+        assert_eq!(sequential, checker.finish().unwrap());
+    }
+}

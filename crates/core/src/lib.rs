@@ -44,6 +44,7 @@ pub use check::{
     check_sser_naive_with, check_sser_with, CheckOptions, IsolationLevel,
 };
 pub use divergence::{find_divergence, Divergence};
+pub use incremental::tune::{tune, tune_for, ShardTuning};
 pub use incremental::{
     check_streaming, check_streaming_sharded, check_streaming_with, IncrementalChecker,
     IncrementalSserChecker, ShardedIncrementalChecker, StreamStatus,

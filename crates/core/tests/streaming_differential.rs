@@ -13,7 +13,8 @@
 
 use mtc_core::{
     check_ser, check_si, check_sser, check_sser_naive, check_streaming, check_streaming_sharded,
-    IncrementalChecker, IncrementalSserChecker, IsolationLevel, StreamStatus,
+    tune, IncrementalChecker, IncrementalSserChecker, IsolationLevel, ShardedIncrementalChecker,
+    StreamStatus,
 };
 use mtc_history::{History, HistoryBuilder, Op, Transaction, TxnId, Value};
 use proptest::prelude::*;
@@ -277,6 +278,68 @@ proptest! {
             let sharded = check_streaming_sharded(level, &corrupted, shards, batch).unwrap();
             prop_assert_eq!(&streaming, &sharded, "sequential and sharded diverge at {}", level);
         }
+    }
+
+    /// The batched merge path accumulates a whole hand-off batch of edges
+    /// before they reach the topological order. Batches far larger than the
+    /// history (one flush for everything) and the autotuned geometry must
+    /// still produce verdicts identical to the sequential checker — at every
+    /// isolation level (untimed SSER degrades to SER, exercising the
+    /// augmented order's deferred path too).
+    #[test]
+    fn large_batches_and_tuned_geometry_match_sequential(
+        shapes in prop::collection::vec((shape_strategy(), 0u64..4, 0u64..4), 8..32),
+        pick in 0usize..32,
+        stale in 0u64..3,
+    ) {
+        let valid = serial_history(&shapes, 4, 3);
+        let corrupted = corrupt(&valid, pick, stale);
+        for level in [
+            IsolationLevel::Serializability,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::StrictSerializability,
+        ] {
+            let sequential = check_streaming(level, &corrupted).unwrap();
+            for (shards, batch) in [(2usize, 1024usize), (4, 4096), (3, 64)] {
+                let sharded =
+                    check_streaming_sharded(level, &corrupted, shards, batch).unwrap();
+                prop_assert_eq!(
+                    &sequential, &sharded,
+                    "{} mismatch with {} shards, batch {}", level, shards, batch
+                );
+            }
+            let tuning = tune();
+            let mut tuned = ShardedIncrementalChecker::new_tuned(level);
+            let _ = tuned.push_history(&corrupted, tuning.batch);
+            prop_assert_eq!(&sequential, &tuned.finish().unwrap(), "autotuned {}", level);
+        }
+    }
+
+    /// Intra-shard cycles: a single-key history funnels every dependency
+    /// edge into one shard, so the worker's local order latches first and
+    /// hints the merge thread. The verdict, its certificate and the latching
+    /// transaction must be exactly the sequential ones.
+    #[test]
+    fn single_key_cycles_latch_identically_under_worker_hints(
+        n in 4u64..24,
+        pick in 1usize..24,
+        shards in 2usize..5,
+    ) {
+        let mut b = HistoryBuilder::new().with_init(1);
+        let mut last = 0u64;
+        for i in 0..n {
+            // One stale read mid-chain corrupts the single-key RMW chain.
+            let read = if i as usize == pick % (n as usize) && i > 0 { 0 } else { last };
+            b.committed((i % 3) as u32, vec![Op::read(0u64, read), Op::write(0u64, i + 1)]);
+            last = i + 1;
+        }
+        let h = b.build();
+        let mut sequential = IncrementalChecker::new_ser();
+        let _ = sequential.push_history(&h);
+        let mut sharded = ShardedIncrementalChecker::new(IsolationLevel::Serializability, shards);
+        let _ = sharded.push_history(&h, 1024);
+        prop_assert_eq!(sequential.first_violation_at(), sharded.first_violation_at());
+        prop_assert_eq!(sequential.finish().unwrap(), sharded.finish().unwrap());
     }
 
     /// Early exit: when a violating prefix exists, the checker latches no

@@ -20,7 +20,10 @@
 use crate::client::ClientOptions;
 use crate::db::Database;
 use crate::txn::AbortReason;
-use mtc_core::{CheckError, IncrementalChecker, IsolationLevel, StreamStatus, Verdict, Violation};
+use mtc_core::{
+    CheckError, IncrementalChecker, IsolationLevel, ShardTuning, ShardedIncrementalChecker,
+    StreamStatus, Verdict, Violation,
+};
 use mtc_history::{
     History, HistoryBuilder, Op, SessionId, Transaction, TxnId, TxnStatus, ValueAllocator,
 };
@@ -29,6 +32,12 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+/// Upper bound on the live hand-off batch: the sharded backend buffers at
+/// most this many transactions before flushing to the worker pool, keeping
+/// the latch delay of `stop_on_violation` bounded even when the autotuner
+/// picks large throughput-oriented batches.
+pub const LIVE_BATCH_CAP: usize = 64;
+
 /// A thread-safe streaming verifier shared by the client sessions.
 pub struct LiveVerifier {
     inner: Mutex<LiveInner>,
@@ -36,8 +45,88 @@ pub struct LiveVerifier {
     violated: AtomicBool,
 }
 
+/// The verification backend of a live run: the sequential incremental
+/// checker, or — when the autotuner reports spare cores — the key-sharded
+/// checker behind a small hand-off buffer.
+enum LiveChecker {
+    Sequential(IncrementalChecker),
+    Sharded {
+        checker: ShardedIncrementalChecker,
+        buf: Vec<Transaction>,
+        batch: usize,
+    },
+}
+
+impl LiveChecker {
+    /// Feeds one transaction; the sharded backend may buffer it until a
+    /// batch is full.
+    fn push(&mut self, txn: Transaction) -> Result<StreamStatus, CheckError> {
+        match self {
+            LiveChecker::Sequential(c) => c.push(txn),
+            LiveChecker::Sharded {
+                checker,
+                buf,
+                batch,
+            } => {
+                buf.push(txn);
+                if buf.len() >= *batch {
+                    let full = std::mem::replace(buf, Vec::with_capacity(*batch));
+                    checker.push_batch(full)
+                } else if checker.is_violated() {
+                    Ok(StreamStatus::Violated)
+                } else {
+                    Ok(StreamStatus::ConsistentSoFar)
+                }
+            }
+        }
+    }
+
+    /// Flushes any buffered transactions into the checker.
+    fn flush(&mut self) {
+        if let LiveChecker::Sharded { checker, buf, .. } = self {
+            if !buf.is_empty() {
+                let _ = checker.push_batch(std::mem::take(buf));
+            }
+        }
+    }
+
+    fn violation(&self) -> Option<&Violation> {
+        match self {
+            LiveChecker::Sequential(c) => c.violation(),
+            LiveChecker::Sharded { checker, .. } => checker.violation(),
+        }
+    }
+
+    /// Index of the offending transaction (excluding `⊥T`), once latched.
+    fn first_violation_index(&self) -> Option<usize> {
+        match self {
+            LiveChecker::Sequential(c) => c.first_violation_at(),
+            LiveChecker::Sharded { checker, .. } => checker.first_violation_at(),
+        }
+        .map(|id| id.index())
+    }
+
+    /// Transactions consumed by the checker (excluding `⊥T`, excluding any
+    /// still-buffered ones).
+    fn consumed(&self) -> usize {
+        match self {
+            LiveChecker::Sequential(c) => c.txn_count(),
+            LiveChecker::Sharded { checker, .. } => checker.txn_count(),
+        }
+        .saturating_sub(1)
+    }
+
+    fn finish(mut self) -> Result<Verdict, CheckError> {
+        self.flush();
+        match self {
+            LiveChecker::Sequential(c) => c.finish(),
+            LiveChecker::Sharded { checker, .. } => checker.finish(),
+        }
+    }
+}
+
 struct LiveInner {
-    checker: IncrementalChecker,
+    checker: LiveChecker,
     first_violation: Option<LiveViolation>,
     /// Start of the run: set when [`execute_workload_live`] begins (or at
     /// construction, for hand-driven use), so `LiveViolation::elapsed` is
@@ -68,13 +157,55 @@ pub struct LiveOutcome {
 
 impl LiveVerifier {
     /// A live verifier for `level` over a database pre-initialized with
-    /// `num_keys` register keys. When `stop_on_violation` is set, sessions
-    /// executing through [`execute_workload_live`] stop issuing new
-    /// transactions once a violation is latched.
+    /// `num_keys` register keys, backed by the sequential incremental
+    /// checker. When `stop_on_violation` is set, sessions executing through
+    /// [`execute_workload_live`] stop issuing new transactions once a
+    /// violation is latched.
     pub fn new(level: IsolationLevel, num_keys: u64, stop_on_violation: bool) -> Self {
+        LiveVerifier::from_checker(
+            LiveChecker::Sequential(IncrementalChecker::new(level).with_init_keys(0..num_keys)),
+            stop_on_violation,
+        )
+    }
+
+    /// A live verifier with the shard geometry picked by the autotuner
+    /// ([`mtc_core::tune`]): on a single-core box this is exactly
+    /// [`LiveVerifier::new`]; with spare cores the per-key edge derivation
+    /// fans out across the sharded checker's worker pool.
+    pub fn new_tuned(level: IsolationLevel, num_keys: u64, stop_on_violation: bool) -> Self {
+        LiveVerifier::with_tuning(level, num_keys, stop_on_violation, mtc_core::tune())
+    }
+
+    /// A live verifier with an explicit shard geometry. `tuning.shards <= 1`
+    /// selects the sequential backend; otherwise transactions are buffered
+    /// (at most `tuning.batch`, capped at [`LIVE_BATCH_CAP`] to bound the
+    /// `stop_on_violation` latch delay) and fed to a
+    /// [`ShardedIncrementalChecker`] batch by batch. Verdicts are identical
+    /// to the sequential backend's in every case.
+    pub fn with_tuning(
+        level: IsolationLevel,
+        num_keys: u64,
+        stop_on_violation: bool,
+        tuning: ShardTuning,
+    ) -> Self {
+        let checker = if tuning.shards <= 1 {
+            LiveChecker::Sequential(IncrementalChecker::new(level).with_init_keys(0..num_keys))
+        } else {
+            let batch = tuning.batch.clamp(1, LIVE_BATCH_CAP);
+            LiveChecker::Sharded {
+                checker: ShardedIncrementalChecker::new(level, tuning.shards)
+                    .with_init_keys(0..num_keys),
+                buf: Vec::with_capacity(batch),
+                batch,
+            }
+        };
+        LiveVerifier::from_checker(checker, stop_on_violation)
+    }
+
+    fn from_checker(checker: LiveChecker, stop_on_violation: bool) -> Self {
         LiveVerifier {
             inner: Mutex::new(LiveInner {
-                checker: IncrementalChecker::new(level).with_init_keys(0..num_keys),
+                checker,
                 first_violation: None,
                 started: Instant::now(),
             }),
@@ -150,31 +281,63 @@ impl LiveVerifier {
             txn.end = Some(end);
         }
         let result = inner.checker.push(txn);
-        if matches!(result, Ok(StreamStatus::Violated)) && inner.first_violation.is_none() {
-            inner.first_violation = Some(LiveViolation {
-                at_txn: inner.checker.txn_count().saturating_sub(1),
-                elapsed: inner.started.elapsed(),
-            });
-            self.violated.store(true, Ordering::Relaxed);
-        }
         if result.is_err() {
             // Domain errors latch inside the checker; surfaced by finish().
             self.violated.store(true, Ordering::Relaxed);
         }
+        self.note_latch(&mut inner);
     }
 
-    /// A snapshot of the currently latched violation, if any.
+    /// Records latch metadata (the `violated` flag feeding `should_stop`,
+    /// plus the first-violation snapshot) whenever the backing checker has a
+    /// violation. Called after every push *and* after every internal flush —
+    /// a violating transaction may only latch when the sharded backend's
+    /// buffer drains, whichever code path drains it.
+    fn note_latch(&self, inner: &mut LiveInner) {
+        if inner.checker.violation().is_some() {
+            if inner.first_violation.is_none() {
+                inner.first_violation = Some(LiveViolation {
+                    at_txn: inner
+                        .checker
+                        .first_violation_index()
+                        .unwrap_or_else(|| inner.checker.consumed()),
+                    elapsed: inner.started.elapsed(),
+                });
+            }
+            self.violated.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// A snapshot of the currently latched violation, if any. Flushes the
+    /// sharded backend's hand-off buffer first, so the answer reflects
+    /// everything recorded so far (and latches `stop_on_violation` if the
+    /// flush surfaced a violation).
     pub fn violation(&self) -> Option<Violation> {
-        self.inner.lock().checker.violation().cloned()
+        let mut inner = self.inner.lock();
+        inner.checker.flush();
+        self.note_latch(&mut inner);
+        inner.checker.violation().cloned()
     }
 
     /// Ends the stream and returns the final outcome.
     pub fn finish(self) -> LiveOutcome {
-        let inner = self.inner.into_inner();
-        let checked = inner.checker.txn_count().saturating_sub(1);
+        let mut inner = self.inner.into_inner();
+        inner.checker.flush();
+        let checked = inner.checker.consumed();
+        let first_violation = inner.first_violation.or_else(|| {
+            // A violation that only surfaced on the final flush of the
+            // sharded backend still gets its latch metadata.
+            inner
+                .checker
+                .first_violation_index()
+                .map(|at_txn| LiveViolation {
+                    at_txn,
+                    elapsed: inner.started.elapsed(),
+                })
+        });
         LiveOutcome {
             verdict: inner.checker.finish(),
-            first_violation: inner.first_violation,
+            first_violation,
             checked_txns: checked,
         }
     }
@@ -418,6 +581,60 @@ mod tests {
         );
         let first = outcome.first_violation.expect("must latch mid-run");
         assert!(first.at_txn <= outcome.checked_txns);
+    }
+
+    #[test]
+    fn sharded_live_verifier_passes_clean_runs_and_catches_faults() {
+        use mtc_core::ShardTuning;
+        // Force the sharded backend regardless of this machine's core count.
+        let tuning = ShardTuning::clamped(3, 16);
+
+        let s = spec(3, 16, 50);
+        let workload = generate_mt_workload(&s);
+        let db = Database::new(DbConfig::correct(IsolationMode::Serializable, s.num_keys));
+        let verifier =
+            LiveVerifier::with_tuning(IsolationLevel::Serializability, s.num_keys, false, tuning);
+        let (history, _) =
+            execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+        let outcome = verifier.finish();
+        assert!(outcome.verdict.unwrap().is_satisfied());
+        assert!(outcome.first_violation.is_none());
+        assert_eq!(
+            outcome.checked_txns,
+            history.len() - 1,
+            "the final flush must consume the whole hand-off buffer"
+        );
+
+        let s = spec(7, 4, 150);
+        let workload = generate_mt_workload(&s);
+        let config = DbConfig::correct(IsolationMode::Snapshot, s.num_keys)
+            .with_latency(Duration::from_micros(200), Duration::from_micros(100))
+            .with_faults(vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.6)], 7);
+        let db = Database::new(config);
+        let verifier =
+            LiveVerifier::with_tuning(IsolationLevel::SnapshotIsolation, s.num_keys, true, tuning);
+        let (_, _) = execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+        let outcome = verifier.finish();
+        assert!(
+            outcome.verdict.unwrap().is_violated(),
+            "the injected lost update must be caught by the sharded backend"
+        );
+        let first = outcome.first_violation.expect("latch metadata must be set");
+        assert!(first.at_txn <= outcome.checked_txns);
+    }
+
+    #[test]
+    fn tuned_live_verifier_matches_this_machines_geometry() {
+        // Whatever the autotuner picks here, a clean run must verify clean.
+        let s = spec(11, 8, 40);
+        let workload = generate_mt_workload(&s);
+        let db = Database::new(DbConfig::correct(IsolationMode::Serializable, s.num_keys));
+        let verifier = LiveVerifier::new_tuned(IsolationLevel::Serializability, s.num_keys, false);
+        let (history, _) =
+            execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+        let outcome = verifier.finish();
+        assert!(outcome.verdict.unwrap().is_satisfied());
+        assert_eq!(outcome.checked_txns, history.len() - 1);
     }
 
     #[test]

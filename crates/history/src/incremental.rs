@@ -16,8 +16,26 @@
 //! order if necessary) or rejects it and returns a directed cycle as the
 //! counterexample — exactly the certificate the online checkers hand back to
 //! the user.
+//!
+//! ## Batched insertion
+//!
+//! The merge thread of `mtc-core`'s sharded checker receives edges in bursts
+//! (one batch of transactions per hand-off). [`IncrementalTopo::try_add_edges`]
+//! inserts such a burst with **one** affected-region recomputation instead of
+//! one per edge: edges that agree with the maintained order are accepted in
+//! `O(1)` each, the backward edges are resolved together by re-sorting the
+//! single rank window they span, and only when that window turns out to
+//! contain a cycle does the implementation fall back to edge-at-a-time replay
+//! — which makes the batched path report the **exact same** first offending
+//! edge and cycle certificate as sequential insertion would.
+//!
+//! To keep that equivalence independent of the internal rank state (which the
+//! batched path maintains differently from the per-edge path), cycle
+//! certificates are *canonical*: a breadth-first shortest path over the
+//! accepted edges in insertion order, which depends only on the sequence of
+//! accepted edges, never on the maintained ranks.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// An online topological order over a growable directed graph.
 ///
@@ -94,9 +112,13 @@ impl IncrementalTopo {
     /// adjusted if needed). Returns `Err(cycle)` when the edge would close a
     /// directed cycle; the cycle is reported as a node sequence
     /// `[to, …, from]` such that each consecutive pair is an existing edge
-    /// and `from → to` (the rejected edge) closes the walk. The structure is
-    /// left exactly as before the call, so the caller may keep feeding edges
-    /// after recording the violation.
+    /// and `from → to` (the rejected edge) closes the walk. The certificate
+    /// is canonical — the breadth-first shortest such path over the accepted
+    /// edges in insertion order — so it is identical no matter whether the
+    /// preceding edges arrived one at a time or through
+    /// [`IncrementalTopo::try_add_edges`]. The structure is left exactly as
+    /// before the call, so the caller may keep feeding edges after recording
+    /// the violation.
     pub fn try_add_edge(&mut self, from: usize, to: usize) -> Result<(), Vec<usize>> {
         assert!(
             from < self.node_count() && to < self.node_count(),
@@ -109,16 +131,13 @@ impl IncrementalTopo {
         let lb = self.rank[to];
         if lb > ub {
             // The edge already agrees with the maintained order.
-            self.fwd[from].push(to as u32);
-            self.back[to].push(from as u32);
-            self.edge_count += 1;
+            self.insert_edge_unchecked(from, to);
             return Ok(());
         }
 
         // Affected region: ranks in [lb, ub]. Forward DFS from `to`,
         // restricted to the region, looking for `from` (a cycle) and
         // collecting the nodes that must move after `from`.
-        let mut parent: HashMap<usize, usize> = HashMap::new();
         let mut fwd_set: Vec<usize> = Vec::new();
         let mut stack = vec![to];
         let mut seen_f: HashMap<usize, ()> = HashMap::new();
@@ -128,19 +147,10 @@ impl IncrementalTopo {
             for &v in &self.fwd[u] {
                 let v = v as usize;
                 if v == from {
-                    // Cycle: to → … → u → from, closed by from → to.
-                    let mut path = vec![from, u];
-                    let mut cur = u;
-                    while cur != to {
-                        cur = parent[&cur];
-                        path.push(cur);
-                    }
-                    path.reverse(); // [to, …, u, from]
-                    return Err(path);
+                    return Err(self.canonical_cycle(from, to));
                 }
                 if self.rank[v] <= ub && !seen_f.contains_key(&v) {
                     seen_f.insert(v, ());
-                    parent.insert(v, u);
                     stack.push(v);
                 }
             }
@@ -179,10 +189,165 @@ impl IncrementalTopo {
             self.node_at[slot as usize] = node as u32;
         }
 
+        self.insert_edge_unchecked(from, to);
+        Ok(())
+    }
+
+    /// Inserts a batch of edges with at most **one** affected-region
+    /// recomputation, with semantics identical to inserting them one at a
+    /// time via [`IncrementalTopo::try_add_edge`] in slice order:
+    ///
+    /// * `Ok(())` — every edge was accepted (the set of accepted edges, the
+    ///   adjacency insertion order and every future cycle certificate are
+    ///   exactly as in sequential insertion; only the internal rank
+    ///   assignment may settle differently, which is unobservable through
+    ///   certificates);
+    /// * `Err((index, cycle))` — `edges[index]` is the first edge of the
+    ///   slice that closes a directed cycle given its predecessors.
+    ///   `edges[..index]` remain inserted, `edges[index..]` are **not**
+    ///   inserted (the streaming checkers latch on the first violation and
+    ///   discard the rest of the batch). The cycle is the same canonical
+    ///   certificate sequential insertion would report.
+    ///
+    /// Edges that agree with the maintained order cost `O(1)` each; the
+    /// backward edges of the batch are resolved together by re-sorting the
+    /// single rank window they span. Only a batch that actually contains a
+    /// cycle pays for an edge-at-a-time replay.
+    pub fn try_add_edges(&mut self, edges: &[(usize, usize)]) -> Result<(), (usize, Vec<usize>)> {
+        for &(from, to) in edges {
+            assert!(
+                from < self.node_count() && to < self.node_count(),
+                "node out of bounds"
+            );
+        }
+        // Classify against the current ranks. Nothing is inserted yet, so
+        // the ranks — and therefore the classification — are stable across
+        // this scan. Forward edges cannot close a cycle (any return path
+        // over already-present edges would have to descend in rank).
+        let (mut lb, mut ub) = (u32::MAX, 0u32);
+        let mut backward = 0usize;
+        for &(from, to) in edges {
+            if from == to || self.rank[from] >= self.rank[to] {
+                backward += 1;
+                lb = lb.min(self.rank[to]);
+                ub = ub.max(self.rank[from]);
+            }
+        }
+        if backward == 0 {
+            for &(from, to) in edges {
+                self.insert_edge_unchecked(from, to);
+            }
+            return Ok(());
+        }
+
+        // One affected region for the whole batch: the rank window [lb, ub]
+        // spanned by the backward edges. Every cycle a batch edge could
+        // close, and every node whose rank must move, lies inside it
+        // (paths over order-respecting edges ascend in rank, so a walk
+        // leaving the window can never return). Re-sort the window's nodes
+        // against existing + batch constraints in one pass.
+        let size = (ub - lb + 1) as usize;
+        let region: Vec<u32> = self.node_at[lb as usize..=ub as usize].to_vec();
+        let idx_of = |rank: u32| (rank - lb) as usize;
+        let in_region = |rank: u32| rank >= lb && rank <= ub;
+        let mut indeg = vec![0u32; size];
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); size];
+        for (i, &u) in region.iter().enumerate() {
+            for &v in &self.fwd[u as usize] {
+                let vr = self.rank[v as usize];
+                if in_region(vr) {
+                    adj[i].push(idx_of(vr) as u32);
+                    indeg[idx_of(vr)] += 1;
+                }
+            }
+        }
+        for &(from, to) in edges {
+            let (fr, tr) = (self.rank[from], self.rank[to]);
+            if in_region(fr) && in_region(tr) {
+                adj[idx_of(fr)].push(idx_of(tr) as u32);
+                indeg[idx_of(tr)] += 1;
+            }
+        }
+        let mut queue: VecDeque<u32> = (0..size as u32)
+            .filter(|&i| indeg[i as usize] == 0)
+            .collect();
+        let mut order: Vec<u32> = Vec::with_capacity(size);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &adj[u as usize] {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        if order.len() < size {
+            // The batch closes a cycle somewhere in the window. Nothing has
+            // been inserted yet, so replay edge-at-a-time for the exact
+            // first offender and its canonical certificate.
+            for (i, &(from, to)) in edges.iter().enumerate() {
+                if let Err(cycle) = self.try_add_edge(from, to) {
+                    return Err((i, cycle));
+                }
+            }
+            unreachable!("region contained a cycle but sequential replay accepted every edge");
+        }
+        // Acyclic: commit. Reassign the window's rank slots in the computed
+        // order, then append the batch to the adjacency in original slice
+        // order (witness canonicality depends on insertion order).
+        for (pos, &lidx) in order.iter().enumerate() {
+            let node = region[lidx as usize];
+            let slot = lb + pos as u32;
+            self.rank[node as usize] = slot;
+            self.node_at[slot as usize] = node;
+        }
+        for &(from, to) in edges {
+            self.insert_edge_unchecked(from, to);
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn insert_edge_unchecked(&mut self, from: usize, to: usize) {
         self.fwd[from].push(to as u32);
         self.back[to].push(from as u32);
         self.edge_count += 1;
-        Ok(())
+    }
+
+    /// The canonical certificate for the rejected edge `from → to`: the
+    /// breadth-first shortest path `[to, …, from]` over the forward
+    /// adjacency, visiting neighbours in insertion order. Depends only on
+    /// the sequence of accepted edges — never on the maintained ranks — so
+    /// per-edge and batched insertion report identical cycles.
+    fn canonical_cycle(&self, from: usize, to: usize) -> Vec<usize> {
+        if from == to {
+            return vec![from];
+        }
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut queue = VecDeque::new();
+        parent.insert(to, to);
+        queue.push_back(to);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.fwd[u] {
+                let v = v as usize;
+                if parent.contains_key(&v) {
+                    continue;
+                }
+                parent.insert(v, u);
+                if v == from {
+                    let mut path = vec![from];
+                    let mut cur = from;
+                    while cur != to {
+                        cur = parent[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse(); // [to, …, from]
+                    return path;
+                }
+                queue.push_back(v);
+            }
+        }
+        unreachable!("cycle certificate requested for an edge that closes no cycle");
     }
 
     /// True iff `a` currently precedes `b` in the maintained order. For
@@ -283,6 +448,93 @@ mod tests {
         t.try_add_edge(0, 1).unwrap();
         assert_eq!(t.edge_count(), 2);
         check_order_invariant(&t);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut t = IncrementalTopo::with_nodes(3);
+        t.try_add_edges(&[]).unwrap();
+        assert_eq!(t.edge_count(), 0);
+    }
+
+    #[test]
+    fn forward_batch_is_accepted_without_reordering() {
+        let mut t = IncrementalTopo::with_nodes(5);
+        let before: Vec<usize> = (0..5).map(|n| t.rank_of(n)).collect();
+        t.try_add_edges(&[(0, 1), (1, 2), (0, 4), (2, 3)]).unwrap();
+        let after: Vec<usize> = (0..5).map(|n| t.rank_of(n)).collect();
+        assert_eq!(before, after, "agreeing edges must not move ranks");
+        assert_eq!(t.edge_count(), 4);
+        check_order_invariant(&t);
+    }
+
+    #[test]
+    fn backward_batch_reorders_in_one_pass() {
+        let mut t = IncrementalTopo::with_nodes(6);
+        // All edges contradict the initial id order.
+        t.try_add_edges(&[(5, 4), (4, 3), (3, 2), (2, 1), (1, 0)])
+            .unwrap();
+        check_order_invariant(&t);
+        assert!(t.precedes(5, 0));
+        assert_eq!(t.edge_count(), 5);
+    }
+
+    #[test]
+    fn mixed_batch_keeps_the_order_valid() {
+        let mut t = IncrementalTopo::with_nodes(6);
+        t.try_add_edges(&[(0, 3), (4, 1), (5, 2), (1, 3), (2, 4)])
+            .unwrap();
+        check_order_invariant(&t);
+        // 5 -> 2 -> 4 -> 1 -> 3 must all be ordered.
+        assert!(t.precedes(5, 2) && t.precedes(2, 4) && t.precedes(4, 1) && t.precedes(1, 3));
+    }
+
+    #[test]
+    fn batch_cycle_reports_first_offender_and_sequential_certificate() {
+        // Sequential reference.
+        let mut seq = IncrementalTopo::with_nodes(4);
+        seq.try_add_edge(0, 1).unwrap();
+        seq.try_add_edge(1, 2).unwrap();
+        let expected = seq.try_add_edge(2, 0).unwrap_err();
+
+        let mut bat = IncrementalTopo::with_nodes(4);
+        let (index, cycle) = bat
+            .try_add_edges(&[(0, 1), (1, 2), (2, 0), (2, 3)])
+            .unwrap_err();
+        assert_eq!(index, 2, "the closing edge is the first offender");
+        assert_eq!(cycle, expected, "certificates must be canonical");
+        // The prefix stays inserted; the suffix does not.
+        assert_eq!(bat.edge_count(), 2);
+        check_order_invariant(&bat);
+    }
+
+    #[test]
+    fn batch_self_loop_is_rejected_at_its_index() {
+        let mut t = IncrementalTopo::with_nodes(3);
+        let (index, cycle) = t.try_add_edges(&[(0, 1), (2, 2)]).unwrap_err();
+        assert_eq!((index, cycle), (1, vec![2]));
+        assert_eq!(t.edge_count(), 1);
+    }
+
+    #[test]
+    fn batch_duplicates_are_tolerated_like_sequential_insertion() {
+        let mut t = IncrementalTopo::with_nodes(2);
+        t.try_add_edges(&[(0, 1), (0, 1), (0, 1)]).unwrap();
+        assert_eq!(t.edge_count(), 3);
+        check_order_invariant(&t);
+    }
+
+    #[test]
+    fn batches_compose_across_calls() {
+        let mut t = IncrementalTopo::with_nodes(5);
+        t.try_add_edges(&[(3, 1), (1, 4)]).unwrap();
+        t.try_add_edges(&[(4, 0), (0, 2)]).unwrap();
+        check_order_invariant(&t);
+        // Closing the chain 3 -> 1 -> 4 -> 0 -> 2 back to 3 must fail with
+        // the full walk as the certificate.
+        let (index, cycle) = t.try_add_edges(&[(2, 3)]).unwrap_err();
+        assert_eq!(index, 0);
+        assert_eq!(cycle, vec![3, 1, 4, 0, 2]);
     }
 
     #[test]

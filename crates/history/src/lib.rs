@@ -32,6 +32,7 @@ pub mod intra;
 pub mod op;
 pub mod serde_io;
 pub mod session;
+pub mod synthetic;
 pub mod timechain;
 pub mod txn;
 pub mod value;

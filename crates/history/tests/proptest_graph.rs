@@ -1,12 +1,60 @@
 //! Property-based tests of the graph utilities and of the history builder —
 //! the data structures every checker in the workspace relies on.
 
-use mtc_history::{DiGraph, HistoryBuilder, Op, TxnStatus};
+use mtc_history::{DiGraph, HistoryBuilder, IncrementalTopo, Op, TxnStatus};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
 fn arb_edges(nodes: usize, max_edges: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
     prop::collection::vec((0..nodes, 0..nodes), 0..max_edges)
+}
+
+/// Feeds `edges` one at a time, collecting each edge's outcome. A rejected
+/// edge is skipped and insertion continues — the reference semantics the
+/// batched driver below must reproduce.
+fn sequential_outcomes(
+    topo: &mut IncrementalTopo,
+    edges: &[(usize, usize)],
+) -> Vec<Result<(), Vec<usize>>> {
+    edges
+        .iter()
+        .map(|&(a, b)| topo.try_add_edge(a, b))
+        .collect()
+}
+
+/// Feeds `edges` through `try_add_edges` in chunks of the given sizes
+/// (cycled); when a chunk is rejected at `index`, the offending edge is
+/// recorded and the remainder of the chunk is re-fed — mirroring how the
+/// streaming checkers skip a rejected edge and continue.
+fn batched_outcomes(
+    topo: &mut IncrementalTopo,
+    edges: &[(usize, usize)],
+    chunk_sizes: &[usize],
+) -> Vec<Result<(), Vec<usize>>> {
+    let mut outcomes: Vec<Result<(), Vec<usize>>> = Vec::with_capacity(edges.len());
+    let mut remaining = edges;
+    let mut chunk_idx = 0usize;
+    while !remaining.is_empty() {
+        let take = chunk_sizes[chunk_idx % chunk_sizes.len()].clamp(1, remaining.len());
+        chunk_idx += 1;
+        let (chunk, rest) = remaining.split_at(take);
+        let mut chunk = chunk;
+        loop {
+            match topo.try_add_edges(chunk) {
+                Ok(()) => {
+                    outcomes.extend(chunk.iter().map(|_| Ok(())));
+                    break;
+                }
+                Err((index, cycle)) => {
+                    outcomes.extend(chunk[..index].iter().map(|_| Ok(())));
+                    outcomes.push(Err(cycle));
+                    chunk = &chunk[index + 1..];
+                }
+            }
+        }
+        remaining = rest;
+    }
+    outcomes
 }
 
 proptest! {
@@ -44,6 +92,37 @@ proptest! {
             }
             (topo, cycle) => {
                 prop_assert!(false, "inconsistent answers: topo={topo:?} cycle={cycle:?}");
+            }
+        }
+    }
+
+    /// Batched insertion is indistinguishable from edge-at-a-time insertion:
+    /// same per-edge accept/reject outcomes, the exact same canonical cycle
+    /// certificates, and a maintained order that stays consistent with every
+    /// accepted edge — under arbitrary (shuffled) batch boundaries.
+    #[test]
+    fn batched_insertion_matches_sequential(
+        edges in arb_edges(20, 64),
+        chunk_sizes in prop::collection::vec(1usize..12, 1..6),
+    ) {
+        let mut seq = IncrementalTopo::with_nodes(20);
+        let mut bat = IncrementalTopo::with_nodes(20);
+        let seq_out = sequential_outcomes(&mut seq, &edges);
+        let bat_out = batched_outcomes(&mut bat, &edges, &chunk_sizes);
+        prop_assert_eq!(seq_out.len(), bat_out.len());
+        for (i, (s, b)) in seq_out.iter().zip(bat_out.iter()).enumerate() {
+            prop_assert_eq!(s, b, "outcome mismatch at edge {} of {:?}", i, edges);
+        }
+        prop_assert_eq!(seq.edge_count(), bat.edge_count());
+        // Both maintained orders must be valid for the accepted edge set.
+        for topo in [&seq, &bat] {
+            for (i, (&(a, b), out)) in edges.iter().zip(seq_out.iter()).enumerate() {
+                if out.is_ok() && a != b {
+                    prop_assert!(
+                        topo.rank_of(a) < topo.rank_of(b),
+                        "accepted edge {} ({}->{}) contradicts the maintained order", i, a, b
+                    );
+                }
             }
         }
     }

@@ -11,7 +11,7 @@ use mtc_baselines::cobra::{cobra_check_ser, BaselineOutcome};
 use mtc_baselines::elle::{ListHistory, ListOp, ListTxn};
 use mtc_baselines::polysi::polysi_check_si;
 use mtc_core::{
-    build_dependency, check_ser, check_si, check_sser, check_sser_naive, IncrementalChecker,
+    build_dependency, check_ser, check_si, check_sser, check_sser_naive, tune, IncrementalChecker,
     IsolationLevel, ShardedIncrementalChecker,
 };
 use mtc_dbsim::{
@@ -43,12 +43,13 @@ pub enum Checker {
     /// transaction-by-transaction).
     MtcSserIncremental,
     /// Streaming serializability verifier with key-sharded parallel edge
-    /// derivation (4 shards, batches of 256).
+    /// derivation; shard count and batch size come from the autotuner
+    /// (`mtc_core::tune`), so the geometry matches the machine running it.
     MtcSerSharded,
-    /// Streaming snapshot-isolation verifier, key-sharded.
+    /// Streaming snapshot-isolation verifier, key-sharded (autotuned).
     MtcSiSharded,
-    /// Streaming strict-serializability verifier, key-sharded (the
-    /// time-chain stays on the merge thread).
+    /// Streaming strict-serializability verifier, key-sharded and autotuned
+    /// (the time-chain stays on the merge thread).
     MtcSserSharded,
     /// Cobra-style serializability baseline (polygraph + constraint search).
     CobraSer,
@@ -110,6 +111,13 @@ fn baseline_memory(stats: &mtc_baselines::cobra::SolverStats) -> usize {
 
 /// Runs `checker` on `history`, timing it.
 pub fn verify(checker: Checker, history: &History) -> VerifyOutcome {
+    // Resolve the autotuned geometry before starting the clock: the first
+    // tune() call in a process runs a calibration burst, which must not
+    // pollute the first sharded measurement.
+    let tuning = match checker {
+        Checker::MtcSerSharded | Checker::MtcSiSharded | Checker::MtcSserSharded => Some(tune()),
+        _ => None,
+    };
     let start = Instant::now();
     let (violated, memory, detail) = match checker {
         Checker::MtcSerIncremental | Checker::MtcSiIncremental | Checker::MtcSserIncremental => {
@@ -126,8 +134,9 @@ pub fn verify(checker: Checker, history: &History) -> VerifyOutcome {
                 Checker::MtcSiSharded => IsolationLevel::SnapshotIsolation,
                 _ => IsolationLevel::StrictSerializability,
             };
-            let mut c = ShardedIncrementalChecker::new(level, 4);
-            let _ = c.push_history(history, 256);
+            let tuning = tuning.expect("geometry resolved before the timer");
+            let mut c = ShardedIncrementalChecker::new(level, tuning.shards);
+            let _ = c.push_history(history, tuning.batch);
             let edges = c.edge_count();
             let mem = history_memory_bytes(history) + edges * 24;
             match c.finish() {
@@ -302,7 +311,10 @@ pub struct StreamingEndToEnd {
 /// consumes transactions as they commit, concurrently with execution. With
 /// `stop_on_violation`, sessions cease issuing transactions once a violation
 /// is latched, so the run's cost is proportional to the time-to-first-
-/// violation rather than to the workload size.
+/// violation rather than to the workload size. The verifier backend is
+/// picked by the autotuner: sequential on a single core, key-sharded with
+/// a bounded hand-off buffer when spare cores exist (verdicts identical
+/// either way).
 pub fn end_to_end_streaming(
     config: &DbConfig,
     workload: &Workload,
@@ -311,7 +323,7 @@ pub fn end_to_end_streaming(
     stop_on_violation: bool,
 ) -> StreamingEndToEnd {
     let db = Database::new(config.clone());
-    let verifier = LiveVerifier::new(level, workload.num_keys, stop_on_violation);
+    let verifier = LiveVerifier::new_tuned(level, workload.num_keys, stop_on_violation);
     let (_history, report) = execute_workload_live(&db, workload, opts, &verifier);
     let outcome = verifier.finish();
     let (violated, detail) = match &outcome.verdict {
