@@ -28,8 +28,8 @@
 
 use mtc_bench::histories::serial_mt_history;
 use mtc_core::{
-    check_ser, check_si, check_sser, check_streaming, check_streaming_sharded, tune,
-    IsolationLevel, Verdict,
+    check_ser, check_si, check_sser, check_streaming, check_streaming_sharded, tune, GcPolicy,
+    IncrementalChecker, IsolationLevel, Verdict,
 };
 use mtc_history::History;
 use serde::{Deserialize, Serialize};
@@ -50,6 +50,14 @@ struct Series {
     millis: f64,
     /// Transactions per second at that wall time.
     txns_per_sec: f64,
+    /// Process peak resident set (`VmHWM`, kB) when the series finished —
+    /// monotone across the run, so deltas between consecutive series bound
+    /// each series' extra footprint. 0 when the platform has no `/proc`.
+    peak_rss_kb: u64,
+    /// Live graph nodes resident in the checker after the pass (only
+    /// meaningful for the `*-gc` series; 0 for batch checkers, history
+    /// size for unbounded streaming ones). Artifact-only, not gated.
+    retained_nodes: u64,
 }
 
 /// The `BENCH_streaming.json` document.
@@ -71,6 +79,20 @@ impl BenchReport {
     fn series(&self, name: &str) -> Option<&Series> {
         self.series.iter().find(|s| s.name == name)
     }
+}
+
+/// Process peak resident set in kB (`VmHWM` on Linux; 0 elsewhere).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")
+                    .and_then(|rest| rest.split_whitespace().next())
+                    .and_then(|n| n.parse().ok())
+            })
+        })
+        .unwrap_or(0)
 }
 
 /// Best-of-[`REPS`] wall time of `run`, which must return a clean verdict.
@@ -117,37 +139,56 @@ fn main() {
             IsolationLevel::SnapshotIsolation => |h| check_si(h).unwrap(),
             IsolationLevel::StrictSerializability => |h| check_sser(h).unwrap(),
         };
-        for (flavour, millis) in [
-            (
-                "batch",
-                measure(&format!("{tag}/batch"), || batch_fn(&history)),
-            ),
-            (
-                "incremental",
-                measure(&format!("{tag}/incremental"), || {
-                    check_streaming(level, &history).unwrap()
-                }),
-            ),
-            (
-                "sharded",
-                measure(&format!("{tag}/sharded"), || {
-                    check_streaming_sharded(level, &history, tuning.shards, tuning.batch).unwrap()
-                }),
-            ),
-        ] {
+        // Settled-prefix GC series: same stream, bounded resident state.
+        // The perf trail records its throughput, peak RSS and how many
+        // graph nodes stayed resident (the quantity the GC bounds).
+        // Settled-prefix GC series share the measurement loop; the retained
+        // node count is captured from the measured reps themselves (no
+        // extra pass), and the RSS high-water mark is sampled right after
+        // each series so consecutive deltas attribute footprint per series.
+        let gc_policy = GcPolicy {
+            window: 1024,
+            every: 256,
+        };
+        let gc_retained = std::cell::Cell::new(0u64);
+        let run_gc = || {
+            let mut c = IncrementalChecker::new(level).with_gc(gc_policy);
+            let _ = c.push_history(&history);
+            gc_retained.set(c.live_node_count() as u64);
+            c.finish().unwrap()
+        };
+        let mut record = |flavour: &str, millis: f64, retained: u64| {
             let name = format!("{tag}/{flavour}");
             let txns_per_sec = txns as f64 / (millis / 1e3);
-            println!("{name:<18} {millis:>9.3} ms   {txns_per_sec:>12.0} txns/s");
+            let peak_rss = peak_rss_kb();
+            println!(
+                "{name:<18} {millis:>9.3} ms   {txns_per_sec:>12.0} txns/s   \
+                 rss {peak_rss:>8} kB   retained {retained}"
+            );
             series.push(Series {
                 name,
                 millis,
                 txns_per_sec,
+                peak_rss_kb: peak_rss,
+                retained_nodes: retained,
             });
-        }
+        };
+        let millis = measure(&format!("{tag}/batch"), || batch_fn(&history));
+        record("batch", millis, 0);
+        let millis = measure(&format!("{tag}/incremental"), || {
+            check_streaming(level, &history).unwrap()
+        });
+        record("incremental", millis, 0);
+        let millis = measure(&format!("{tag}/incremental-gc"), run_gc);
+        record("incremental-gc", millis, gc_retained.get());
+        let millis = measure(&format!("{tag}/sharded"), || {
+            check_streaming_sharded(level, &history, tuning.shards, tuning.batch).unwrap()
+        });
+        record("sharded", millis, 0);
     }
 
     let report = BenchReport {
-        schema: 1,
+        schema: 2,
         txns,
         shards: tuning.shards as u64,
         batch: tuning.batch as u64,

@@ -48,7 +48,7 @@ impl std::fmt::Display for IsolationLevel {
 }
 
 /// Tuning knobs for the verifiers. The defaults match the paper's MTC tool.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CheckOptions {
     /// Validate the mini-transaction shape and unique values first
     /// (Definition 9). Disable only for inputs known to be valid.

@@ -69,10 +69,12 @@ use crate::divergence::Divergence;
 use crate::mini::{validate_transaction, MtViolation};
 use crate::verdict::{CheckError, Verdict, Violation};
 use mtc_history::{
-    DependencyGraph, Edge, EdgeKind, IncrementalTopo, IntraAnomaly, IntraViolation, Key, Op,
-    SessionId, TimeChain, TimeSlot, Transaction, TxnId, TxnStatus, Value, INIT_VALUE,
+    DependencyGraph, Edge, EdgeKind, FastHashMap, FastHashSet, IncrementalTopo, IntraAnomaly,
+    IntraViolation, Key, Op, SessionId, TimeChain, TimeSlot, Transaction, TxnId, TxnStatus, Value,
+    INIT_VALUE,
 };
-use std::collections::{HashMap, HashSet};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 pub mod tune;
 
@@ -131,7 +133,7 @@ struct TaggedEvent {
 /// Everything ever written as `(key, value)`, as far as the stream has been
 /// consumed. Mirrors the roles of `History::write_index` /
 /// `History::any_write_index` in batch mode.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 struct WriteReg {
     /// First committed transaction whose *last* write of the key installed
     /// the value (the version the WR relation points at).
@@ -145,10 +147,13 @@ struct WriteReg {
     /// First committed writer of the value, intermediate or not (duplicate
     /// detection, Definition 9).
     first_committed_any: Option<TxnId>,
+    /// Most recent transaction that registered or read this version —
+    /// the staleness clock of the settled-prefix GC.
+    last_touch: TxnId,
 }
 
 /// An external read whose provenance cannot be classified yet.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 struct PendingRead {
     txn: TxnId,
     op_index: usize,
@@ -163,17 +168,25 @@ struct PendingRead {
 
 /// The key-partitioned indexes of the streaming checker. A sharded checker
 /// owns one `KeyState` per shard; the sequential checker owns exactly one.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 struct KeyState {
     /// Provenance of every value seen so far, per key.
-    writes: HashMap<(Key, Value), WriteReg>,
+    writes: FastHashMap<(Key, Value), WriteReg>,
     /// Per `(writer, key)`: transactions that read this version, and those
     /// that read it and overwrote it (RW derivation, Algorithm 1).
-    readers_of: HashMap<(TxnId, Key), (Vec<TxnId>, Vec<TxnId>)>,
+    readers_of: FastHashMap<(TxnId, Key), (Vec<TxnId>, Vec<TxnId>)>,
     /// Per `(key, value)`: first committed reader-writer (DIVERGENCE scan).
-    first_reader_writer: HashMap<(Key, Value), TxnId>,
+    first_reader_writer: FastHashMap<(Key, Value), TxnId>,
     /// Reads waiting for their writer to appear in the stream.
-    pending: HashMap<(Key, Value), Vec<PendingRead>>,
+    pending: FastHashMap<(Key, Value), Vec<PendingRead>>,
+    /// Value installed by the *newest* committed last-write per key — the
+    /// version a well-behaved new reader is expected to observe. Stale
+    /// versions (anything else, once old enough) are GC candidates.
+    latest: FastHashMap<Key, Value>,
+    /// Value of the version `(writer, key)` points at in `readers_of` —
+    /// the reverse index the GC uses to retire `readers_of` entries
+    /// together with their version.
+    version_of: FastHashMap<(TxnId, Key), Value>,
 }
 
 /// The per-key slice of one transaction, precomputed once by the coordinator
@@ -292,6 +305,7 @@ impl KeyState {
         for work in txn.per_key.iter().filter(|w| owned(w.key)) {
             for &(value, is_last) in &work.writes {
                 let reg = self.writes.entry((work.key, value)).or_default();
+                reg.last_touch = reg.last_touch.max(txn.id);
                 if committed {
                     if validate_mt {
                         if let Some(first) = reg.first_committed_any {
@@ -318,7 +332,9 @@ impl KeyState {
                     if is_last {
                         if reg.committed_last.is_none() {
                             reg.committed_last = Some(txn.id);
+                            self.version_of.insert((txn.id, work.key), value);
                         }
+                        self.latest.insert(work.key, value);
                     } else if reg.committed_intermediate.is_none() {
                         reg.committed_intermediate = Some(txn.id);
                     }
@@ -419,6 +435,10 @@ impl KeyState {
             if value == INIT_VALUE && !has_init {
                 // Read of the implicit initial state: no dependency.
                 continue;
+            }
+            if let Some(reg) = self.writes.get_mut(&(work.key, value)) {
+                // Reads refresh the GC staleness clock of the version.
+                reg.last_touch = reg.last_touch.max(txn.id);
             }
             let reg = self
                 .writes
@@ -583,16 +603,187 @@ impl KeyState {
             value: p.value,
         }
     }
+
+    /// Settled-prefix sweep: drops per-key state that can no longer affect
+    /// any verdict under the GC's staleness window — versions that are not
+    /// the latest of their key, were last touched before `watermark`, and
+    /// have no pending read — together with their `readers_of` /
+    /// `first_reader_writer` satellites, and trims reader/overwriter lists
+    /// of live versions down to the window. Returns the set of transactions
+    /// the surviving state still references; those must stay resident.
+    fn sweep(&mut self, watermark: TxnId) -> HashSet<TxnId> {
+        let latest = &self.latest;
+        let pending = &self.pending;
+        let mut dropped: Vec<(TxnId, Key)> = Vec::new();
+        self.writes.retain(|&(key, value), reg| {
+            let is_latest = latest.get(&key) == Some(&value);
+            let ids = [
+                reg.committed_last,
+                reg.committed_intermediate,
+                reg.non_committed,
+                reg.first_committed_any,
+            ];
+            let old = reg.last_touch < watermark && ids.iter().flatten().all(|&t| t < watermark);
+            if is_latest || !old || pending.contains_key(&(key, value)) {
+                return true;
+            }
+            if let Some(w) = reg.committed_last {
+                dropped.push((w, key));
+            }
+            false
+        });
+        for wk in &dropped {
+            self.version_of.remove(wk);
+        }
+        let dropped: HashSet<(TxnId, Key)> = dropped.into_iter().collect();
+        self.readers_of.retain(|wk, _| !dropped.contains(wk));
+        for (readers, overwriters) in self.readers_of.values_mut() {
+            // Readers and overwriters below the window can no longer gain
+            // RW edges that matter (out-of-window interactions are outside
+            // the GC's contract); trimming them unpins their transactions.
+            readers.retain(|&r| r >= watermark);
+            overwriters.retain(|&o| o >= watermark);
+        }
+        let writes = &self.writes;
+        self.first_reader_writer
+            .retain(|kv, _| writes.contains_key(kv) || pending.contains_key(kv));
+
+        let mut refs: HashSet<TxnId> = HashSet::new();
+        for reg in self.writes.values() {
+            for id in [
+                reg.committed_last,
+                reg.committed_intermediate,
+                reg.non_committed,
+                reg.first_committed_any,
+            ]
+            .into_iter()
+            .flatten()
+            {
+                refs.insert(id);
+            }
+        }
+        for (&(w, _), (readers, overwriters)) in &self.readers_of {
+            refs.insert(w);
+            refs.extend(readers.iter().copied());
+            refs.extend(overwriters.iter().copied());
+        }
+        refs.extend(self.first_reader_writer.values().copied());
+        for waiters in self.pending.values() {
+            refs.extend(waiters.iter().map(|p| p.txn));
+        }
+        refs
+    }
+
+    /// Merges disjoint per-shard states back into one (resume path).
+    fn merge(states: Vec<KeyState>) -> KeyState {
+        let mut out = KeyState::default();
+        for s in states {
+            out.writes.extend(s.writes);
+            out.readers_of.extend(s.readers_of);
+            out.first_reader_writer.extend(s.first_reader_writer);
+            out.pending.extend(s.pending);
+            out.latest.extend(s.latest);
+            out.version_of.extend(s.version_of);
+        }
+        out
+    }
+
+    /// Splits a state into `shards` key-disjoint states along the same
+    /// `hash(key) mod shards` partition the workers use, so a snapshot can
+    /// resume under any shard geometry.
+    fn reshard(states: Vec<KeyState>, shards: usize) -> Vec<KeyState> {
+        let merged = KeyState::merge(states);
+        let mut out = vec![KeyState::default(); shards];
+        for ((key, value), reg) in merged.writes {
+            out[shard_of(key, shards)].writes.insert((key, value), reg);
+        }
+        for ((txn, key), lists) in merged.readers_of {
+            out[shard_of(key, shards)]
+                .readers_of
+                .insert((txn, key), lists);
+        }
+        for ((key, value), txn) in merged.first_reader_writer {
+            out[shard_of(key, shards)]
+                .first_reader_writer
+                .insert((key, value), txn);
+        }
+        for ((key, value), waiters) in merged.pending {
+            out[shard_of(key, shards)]
+                .pending
+                .insert((key, value), waiters);
+        }
+        for (key, value) in merged.latest {
+            out[shard_of(key, shards)].latest.insert(key, value);
+        }
+        for ((txn, key), value) in merged.version_of {
+            out[shard_of(key, shards)]
+                .version_of
+                .insert((txn, key), value);
+        }
+        out
+    }
 }
 
 // ───────────────────────── the engine ───────────────────────────────────────
 
 /// Owner of one node of the SER/SSER topological order: a transaction, or
 /// an auxiliary time node of the SSER time-chain.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 enum NodeOwner {
     Txn(TxnId),
     Time,
+}
+
+/// Settled-prefix garbage collection policy for the streaming checkers.
+///
+/// Every `every` consumed transactions, state older than the most recent
+/// `window` transactions is examined: transactions that nothing can touch
+/// any more — not the last of their session, not referenced by any live
+/// version, reader list or pending read, and (for SSER) not hooked into the
+/// retained part of the time-chain — are retired from every index, and
+/// their node ids are recycled. Steady-state memory is then proportional to
+/// the *active window*, not to the whole history.
+///
+/// The collector's contract is a **staleness window**: verdicts (including
+/// certificates and `first_violation_at`) are identical to the unbounded
+/// checker's as long as every transaction only interacts — by data (reading
+/// a version) or by time (real-time-ordered instants) — with transactions
+/// at most `window` positions older. A read of a version retired by the GC
+/// surfaces as the read of an unknown value (the conservative direction)
+/// instead of the unbounded run's classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcPolicy {
+    /// Keep at least the most recent `window` transactions resident.
+    pub window: usize,
+    /// Run a collection every `every` consumed transactions.
+    pub every: usize,
+}
+
+impl Default for GcPolicy {
+    fn default() -> Self {
+        GcPolicy {
+            window: 8192,
+            every: 2048,
+        }
+    }
+}
+
+impl GcPolicy {
+    /// A policy with both knobs clamped to at least 1.
+    pub fn clamped(window: usize, every: usize) -> Self {
+        GcPolicy {
+            window: window.max(1),
+            every: every.max(1),
+        }
+    }
+}
+
+/// Stream-order metadata of a resident transaction, kept for the GC's
+/// candidate enumeration (and the SSER chain cut computation).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+struct TxnMeta {
+    begin: Option<u64>,
+    end: Option<u64>,
 }
 
 /// One queued insertion of the merge thread's batched path. The queue is
@@ -617,7 +808,7 @@ struct PendingInsert {
 
 /// Shared core: labelled graph, topological order(s), verdict latch and
 /// session bookkeeping. Both checker flavours feed it the same event stream.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 struct Engine {
     level: IsolationLevel,
     opts: CheckOptions,
@@ -628,27 +819,39 @@ struct Engine {
     /// SI: maintained over the composed graph `(SO ∪ WR ∪ WW) ; RW?`.
     composed: IncrementalTopo,
     /// SI: provenance of each composed edge (base edge, optional RW suffix).
-    composed_prov: HashMap<(usize, usize), (Edge, Option<Edge>)>,
+    composed_prov: FastHashMap<(usize, usize), (Edge, Option<Edge>)>,
     /// SI: base edges indexed by target (for compositions with later RW).
-    base_in: Vec<Vec<Edge>>,
+    base_in: FastHashMap<TxnId, Vec<Edge>>,
     /// SI: RW edges indexed by source.
-    rw_out: Vec<Vec<Edge>>,
+    rw_out: FastHashMap<TxnId, Vec<Edge>>,
     /// SSER: the online time-chain over begin/commit instants.
     chain: TimeChain,
-    /// SSER: topological-order node of each transaction (identity for
-    /// SER/SI, where no time nodes interleave).
-    txn_node: Vec<usize>,
-    /// SSER: owner of each topological-order node, for cycle splicing.
+    /// Topological-order node of each resident transaction. An explicit map
+    /// (rather than the identity) because pruned node ids are recycled.
+    txn_node: FastHashMap<TxnId, usize>,
+    /// Composed-order node of each resident transaction (SI).
+    txn_cnode: FastHashMap<TxnId, usize>,
+    /// Owner of each topological-order node, for cycle splicing.
     node_owner: Vec<NodeOwner>,
     /// Last transaction of each session, with its commit status.
     sessions: Vec<Option<(TxnId, bool)>>,
+    /// Stream metadata of every resident (unpruned) transaction.
+    live_txns: BTreeMap<TxnId, TxnMeta>,
+    /// Settled-prefix GC policy; `None` disables collection.
+    gc: Option<GcPolicy>,
+    /// `txn_count` at the last collection.
+    last_gc: usize,
+    /// Transactions retired by the GC so far.
+    pruned_txns: usize,
     /// Merge-path queue of deferred insertions (empty on the sequential
     /// per-edge path, which applies immediately).
+    #[serde(skip)]
     pending: Vec<PendingInsert>,
     /// Dedup membership of the queued-but-uncommitted labelled edges, so
     /// add-if-absent semantics see the queue exactly as the sequential
     /// checker sees its graph.
-    pending_set: HashSet<(TxnId, TxnId, EdgeKind)>,
+    #[serde(skip)]
+    pending_set: FastHashSet<(TxnId, TxnId, EdgeKind)>,
     has_init: bool,
     txn_count: usize,
     committed_count: usize,
@@ -665,15 +868,20 @@ impl Engine {
             graph: DependencyGraph::new(0),
             topo: IncrementalTopo::new(),
             composed: IncrementalTopo::new(),
-            composed_prov: HashMap::new(),
-            base_in: Vec::new(),
-            rw_out: Vec::new(),
+            composed_prov: FastHashMap::default(),
+            base_in: FastHashMap::default(),
+            rw_out: FastHashMap::default(),
             chain: TimeChain::new(),
-            txn_node: Vec::new(),
+            txn_node: FastHashMap::default(),
+            txn_cnode: FastHashMap::default(),
             node_owner: Vec::new(),
             sessions: Vec::new(),
+            live_txns: BTreeMap::new(),
+            gc: None,
+            last_gc: 0,
+            pruned_txns: 0,
             pending: Vec::new(),
-            pending_set: HashSet::new(),
+            pending_set: FastHashSet::default(),
             has_init: false,
             txn_count: 0,
             committed_count: 0,
@@ -681,6 +889,32 @@ impl Engine {
             error: None,
             violated_at: None,
         }
+    }
+
+    /// Topological-order node of a resident transaction.
+    #[inline]
+    fn node_of(&self, txn: TxnId) -> usize {
+        *self
+            .txn_node
+            .get(&txn)
+            .expect("edge endpoint must be a resident transaction")
+    }
+
+    /// Composed-order node of a resident transaction (SI).
+    #[inline]
+    fn cnode_of(&self, txn: TxnId) -> usize {
+        *self
+            .txn_cnode
+            .get(&txn)
+            .expect("edge endpoint must be a resident transaction")
+    }
+
+    /// Records `owner` for a (possibly recycled) topological-order node.
+    fn set_owner(&mut self, node: usize, owner: NodeOwner) {
+        if self.node_owner.len() <= node {
+            self.node_owner.resize(node + 1, NodeOwner::Time);
+        }
+        self.node_owner[node] = owner;
     }
 
     fn done(&self) -> bool {
@@ -703,11 +937,17 @@ impl Engine {
         self.txn_count += 1;
         self.graph.add_node();
         let node = self.topo.add_node();
-        self.txn_node.push(node);
-        self.node_owner.push(NodeOwner::Txn(id));
-        self.composed.add_node();
-        self.base_in.push(Vec::new());
-        self.rw_out.push(Vec::new());
+        self.txn_node.insert(id, node);
+        self.set_owner(node, NodeOwner::Txn(id));
+        let cnode = self.composed.add_node();
+        self.txn_cnode.insert(id, cnode);
+        self.live_txns.insert(
+            id,
+            TxnMeta {
+                begin: txn.begin,
+                end: txn.end,
+            },
+        );
 
         let mut out = Vec::new();
         let mut seq = 0u32;
@@ -891,20 +1131,32 @@ impl Engine {
     }
 
     fn apply_ser_edge(&mut self, at: TxnId, edge: Edge) {
-        if let Err(cycle) = self.topo.try_add_edge(edge.from.index(), edge.to.index()) {
-            let edges = self.graph.label_node_cycle(&cycle, |_| true);
+        let (u, v) = (self.node_of(edge.from), self.node_of(edge.to));
+        if let Err(cycle) = self.topo.try_add_edge(u, v) {
+            let edges = self.ser_cycle_edges(&cycle);
             self.latch_violation(Violation::Cycle { edges }, at);
         }
+    }
+
+    /// Maps a cycle over topological-order nodes back to transaction
+    /// indices (SER: every node is a transaction) and labels it from the
+    /// dependency graph.
+    fn ser_cycle_edges(&self, cycle: &[usize]) -> Vec<Edge> {
+        let txn_cycle: Vec<usize> = cycle
+            .iter()
+            .map(|&n| match self.node_owner[n] {
+                NodeOwner::Txn(t) => t.index(),
+                NodeOwner::Time => unreachable!("SER order contains no time nodes"),
+            })
+            .collect();
+        self.graph.label_node_cycle(&txn_cycle, |_| true)
     }
 
     /// SSER: a dependency edge is inserted into the *augmented* order (time
     /// nodes included); a rejection means a dependency path contradicts the
     /// time-chain and is spliced back into a labelled counterexample.
     fn apply_sser_edge(&mut self, at: TxnId, edge: Edge) {
-        let (u, v) = (
-            self.txn_node[edge.from.index()],
-            self.txn_node[edge.to.index()],
-        );
+        let (u, v) = (self.node_of(edge.from), self.node_of(edge.to));
         if let Err(cycle) = self.topo.try_add_edge(u, v) {
             let edges = self.sser_cycle_edges(&cycle);
             self.latch_violation(Violation::Cycle { edges }, at);
@@ -918,7 +1170,7 @@ impl Engine {
     /// instants contradict edges already derived), which latches exactly
     /// like a dependency-edge rejection.
     fn apply_time_bounds(&mut self, at: TxnId, begin: Option<u64>, end: Option<u64>) {
-        let tnode = self.txn_node[at.index()];
+        let tnode = self.node_of(at);
         if let Some(begin) = begin {
             let slot = self.touch_instant(begin);
             if let Err(cycle) = self.topo.try_add_edge(slot.begin_node, tnode) {
@@ -937,12 +1189,12 @@ impl Engine {
     }
 
     /// Splices `instant` into the chain (if new) and keeps the node-owner
-    /// map aligned with the nodes the chain created.
+    /// map aligned with the nodes the chain created (which may recycle
+    /// previously pruned ids).
     fn touch_instant(&mut self, instant: u64) -> TimeSlot {
         let slot = self.chain.touch(instant, &mut self.topo);
-        while self.node_owner.len() < self.topo.node_count() {
-            self.node_owner.push(NodeOwner::Time);
-        }
+        self.set_owner(slot.begin_node, NodeOwner::Time);
+        self.set_owner(slot.end_node, NodeOwner::Time);
         slot
     }
 
@@ -990,32 +1242,32 @@ impl Engine {
     fn apply_si_edge(&mut self, at: TxnId, edge: Edge) {
         match edge.kind {
             EdgeKind::So | EdgeKind::Wr(_) | EdgeKind::Ww(_) => {
-                let (a, b) = (edge.from.index(), edge.to.index());
+                let (a, b) = (self.cnode_of(edge.from), self.cnode_of(edge.to));
                 self.add_composed(at, a, b, (edge, None));
                 if self.done() {
                     return;
                 }
-                let suffixes: Vec<Edge> = self.rw_out[b].clone();
+                let suffixes: Vec<Edge> = self.rw_out.get(&edge.to).cloned().unwrap_or_default();
                 for rw in suffixes {
-                    let c = rw.to.index();
+                    let c = self.cnode_of(rw.to);
                     self.add_composed(at, a, c, (edge, Some(rw)));
                     if self.done() {
                         return;
                     }
                 }
-                self.base_in[b].push(edge);
+                self.base_in.entry(edge.to).or_default().push(edge);
             }
             EdgeKind::Rw(_) => {
-                let (b, c) = (edge.from.index(), edge.to.index());
-                let bases: Vec<Edge> = self.base_in[b].clone();
+                let c = self.cnode_of(edge.to);
+                let bases: Vec<Edge> = self.base_in.get(&edge.from).cloned().unwrap_or_default();
                 for base in bases {
-                    let a = base.from.index();
+                    let a = self.cnode_of(base.from);
                     self.add_composed(at, a, c, (base, Some(edge)));
                     if self.done() {
                         return;
                     }
                 }
-                self.rw_out[b].push(edge);
+                self.rw_out.entry(edge.from).or_default().push(edge);
             }
             EdgeKind::Rt => {}
         }
@@ -1094,16 +1346,14 @@ impl Engine {
                 }
                 let edge = Edge { from, to, kind };
                 match self.level {
-                    IsolationLevel::Serializability => self.pending.push(PendingInsert {
-                        pair: Some((from.index(), to.index())),
-                        edge: Some(edge),
-                        at,
-                    }),
-                    IsolationLevel::StrictSerializability => self.pending.push(PendingInsert {
-                        pair: Some((self.txn_node[from.index()], self.txn_node[to.index()])),
-                        edge: Some(edge),
-                        at,
-                    }),
+                    IsolationLevel::Serializability | IsolationLevel::StrictSerializability => {
+                        let pair = (self.node_of(from), self.node_of(to));
+                        self.pending.push(PendingInsert {
+                            pair: Some(pair),
+                            edge: Some(edge),
+                            at,
+                        })
+                    }
                     IsolationLevel::SnapshotIsolation => {
                         self.pending.push(PendingInsert {
                             pair: None,
@@ -1128,23 +1378,23 @@ impl Engine {
     fn compose_deferred(&mut self, at: TxnId, edge: Edge) {
         match edge.kind {
             EdgeKind::So | EdgeKind::Wr(_) | EdgeKind::Ww(_) => {
-                let (a, b) = (edge.from.index(), edge.to.index());
+                let (a, b) = (self.cnode_of(edge.from), self.cnode_of(edge.to));
                 self.queue_composed(at, a, b, (edge, None));
-                let suffixes: Vec<Edge> = self.rw_out[b].clone();
+                let suffixes: Vec<Edge> = self.rw_out.get(&edge.to).cloned().unwrap_or_default();
                 for rw in suffixes {
-                    let c = rw.to.index();
+                    let c = self.cnode_of(rw.to);
                     self.queue_composed(at, a, c, (edge, Some(rw)));
                 }
-                self.base_in[b].push(edge);
+                self.base_in.entry(edge.to).or_default().push(edge);
             }
             EdgeKind::Rw(_) => {
-                let (b, c) = (edge.from.index(), edge.to.index());
-                let bases: Vec<Edge> = self.base_in[b].clone();
+                let c = self.cnode_of(edge.to);
+                let bases: Vec<Edge> = self.base_in.get(&edge.from).cloned().unwrap_or_default();
                 for base in bases {
-                    let a = base.from.index();
+                    let a = self.cnode_of(base.from);
                     self.queue_composed(at, a, c, (base, Some(edge)));
                 }
-                self.rw_out[b].push(edge);
+                self.rw_out.entry(edge.from).or_default().push(edge);
             }
             EdgeKind::Rt => {}
         }
@@ -1166,7 +1416,7 @@ impl Engine {
     /// deferred queue like any dependency edge — so one flush inserts
     /// dependency and time-chain constraints together.
     fn defer_time_bounds(&mut self, at: TxnId, begin: Option<u64>, end: Option<u64>) {
-        let tnode = self.txn_node[at.index()];
+        let tnode = self.node_of(at);
         if let Some(begin) = begin {
             let slot = self.touch_instant(begin);
             self.pending.push(PendingInsert {
@@ -1229,15 +1479,231 @@ impl Engine {
                     }
                 }
                 let edges = match self.level {
-                    IsolationLevel::Serializability => {
-                        self.graph.label_node_cycle(&cycle, |_| true)
-                    }
+                    IsolationLevel::Serializability => self.ser_cycle_edges(&cycle),
                     IsolationLevel::StrictSerializability => self.sser_cycle_edges(&cycle),
                     IsolationLevel::SnapshotIsolation => self.composed_cycle_edges(&cycle),
                 };
                 self.latch_violation(Violation::Cycle { edges }, pending[offender].at);
             }
         }
+    }
+
+    /// True iff a collection is due under the configured policy.
+    fn gc_due(&self) -> bool {
+        match self.gc {
+            Some(policy) => !self.done() && self.txn_count - self.last_gc >= policy.every,
+            None => false,
+        }
+    }
+
+    /// The transaction-id watermark of the next collection: everything at or
+    /// above it is inside the protected window.
+    fn gc_watermark(&self) -> TxnId {
+        let window = self.gc.map(|p| p.window).unwrap_or(usize::MAX);
+        TxnId(self.txn_count.saturating_sub(window) as u32)
+    }
+
+    /// Retires the settled prefix below `watermark`: every resident
+    /// transaction that is not referenced by the key-state (`refs`), is not
+    /// the last of its session, and whose node has no retained predecessor
+    /// — plus, in SSER mode, the time-chain prefix hooking only retired
+    /// transactions. The retained structure answers every future insertion
+    /// exactly as the unretired one would (see [`GcPolicy`] for the
+    /// staleness-window contract).
+    ///
+    /// Callers must have flushed the deferred queue first.
+    fn collect(&mut self, watermark: TxnId, refs: &HashSet<TxnId>) {
+        self.last_gc = self.txn_count;
+        if self.done() {
+            return;
+        }
+        debug_assert!(self.pending.is_empty(), "collect() with a deferred queue");
+
+        // ── candidate transactions ──
+        let keep_sessions: HashSet<TxnId> =
+            self.sessions.iter().flatten().map(|&(t, _)| t).collect();
+        let mut cand: HashSet<TxnId> = self
+            .live_txns
+            .range(..watermark)
+            .map(|(&t, _)| t)
+            .filter(|t| !(self.has_init && t.0 == 0)) // ⊥T anchors new sessions
+            .filter(|t| !refs.contains(t))
+            .filter(|t| !keep_sessions.contains(t))
+            .collect();
+
+        // ── candidate time-chain prefix (SSER) ──
+        // `cut`: the smallest instant any retained transaction (other than
+        // ⊥T) is hooked at; slots strictly below it hook candidates only.
+        // ⊥T's own slot is never pruned — it anchors the chain, and the
+        // deliberate cut edge out of it is deleted and replaced by a
+        // shortcut to the first retained slot.
+        let mut pruned_slots: Vec<(u64, TimeSlot)> = Vec::new();
+        let mut chain_low = 0u64;
+        if self.level == IsolationLevel::StrictSerializability && !self.chain.is_empty() {
+            let bot = self
+                .has_init
+                .then(|| self.live_txns.get(&TxnId(0)))
+                .flatten();
+            chain_low = bot
+                .map(|m| {
+                    m.begin
+                        .into_iter()
+                        .chain(m.end)
+                        .max()
+                        .map_or(0, |t| t.saturating_add(1))
+                })
+                .unwrap_or(0);
+            let cut = self
+                .live_txns
+                .iter()
+                .filter(|(t, _)| !(cand.contains(t) || self.has_init && t.0 == 0))
+                .filter_map(|(_, m)| m.begin.into_iter().chain(m.end).min())
+                .min()
+                .unwrap_or(u64::MAX);
+            if cut > chain_low {
+                pruned_slots = self.chain.slots_in(chain_low, cut);
+            }
+        }
+        // Deliberate cut sources: nodes that are provably unreachable from
+        // every transaction node, so their edges *into* the pruned set can
+        // be deleted without losing any constraint a future counterexample
+        // path could use. That is ⊥T itself — nothing ever points into it
+        // (its begin-time hook comes from the equally unreachable first
+        // chain slot) — and the end nodes of the permanently retained chain
+        // slots below the pruned range (⊥T's instants).
+        let mut cut_sources: HashSet<usize> = self
+            .chain
+            .slots_in(0, chain_low)
+            .iter()
+            .map(|&(_, s)| s.end_node)
+            .collect();
+        let bot_cnode = if self.has_init {
+            cut_sources.insert(self.node_of(TxnId(0)));
+            Some(self.cnode_of(TxnId(0)))
+        } else {
+            None
+        };
+
+        // ── closure: drop candidates that anything retained still points at ──
+        loop {
+            let mut nodes: HashSet<usize> = cand.iter().map(|&t| self.node_of(t)).collect();
+            for &(_, s) in &pruned_slots {
+                nodes.insert(s.begin_node);
+                nodes.insert(s.end_node);
+            }
+            let mut drop_txns: Vec<TxnId> = Vec::new();
+            let mut slot_break: Option<usize> = None;
+            for &t in &cand {
+                let n = self.node_of(t);
+                if self
+                    .topo
+                    .predecessors(n)
+                    .any(|p| !nodes.contains(&p) && !cut_sources.contains(&p))
+                {
+                    drop_txns.push(t);
+                }
+            }
+            for (i, &(_, s)) in pruned_slots.iter().enumerate() {
+                let bad = self
+                    .topo
+                    .predecessors(s.begin_node)
+                    .any(|p| !nodes.contains(&p) && !cut_sources.contains(&p))
+                    || self
+                        .topo
+                        .predecessors(s.end_node)
+                        .any(|p| !nodes.contains(&p) && !cut_sources.contains(&p));
+                if bad {
+                    slot_break = Some(i);
+                    break;
+                }
+            }
+            if self.level == IsolationLevel::SnapshotIsolation {
+                let cand_cnodes: HashSet<usize> = cand.iter().map(|&t| self.cnode_of(t)).collect();
+                for &t in &cand {
+                    let n = self.cnode_of(t);
+                    if self
+                        .composed
+                        .predecessors(n)
+                        .any(|p| !cand_cnodes.contains(&p) && Some(p) != bot_cnode)
+                    {
+                        drop_txns.push(t);
+                    }
+                }
+                // A retained composition index must never compose a new
+                // edge that touches a pruned endpoint. Only *active* owners
+                // can still compose: `base_in[b]` fires on a new RW edge
+                // out of `b`, which needs `b` in a live readers list
+                // (trimmed to ≥ watermark); `rw_out[b]` fires on a new base
+                // edge into `b`, which makes `b` a reader of a fresh
+                // resolution — a new transaction or one with a pending read
+                // (pinned via `refs`). Entries of settled owners are inert
+                // and must not disqualify their endpoints.
+                let active = |owner: &TxnId| *owner >= watermark || refs.contains(owner);
+                for (owner, edges) in &self.base_in {
+                    if active(owner) {
+                        drop_txns.extend(edges.iter().map(|e| e.from).filter(|t| cand.contains(t)));
+                    }
+                }
+                for (owner, edges) in &self.rw_out {
+                    if active(owner) {
+                        drop_txns.extend(edges.iter().map(|e| e.to).filter(|t| cand.contains(t)));
+                    }
+                }
+            }
+            if drop_txns.is_empty() && slot_break.is_none() {
+                break;
+            }
+            for t in drop_txns {
+                cand.remove(&t);
+            }
+            if let Some(i) = slot_break {
+                pruned_slots.truncate(i);
+            }
+        }
+        if cand.is_empty() && pruned_slots.is_empty() {
+            return;
+        }
+
+        // ── commit the collection ──
+        let mut nodes: HashSet<usize> = cand.iter().map(|&t| self.node_of(t)).collect();
+        for &(_, s) in &pruned_slots {
+            nodes.insert(s.begin_node);
+            nodes.insert(s.end_node);
+        }
+        if let Some(&(first_pruned, _)) = pruned_slots.first() {
+            let last_pruned = pruned_slots.last().expect("nonempty").0;
+            // Shortcut across the pruned chain gap before cutting into it.
+            let anchor = self.chain.pred(first_pruned);
+            let successor = self.chain.succ(last_pruned);
+            if let (Some((_, a)), Some((_, s))) = (anchor, successor) {
+                if !self.topo.has_edge(a.end_node, s.begin_node) {
+                    self.topo
+                        .try_add_edge(a.end_node, s.begin_node)
+                        .expect("chain shortcut follows the existing order");
+                }
+            }
+            self.chain.remove_range(first_pruned, last_pruned + 1);
+        }
+        for &src in &cut_sources {
+            self.topo.remove_edges_into(src, &nodes);
+        }
+        self.topo.prune(&nodes);
+        let cand_cnodes: HashSet<usize> = cand.iter().map(|&t| self.cnode_of(t)).collect();
+        if let Some(bc) = bot_cnode {
+            self.composed.remove_edges_into(bc, &cand_cnodes);
+        }
+        self.composed.prune(&cand_cnodes);
+        self.composed_prov
+            .retain(|&(a, c), _| !cand_cnodes.contains(&a) && !cand_cnodes.contains(&c));
+        self.graph.prune_nodes(|t| cand.contains(&t));
+        for t in &cand {
+            self.txn_node.remove(t);
+            self.txn_cnode.remove(t);
+            self.base_in.remove(t);
+            self.rw_out.remove(t);
+            self.live_txns.remove(t);
+        }
+        self.pruned_txns += cand.len();
     }
 }
 
@@ -1262,6 +1728,54 @@ pub enum StreamStatus {
     ConsistentSoFar,
     /// The prefix already violates the isolation level.
     Violated,
+}
+
+/// A complete, self-contained snapshot of a streaming checker: everything
+/// needed to resume verification exactly where it stopped — the engine
+/// (graphs, maintained orders, time-chain, verdict latch) plus the per-key
+/// provenance indexes.
+///
+/// Snapshots are geometry-independent: a snapshot taken from the sequential
+/// checker resumes into a sharded one and vice versa (the key state is
+/// re-partitioned along the same `hash(key) mod shards` split the workers
+/// use). They serialize through the workspace serde stack, so `mtc-store`
+/// can frame them into checkpoint files; a resumed checker finishes with a
+/// verdict — violation payload and `first_violation_at` included —
+/// bit-identical to the uninterrupted run's.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CheckerSnapshot {
+    /// Snapshot format version.
+    version: u32,
+    /// Shard count of the checkpointing checker (1 for the sequential one).
+    shards: usize,
+    engine: Engine,
+    /// One key state per shard of the checkpointing checker.
+    keys: Vec<KeyState>,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+impl CheckerSnapshot {
+    /// The isolation level the snapshotted checker enforces.
+    pub fn level(&self) -> IsolationLevel {
+        self.engine.level
+    }
+
+    /// Transactions consumed when the snapshot was taken (including `⊥T`).
+    pub fn txn_count(&self) -> usize {
+        self.engine.txn_count
+    }
+
+    /// Shard count of the checker that took the snapshot.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Snapshot format version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
 }
 
 /// An online SER/SI checker consuming committed transactions one at a time.
@@ -1318,6 +1832,67 @@ impl IncrementalChecker {
     pub fn with_options(mut self, opts: CheckOptions) -> Self {
         self.engine.opts = opts;
         self
+    }
+
+    /// Enables settled-prefix garbage collection (see [`GcPolicy`]): memory
+    /// stays proportional to the active window instead of the history.
+    pub fn with_gc(mut self, policy: GcPolicy) -> Self {
+        self.set_gc(policy);
+        self
+    }
+
+    /// Non-consuming form of [`IncrementalChecker::with_gc`].
+    pub fn set_gc(&mut self, policy: GcPolicy) {
+        self.engine.gc = Some(GcPolicy::clamped(policy.window, policy.every));
+    }
+
+    /// The garbage-collection policy in effect, if any.
+    pub fn gc_policy(&self) -> Option<GcPolicy> {
+        self.engine.gc
+    }
+
+    /// Number of transactions currently resident (not retired by the GC).
+    pub fn live_txn_count(&self) -> usize {
+        self.engine.live_txns.len()
+    }
+
+    /// Number of live nodes in the maintained order(s) — transactions plus,
+    /// in SSER mode, time-chain nodes. The quantity the GC bounds.
+    pub fn live_node_count(&self) -> usize {
+        self.engine
+            .topo
+            .live_node_count()
+            .max(self.engine.composed.live_node_count())
+    }
+
+    /// Transactions retired by the GC so far.
+    pub fn pruned_txn_count(&self) -> usize {
+        self.engine.pruned_txns
+    }
+
+    /// Captures a complete [`CheckerSnapshot`] of the current state.
+    pub fn checkpoint(&self) -> CheckerSnapshot {
+        CheckerSnapshot {
+            version: SNAPSHOT_VERSION,
+            shards: 1,
+            engine: self.engine.clone(),
+            keys: vec![self.keys.clone()],
+        }
+    }
+
+    /// Reconstructs a sequential checker from a snapshot (taken from a
+    /// sequential *or* sharded checker — shard key states are merged). The
+    /// resumed checker continues exactly where the snapshot stopped:
+    /// feeding it the remaining stream yields a verdict bit-identical to
+    /// the uninterrupted run's.
+    pub fn resume(snapshot: CheckerSnapshot) -> Self {
+        let CheckerSnapshot { engine, keys, .. } = snapshot;
+        let mut engine = engine;
+        engine.graph.rebuild_index();
+        IncrementalChecker {
+            engine,
+            keys: KeyState::merge(keys),
+        }
     }
 
     /// Seeds the stream with the initial transaction `⊥T` writing
@@ -1432,6 +2007,11 @@ impl IncrementalChecker {
         events.sort_by_key(|e| (e.pass, e.key_rank, e.seq));
         for e in events {
             self.engine.apply(txn.id, e.event);
+        }
+        if self.engine.gc_due() {
+            let watermark = self.engine.gc_watermark();
+            let refs = self.keys.sweep(watermark);
+            self.engine.collect(watermark, &refs);
         }
     }
 
@@ -1740,6 +2320,13 @@ struct BatchJob {
 
 enum ShardMsg {
     Batch(std::sync::Arc<BatchJob>),
+    /// Run the settled-prefix sweep at the given watermark and reply with
+    /// the transactions the shard still references.
+    Collect(TxnId),
+    /// Clone and return the shard's key state (checkpointing).
+    Snapshot,
+    /// Replace the shard's key state (resuming from a checkpoint).
+    Restore(Box<KeyState>),
     /// End of stream: drain and classify the shard's pending reads.
     Finish,
 }
@@ -1749,6 +2336,11 @@ enum ShardReply {
     /// already filtered), plus the batch index of the first transaction
     /// whose edges closed a cycle in the shard's *local* order, if any.
     Events(Vec<Vec<TaggedEvent>>, Option<usize>),
+    /// Transactions still referenced by the shard (reply to
+    /// [`ShardMsg::Collect`]).
+    Refs(HashSet<TxnId>),
+    /// The shard's key state (reply to [`ShardMsg::Snapshot`]).
+    State(Box<KeyState>),
     /// Settled pending reads, classified (reply to [`ShardMsg::Finish`]).
     Settled(Vec<IntraViolation>),
 }
@@ -1812,6 +2404,18 @@ impl ShardPrefilter {
                 n
             }
         }
+    }
+
+    /// Shrinks the pre-filter at a GC watermark. The local order is rebuilt
+    /// empty (it only powers early-latch *hints*, never verdicts) and the
+    /// dedup set keeps only pairs with a live endpoint — retired versions
+    /// can never re-derive their RW edges, and the merge thread re-checks
+    /// duplicates against its graph anyway.
+    fn trim(&mut self, watermark: TxnId) {
+        self.topo = IncrementalTopo::new();
+        self.node_of = HashMap::new();
+        self.forwarded
+            .retain(|&(from, to, _)| from >= watermark || to >= watermark);
     }
 }
 
@@ -1881,6 +2485,23 @@ impl ShardPool {
                                     if reply_tx.send(ShardReply::Events(events, hint)).is_err() {
                                         break;
                                     }
+                                }
+                                ShardMsg::Collect(watermark) => {
+                                    let refs = state.sweep(watermark);
+                                    prefilter.trim(watermark);
+                                    if reply_tx.send(ShardReply::Refs(refs)).is_err() {
+                                        break;
+                                    }
+                                }
+                                ShardMsg::Snapshot => {
+                                    let boxed = Box::new(state.clone());
+                                    if reply_tx.send(ShardReply::State(boxed)).is_err() {
+                                        break;
+                                    }
+                                }
+                                ShardMsg::Restore(new_state) => {
+                                    state = *new_state;
+                                    prefilter = ShardPrefilter::default();
                                 }
                                 ShardMsg::Finish => {
                                     let settled = state
@@ -1965,6 +2586,102 @@ impl ShardedIncrementalChecker {
     pub fn with_options(mut self, opts: CheckOptions) -> Self {
         self.engine.opts = opts;
         self
+    }
+
+    /// Enables settled-prefix garbage collection (see [`GcPolicy`]).
+    /// Collections run on the merge thread at batch boundaries; the shard
+    /// workers sweep their key states at the same watermark.
+    pub fn with_gc(mut self, policy: GcPolicy) -> Self {
+        self.set_gc(policy);
+        self
+    }
+
+    /// Non-consuming form of [`ShardedIncrementalChecker::with_gc`].
+    pub fn set_gc(&mut self, policy: GcPolicy) {
+        self.engine.gc = Some(GcPolicy::clamped(policy.window, policy.every));
+    }
+
+    /// The garbage-collection policy in effect, if any.
+    pub fn gc_policy(&self) -> Option<GcPolicy> {
+        self.engine.gc
+    }
+
+    /// Number of transactions currently resident (not retired by the GC).
+    pub fn live_txn_count(&self) -> usize {
+        self.engine.live_txns.len()
+    }
+
+    /// Number of live nodes in the maintained order(s) (see
+    /// [`IncrementalChecker::live_node_count`]).
+    pub fn live_node_count(&self) -> usize {
+        self.engine
+            .topo
+            .live_node_count()
+            .max(self.engine.composed.live_node_count())
+    }
+
+    /// Transactions retired by the GC so far.
+    pub fn pruned_txn_count(&self) -> usize {
+        self.engine.pruned_txns
+    }
+
+    /// Captures a complete [`CheckerSnapshot`]: the merge-side engine plus
+    /// every shard's key state (collected from the worker pool). The
+    /// deferred queue is empty at batch boundaries, so the snapshot is
+    /// exact.
+    pub fn checkpoint(&mut self) -> CheckerSnapshot {
+        let keys: Vec<KeyState> = match &mut self.pool {
+            ShardPool::Inline(state) => vec![(**state).clone()],
+            ShardPool::Workers { workers, .. } => {
+                for w in workers.iter() {
+                    w.tx.as_ref()
+                        .expect("pool already shut down")
+                        .send(ShardMsg::Snapshot)
+                        .expect("shard worker hung up");
+                }
+                workers
+                    .iter()
+                    .map(|w| match w.rx.recv().expect("shard worker hung up") {
+                        ShardReply::State(s) => *s,
+                        _ => unreachable!("snapshot reply out of order"),
+                    })
+                    .collect()
+            }
+        };
+        CheckerSnapshot {
+            version: SNAPSHOT_VERSION,
+            shards: keys.len(),
+            engine: self.engine.clone(),
+            keys,
+        }
+    }
+
+    /// Reconstructs a sharded checker over `shards` workers from a snapshot
+    /// (whatever geometry took it — key states are re-partitioned along the
+    /// worker split). Verdicts continue bit-identically to the
+    /// uninterrupted run.
+    pub fn resume(snapshot: CheckerSnapshot, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard is required");
+        let CheckerSnapshot { engine, keys, .. } = snapshot;
+        let mut engine = engine;
+        engine.graph.rebuild_index();
+        let states = KeyState::reshard(keys, shards);
+        let mut pool = ShardPool::new(shards);
+        match &mut pool {
+            ShardPool::Inline(slot) => {
+                let mut states = states;
+                **slot = states.pop().expect("one state per shard");
+            }
+            ShardPool::Workers { workers, .. } => {
+                for (w, state) in workers.iter().zip(states) {
+                    w.tx.as_ref()
+                        .expect("pool just built")
+                        .send(ShardMsg::Restore(Box::new(state)))
+                        .expect("shard worker hung up");
+                }
+            }
+        }
+        ShardedIncrementalChecker { engine, pool }
     }
 
     /// Seeds the stream with `⊥T` (see [`IncrementalChecker::with_init_keys`]).
@@ -2123,7 +2840,7 @@ impl ShardedIncrementalChecker {
                             };
                             events
                         }
-                        ShardReply::Settled(_) => unreachable!("finish reply out of order"),
+                        _ => unreachable!("batch reply out of order"),
                     })
                     .collect()
             }
@@ -2157,6 +2874,29 @@ impl ShardedIncrementalChecker {
             }
         }
         self.engine.flush_deferred();
+        if self.engine.gc_due() {
+            let watermark = self.engine.gc_watermark();
+            let refs: HashSet<TxnId> = match &mut self.pool {
+                ShardPool::Inline(state) => state.sweep(watermark),
+                ShardPool::Workers { workers, .. } => {
+                    for w in workers.iter() {
+                        w.tx.as_ref()
+                            .expect("pool already shut down")
+                            .send(ShardMsg::Collect(watermark))
+                            .expect("shard worker hung up");
+                    }
+                    let mut refs = HashSet::new();
+                    for w in workers.iter() {
+                        match w.rx.recv().expect("shard worker hung up") {
+                            ShardReply::Refs(r) => refs.extend(r),
+                            _ => unreachable!("collect reply out of order"),
+                        }
+                    }
+                    refs
+                }
+            };
+            self.engine.collect(watermark, &refs);
+        }
     }
 
     fn status_result(&self) -> Result<StreamStatus, CheckError> {
@@ -2220,7 +2960,7 @@ impl ShardedIncrementalChecker {
                     .iter()
                     .flat_map(|w| match w.rx.recv().expect("shard worker hung up") {
                         ShardReply::Settled(s) => s,
-                        ShardReply::Events(..) => unreachable!("batch reply out of order"),
+                        _ => unreachable!("finish reply out of order"),
                     })
                     .collect()
             }
@@ -2769,6 +3509,269 @@ mod tests {
         let _ = checker.push_history(&h, 8);
         assert!(checker.finish().unwrap().is_satisfied());
         assert_eq!(std::sync::Arc::strong_count(&canary), 1);
+    }
+
+    /// A serial multi-key MT history: session `i % 6`, key round-robin over
+    /// `keys - 2` keys. With `corrupt_at = Some(c)`, a write-skew gadget —
+    /// two overlapping transactions reading the (never overwritten, hence
+    /// GC-retained) initial versions of the two reserved keys and each
+    /// writing one — is planted at position `c`: an *in-window* violation
+    /// of SER/SSER (and none of SI), so the GC'd verdict must match the
+    /// unbounded one.
+    #[allow(clippy::explicit_counter_loop)] // `value` is state, not a counter
+    fn serial_history(n: u64, keys: u64, corrupt_at: Option<u64>) -> History {
+        assert!(keys >= 3);
+        let (ka, kb) = (keys - 2, keys - 1);
+        let mut b = HistoryBuilder::new().with_init(keys);
+        let mut last = vec![0u64; keys as usize];
+        let mut value = 1u64;
+        for i in 0..n {
+            if corrupt_at == Some(i) {
+                b.committed_timed(
+                    6,
+                    vec![
+                        Op::read(ka, 0u64),
+                        Op::read(kb, 0u64),
+                        Op::write(ka, 900_000_001u64),
+                    ],
+                    10 * i + 1,
+                    10 * i + 6,
+                );
+                b.committed_timed(
+                    7,
+                    vec![
+                        Op::read(ka, 0u64),
+                        Op::read(kb, 0u64),
+                        Op::write(kb, 900_000_002u64),
+                    ],
+                    10 * i + 2,
+                    10 * i + 7,
+                );
+            }
+            let k = (i * 5) % (keys - 2); // stride coprime to every tested key count
+            b.committed_timed(
+                (i % 6) as u32,
+                vec![Op::read(k, last[k as usize]), Op::write(k, value)],
+                10 * i + 1,
+                10 * i + 5,
+            );
+            last[k as usize] = value;
+            value += 1;
+        }
+        b.build()
+    }
+
+    /// Pushes `h`'s transactions `[0, cut)` into `checker` (excluding `⊥T`,
+    /// which must be seeded separately), returning the remaining tail.
+    fn push_prefix(checker: &mut IncrementalChecker, h: &History, cut: usize) -> Vec<Transaction> {
+        let mut fed = 0usize;
+        let mut tail = Vec::new();
+        for t in h.txns() {
+            if Some(t.id) == h.init_txn() {
+                continue;
+            }
+            if fed < cut {
+                let _ = checker.push(t.clone());
+                fed += 1;
+            } else {
+                tail.push(t.clone());
+            }
+        }
+        tail
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        for level in [
+            IsolationLevel::Serializability,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::StrictSerializability,
+        ] {
+            for corrupt in [None, Some(150u64)] {
+                let h = serial_history(200, 8, corrupt);
+                let clean = check_streaming(level, &h).unwrap();
+
+                let mut first = IncrementalChecker::new(level);
+                if let Some(init) = h.init_txn() {
+                    first.feed(h.txn(init).clone(), true);
+                }
+                let tail = push_prefix(&mut first, &h, 100);
+                let snapshot = first.checkpoint();
+                drop(first);
+                // Serialize through the workspace serde stack, like a
+                // checkpoint file would.
+                let json = serde_json::to_string(&snapshot).unwrap();
+                let snapshot: CheckerSnapshot = serde_json::from_str(&json).unwrap();
+                let mut resumed = IncrementalChecker::resume(snapshot);
+                for t in tail {
+                    let _ = resumed.push(t);
+                }
+                let resumed_first = resumed.first_violation_at();
+                let verdict = resumed.finish().unwrap();
+                assert_eq!(verdict, clean, "{level} corrupt={corrupt:?}");
+                if clean.is_violated() {
+                    assert!(resumed_first.is_some(), "{level}: must latch mid-stream");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_cross_between_sequential_and_sharded_checkers() {
+        let h = serial_history(300, 8, Some(250));
+        for level in [
+            IsolationLevel::Serializability,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::StrictSerializability,
+        ] {
+            let clean = check_streaming(level, &h).unwrap();
+
+            // Sharded checkpoint → sequential resume.
+            let mut sharded = ShardedIncrementalChecker::new(level, 3);
+            let txns: Vec<Transaction> = h
+                .txns()
+                .iter()
+                .filter(|t| Some(t.id) != h.init_txn())
+                .cloned()
+                .collect();
+            sharded.consume_batch(vec![(h.txn(TxnId(0)).clone(), true)]);
+            let (head, tail) = txns.split_at(140);
+            let _ = sharded.push_batch(head.to_vec());
+            let snapshot = sharded.checkpoint();
+            drop(sharded);
+            let mut seq = IncrementalChecker::resume(snapshot.clone());
+            for t in tail.iter().cloned() {
+                let _ = seq.push(t);
+            }
+            assert_eq!(seq.finish().unwrap(), clean, "{level} sharded→sequential");
+
+            // Same snapshot → sharded resume under a different geometry.
+            let mut resharded = ShardedIncrementalChecker::resume(snapshot, 5);
+            let _ = resharded.push_batch(tail.to_vec());
+            assert_eq!(
+                resharded.finish().unwrap(),
+                clean,
+                "{level} sharded→resharded"
+            );
+        }
+    }
+
+    #[test]
+    fn gc_bounds_resident_state_and_preserves_verdicts() {
+        let n = 6000u64;
+        for (level, corrupt) in [
+            (IsolationLevel::Serializability, None),
+            (IsolationLevel::Serializability, Some(5500u64)),
+            (IsolationLevel::SnapshotIsolation, None),
+            (IsolationLevel::StrictSerializability, None),
+            (IsolationLevel::StrictSerializability, Some(5500u64)),
+        ] {
+            let h = serial_history(n, 16, corrupt);
+            let clean = check_streaming(level, &h).unwrap();
+            let mut unbounded = IncrementalChecker::new(level);
+            let _ = unbounded.push_history(&h);
+            let unbounded_first = unbounded.first_violation_at();
+
+            let mut gc = IncrementalChecker::new(level).with_gc(GcPolicy {
+                window: 512,
+                every: 128,
+            });
+            let _ = gc.push_history(&h);
+            assert!(
+                gc.pruned_txn_count() > 0,
+                "{level}: the GC must actually retire transactions"
+            );
+            let cap = 3 * 512;
+            assert!(
+                gc.live_txn_count() <= cap,
+                "{level}: {} resident transactions exceed the cap {cap}",
+                gc.live_txn_count()
+            );
+            // SSER keeps up to five nodes per resident transaction: its own
+            // plus two chain nodes for each of its two instants.
+            assert!(
+                gc.live_node_count() <= 5 * gc.live_txn_count() + 16,
+                "{level}: {} live nodes for {} live transactions",
+                gc.live_node_count(),
+                gc.live_txn_count()
+            );
+            assert_eq!(gc.first_violation_at(), unbounded_first, "{level}");
+            assert_eq!(gc.finish().unwrap(), clean, "{level} corrupt={corrupt:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_gc_matches_sequential_gc_verdicts() {
+        let h = serial_history(3000, 8, Some(2800));
+        for level in [
+            IsolationLevel::Serializability,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::StrictSerializability,
+        ] {
+            let policy = GcPolicy {
+                window: 256,
+                every: 64,
+            };
+            let mut seq = IncrementalChecker::new(level).with_gc(policy);
+            let _ = seq.push_history(&h);
+            let mut sharded = ShardedIncrementalChecker::new(level, 3).with_gc(policy);
+            let _ = sharded.push_history(&h, 50);
+            assert!(sharded.pruned_txn_count() > 0);
+            assert!(sharded.live_txn_count() <= 3 * 256);
+            assert_eq!(
+                seq.first_violation_at(),
+                sharded.first_violation_at(),
+                "{level}"
+            );
+            assert_eq!(seq.finish().unwrap(), sharded.finish().unwrap(), "{level}");
+        }
+    }
+
+    #[test]
+    fn gc_keeps_session_frontier_and_init_resident() {
+        let h = serial_history(1000, 4, None);
+        let mut gc = IncrementalChecker::new(IsolationLevel::Serializability).with_gc(GcPolicy {
+            window: 64,
+            every: 32,
+        });
+        let _ = gc.push_history(&h);
+        // ⊥T and the last transaction of each of the 6 sessions must be
+        // resident: both can still source edges.
+        assert!(gc.engine.live_txns.contains_key(&TxnId(0)));
+        for last in gc.engine.sessions.iter().flatten() {
+            assert!(gc.engine.live_txns.contains_key(&last.0));
+        }
+        assert!(gc.finish().unwrap().is_satisfied());
+    }
+
+    #[test]
+    fn checkpoint_after_gc_resumes_exactly() {
+        let h = serial_history(2000, 8, Some(1900));
+        let level = IsolationLevel::StrictSerializability;
+        let clean = check_streaming(level, &h).unwrap();
+        let mut c = IncrementalChecker::new(level).with_gc(GcPolicy {
+            window: 256,
+            every: 64,
+        });
+        if let Some(init) = h.init_txn() {
+            c.feed(h.txn(init).clone(), true);
+        }
+        let tail = push_prefix(&mut c, &h, 1000);
+        assert!(c.pruned_txn_count() > 0, "GC ran before the checkpoint");
+        let json = serde_json::to_string(&c.checkpoint()).unwrap();
+        let mut resumed = IncrementalChecker::resume(serde_json::from_str(&json).unwrap());
+        assert_eq!(
+            resumed.gc_policy(),
+            Some(GcPolicy {
+                window: 256,
+                every: 64
+            }),
+            "the GC policy must survive the snapshot"
+        );
+        for t in tail {
+            let _ = resumed.push(t);
+        }
+        assert_eq!(resumed.finish().unwrap(), clean);
     }
 
     #[test]

@@ -13,8 +13,8 @@
 
 use mtc_core::{
     check_ser, check_si, check_sser, check_sser_naive, check_streaming, check_streaming_sharded,
-    tune, IncrementalChecker, IncrementalSserChecker, IsolationLevel, ShardedIncrementalChecker,
-    StreamStatus,
+    tune, CheckerSnapshot, IncrementalChecker, IncrementalSserChecker, IsolationLevel,
+    ShardedIncrementalChecker, StreamStatus,
 };
 use mtc_history::{History, HistoryBuilder, Op, Transaction, TxnId, Value};
 use proptest::prelude::*;
@@ -520,5 +520,178 @@ proptest! {
         }
         prop_assert_eq!(checker.is_violated(), was_violated);
         prop_assert_eq!(checker.first_violation_at(), first);
+    }
+}
+
+// ───────────────── checkpoint / resume differential ─────────────────────────
+
+/// Seeds a sequential checker with `history`'s `⊥T` (if any) and returns the
+/// non-initial transactions in stream order.
+fn seeded(level: IsolationLevel, history: &History) -> (IncrementalChecker, Vec<Transaction>) {
+    let checker = match history.init_txn() {
+        Some(init) => IncrementalChecker::new(level).with_init_keys(history.txn(init).write_set()),
+        None => IncrementalChecker::new(level),
+    };
+    let txns = history
+        .txns()
+        .iter()
+        .filter(|t| Some(t.id) != history.init_txn())
+        .cloned()
+        .collect();
+    (checker, txns)
+}
+
+/// Runs the interrupted pipeline — push `[0, cut)`, checkpoint, serialize the
+/// snapshot, drop everything, resume, push the rest — and asserts the result
+/// is bit-identical to the uninterrupted run: same verdict (payload
+/// included), same `first_violation_at`.
+fn assert_checkpoint_equivalence(level: IsolationLevel, history: &History, cut: usize) {
+    let (mut reference, txns) = seeded(level, history);
+    for t in &txns {
+        let _ = reference.push(t.clone());
+    }
+    let expected_first = reference.first_violation_at();
+    let expected = reference.finish();
+
+    let (mut first_half, _) = seeded(level, history);
+    let cut = cut % (txns.len() + 1);
+    for t in &txns[..cut] {
+        let _ = first_half.push(t.clone());
+    }
+    let snapshot = first_half.checkpoint();
+    drop(first_half);
+    let bytes = serde_json::to_string(&snapshot).expect("snapshot serializes");
+    drop(snapshot);
+    let snapshot: CheckerSnapshot = serde_json::from_str(&bytes).expect("snapshot parses");
+    let mut resumed = IncrementalChecker::resume(snapshot);
+    for t in &txns[cut..] {
+        let _ = resumed.push(t.clone());
+    }
+    assert_eq!(resumed.first_violation_at(), expected_first, "{level}");
+    let resumed_verdict = resumed.finish();
+    assert_eq!(
+        format!("{resumed_verdict:?}"),
+        format!("{expected:?}"),
+        "{level}"
+    );
+}
+
+/// Same pipeline through the sharded checker: checkpoint at a batch
+/// boundary, resume under a *different* shard geometry, finish.
+fn assert_sharded_checkpoint_equivalence(
+    level: IsolationLevel,
+    history: &History,
+    cut: usize,
+    batch: usize,
+    shards_before: usize,
+    shards_after: usize,
+) {
+    let (mut reference, txns) = seeded(level, history);
+    for t in &txns {
+        let _ = reference.push(t.clone());
+    }
+    let expected_first = reference.first_violation_at();
+    let expected = reference.finish();
+
+    let mut sharded = match history.init_txn() {
+        Some(init) => ShardedIncrementalChecker::new(level, shards_before)
+            .with_init_keys(history.txn(init).write_set()),
+        None => ShardedIncrementalChecker::new(level, shards_before),
+    };
+    let cut = cut % (txns.len() + 1);
+    let batch = batch.max(1);
+    for chunk in txns[..cut].chunks(batch) {
+        let _ = sharded.push_batch(chunk.to_vec());
+    }
+    let snapshot = sharded.checkpoint();
+    drop(sharded);
+    let bytes = serde_json::to_string(&snapshot).expect("snapshot serializes");
+    let snapshot: CheckerSnapshot = serde_json::from_str(&bytes).expect("snapshot parses");
+    let mut resumed = ShardedIncrementalChecker::resume(snapshot, shards_after);
+    for chunk in txns[cut..].chunks(batch) {
+        let _ = resumed.push_batch(chunk.to_vec());
+    }
+    assert_eq!(resumed.first_violation_at(), expected_first, "{level}");
+    let resumed_verdict = resumed.finish();
+    assert_eq!(
+        format!("{resumed_verdict:?}"),
+        format!("{expected:?}"),
+        "{level}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Checkpoint at a random prefix, drop everything, resume, finish:
+    /// verdict, counterexample and `first_violation_at` must be
+    /// bit-identical to the uninterrupted run — on valid *and* corrupted
+    /// histories, across SER and SI.
+    #[test]
+    fn checkpoint_resume_is_bit_identical_ser_si(
+        shapes in prop::collection::vec((shape_strategy(), 0u64..6, 0u64..6), 1..24),
+        keys in 2u64..6,
+        sessions in 1u32..4,
+        cut in 0usize..24,
+        corruption in prop::option::of((0usize..24, 1u64..50)),
+    ) {
+        let mut history = serial_history(&shapes, keys, sessions);
+        if let Some((pick, stale)) = corruption {
+            history = corrupt(&history, pick, stale);
+        }
+        for level in [IsolationLevel::Serializability, IsolationLevel::SnapshotIsolation] {
+            assert_checkpoint_equivalence(level, &history, cut);
+        }
+    }
+
+    /// The same guarantee for the online SSER time-chain, over timed
+    /// histories with overlapping intervals, clock skew, stale reads and
+    /// partially timed records.
+    #[test]
+    fn checkpoint_resume_is_bit_identical_sser(
+        shapes in prop::collection::vec((shape_strategy(), 0u64..5, 0u64..5), 1..20),
+        keys in 2u64..5,
+        sessions in 1u32..4,
+        intervals in prop::collection::vec((0u64..7, 0u64..40), 1..8),
+        cut in 0usize..20,
+        skew in prop::option::of((0usize..20, 1u64..200)),
+        corruption in prop::option::of((0usize..20, 1u64..50)),
+        strip in prop::option::of((0usize..20, 0u64..2)),
+    ) {
+        let mut history = timed_serial_history(&shapes, keys, sessions, 0, &intervals);
+        if skew.is_some() || corruption.is_some() || strip.is_some() {
+            let (pick, delta) = skew.unwrap_or((0, 0));
+            let strip = strip.map(|(sp, side)| (sp, side == 0));
+            history = skewed(&history, pick, delta, corruption, strip);
+        }
+        assert_checkpoint_equivalence(IsolationLevel::StrictSerializability, &history, cut);
+    }
+
+    /// Sharded checkpoints resume into different geometries (including the
+    /// sequential checker) with bit-identical outcomes.
+    #[test]
+    fn sharded_checkpoint_resume_is_bit_identical(
+        shapes in prop::collection::vec((shape_strategy(), 0u64..6, 0u64..6), 1..20),
+        keys in 2u64..6,
+        sessions in 1u32..4,
+        cut in 0usize..20,
+        batch in 1usize..9,
+        shards_before in 1usize..4,
+        shards_after in 1usize..5,
+        corruption in prop::option::of((0usize..20, 1u64..50)),
+    ) {
+        let mut history = serial_history(&shapes, keys, sessions);
+        if let Some((pick, stale)) = corruption {
+            history = corrupt(&history, pick, stale);
+        }
+        for level in [
+            IsolationLevel::Serializability,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::StrictSerializability,
+        ] {
+            assert_sharded_checkpoint_equivalence(
+                level, &history, cut, batch, shards_before, shards_after,
+            );
+        }
     }
 }

@@ -13,6 +13,7 @@
 //! the unlabelled [`DiGraph`] used for cycle detection, plus helpers to label
 //! a node cycle back into a readable counterexample.
 
+use crate::fasthash::FastHashMap;
 use crate::graph::DiGraph;
 use crate::txn::TxnId;
 use crate::value::Key;
@@ -99,13 +100,22 @@ impl fmt::Debug for Edge {
 }
 
 /// A dependency graph over the transactions of a history.
+///
+/// Nodes are transaction indices; `node_count` only bounds the id space
+/// (ids are never recycled). The adjacency index is keyed by source node, so
+/// a graph whose settled prefix has been pruned
+/// ([`DependencyGraph::prune_nodes`]) holds memory proportional to its
+/// *live* edges, not to every transaction ever admitted.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct DependencyGraph {
     node_count: usize,
     edges: Vec<Edge>,
+    /// Labelled edges pruned away by settled-prefix GC (kept so
+    /// `edge_count` keeps reporting the historical total).
+    pruned_edges: usize,
     /// adjacency (indices into `edges`), per source node
     #[serde(skip)]
-    adj: Vec<Vec<u32>>,
+    adj: FastHashMap<u32, Vec<u32>>,
 }
 
 impl DependencyGraph {
@@ -114,7 +124,8 @@ impl DependencyGraph {
         DependencyGraph {
             node_count,
             edges: Vec::new(),
-            adj: vec![Vec::new(); node_count],
+            pruned_edges: 0,
+            adj: FastHashMap::default(),
         }
     }
 
@@ -129,13 +140,19 @@ impl DependencyGraph {
     /// committed transaction at a time.
     pub fn add_node(&mut self) -> usize {
         self.node_count += 1;
-        self.adj.push(Vec::new());
         self.node_count - 1
     }
 
-    /// Number of labelled edges.
+    /// Number of labelled edges ever added (including any pruned away by
+    /// [`DependencyGraph::prune_nodes`]).
     #[inline]
     pub fn edge_count(&self) -> usize {
+        self.edges.len() + self.pruned_edges
+    }
+
+    /// Number of labelled edges currently resident.
+    #[inline]
+    pub fn live_edge_count(&self) -> usize {
         self.edges.len()
     }
 
@@ -144,7 +161,7 @@ impl DependencyGraph {
         debug_assert!(from.index() < self.node_count && to.index() < self.node_count);
         let idx = self.edges.len() as u32;
         self.edges.push(Edge { from, to, kind });
-        self.adj[from.index()].push(idx);
+        self.adj.entry(from.0).or_default().push(idx);
     }
 
     /// Adds a labelled edge unless an identical one is already present.
@@ -154,16 +171,22 @@ impl DependencyGraph {
         }
     }
 
+    /// The adjacency row of `from` (empty when the node has no out-edges).
+    #[inline]
+    fn row(&self, from: u32) -> &[u32] {
+        self.adj.get(&from).map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// True iff the exact labelled edge is present.
     pub fn contains_edge(&self, from: TxnId, to: TxnId, kind: EdgeKind) -> bool {
-        self.adj[from.index()]
+        self.row(from.0)
             .iter()
             .any(|&i| self.edges[i as usize].to == to && self.edges[i as usize].kind == kind)
     }
 
     /// True iff some edge of any kind goes `from → to`.
     pub fn contains_any_edge(&self, from: TxnId, to: TxnId) -> bool {
-        self.adj[from.index()]
+        self.row(from.0)
             .iter()
             .any(|&i| self.edges[i as usize].to == to)
     }
@@ -176,7 +199,7 @@ impl DependencyGraph {
 
     /// Labelled out-edges of `from`.
     pub fn out_edges(&self, from: TxnId) -> impl Iterator<Item = &Edge> + '_ {
-        self.adj[from.index()]
+        self.row(from.0)
             .iter()
             .map(move |&i| &self.edges[i as usize])
     }
@@ -247,7 +270,8 @@ impl DependencyGraph {
         for i in 0..cycle.len() {
             let u = cycle[i];
             let v = cycle[(i + 1) % cycle.len()];
-            let best = self.adj[u]
+            let best = self
+                .row(u as u32)
                 .iter()
                 .map(|&idx| &self.edges[idx as usize])
                 .filter(|e| e.to.index() == v && pred(e.kind))
@@ -285,10 +309,23 @@ impl DependencyGraph {
     /// Rebuilds the adjacency index. Needed after deserialization (the
     /// adjacency is not serialized).
     pub fn rebuild_index(&mut self) {
-        self.adj = vec![Vec::new(); self.node_count];
+        self.adj = FastHashMap::default();
         for (i, e) in self.edges.iter().enumerate() {
-            self.adj[e.from.index()].push(i as u32);
+            self.adj.entry(e.from.0).or_default().push(i as u32);
         }
+    }
+
+    /// Drops every labelled edge with an endpoint for which `pruned`
+    /// returns true, freeing the corresponding adjacency rows. Used by the
+    /// settled-prefix GC of the streaming checkers: pruned transactions can
+    /// no longer appear in any counterexample, so their edges are dead
+    /// weight. [`DependencyGraph::edge_count`] keeps counting them;
+    /// [`DependencyGraph::live_edge_count`] does not.
+    pub fn prune_nodes(&mut self, pruned: impl Fn(TxnId) -> bool) {
+        let before = self.edges.len();
+        self.edges.retain(|e| !pruned(e.from) && !pruned(e.to));
+        self.pruned_edges += before - self.edges.len();
+        self.rebuild_index();
     }
 }
 
@@ -360,6 +397,24 @@ mod tests {
         let mut back: DependencyGraph = serde_json::from_str(&json).unwrap();
         back.rebuild_index();
         assert!(back.contains_edge(t(0), t(1), EdgeKind::So));
+    }
+
+    #[test]
+    fn prune_nodes_drops_incident_edges_but_keeps_totals() {
+        let mut g = DependencyGraph::new(4);
+        g.add_edge(t(0), t(1), EdgeKind::So);
+        g.add_edge(t(1), t(2), EdgeKind::Wr(Key(0)));
+        g.add_edge(t(2), t(3), EdgeKind::Ww(Key(0)));
+        g.prune_nodes(|id| id.0 <= 1);
+        assert_eq!(g.edge_count(), 3, "historical total is preserved");
+        assert_eq!(g.live_edge_count(), 1);
+        assert!(g.contains_edge(t(2), t(3), EdgeKind::Ww(Key(0))));
+        assert!(!g.contains_edge(t(0), t(1), EdgeKind::So));
+        assert!(!g.contains_any_edge(t(1), t(2)));
+        // The graph keeps accepting edges among live nodes.
+        g.add_edge(t(3), t(2), EdgeKind::Rw(Key(0)));
+        assert_eq!(g.live_edge_count(), 2);
+        assert!(g.contains_edge(t(3), t(2), EdgeKind::Rw(Key(0))));
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! A tiny, fast, non-cryptographic hasher for the hot-path maps of the
+//! streaming checkers (integer-ish keys: transaction ids, node pairs,
+//! key/value tuples).
+//!
+//! The default `SipHash13` is DoS-resistant but costs real time per edge on
+//! the verification hot path. Checker inputs are not attacker-controlled
+//! hash-table keys in the DoS sense (and the maps are bounded by the GC),
+//! so an FxHash-style multiply-xor hash is the right trade. The
+//! implementation mirrors the well-known `FxHasher` recipe: per 8-byte
+//! word, `state = (state.rotate_left(5) ^ word) * K`.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher over native words.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FastHasher {
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.state = (self.state.rotate_left(5) ^ w).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rest.len()].copy_from_slice(rest);
+            self.word(u64::from_le_bytes(w));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.word(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuild = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed with the fast hasher.
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, FastBuild>;
+
+/// A `HashSet` keyed with the fast hasher.
+pub type FastHashSet<T> = std::collections::HashSet<T, FastBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_behave_like_maps() {
+        let mut m: FastHashMap<(u32, u64), usize> = FastHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, u64::from(i) << 40), i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, u64::from(i) << 40)), Some(&(i as usize)));
+        }
+        assert_eq!(m.get(&(5, 0)), None);
+    }
+
+    #[test]
+    fn distinct_inputs_rarely_collide() {
+        use std::hash::BuildHasher;
+        let b = FastBuild::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(b.hash_one((i, i.wrapping_mul(7))));
+        }
+        assert!(seen.len() > 9_990, "{} distinct hashes", seen.len());
+    }
+}

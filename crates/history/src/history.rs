@@ -313,6 +313,16 @@ impl HistoryBuilder {
         }
     }
 
+    /// Ensures at least `n` sessions exist, even if some record no
+    /// transactions. Needed to round-trip histories whose trailing sessions
+    /// went silent (e.g. every attempt aborted and aborts were not
+    /// recorded): the session *slots* are part of the history.
+    pub fn ensure_sessions(&mut self, n: usize) {
+        if n > 0 {
+            self.ensure_session(SessionId(n as u32 - 1));
+        }
+    }
+
     fn next_id(&self) -> TxnId {
         // Id 0 is reserved for ⊥T when an init transaction was requested.
         let offset = usize::from(self.init_keys.is_some());

@@ -35,7 +35,9 @@
 //! accepted edges in insertion order, which depends only on the sequence of
 //! accepted edges, never on the maintained ranks.
 
-use std::collections::{HashMap, VecDeque};
+use crate::fasthash::FastHashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// An online topological order over a growable directed graph.
 ///
@@ -43,7 +45,22 @@ use std::collections::{HashMap, VecDeque};
 /// up-front via [`IncrementalTopo::with_nodes`]); edges are inserted with
 /// [`IncrementalTopo::try_add_edge`], which fails — returning the offending
 /// cycle and leaving the structure unchanged — iff the edge would create one.
-#[derive(Clone, Debug, Default)]
+///
+/// ## Pruning and node recycling
+///
+/// Long-running streams settle most of their history: once no future edge
+/// can touch a node, the node only wastes memory. [`IncrementalTopo::prune`]
+/// retires a predecessor-closed set of nodes (no retained node may point
+/// into the set), freeing their adjacency and recycling their ids —
+/// [`IncrementalTopo::add_node`] hands retired ids out again, so the
+/// resident size is proportional to the number of *live* nodes
+/// ([`IncrementalTopo::live_node_count`]), not to everything ever added.
+/// Pruning cannot change any future verdict: a new edge is rejected iff a
+/// path `to ⇝ from` exists, and no path between live nodes ever crosses a
+/// predecessor-closed retired set (entering it would need exactly the
+/// retained→pruned edge the precondition forbids). Cycle certificates stay
+/// canonical because they never involve retired nodes.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct IncrementalTopo {
     /// Forward adjacency.
     fwd: Vec<Vec<u32>>,
@@ -53,6 +70,12 @@ pub struct IncrementalTopo {
     rank: Vec<u32>,
     /// `node_at[rank[v]] == v`.
     node_at: Vec<u32>,
+    /// `retired[v]` iff `v` has been pruned and not yet recycled. Retired
+    /// nodes keep their rank slot (so `rank`/`node_at` stay inverse
+    /// permutations) but have no edges.
+    retired: Vec<bool>,
+    /// Retired ids available for recycling, in retirement order.
+    free: Vec<u32>,
     edge_count: usize,
 }
 
@@ -71,22 +94,148 @@ impl IncrementalTopo {
         t
     }
 
-    /// Adds a node, returning its id. New nodes are placed last in the
+    /// Adds a node, returning its id. Fresh nodes are placed last in the
     /// maintained order, which is the natural spot for a transaction that
-    /// just committed.
+    /// just committed; recycled ids (from [`IncrementalTopo::prune`]) keep
+    /// the rank slot they retired with — an arbitrary but valid position,
+    /// since a node without edges is unconstrained.
     pub fn add_node(&mut self) -> usize {
+        if let Some(id) = self.free.pop() {
+            let id = id as usize;
+            self.retired[id] = false;
+            return id;
+        }
         let id = self.fwd.len();
         self.fwd.push(Vec::new());
         self.back.push(Vec::new());
         self.rank.push(id as u32);
         self.node_at.push(id as u32);
+        self.retired.push(false);
         id
     }
 
-    /// Number of nodes.
+    /// Number of node slots ever allocated (an upper bound on node ids;
+    /// includes retired slots awaiting recycling).
     #[inline]
     pub fn node_count(&self) -> usize {
         self.fwd.len()
+    }
+
+    /// Number of live (non-retired) nodes — the quantity bounded by
+    /// settled-prefix garbage collection.
+    #[inline]
+    pub fn live_node_count(&self) -> usize {
+        self.fwd.len() - self.free.len()
+    }
+
+    /// True iff `node` is allocated and not retired.
+    #[inline]
+    pub fn is_live(&self, node: usize) -> bool {
+        node < self.fwd.len() && !self.retired[node]
+    }
+
+    /// The current predecessors of `node` (sources of edges into it).
+    pub fn predecessors(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        self.back[node].iter().map(|&p| p as usize)
+    }
+
+    /// True iff at least one edge `from → to` is present.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.fwd[from].iter().any(|&v| v as usize == to)
+    }
+
+    /// Retires a set of live nodes, freeing their adjacency and recycling
+    /// their ids through future [`IncrementalTopo::add_node`] calls.
+    ///
+    /// The set must be **predecessor-closed**: every edge into a pruned node
+    /// must originate from another pruned node (callers first delete any
+    /// deliberate cut edges with [`IncrementalTopo::remove_edges_into`]).
+    /// Under that precondition no path between live nodes can traverse the
+    /// pruned set, so every future `try_add_edge`/`try_add_edges` verdict —
+    /// including the canonical cycle certificates — is exactly what it would
+    /// have been without pruning, provided no future edge touches a pruned
+    /// node (the caller's settledness contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is not live or the set is not predecessor-closed.
+    pub fn prune(&mut self, nodes: &HashSet<usize>) {
+        for &u in nodes {
+            assert!(self.is_live(u), "pruning a dead or unknown node {u}");
+            for &p in &self.back[u] {
+                assert!(
+                    nodes.contains(&(p as usize)),
+                    "pruned set is not predecessor-closed: live edge {p} -> {u}"
+                );
+            }
+        }
+        for &u in nodes {
+            let fwd = std::mem::take(&mut self.fwd[u]);
+            self.edge_count -= fwd.len();
+            for v in fwd {
+                let v = v as usize;
+                if !nodes.contains(&v) {
+                    self.back[v].retain(|&p| p as usize != u);
+                }
+            }
+            self.back[u] = Vec::new();
+            self.retired[u] = true;
+            self.free.push(u as u32);
+        }
+        // Stable-compact the maintained order: live nodes keep their
+        // relative order in ranks `0..L`, retired slots move to the tail.
+        // Without this, a recycled id would re-enter the order at its *old*
+        // (low) rank, turning every subsequent edge into it into a backward
+        // edge whose affected-region reorder spans the whole structure —
+        // quadratic churn on long GC'd streams.
+        let old_order = std::mem::take(&mut self.node_at);
+        let mut next = 0u32;
+        let mut tail: Vec<u32> = Vec::with_capacity(self.free.len());
+        self.node_at = vec![0; old_order.len()];
+        for &node in &old_order {
+            if self.retired[node as usize] {
+                tail.push(node);
+            } else {
+                self.rank[node as usize] = next;
+                self.node_at[next as usize] = node;
+                next += 1;
+            }
+        }
+        for node in tail {
+            self.rank[node as usize] = next;
+            self.node_at[next as usize] = node;
+            next += 1;
+        }
+        // Hand the lowest-ranked retired slot out first, so a run of fresh
+        // nodes re-enters the order in ascending rank.
+        let rank = &self.rank;
+        self.free
+            .sort_unstable_by_key(|&id| std::cmp::Reverse(rank[id as usize]));
+    }
+
+    /// Deletes every edge `from → t` with `t ∈ targets`, returning how many
+    /// were removed. This is the escape hatch for *deliberate* cut edges
+    /// ahead of [`IncrementalTopo::prune`] — e.g. the time-chain edge from a
+    /// permanently retained instant into a pruned chain prefix, whose
+    /// ordering information the caller re-establishes with a shortcut edge.
+    /// The maintained order is untouched (it stays valid for the remaining
+    /// edges).
+    pub fn remove_edges_into(&mut self, from: usize, targets: &HashSet<usize>) -> usize {
+        let before = self.fwd[from].len();
+        let fwd = std::mem::take(&mut self.fwd[from]);
+        let (kept, cut): (Vec<u32>, Vec<u32>) = fwd
+            .into_iter()
+            .partition(|&v| !targets.contains(&(v as usize)));
+        self.fwd[from] = kept;
+        for v in cut {
+            let v = v as usize;
+            if let Some(pos) = self.back[v].iter().position(|&p| p as usize == from) {
+                self.back[v].swap_remove(pos);
+            }
+        }
+        let removed = before - self.fwd[from].len();
+        self.edge_count -= removed;
+        removed
     }
 
     /// Number of accepted edges.
@@ -140,7 +289,7 @@ impl IncrementalTopo {
         // collecting the nodes that must move after `from`.
         let mut fwd_set: Vec<usize> = Vec::new();
         let mut stack = vec![to];
-        let mut seen_f: HashMap<usize, ()> = HashMap::new();
+        let mut seen_f: FastHashMap<usize, ()> = FastHashMap::default();
         seen_f.insert(to, ());
         while let Some(u) = stack.pop() {
             fwd_set.push(u);
@@ -159,7 +308,7 @@ impl IncrementalTopo {
         // No cycle: backward DFS from `from`, restricted to ranks >= lb,
         // collecting the nodes that must move before `to`'s region.
         let mut back_set: Vec<usize> = Vec::new();
-        let mut seen_b: HashMap<usize, ()> = HashMap::new();
+        let mut seen_b: FastHashMap<usize, ()> = FastHashMap::default();
         seen_b.insert(from, ());
         let mut stack = vec![from];
         while let Some(u) = stack.pop() {
@@ -535,6 +684,96 @@ mod tests {
         let (index, cycle) = t.try_add_edges(&[(2, 3)]).unwrap_err();
         assert_eq!(index, 0);
         assert_eq!(cycle, vec![3, 1, 4, 0, 2]);
+    }
+
+    fn set(ids: &[usize]) -> HashSet<usize> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn prune_frees_nodes_and_recycles_ids() {
+        let mut t = IncrementalTopo::with_nodes(4);
+        t.try_add_edge(0, 1).unwrap();
+        t.try_add_edge(1, 2).unwrap();
+        t.try_add_edge(2, 3).unwrap();
+        assert_eq!(t.live_node_count(), 4);
+        t.prune(&set(&[0, 1]));
+        assert_eq!(t.live_node_count(), 2);
+        assert_eq!(t.edge_count(), 1); // only 2 -> 3 survives
+        assert!(!t.is_live(0) && !t.is_live(1));
+        assert!(t.is_live(2) && t.is_live(3));
+        // Node 2 lost its pruned predecessor from the reverse adjacency.
+        assert_eq!(t.predecessors(2).count(), 0);
+        // Retired ids are recycled before fresh ones are allocated.
+        let a = t.add_node();
+        let b = t.add_node();
+        assert!(a < 2 && b < 2 && a != b);
+        assert_eq!(t.node_count(), 4, "no fresh slots while retired ones exist");
+        let c = t.add_node();
+        assert_eq!(c, 4);
+        check_order_invariant(&t);
+    }
+
+    #[test]
+    #[should_panic(expected = "predecessor-closed")]
+    fn prune_rejects_sets_with_live_incoming_edges() {
+        let mut t = IncrementalTopo::with_nodes(2);
+        t.try_add_edge(0, 1).unwrap();
+        t.prune(&set(&[1])); // 0 -> 1 would dangle
+    }
+
+    #[test]
+    fn remove_edges_into_enables_deliberate_cuts() {
+        let mut t = IncrementalTopo::with_nodes(3);
+        t.try_add_edge(0, 1).unwrap();
+        t.try_add_edge(0, 2).unwrap();
+        t.try_add_edge(1, 2).unwrap();
+        assert_eq!(t.remove_edges_into(0, &set(&[1])), 1);
+        assert_eq!(t.edge_count(), 2);
+        // 1 now has no incoming edge, so it is predecessor-closed by itself.
+        t.prune(&set(&[1]));
+        assert_eq!(t.edge_count(), 1);
+        check_order_invariant(&t);
+    }
+
+    #[test]
+    fn pruned_structure_keeps_rejecting_exactly_like_the_unpruned_one() {
+        // Build the same graph twice, prune the settled prefix in one copy,
+        // then feed both the same suffix of edges over live nodes: accepts,
+        // rejects and certificates must coincide.
+        let mut a = IncrementalTopo::with_nodes(6);
+        let mut b = IncrementalTopo::with_nodes(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (2, 4)] {
+            a.try_add_edge(u, v).unwrap();
+            b.try_add_edge(u, v).unwrap();
+        }
+        // {0, 1} is predecessor-closed and nothing will touch it again.
+        b.prune(&set(&[0, 1]));
+        for (u, v) in [(4, 5), (5, 3), (3, 5), (5, 2), (4, 2)] {
+            let ra = a.try_add_edge(u, v);
+            let rb = b.try_add_edge(u, v);
+            assert_eq!(ra, rb, "divergence on edge {u}->{v}");
+        }
+        check_order_invariant(&a);
+        check_order_invariant(&b);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_behaviour() {
+        let mut t = IncrementalTopo::with_nodes(5);
+        for (u, v) in [(0, 1), (1, 2), (3, 2), (2, 4)] {
+            t.try_add_edge(u, v).unwrap();
+        }
+        t.prune(&set(&[0]));
+        let v = serde::Serialize::to_json_value(&t);
+        let mut back: IncrementalTopo = serde::Deserialize::from_json_value(&v).unwrap();
+        assert_eq!(back.node_count(), t.node_count());
+        assert_eq!(back.live_node_count(), t.live_node_count());
+        assert_eq!(back.edge_count(), t.edge_count());
+        // The deserialized copy must behave identically.
+        assert_eq!(t.try_add_edge(4, 1), back.try_add_edge(4, 1));
+        assert_eq!(t.try_add_edge(2, 1), back.try_add_edge(2, 1));
+        check_order_invariant(&back);
     }
 
     #[test]

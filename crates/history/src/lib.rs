@@ -25,6 +25,7 @@
 
 pub mod anomalies;
 pub mod depgraph;
+pub mod fasthash;
 pub mod graph;
 pub mod history;
 pub mod incremental;
@@ -39,6 +40,7 @@ pub mod value;
 
 pub use anomalies::{AnomalyKind, ExpectedVerdicts};
 pub use depgraph::{DependencyGraph, Edge, EdgeKind};
+pub use fasthash::{FastHashMap, FastHashSet};
 pub use graph::DiGraph;
 pub use history::{History, HistoryBuilder};
 pub use incremental::IncrementalTopo;

@@ -37,11 +37,12 @@
 //! committed into the structure).
 
 use crate::incremental::IncrementalTopo;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
 /// The pair of chain nodes owned by one distinct instant.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TimeSlot {
     /// Node transactions beginning at this instant are reached from.
     pub begin_node: usize,
@@ -65,7 +66,7 @@ pub struct TimeSlot {
 /// assert!(topo.precedes(t20.end_node, t30.begin_node));
 /// assert_eq!(chain.len(), 3);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct TimeChain {
     slots: BTreeMap<u64, TimeSlot>,
 }
@@ -139,6 +140,27 @@ impl TimeChain {
     /// The touched instants in ascending order (for inspection and tests).
     pub fn instants(&self) -> impl Iterator<Item = u64> + '_ {
         self.slots.keys().copied()
+    }
+
+    /// The slots with instants in `low..cut`, in ascending order, without
+    /// removing them — the candidate prefix for settled-chain pruning.
+    pub fn slots_in(&self, low: u64, cut: u64) -> Vec<(u64, TimeSlot)> {
+        self.slots.range(low..cut).map(|(&t, &s)| (t, s)).collect()
+    }
+
+    /// Removes the slots with instants in `low..cut` from the chain,
+    /// returning them in ascending order. The caller is responsible for
+    /// retiring the slots' chain nodes from the host topology (see
+    /// [`IncrementalTopo::prune`]) and for re-establishing the chain-order
+    /// shortcut from the last retained slot below `low` (if any) to the
+    /// first retained slot at or above `cut` — the splice logic of the
+    /// streaming SSER checker does exactly that.
+    pub fn remove_range(&mut self, low: u64, cut: u64) -> Vec<(u64, TimeSlot)> {
+        let doomed: Vec<u64> = self.slots.range(low..cut).map(|(&t, _)| t).collect();
+        doomed
+            .into_iter()
+            .map(|t| (t, self.slots.remove(&t).expect("slot listed above")))
+            .collect()
     }
 }
 
@@ -222,6 +244,51 @@ mod tests {
         // T2 → T1 would be rejected if end(42) ⟶ begin(42) existed; it must
         // not, because `end(T1) < begin(T2)` is strict.
         assert!(topo.try_add_edge(t2, t1).is_ok());
+    }
+
+    #[test]
+    fn remove_range_prunes_a_prefix_and_the_chain_keeps_working() {
+        let mut topo = IncrementalTopo::new();
+        let mut chain = TimeChain::new();
+        for t in [0u64, 10, 20, 30, 40] {
+            chain.touch(t, &mut topo);
+        }
+        let removed = chain.remove_range(1, 25);
+        assert_eq!(
+            removed.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            [10, 20]
+        );
+        assert_eq!(chain.instants().collect::<Vec<_>>(), vec![0, 30, 40]);
+        // Prune the removed slots' nodes: first cut the deliberate edge from
+        // the retained prefix into the doomed region, then close the set.
+        let doomed: std::collections::HashSet<usize> = removed
+            .iter()
+            .flat_map(|&(_, s)| [s.begin_node, s.end_node])
+            .collect();
+        let keep0 = chain.slot(0).unwrap();
+        topo.remove_edges_into(keep0.end_node, &doomed);
+        topo.prune(&doomed);
+        // Shortcut re-establishes the retained order across the gap.
+        let s30 = chain.slot(30).unwrap();
+        topo.try_add_edge(keep0.end_node, s30.begin_node).unwrap();
+        // Late out-of-order instants still splice between retained slots.
+        let s25 = chain.touch(25, &mut topo);
+        assert!(topo.precedes(keep0.end_node, s25.begin_node));
+        assert!(topo.precedes(s25.end_node, s30.begin_node));
+        assert_chain_invariant(&chain, &topo);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut topo = IncrementalTopo::new();
+        let mut chain = TimeChain::new();
+        for t in [7u64, 3, 11] {
+            chain.touch(t, &mut topo);
+        }
+        let v = serde::Serialize::to_json_value(&chain);
+        let back: TimeChain = serde::Deserialize::from_json_value(&v).unwrap();
+        assert_eq!(back.instants().collect::<Vec<_>>(), vec![3, 7, 11]);
+        assert_eq!(back.slot(7), chain.slot(7));
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::fmt;
 ///
 /// Transaction `TxnId(0)` is conventionally the initial transaction `⊥T`
 /// when the history contains one (see [`crate::HistoryBuilder`]).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct TxnId(pub u32);
 
 impl TxnId {

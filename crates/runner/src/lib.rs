@@ -13,10 +13,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod exec;
 pub mod experiments;
 pub mod report;
 
+pub use durable::{
+    record_streaming, replay_verify, resume_verification, RecordOptions, RecordOutcome,
+    ResumeOutcome,
+};
 pub use exec::{
     end_to_end, end_to_end_streaming, run_elle_append_workload, run_elle_register_workload,
     run_register_workload, verify, Checker, EndToEnd, StreamingEndToEnd, VerifyOutcome,

@@ -1,0 +1,349 @@
+//! Compact binary encoding of the workspace serde value tree.
+//!
+//! Everything the checkers persist — transactions, stream metadata,
+//! checker snapshots — already serializes into [`serde::JsonValue`] through
+//! the workspace's offline serde stack. This module gives that tree a
+//! *binary* wire form: one tag byte per node, LEB128 varints for lengths
+//! and unsigned integers, zig-zag varints for signed ones, and raw IEEE-754
+//! bits for floats. Compared to JSON text it is both more compact (framing
+//! and numbers shrink; field names remain) and exact — no number formatting
+//! round-trip concerns, no escaping.
+//!
+//! The encoding is self-delimiting: a value knows its own extent, so frames
+//! (see [`crate::frame`]) only add integrity, not structure.
+
+use serde::{Deserialize, JsonValue, Serialize};
+
+/// Errors produced while decoding a binary value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended inside a value.
+    Truncated,
+    /// An unknown tag byte was encountered.
+    BadTag(u8),
+    /// A varint ran over its maximum width.
+    BadVarint,
+    /// A string payload was not valid UTF-8.
+    BadUtf8,
+    /// The value ended before the input did.
+    TrailingBytes,
+    /// Nesting exceeded [`MAX_DEPTH`] (a crafted or corrupt payload must
+    /// not overflow the decoder's stack).
+    TooDeep,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input ends inside a value"),
+            DecodeError::BadTag(t) => write!(f, "unknown value tag {t:#04x}"),
+            DecodeError::BadVarint => write!(f, "malformed varint"),
+            DecodeError::BadUtf8 => write!(f, "string payload is not UTF-8"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after the value"),
+            DecodeError::TooDeep => write!(f, "value nesting exceeds {MAX_DEPTH} levels"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Maximum value-tree nesting the decoder accepts. Checker snapshots and
+/// transactions nest a handful of levels; the cap only exists so a
+/// CRC-valid but hostile payload cannot abort recovery via stack overflow.
+pub const MAX_DEPTH: usize = 128;
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_U64: u8 = 0x03;
+const TAG_I64: u8 = 0x04;
+const TAG_F64: u8 = 0x05;
+const TAG_STR: u8 = 0x06;
+const TAG_ARRAY: u8 = 0x07;
+const TAG_OBJECT: u8 = 0x08;
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(input: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = input.get(*pos).ok_or(DecodeError::Truncated)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(DecodeError::BadVarint);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecodeError::BadVarint);
+        }
+    }
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn encode_into(v: &JsonValue, out: &mut Vec<u8>) {
+    match v {
+        JsonValue::Null => out.push(TAG_NULL),
+        JsonValue::Bool(false) => out.push(TAG_FALSE),
+        JsonValue::Bool(true) => out.push(TAG_TRUE),
+        JsonValue::U64(n) => {
+            out.push(TAG_U64);
+            put_varint(out, *n);
+        }
+        JsonValue::I64(n) => {
+            out.push(TAG_I64);
+            put_varint(out, zigzag(*n));
+        }
+        JsonValue::F64(x) => {
+            out.push(TAG_F64);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        JsonValue::Str(s) => {
+            out.push(TAG_STR);
+            put_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        JsonValue::Array(items) => {
+            out.push(TAG_ARRAY);
+            put_varint(out, items.len() as u64);
+            for item in items {
+                encode_into(item, out);
+            }
+        }
+        JsonValue::Object(entries) => {
+            out.push(TAG_OBJECT);
+            put_varint(out, entries.len() as u64);
+            for (k, val) in entries {
+                put_varint(out, k.len() as u64);
+                out.extend_from_slice(k.as_bytes());
+                encode_into(val, out);
+            }
+        }
+    }
+}
+
+fn decode_at(input: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, DecodeError> {
+    if depth > MAX_DEPTH {
+        return Err(DecodeError::TooDeep);
+    }
+    let &tag = input.get(*pos).ok_or(DecodeError::Truncated)?;
+    *pos += 1;
+    match tag {
+        TAG_NULL => Ok(JsonValue::Null),
+        TAG_FALSE => Ok(JsonValue::Bool(false)),
+        TAG_TRUE => Ok(JsonValue::Bool(true)),
+        TAG_U64 => Ok(JsonValue::U64(get_varint(input, pos)?)),
+        TAG_I64 => Ok(JsonValue::I64(unzigzag(get_varint(input, pos)?))),
+        TAG_F64 => {
+            let end = pos.checked_add(8).ok_or(DecodeError::Truncated)?;
+            let bytes = input.get(*pos..end).ok_or(DecodeError::Truncated)?;
+            *pos = end;
+            Ok(JsonValue::F64(f64::from_bits(u64::from_le_bytes(
+                bytes.try_into().expect("8-byte slice"),
+            ))))
+        }
+        TAG_STR => {
+            let s = decode_str(input, pos)?;
+            Ok(JsonValue::Str(s))
+        }
+        TAG_ARRAY => {
+            let len = get_varint(input, pos)? as usize;
+            // Cap the pre-allocation: a corrupt length must not OOM.
+            let mut items = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                items.push(decode_at(input, pos, depth + 1)?);
+            }
+            Ok(JsonValue::Array(items))
+        }
+        TAG_OBJECT => {
+            let len = get_varint(input, pos)? as usize;
+            let mut entries = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                let key = decode_str(input, pos)?;
+                let val = decode_at(input, pos, depth + 1)?;
+                entries.push((key, val));
+            }
+            Ok(JsonValue::Object(entries))
+        }
+        other => Err(DecodeError::BadTag(other)),
+    }
+}
+
+fn decode_str(input: &[u8], pos: &mut usize) -> Result<String, DecodeError> {
+    let len = get_varint(input, pos)? as usize;
+    let end = pos.checked_add(len).ok_or(DecodeError::Truncated)?;
+    let bytes = input.get(*pos..end).ok_or(DecodeError::Truncated)?;
+    *pos = end;
+    String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+}
+
+/// Encodes a value tree into its binary form.
+pub fn encode_value(v: &JsonValue) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(v, &mut out);
+    out
+}
+
+/// Decodes a binary value, requiring the input to be exactly one value.
+pub fn decode_value(input: &[u8]) -> Result<JsonValue, DecodeError> {
+    let mut pos = 0usize;
+    let v = decode_at(input, &mut pos, 0)?;
+    if pos != input.len() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(v)
+}
+
+/// Serializes any workspace-serde type into the binary value form.
+pub fn to_bytes<T: Serialize>(value: &T) -> Vec<u8> {
+    encode_value(&value.to_json_value())
+}
+
+/// Deserializes a workspace-serde type from the binary value form.
+pub fn from_bytes<T: Deserialize>(input: &[u8]) -> Result<T, crate::StoreError> {
+    let v = decode_value(input).map_err(crate::StoreError::Decode)?;
+    T::from_json_value(&v).map_err(|e| crate::StoreError::Serde(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(v: JsonValue) {
+        let bytes = encode_value(&v);
+        assert_eq!(decode_value(&bytes).unwrap(), v, "round trip of {v:?}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        rt(JsonValue::Null);
+        rt(JsonValue::Bool(true));
+        rt(JsonValue::Bool(false));
+        rt(JsonValue::U64(0));
+        rt(JsonValue::U64(u64::MAX));
+        rt(JsonValue::I64(-1));
+        rt(JsonValue::I64(i64::MIN));
+        rt(JsonValue::F64(3.5));
+        rt(JsonValue::F64(-0.0));
+        rt(JsonValue::Str(String::new()));
+        rt(JsonValue::Str("héllo\nworld".to_string()));
+    }
+
+    #[test]
+    fn packed_u64_values_survive_exactly() {
+        // Allocator-style packed values use the high bits.
+        let packed = (37u64 + 1) << 40 | 123;
+        rt(JsonValue::U64(packed));
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        rt(JsonValue::Array(vec![
+            JsonValue::U64(1),
+            JsonValue::Object(vec![
+                ("k".to_string(), JsonValue::Array(vec![])),
+                ("v".to_string(), JsonValue::I64(-7)),
+            ]),
+            JsonValue::Null,
+        ]));
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = encode_value(&JsonValue::Str("hello".to_string()));
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_value(&bytes[..cut]).is_err(),
+                "prefix of length {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_value(&JsonValue::U64(7));
+        bytes.push(0);
+        assert_eq!(decode_value(&bytes), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert_eq!(decode_value(&[0xff]), Err(DecodeError::BadTag(0xff)));
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_without_overflowing() {
+        // ~100k nested singleton arrays: CRC-valid in a frame, must fail
+        // with TooDeep instead of blowing the stack during recovery.
+        let mut bytes = vec![TAG_ARRAY; 0]; // built below
+        for _ in 0..100_000 {
+            bytes.push(TAG_ARRAY);
+            bytes.push(1);
+        }
+        bytes.push(TAG_NULL);
+        assert_eq!(decode_value(&bytes), Err(DecodeError::TooDeep));
+        // Sane nesting below the cap still decodes.
+        let mut ok = Vec::new();
+        for _ in 0..(MAX_DEPTH - 1) {
+            ok.push(TAG_ARRAY);
+            ok.push(1);
+        }
+        ok.push(TAG_NULL);
+        assert!(decode_value(&ok).is_ok());
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let bytes = [
+            TAG_U64, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f,
+        ];
+        assert!(decode_value(&bytes).is_err());
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json_for_typical_records() {
+        use mtc_history::{Op, SessionId, Transaction, TxnId};
+        let txn = Transaction::committed(
+            TxnId(12345),
+            SessionId(3),
+            vec![
+                Op::read(17u64, 1u64 << 41),
+                Op::write(17u64, (1u64 << 41) + 1),
+            ],
+        )
+        .with_times(1_000_000, 1_000_050);
+        let v = txn.to_json_value();
+        let bin = encode_value(&v);
+        let mut json = String::new();
+        v.render(&mut json);
+        assert!(
+            bin.len() < json.len() * 3 / 4,
+            "binary {} vs json {}",
+            bin.len(),
+            json.len()
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Checkpoint files: framed, CRC-checked checker snapshots.
+//!
+//! A checkpoint file holds one [`mtc_core::CheckerSnapshot`] taken after
+//! consuming `consumed` recorded transactions:
+//!
+//! ```text
+//! <dir>/checkpoint-000000001234.mtcck
+//! ```
+//!
+//! The file is two frames — a small header binding it to the format, then
+//! the binary-encoded snapshot — written to a temporary name and renamed
+//! into place, so a crash mid-checkpoint never damages an older checkpoint.
+//! [`latest_checkpoint`] walks the files newest-first and returns the first
+//! one that validates, so a torn newest checkpoint degrades to the previous
+//! one instead of failing recovery.
+
+use crate::binval;
+use crate::frame::{read_frame, write_frame};
+use crate::StoreError;
+use mtc_core::CheckerSnapshot;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Magic tag of checkpoint files.
+pub const CHECKPOINT_MAGIC: &str = "mtc-store-checkpoint";
+/// Current checkpoint file format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct CheckpointHeader {
+    magic: String,
+    version: u32,
+    /// Recorded transactions consumed by the snapshotted checker
+    /// (excluding `⊥T`): the log index to resume replay from.
+    consumed: u64,
+}
+
+fn checkpoint_path(dir: &Path, consumed: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{consumed:012}.mtcck"))
+}
+
+/// Lists checkpoint files in `dir`, oldest first.
+fn checkpoint_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(consumed) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|s| s.strip_suffix(".mtcck"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((consumed, entry.path()));
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Writes a checkpoint for a snapshot that consumed `consumed` recorded
+/// transactions, atomically (write-then-rename). Returns the final path.
+pub fn write_checkpoint(
+    dir: impl AsRef<Path>,
+    consumed: u64,
+    snapshot: &CheckerSnapshot,
+) -> Result<PathBuf, StoreError> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let mut bytes = Vec::new();
+    let header = CheckpointHeader {
+        magic: CHECKPOINT_MAGIC.to_string(),
+        version: CHECKPOINT_VERSION,
+        consumed,
+    };
+    write_frame(&mut bytes, &binval::to_bytes(&header));
+    write_frame(&mut bytes, &binval::to_bytes(snapshot));
+    let finals = checkpoint_path(dir, consumed);
+    let tmp = finals.with_extension("mtcck.tmp");
+    fs::write(&tmp, &bytes)?;
+    fs::rename(&tmp, &finals)?;
+    Ok(finals)
+}
+
+/// Reads and validates one checkpoint file.
+pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<(u64, CheckerSnapshot), StoreError> {
+    let path = path.as_ref();
+    let bytes = fs::read(path)?;
+    let mut pos = 0usize;
+    let header: CheckpointHeader = binval::from_bytes(
+        read_frame(&bytes, &mut pos)
+            .map_err(|e| StoreError::Corrupt(format!("{}: {e}", path.display())))?,
+    )?;
+    if header.magic != CHECKPOINT_MAGIC {
+        return Err(StoreError::Format(format!(
+            "{}: not an mtc-store checkpoint",
+            path.display()
+        )));
+    }
+    if header.version != CHECKPOINT_VERSION {
+        return Err(StoreError::Format(format!(
+            "{}: unsupported checkpoint version {}",
+            path.display(),
+            header.version
+        )));
+    }
+    let snapshot: CheckerSnapshot = binval::from_bytes(
+        read_frame(&bytes, &mut pos)
+            .map_err(|e| StoreError::Corrupt(format!("{}: {e}", path.display())))?,
+    )?;
+    Ok((header.consumed, snapshot))
+}
+
+/// The newest checkpoint in `dir` that validates, if any. Damaged newer
+/// checkpoints are skipped (a crash mid-`write_checkpoint` leaves only a
+/// `.tmp` file, but defense-in-depth costs one CRC pass).
+pub fn latest_checkpoint(
+    dir: impl AsRef<Path>,
+) -> Result<Option<(u64, CheckerSnapshot)>, StoreError> {
+    let mut files = checkpoint_files(dir.as_ref())?;
+    files.reverse();
+    for (_, path) in files {
+        if let Ok(loaded) = read_checkpoint(&path) {
+            return Ok(Some(loaded));
+        }
+    }
+    Ok(None)
+}
+
+/// Deletes all but the newest `keep` checkpoints.
+pub fn prune_checkpoints(dir: impl AsRef<Path>, keep: usize) -> Result<usize, StoreError> {
+    let files = checkpoint_files(dir.as_ref())?;
+    let doomed = files.len().saturating_sub(keep);
+    for (_, path) in files.into_iter().take(doomed) {
+        fs::remove_file(path)?;
+    }
+    Ok(doomed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtc_core::{IncrementalChecker, IsolationLevel};
+    use mtc_history::Op;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mtc_store_ck_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_snapshot(n: u64) -> CheckerSnapshot {
+        let mut c =
+            IncrementalChecker::new(IsolationLevel::Serializability).with_init_keys(0..4u64);
+        let mut last = 0u64;
+        for i in 0..n {
+            c.push_committed(0, vec![Op::read(0u64, last), Op::write(0u64, i + 1)])
+                .unwrap();
+            last = i + 1;
+        }
+        c.checkpoint()
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_resumes() {
+        let dir = tmpdir("rt");
+        let snapshot = sample_snapshot(20);
+        write_checkpoint(&dir, 20, &snapshot).unwrap();
+        let (consumed, loaded) = latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(consumed, 20);
+        assert_eq!(loaded.txn_count(), snapshot.txn_count());
+        let mut resumed = IncrementalChecker::resume(loaded);
+        resumed
+            .push_committed(0, vec![Op::read(0u64, 20u64), Op::write(0u64, 77u64)])
+            .unwrap();
+        assert!(resumed.finish().unwrap().is_satisfied());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_newest_checkpoint_falls_back_to_the_previous_one() {
+        let dir = tmpdir("fallback");
+        write_checkpoint(&dir, 10, &sample_snapshot(10)).unwrap();
+        let newest = write_checkpoint(&dir, 20, &sample_snapshot(20)).unwrap();
+        let mut bytes = fs::read(&newest).unwrap();
+        let at = bytes.len() - 5;
+        bytes[at] ^= 0xff;
+        fs::write(&newest, &bytes).unwrap();
+        let (consumed, _) = latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(consumed, 10, "damaged newest must be skipped");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_keeps_the_newest() {
+        let dir = tmpdir("prune");
+        for consumed in [5u64, 10, 15, 20] {
+            write_checkpoint(&dir, consumed, &sample_snapshot(consumed)).unwrap();
+        }
+        assert_eq!(prune_checkpoints(&dir, 2).unwrap(), 2);
+        let files = checkpoint_files(&dir).unwrap();
+        assert_eq!(
+            files.iter().map(|&(c, _)| c).collect::<Vec<_>>(),
+            vec![15, 20]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dir_has_no_checkpoint() {
+        let dir = tmpdir("empty");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(latest_checkpoint(&dir).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

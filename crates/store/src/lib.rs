@@ -1,0 +1,76 @@
+//! # mtc-store
+//!
+//! Durable histories and checkpointed streaming verification for the MTC
+//! workspace: an append-only, segmented, CRC-checked binary history log
+//! with crash-tolerant tail recovery ([`segment`]), atomic checkpoint files
+//! holding [`mtc_core::CheckerSnapshot`]s ([`checkpoint`]), and a facade
+//! tying both to the write-ahead recording discipline ([`store`]).
+//!
+//! The point of this layer: a verification session is no longer a purely
+//! in-memory affair. Every recorded transaction hits the log before the
+//! checker sees it, snapshots of the checker land next to the log, and any
+//! crash — process kill, power loss mid-frame — resumes from the newest
+//! intact checkpoint with a verdict bit-identical to the uninterrupted
+//! run's. A logged session is also re-checkable offline, against any
+//! checker, long after the database under test is gone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binval;
+pub mod checkpoint;
+pub mod frame;
+pub mod segment;
+pub mod store;
+
+pub use binval::{decode_value, encode_value, from_bytes, to_bytes, DecodeError};
+pub use checkpoint::{
+    latest_checkpoint, prune_checkpoints, read_checkpoint, write_checkpoint, CHECKPOINT_VERSION,
+};
+pub use frame::{crc32, read_frame, write_frame, FrameError};
+pub use segment::{read_log, LogRecord, LogWriter, RecoveredLog, StreamMeta, LOG_VERSION};
+pub use store::{recover, MtcStore, Recovery, DEFAULT_CHECKPOINT_KEEP};
+
+use std::io;
+
+/// Errors produced by the store layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// A frame or record failed its integrity check outside the tolerated
+    /// torn tail.
+    Corrupt(String),
+    /// A binary value failed to decode.
+    Decode(DecodeError),
+    /// A decoded value did not deserialize into the expected type.
+    Serde(String),
+    /// Structurally invalid content (wrong magic, missing metadata, …).
+    Format(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+            StoreError::Decode(e) => write!(f, "decode error: {e}"),
+            StoreError::Serde(m) => write!(f, "serde error: {m}"),
+            StoreError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<DecodeError> for StoreError {
+    fn from(e: DecodeError) -> Self {
+        StoreError::Decode(e)
+    }
+}

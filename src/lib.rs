@@ -7,7 +7,8 @@
 //! * [`workload`] — MT / GT / LWT / Elle-style workload generators;
 //! * [`dbsim`] — the in-memory MVCC transactional store used as the system under test;
 //! * [`baselines`] — Cobra-, PolySI-, Porcupine- and Elle-style baseline checkers;
-//! * [`runner`] — the end-to-end harness (generate → execute → collect → verify → report).
+//! * [`runner`] — the end-to-end harness (generate → execute → collect → verify → report);
+//! * [`store`] — durable history logs, checkpoints and crash recovery.
 //!
 //! See `examples/quickstart.rs` for a three-minute tour.
 
@@ -16,13 +17,16 @@ pub use mtc_core as core;
 pub use mtc_dbsim as dbsim;
 pub use mtc_history as history;
 pub use mtc_runner as runner;
+pub use mtc_store as store;
 pub use mtc_workload as workload;
 
 // The streaming verification engine, re-exported at the facade root: the
 // online checkers share `CheckOptions`/`IsolationLevel` with the batch path.
 pub use mtc_core::{
-    check_streaming, check_streaming_sharded, CheckOptions, IncrementalChecker,
-    IncrementalSserChecker, IsolationLevel, ShardedIncrementalChecker, StreamStatus,
+    check_streaming, check_streaming_sharded, CheckOptions, CheckerSnapshot, GcPolicy,
+    IncrementalChecker, IncrementalSserChecker, IsolationLevel, ShardedIncrementalChecker,
+    StreamStatus,
 };
 pub use mtc_dbsim::{execute_workload_live, LiveVerifier};
 pub use mtc_history::{IncrementalTopo, TimeChain};
+pub use mtc_store::{MtcStore, StreamMeta};

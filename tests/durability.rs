@@ -1,0 +1,230 @@
+//! Durability and bounded-memory integration tests: the acceptance bar of
+//! the mtc-store subsystem.
+//!
+//! * A long (100k+) synthetic stream verified with GC enabled keeps the
+//!   number of retained graph nodes below a fixed cap while producing a
+//!   verdict identical to the unbounded checker's.
+//! * A kill/resume round trip — record, checkpoint, "crash", recover,
+//!   resume, finish — reproduces the clean run's verdict and certificate.
+
+use mtc::core::{
+    check_streaming, CheckerSnapshot, GcPolicy, IncrementalChecker, IsolationLevel,
+    ShardedIncrementalChecker,
+};
+use mtc::history::{History, HistoryBuilder, Op, Transaction};
+use mtc::store::{recover, MtcStore, StreamMeta};
+
+/// A serial multi-key stream with one write-skew gadget (an in-window
+/// SER/SSER violation) planted at `corrupt_at`, mirroring the core GC test
+/// generator but at acceptance scale. (Kept as a copy: the core tests
+/// cannot depend on a shared crate without a dependency cycle, so changes
+/// here must be applied to `crates/core/src/incremental.rs` tests too.)
+#[allow(clippy::explicit_counter_loop)] // `value` is state, not a counter
+fn long_stream(n: u64, keys: u64, corrupt_at: Option<u64>) -> History {
+    assert!(keys >= 3);
+    let (ka, kb) = (keys - 2, keys - 1);
+    let mut b = HistoryBuilder::new().with_init(keys);
+    let mut last = vec![0u64; keys as usize];
+    let mut value = 1u64;
+    for i in 0..n {
+        if corrupt_at == Some(i) {
+            b.committed_timed(
+                8,
+                vec![
+                    Op::read(ka, 0u64),
+                    Op::read(kb, 0u64),
+                    Op::write(ka, 900_000_001u64),
+                ],
+                10 * i + 1,
+                10 * i + 6,
+            );
+            b.committed_timed(
+                9,
+                vec![
+                    Op::read(ka, 0u64),
+                    Op::read(kb, 0u64),
+                    Op::write(kb, 900_000_002u64),
+                ],
+                10 * i + 2,
+                10 * i + 7,
+            );
+        }
+        let k = (i * 5) % (keys - 2); // stride coprime to every tested key count
+        b.committed_timed(
+            (i % 8) as u32,
+            vec![Op::read(k, last[k as usize]), Op::write(k, value)],
+            10 * i + 1,
+            10 * i + 5,
+        );
+        last[k as usize] = value;
+        value += 1;
+    }
+    b.build()
+}
+
+#[test]
+fn hundred_thousand_txn_stream_verifies_with_bounded_memory() {
+    let n = 100_000u64;
+    let window = 2048usize;
+    // A fixed cap, independent of n: the GC must keep resident state at
+    // window scale. (5 nodes per resident transaction in SSER: the
+    // transaction node plus two chain nodes per instant.)
+    let txn_cap = 3 * window;
+    let node_cap = 5 * txn_cap;
+    for level in [
+        IsolationLevel::Serializability,
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::StrictSerializability,
+    ] {
+        let h = long_stream(n, 16, None);
+        let unbounded = check_streaming(level, &h).unwrap();
+        let mut gc = IncrementalChecker::new(level).with_gc(GcPolicy { window, every: 512 });
+        let _ = gc.push_history(&h);
+        assert!(
+            gc.live_txn_count() <= txn_cap,
+            "{level}: {} resident transactions exceed the cap {txn_cap}",
+            gc.live_txn_count()
+        );
+        assert!(
+            gc.live_node_count() <= node_cap,
+            "{level}: {} live nodes exceed the cap {node_cap}",
+            gc.live_node_count()
+        );
+        assert!(
+            gc.pruned_txn_count() as u64 > n / 2,
+            "{level}: only {} of {n} transactions were retired",
+            gc.pruned_txn_count()
+        );
+        let verdict = gc.finish().unwrap();
+        assert_eq!(verdict, unbounded, "{level}: GC changed the verdict");
+        assert!(verdict.is_satisfied());
+    }
+}
+
+#[test]
+fn bounded_memory_stream_still_latches_violations_exactly() {
+    let n = 40_000u64;
+    let h = long_stream(n, 16, Some(39_000));
+    for level in [
+        IsolationLevel::Serializability,
+        IsolationLevel::StrictSerializability,
+    ] {
+        let unbounded = check_streaming(level, &h).unwrap();
+        assert!(unbounded.is_violated());
+        let mut gc = IncrementalChecker::new(level).with_gc(GcPolicy {
+            window: 1024,
+            every: 256,
+        });
+        let _ = gc.push_history(&h);
+        let first = gc.first_violation_at();
+        assert!(first.is_some(), "{level}: must latch mid-stream");
+        assert_eq!(
+            gc.finish().unwrap(),
+            unbounded,
+            "{level}: certificate must be identical to the unbounded run's"
+        );
+    }
+}
+
+/// Splits a history into (init keys, user transactions).
+fn split(h: &History) -> (Vec<mtc::history::Key>, Vec<Transaction>) {
+    let init_keys = h
+        .init_txn()
+        .map(|id| h.txn(id).write_set())
+        .unwrap_or_default();
+    let txns = h
+        .txns()
+        .iter()
+        .filter(|t| Some(t.id) != h.init_txn())
+        .cloned()
+        .collect();
+    (init_keys, txns)
+}
+
+#[test]
+fn kill_resume_round_trip_reproduces_the_clean_verdict_and_certificate() {
+    let dir = std::env::temp_dir().join(format!("mtc_durability_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let n = 4_000u64;
+    let level = IsolationLevel::StrictSerializability;
+    let h = long_stream(n, 8, Some(3_500));
+    let clean = check_streaming(level, &h).unwrap();
+    assert!(clean.is_violated());
+
+    // Record with write-ahead + periodic checkpoints, then "crash" mid-way
+    // by abandoning everything after a torn partial frame.
+    let (init_keys, txns) = split(&h);
+    let mut store = MtcStore::create(
+        &dir,
+        &StreamMeta {
+            level,
+            num_keys: init_keys.len() as u64,
+        },
+    )
+    .unwrap();
+    let mut checker = IncrementalChecker::new(level).with_init_keys(init_keys);
+    let cut = 3_200usize;
+    for (i, t) in txns[..cut].iter().enumerate() {
+        store.append_txn(t).unwrap();
+        let _ = checker.push(t.clone());
+        if (i + 1) % 500 == 0 {
+            let snap: CheckerSnapshot = checker.checkpoint();
+            store.checkpoint((i + 1) as u64, &snap).unwrap();
+        }
+    }
+    store.sync().unwrap();
+    drop(store);
+    drop(checker);
+    // Torn tail: half a frame of garbage, as a kill mid-write leaves.
+    let seg = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".mtclog"))
+        .max_by_key(|e| e.file_name())
+        .unwrap()
+        .path();
+    let mut bytes = std::fs::read(&seg).unwrap();
+    bytes.extend_from_slice(&[0x17, 0x00, 0x00, 0x00, 0xde, 0xad]);
+    std::fs::write(&seg, &bytes).unwrap();
+
+    // Recover: resume from the newest checkpoint, replay the logged tail,
+    // then feed the not-yet-logged remainder of the stream.
+    let recovery = recover(&dir).unwrap();
+    assert!(recovery.torn_tail);
+    assert_eq!(recovery.resume_from, 3_000);
+    assert_eq!(recovery.txns.len(), cut);
+    let mut resumed = IncrementalChecker::resume(recovery.snapshot.clone().unwrap());
+    for t in recovery.tail() {
+        let _ = resumed.push(t.clone());
+    }
+    for t in &txns[cut..] {
+        let _ = resumed.push(t.clone());
+    }
+    let verdict = resumed.finish().unwrap();
+    assert_eq!(
+        verdict, clean,
+        "kill/resume must reproduce the clean verdict and certificate"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_checker_resumes_a_sequential_checkpoint_at_scale() {
+    let n = 10_000u64;
+    let level = IsolationLevel::SnapshotIsolation;
+    let h = long_stream(n, 12, None);
+    let clean = check_streaming(level, &h).unwrap();
+    let (init_keys, txns) = split(&h);
+    let mut seq = IncrementalChecker::new(level).with_init_keys(init_keys);
+    let cut = 6_000usize;
+    for t in &txns[..cut] {
+        let _ = seq.push(t.clone());
+    }
+    let snapshot = seq.checkpoint();
+    drop(seq);
+    let mut sharded = ShardedIncrementalChecker::resume(snapshot, 4);
+    for chunk in txns[cut..].chunks(256) {
+        let _ = sharded.push_batch(chunk.to_vec());
+    }
+    assert_eq!(sharded.finish().unwrap(), clean);
+}
