@@ -1,0 +1,14 @@
+//! The backend dimension of the experiment matrix: runs the same MT
+//! workload against every in-tree backend (OCC simulator at three modes,
+//! strict-2PL wait-die, weak MVCC at RC and RU — all fault-free) and prints
+//! per-backend promises, verdicts, abort rates and timings.
+use mtc_runner::experiments as e;
+fn main() {
+    let quick = mtc_bench::quick_requested();
+    let sweep = if quick {
+        e::BackendSweep::quick()
+    } else {
+        e::BackendSweep::paper()
+    };
+    mtc_bench::emit(&[e::backend_matrix(&sweep)]);
+}

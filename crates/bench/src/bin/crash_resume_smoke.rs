@@ -36,7 +36,7 @@ fn workload_spec() -> MtWorkloadSpec {
 }
 
 fn child(dir: &str) -> ! {
-    use mtc_dbsim::{ClientOptions, DbConfig, FaultKind, FaultSpec, IsolationMode};
+    use mtc_dbsim::{ClientOptions, Database, DbConfig, FaultKind, FaultSpec, IsolationMode};
     // The watchdog: SIGKILL ourselves mid-stream. `kill -9` cannot be
     // caught or cleaned up after — the log tail is whatever made it to the
     // OS, which is the point.
@@ -58,7 +58,7 @@ fn child(dir: &str) -> ! {
         );
     let out = record_streaming(
         dir,
-        &config,
+        &Database::new(config),
         &workload,
         &ClientOptions::default(),
         LEVEL,

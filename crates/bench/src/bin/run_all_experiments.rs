@@ -36,6 +36,12 @@ fn main() {
         e::BugSweep::paper()
     };
     mtc_bench::emit(&[e::table2_bug_rediscovery(&b)]);
+    let bm = if quick {
+        e::BackendSweep::quick()
+    } else {
+        e::BackendSweep::paper()
+    };
+    mtc_bench::emit(&[e::backend_matrix(&bm)]);
     let eff = if quick {
         e::EffectivenessSweep::quick()
     } else {

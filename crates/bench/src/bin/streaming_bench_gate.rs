@@ -6,6 +6,13 @@
 //! throughput trail), and — with `--check <baseline.json>` — fails when a
 //! streaming checker regressed more than 30% against the committed baseline.
 //!
+//! Schema 3 adds per-backend execution-throughput series
+//! (`backend/<label>`): the same MT workload executed end-to-end against
+//! each engine of the backend fleet (OCC simulator, strict-2PL wait-die,
+//! weak MVCC). These are **artifact-only** — the gate ignores them until a
+//! baseline with recorded backend series exists, so heterogeneous engines
+//! leave a throughput trail without destabilizing CI.
+//!
 //! Raw throughput is machine-dependent, so the gate normalizes by machine
 //! speed before comparing: for each isolation level, the batch checker's
 //! current/baseline throughput ratio is the machine scale, and each
@@ -31,7 +38,9 @@ use mtc_core::{
     check_ser, check_si, check_sser, check_streaming, check_streaming_sharded, tune, GcPolicy,
     IncrementalChecker, IsolationLevel, Verdict,
 };
+use mtc_dbsim::{execute_workload, BackendSpec, ClientOptions};
 use mtc_history::History;
+use mtc_workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -149,6 +158,7 @@ fn main() {
         let gc_policy = GcPolicy {
             window: 1024,
             every: 256,
+            reader_cap: 0,
         };
         let gc_retained = std::cell::Cell::new(0u64);
         let run_gc = || {
@@ -187,8 +197,53 @@ fn main() {
         record("sharded", millis, 0);
     }
 
+    // Per-backend execution throughput (schema 3, artifact-only): the same
+    // MT workload executed end-to-end against each engine of the fleet.
+    // Committed-transaction throughput, best of 3 runs (thread-spawn noise).
+    let backend_txns = (txns / 4).max(200);
+    let wl_spec = MtWorkloadSpec {
+        sessions: 4,
+        txns_per_session: (backend_txns / 4).max(1) as u32,
+        num_keys: 64,
+        distribution: Distribution::Uniform,
+        read_only_fraction: 0.2,
+        two_key_fraction: 0.5,
+        seed: 0xBE7C,
+    };
+    let workload = generate_mt_workload(&wl_spec);
+    for spec in BackendSpec::fleet(wl_spec.num_keys) {
+        let mut best = f64::MAX;
+        let mut committed = 0usize;
+        for _ in 0..3 {
+            let db = spec.build();
+            let start = Instant::now();
+            let (_, report) = execute_workload(db.as_ref(), &workload, &ClientOptions::default());
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            // Keep numerator and denominator from the same run: committed
+            // counts vary per run on nondeterministic backends (wait-die).
+            if elapsed < best {
+                best = elapsed;
+                committed = report.committed;
+            }
+        }
+        let name = format!("backend/{}", spec.label());
+        let txns_per_sec = committed as f64 / (best / 1e3);
+        let peak_rss = peak_rss_kb();
+        println!(
+            "{name:<18} {best:>9.3} ms   {txns_per_sec:>12.0} txns/s   \
+             rss {peak_rss:>8} kB   committed {committed}"
+        );
+        series.push(Series {
+            name,
+            millis: best,
+            txns_per_sec,
+            peak_rss_kb: peak_rss,
+            retained_nodes: 0,
+        });
+    }
+
     let report = BenchReport {
-        schema: 2,
+        schema: 3,
         txns,
         shards: tuning.shards as u64,
         batch: tuning.batch as u64,

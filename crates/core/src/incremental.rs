@@ -187,6 +187,10 @@ struct KeyState {
     /// the reverse index the GC uses to retire `readers_of` entries
     /// together with their version.
     version_of: FastHashMap<(TxnId, Key), Value>,
+    /// Explicit eviction markers: per `(writer, key)` version, how many
+    /// reader entries the GC's reader-list cap has dropped (see
+    /// [`GcPolicy`]'s reader-cap contract). Empty unless a cap is set.
+    evicted: FastHashMap<(TxnId, Key), u64>,
 }
 
 /// The per-key slice of one transaction, precomputed once by the coordinator
@@ -609,9 +613,11 @@ impl KeyState {
     /// the latest of their key, were last touched before `watermark`, and
     /// have no pending read — together with their `readers_of` /
     /// `first_reader_writer` satellites, and trims reader/overwriter lists
-    /// of live versions down to the window. Returns the set of transactions
-    /// the surviving state still references; those must stay resident.
-    fn sweep(&mut self, watermark: TxnId) -> HashSet<TxnId> {
+    /// of live versions down to the window (and, when `reader_cap > 0`, to
+    /// the `reader_cap` newest readers, recording an eviction marker per
+    /// capped version). Returns the set of transactions the surviving state
+    /// still references; those must stay resident.
+    fn sweep(&mut self, watermark: TxnId, reader_cap: usize) -> HashSet<TxnId> {
         let latest = &self.latest;
         let pending = &self.pending;
         let mut dropped: Vec<(TxnId, Key)> = Vec::new();
@@ -637,12 +643,30 @@ impl KeyState {
         }
         let dropped: HashSet<(TxnId, Key)> = dropped.into_iter().collect();
         self.readers_of.retain(|wk, _| !dropped.contains(wk));
-        for (readers, overwriters) in self.readers_of.values_mut() {
+        // Eviction markers are deliberately *not* dropped with their
+        // version: the RW edges lost to an eviction stay lost even after
+        // the version itself is retired, so the marker must outlive it —
+        // otherwise a qualified clean verdict would silently turn into an
+        // unqualified one (and the cumulative count would shrink). The map
+        // is bounded by the number of distinct versions ever capped.
+        for (wk, (readers, overwriters)) in self.readers_of.iter_mut() {
             // Readers and overwriters below the window can no longer gain
             // RW edges that matter (out-of-window interactions are outside
             // the GC's contract); trimming them unpins their transactions.
             readers.retain(|&r| r >= watermark);
             overwriters.retain(|&o| o >= watermark);
+            // Reader-list cap: a hot version whose value never changes
+            // keeps accumulating in-window readers between sweeps; with a
+            // cap, only the newest `reader_cap` stay resident and the
+            // eviction is recorded as an explicit marker (the verdict
+            // becomes a qualified certificate — see `GcPolicy`).
+            if reader_cap > 0 && readers.len() > reader_cap {
+                let drop_n = readers.len() - reader_cap;
+                // Readers are appended in stream order, so the front of the
+                // list is the oldest.
+                readers.drain(..drop_n);
+                *self.evicted.entry(*wk).or_default() += drop_n as u64;
+            }
         }
         let writes = &self.writes;
         self.first_reader_writer
@@ -684,6 +708,7 @@ impl KeyState {
             out.pending.extend(s.pending);
             out.latest.extend(s.latest);
             out.version_of.extend(s.version_of);
+            out.evicted.extend(s.evicted);
         }
         out
     }
@@ -720,7 +745,37 @@ impl KeyState {
                 .version_of
                 .insert((txn, key), value);
         }
+        for ((txn, key), dropped) in merged.evicted {
+            out[shard_of(key, shards)]
+                .evicted
+                .insert((txn, key), dropped);
+        }
         out
+    }
+
+    /// The eviction markers of this state, sorted for determinism.
+    fn evictions(&self) -> Vec<Eviction> {
+        let mut out: Vec<Eviction> = self
+            .evicted
+            .iter()
+            .map(|(&(writer, key), &dropped)| Eviction {
+                writer,
+                key,
+                dropped,
+            })
+            .collect();
+        out.sort_by_key(|e| (e.writer, e.key));
+        out
+    }
+
+    /// Longest resident reader list across all live versions — the quantity
+    /// the reader cap bounds.
+    fn max_reader_list_len(&self) -> usize {
+        self.readers_of
+            .values()
+            .map(|(readers, _)| readers.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -751,12 +806,34 @@ enum NodeOwner {
 /// at most `window` positions older. A read of a version retired by the GC
 /// surfaces as the read of an unknown value (the conservative direction)
 /// instead of the unbounded run's classification.
+///
+/// # Reader-list caps
+///
+/// The sweep trims the reader/overwriter lists of *live* (latest) versions
+/// to the window, but a hot key whose version never changes still
+/// accumulates up to `window` reader entries between sweeps — with many hot
+/// keys, `window × keys` register state. Setting `reader_cap > 0` bounds
+/// each live version's resident reader list to the `reader_cap` newest
+/// readers; the evicted older readers can no longer contribute RW
+/// anti-dependency edges if the version is later overwritten, so a clean
+/// verdict obtained under a cap is a **qualified certificate**: violations
+/// that are found remain sound (eviction only removes potential edges), but
+/// completeness now additionally requires that no more than `reader_cap`
+/// in-window readers of any single version conflict with a later writer.
+/// Every eviction is recorded as an explicit marker
+/// ([`IncrementalChecker::reader_evictions`]) and rides along in
+/// [`CheckerSnapshot`]s, so a consumer of the verdict can see exactly which
+/// versions the certificate is qualified on. `reader_cap = 0` (the default)
+/// disables capping and keeps the unqualified staleness-window contract.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GcPolicy {
     /// Keep at least the most recent `window` transactions resident.
     pub window: usize,
     /// Run a collection every `every` consumed transactions.
     pub every: usize,
+    /// Cap each live version's resident reader list to this many newest
+    /// readers at every sweep (0 = unlimited, the default).
+    pub reader_cap: usize,
 }
 
 impl Default for GcPolicy {
@@ -764,18 +841,53 @@ impl Default for GcPolicy {
         GcPolicy {
             window: 8192,
             every: 2048,
+            reader_cap: 0,
         }
     }
 }
 
 impl GcPolicy {
-    /// A policy with both knobs clamped to at least 1.
+    /// A window/cadence policy with both knobs clamped to at least 1 and no
+    /// reader cap.
     pub fn clamped(window: usize, every: usize) -> Self {
         GcPolicy {
             window: window.max(1),
             every: every.max(1),
+            reader_cap: 0,
         }
     }
+
+    /// Adds a per-key reader-list cap (builder style; see the type docs for
+    /// the qualified-certificate contract).
+    pub fn with_reader_cap(mut self, cap: usize) -> Self {
+        self.reader_cap = cap;
+        self
+    }
+
+    /// The policy with window and cadence clamped to at least 1, the reader
+    /// cap preserved.
+    fn normalized(self) -> Self {
+        GcPolicy {
+            window: self.window.max(1),
+            every: self.every.max(1),
+            reader_cap: self.reader_cap,
+        }
+    }
+}
+
+/// An explicit eviction marker: the settled-prefix GC capped the reader
+/// list of a live version. Clean verdicts produced after evictions are
+/// qualified certificates (see [`GcPolicy`]'s reader-cap documentation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Eviction {
+    /// The transaction whose version had readers evicted (`⊥T`'s id for the
+    /// initial version).
+    pub writer: TxnId,
+    /// The key concerned.
+    pub key: Key,
+    /// How many reader entries have been dropped from this version's list
+    /// so far.
+    pub dropped: u64,
 }
 
 /// Stream-order metadata of a resident transaction, kept for the GC's
@@ -1753,8 +1865,9 @@ pub struct CheckerSnapshot {
     keys: Vec<KeyState>,
 }
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Bumped to 2 when the per-key state
+/// gained explicit reader-eviction markers (the GC reader-cap feature).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 impl CheckerSnapshot {
     /// The isolation level the snapshotted checker enforces.
@@ -1775,6 +1888,14 @@ impl CheckerSnapshot {
     /// Snapshot format version.
     pub fn version(&self) -> u32 {
         self.version
+    }
+
+    /// The reader-eviction markers carried by the snapshot, across all of
+    /// its shards (sorted; see [`GcPolicy`]'s reader-cap contract).
+    pub fn reader_evictions(&self) -> Vec<Eviction> {
+        let mut out: Vec<Eviction> = self.keys.iter().flat_map(KeyState::evictions).collect();
+        out.sort_by_key(|e| (e.writer, e.key));
+        out
     }
 }
 
@@ -1843,7 +1964,7 @@ impl IncrementalChecker {
 
     /// Non-consuming form of [`IncrementalChecker::with_gc`].
     pub fn set_gc(&mut self, policy: GcPolicy) {
-        self.engine.gc = Some(GcPolicy::clamped(policy.window, policy.every));
+        self.engine.gc = Some(policy.normalized());
     }
 
     /// The garbage-collection policy in effect, if any.
@@ -1863,6 +1984,27 @@ impl IncrementalChecker {
             .topo
             .live_node_count()
             .max(self.engine.composed.live_node_count())
+    }
+
+    /// Explicit eviction markers recorded by the GC's reader-list cap: one
+    /// per live version whose resident reader list was trimmed beyond the
+    /// staleness window. Empty unless [`GcPolicy::reader_cap`] is set. A
+    /// clean verdict with a non-empty marker set is a qualified
+    /// certificate (see [`GcPolicy`]).
+    pub fn reader_evictions(&self) -> Vec<Eviction> {
+        self.keys.evictions()
+    }
+
+    /// Total reader entries dropped by the GC's reader-list cap so far.
+    pub fn reader_eviction_count(&self) -> u64 {
+        self.keys.evicted.values().sum()
+    }
+
+    /// Longest resident reader list across all live versions — the register
+    /// state a hot, never-overwritten key accumulates; the quantity
+    /// [`GcPolicy::reader_cap`] bounds.
+    pub fn max_reader_list_len(&self) -> usize {
+        self.keys.max_reader_list_len()
     }
 
     /// Transactions retired by the GC so far.
@@ -2010,7 +2152,8 @@ impl IncrementalChecker {
         }
         if self.engine.gc_due() {
             let watermark = self.engine.gc_watermark();
-            let refs = self.keys.sweep(watermark);
+            let cap = self.engine.gc.map_or(0, |g| g.reader_cap);
+            let refs = self.keys.sweep(watermark, cap);
             self.engine.collect(watermark, &refs);
         }
     }
@@ -2297,6 +2440,9 @@ pub fn check_streaming_sharded(
 pub struct ShardedIncrementalChecker {
     engine: Engine,
     pool: ShardPool,
+    /// Cumulative reader-eviction count last reported by each worker
+    /// (updated at every collect; see [`GcPolicy`]'s reader-cap contract).
+    worker_evictions: Vec<u64>,
 }
 
 fn shard_of(key: Key, shards: usize) -> usize {
@@ -2320,9 +2466,10 @@ struct BatchJob {
 
 enum ShardMsg {
     Batch(std::sync::Arc<BatchJob>),
-    /// Run the settled-prefix sweep at the given watermark and reply with
-    /// the transactions the shard still references.
-    Collect(TxnId),
+    /// Run the settled-prefix sweep at the given watermark (second field:
+    /// the policy's reader-list cap) and reply with the transactions the
+    /// shard still references.
+    Collect(TxnId, usize),
     /// Clone and return the shard's key state (checkpointing).
     Snapshot,
     /// Replace the shard's key state (resuming from a checkpoint).
@@ -2336,9 +2483,9 @@ enum ShardReply {
     /// already filtered), plus the batch index of the first transaction
     /// whose edges closed a cycle in the shard's *local* order, if any.
     Events(Vec<Vec<TaggedEvent>>, Option<usize>),
-    /// Transactions still referenced by the shard (reply to
-    /// [`ShardMsg::Collect`]).
-    Refs(HashSet<TxnId>),
+    /// Transactions still referenced by the shard, plus the shard's
+    /// cumulative reader-eviction count (reply to [`ShardMsg::Collect`]).
+    Refs(HashSet<TxnId>, u64),
     /// The shard's key state (reply to [`ShardMsg::Snapshot`]).
     State(Box<KeyState>),
     /// Settled pending reads, classified (reply to [`ShardMsg::Finish`]).
@@ -2486,10 +2633,11 @@ impl ShardPool {
                                         break;
                                     }
                                 }
-                                ShardMsg::Collect(watermark) => {
-                                    let refs = state.sweep(watermark);
+                                ShardMsg::Collect(watermark, reader_cap) => {
+                                    let refs = state.sweep(watermark, reader_cap);
                                     prefilter.trim(watermark);
-                                    if reply_tx.send(ShardReply::Refs(refs)).is_err() {
+                                    let evicted = state.evicted.values().sum();
+                                    if reply_tx.send(ShardReply::Refs(refs, evicted)).is_err() {
                                         break;
                                     }
                                 }
@@ -2572,6 +2720,7 @@ impl ShardedIncrementalChecker {
         ShardedIncrementalChecker {
             engine: Engine::new(level, CheckOptions::default()),
             pool: ShardPool::new(shards),
+            worker_evictions: Vec::new(),
         }
     }
 
@@ -2598,7 +2747,7 @@ impl ShardedIncrementalChecker {
 
     /// Non-consuming form of [`ShardedIncrementalChecker::with_gc`].
     pub fn set_gc(&mut self, policy: GcPolicy) {
-        self.engine.gc = Some(GcPolicy::clamped(policy.window, policy.every));
+        self.engine.gc = Some(policy.normalized());
     }
 
     /// The garbage-collection policy in effect, if any.
@@ -2618,6 +2767,17 @@ impl ShardedIncrementalChecker {
             .topo
             .live_node_count()
             .max(self.engine.composed.live_node_count())
+    }
+
+    /// Total reader entries dropped by the GC's reader-list cap across all
+    /// shards, as of the most recent collection (per-version markers are
+    /// available from the [`ShardedIncrementalChecker::checkpoint`]
+    /// snapshot's [`CheckerSnapshot::reader_evictions`]).
+    pub fn reader_eviction_count(&self) -> u64 {
+        match &self.pool {
+            ShardPool::Inline(state) => state.evicted.values().sum(),
+            ShardPool::Workers { .. } => self.worker_evictions.iter().sum(),
+        }
     }
 
     /// Transactions retired by the GC so far.
@@ -2666,6 +2826,10 @@ impl ShardedIncrementalChecker {
         let mut engine = engine;
         engine.graph.rebuild_index();
         let states = KeyState::reshard(keys, shards);
+        // Seed the per-worker eviction counts from the restored states, so
+        // `reader_eviction_count` is correct immediately after a resume
+        // rather than only after the next collect.
+        let worker_evictions: Vec<u64> = states.iter().map(|s| s.evicted.values().sum()).collect();
         let mut pool = ShardPool::new(shards);
         match &mut pool {
             ShardPool::Inline(slot) => {
@@ -2681,7 +2845,11 @@ impl ShardedIncrementalChecker {
                 }
             }
         }
-        ShardedIncrementalChecker { engine, pool }
+        ShardedIncrementalChecker {
+            engine,
+            pool,
+            worker_evictions,
+        }
     }
 
     /// Seeds the stream with `⊥T` (see [`IncrementalChecker::with_init_keys`]).
@@ -2876,19 +3044,24 @@ impl ShardedIncrementalChecker {
         self.engine.flush_deferred();
         if self.engine.gc_due() {
             let watermark = self.engine.gc_watermark();
+            let cap = self.engine.gc.map_or(0, |g| g.reader_cap);
             let refs: HashSet<TxnId> = match &mut self.pool {
-                ShardPool::Inline(state) => state.sweep(watermark),
+                ShardPool::Inline(state) => state.sweep(watermark, cap),
                 ShardPool::Workers { workers, .. } => {
                     for w in workers.iter() {
                         w.tx.as_ref()
                             .expect("pool already shut down")
-                            .send(ShardMsg::Collect(watermark))
+                            .send(ShardMsg::Collect(watermark, cap))
                             .expect("shard worker hung up");
                     }
                     let mut refs = HashSet::new();
-                    for w in workers.iter() {
+                    self.worker_evictions.resize(workers.len(), 0);
+                    for (i, w) in workers.iter().enumerate() {
                         match w.rx.recv().expect("shard worker hung up") {
-                            ShardReply::Refs(r) => refs.extend(r),
+                            ShardReply::Refs(r, evicted) => {
+                                refs.extend(r);
+                                self.worker_evictions[i] = evicted;
+                            }
                             _ => unreachable!("collect reply out of order"),
                         }
                     }
@@ -3675,6 +3848,7 @@ mod tests {
             let mut gc = IncrementalChecker::new(level).with_gc(GcPolicy {
                 window: 512,
                 every: 128,
+                reader_cap: 0,
             });
             let _ = gc.push_history(&h);
             assert!(
@@ -3711,6 +3885,7 @@ mod tests {
             let policy = GcPolicy {
                 window: 256,
                 every: 64,
+                reader_cap: 0,
             };
             let mut seq = IncrementalChecker::new(level).with_gc(policy);
             let _ = seq.push_history(&h);
@@ -3733,6 +3908,7 @@ mod tests {
         let mut gc = IncrementalChecker::new(IsolationLevel::Serializability).with_gc(GcPolicy {
             window: 64,
             every: 32,
+            reader_cap: 0,
         });
         let _ = gc.push_history(&h);
         // ⊥T and the last transaction of each of the 6 sessions must be
@@ -3752,6 +3928,7 @@ mod tests {
         let mut c = IncrementalChecker::new(level).with_gc(GcPolicy {
             window: 256,
             every: 64,
+            reader_cap: 0,
         });
         if let Some(init) = h.init_txn() {
             c.feed(h.txn(init).clone(), true);
@@ -3764,7 +3941,8 @@ mod tests {
             resumed.gc_policy(),
             Some(GcPolicy {
                 window: 256,
-                every: 64
+                every: 64,
+                reader_cap: 0,
             }),
             "the GC policy must survive the snapshot"
         );

@@ -46,8 +46,8 @@ pub use check::{
 pub use divergence::{find_divergence, Divergence};
 pub use incremental::tune::{tune, tune_for, ShardTuning};
 pub use incremental::{
-    check_streaming, check_streaming_sharded, check_streaming_with, CheckerSnapshot, GcPolicy,
-    IncrementalChecker, IncrementalSserChecker, ShardedIncrementalChecker, StreamStatus,
+    check_streaming, check_streaming_sharded, check_streaming_with, CheckerSnapshot, Eviction,
+    GcPolicy, IncrementalChecker, IncrementalSserChecker, ShardedIncrementalChecker, StreamStatus,
     SNAPSHOT_VERSION,
 };
 pub use lwt::{check_linearizability, check_linearizability_single_key, LwtError};

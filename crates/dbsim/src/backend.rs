@@ -1,0 +1,105 @@
+//! The pluggable system-under-test layer.
+//!
+//! The paper runs its end-to-end pipeline against five real databases; this
+//! reproduction originally hard-coded one simulated engine
+//! ([`crate::Database`]). The [`DbBackend`] / [`DbTxn`] trait pair extracts
+//! the client-visible surface of that engine — begin, read, write, append,
+//! commit, abort, over register and list values, with begin/commit instants
+//! and abort reasons — so that the whole execution stack
+//! ([`crate::execute_workload`], [`crate::execute_workload_live`] and the
+//! `mtc-runner` harness on top) runs unchanged against *any* engine.
+//!
+//! Three families of backends ship in-tree:
+//!
+//! * the original OCC/MVCC simulator ([`crate::Database`]), whose anomalies
+//!   come from the fault-injection layer;
+//! * a pessimistic strict-2PL engine with wait-die deadlock handling
+//!   ([`crate::backends::TwoPlDatabase`]), whose histories are organically
+//!   strictly serializable without any fault machinery;
+//! * a weak MVCC engine ([`crate::backends::WeakMvccDatabase`]) that
+//!   honestly implements ReadCommitted / ReadUncommitted — no snapshot
+//!   reads, no write validation — and therefore *organically* produces lost
+//!   updates, write skew and dirty reads under contention.
+//!
+//! Backends advertise what they promise via [`DbBackend::promises`]; the
+//! cross-backend conformance suite (`tests/backend_conformance.rs`) holds
+//! every backend to exactly its promises.
+
+use crate::txn::{AbortReason, CommitInfo};
+use mtc_core::IsolationLevel;
+use mtc_history::{Key, Value};
+
+/// An open transaction against some backend.
+///
+/// Reads and writes may fail with an [`AbortReason`] (a pessimistic engine
+/// aborts *inside* an operation when it loses a wait-die conflict, a real
+/// network client fails on timeouts); a failed operation dooms the
+/// transaction, and the driver is expected to [`DbTxn::abort`] it and retry
+/// the template. Engines that cannot fail mid-transaction simply always
+/// return `Ok`.
+pub trait DbTxn {
+    /// The transaction's begin instant on the backend's logical clock.
+    fn begin_ts(&self) -> u64;
+
+    /// Reads the register at `key` (the implicit initial value if never
+    /// written).
+    fn read_register(&mut self, key: Key) -> Result<Value, AbortReason>;
+
+    /// Writes `value` to the register at `key`.
+    fn write_register(&mut self, key: Key, value: Value) -> Result<(), AbortReason>;
+
+    /// Reads the list at `key` (empty if never written).
+    fn read_list(&mut self, key: Key) -> Result<Vec<Value>, AbortReason>;
+
+    /// Appends `element` to the list at `key` (a read-modify-write of the
+    /// whole list).
+    fn append(&mut self, key: Key, element: Value) -> Result<(), AbortReason>;
+
+    /// Attempts to commit. On success the transaction's writes are visible
+    /// atomically at the returned commit instant.
+    fn commit(self: Box<Self>) -> Result<CommitInfo, AbortReason>;
+
+    /// Rolls the transaction back, releasing any resources it holds.
+    fn abort(self: Box<Self>) -> AbortReason;
+}
+
+/// A transactional system under test.
+///
+/// Implementations must be [`Sync`]: the client drivers issue transactions
+/// from one thread per session against a shared backend reference.
+pub trait DbBackend: Sync {
+    /// Begins a transaction.
+    fn begin(&self) -> Box<dyn DbTxn + '_>;
+
+    /// The most recently issued instant of the backend's logical clock
+    /// (used as the end instant of aborted attempts in collected histories).
+    fn now(&self) -> u64;
+
+    /// Short engine label used in reports and bench series
+    /// (e.g. `"sim-ser"`, `"2pl"`, `"weak-rc"`).
+    fn label(&self) -> &'static str;
+
+    /// True iff the backend *promises* the given isolation level — i.e. a
+    /// fault-free run must produce histories that the corresponding checker
+    /// accepts. A weak engine promises none of the checkable levels; the
+    /// checkers are expected to catch its organic anomalies at every level
+    /// it does not promise.
+    fn promises(&self, level: IsolationLevel) -> bool;
+}
+
+/// Blanket plumbing so `&T` usable wherever `&dyn DbBackend` flows through
+/// generic helpers is cheap; trait objects remain the common currency.
+impl<B: DbBackend + ?Sized> DbBackend for &B {
+    fn begin(&self) -> Box<dyn DbTxn + '_> {
+        (**self).begin()
+    }
+    fn now(&self) -> u64 {
+        (**self).now()
+    }
+    fn label(&self) -> &'static str {
+        (**self).label()
+    }
+    fn promises(&self, level: IsolationLevel) -> bool {
+        (**self).promises(level)
+    }
+}

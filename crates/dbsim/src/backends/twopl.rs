@@ -1,0 +1,436 @@
+//! A pessimistic strict two-phase-locking engine with wait-die deadlock
+//! handling.
+//!
+//! This is the structural opposite of the OCC simulator in [`crate::db`]:
+//! instead of validating at commit, every read takes a shared lock and every
+//! write takes an exclusive lock *before* touching data, and all locks are
+//! held until commit or abort (strict 2PL). Conflicts are resolved by
+//! **wait-die**: a requester older than every conflicting holder waits; a
+//! requester younger than some holder dies immediately with
+//! [`AbortReason::Deadlock`]. Waits-for edges therefore always point from
+//! older to younger transactions, so no cycle — and no deadlock — can form.
+//!
+//! Because two conflicting transactions can never be in flight at the same
+//! time, and because the commit instant is drawn from the global clock while
+//! all locks are still held, every history this engine produces is
+//! organically **strictly serializable**: there is no fault machinery in
+//! this module at all, and the cross-backend conformance suite holds it to
+//! `SSER ⊇ SER ⊇ SI` with zero violations.
+
+use crate::backend::{DbBackend, DbTxn};
+use crate::store::StoredValue;
+use crate::txn::{AbortReason, CommitInfo};
+use mtc_core::IsolationLevel;
+use mtc_history::{Key, Value, INIT_VALUE};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Lock mode of one entry in the lock table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+/// One key's lock: the holding transactions (their begin instants double as
+/// transaction identifiers — the clock makes them unique) and the mode.
+#[derive(Debug)]
+struct Lock {
+    mode: LockMode,
+    holders: Vec<u64>,
+}
+
+#[derive(Default)]
+struct TwoPlState {
+    /// Latest committed value per key. Strict 2PL needs no version chains:
+    /// a reader can only get here after every conflicting writer committed
+    /// or rolled back.
+    committed: HashMap<Key, StoredValue>,
+    /// The lock table. Entries are removed when the holder set drains.
+    locks: HashMap<Key, Lock>,
+}
+
+/// The strict-2PL engine.
+pub struct TwoPlDatabase {
+    clock: AtomicU64,
+    state: Mutex<TwoPlState>,
+    released: Condvar,
+}
+
+impl TwoPlDatabase {
+    /// Creates an empty engine. Keys never written read as the implicit
+    /// initial value, mirroring the `⊥T` convention of the checkers, so no
+    /// pre-initialization pass is needed.
+    pub fn new() -> Self {
+        TwoPlDatabase {
+            clock: AtomicU64::new(1),
+            state: Mutex::new(TwoPlState::default()),
+            released: Condvar::new(),
+        }
+    }
+
+    /// A fresh, strictly increasing instant of the engine's logical clock.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Begins a transaction. Its begin instant is also its wait-die
+    /// priority: smaller = older = allowed to wait.
+    pub fn begin(&self) -> TwoPlTxn<'_> {
+        TwoPlTxn {
+            db: self,
+            begin_ts: self.tick(),
+            writes: HashMap::new(),
+            write_order: Vec::new(),
+            held: HashSet::new(),
+            doomed: false,
+        }
+    }
+
+    /// Acquires `key` for `txn_ts` in the requested mode, blocking only in
+    /// the wait-die "older waits" case. Returns the wait-die death as an
+    /// error; the caller's transaction must then abort.
+    fn acquire(&self, txn_ts: u64, key: Key, exclusive: bool) -> Result<(), AbortReason> {
+        let mut st = self.state.lock().expect("2PL state poisoned");
+        loop {
+            let lock = st.locks.entry(key).or_insert(Lock {
+                mode: LockMode::Shared,
+                holders: Vec::new(),
+            });
+            let i_hold = lock.holders.contains(&txn_ts);
+            let others = lock.holders.iter().any(|&h| h != txn_ts);
+            let granted = if lock.holders.is_empty() {
+                lock.mode = if exclusive {
+                    LockMode::Exclusive
+                } else {
+                    LockMode::Shared
+                };
+                lock.holders.push(txn_ts);
+                true
+            } else if !exclusive {
+                // Shared request: compatible with a shared lock, and a
+                // no-op when this transaction already holds the key in
+                // either mode.
+                if i_hold {
+                    true
+                } else if lock.mode == LockMode::Shared {
+                    lock.holders.push(txn_ts);
+                    true
+                } else {
+                    false
+                }
+            } else {
+                // Exclusive request: granted when this transaction is the
+                // sole holder (upgrade) or already exclusive.
+                if i_hold && !others {
+                    lock.mode = LockMode::Exclusive;
+                    true
+                } else {
+                    false
+                }
+            };
+            if granted {
+                return Ok(());
+            }
+            // Wait-die: wait only when older than every conflicting holder;
+            // die when any holder is older. Waits-for edges then always run
+            // old → young, which keeps the waits-for graph acyclic.
+            let oldest_other = lock
+                .holders
+                .iter()
+                .filter(|&&h| h != txn_ts)
+                .min()
+                .copied()
+                .expect("a conflict implies another holder");
+            if txn_ts > oldest_other {
+                return Err(AbortReason::Deadlock);
+            }
+            // The timeout is a belt-and-braces re-check, not a correctness
+            // requirement: every release notifies the condvar.
+            let (guard, _) = self
+                .released
+                .wait_timeout(st, Duration::from_millis(10))
+                .expect("2PL state poisoned");
+            st = guard;
+        }
+    }
+
+    /// Releases every lock in `held` and wakes the waiters.
+    fn release_all(&self, txn_ts: u64, held: &HashSet<Key>) {
+        if held.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock().expect("2PL state poisoned");
+        for key in held {
+            if let Some(lock) = st.locks.get_mut(key) {
+                lock.holders.retain(|&h| h != txn_ts);
+                if lock.holders.is_empty() {
+                    st.locks.remove(key);
+                }
+            }
+        }
+        drop(st);
+        self.released.notify_all();
+    }
+
+    /// Number of keys currently locked (diagnostics and tests).
+    pub fn locked_key_count(&self) -> usize {
+        self.state.lock().expect("2PL state poisoned").locks.len()
+    }
+}
+
+impl Default for TwoPlDatabase {
+    fn default() -> Self {
+        TwoPlDatabase::new()
+    }
+}
+
+/// An open transaction against [`TwoPlDatabase`].
+pub struct TwoPlTxn<'db> {
+    db: &'db TwoPlDatabase,
+    begin_ts: u64,
+    writes: HashMap<Key, StoredValue>,
+    write_order: Vec<Key>,
+    held: HashSet<Key>,
+    /// Set once a lock acquisition died; all further operations refuse.
+    doomed: bool,
+}
+
+impl<'db> TwoPlTxn<'db> {
+    fn lock(&mut self, key: Key, exclusive: bool) -> Result<(), AbortReason> {
+        if self.doomed {
+            return Err(AbortReason::Deadlock);
+        }
+        match self.db.acquire(self.begin_ts, key, exclusive) {
+            Ok(()) => {
+                self.held.insert(key);
+                Ok(())
+            }
+            Err(reason) => {
+                self.doomed = true;
+                Err(reason)
+            }
+        }
+    }
+
+    fn read_stored(&mut self, key: Key) -> Result<StoredValue, AbortReason> {
+        self.lock(key, false)?;
+        if let Some(v) = self.writes.get(&key) {
+            return Ok(v.clone());
+        }
+        let st = self.db.state.lock().expect("2PL state poisoned");
+        Ok(st
+            .committed
+            .get(&key)
+            .cloned()
+            .unwrap_or(StoredValue::Register(INIT_VALUE)))
+    }
+
+    fn buffer_write(&mut self, key: Key, value: StoredValue) {
+        if !self.writes.contains_key(&key) {
+            self.write_order.push(key);
+        }
+        self.writes.insert(key, value);
+    }
+
+    fn finish(&mut self) {
+        let held = std::mem::take(&mut self.held);
+        self.db.release_all(self.begin_ts, &held);
+    }
+}
+
+impl<'db> DbTxn for TwoPlTxn<'db> {
+    fn begin_ts(&self) -> u64 {
+        self.begin_ts
+    }
+
+    fn read_register(&mut self, key: Key) -> Result<Value, AbortReason> {
+        Ok(match self.read_stored(key)? {
+            StoredValue::Register(v) => v,
+            StoredValue::List(_) => INIT_VALUE,
+        })
+    }
+
+    fn write_register(&mut self, key: Key, value: Value) -> Result<(), AbortReason> {
+        self.lock(key, true)?;
+        self.buffer_write(key, StoredValue::Register(value));
+        Ok(())
+    }
+
+    fn read_list(&mut self, key: Key) -> Result<Vec<Value>, AbortReason> {
+        Ok(match self.read_stored(key)? {
+            StoredValue::List(l) => l,
+            StoredValue::Register(v) if v == INIT_VALUE => Vec::new(),
+            StoredValue::Register(v) => vec![v],
+        })
+    }
+
+    fn append(&mut self, key: Key, element: Value) -> Result<(), AbortReason> {
+        self.lock(key, true)?;
+        let mut list = self.read_list(key)?;
+        list.push(element);
+        self.buffer_write(key, StoredValue::List(list));
+        Ok(())
+    }
+
+    fn commit(mut self: Box<Self>) -> Result<CommitInfo, AbortReason> {
+        if self.doomed {
+            self.finish();
+            return Err(AbortReason::Deadlock);
+        }
+        // Install while still holding every lock: the commit instant is
+        // drawn before any conflicting transaction can observe (or miss)
+        // the writes, which is what makes the histories strictly
+        // serializable on the shared logical clock.
+        let commit_ts = {
+            let mut st = self.db.state.lock().expect("2PL state poisoned");
+            let commit_ts = self.db.tick();
+            for key in &self.write_order {
+                st.committed
+                    .insert(*key, self.writes.get(key).expect("buffered").clone());
+            }
+            commit_ts
+        };
+        self.finish();
+        Ok(CommitInfo { commit_ts })
+    }
+
+    fn abort(mut self: Box<Self>) -> AbortReason {
+        let reason = if self.doomed {
+            AbortReason::Deadlock
+        } else {
+            AbortReason::UserAbort
+        };
+        self.finish();
+        reason
+    }
+}
+
+impl<'db> Drop for TwoPlTxn<'db> {
+    fn drop(&mut self) {
+        // Safety net for leaked handles: strict 2PL must never strand a
+        // lock. `finish` is idempotent (the held set is taken).
+        self.finish();
+    }
+}
+
+impl DbBackend for TwoPlDatabase {
+    fn begin(&self) -> Box<dyn DbTxn + '_> {
+        Box::new(TwoPlDatabase::begin(self))
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    fn label(&self) -> &'static str {
+        "2pl"
+    }
+
+    fn promises(&self, _level: IsolationLevel) -> bool {
+        // Strict 2PL on a single logical clock promises strict
+        // serializability and everything below it.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_your_own_writes_and_commit_installs() {
+        let db = TwoPlDatabase::new();
+        let mut t = db.begin();
+        assert_eq!(t.read_register(Key(0)).unwrap(), INIT_VALUE);
+        t.write_register(Key(0), Value(42)).unwrap();
+        assert_eq!(t.read_register(Key(0)).unwrap(), Value(42));
+        let info = Box::new(t).commit().unwrap();
+        let mut t2 = db.begin();
+        assert!(t2.begin_ts() > info.commit_ts);
+        assert_eq!(t2.read_register(Key(0)).unwrap(), Value(42));
+    }
+
+    #[test]
+    fn younger_conflicting_transaction_dies() {
+        let db = TwoPlDatabase::new();
+        let mut older = db.begin();
+        older.write_register(Key(0), Value(1)).unwrap();
+        // The younger transaction requests the same key: wait-die kills it
+        // immediately (no blocking, so this is safe on one thread).
+        let mut younger = db.begin();
+        assert_eq!(
+            younger.write_register(Key(0), Value(2)),
+            Err(AbortReason::Deadlock)
+        );
+        // The doomed handle refuses further work and aborts with the cause.
+        assert_eq!(younger.read_register(Key(1)), Err(AbortReason::Deadlock));
+        assert_eq!(Box::new(younger).abort(), AbortReason::Deadlock);
+        assert!(Box::new(older).commit().is_ok());
+        assert_eq!(db.locked_key_count(), 0);
+    }
+
+    #[test]
+    fn shared_locks_coexist_and_reads_see_committed_state() {
+        let db = TwoPlDatabase::new();
+        let mut w = db.begin();
+        w.write_register(Key(3), Value(7)).unwrap();
+        Box::new(w).commit().unwrap();
+        let mut r1 = db.begin();
+        let mut r2 = db.begin();
+        assert_eq!(r1.read_register(Key(3)).unwrap(), Value(7));
+        assert_eq!(r2.read_register(Key(3)).unwrap(), Value(7));
+        assert!(Box::new(r1).commit().is_ok());
+        assert!(Box::new(r2).commit().is_ok());
+    }
+
+    #[test]
+    fn older_transaction_waits_for_younger_holder() {
+        // T1 (older) conflicts with T2 (younger holder): T1 must *wait*
+        // rather than die, and proceed once T2 commits on another thread.
+        let db = TwoPlDatabase::new();
+        let older = db.begin();
+        let mut younger = db.begin();
+        younger.write_register(Key(0), Value(5)).unwrap();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                // Give the older transaction time to start waiting.
+                std::thread::sleep(Duration::from_millis(20));
+                Box::new(younger).commit().unwrap()
+            });
+            let mut older = older;
+            // Blocks until the younger holder releases, then reads its
+            // committed value.
+            assert_eq!(older.read_register(Key(0)).unwrap(), Value(5));
+            let info = handle.join().unwrap();
+            assert!(older.begin_ts() < info.commit_ts);
+            assert!(Box::new(older).commit().is_ok());
+        });
+    }
+
+    #[test]
+    fn dropped_handles_release_their_locks() {
+        let db = TwoPlDatabase::new();
+        let mut t = db.begin();
+        t.write_register(Key(0), Value(1)).unwrap();
+        assert_eq!(db.locked_key_count(), 1);
+        drop(t);
+        assert_eq!(db.locked_key_count(), 0);
+        // The key is lockable again and the write was discarded.
+        let mut t2 = db.begin();
+        assert_eq!(t2.read_register(Key(0)).unwrap(), INIT_VALUE);
+    }
+
+    #[test]
+    fn lists_append_under_exclusive_locks() {
+        let db = TwoPlDatabase::new();
+        let mut t1 = db.begin();
+        t1.append(Key(9), Value(1)).unwrap();
+        t1.append(Key(9), Value(2)).unwrap();
+        Box::new(t1).commit().unwrap();
+        let mut t2 = db.begin();
+        assert_eq!(t2.read_list(Key(9)).unwrap(), vec![Value(1), Value(2)]);
+    }
+}

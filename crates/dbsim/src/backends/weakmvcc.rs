@@ -1,0 +1,388 @@
+//! A weak multi-version engine that honestly implements ReadCommitted and
+//! ReadUncommitted — and therefore *organically* produces anomalies.
+//!
+//! Unlike the OCC simulator (whose anomalies are injected by the fault
+//! layer), this engine misbehaves by **design of its concurrency control**:
+//!
+//! * [`WeakLevel::ReadCommitted`] — every read observes the latest
+//!   *committed* version at the instant of the read (no begin snapshot),
+//!   writes are buffered and installed at commit with **no validation** of
+//!   any kind. Two concurrent read-modify-writes of the same key both
+//!   commit → **lost update**; disjoint-key RMW pairs interleave → **write
+//!   skew**; two reads of the same key straddling a concurrent commit →
+//!   **read skew / non-repeatable read**.
+//! * [`WeakLevel::ReadUncommitted`] — additionally, writes are *published
+//!   immediately*, before commit, and reads observe the newest version
+//!   regardless of commit status → **dirty reads**, and **aborted reads**
+//!   when the publishing transaction later rolls back.
+//!
+//! There is no fault machinery anywhere in this module. The conformance
+//! suite uses this engine as the first organically-buggy system under test:
+//! its anomalies must be caught by the checkers at every isolation level the
+//! engine does not promise (which, for the three checkable levels, is all
+//! of them).
+
+use crate::backend::{DbBackend, DbTxn};
+use crate::store::StoredValue;
+use crate::txn::{AbortReason, CommitInfo};
+use mtc_core::IsolationLevel;
+use mtc_history::{Key, Value, INIT_VALUE};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The (weak) isolation level the engine honestly implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WeakLevel {
+    /// Latest-committed reads, unvalidated buffered writes.
+    ReadCommitted,
+    /// Latest-*any* reads, writes published before commit.
+    ReadUncommitted,
+}
+
+impl WeakLevel {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WeakLevel::ReadCommitted => "weak-rc",
+            WeakLevel::ReadUncommitted => "weak-ru",
+        }
+    }
+}
+
+/// One version of a key. Publish order (the vector order) is the only
+/// ordering the engine maintains — deliberately: a weak engine has no
+/// globally consistent snapshot to offer.
+#[derive(Clone, Debug)]
+struct WeakVersion {
+    /// The transaction (begin instant) that produced the version.
+    txn: u64,
+    /// False while the producing transaction is still in flight
+    /// (ReadUncommitted publishes eagerly).
+    committed: bool,
+    value: StoredValue,
+}
+
+/// The weak MVCC engine.
+pub struct WeakMvccDatabase {
+    level: WeakLevel,
+    clock: AtomicU64,
+    store: RwLock<HashMap<Key, Vec<WeakVersion>>>,
+}
+
+impl WeakMvccDatabase {
+    /// Creates an empty engine at the given weak level. Keys never written
+    /// read as the implicit initial value.
+    pub fn new(level: WeakLevel) -> Self {
+        WeakMvccDatabase {
+            level,
+            clock: AtomicU64::new(1),
+            store: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The engine's configured weak level.
+    pub fn level(&self) -> WeakLevel {
+        self.level
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Begins a transaction.
+    pub fn begin(&self) -> WeakTxn<'_> {
+        WeakTxn {
+            db: self,
+            begin_ts: self.tick(),
+            buffered: HashMap::new(),
+            write_order: Vec::new(),
+            published: Vec::new(),
+        }
+    }
+
+    /// Newest version of `key` visible at the engine's level: the last
+    /// committed one under ReadCommitted, the last published one (committed
+    /// or not) under ReadUncommitted.
+    fn read_visible(&self, key: Key) -> Option<StoredValue> {
+        let store = self.store.read();
+        let chain = store.get(&key)?;
+        match self.level {
+            WeakLevel::ReadCommitted => chain
+                .iter()
+                .rev()
+                .find(|v| v.committed)
+                .map(|v| v.value.clone()),
+            WeakLevel::ReadUncommitted => chain.last().map(|v| v.value.clone()),
+        }
+    }
+
+    /// Publishes an uncommitted version (ReadUncommitted write path). A
+    /// repeated write of the same key by the same transaction replaces its
+    /// own uncommitted version in place.
+    fn publish(&self, txn: u64, key: Key, value: StoredValue) {
+        let mut store = self.store.write();
+        let chain = store.entry(key).or_default();
+        if let Some(mine) = chain
+            .iter_mut()
+            .rev()
+            .find(|v| v.txn == txn && !v.committed)
+        {
+            mine.value = value;
+        } else {
+            chain.push(WeakVersion {
+                txn,
+                committed: false,
+                value,
+            });
+        }
+    }
+
+    /// Marks every uncommitted version of `txn` committed (RU commit path).
+    fn commit_published(&self, txn: u64) {
+        let mut store = self.store.write();
+        for chain in store.values_mut() {
+            for v in chain.iter_mut() {
+                if v.txn == txn && !v.committed {
+                    v.committed = true;
+                }
+            }
+        }
+    }
+
+    /// Removes every uncommitted version of `txn` (RU abort path).
+    fn discard_published(&self, txn: u64) {
+        let mut store = self.store.write();
+        for chain in store.values_mut() {
+            chain.retain(|v| v.committed || v.txn != txn);
+        }
+    }
+
+    /// Installs a whole committed write set (RC commit path).
+    fn install_committed<'a>(
+        &self,
+        txn: u64,
+        writes: impl IntoIterator<Item = (Key, &'a StoredValue)>,
+    ) {
+        let mut store = self.store.write();
+        for (key, value) in writes {
+            store.entry(key).or_default().push(WeakVersion {
+                txn,
+                committed: true,
+                value: value.clone(),
+            });
+        }
+    }
+
+    /// Total number of resident versions (diagnostics and tests).
+    pub fn version_count(&self) -> usize {
+        self.store.read().values().map(Vec::len).sum()
+    }
+}
+
+/// An open transaction against [`WeakMvccDatabase`].
+pub struct WeakTxn<'db> {
+    db: &'db WeakMvccDatabase,
+    begin_ts: u64,
+    /// RC: the buffered write set. RU: a cache of this transaction's own
+    /// writes (also published immediately).
+    buffered: HashMap<Key, StoredValue>,
+    write_order: Vec<Key>,
+    /// RU: keys with a published uncommitted version.
+    published: Vec<Key>,
+}
+
+impl<'db> WeakTxn<'db> {
+    fn read_stored(&mut self, key: Key) -> StoredValue {
+        if let Some(v) = self.buffered.get(&key) {
+            return v.clone();
+        }
+        self.db
+            .read_visible(key)
+            .unwrap_or(StoredValue::Register(INIT_VALUE))
+    }
+
+    fn write_stored(&mut self, key: Key, value: StoredValue) {
+        if !self.buffered.contains_key(&key) {
+            self.write_order.push(key);
+        }
+        self.buffered.insert(key, value.clone());
+        if self.db.level == WeakLevel::ReadUncommitted {
+            if !self.published.contains(&key) {
+                self.published.push(key);
+            }
+            self.db.publish(self.begin_ts, key, value);
+        }
+    }
+}
+
+impl<'db> DbTxn for WeakTxn<'db> {
+    fn begin_ts(&self) -> u64 {
+        self.begin_ts
+    }
+
+    fn read_register(&mut self, key: Key) -> Result<Value, AbortReason> {
+        Ok(match self.read_stored(key) {
+            StoredValue::Register(v) => v,
+            StoredValue::List(_) => INIT_VALUE,
+        })
+    }
+
+    fn write_register(&mut self, key: Key, value: Value) -> Result<(), AbortReason> {
+        self.write_stored(key, StoredValue::Register(value));
+        Ok(())
+    }
+
+    fn read_list(&mut self, key: Key) -> Result<Vec<Value>, AbortReason> {
+        Ok(match self.read_stored(key) {
+            StoredValue::List(l) => l,
+            StoredValue::Register(v) if v == INIT_VALUE => Vec::new(),
+            StoredValue::Register(v) => vec![v],
+        })
+    }
+
+    fn append(&mut self, key: Key, element: Value) -> Result<(), AbortReason> {
+        let mut list = self.read_list(key)?;
+        list.push(element);
+        self.write_stored(key, StoredValue::List(list));
+        Ok(())
+    }
+
+    fn commit(self: Box<Self>) -> Result<CommitInfo, AbortReason> {
+        // No validation whatsoever — that is the engine's defining "bug".
+        let commit_ts = self.db.tick();
+        match self.db.level {
+            WeakLevel::ReadCommitted => {
+                self.db.install_committed(
+                    self.begin_ts,
+                    self.write_order
+                        .iter()
+                        .map(|k| (*k, self.buffered.get(k).expect("buffered"))),
+                );
+            }
+            WeakLevel::ReadUncommitted => {
+                self.db.commit_published(self.begin_ts);
+            }
+        }
+        Ok(CommitInfo { commit_ts })
+    }
+
+    fn abort(self: Box<Self>) -> AbortReason {
+        if self.db.level == WeakLevel::ReadUncommitted && !self.published.is_empty() {
+            // The dirty versions other transactions may already have read
+            // are withdrawn — any such read is now an aborted read.
+            self.db.discard_published(self.begin_ts);
+        }
+        AbortReason::UserAbort
+    }
+}
+
+impl DbBackend for WeakMvccDatabase {
+    fn begin(&self) -> Box<dyn DbTxn + '_> {
+        Box::new(WeakMvccDatabase::begin(self))
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    fn label(&self) -> &'static str {
+        self.level.label()
+    }
+
+    fn promises(&self, _level: IsolationLevel) -> bool {
+        // Neither weak level reaches SI, SER or SSER: the engine promises
+        // none of the checkable levels, so the checkers are expected to
+        // catch its organic anomalies at all of them.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_reads_latest_committed_not_a_snapshot() {
+        let db = WeakMvccDatabase::new(WeakLevel::ReadCommitted);
+        let mut t1 = db.begin();
+        assert_eq!(t1.read_register(Key(0)).unwrap(), INIT_VALUE);
+        let mut t2 = db.begin();
+        t2.write_register(Key(0), Value(7)).unwrap();
+        Box::new(t2).commit().unwrap();
+        // No snapshot: the same transaction now sees the new value
+        // (non-repeatable read by design).
+        assert_eq!(t1.read_register(Key(0)).unwrap(), Value(7));
+    }
+
+    #[test]
+    fn rc_allows_lost_updates_organically() {
+        let db = WeakMvccDatabase::new(WeakLevel::ReadCommitted);
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        assert_eq!(t1.read_register(Key(0)).unwrap(), INIT_VALUE);
+        assert_eq!(t2.read_register(Key(0)).unwrap(), INIT_VALUE);
+        t1.write_register(Key(0), Value(1)).unwrap();
+        t2.write_register(Key(0), Value(2)).unwrap();
+        assert!(Box::new(t1).commit().is_ok());
+        assert!(
+            Box::new(t2).commit().is_ok(),
+            "no first-committer-wins: the lost update must commit"
+        );
+    }
+
+    #[test]
+    fn rc_buffers_writes_until_commit() {
+        let db = WeakMvccDatabase::new(WeakLevel::ReadCommitted);
+        let mut w = db.begin();
+        w.write_register(Key(0), Value(9)).unwrap();
+        let mut r = db.begin();
+        assert_eq!(
+            r.read_register(Key(0)).unwrap(),
+            INIT_VALUE,
+            "RC must not expose uncommitted writes"
+        );
+        Box::new(w).commit().unwrap();
+        assert_eq!(r.read_register(Key(0)).unwrap(), Value(9));
+    }
+
+    #[test]
+    fn ru_exposes_dirty_writes_and_withdraws_them_on_abort() {
+        let db = WeakMvccDatabase::new(WeakLevel::ReadUncommitted);
+        let mut w = db.begin();
+        w.write_register(Key(0), Value(13)).unwrap();
+        let mut r = db.begin();
+        assert_eq!(
+            r.read_register(Key(0)).unwrap(),
+            Value(13),
+            "RU must expose the uncommitted write"
+        );
+        assert_eq!(Box::new(w).abort(), AbortReason::UserAbort);
+        // The dirty version is gone; the earlier read is an aborted read.
+        let mut r2 = db.begin();
+        assert_eq!(r2.read_register(Key(0)).unwrap(), INIT_VALUE);
+        assert!(Box::new(r).commit().is_ok());
+    }
+
+    #[test]
+    fn ru_rewrite_replaces_own_uncommitted_version() {
+        let db = WeakMvccDatabase::new(WeakLevel::ReadUncommitted);
+        let mut w = db.begin();
+        w.write_register(Key(0), Value(1)).unwrap();
+        w.write_register(Key(0), Value(2)).unwrap();
+        assert_eq!(db.version_count(), 1, "self-overwrite must not stack");
+        Box::new(w).commit().unwrap();
+        let mut r = db.begin();
+        assert_eq!(r.read_register(Key(0)).unwrap(), Value(2));
+    }
+
+    #[test]
+    fn lists_append_without_isolation() {
+        let db = WeakMvccDatabase::new(WeakLevel::ReadCommitted);
+        let mut t1 = db.begin();
+        t1.append(Key(4), Value(1)).unwrap();
+        Box::new(t1).commit().unwrap();
+        let mut t2 = db.begin();
+        assert_eq!(t2.read_list(Key(4)).unwrap(), vec![Value(1)]);
+    }
+}

@@ -1,18 +1,26 @@
 //! The multi-threaded client driver: executes a register workload against a
-//! database and collects the unified execution history (steps ①–③ of the
-//! black-box checking workflow, Figure 2 of the paper).
+//! system under test and collects the unified execution history (steps ①–③
+//! of the black-box checking workflow, Figure 2 of the paper).
 //!
-//! Each session runs on its own thread, issues its transaction templates in
-//! order, assigns unique values to writes from its per-session allocator,
-//! records begin/commit timestamps, and retries aborted transactions up to a
-//! configurable bound. The per-session logs are then merged into a single
-//! [`History`] whose initial transaction `⊥T` covers the pre-initialized key
-//! space.
+//! The driver is **backend-generic**: it talks to any [`DbBackend`] — the
+//! OCC simulator, the strict-2PL engine, the weak MVCC engine, or anything
+//! a caller implements. Each session runs on its own thread, issues its
+//! transaction templates in order, assigns unique values to writes from its
+//! per-session allocator, records begin/commit timestamps, and retries
+//! aborted transactions up to a configurable bound. The per-session logs
+//! are then merged into a single [`History`] whose initial transaction `⊥T`
+//! covers the pre-initialized key space.
+//!
+//! A deterministic single-thread variant, [`execute_workload_interleaved`],
+//! interleaves the sessions op-by-op from a seeded schedule — the tool the
+//! conformance suite uses to make organic anomalies reproducible.
 
-use crate::db::Database;
+use crate::backend::{DbBackend, DbTxn};
 use crate::txn::AbortReason;
 use mtc_history::{History, HistoryBuilder, Op, TxnStatus, ValueAllocator};
 use mtc_workload::{ReqOp, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -72,10 +80,54 @@ struct TxnRecord {
     end: u64,
 }
 
+/// Outcome of issuing one template's operations against an open handle:
+/// the recorded ops, and the abort reason if an operation failed (a
+/// pessimistic backend can die inside a read or write).
+pub(crate) struct AttemptOps {
+    pub(crate) ops: Vec<Op>,
+    pub(crate) failed: Option<AbortReason>,
+}
+
+/// Issues a template's operations, reading values and allocating unique
+/// write values. Shared by the batch, live and interleaved drivers.
+pub(crate) fn issue_ops(
+    handle: &mut dyn DbTxn,
+    template_ops: &[ReqOp],
+    allocator: &mut ValueAllocator,
+) -> AttemptOps {
+    let mut ops = Vec::with_capacity(template_ops.len());
+    for op in template_ops {
+        match *op {
+            ReqOp::Read(key) => match handle.read_register(key) {
+                Ok(v) => ops.push(Op::Read { key, value: v }),
+                Err(reason) => {
+                    return AttemptOps {
+                        ops,
+                        failed: Some(reason),
+                    }
+                }
+            },
+            ReqOp::Write(key) => {
+                let v = allocator.next();
+                match handle.write_register(key, v) {
+                    Ok(()) => ops.push(Op::Write { key, value: v }),
+                    Err(reason) => {
+                        return AttemptOps {
+                            ops,
+                            failed: Some(reason),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    AttemptOps { ops, failed: None }
+}
+
 /// Executes `workload` against `db` with one thread per session and returns
 /// the collected history together with execution statistics.
 pub fn execute_workload(
-    db: &Database,
+    db: &dyn DbBackend,
     workload: &Workload,
     opts: &ClientOptions,
 ) -> (History, ExecutionReport) {
@@ -113,8 +165,174 @@ pub fn execute_workload(
     (builder.build(), report)
 }
 
+/// Executes `workload` against `db` on a **single thread**, interleaving
+/// the sessions operation-by-operation according to a seeded schedule. The
+/// run is fully deterministic for a given backend, workload and seed, which
+/// makes organically produced anomalies (lost updates of the weak MVCC
+/// engine, say) reproducible test vectors rather than race lottery wins.
+///
+/// **Blocking backends beware**: all sessions share one thread, so this
+/// driver must only be used with backends whose operations cannot block on
+/// another in-flight transaction. The weak MVCC engine and the simulator
+/// qualify; the 2PL engine does not (its wait-die "older waits" path would
+/// wait forever for a holder parked on the same thread) — drive it with
+/// [`execute_workload`] instead.
+pub fn execute_workload_interleaved(
+    db: &dyn DbBackend,
+    workload: &Workload,
+    opts: &ClientOptions,
+    schedule_seed: u64,
+) -> (History, ExecutionReport) {
+    struct OpenTxn<'d> {
+        handle: Box<dyn DbTxn + 'd>,
+        begin: u64,
+        ops: Vec<Op>,
+        next_op: usize,
+        failed: Option<AbortReason>,
+        attempt: u32,
+    }
+    struct SessionState<'d> {
+        session: u32,
+        templates: &'d [mtc_workload::TxnTemplate],
+        next_template: usize,
+        open: Option<OpenTxn<'d>>,
+        allocator: ValueAllocator,
+        records: Vec<TxnRecord>,
+        stats: SessionStats,
+    }
+
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(schedule_seed);
+    let mut sessions: Vec<SessionState> = workload
+        .sessions
+        .iter()
+        .map(|s| SessionState {
+            session: s.session,
+            templates: &s.txns,
+            next_template: 0,
+            open: None,
+            allocator: ValueAllocator::new(s.session),
+            records: Vec::new(),
+            stats: SessionStats::default(),
+        })
+        .collect();
+
+    loop {
+        let live: Vec<usize> = sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.open.is_some() || s.next_template < s.templates.len())
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        let s = &mut sessions[live[rng.gen_range(0..live.len())]];
+        match s.open.take() {
+            None => {
+                // Begin the next template's attempt.
+                let handle = db.begin();
+                let begin = handle.begin_ts();
+                s.stats.attempts += 1;
+                s.open = Some(OpenTxn {
+                    handle,
+                    begin,
+                    ops: Vec::new(),
+                    next_op: 0,
+                    failed: None,
+                    attempt: 0,
+                });
+            }
+            Some(mut open) => {
+                let template = &s.templates[s.next_template];
+                if open.failed.is_none() && open.next_op < template.ops.len() {
+                    // Issue exactly one operation, then yield to the schedule.
+                    let mut one = issue_ops(
+                        open.handle.as_mut(),
+                        &template.ops[open.next_op..open.next_op + 1],
+                        &mut s.allocator,
+                    );
+                    open.next_op += 1;
+                    open.ops.append(&mut one.ops);
+                    open.failed = one.failed;
+                    s.open = Some(open);
+                } else {
+                    // All ops issued (or the attempt is doomed): settle it.
+                    let result = match open.failed {
+                        Some(reason) => {
+                            let _ = open.handle.abort();
+                            Err(reason)
+                        }
+                        None => open.handle.commit(),
+                    };
+                    match result {
+                        Ok(info) => {
+                            s.stats.committed += 1;
+                            s.records.push(TxnRecord {
+                                session: s.session,
+                                ops: open.ops,
+                                status: TxnStatus::Committed,
+                                begin: open.begin,
+                                end: info.commit_ts,
+                            });
+                            s.next_template += 1;
+                        }
+                        Err(reason) => {
+                            s.stats.aborted_attempts += 1;
+                            if opts.record_aborted && !open.ops.is_empty() {
+                                s.records.push(TxnRecord {
+                                    session: s.session,
+                                    ops: open.ops,
+                                    status: TxnStatus::Aborted,
+                                    begin: open.begin,
+                                    end: db.now(),
+                                });
+                            }
+                            let retry = open.attempt < opts.max_retries
+                                && reason != AbortReason::InjectedAbort;
+                            if retry {
+                                s.open = Some(OpenTxn {
+                                    handle: db.begin(),
+                                    begin: 0, // replaced below
+                                    ops: Vec::new(),
+                                    next_op: 0,
+                                    failed: None,
+                                    attempt: open.attempt + 1,
+                                });
+                                let o = s.open.as_mut().expect("just set");
+                                o.begin = o.handle.begin_ts();
+                                s.stats.attempts += 1;
+                            } else {
+                                s.stats.failed += 1;
+                                s.next_template += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut report = ExecutionReport {
+        wall_time: start.elapsed(),
+        ..ExecutionReport::default()
+    };
+    let mut builder = HistoryBuilder::new().with_init(workload.num_keys);
+    for s in sessions {
+        report.committed += s.stats.committed;
+        report.failed += s.stats.failed;
+        report.attempts += s.stats.attempts;
+        report.aborted_attempts += s.stats.aborted_attempts;
+        for r in s.records {
+            builder.push_timed(r.session, r.ops, r.status, r.begin, r.end);
+        }
+    }
+    (builder.build(), report)
+}
+
 // ───────────────────────── internal helpers ─────────────────────────────────
 
+#[derive(Default)]
 struct SessionStats {
     committed: usize,
     failed: usize,
@@ -123,19 +341,14 @@ struct SessionStats {
 }
 
 fn run_session(
-    db: &Database,
+    db: &dyn DbBackend,
     session: u32,
     templates: &[mtc_workload::TxnTemplate],
     opts: &ClientOptions,
 ) -> (u32, Vec<TxnRecord>, SessionStats) {
     let mut allocator = ValueAllocator::new(session);
     let mut records = Vec::with_capacity(templates.len());
-    let mut stats = SessionStats {
-        committed: 0,
-        failed: 0,
-        attempts: 0,
-        aborted_attempts: 0,
-    };
+    let mut stats = SessionStats::default();
 
     for template in templates {
         let mut attempt = 0;
@@ -144,26 +357,22 @@ fn run_session(
             stats.attempts += 1;
             let mut handle = db.begin();
             let begin = handle.begin_ts();
-            let mut ops = Vec::with_capacity(template.ops.len());
-            for op in &template.ops {
-                match *op {
-                    ReqOp::Read(key) => {
-                        let v = handle.read_register(key);
-                        ops.push(Op::Read { key, value: v });
-                    }
-                    ReqOp::Write(key) => {
-                        let v = allocator.next();
-                        handle.write_register(key, v);
-                        ops.push(Op::Write { key, value: v });
-                    }
+            let issued = issue_ops(handle.as_mut(), &template.ops, &mut allocator);
+            let result = match issued.failed {
+                Some(reason) => {
+                    // An operation died inside the backend (e.g. a wait-die
+                    // victim): roll back and treat it like a commit abort.
+                    let _ = handle.abort();
+                    Err(reason)
                 }
-            }
-            match handle.commit() {
+                None => handle.commit(),
+            };
+            match result {
                 Ok(info) => {
                     stats.committed += 1;
                     records.push(TxnRecord {
                         session,
-                        ops,
+                        ops: issued.ops,
                         status: TxnStatus::Committed,
                         begin,
                         end: info.commit_ts,
@@ -172,10 +381,14 @@ fn run_session(
                 }
                 Err(reason) => {
                     stats.aborted_attempts += 1;
-                    if opts.record_aborted {
+                    // Empty attempts (the first operation died inside the
+                    // backend before reading anything) carry no observable
+                    // behaviour and would not be mini-transactions; they
+                    // are counted but not recorded.
+                    if opts.record_aborted && !issued.ops.is_empty() {
                         records.push(TxnRecord {
                             session,
-                            ops,
+                            ops: issued.ops,
                             status: TxnStatus::Aborted,
                             begin,
                             end: db.now(),
@@ -198,7 +411,9 @@ fn run_session(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backends::{BackendSpec, WeakLevel};
     use crate::config::{DbConfig, IsolationMode};
+    use crate::db::Database;
     use mtc_workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
 
     fn spec(sessions: u32, txns: u32, keys: u64) -> MtWorkloadSpec {
@@ -235,5 +450,61 @@ mod tests {
             assert!(t.begin.is_some(), "{t:?} lacks a begin timestamp");
             assert!(t.end.is_some(), "{t:?} lacks an end timestamp");
         }
+    }
+
+    #[test]
+    fn every_fleet_backend_executes_the_same_workload() {
+        let s = spec(3, 20, 8);
+        let workload = generate_mt_workload(&s);
+        for backend_spec in BackendSpec::fleet(s.num_keys) {
+            let db = backend_spec.build();
+            let (history, report) = execute_workload(&*db, &workload, &ClientOptions::default());
+            assert!(
+                report.committed > 0,
+                "{}: nothing committed",
+                backend_spec.label()
+            );
+            assert_eq!(history.committed_count(), report.committed + 1);
+            assert!(
+                history.has_unique_values(),
+                "{}: duplicate write values",
+                backend_spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_execution_is_deterministic() {
+        let s = spec(3, 25, 4);
+        let workload = generate_mt_workload(&s);
+        let run = |seed: u64| {
+            let db = crate::backends::WeakMvccDatabase::new(WeakLevel::ReadCommitted);
+            execute_workload_interleaved(&db, &workload, &ClientOptions::default(), seed)
+        };
+        let (h1, r1) = run(42);
+        let (h2, r2) = run(42);
+        assert_eq!(r1.committed, r2.committed);
+        assert_eq!(h1.len(), h2.len());
+        for (a, b) in h1.txns().iter().zip(h2.txns()) {
+            assert_eq!(a.ops, b.ops);
+            assert_eq!(a.begin, b.begin);
+            assert_eq!(a.end, b.end);
+        }
+        // A different schedule is allowed to produce a different history.
+        let (h3, _) = run(43);
+        assert_eq!(h1.committed_count(), h3.committed_count());
+    }
+
+    #[test]
+    fn interleaved_counts_add_up_on_the_simulator() {
+        let s = spec(4, 30, 6);
+        let workload = generate_mt_workload(&s);
+        let db = Database::new(DbConfig::correct(IsolationMode::Snapshot, s.num_keys));
+        let (history, report) =
+            execute_workload_interleaved(&db, &workload, &ClientOptions::default(), 7);
+        assert_eq!(report.committed + report.failed, workload.txn_count());
+        assert_eq!(report.attempts, report.committed + report.aborted_attempts);
+        assert_eq!(history.committed_count(), report.committed + 1);
+        assert!(history.has_unique_values());
     }
 }

@@ -71,6 +71,50 @@ impl Database {
     }
 }
 
+impl crate::backend::DbBackend for Database {
+    fn begin(&self) -> Box<dyn crate::backend::DbTxn + '_> {
+        Box::new(Database::begin(self))
+    }
+
+    fn now(&self) -> u64 {
+        Database::now(self)
+    }
+
+    fn label(&self) -> &'static str {
+        use crate::config::IsolationMode;
+        match self.config.isolation {
+            IsolationMode::ReadCommitted => "sim-rc",
+            IsolationMode::Snapshot => "sim-si",
+            IsolationMode::Serializable => "sim-ser",
+            IsolationMode::StrictSerializable => "sim-sser",
+        }
+    }
+
+    /// The simulator promises whatever its configured mode provides —
+    /// *when no faults are injected*. With faults configured the claim
+    /// stands (that is the point of fault injection: the checker's job is
+    /// to catch the engine lying about its level), so `promises` reports
+    /// the claimed level regardless of the fault specification.
+    fn promises(&self, level: mtc_core::IsolationLevel) -> bool {
+        use crate::config::IsolationMode;
+        use mtc_core::IsolationLevel::*;
+        match self.config.isolation {
+            IsolationMode::ReadCommitted => false,
+            IsolationMode::Snapshot => matches!(level, SnapshotIsolation),
+            // The OCC engine validates reads and writes against the begin
+            // snapshot and commits on a single logical clock, so its
+            // histories are strictly serializable, not merely serializable
+            // (see `IsolationMode::StrictSerializable`'s doc).
+            IsolationMode::Serializable | IsolationMode::StrictSerializable => {
+                matches!(
+                    level,
+                    SnapshotIsolation | Serializability | StrictSerializability
+                )
+            }
+        }
+    }
+}
+
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Database")

@@ -23,10 +23,21 @@
 //!
 //! The store supports registers (`u64` values) and append-only lists, the two
 //! data models needed by the MT/GT and Elle-style workloads respectively.
+//!
+//! Since the pluggable-backend refactor the simulator is only *one* system
+//! under test among several: the [`backend`] module defines the
+//! [`DbBackend`]/[`DbTxn`] traits every engine implements, and [`backends`]
+//! ships a pessimistic strict-2PL engine (wait-die) plus a weak MVCC engine
+//! whose ReadCommitted/ReadUncommitted anomalies arise from the concurrency
+//! control itself rather than from fault injection. The client drivers
+//! ([`execute_workload`], [`execute_workload_interleaved`],
+//! [`execute_workload_live`]) are backend-generic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod backends;
 pub mod client;
 pub mod config;
 pub mod db;
@@ -35,7 +46,9 @@ pub mod live;
 pub mod store;
 pub mod txn;
 
-pub use client::{execute_workload, ClientOptions, ExecutionReport};
+pub use backend::{DbBackend, DbTxn};
+pub use backends::{BackendSpec, TwoPlDatabase, WeakLevel, WeakMvccDatabase};
+pub use client::{execute_workload, execute_workload_interleaved, ClientOptions, ExecutionReport};
 pub use config::{DbConfig, IsolationMode};
 pub use db::Database;
 pub use faults::{FaultKind, FaultSpec};

@@ -17,8 +17,8 @@
 //! collected history, even though transaction ids differ from the
 //! per-session renumbering of the final [`History`](mtc_history::History).
 
-use crate::client::ClientOptions;
-use crate::db::Database;
+use crate::backend::DbBackend;
+use crate::client::{issue_ops, ClientOptions};
 use crate::txn::AbortReason;
 use mtc_core::{
     CheckError, CheckerSnapshot, GcPolicy, IncrementalChecker, IsolationLevel, ShardTuning,
@@ -28,7 +28,7 @@ use mtc_history::{
     History, HistoryBuilder, Op, SessionId, Transaction, TxnId, TxnStatus, ValueAllocator,
 };
 use mtc_store::MtcStore;
-use mtc_workload::{ReqOp, Workload};
+use mtc_workload::Workload;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -480,12 +480,13 @@ impl LiveVerifier {
     }
 }
 
-/// Executes `workload` against `db` with one thread per session — like
-/// [`crate::execute_workload`] — while feeding every finished attempt to
-/// `verifier`. Returns the collected history and execution statistics; call
-/// [`LiveVerifier::finish`] afterwards for the verification outcome.
+/// Executes `workload` against `db` — any [`DbBackend`] — with one thread
+/// per session, like [`crate::execute_workload`], while feeding every
+/// finished attempt to `verifier`. Returns the collected history and
+/// execution statistics; call [`LiveVerifier::finish`] afterwards for the
+/// verification outcome.
 pub fn execute_workload_live(
-    db: &Database,
+    db: &dyn DbBackend,
     workload: &Workload,
     opts: &ClientOptions,
     verifier: &LiveVerifier,
@@ -520,21 +521,16 @@ pub fn execute_workload_live(
                         attempts += 1;
                         let mut handle = db.begin();
                         let begin = handle.begin_ts();
-                        let mut ops = Vec::with_capacity(template.ops.len());
-                        for op in &template.ops {
-                            match *op {
-                                ReqOp::Read(key) => {
-                                    let v = handle.read_register(key);
-                                    ops.push(Op::Read { key, value: v });
-                                }
-                                ReqOp::Write(key) => {
-                                    let v = allocator.next();
-                                    handle.write_register(key, v);
-                                    ops.push(Op::Write { key, value: v });
-                                }
+                        let issued = issue_ops(handle.as_mut(), &template.ops, &mut allocator);
+                        let ops = issued.ops;
+                        let result = match issued.failed {
+                            Some(reason) => {
+                                let _ = handle.abort();
+                                Err(reason)
                             }
-                        }
-                        match handle.commit() {
+                            None => handle.commit(),
+                        };
+                        match result {
                             Ok(info) => {
                                 committed += 1;
                                 verifier.record_timed(
@@ -549,7 +545,10 @@ pub fn execute_workload_live(
                             }
                             Err(reason) => {
                                 aborted += 1;
-                                if opts.record_aborted {
+                                // Empty attempts (first op died in the
+                                // backend) are counted but not recorded —
+                                // they are not mini-transactions.
+                                if opts.record_aborted && !ops.is_empty() {
                                     let end = db.now();
                                     verifier.record_timed(
                                         sid,
@@ -624,6 +623,7 @@ impl ExecutionReportLive {
 mod tests {
     use super::*;
     use crate::config::{DbConfig, IsolationMode};
+    use crate::db::Database;
     use crate::faults::{FaultKind, FaultSpec};
     use mtc_workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
 
@@ -872,6 +872,7 @@ mod tests {
             LiveVerifier::new(IsolationLevel::Serializability, keys, false).with_gc(GcPolicy {
                 window: 64,
                 every: 16,
+                reader_cap: 0,
             });
         let mut last = vec![0u64; keys as usize];
         let n = 800u64;

@@ -91,7 +91,7 @@ impl VersionChain {
         if visible.is_empty() {
             return None;
         }
-        let idx = visible.len().saturating_sub(1 + skip_recent);
+        let idx = visible.len().saturating_sub(skip_recent.saturating_add(1));
         Some(visible[idx.min(visible.len() - 1)])
     }
 
@@ -294,6 +294,87 @@ mod tests {
             commit_ts: 3,
             value: StoredValue::Register(Value(2)),
         });
+    }
+
+    #[test]
+    fn visible_at_with_skip_recent_larger_than_the_chain_returns_the_oldest() {
+        let mut chain = VersionChain::with_initial(StoredValue::Register(INIT_VALUE));
+        chain.push(Version {
+            commit_ts: 3,
+            value: StoredValue::Register(Value(30)),
+        });
+        chain.push(Version {
+            commit_ts: 8,
+            value: StoredValue::Register(Value(80)),
+        });
+        // skip_recent far beyond the chain length must clamp to the oldest
+        // visible version, never panic or underflow.
+        for skip in [3usize, 10, usize::MAX] {
+            let v = chain.visible_at(100, skip).unwrap();
+            assert_eq!(v.commit_ts, 0, "skip={skip}");
+            assert_eq!(v.value, StoredValue::Register(INIT_VALUE));
+        }
+        // Same when only a suffix of the chain is visible.
+        let v = chain.visible_at(3, 5).unwrap();
+        assert_eq!(v.commit_ts, 0);
+    }
+
+    #[test]
+    fn visible_at_before_the_first_version_yields_none() {
+        // A chain whose oldest version postdates the snapshot has nothing
+        // to offer (the caller substitutes the implicit initial value).
+        let mut chain = VersionChain::default();
+        chain.push(Version {
+            commit_ts: 5,
+            value: StoredValue::Register(Value(50)),
+        });
+        assert!(chain.visible_at(4, 0).is_none());
+        assert!(chain.visible_at(4, 3).is_none());
+        assert!(chain.visible_at(0, 0).is_none());
+        // The empty chain is the degenerate case of the same rule.
+        let empty = VersionChain::default();
+        assert!(empty.is_empty());
+        assert!(empty.visible_at(u64::MAX, 0).is_none());
+        assert!(!empty.has_newer_than(0));
+    }
+
+    #[test]
+    fn equal_timestamp_versions_prefer_the_last_installed() {
+        // `install_all` installs a whole write set at one commit timestamp;
+        // a chain may therefore hold equal-timestamp versions (same-ts
+        // pushes are allowed by the monotonicity assertion). Visibility at
+        // that instant must return the newest install, and `skip_recent`
+        // must step through the equal-timestamp group deterministically.
+        let mut chain = VersionChain::with_initial(StoredValue::Register(INIT_VALUE));
+        chain.push(Version {
+            commit_ts: 7,
+            value: StoredValue::Register(Value(71)),
+        });
+        chain.push(Version {
+            commit_ts: 7,
+            value: StoredValue::Register(Value(72)),
+        });
+        assert_eq!(chain.len(), 3);
+        assert_eq!(
+            chain.visible_at(7, 0).unwrap().value,
+            StoredValue::Register(Value(72))
+        );
+        assert_eq!(
+            chain.visible_at(7, 1).unwrap().value,
+            StoredValue::Register(Value(71))
+        );
+        assert_eq!(
+            chain.visible_at(7, 2).unwrap().value,
+            StoredValue::Register(INIT_VALUE)
+        );
+        // `has_newer_than` is strict: an equal-timestamp version is not
+        // "newer" than the snapshot taken at that same instant.
+        assert!(!chain.has_newer_than(7));
+        assert!(chain.has_newer_than(6));
+        assert_eq!(
+            chain.latest().unwrap().value,
+            StoredValue::Register(Value(72))
+        );
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub enum AbortReason {
     InjectedAbort,
     /// The client explicitly rolled back.
     UserAbort,
+    /// The transaction lost a wait-die conflict in a pessimistic (locking)
+    /// engine: it requested a lock held by an older transaction and was
+    /// killed instead of being allowed to wait (deadlock prevention).
+    Deadlock,
 }
 
 impl fmt::Display for AbortReason {
@@ -32,6 +36,7 @@ impl fmt::Display for AbortReason {
             AbortReason::ReadConflict => write!(f, "read validation conflict"),
             AbortReason::InjectedAbort => write!(f, "injected abort"),
             AbortReason::UserAbort => write!(f, "user abort"),
+            AbortReason::Deadlock => write!(f, "wait-die deadlock victim"),
         }
     }
 }
@@ -222,6 +227,41 @@ impl<'db> TxnHandle<'db> {
     /// Rolls the transaction back. Buffered writes are discarded.
     pub fn abort(self) -> AbortReason {
         AbortReason::UserAbort
+    }
+}
+
+// The simulated engine's operations never fail mid-transaction (all
+// validation happens at commit), so the trait surface wraps the inherent
+// methods in `Ok`.
+impl<'db> crate::backend::DbTxn for TxnHandle<'db> {
+    fn begin_ts(&self) -> u64 {
+        TxnHandle::begin_ts(self)
+    }
+
+    fn read_register(&mut self, key: Key) -> Result<Value, AbortReason> {
+        Ok(TxnHandle::read_register(self, key))
+    }
+
+    fn write_register(&mut self, key: Key, value: Value) -> Result<(), AbortReason> {
+        TxnHandle::write_register(self, key, value);
+        Ok(())
+    }
+
+    fn read_list(&mut self, key: Key) -> Result<Vec<Value>, AbortReason> {
+        Ok(TxnHandle::read_list(self, key))
+    }
+
+    fn append(&mut self, key: Key, element: Value) -> Result<(), AbortReason> {
+        TxnHandle::append(self, key, element);
+        Ok(())
+    }
+
+    fn commit(self: Box<Self>) -> Result<CommitInfo, AbortReason> {
+        TxnHandle::commit(*self)
+    }
+
+    fn abort(self: Box<Self>) -> AbortReason {
+        TxnHandle::abort(*self)
     }
 }
 

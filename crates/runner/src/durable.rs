@@ -19,7 +19,7 @@
 
 use crate::exec::{verify, Checker, VerifyOutcome};
 use mtc_core::{CheckError, GcPolicy, IncrementalChecker, IsolationLevel, Verdict};
-use mtc_dbsim::{execute_workload_live, ClientOptions, Database, DbConfig, LiveVerifier};
+use mtc_dbsim::{execute_workload_live, ClientOptions, DbBackend, LiveVerifier};
 use mtc_store::{recover, MtcStore, StoreError, StreamMeta};
 use mtc_workload::Workload;
 use std::path::Path;
@@ -58,11 +58,12 @@ pub struct RecordOutcome {
     pub sink_error: Option<String>,
 }
 
-/// Executes `workload` against a fresh database with live verification,
-/// recording the stream durably into a new store at `dir`.
+/// Executes `workload` against `db` — any freshly built [`DbBackend`] —
+/// with live verification, recording the stream durably into a new store at
+/// `dir`.
 pub fn record_streaming(
     dir: impl AsRef<Path>,
-    config: &DbConfig,
+    db: &dyn DbBackend,
     workload: &Workload,
     client: &ClientOptions,
     level: IsolationLevel,
@@ -80,8 +81,7 @@ pub fn record_streaming(
     if let Some(policy) = opts.gc {
         verifier = verifier.with_gc(policy);
     }
-    let db = Database::new(config.clone());
-    let (_history, report) = execute_workload_live(&db, workload, client, &verifier);
+    let (_history, report) = execute_workload_live(db, workload, client, &verifier);
     let outcome = verifier.finish();
     Ok(RecordOutcome {
         verdict: outcome.verdict,
@@ -142,7 +142,7 @@ pub fn replay_verify(dir: impl AsRef<Path>, checker: Checker) -> Result<VerifyOu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mtc_dbsim::{FaultKind, FaultSpec, IsolationMode};
+    use mtc_dbsim::{Database, DbConfig, FaultKind, FaultSpec, IsolationMode};
     use mtc_workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
     use std::path::PathBuf;
 
@@ -168,10 +168,10 @@ mod tests {
     fn record_then_resume_and_replay_agree() {
         let dir = tmpdir("rrr");
         let workload = generate_mt_workload(&spec(23));
-        let config = DbConfig::correct(IsolationMode::Serializable, 8);
+        let db = Database::new(DbConfig::correct(IsolationMode::Serializable, 8));
         let out = record_streaming(
             &dir,
-            &config,
+            &db,
             &workload,
             &ClientOptions::default(),
             IsolationLevel::Serializability,
@@ -222,7 +222,7 @@ mod tests {
             .with_faults(vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.6)], 7);
         let out = record_streaming(
             &dir,
-            &config,
+            &Database::new(config),
             &workload,
             &ClientOptions::default(),
             IsolationLevel::SnapshotIsolation,

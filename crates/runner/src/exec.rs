@@ -15,7 +15,7 @@ use mtc_core::{
     IsolationLevel, ShardedIncrementalChecker,
 };
 use mtc_dbsim::{
-    execute_workload, execute_workload_live, ClientOptions, Database, DbConfig, ExecutionReport,
+    execute_workload, execute_workload_live, ClientOptions, DbBackend, ExecutionReport,
     LiveVerifier,
 };
 use mtc_history::{History, HistoryBuilder, Op, SessionId, TxnStatus, ValueAllocator};
@@ -231,15 +231,16 @@ fn summarize_baseline(history: &History, out: &BaselineOutcome) -> (bool, usize,
     (!out.satisfied, mem, detail)
 }
 
-/// Executes a register workload against a fresh database with the given
-/// configuration.
+/// Executes a register workload against `db` — any [`DbBackend`]. The
+/// backend should be freshly built for the run: histories assume the `⊥T`
+/// initial state and unique written values, which a reused instance would
+/// not provide.
 pub fn run_register_workload(
-    config: &DbConfig,
+    db: &dyn DbBackend,
     workload: &Workload,
     opts: &ClientOptions,
 ) -> (History, ExecutionReport) {
-    let db = Database::new(config.clone());
-    execute_workload(&db, workload, opts)
+    execute_workload(db, workload, opts)
 }
 
 /// A complete end-to-end measurement: generation plus verification.
@@ -266,15 +267,15 @@ impl EndToEnd {
     }
 }
 
-/// Runs the full pipeline: execute `workload` on a database configured by
-/// `config`, then verify the collected history with `checker`.
+/// Runs the full pipeline: execute `workload` on `db` (a fresh backend),
+/// then verify the collected history with `checker`.
 pub fn end_to_end(
-    config: &DbConfig,
+    db: &dyn DbBackend,
     workload: &Workload,
     opts: &ClientOptions,
     checker: Checker,
 ) -> EndToEnd {
-    let (history, report) = run_register_workload(config, workload, opts);
+    let (history, report) = run_register_workload(db, workload, opts);
     let outcome = verify(checker, &history);
     EndToEnd {
         generation: report.wall_time,
@@ -316,15 +317,14 @@ pub struct StreamingEndToEnd {
 /// a bounded hand-off buffer when spare cores exist (verdicts identical
 /// either way).
 pub fn end_to_end_streaming(
-    config: &DbConfig,
+    db: &dyn DbBackend,
     workload: &Workload,
     opts: &ClientOptions,
     level: IsolationLevel,
     stop_on_violation: bool,
 ) -> StreamingEndToEnd {
-    let db = Database::new(config.clone());
     let verifier = LiveVerifier::new_tuned(level, workload.num_keys, stop_on_violation);
-    let (_history, report) = execute_workload_live(&db, workload, opts, &verifier);
+    let (_history, report) = execute_workload_live(db, workload, opts, &verifier);
     let outcome = verifier.finish();
     let (violated, detail) = match &outcome.verdict {
         Ok(verdict) => (
@@ -347,21 +347,19 @@ pub fn end_to_end_streaming(
     }
 }
 
-/// Executes an Elle list-append workload, returning the committed list
-/// history and the execution report.
+/// Executes an Elle list-append workload against `db` (a fresh backend),
+/// returning the committed list history and the execution report.
 pub fn run_elle_append_workload(
-    config: &DbConfig,
+    db: &dyn DbBackend,
     workload: &ElleWorkload,
     opts: &ClientOptions,
 ) -> (ListHistory, ExecutionReport) {
-    let db = Database::new(config.clone());
     let start = Instant::now();
     let mut per_session: Vec<(u32, Vec<ListTxn>, usize, usize)> = Vec::new();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (sid, templates) in workload.sessions.iter().enumerate() {
-            let db = &db;
             handles.push(scope.spawn(move || {
                 let mut allocator = ValueAllocator::new(sid as u32);
                 let mut txns = Vec::new();
@@ -372,15 +370,22 @@ pub fn run_elle_append_workload(
                         attempts += 1;
                         let mut handle = db.begin();
                         let mut ops = Vec::with_capacity(template.ops.len());
+                        let mut failed = false;
                         for op in &template.ops {
                             match op {
                                 ElleOpTemplate::Append(key) => {
                                     let element = allocator.next();
-                                    handle.append(*key, element);
+                                    if handle.append(*key, element).is_err() {
+                                        failed = true;
+                                        break;
+                                    }
                                     ops.push(ListOp::Append { key: *key, element });
                                 }
                                 ElleOpTemplate::ReadList(key) => {
-                                    let elements = handle.read_list(*key);
+                                    let Ok(elements) = handle.read_list(*key) else {
+                                        failed = true;
+                                        break;
+                                    };
                                     ops.push(ListOp::Read {
                                         key: *key,
                                         elements,
@@ -393,7 +398,13 @@ pub fn run_elle_append_workload(
                                 }
                             }
                         }
-                        if handle.commit().is_ok() {
+                        let committed = if failed {
+                            let _ = handle.abort();
+                            false
+                        } else {
+                            handle.commit().is_ok()
+                        };
+                        if committed {
                             txns.push(ListTxn {
                                 session: SessionId(sid as u32),
                                 ops,
@@ -426,14 +437,13 @@ pub fn run_elle_append_workload(
     (history, report)
 }
 
-/// Executes an Elle read-write-register workload (blind writes permitted),
-/// returning the collected register history.
+/// Executes an Elle read-write-register workload (blind writes permitted)
+/// against `db` (a fresh backend), returning the collected register history.
 pub fn run_elle_register_workload(
-    config: &DbConfig,
+    db: &dyn DbBackend,
     workload: &ElleWorkload,
     opts: &ClientOptions,
 ) -> (History, ExecutionReport) {
-    let db = Database::new(config.clone());
     let start = Instant::now();
     type SessionRecords = Vec<(Vec<Op>, TxnStatus, u64, u64)>;
     let mut per_session: Vec<(u32, SessionRecords, usize, usize)> = Vec::new();
@@ -441,7 +451,6 @@ pub fn run_elle_register_workload(
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (sid, templates) in workload.sessions.iter().enumerate() {
-            let db = &db;
             handles.push(scope.spawn(move || {
                 let mut allocator = ValueAllocator::new(sid as u32);
                 let mut records = Vec::new();
@@ -453,34 +462,52 @@ pub fn run_elle_register_workload(
                         let mut handle = db.begin();
                         let begin = handle.begin_ts();
                         let mut ops = Vec::with_capacity(template.ops.len());
+                        let mut failed = None;
                         for op in &template.ops {
                             match op {
                                 ElleOpTemplate::WriteRegister(key) => {
                                     let v = allocator.next();
-                                    handle.write_register(*key, v);
-                                    ops.push(Op::Write {
-                                        key: *key,
-                                        value: v,
-                                    });
+                                    match handle.write_register(*key, v) {
+                                        Ok(()) => ops.push(Op::Write {
+                                            key: *key,
+                                            value: v,
+                                        }),
+                                        Err(r) => {
+                                            failed = Some(r);
+                                            break;
+                                        }
+                                    }
                                 }
                                 ElleOpTemplate::ReadRegister(key) => {
-                                    let v = handle.read_register(*key);
-                                    ops.push(Op::Read {
-                                        key: *key,
-                                        value: v,
-                                    });
+                                    match handle.read_register(*key) {
+                                        Ok(v) => ops.push(Op::Read {
+                                            key: *key,
+                                            value: v,
+                                        }),
+                                        Err(r) => {
+                                            failed = Some(r);
+                                            break;
+                                        }
+                                    }
                                 }
                                 ElleOpTemplate::Append(_) | ElleOpTemplate::ReadList(_) => {}
                             }
                         }
-                        match handle.commit() {
+                        let result = match failed {
+                            Some(reason) => {
+                                let _ = handle.abort();
+                                Err(reason)
+                            }
+                            None => handle.commit(),
+                        };
+                        match result {
                             Ok(info) => {
                                 records.push((ops, TxnStatus::Committed, begin, info.commit_ts));
                                 break;
                             }
                             Err(_) => {
                                 aborted += 1;
-                                if opts.record_aborted {
+                                if opts.record_aborted && !ops.is_empty() {
                                     records.push((ops, TxnStatus::Aborted, begin, db.now()));
                                 }
                             }
@@ -517,7 +544,7 @@ pub fn run_elle_register_workload(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mtc_dbsim::IsolationMode;
+    use mtc_dbsim::{Database, DbConfig, IsolationMode};
     use mtc_workload::{
         generate_elle_workload, generate_mt_workload, Distribution, ElleWorkloadKind,
         ElleWorkloadSpec, MtWorkloadSpec,
@@ -538,9 +565,8 @@ mod tests {
     #[test]
     fn correct_serializable_database_passes_all_checkers() {
         let workload = generate_mt_workload(&small_mt_spec());
-        let config = DbConfig::correct(IsolationMode::Serializable, 12);
-        let (history, report) =
-            run_register_workload(&config, &workload, &ClientOptions::default());
+        let db = Database::new(DbConfig::correct(IsolationMode::Serializable, 12));
+        let (history, report) = run_register_workload(&db, &workload, &ClientOptions::default());
         assert!(report.committed > 0);
         for checker in [
             Checker::MtcSer,
@@ -567,8 +593,8 @@ mod tests {
             txns_per_session: 60,
             ..small_mt_spec()
         });
-        let config = DbConfig::correct(IsolationMode::Snapshot, 4);
-        let (history, _) = run_register_workload(&config, &workload, &ClientOptions::default());
+        let db = Database::new(DbConfig::correct(IsolationMode::Snapshot, 4));
+        let (history, _) = run_register_workload(&db, &workload, &ClientOptions::default());
         let si = verify(Checker::MtcSi, &history);
         assert!(
             !si.violated,
@@ -580,13 +606,8 @@ mod tests {
     #[test]
     fn end_to_end_produces_consistent_totals() {
         let workload = generate_mt_workload(&small_mt_spec());
-        let config = DbConfig::correct(IsolationMode::Serializable, 12);
-        let e2e = end_to_end(
-            &config,
-            &workload,
-            &ClientOptions::default(),
-            Checker::MtcSer,
-        );
+        let db = Database::new(DbConfig::correct(IsolationMode::Serializable, 12));
+        let e2e = end_to_end(&db, &workload, &ClientOptions::default(), Checker::MtcSer);
         assert!(!e2e.violated);
         assert!(e2e.total() >= e2e.generation);
         assert!(e2e.committed > 0);
@@ -604,9 +625,8 @@ mod tests {
             ..ElleWorkloadSpec::default()
         };
         let workload = generate_elle_workload(&spec);
-        let config = DbConfig::correct(IsolationMode::Serializable, 0);
-        let (history, report) =
-            run_elle_append_workload(&config, &workload, &ClientOptions::default());
+        let db = Database::new(DbConfig::correct(IsolationMode::Serializable, 0));
+        let (history, report) = run_elle_append_workload(&db, &workload, &ClientOptions::default());
         assert!(report.committed > 0);
         assert!(!history.is_empty());
         let out = elle_check_list_append(&history, ElleLevel::Serializability);
@@ -624,9 +644,9 @@ mod tests {
             ..ElleWorkloadSpec::default()
         };
         let workload = generate_elle_workload(&spec);
-        let config = DbConfig::correct(IsolationMode::Serializable, 6);
+        let db = Database::new(DbConfig::correct(IsolationMode::Serializable, 6));
         let (history, report) =
-            run_elle_register_workload(&config, &workload, &ClientOptions::default());
+            run_elle_register_workload(&db, &workload, &ClientOptions::default());
         assert!(report.committed > 0);
         let out = verify(Checker::ElleRwSer, &history);
         assert!(!out.violated, "{}", out.detail);
@@ -660,8 +680,8 @@ mod tests {
     #[test]
     fn incremental_checkers_agree_with_batch_on_collected_histories() {
         let workload = generate_mt_workload(&small_mt_spec());
-        let config = DbConfig::correct(IsolationMode::Serializable, 12);
-        let (history, _) = run_register_workload(&config, &workload, &ClientOptions::default());
+        let db = Database::new(DbConfig::correct(IsolationMode::Serializable, 12));
+        let (history, _) = run_register_workload(&db, &workload, &ClientOptions::default());
         for (batch, streaming) in [
             (Checker::MtcSer, Checker::MtcSerIncremental),
             (Checker::MtcSi, Checker::MtcSiIncremental),
@@ -702,7 +722,7 @@ mod tests {
                 11,
             );
         let out = end_to_end_streaming(
-            &config,
+            &Database::new(config),
             &workload,
             &ClientOptions::default(),
             IsolationLevel::SnapshotIsolation,
@@ -736,7 +756,7 @@ mod tests {
                 13,
             );
         let out = end_to_end_streaming(
-            &config,
+            &Database::new(config),
             &workload,
             &ClientOptions::default(),
             IsolationLevel::StrictSerializability,
@@ -754,9 +774,9 @@ mod tests {
     #[test]
     fn streaming_end_to_end_clean_run_is_satisfied() {
         let workload = generate_mt_workload(&small_mt_spec());
-        let config = DbConfig::correct(IsolationMode::Serializable, 12);
+        let db = Database::new(DbConfig::correct(IsolationMode::Serializable, 12));
         let out = end_to_end_streaming(
-            &config,
+            &db,
             &workload,
             &ClientOptions::default(),
             IsolationLevel::Serializability,

@@ -28,7 +28,9 @@ use crate::report::{mib, secs, Table};
 use mtc_baselines::elle::{elle_check_list_append, ElleLevel};
 use mtc_baselines::porcupine::porcupine_check_linearizability;
 use mtc_core::{check_linearizability, check_si, check_sser, IsolationLevel};
-use mtc_dbsim::{ClientOptions, DbConfig, FaultKind, FaultSpec, IsolationMode};
+use mtc_dbsim::{
+    BackendSpec, ClientOptions, Database, DbConfig, FaultKind, FaultSpec, IsolationMode,
+};
 use mtc_history::anomalies::AnomalyKind;
 use mtc_workload::{
     generate_elle_workload, generate_gt_workload, generate_lwt_history, generate_mt_workload,
@@ -121,8 +123,8 @@ impl VerificationSweep {
 
 fn generate_valid_history(spec: &MtWorkloadSpec, isolation: IsolationMode) -> mtc_history::History {
     let workload = generate_mt_workload(spec);
-    let config = DbConfig::correct(isolation, spec.num_keys);
-    let (history, _) = run_register_workload(&config, &workload, &ClientOptions::default());
+    let db = Database::new(DbConfig::correct(isolation, spec.num_keys));
+    let (history, _) = run_register_workload(&db, &workload, &ClientOptions::default());
     history
 }
 
@@ -428,13 +430,13 @@ fn end_to_end_sweep(
         };
         let config = DbConfig::correct(isolation, objects);
         let mt = end_to_end(
-            &config,
+            &Database::new(config.clone()),
             &generate_mt_workload(&mt_spec),
             &ClientOptions::default(),
             mtc_checker,
         );
         let gt = end_to_end(
-            &config,
+            &Database::new(config),
             &generate_gt_workload(&gt_spec),
             &ClientOptions::default(),
             baseline_checker,
@@ -555,7 +557,7 @@ pub fn fig11_abort_rates(sweep: &AbortRateSweep) -> Vec<Table> {
                 write_only_fraction: 0.4,
                 seed: 0xF11,
             };
-            run_register_workload(&config, &generate_gt_workload(&spec), &opts).1
+            run_register_workload(&Database::new(config), &generate_gt_workload(&spec), &opts).1
         } else {
             let spec = MtWorkloadSpec {
                 sessions,
@@ -566,7 +568,7 @@ pub fn fig11_abort_rates(sweep: &AbortRateSweep) -> Vec<Table> {
                 two_key_fraction: 0.5,
                 seed: 0xF11,
             };
-            run_register_workload(&config, &generate_mt_workload(&spec), &opts).1
+            run_register_workload(&Database::new(config), &generate_mt_workload(&spec), &opts).1
         };
         report.abort_rate()
     };
@@ -627,6 +629,140 @@ pub fn fig11_abort_rates(sweep: &AbortRateSweep) -> Vec<Table> {
         ]);
     }
     vec![by_sessions, by_skew]
+}
+
+// ───────────────────────────── Backend matrix ───────────────────────────────
+
+/// Size parameters for the cross-backend matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendSweep {
+    /// Sessions issuing transactions.
+    pub sessions: u32,
+    /// Transactions per session.
+    pub txns_per_session: u32,
+    /// Number of objects (small, so anomalies of the weak engines have a
+    /// chance to materialize organically).
+    pub num_keys: u64,
+}
+
+impl BackendSweep {
+    /// Sub-second configuration.
+    pub fn quick() -> Self {
+        BackendSweep {
+            sessions: 4,
+            txns_per_session: 50,
+            num_keys: 8,
+        }
+    }
+
+    /// Figure-scale configuration.
+    pub fn paper() -> Self {
+        BackendSweep {
+            sessions: 8,
+            txns_per_session: 400,
+            num_keys: 16,
+        }
+    }
+}
+
+/// The backend dimension of the experiment matrix: run the same MT workload
+/// against every in-tree backend ([`BackendSpec::fleet`]) — the OCC
+/// simulator at three modes, the strict-2PL engine and both weak MVCC
+/// levels, all **without any fault injection** — and report, per backend,
+/// what it promises, what each checker decided, and whether the streaming
+/// verdicts agree with the batch ones.
+///
+/// Backends that promise a level must never be flagged at it; the weak
+/// engines promise nothing, so any flag against them is an *organic*
+/// anomaly produced by their concurrency control.
+pub fn backend_matrix(sweep: &BackendSweep) -> Table {
+    let mut table = Table::new(
+        "backend_matrix",
+        &[
+            "backend",
+            "promises",
+            "committed",
+            "abort_rate",
+            "SI",
+            "SER",
+            "SSER",
+            "stream_agrees",
+            "gen_s",
+            "verify_s",
+        ],
+    );
+    let spec = MtWorkloadSpec {
+        sessions: sweep.sessions,
+        txns_per_session: sweep.txns_per_session,
+        num_keys: sweep.num_keys,
+        distribution: Distribution::Uniform,
+        read_only_fraction: 0.2,
+        two_key_fraction: 0.5,
+        seed: 0xBACD,
+    };
+    let workload = generate_mt_workload(&spec);
+    let levels = [
+        (IsolationLevel::SnapshotIsolation, Checker::MtcSi),
+        (IsolationLevel::Serializability, Checker::MtcSer),
+        (IsolationLevel::StrictSerializability, Checker::MtcSser),
+    ];
+    for backend_spec in BackendSpec::fleet(sweep.num_keys) {
+        let db = backend_spec.build();
+        // Zero-latency engines barely overlap under free-running threads, so
+        // non-blocking backends run under the deterministic op-by-op
+        // interleaved driver — real concurrency on a reproducible schedule,
+        // which is what lets the weak engines' organic anomalies show up in
+        // the matrix. Blocking (locking) engines keep one thread per
+        // session.
+        let (history, report) = if backend_spec.blocking() {
+            run_register_workload(db.as_ref(), &workload, &ClientOptions::default())
+        } else {
+            mtc_dbsim::execute_workload_interleaved(
+                db.as_ref(),
+                &workload,
+                &ClientOptions::default(),
+                0xBACD,
+            )
+        };
+        let mut verdicts = Vec::new();
+        let mut promises = Vec::new();
+        let mut stream_agrees = true;
+        let mut verify_s = 0.0f64;
+        for (level, checker) in levels {
+            let batch = verify(checker, &history);
+            let streaming = mtc_core::check_streaming(level, &history)
+                .expect("collected histories are inside the checkers' domain");
+            stream_agrees &= batch.violated == streaming.is_violated();
+            verify_s += batch.duration.as_secs_f64();
+            if db.promises(level) {
+                promises.push(level.to_string());
+                assert!(
+                    !batch.violated,
+                    "{} violated its promised level {level}: {}",
+                    backend_spec.label(),
+                    batch.detail
+                );
+            }
+            verdicts.push(if batch.violated { "violated" } else { "ok" });
+        }
+        table.push_row(vec![
+            backend_spec.label().to_string(),
+            if promises.is_empty() {
+                "-".to_string()
+            } else {
+                promises.join("+")
+            },
+            report.committed.to_string(),
+            format!("{:.3}", report.abort_rate()),
+            verdicts[0].to_string(),
+            verdicts[1].to_string(),
+            verdicts[2].to_string(),
+            stream_agrees.to_string(),
+            secs(report.wall_time),
+            format!("{verify_s:.4}"),
+        ]);
+    }
+    table
 }
 
 // ───────────────────────────── Table II ─────────────────────────────────────
@@ -796,7 +932,7 @@ pub fn table2_bug_rediscovery(sweep: &BugSweep) -> Table {
             );
         let workload = generate_mt_workload(&spec);
         let (history, report) =
-            run_register_workload(&config, &workload, &ClientOptions::default());
+            run_register_workload(&Database::new(config), &workload, &ClientOptions::default());
         let checker = match scenario.level {
             IsolationLevel::Serializability => Checker::MtcSer,
             IsolationLevel::SnapshotIsolation => Checker::MtcSi,
@@ -976,8 +1112,11 @@ fn effectiveness_point(
             two_key_fraction: 0.5,
             seed,
         };
-        let (history, report) =
-            run_register_workload(&config, &generate_mt_workload(&mt_spec), &opts);
+        let (history, report) = run_register_workload(
+            &Database::new(config.clone()),
+            &generate_mt_workload(&mt_spec),
+            &opts,
+        );
         let checker = match target {
             BuggyTarget::PostgresSer => Checker::MtcSer,
             BuggyTarget::MongoSi => Checker::MtcSi,
@@ -997,8 +1136,11 @@ fn effectiveness_point(
             distribution: Distribution::Exponential { lambda: 10.0 },
             seed,
         };
-        let (list_history, report) =
-            run_elle_append_workload(&config, &generate_elle_workload(&append_spec), &opts);
+        let (list_history, report) = run_elle_append_workload(
+            &Database::new(config.clone()),
+            &generate_elle_workload(&append_spec),
+            &opts,
+        );
         let start = Instant::now();
         let out = elle_check_list_append(&list_history, target.level());
         point.gen_append += report.wall_time.as_secs_f64();
@@ -1010,8 +1152,11 @@ fn effectiveness_point(
             kind: ElleWorkloadKind::ReadWriteRegister,
             ..append_spec
         };
-        let (wr_history, report) =
-            run_elle_register_workload(&config, &generate_elle_workload(&wr_spec), &opts);
+        let (wr_history, report) = run_elle_register_workload(
+            &Database::new(config),
+            &generate_elle_workload(&wr_spec),
+            &opts,
+        );
         let wr_checker = match target {
             BuggyTarget::PostgresSer => Checker::ElleRwSer,
             BuggyTarget::MongoSi => Checker::ElleRwSi,
@@ -1150,6 +1295,26 @@ mod tests {
                     let v: f64 = cell.parse().unwrap();
                     assert!((0.0..=1.0).contains(&v), "abort rate {v} out of range");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn backend_matrix_quick_holds_promises_and_streaming_agreement() {
+        let t = backend_matrix(&BackendSweep::quick());
+        assert_eq!(t.len(), 6, "one row per fleet backend");
+        for row in &t.rows {
+            assert_eq!(
+                row[7], "true",
+                "{}: streaming verdicts disagreed with batch",
+                row[0]
+            );
+            if row[0] == "2pl" {
+                // The pessimistic engine must be organically clean at every
+                // level without a single fault injected.
+                assert_eq!(row[4], "ok", "2pl SI");
+                assert_eq!(row[5], "ok", "2pl SER");
+                assert_eq!(row[6], "ok", "2pl SSER");
             }
         }
     }

@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release --example end_to_end_checking`.
 
-use mtc::dbsim::{ClientOptions, DbConfig, IsolationMode};
+use mtc::dbsim::{ClientOptions, Database, DbConfig, IsolationMode};
 use mtc::runner::{end_to_end, Checker};
 use mtc::workload::{
     generate_gt_workload, generate_mt_workload, Distribution, GtWorkloadSpec, MtWorkloadSpec,
@@ -41,7 +41,12 @@ fn main() {
 
     println!("isolation level under test: serializability\n");
 
-    let mtc = end_to_end(&config, &mt_workload, &opts, Checker::MtcSer);
+    let mtc = end_to_end(
+        &Database::new(config.clone()),
+        &mt_workload,
+        &opts,
+        Checker::MtcSer,
+    );
     println!(
         "MTC with MT workload ({} transactions):",
         mt_workload.txn_count()
@@ -51,7 +56,12 @@ fn main() {
     println!("  abort rate         : {:.1}%", 100.0 * mtc.abort_rate);
     println!("  violation reported : {}", mtc.violated);
 
-    let cobra = end_to_end(&config, &gt_workload, &opts, Checker::CobraSer);
+    let cobra = end_to_end(
+        &Database::new(config),
+        &gt_workload,
+        &opts,
+        Checker::CobraSer,
+    );
     println!(
         "\nCobra-style checking with GT workload ({} transactions, 16 ops each):",
         gt_workload.txn_count()

@@ -58,6 +58,7 @@ fn main() {
         .with_gc(GcPolicy {
             window: 4096,
             every: 1024,
+            reader_cap: 0,
         }); // bounded resident state for long runs
     let db = Database::new(config);
     let (_, report) = execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);

@@ -97,7 +97,7 @@ fn runner_streaming_mode_reports_time_to_first_violation() {
             11,
         );
     let out = end_to_end_streaming(
-        &config,
+        &Database::new(config),
         &workload,
         &ClientOptions::default(),
         IsolationLevel::SnapshotIsolation,
@@ -168,17 +168,26 @@ fn sser_stop_on_violation_truncates_the_run() {
             13,
         );
     let db = Database::new(config);
+    let opts = ClientOptions::default();
     let verifier = LiveVerifier::new(IsolationLevel::StrictSerializability, spec.num_keys, true);
-    let (_, _) =
-        mtc::dbsim::execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+    let (_, _) = mtc::dbsim::execute_workload_live(&db, &workload, &opts, &verifier);
     let outcome = verifier.finish();
     assert!(outcome.verdict.unwrap().is_violated());
     let first = outcome.first_violation.expect("latched mid-run");
+    // Truncation property: once the violation latches, each session may at
+    // most finish the template it is currently retrying — consumption must
+    // stop within that in-flight bound of the latch point. (`checked_txns`
+    // counts *attempts* including aborted retries, so comparing it against
+    // the template total would be meaningless under contention.)
+    let in_flight_bound = (spec.sessions * (opts.max_retries + 1)) as usize;
     assert!(
-        first.at_txn < total && outcome.checked_txns < total,
-        "stop-on-violation must truncate: latched at {} after {} of {}",
+        first.at_txn <= outcome.checked_txns
+            && outcome.checked_txns <= first.at_txn + in_flight_bound,
+        "stop-on-violation must truncate: latched at {} but consumed {} \
+         (bound {}, {} templates total)",
         first.at_txn,
         outcome.checked_txns,
+        first.at_txn + in_flight_bound,
         total
     );
 }
@@ -274,7 +283,7 @@ fn sser_runner_checkers_are_wired() {
             29,
         );
     let out = end_to_end_streaming(
-        &config,
+        &Database::new(config),
         &workload,
         &ClientOptions::default(),
         IsolationLevel::StrictSerializability,
