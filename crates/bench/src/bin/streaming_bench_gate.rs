@@ -13,6 +13,15 @@
 //! baseline with recorded backend series exists, so heterogeneous engines
 //! leave a throughput trail without destabilizing CI.
 //!
+//! Since the epoch-GC work the `<level>/incremental-gc` series are **gated**
+//! alongside `incremental` and `sharded` (collection is expected to cost at
+//! most a modest constant factor now that commits are amortized off the
+//! ingest path), and the run's peak-RSS high-water mark is gated against
+//! the baseline's. A `<level>/sharded-allcores` series (one shard per
+//! available core, tuned hand-off batch) quantifies the fan-out win as an
+//! artifact-only trail — core counts differ across runners, so it is never
+//! gated.
+//!
 //! Raw throughput is machine-dependent, so the gate normalizes by machine
 //! speed before comparing: for each isolation level, the batch checker's
 //! current/baseline throughput ratio is the machine scale, and each
@@ -46,6 +55,12 @@ use std::time::Instant;
 
 /// Throughput must stay above this fraction of the machine-scaled baseline.
 const MIN_RELATIVE_THROUGHPUT: f64 = 0.70;
+
+/// The run's peak-RSS high-water mark must stay below this multiple of the
+/// baseline's. Memory is workload-dominated (graph + history footprint), so
+/// unlike throughput it is gated without machine scaling — but with a
+/// generous allowance for allocator and platform variance.
+const MAX_RSS_GROWTH: f64 = 1.5;
 
 /// Timing repetitions per series; the best run is reported (CI noise floor).
 const REPS: usize = 5;
@@ -134,6 +149,7 @@ fn main() {
     let baseline_path = flag("--check");
 
     let tuning = tune();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let history = serial_mt_history(txns, 64, 8);
     let per_level: [(&str, IsolationLevel); 3] = [
         ("ser", IsolationLevel::Serializability),
@@ -195,6 +211,14 @@ fn main() {
             check_streaming_sharded(level, &history, tuning.shards, tuning.batch).unwrap()
         });
         record("sharded", millis, 0);
+        // Multi-core fan-out series (artifact-only): the sharded checker at
+        // one shard per available core with the tuned hand-off batch — the
+        // throughput a caller on this machine gets by throwing every core
+        // at the stream. Not gated: core counts differ across CI runners.
+        let millis = measure(&format!("{tag}/sharded-allcores"), || {
+            check_streaming_sharded(level, &history, cores, tuning.batch).unwrap()
+        });
+        record("sharded-allcores", millis, 0);
     }
 
     // Per-backend execution throughput (schema 3, artifact-only): the same
@@ -322,7 +346,7 @@ fn main() {
         sharded_gate_tps.push((name, tps));
     }
     for (tag, _) in per_level {
-        for flavour in ["incremental", "sharded"] {
+        for flavour in ["incremental", "incremental-gc", "sharded"] {
             let name = format!("{tag}/{flavour}");
             let cur_tps = if flavour == "sharded" {
                 sharded_gate_tps
@@ -353,6 +377,40 @@ fn main() {
                 ratio * 100.0
             );
         }
+    }
+    // Peak-RSS gate: the run's memory high-water mark (`VmHWM` is monotone,
+    // so the max over the series is the whole run's footprint) must stay
+    // within [`MAX_RSS_GROWTH`] of the baseline's. Skipped when either side
+    // recorded 0 (no `/proc` on that platform).
+    let cur_peak = report
+        .series
+        .iter()
+        .map(|s| s.peak_rss_kb)
+        .max()
+        .unwrap_or(0);
+    let base_peak = baseline
+        .series
+        .iter()
+        .map(|s| s.peak_rss_kb)
+        .max()
+        .unwrap_or(0);
+    if cur_peak > 0 && base_peak > 0 {
+        let ratio = cur_peak as f64 / base_peak as f64;
+        let verdict = if ratio <= MAX_RSS_GROWTH {
+            "ok"
+        } else {
+            failures.push(format!(
+                "peak_rss_kb: {cur_peak} kB is {:.0}% of the baseline's {base_peak} kB \
+                 (limit {:.0}%)",
+                ratio * 100.0,
+                MAX_RSS_GROWTH * 100.0
+            ));
+            "REGRESSED"
+        };
+        println!(
+            "gate peak_rss_kb       {:>6.1}% of baseline          [{verdict}]",
+            ratio * 100.0
+        );
     }
     if !failures.is_empty() {
         eprintln!(

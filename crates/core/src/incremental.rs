@@ -615,9 +615,10 @@ impl KeyState {
     /// `first_reader_writer` satellites, and trims reader/overwriter lists
     /// of live versions down to the window (and, when `reader_cap > 0`, to
     /// the `reader_cap` newest readers, recording an eviction marker per
-    /// capped version). Returns the set of transactions the surviving state
-    /// still references; those must stay resident.
-    fn sweep(&mut self, watermark: TxnId, reader_cap: usize) -> HashSet<TxnId> {
+    /// capped version). Purely mutating — the set of transactions the
+    /// surviving state still references is materialized separately by
+    /// [`KeyState::refs`], and only at collection-commit epochs.
+    fn sweep(&mut self, watermark: TxnId, reader_cap: usize) {
         let latest = &self.latest;
         let pending = &self.pending;
         let mut dropped: Vec<(TxnId, Key)> = Vec::new();
@@ -671,7 +672,13 @@ impl KeyState {
         let writes = &self.writes;
         self.first_reader_writer
             .retain(|kv, _| writes.contains_key(kv) || pending.contains_key(kv));
+    }
 
+    /// The set of transactions the current per-key state still references
+    /// (they must stay resident through a collection). Called right after a
+    /// [`KeyState::sweep`] at collection-commit epochs only — the sweeps in
+    /// between skip this scan entirely.
+    fn refs(&self) -> HashSet<TxnId> {
         let mut refs: HashSet<TxnId> = HashSet::new();
         for reg in self.writes.values() {
             for id in [
@@ -918,6 +925,251 @@ struct PendingInsert {
     at: TxnId,
 }
 
+/// Number of sweep epochs per collection commit. Epoch boundaries fire
+/// every [`GcPolicy::every`] transactions and always sweep the per-key
+/// state (keeping the staleness-window and reader-cap contracts on their
+/// original cadence); the graph-side collection — candidate identification,
+/// predecessor-closure fixpoint and prune — runs only on every
+/// `GC_COMMIT_EPOCHS`-th boundary, so its cost is amortized off the ingest
+/// path. Deferring a commit only keeps *more* state resident, which is
+/// conservative: verdicts stay bit-identical to an un-collected run, and
+/// the resident-set bound grows by at most `GC_COMMIT_EPOCHS · every`
+/// transactions over the configured window.
+const GC_COMMIT_EPOCHS: u32 = 4;
+
+// ───────────────────── arena-backed engine maps ─────────────────────────────
+
+/// A windowed, dense map keyed by [`TxnId`]: ids at or above `base` index
+/// straight into a vector — the hot path, covering every resident
+/// transaction of an un-collected stream and the whole GC window of a
+/// collected one — while ids below `base` spill into a hash map (`⊥T` and
+/// the few transactions the GC pins under its watermark).
+/// [`TxnMap::rebase`] moves the window forward at a collection commit so
+/// the dense block stays proportional to the live window instead of the
+/// whole history.
+#[derive(Clone, Debug)]
+struct TxnMap<V> {
+    base: u32,
+    dense: Vec<Option<V>>,
+    low: FastHashMap<TxnId, V>,
+}
+
+impl<V> Default for TxnMap<V> {
+    fn default() -> Self {
+        TxnMap {
+            base: 0,
+            dense: Vec::new(),
+            low: FastHashMap::default(),
+        }
+    }
+}
+
+impl<V> TxnMap<V> {
+    #[inline]
+    fn get(&self, t: TxnId) -> Option<&V> {
+        if t.0 >= self.base {
+            self.dense.get((t.0 - self.base) as usize)?.as_ref()
+        } else {
+            self.low.get(&t)
+        }
+    }
+
+    fn insert(&mut self, t: TxnId, v: V) {
+        if t.0 >= self.base {
+            let i = (t.0 - self.base) as usize;
+            if self.dense.len() <= i {
+                self.dense.resize_with(i + 1, || None);
+            }
+            self.dense[i] = Some(v);
+        } else {
+            self.low.insert(t, v);
+        }
+    }
+
+    fn get_or_default(&mut self, t: TxnId) -> &mut V
+    where
+        V: Default,
+    {
+        if t.0 >= self.base {
+            let i = (t.0 - self.base) as usize;
+            if self.dense.len() <= i {
+                self.dense.resize_with(i + 1, || None);
+            }
+            self.dense[i].get_or_insert_with(V::default)
+        } else {
+            self.low.entry(t).or_default()
+        }
+    }
+
+    fn remove(&mut self, t: TxnId) {
+        if t.0 >= self.base {
+            if let Some(slot) = self.dense.get_mut((t.0 - self.base) as usize) {
+                *slot = None;
+            }
+        } else {
+            self.low.remove(&t);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (TxnId, &V)> {
+        let base = self.base;
+        self.low.iter().map(|(&t, v)| (t, v)).chain(
+            self.dense
+                .iter()
+                .enumerate()
+                .filter_map(move |(i, v)| Some((TxnId(base + i as u32), v.as_ref()?))),
+        )
+    }
+
+    /// Moves the dense window up to `base`: surviving entries below it (GC
+    /// pins) spill into the low map; retired slots are dropped outright.
+    fn rebase(&mut self, base: u32) {
+        if base <= self.base {
+            return;
+        }
+        let split = ((base - self.base) as usize).min(self.dense.len());
+        let old_base = self.base;
+        for (i, slot) in self.dense.drain(..split).enumerate() {
+            if let Some(v) = slot {
+                self.low.insert(TxnId(old_base + i as u32), v);
+            }
+        }
+        self.base = base;
+    }
+}
+
+impl<V: Serialize> Serialize for TxnMap<V> {
+    fn to_json_value(&self) -> serde::JsonValue {
+        let mut items: Vec<(u32, &V)> = self.iter().map(|(t, v)| (t.0, v)).collect();
+        items.sort_unstable_by_key(|&(t, _)| t);
+        let entries = items
+            .into_iter()
+            .map(|(t, v)| serde::JsonValue::Array(vec![t.to_json_value(), v.to_json_value()]))
+            .collect();
+        serde::JsonValue::Object(vec![
+            ("base".to_string(), self.base.to_json_value()),
+            ("entries".to_string(), serde::JsonValue::Array(entries)),
+        ])
+    }
+}
+
+impl<V: Deserialize> Deserialize for TxnMap<V> {
+    fn from_json_value(v: &serde::JsonValue) -> Result<Self, serde::Error> {
+        let base = v
+            .get("base")
+            .ok_or_else(|| serde::Error::missing_field("TxnMap", "base"))?;
+        let entries = v
+            .get("entries")
+            .ok_or_else(|| serde::Error::missing_field("TxnMap", "entries"))?;
+        let serde::JsonValue::Array(entries) = entries else {
+            return Err(serde::Error::expected("TxnMap", "entries array"));
+        };
+        let mut out = TxnMap {
+            base: u32::from_json_value(base)?,
+            ..TxnMap::default()
+        };
+        for entry in entries {
+            let serde::JsonValue::Array(pair) = entry else {
+                return Err(serde::Error::expected("TxnMap", "[txn, value] pair"));
+            };
+            let [t, val] = pair.as_slice() else {
+                return Err(serde::Error::expected("TxnMap", "[txn, value] pair"));
+            };
+            out.insert(TxnId(u32::from_json_value(t)?), V::from_json_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Composed-edge provenance as an arena of adjacency rows indexed by source
+/// composed-node id (dense and bounded: composed node ids are recycled by
+/// the GC), each row sorted by target id for binary-search lookups — index
+/// arithmetic instead of hashing a `(usize, usize)` pair per composition.
+#[derive(Clone, Debug, Default)]
+struct ProvMap {
+    rows: Vec<Vec<(u32, Edge, Option<Edge>)>>,
+}
+
+impl ProvMap {
+    /// Records provenance for the pair `a → c`; false iff the pair is
+    /// already present (first provenance wins, like the batch construction).
+    fn record(&mut self, a: usize, c: usize, prov: (Edge, Option<Edge>)) -> bool {
+        if self.rows.len() <= a {
+            self.rows.resize_with(a + 1, Vec::new);
+        }
+        let row = &mut self.rows[a];
+        match row.binary_search_by_key(&(c as u32), |e| e.0) {
+            Ok(_) => false,
+            Err(i) => {
+                row.insert(i, (c as u32, prov.0, prov.1));
+                true
+            }
+        }
+    }
+
+    fn get(&self, a: usize, c: usize) -> Option<(Edge, Option<Edge>)> {
+        let row = self.rows.get(a)?;
+        let i = row.binary_search_by_key(&(c as u32), |e| e.0).ok()?;
+        Some((row[i].1, row[i].2))
+    }
+
+    /// Drops every pair with an endpoint flagged in `gone` (a bitmap over
+    /// composed-node ids; out-of-range ids are live).
+    fn prune(&mut self, gone: &[bool]) {
+        let dead = |n: usize| gone.get(n).copied().unwrap_or(false);
+        for (a, row) in self.rows.iter_mut().enumerate() {
+            if dead(a) {
+                *row = Vec::new();
+            } else {
+                row.retain(|&(c, _, _)| !dead(c as usize));
+            }
+        }
+    }
+}
+
+impl Serialize for ProvMap {
+    fn to_json_value(&self) -> serde::JsonValue {
+        let mut items = Vec::new();
+        for (a, row) in self.rows.iter().enumerate() {
+            for &(c, base, rw) in row {
+                items.push(serde::JsonValue::Array(vec![
+                    (a as u32).to_json_value(),
+                    c.to_json_value(),
+                    base.to_json_value(),
+                    rw.to_json_value(),
+                ]));
+            }
+        }
+        serde::JsonValue::Array(items)
+    }
+}
+
+impl Deserialize for ProvMap {
+    fn from_json_value(v: &serde::JsonValue) -> Result<Self, serde::Error> {
+        let serde::JsonValue::Array(items) = v else {
+            return Err(serde::Error::expected("ProvMap", "array"));
+        };
+        let mut out = ProvMap::default();
+        for item in items {
+            let serde::JsonValue::Array(quad) = item else {
+                return Err(serde::Error::expected("ProvMap", "[a, c, base, rw] entry"));
+            };
+            let [a, c, base, rw] = quad.as_slice() else {
+                return Err(serde::Error::expected("ProvMap", "[a, c, base, rw] entry"));
+            };
+            out.record(
+                u32::from_json_value(a)? as usize,
+                u32::from_json_value(c)? as usize,
+                (
+                    Edge::from_json_value(base)?,
+                    Option::<Edge>::from_json_value(rw)?,
+                ),
+            );
+        }
+        Ok(out)
+    }
+}
+
 /// Shared core: labelled graph, topological order(s), verdict latch and
 /// session bookkeeping. Both checker flavours feed it the same event stream.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -931,18 +1183,18 @@ struct Engine {
     /// SI: maintained over the composed graph `(SO ∪ WR ∪ WW) ; RW?`.
     composed: IncrementalTopo,
     /// SI: provenance of each composed edge (base edge, optional RW suffix).
-    composed_prov: FastHashMap<(usize, usize), (Edge, Option<Edge>)>,
+    composed_prov: ProvMap,
     /// SI: base edges indexed by target (for compositions with later RW).
-    base_in: FastHashMap<TxnId, Vec<Edge>>,
+    base_in: TxnMap<Vec<Edge>>,
     /// SI: RW edges indexed by source.
-    rw_out: FastHashMap<TxnId, Vec<Edge>>,
+    rw_out: TxnMap<Vec<Edge>>,
     /// SSER: the online time-chain over begin/commit instants.
     chain: TimeChain,
     /// Topological-order node of each resident transaction. An explicit map
     /// (rather than the identity) because pruned node ids are recycled.
-    txn_node: FastHashMap<TxnId, usize>,
+    txn_node: TxnMap<usize>,
     /// Composed-order node of each resident transaction (SI).
-    txn_cnode: FastHashMap<TxnId, usize>,
+    txn_cnode: TxnMap<usize>,
     /// Owner of each topological-order node, for cycle splicing.
     node_owner: Vec<NodeOwner>,
     /// Last transaction of each session, with its commit status.
@@ -951,8 +1203,16 @@ struct Engine {
     live_txns: BTreeMap<TxnId, TxnMeta>,
     /// Settled-prefix GC policy; `None` disables collection.
     gc: Option<GcPolicy>,
-    /// `txn_count` at the last collection.
+    /// `txn_count` at the last epoch boundary (sweep).
     last_gc: usize,
+    /// Epoch boundaries since the last collection commit: every
+    /// [`GC_COMMIT_EPOCHS`]-th boundary runs the graph-side collection, the
+    /// boundaries in between only sweep the per-key state (cheap and
+    /// ingest-adjacent), keeping the expensive candidate-closure walk and
+    /// prune off the common path. Serialized so a resumed checker keeps the
+    /// exact epoch phase and prunes at the same points as an uninterrupted
+    /// run.
+    gc_epochs: u32,
     /// Transactions retired by the GC so far.
     pruned_txns: usize,
     /// Merge-path queue of deferred insertions (empty on the sequential
@@ -980,17 +1240,18 @@ impl Engine {
             graph: DependencyGraph::new(0),
             topo: IncrementalTopo::new(),
             composed: IncrementalTopo::new(),
-            composed_prov: FastHashMap::default(),
-            base_in: FastHashMap::default(),
-            rw_out: FastHashMap::default(),
+            composed_prov: ProvMap::default(),
+            base_in: TxnMap::default(),
+            rw_out: TxnMap::default(),
             chain: TimeChain::new(),
-            txn_node: FastHashMap::default(),
-            txn_cnode: FastHashMap::default(),
+            txn_node: TxnMap::default(),
+            txn_cnode: TxnMap::default(),
             node_owner: Vec::new(),
             sessions: Vec::new(),
             live_txns: BTreeMap::new(),
             gc: None,
             last_gc: 0,
+            gc_epochs: 0,
             pruned_txns: 0,
             pending: Vec::new(),
             pending_set: FastHashSet::default(),
@@ -1008,7 +1269,7 @@ impl Engine {
     fn node_of(&self, txn: TxnId) -> usize {
         *self
             .txn_node
-            .get(&txn)
+            .get(txn)
             .expect("edge endpoint must be a resident transaction")
     }
 
@@ -1017,7 +1278,7 @@ impl Engine {
     fn cnode_of(&self, txn: TxnId) -> usize {
         *self
             .txn_cnode
-            .get(&txn)
+            .get(txn)
             .expect("edge endpoint must be a resident transaction")
     }
 
@@ -1359,7 +1620,7 @@ impl Engine {
                 if self.done() {
                     return;
                 }
-                let suffixes: Vec<Edge> = self.rw_out.get(&edge.to).cloned().unwrap_or_default();
+                let suffixes: Vec<Edge> = self.rw_out.get(edge.to).cloned().unwrap_or_default();
                 for rw in suffixes {
                     let c = self.cnode_of(rw.to);
                     self.add_composed(at, a, c, (edge, Some(rw)));
@@ -1367,11 +1628,11 @@ impl Engine {
                         return;
                     }
                 }
-                self.base_in.entry(edge.to).or_default().push(edge);
+                self.base_in.get_or_default(edge.to).push(edge);
             }
             EdgeKind::Rw(_) => {
                 let c = self.cnode_of(edge.to);
-                let bases: Vec<Edge> = self.base_in.get(&edge.from).cloned().unwrap_or_default();
+                let bases: Vec<Edge> = self.base_in.get(edge.from).cloned().unwrap_or_default();
                 for base in bases {
                     let a = self.cnode_of(base.from);
                     self.add_composed(at, a, c, (base, Some(edge)));
@@ -1379,7 +1640,7 @@ impl Engine {
                         return;
                     }
                 }
-                self.rw_out.entry(edge.from).or_default().push(edge);
+                self.rw_out.get_or_default(edge.from).push(edge);
             }
             EdgeKind::Rt => {}
         }
@@ -1403,14 +1664,7 @@ impl Engine {
     /// Records the provenance of a composed pair; false iff the pair is
     /// already present (first provenance wins, like the batch construction).
     fn record_composed(&mut self, a: usize, c: usize, prov: (Edge, Option<Edge>)) -> bool {
-        use std::collections::hash_map::Entry;
-        match self.composed_prov.entry((a, c)) {
-            Entry::Occupied(_) => false,
-            Entry::Vacant(v) => {
-                v.insert(prov);
-                true
-            }
-        }
+        self.composed_prov.record(a, c, prov)
     }
 
     /// Expands a composed-graph node cycle into labelled edges via the
@@ -1420,10 +1674,10 @@ impl Engine {
         for i in 0..cycle.len() {
             let u = cycle[i];
             let v = cycle[(i + 1) % cycle.len()];
-            if let Some((base, rw)) = self.composed_prov.get(&(u, v)) {
-                edges.push(*base);
+            if let Some((base, rw)) = self.composed_prov.get(u, v) {
+                edges.push(base);
                 if let Some(rw) = rw {
-                    edges.push(*rw);
+                    edges.push(rw);
                 }
             }
         }
@@ -1492,21 +1746,21 @@ impl Engine {
             EdgeKind::So | EdgeKind::Wr(_) | EdgeKind::Ww(_) => {
                 let (a, b) = (self.cnode_of(edge.from), self.cnode_of(edge.to));
                 self.queue_composed(at, a, b, (edge, None));
-                let suffixes: Vec<Edge> = self.rw_out.get(&edge.to).cloned().unwrap_or_default();
+                let suffixes: Vec<Edge> = self.rw_out.get(edge.to).cloned().unwrap_or_default();
                 for rw in suffixes {
                     let c = self.cnode_of(rw.to);
                     self.queue_composed(at, a, c, (edge, Some(rw)));
                 }
-                self.base_in.entry(edge.to).or_default().push(edge);
+                self.base_in.get_or_default(edge.to).push(edge);
             }
             EdgeKind::Rw(_) => {
                 let c = self.cnode_of(edge.to);
-                let bases: Vec<Edge> = self.base_in.get(&edge.from).cloned().unwrap_or_default();
+                let bases: Vec<Edge> = self.base_in.get(edge.from).cloned().unwrap_or_default();
                 for base in bases {
                     let a = self.cnode_of(base.from);
                     self.queue_composed(at, a, c, (base, Some(edge)));
                 }
-                self.rw_out.entry(edge.from).or_default().push(edge);
+                self.rw_out.get_or_default(edge.from).push(edge);
             }
             EdgeKind::Rt => {}
         }
@@ -1600,12 +1854,37 @@ impl Engine {
         }
     }
 
-    /// True iff a collection is due under the configured policy.
+    /// True iff an epoch boundary (per-key sweep, possibly a collection
+    /// commit) is due under the configured policy.
     fn gc_due(&self) -> bool {
         match self.gc {
             Some(policy) => !self.done() && self.txn_count - self.last_gc >= policy.every,
             None => false,
         }
+    }
+
+    /// Advances the epoch clock at a due boundary; true iff this boundary
+    /// is a collection commit, i.e. the caller should materialize the
+    /// key-state refs and run [`Engine::collect`]. Every boundary sweeps the
+    /// per-key state (so the reader-cap contract keeps its original
+    /// cadence); only every [`GC_COMMIT_EPOCHS`]-th runs the graph-side
+    /// candidate closure and prune.
+    fn begin_epoch(&mut self) -> bool {
+        self.last_gc = self.txn_count;
+        self.gc_epochs += 1;
+        if self.gc_epochs >= GC_COMMIT_EPOCHS {
+            self.gc_epochs = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True iff the next due epoch boundary will be a collection commit —
+    /// the sharded checker asks *before* sweeping so the workers only
+    /// materialize their refs when a commit will consume them.
+    fn commit_epoch_next(&self) -> bool {
+        self.gc_epochs + 1 >= GC_COMMIT_EPOCHS
     }
 
     /// The transaction-id watermark of the next collection: everything at or
@@ -1625,16 +1904,19 @@ impl Engine {
     ///
     /// Callers must have flushed the deferred queue first.
     fn collect(&mut self, watermark: TxnId, refs: &HashSet<TxnId>) {
-        self.last_gc = self.txn_count;
         if self.done() {
             return;
         }
         debug_assert!(self.pending.is_empty(), "collect() with a deferred queue");
 
         // ── candidate transactions ──
-        let keep_sessions: HashSet<TxnId> =
+        // Membership is a bitmap over transaction ids below the watermark
+        // (plus the ordered list for iteration): the closure loop below
+        // tests and clears membership per predecessor walk, and bitmaps
+        // make those index arithmetic instead of hash probes.
+        let keep_sessions: FastHashSet<TxnId> =
             self.sessions.iter().flatten().map(|&(t, _)| t).collect();
-        let mut cand: HashSet<TxnId> = self
+        let mut cand_list: Vec<TxnId> = self
             .live_txns
             .range(..watermark)
             .map(|(&t, _)| t)
@@ -1642,6 +1924,10 @@ impl Engine {
             .filter(|t| !refs.contains(t))
             .filter(|t| !keep_sessions.contains(t))
             .collect();
+        let mut cand = vec![false; watermark.0 as usize];
+        for &t in &cand_list {
+            cand[t.index()] = true;
+        }
 
         // ── candidate time-chain prefix (SSER) ──
         // `cut`: the smallest instant any retained transaction (other than
@@ -1668,7 +1954,9 @@ impl Engine {
             let cut = self
                 .live_txns
                 .iter()
-                .filter(|(t, _)| !(cand.contains(t) || self.has_init && t.0 == 0))
+                .filter(|(t, _)| {
+                    !(cand.get(t.index()).copied().unwrap_or(false) || self.has_init && t.0 == 0)
+                })
                 .filter_map(|(_, m)| m.begin.into_iter().chain(m.end).min())
                 .min()
                 .unwrap_or(u64::MAX);
@@ -1683,34 +1971,55 @@ impl Engine {
         // (its begin-time hook comes from the equally unreachable first
         // chain slot) — and the end nodes of the permanently retained chain
         // slots below the pruned range (⊥T's instants).
-        let mut cut_sources: HashSet<usize> = self
+        let mut cut_sources: Vec<usize> = self
             .chain
             .slots_in(0, chain_low)
             .iter()
             .map(|&(_, s)| s.end_node)
             .collect();
         let bot_cnode = if self.has_init {
-            cut_sources.insert(self.node_of(TxnId(0)));
+            cut_sources.push(self.node_of(TxnId(0)));
             Some(self.cnode_of(TxnId(0)))
         } else {
             None
         };
 
         // ── closure: drop candidates that anything retained still points at ──
-        loop {
-            let mut nodes: HashSet<usize> = cand.iter().map(|&t| self.node_of(t)).collect();
-            for &(_, s) in &pruned_slots {
-                nodes.insert(s.begin_node);
-                nodes.insert(s.end_node);
+        // `in_nodes` / `in_cnodes` mirror the candidate set as bitmaps over
+        // (composed-)order node ids; dropped members are unmarked in place,
+        // so each round's predecessor walks are pure index arithmetic.
+        let nb = self.topo.node_count();
+        let mut in_nodes = vec![false; nb];
+        let mut cut_mask = vec![false; nb];
+        for &s in &cut_sources {
+            cut_mask[s] = true;
+        }
+        for &t in &cand_list {
+            in_nodes[self.node_of(t)] = true;
+        }
+        for &(_, s) in &pruned_slots {
+            in_nodes[s.begin_node] = true;
+            in_nodes[s.end_node] = true;
+        }
+        let si = self.level == IsolationLevel::SnapshotIsolation;
+        let mut in_cnodes = vec![false; if si { self.composed.node_count() } else { 0 }];
+        if si {
+            for &t in &cand_list {
+                in_cnodes[self.cnode_of(t)] = true;
             }
+        }
+        loop {
             let mut drop_txns: Vec<TxnId> = Vec::new();
             let mut slot_break: Option<usize> = None;
-            for &t in &cand {
+            for &t in &cand_list {
+                if !cand[t.index()] {
+                    continue;
+                }
                 let n = self.node_of(t);
                 if self
                     .topo
                     .predecessors(n)
-                    .any(|p| !nodes.contains(&p) && !cut_sources.contains(&p))
+                    .any(|p| !in_nodes[p] && !cut_mask[p])
                 {
                     drop_txns.push(t);
                 }
@@ -1719,24 +2028,26 @@ impl Engine {
                 let bad = self
                     .topo
                     .predecessors(s.begin_node)
-                    .any(|p| !nodes.contains(&p) && !cut_sources.contains(&p))
+                    .any(|p| !in_nodes[p] && !cut_mask[p])
                     || self
                         .topo
                         .predecessors(s.end_node)
-                        .any(|p| !nodes.contains(&p) && !cut_sources.contains(&p));
+                        .any(|p| !in_nodes[p] && !cut_mask[p]);
                 if bad {
                     slot_break = Some(i);
                     break;
                 }
             }
-            if self.level == IsolationLevel::SnapshotIsolation {
-                let cand_cnodes: HashSet<usize> = cand.iter().map(|&t| self.cnode_of(t)).collect();
-                for &t in &cand {
+            if si {
+                for &t in &cand_list {
+                    if !cand[t.index()] {
+                        continue;
+                    }
                     let n = self.cnode_of(t);
                     if self
                         .composed
                         .predecessors(n)
-                        .any(|p| !cand_cnodes.contains(&p) && Some(p) != bot_cnode)
+                        .any(|p| !in_cnodes[p] && Some(p) != bot_cnode)
                     {
                         drop_txns.push(t);
                     }
@@ -1750,15 +2061,16 @@ impl Engine {
                 // resolution — a new transaction or one with a pending read
                 // (pinned via `refs`). Entries of settled owners are inert
                 // and must not disqualify their endpoints.
-                let active = |owner: &TxnId| *owner >= watermark || refs.contains(owner);
-                for (owner, edges) in &self.base_in {
+                let is_cand = |t: TxnId| cand.get(t.index()).copied().unwrap_or(false);
+                let active = |owner: TxnId| owner >= watermark || refs.contains(&owner);
+                for (owner, edges) in self.base_in.iter() {
                     if active(owner) {
-                        drop_txns.extend(edges.iter().map(|e| e.from).filter(|t| cand.contains(t)));
+                        drop_txns.extend(edges.iter().map(|e| e.from).filter(|&t| is_cand(t)));
                     }
                 }
-                for (owner, edges) in &self.rw_out {
+                for (owner, edges) in self.rw_out.iter() {
                     if active(owner) {
-                        drop_txns.extend(edges.iter().map(|e| e.to).filter(|t| cand.contains(t)));
+                        drop_txns.extend(edges.iter().map(|e| e.to).filter(|&t| is_cand(t)));
                     }
                 }
             }
@@ -1766,21 +2078,32 @@ impl Engine {
                 break;
             }
             for t in drop_txns {
-                cand.remove(&t);
+                if cand[t.index()] {
+                    cand[t.index()] = false;
+                    in_nodes[self.node_of(t)] = false;
+                    if si {
+                        in_cnodes[self.cnode_of(t)] = false;
+                    }
+                }
             }
             if let Some(i) = slot_break {
+                for &(_, s) in &pruned_slots[i..] {
+                    in_nodes[s.begin_node] = false;
+                    in_nodes[s.end_node] = false;
+                }
                 pruned_slots.truncate(i);
             }
         }
-        if cand.is_empty() && pruned_slots.is_empty() {
+        cand_list.retain(|&t| cand[t.index()]);
+        if cand_list.is_empty() && pruned_slots.is_empty() {
             return;
         }
 
         // ── commit the collection ──
-        let mut nodes: HashSet<usize> = cand.iter().map(|&t| self.node_of(t)).collect();
+        let mut nodes: Vec<usize> = cand_list.iter().map(|&t| self.node_of(t)).collect();
         for &(_, s) in &pruned_slots {
-            nodes.insert(s.begin_node);
-            nodes.insert(s.end_node);
+            nodes.push(s.begin_node);
+            nodes.push(s.end_node);
         }
         if let Some(&(first_pruned, _)) = pruned_slots.first() {
             let last_pruned = pruned_slots.last().expect("nonempty").0;
@@ -1800,22 +2123,32 @@ impl Engine {
             self.topo.remove_edges_into(src, &nodes);
         }
         self.topo.prune(&nodes);
-        let cand_cnodes: HashSet<usize> = cand.iter().map(|&t| self.cnode_of(t)).collect();
+        let cand_cnodes: Vec<usize> = cand_list.iter().map(|&t| self.cnode_of(t)).collect();
         if let Some(bc) = bot_cnode {
             self.composed.remove_edges_into(bc, &cand_cnodes);
         }
         self.composed.prune(&cand_cnodes);
-        self.composed_prov
-            .retain(|&(a, c), _| !cand_cnodes.contains(&a) && !cand_cnodes.contains(&c));
-        self.graph.prune_nodes(|t| cand.contains(&t));
-        for t in &cand {
+        if si {
+            // `in_cnodes` now flags exactly the surviving candidates.
+            self.composed_prov.prune(&in_cnodes);
+        }
+        self.graph
+            .prune_nodes(|t| cand.get(t.index()).copied().unwrap_or(false));
+        for &t in &cand_list {
             self.txn_node.remove(t);
             self.txn_cnode.remove(t);
             self.base_in.remove(t);
             self.rw_out.remove(t);
-            self.live_txns.remove(t);
+            self.live_txns.remove(&t);
         }
-        self.pruned_txns += cand.len();
+        self.pruned_txns += cand_list.len();
+        // Re-base the windowed maps: the dense blocks track the live window
+        // and the (bounded) set of pinned stragglers spills into the low
+        // maps, so resident memory stays proportional to the window.
+        self.txn_node.rebase(watermark.0);
+        self.txn_cnode.rebase(watermark.0);
+        self.base_in.rebase(watermark.0);
+        self.rw_out.rebase(watermark.0);
     }
 }
 
@@ -1866,8 +2199,10 @@ pub struct CheckerSnapshot {
 }
 
 /// Current snapshot format version. Bumped to 2 when the per-key state
-/// gained explicit reader-eviction markers (the GC reader-cap feature).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// gained explicit reader-eviction markers (the GC reader-cap feature); to
+/// 3 when the engine's hot maps moved to windowed arenas ([`TxnMap`] /
+/// [`ProvMap`] layouts) and the GC gained epoch scheduling (`gc_epochs`).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 impl CheckerSnapshot {
     /// The isolation level the snapshotted checker enforces.
@@ -2153,8 +2488,11 @@ impl IncrementalChecker {
         if self.engine.gc_due() {
             let watermark = self.engine.gc_watermark();
             let cap = self.engine.gc.map_or(0, |g| g.reader_cap);
-            let refs = self.keys.sweep(watermark, cap);
-            self.engine.collect(watermark, &refs);
+            self.keys.sweep(watermark, cap);
+            if self.engine.begin_epoch() {
+                let refs = self.keys.refs();
+                self.engine.collect(watermark, &refs);
+            }
         }
     }
 
@@ -2467,9 +2805,11 @@ struct BatchJob {
 enum ShardMsg {
     Batch(std::sync::Arc<BatchJob>),
     /// Run the settled-prefix sweep at the given watermark (second field:
-    /// the policy's reader-list cap) and reply with the transactions the
-    /// shard still references.
-    Collect(TxnId, usize),
+    /// the policy's reader-list cap). The third field asks the shard to
+    /// materialize and reply with the transactions it still references —
+    /// set only at collection-commit epochs; the sweeps in between reply
+    /// with an empty set (the merge thread still needs the eviction count).
+    Collect(TxnId, usize, bool),
     /// Clone and return the shard's key state (checkpointing).
     Snapshot,
     /// Replace the shard's key state (resuming from a checkpoint).
@@ -2633,9 +2973,14 @@ impl ShardPool {
                                         break;
                                     }
                                 }
-                                ShardMsg::Collect(watermark, reader_cap) => {
-                                    let refs = state.sweep(watermark, reader_cap);
+                                ShardMsg::Collect(watermark, reader_cap, want_refs) => {
+                                    state.sweep(watermark, reader_cap);
                                     prefilter.trim(watermark);
+                                    let refs = if want_refs {
+                                        state.refs()
+                                    } else {
+                                        HashSet::new()
+                                    };
                                     let evicted = state.evicted.values().sum();
                                     if reply_tx.send(ShardReply::Refs(refs, evicted)).is_err() {
                                         break;
@@ -2958,6 +3303,23 @@ impl ShardedIncrementalChecker {
         let (validate_mt, prescan) = (self.engine.opts.validate_mt, self.engine.opts.prescan_intra);
         let cycle_hints = self.engine.level != IsolationLevel::SnapshotIsolation;
 
+        // Decide the epoch boundary up front: `txn_count` always advances by
+        // the whole batch (a mid-merge latch still counts the tail as
+        // consumed), so the post-batch watermark is known before the merge
+        // starts — which lets the workers run their sweep *concurrently
+        // with* the merge instead of serialized after it.
+        let gc_fire: Option<(TxnId, usize, bool)> = match self.engine.gc {
+            Some(p) if self.engine.txn_count + batch.len() - self.engine.last_gc >= p.every => {
+                let total = self.engine.txn_count + batch.len();
+                Some((
+                    TxnId(total.saturating_sub(p.window) as u32),
+                    p.reader_cap,
+                    self.engine.commit_epoch_next(),
+                ))
+            }
+            _ => None,
+        };
+
         // Fan the per-key derivation out across the shard pool. Each worker
         // walks the whole batch but only touches the keys it owns, so the
         // shard states never alias. Workers pre-filter duplicate edges and
@@ -3014,6 +3376,23 @@ impl ShardedIncrementalChecker {
             }
         };
 
+        // Overlap the sweep with the merge: a worker's Events reply means it
+        // has fully derived the batch, so sending Collect now preserves the
+        // per-shard derive-then-sweep order while the sweep itself runs
+        // concurrently with the merge below. The refs replies are received
+        // after the merge — unconditionally, to keep the channel protocol
+        // in lock-step even when the merge latches a verdict.
+        if let Some((watermark, cap, want_refs)) = gc_fire {
+            if let ShardPool::Workers { workers, .. } = &self.pool {
+                for w in workers.iter() {
+                    w.tx.as_ref()
+                        .expect("pool already shut down")
+                        .send(ShardMsg::Collect(watermark, cap, want_refs))
+                        .expect("shard worker hung up");
+                }
+            }
+        }
+
         // Merge: per transaction, admit it sequentially, then queue the
         // shard events in canonical (pass, key_rank, seq) order. Edges
         // accumulate across transactions and hit the topological order in
@@ -3042,18 +3421,17 @@ impl ShardedIncrementalChecker {
             }
         }
         self.engine.flush_deferred();
-        if self.engine.gc_due() {
-            let watermark = self.engine.gc_watermark();
-            let cap = self.engine.gc.map_or(0, |g| g.reader_cap);
+        if let Some((watermark, cap, want_refs)) = gc_fire {
             let refs: HashSet<TxnId> = match &mut self.pool {
-                ShardPool::Inline(state) => state.sweep(watermark, cap),
-                ShardPool::Workers { workers, .. } => {
-                    for w in workers.iter() {
-                        w.tx.as_ref()
-                            .expect("pool already shut down")
-                            .send(ShardMsg::Collect(watermark, cap))
-                            .expect("shard worker hung up");
+                ShardPool::Inline(state) => {
+                    state.sweep(watermark, cap);
+                    if want_refs {
+                        state.refs()
+                    } else {
+                        HashSet::new()
                     }
+                }
+                ShardPool::Workers { workers, .. } => {
                     let mut refs = HashSet::new();
                     self.worker_evictions.resize(workers.len(), 0);
                     for (i, w) in workers.iter().enumerate() {
@@ -3068,7 +3446,9 @@ impl ShardedIncrementalChecker {
                     refs
                 }
             };
-            self.engine.collect(watermark, &refs);
+            if self.engine.begin_epoch() && !self.engine.done() {
+                self.engine.collect(watermark, &refs);
+            }
         }
     }
 

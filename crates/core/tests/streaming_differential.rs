@@ -13,7 +13,7 @@
 
 use mtc_core::{
     check_ser, check_si, check_sser, check_sser_naive, check_streaming, check_streaming_sharded,
-    tune, CheckerSnapshot, IncrementalChecker, IncrementalSserChecker, IsolationLevel,
+    tune, CheckerSnapshot, GcPolicy, IncrementalChecker, IncrementalSserChecker, IsolationLevel,
     ShardedIncrementalChecker, StreamStatus,
 };
 use mtc_history::{History, HistoryBuilder, Op, Transaction, TxnId, Value};
@@ -692,6 +692,238 @@ proptest! {
             assert_sharded_checkpoint_equivalence(
                 level, &history, cut, batch, shards_before, shards_after,
             );
+        }
+    }
+}
+
+// ───────────────── epoch-GC differential ─────────────────────────────────────
+
+/// Small GC geometries for the epoch-GC differential tests. The engine
+/// sweeps every `every` transactions but only commits a graph-side
+/// collection every fourth sweep epoch, so with these cadences most random
+/// history lengths are *not* multiples of the commit cycle (`4·every`) and
+/// the run ends with the GC window straddling an epoch boundary —
+/// uncommitted sweep-only epochs whose deferred state the verdict must not
+/// depend on.
+fn gc_geometry_strategy() -> impl Strategy<Value = GcPolicy> {
+    prop::sample::select(vec![
+        GcPolicy::clamped(8, 2),
+        GcPolicy::clamped(12, 3),
+        GcPolicy::clamped(10, 4),
+        GcPolicy::clamped(6, 1),
+    ])
+}
+
+/// Uninterrupted un-GC'd reference outcome for `history` at `level`.
+fn ungced_reference(level: IsolationLevel, history: &History) -> (Option<TxnId>, String) {
+    let (mut reference, txns) = seeded(level, history);
+    for t in &txns {
+        let _ = reference.push(t.clone());
+    }
+    let first = reference.first_violation_at();
+    (first, format!("{:?}", reference.finish()))
+}
+
+/// Corrupts one read to return the *previous* version of its key, picking a
+/// target transaction whose previous version was installed at most `max_age`
+/// transactions earlier. Unlike [`corrupt`] — whose stale value may reference
+/// state arbitrarily far in the past, which a windowed GC is *allowed* to
+/// have retired (the qualified-certificate contract) — this keeps the
+/// violation inside the staleness window, where GC'd and un-GC'd verdicts
+/// must be bit-identical. Returns the history unchanged when no transaction
+/// qualifies (the valid history then trivially satisfies the property).
+fn corrupt_fresh(history: &History, pick: usize, max_age: usize) -> History {
+    let user: Vec<_> = history
+        .txns()
+        .iter()
+        .filter(|t| Some(t.id) != history.init_txn())
+        .collect();
+    // versions[key] = (user txn index, value) of installed versions, oldest
+    // first; candidates = txns whose first read could be made one-version
+    // stale against a version no older than `max_age`.
+    let mut versions: std::collections::HashMap<u64, Vec<(usize, Value)>> =
+        std::collections::HashMap::new();
+    let mut candidates: Vec<(usize, Value)> = Vec::new();
+    for (i, t) in user.iter().enumerate() {
+        if let Some(Op::Read { key, .. }) = t.ops.first() {
+            if let Some(vs) = versions.get(&key.raw()) {
+                if vs.len() >= 2 {
+                    let (installed_at, stale) = vs[vs.len() - 2];
+                    if i - installed_at <= max_age {
+                        candidates.push((i, stale));
+                    }
+                }
+            }
+        }
+        for key in t.write_set() {
+            if let Some(v) = t.last_write(key) {
+                versions.entry(key.raw()).or_default().push((i, v));
+            }
+        }
+    }
+    let Some(&(target, stale)) = candidates.get(pick % candidates.len().max(1)) else {
+        return history.clone();
+    };
+    let mut builder = HistoryBuilder::new().with_init(history.keys().len() as u64);
+    for (i, t) in user.iter().enumerate() {
+        let mut ops = t.ops.clone();
+        if i == target {
+            if let Some(Op::Read { value, .. }) = ops.first_mut() {
+                *value = stale;
+            }
+        }
+        builder.committed(t.session.0, ops);
+    }
+    builder.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The epoch-GC'd sequential checker is bit-identical to the from-scratch
+    /// un-GC'd one — verdict payload and `first_violation_at` — on valid
+    /// histories and histories with an in-window stale read, across SER, SI
+    /// and (untimed) SSER, for GC windows straddling commit-epoch boundaries.
+    #[test]
+    fn epoch_gc_verdicts_match_ungced_ser_si_sser(
+        shapes in prop::collection::vec((shape_strategy(), 0u64..6, 0u64..6), 8..48),
+        keys in 2u64..6,
+        sessions in 1u32..4,
+        pick in 0usize..48,
+        policy in gc_geometry_strategy(),
+    ) {
+        let valid = serial_history(&shapes, keys, sessions);
+        let history = corrupt_fresh(&valid, pick, policy.window / 2);
+        for level in [
+            IsolationLevel::Serializability,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::StrictSerializability,
+        ] {
+            let (expected_first, expected) = ungced_reference(level, &history);
+            let (mut gced, txns) = seeded(level, &history);
+            gced.set_gc(policy);
+            for t in &txns {
+                let _ = gced.push(t.clone());
+            }
+            prop_assert_eq!(gced.first_violation_at(), expected_first, "{}", level);
+            prop_assert_eq!(format!("{:?}", gced.finish()), expected, "{}", level);
+        }
+    }
+
+    /// The same guarantee for the timed SSER path: overlapping commit
+    /// intervals, partially timed records, and a *small* clock skew whose
+    /// induced real-time violation stays well inside the GC window (begins
+    /// advance by at least one tick per transaction, so a `delta`-tick skew
+    /// reaches at most `delta` transactions back).
+    #[test]
+    fn epoch_gc_verdicts_match_ungced_timed_sser(
+        shapes in prop::collection::vec((shape_strategy(), 0u64..4, 0u64..4), 8..32),
+        intervals in prop::collection::vec((1u64..6, 0u64..40), 16),
+        pick in 0usize..32,
+        delta in 0u64..8,
+        strip in prop::option::of((0usize..32, any::<bool>())),
+    ) {
+        let policy = GcPolicy::clamped(16, 3);
+        let valid = timed_serial_history(&shapes, 3, 2, 0, &intervals);
+        let history = skewed(&valid, pick, delta, None, strip);
+        let level = IsolationLevel::StrictSerializability;
+        let (expected_first, expected) = ungced_reference(level, &history);
+        let (mut gced, txns) = seeded(level, &history);
+        gced.set_gc(policy);
+        for t in &txns {
+            let _ = gced.push(t.clone());
+        }
+        prop_assert_eq!(gced.first_violation_at(), expected_first);
+        prop_assert_eq!(format!("{:?}", gced.finish()), expected);
+    }
+
+    /// The GC'd *sharded* checker — whose sweeps overlap the merge — returns
+    /// outcomes bit-identical to the un-GC'd sequential reference for every
+    /// geometry, including batch sizes that are not multiples of the GC
+    /// cadence (collections fire mid-batch relative to epoch boundaries).
+    #[test]
+    fn epoch_gc_sharded_matches_ungced_sequential(
+        shapes in prop::collection::vec((shape_strategy(), 0u64..4, 0u64..4), 8..40),
+        pick in 0usize..40,
+        shards in 1usize..5,
+        batch in 1usize..11,
+        policy in gc_geometry_strategy(),
+    ) {
+        let valid = serial_history(&shapes, 3, 2);
+        // Half the sweep margin of the sequential tests: the sharded
+        // checker's sweeps fire at batch boundaries, up to a batch later
+        // than the sequential cadence.
+        let history = corrupt_fresh(&valid, pick, policy.window / 4);
+        for level in [
+            IsolationLevel::Serializability,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::StrictSerializability,
+        ] {
+            let (expected_first, expected) = ungced_reference(level, &history);
+            let (_, txns) = seeded(level, &history);
+            let mut sharded = match history.init_txn() {
+                Some(init) => ShardedIncrementalChecker::new(level, shards)
+                    .with_init_keys(history.txn(init).write_set()),
+                None => ShardedIncrementalChecker::new(level, shards),
+            }
+            .with_gc(policy);
+            for chunk in txns.chunks(batch) {
+                let _ = sharded.push_batch(chunk.to_vec());
+            }
+            prop_assert_eq!(sharded.first_violation_at(), expected_first, "{}", level);
+            prop_assert_eq!(format!("{:?}", sharded.finish()), expected, "{}", level);
+        }
+    }
+
+    /// Checkpointing a GC'd checker mid-stream — including between a sweep
+    /// epoch and its deferred graph-side collection — and resuming must be
+    /// bit-identical to the *uninterrupted GC'd* run on any history (even
+    /// corruption reaching past the window): the snapshot carries the epoch
+    /// counter and arena bases, so the resumed run's sweep and collection
+    /// schedule replays exactly.
+    #[test]
+    fn epoch_gc_checkpoint_resume_is_bit_identical(
+        shapes in prop::collection::vec((shape_strategy(), 0u64..6, 0u64..6), 8..40),
+        keys in 2u64..6,
+        cut in 0usize..40,
+        corruption in prop::option::of((0usize..40, 1u64..50)),
+        policy in gc_geometry_strategy(),
+    ) {
+        let mut history = serial_history(&shapes, keys, 3);
+        if let Some((pick, stale)) = corruption {
+            history = corrupt(&history, pick, stale);
+        }
+        for level in [
+            IsolationLevel::Serializability,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::StrictSerializability,
+        ] {
+            let (mut reference, txns) = seeded(level, &history);
+            reference.set_gc(policy);
+            for t in &txns {
+                let _ = reference.push(t.clone());
+            }
+            let expected_first = reference.first_violation_at();
+            let expected = format!("{:?}", reference.finish());
+
+            let (mut first_half, _) = seeded(level, &history);
+            first_half.set_gc(policy);
+            let cut = cut % (txns.len() + 1);
+            for t in &txns[..cut] {
+                let _ = first_half.push(t.clone());
+            }
+            let snapshot = first_half.checkpoint();
+            drop(first_half);
+            let bytes = serde_json::to_string(&snapshot).expect("snapshot serializes");
+            drop(snapshot);
+            let snapshot: CheckerSnapshot =
+                serde_json::from_str(&bytes).expect("snapshot parses");
+            let mut resumed = IncrementalChecker::resume(snapshot);
+            for t in &txns[cut..] {
+                let _ = resumed.push(t.clone());
+            }
+            prop_assert_eq!(resumed.first_violation_at(), expected_first, "{}", level);
+            prop_assert_eq!(format!("{:?}", resumed.finish()), expected, "{}", level);
         }
     }
 }

@@ -71,6 +71,19 @@ pub trait DbBackend: Sync {
     /// Begins a transaction.
     fn begin(&self) -> Box<dyn DbTxn + '_>;
 
+    /// Begins a retry of a previously aborted transaction whose first
+    /// attempt observed `prior_begin_ts`.
+    ///
+    /// Backends whose abort/retry behaviour depends on transaction age
+    /// (e.g. wait-die lock schedulers) should reuse the original timestamp
+    /// so a retried transaction keeps ageing instead of being reborn
+    /// youngest — otherwise a hot key can starve a session indefinitely.
+    /// The default simply delegates to [`DbBackend::begin`].
+    fn begin_retry(&self, prior_begin_ts: u64) -> Box<dyn DbTxn + '_> {
+        let _ = prior_begin_ts;
+        self.begin()
+    }
+
     /// The most recently issued instant of the backend's logical clock
     /// (used as the end instant of aborted attempts in collected histories).
     fn now(&self) -> u64;
@@ -92,6 +105,9 @@ pub trait DbBackend: Sync {
 impl<B: DbBackend + ?Sized> DbBackend for &B {
     fn begin(&self) -> Box<dyn DbTxn + '_> {
         (**self).begin()
+    }
+    fn begin_retry(&self, prior_begin_ts: u64) -> Box<dyn DbTxn + '_> {
+        (**self).begin_retry(prior_begin_ts)
     }
     fn now(&self) -> u64 {
         (**self).now()

@@ -79,9 +79,27 @@ impl TwoPlDatabase {
     /// Begins a transaction. Its begin instant is also its wait-die
     /// priority: smaller = older = allowed to wait.
     pub fn begin(&self) -> TwoPlTxn<'_> {
+        self.begin_at(self.tick())
+    }
+
+    /// Begins a retry of an aborted transaction, reusing the first
+    /// attempt's begin instant as its wait-die priority. Without this a
+    /// wait-die victim is reborn as the youngest transaction in the
+    /// system and keeps dying to the same older lock holders — under hot
+    /// contention a session can starve indefinitely. Reusing the original
+    /// instant lets the retry age until it is the oldest waiter and must
+    /// win. Backdating is safe for the collected histories: sessions
+    /// retry sequentially, so the instant is never held by two live
+    /// transactions, and an earlier begin only widens the attempt's
+    /// real-time span (a conservative over-approximation).
+    pub fn begin_retry(&self, prior_begin_ts: u64) -> TwoPlTxn<'_> {
+        self.begin_at(prior_begin_ts)
+    }
+
+    fn begin_at(&self, begin_ts: u64) -> TwoPlTxn<'_> {
         TwoPlTxn {
             db: self,
-            begin_ts: self.tick(),
+            begin_ts,
             writes: HashMap::new(),
             write_order: Vec::new(),
             held: HashSet::new(),
@@ -321,6 +339,10 @@ impl DbBackend for TwoPlDatabase {
         Box::new(TwoPlDatabase::begin(self))
     }
 
+    fn begin_retry(&self, prior_begin_ts: u64) -> Box<dyn DbTxn + '_> {
+        Box::new(TwoPlDatabase::begin_retry(self, prior_begin_ts))
+    }
+
     fn now(&self) -> u64 {
         self.clock.load(Ordering::SeqCst)
     }
@@ -432,5 +454,50 @@ mod tests {
         Box::new(t1).commit().unwrap();
         let mut t2 = db.begin();
         assert_eq!(t2.read_list(Key(9)).unwrap(), vec![Value(1), Value(2)]);
+    }
+
+    #[test]
+    fn retries_reuse_their_timestamp_and_cannot_starve() {
+        // Hot-contention regression for wait-die starvation: several
+        // threads hammer a single key, retrying each wait-die death with
+        // `begin_retry`. Because a retry keeps its original (ever-ageing)
+        // instant, every session must eventually become the oldest
+        // contender and commit — the test would livelock (and time out)
+        // if retries drew fresh timestamps instead.
+        const THREADS: u64 = 4;
+        const TXNS_PER_THREAD: u64 = 25;
+        let db = TwoPlDatabase::new();
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..TXNS_PER_THREAD {
+                        let mut first_ts = None;
+                        loop {
+                            let mut t = match first_ts {
+                                None => db.begin(),
+                                Some(ts) => db.begin_retry(ts),
+                            };
+                            first_ts.get_or_insert(t.begin_ts());
+                            assert_eq!(first_ts, Some(t.begin_ts()));
+                            let attempt = (|| {
+                                let v = t.read_register(Key(0))?;
+                                t.write_register(Key(0), Value(v.0 + 1))?;
+                                Box::new(t).commit()
+                            })();
+                            match attempt {
+                                Ok(_) => break,
+                                Err(AbortReason::Deadlock) => continue,
+                                Err(other) => panic!("unexpected abort: {other:?}"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut t = db.begin();
+        let total = THREADS * TXNS_PER_THREAD;
+        assert_eq!(t.read_register(Key(0)).unwrap(), Value(total));
+        drop(t);
+        assert_eq!(db.locked_key_count(), 0);
     }
 }

@@ -291,8 +291,11 @@ pub fn execute_workload_interleaved(
                             let retry = open.attempt < opts.max_retries
                                 && reason != AbortReason::InjectedAbort;
                             if retry {
+                                // Reuse the failed attempt's begin instant so
+                                // wait-die backends let the retry keep ageing
+                                // (see `DbBackend::begin_retry`).
                                 s.open = Some(OpenTxn {
-                                    handle: db.begin(),
+                                    handle: db.begin_retry(open.begin),
                                     begin: 0, // replaced below
                                     ops: Vec::new(),
                                     next_op: 0,
@@ -352,11 +355,19 @@ fn run_session(
 
     for template in templates {
         let mut attempt = 0;
+        let mut first_begin = None;
         loop {
             attempt += 1;
             stats.attempts += 1;
-            let mut handle = db.begin();
+            // Retries reuse the first attempt's begin instant so wait-die
+            // backends let the transaction keep ageing instead of rebirthing
+            // it youngest every attempt (see `DbBackend::begin_retry`).
+            let mut handle = match first_begin {
+                None => db.begin(),
+                Some(ts) => db.begin_retry(ts),
+            };
             let begin = handle.begin_ts();
+            first_begin.get_or_insert(begin);
             let issued = issue_ops(handle.as_mut(), &template.ops, &mut allocator);
             let result = match issued.failed {
                 Some(reason) => {

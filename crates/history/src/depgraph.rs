@@ -113,9 +113,21 @@ pub struct DependencyGraph {
     /// Labelled edges pruned away by settled-prefix GC (kept so
     /// `edge_count` keeps reporting the historical total).
     pruned_edges: usize,
-    /// adjacency (indices into `edges`), per source node
+    /// Adjacency rows (indices into `edges`) for sources `>= adj_base`,
+    /// indexed by `from - adj_base`: the hot window of recent transactions
+    /// resolves out-edge lookups with plain index arithmetic. Never
+    /// serialized; [`DependencyGraph::rebuild_index`] restores it.
     #[serde(skip)]
-    adj: FastHashMap<u32, Vec<u32>>,
+    dense: Vec<Vec<u32>>,
+    /// First source id covered by `dense`. Sources below it are the few
+    /// long-lived stragglers GC retains (`⊥T`, session frontiers) and live
+    /// in `adj_low`; [`DependencyGraph::rebuild_index`] picks the split so
+    /// the dense span stays proportional to the live row count.
+    #[serde(skip)]
+    adj_base: u32,
+    /// Adjacency rows for the sparse sources below `adj_base`.
+    #[serde(skip)]
+    adj_low: FastHashMap<u32, Vec<u32>>,
 }
 
 impl DependencyGraph {
@@ -125,7 +137,9 @@ impl DependencyGraph {
             node_count,
             edges: Vec::new(),
             pruned_edges: 0,
-            adj: FastHashMap::default(),
+            dense: Vec::new(),
+            adj_base: 0,
+            adj_low: FastHashMap::default(),
         }
     }
 
@@ -161,7 +175,7 @@ impl DependencyGraph {
         debug_assert!(from.index() < self.node_count && to.index() < self.node_count);
         let idx = self.edges.len() as u32;
         self.edges.push(Edge { from, to, kind });
-        self.adj.entry(from.0).or_default().push(idx);
+        self.row_mut(from.0).push(idx);
     }
 
     /// Adds a labelled edge unless an identical one is already present.
@@ -174,7 +188,29 @@ impl DependencyGraph {
     /// The adjacency row of `from` (empty when the node has no out-edges).
     #[inline]
     fn row(&self, from: u32) -> &[u32] {
-        self.adj.get(&from).map(Vec::as_slice).unwrap_or(&[])
+        if from >= self.adj_base {
+            self.dense
+                .get((from - self.adj_base) as usize)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+        } else {
+            self.adj_low.get(&from).map(Vec::as_slice).unwrap_or(&[])
+        }
+    }
+
+    /// The mutable adjacency row of `from`, growing the dense window on
+    /// demand for fresh sources.
+    #[inline]
+    fn row_mut(&mut self, from: u32) -> &mut Vec<u32> {
+        if from >= self.adj_base {
+            let i = (from - self.adj_base) as usize;
+            if i >= self.dense.len() {
+                self.dense.resize_with(i + 1, Vec::new);
+            }
+            &mut self.dense[i]
+        } else {
+            self.adj_low.entry(from).or_default()
+        }
     }
 
     /// True iff the exact labelled edge is present.
@@ -307,11 +343,34 @@ impl DependencyGraph {
     }
 
     /// Rebuilds the adjacency index. Needed after deserialization (the
-    /// adjacency is not serialized).
+    /// adjacency is not serialized) and after [`DependencyGraph::prune_nodes`].
+    ///
+    /// The dense/low split is re-chosen here: the smallest base whose dense
+    /// span `node_count - base` stays within twice the number of live
+    /// sources above it (plus slack). On an un-GC'd graph every source is
+    /// dense; under GC the handful of retained low sources (`⊥T`, session
+    /// frontiers) spill to the hash map and the dense window tracks the
+    /// live tail, keeping resident index memory proportional to live edges.
     pub fn rebuild_index(&mut self) {
-        self.adj = FastHashMap::default();
-        for (i, e) in self.edges.iter().enumerate() {
-            self.adj.entry(e.from.0).or_default().push(i as u32);
+        let mut sources: Vec<u32> = self.edges.iter().map(|e| e.from.0).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        let n = self.node_count as u32;
+        let m = sources.len();
+        let mut base = n;
+        for (i, &s) in sources.iter().enumerate() {
+            if n.saturating_sub(s) as usize <= 2 * (m - i) + 64 {
+                base = s;
+                break;
+            }
+        }
+        self.adj_base = base;
+        self.dense = Vec::new();
+        self.dense.resize_with((n - base) as usize, Vec::new);
+        self.adj_low = FastHashMap::default();
+        for i in 0..self.edges.len() {
+            let from = self.edges[i].from.0;
+            self.row_mut(from).push(i as u32);
         }
     }
 

@@ -35,9 +35,8 @@
 //! accepted edges in insertion order, which depends only on the sequence of
 //! accepted edges, never on the maintained ranks.
 
-use crate::fasthash::FastHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// An online topological order over a growable directed graph.
 ///
@@ -77,6 +76,17 @@ pub struct IncrementalTopo {
     /// Retired ids available for recycling, in retirement order.
     free: Vec<u32>,
     edge_count: usize,
+    /// Generation-stamped visit marks: `mark[v] == mark_gen` means "seen in
+    /// the current traversal". Shared by the affected-region DFS passes and
+    /// the membership tests of [`IncrementalTopo::prune`] /
+    /// [`IncrementalTopo::remove_edges_into`], so the hot paths never hash
+    /// and never allocate per call. Pure scratch — rebuilt lazily, excluded
+    /// from snapshots.
+    #[serde(skip)]
+    mark: Vec<u32>,
+    /// Current mark generation (0 = no traversal has run yet).
+    #[serde(skip)]
+    mark_gen: u32,
 }
 
 impl IncrementalTopo {
@@ -144,6 +154,23 @@ impl IncrementalTopo {
         self.fwd[from].iter().any(|&v| v as usize == to)
     }
 
+    /// Starts a traversal generation: returns a stamp `g` such that no slot
+    /// of `self.mark` currently holds `g`, growing the scratch to cover
+    /// every allocated node. `mark[v] = g` marks, `mark[v] == g` tests —
+    /// index arithmetic instead of a per-call hash set.
+    #[inline]
+    fn fresh_mark(&mut self) -> u32 {
+        if self.mark.len() < self.fwd.len() {
+            self.mark.resize(self.fwd.len(), 0);
+        }
+        if self.mark_gen == u32::MAX {
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.mark_gen = 0;
+        }
+        self.mark_gen += 1;
+        self.mark_gen
+    }
+
     /// Retires a set of live nodes, freeing their adjacency and recycling
     /// their ids through future [`IncrementalTopo::add_node`] calls.
     ///
@@ -159,12 +186,17 @@ impl IncrementalTopo {
     /// # Panics
     ///
     /// Panics if a node is not live or the set is not predecessor-closed.
-    pub fn prune(&mut self, nodes: &HashSet<usize>) {
+    /// `nodes` must not contain duplicates.
+    pub fn prune(&mut self, nodes: &[usize]) {
+        let g = self.fresh_mark();
         for &u in nodes {
             assert!(self.is_live(u), "pruning a dead or unknown node {u}");
+            self.mark[u] = g;
+        }
+        for &u in nodes {
             for &p in &self.back[u] {
                 assert!(
-                    nodes.contains(&(p as usize)),
+                    self.mark[p as usize] == g,
                     "pruned set is not predecessor-closed: live edge {p} -> {u}"
                 );
             }
@@ -174,7 +206,7 @@ impl IncrementalTopo {
             self.edge_count -= fwd.len();
             for v in fwd {
                 let v = v as usize;
-                if !nodes.contains(&v) {
+                if self.mark[v] != g {
                     self.back[v].retain(|&p| p as usize != u);
                 }
             }
@@ -220,12 +252,16 @@ impl IncrementalTopo {
     /// ordering information the caller re-establishes with a shortcut edge.
     /// The maintained order is untouched (it stays valid for the remaining
     /// edges).
-    pub fn remove_edges_into(&mut self, from: usize, targets: &HashSet<usize>) -> usize {
+    pub fn remove_edges_into(&mut self, from: usize, targets: &[usize]) -> usize {
+        let g = self.fresh_mark();
+        for &t in targets {
+            self.mark[t] = g;
+        }
         let before = self.fwd[from].len();
         let fwd = std::mem::take(&mut self.fwd[from]);
-        let (kept, cut): (Vec<u32>, Vec<u32>) = fwd
-            .into_iter()
-            .partition(|&v| !targets.contains(&(v as usize)));
+        let mark = &self.mark;
+        let (kept, cut): (Vec<u32>, Vec<u32>) =
+            fwd.into_iter().partition(|&v| mark[v as usize] != g);
         self.fwd[from] = kept;
         for v in cut {
             let v = v as usize;
@@ -286,11 +322,12 @@ impl IncrementalTopo {
 
         // Affected region: ranks in [lb, ub]. Forward DFS from `to`,
         // restricted to the region, looking for `from` (a cycle) and
-        // collecting the nodes that must move after `from`.
+        // collecting the nodes that must move after `from`. Visited checks
+        // are generation-stamped array reads, not hash lookups.
+        let gf = self.fresh_mark();
         let mut fwd_set: Vec<usize> = Vec::new();
         let mut stack = vec![to];
-        let mut seen_f: FastHashMap<usize, ()> = FastHashMap::default();
-        seen_f.insert(to, ());
+        self.mark[to] = gf;
         while let Some(u) = stack.pop() {
             fwd_set.push(u);
             for &v in &self.fwd[u] {
@@ -298,8 +335,8 @@ impl IncrementalTopo {
                 if v == from {
                     return Err(self.canonical_cycle(from, to));
                 }
-                if self.rank[v] <= ub && !seen_f.contains_key(&v) {
-                    seen_f.insert(v, ());
+                if self.rank[v] <= ub && self.mark[v] != gf {
+                    self.mark[v] = gf;
                     stack.push(v);
                 }
             }
@@ -307,16 +344,16 @@ impl IncrementalTopo {
 
         // No cycle: backward DFS from `from`, restricted to ranks >= lb,
         // collecting the nodes that must move before `to`'s region.
+        let gb = self.fresh_mark();
         let mut back_set: Vec<usize> = Vec::new();
-        let mut seen_b: FastHashMap<usize, ()> = FastHashMap::default();
-        seen_b.insert(from, ());
+        self.mark[from] = gb;
         let mut stack = vec![from];
         while let Some(u) = stack.pop() {
             back_set.push(u);
             for &v in &self.back[u] {
                 let v = v as usize;
-                if self.rank[v] >= lb && !seen_b.contains_key(&v) {
-                    seen_b.insert(v, ());
+                if self.rank[v] >= lb && self.mark[v] != gb {
+                    self.mark[v] = gb;
                     stack.push(v);
                 }
             }
@@ -472,22 +509,22 @@ impl IncrementalTopo {
         if from == to {
             return vec![from];
         }
-        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut parent: Vec<u32> = vec![u32::MAX; self.node_count()];
         let mut queue = VecDeque::new();
-        parent.insert(to, to);
+        parent[to] = to as u32;
         queue.push_back(to);
         while let Some(u) = queue.pop_front() {
             for &v in &self.fwd[u] {
                 let v = v as usize;
-                if parent.contains_key(&v) {
+                if parent[v] != u32::MAX {
                     continue;
                 }
-                parent.insert(v, u);
+                parent[v] = u as u32;
                 if v == from {
                     let mut path = vec![from];
                     let mut cur = from;
                     while cur != to {
-                        cur = parent[&cur];
+                        cur = parent[cur] as usize;
                         path.push(cur);
                     }
                     path.reverse(); // [to, …, from]
@@ -686,10 +723,6 @@ mod tests {
         assert_eq!(cycle, vec![3, 1, 4, 0, 2]);
     }
 
-    fn set(ids: &[usize]) -> HashSet<usize> {
-        ids.iter().copied().collect()
-    }
-
     #[test]
     fn prune_frees_nodes_and_recycles_ids() {
         let mut t = IncrementalTopo::with_nodes(4);
@@ -697,7 +730,7 @@ mod tests {
         t.try_add_edge(1, 2).unwrap();
         t.try_add_edge(2, 3).unwrap();
         assert_eq!(t.live_node_count(), 4);
-        t.prune(&set(&[0, 1]));
+        t.prune(&[0, 1]);
         assert_eq!(t.live_node_count(), 2);
         assert_eq!(t.edge_count(), 1); // only 2 -> 3 survives
         assert!(!t.is_live(0) && !t.is_live(1));
@@ -719,7 +752,7 @@ mod tests {
     fn prune_rejects_sets_with_live_incoming_edges() {
         let mut t = IncrementalTopo::with_nodes(2);
         t.try_add_edge(0, 1).unwrap();
-        t.prune(&set(&[1])); // 0 -> 1 would dangle
+        t.prune(&[1]); // 0 -> 1 would dangle
     }
 
     #[test]
@@ -728,10 +761,10 @@ mod tests {
         t.try_add_edge(0, 1).unwrap();
         t.try_add_edge(0, 2).unwrap();
         t.try_add_edge(1, 2).unwrap();
-        assert_eq!(t.remove_edges_into(0, &set(&[1])), 1);
+        assert_eq!(t.remove_edges_into(0, &[1]), 1);
         assert_eq!(t.edge_count(), 2);
         // 1 now has no incoming edge, so it is predecessor-closed by itself.
-        t.prune(&set(&[1]));
+        t.prune(&[1]);
         assert_eq!(t.edge_count(), 1);
         check_order_invariant(&t);
     }
@@ -748,7 +781,7 @@ mod tests {
             b.try_add_edge(u, v).unwrap();
         }
         // {0, 1} is predecessor-closed and nothing will touch it again.
-        b.prune(&set(&[0, 1]));
+        b.prune(&[0, 1]);
         for (u, v) in [(4, 5), (5, 3), (3, 5), (5, 2), (4, 2)] {
             let ra = a.try_add_edge(u, v);
             let rb = b.try_add_edge(u, v);
@@ -764,7 +797,7 @@ mod tests {
         for (u, v) in [(0, 1), (1, 2), (3, 2), (2, 4)] {
             t.try_add_edge(u, v).unwrap();
         }
-        t.prune(&set(&[0]));
+        t.prune(&[0]);
         let v = serde::Serialize::to_json_value(&t);
         let mut back: IncrementalTopo = serde::Deserialize::from_json_value(&v).unwrap();
         assert_eq!(back.node_count(), t.node_count());

@@ -261,7 +261,7 @@ mod tests {
         assert_eq!(chain.instants().collect::<Vec<_>>(), vec![0, 30, 40]);
         // Prune the removed slots' nodes: first cut the deliberate edge from
         // the retained prefix into the doomed region, then close the set.
-        let doomed: std::collections::HashSet<usize> = removed
+        let doomed: Vec<usize> = removed
             .iter()
             .flat_map(|&(_, s)| [s.begin_node, s.end_node])
             .collect();

@@ -30,6 +30,8 @@ pub enum DecodeError {
     /// Nesting exceeded [`MAX_DEPTH`] (a crafted or corrupt payload must
     /// not overflow the decoder's stack).
     TooDeep,
+    /// An indexed object key referred past the end of the key table.
+    BadKeyIndex(u64),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -41,6 +43,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadUtf8 => write!(f, "string payload is not UTF-8"),
             DecodeError::TrailingBytes => write!(f, "trailing bytes after the value"),
             DecodeError::TooDeep => write!(f, "value nesting exceeds {MAX_DEPTH} levels"),
+            DecodeError::BadKeyIndex(i) => write!(f, "object key index {i} out of range"),
         }
     }
 }
@@ -61,8 +64,11 @@ const TAG_F64: u8 = 0x05;
 const TAG_STR: u8 = 0x06;
 const TAG_ARRAY: u8 = 0x07;
 const TAG_OBJECT: u8 = 0x08;
+/// An object whose keys are varint indices into an out-of-band key table
+/// (the schema-table form used by v2 log segments, see [`crate::segment`]).
+const TAG_OBJECT_IDX: u8 = 0x09;
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -74,7 +80,7 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_varint(input: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+pub(crate) fn get_varint(input: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -145,7 +151,33 @@ fn encode_into(v: &JsonValue, out: &mut Vec<u8>) {
     }
 }
 
-fn decode_at(input: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, DecodeError> {
+/// Key tables an indexed decode resolves [`TAG_OBJECT_IDX`] keys against:
+/// the table carried over from earlier records plus the keys the current
+/// record introduces (kept separate so a record that fails to decode does
+/// not pollute the carried-over table).
+#[derive(Clone, Copy)]
+struct KeyTables<'a> {
+    base: &'a [String],
+    pending: &'a [String],
+}
+
+impl KeyTables<'_> {
+    fn resolve(&self, idx: u64) -> Result<&str, DecodeError> {
+        let i = idx as usize;
+        self.base
+            .get(i)
+            .or_else(|| self.pending.get(i.wrapping_sub(self.base.len())))
+            .map(String::as_str)
+            .ok_or(DecodeError::BadKeyIndex(idx))
+    }
+}
+
+fn decode_at(
+    input: &[u8],
+    pos: &mut usize,
+    depth: usize,
+    keys: Option<KeyTables<'_>>,
+) -> Result<JsonValue, DecodeError> {
     if depth > MAX_DEPTH {
         return Err(DecodeError::TooDeep);
     }
@@ -174,7 +206,7 @@ fn decode_at(input: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, D
             // Cap the pre-allocation: a corrupt length must not OOM.
             let mut items = Vec::with_capacity(len.min(4096));
             for _ in 0..len {
-                items.push(decode_at(input, pos, depth + 1)?);
+                items.push(decode_at(input, pos, depth + 1, keys)?);
             }
             Ok(JsonValue::Array(items))
         }
@@ -183,7 +215,19 @@ fn decode_at(input: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, D
             let mut entries = Vec::with_capacity(len.min(4096));
             for _ in 0..len {
                 let key = decode_str(input, pos)?;
-                let val = decode_at(input, pos, depth + 1)?;
+                let val = decode_at(input, pos, depth + 1, keys)?;
+                entries.push((key, val));
+            }
+            Ok(JsonValue::Object(entries))
+        }
+        TAG_OBJECT_IDX => {
+            // Only valid in indexed payloads: a plain decode has no table.
+            let tables = keys.ok_or(DecodeError::BadTag(TAG_OBJECT_IDX))?;
+            let len = get_varint(input, pos)? as usize;
+            let mut entries = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                let key = tables.resolve(get_varint(input, pos)?)?.to_string();
+                let val = decode_at(input, pos, depth + 1, keys)?;
                 entries.push((key, val));
             }
             Ok(JsonValue::Object(entries))
@@ -192,7 +236,7 @@ fn decode_at(input: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, D
     }
 }
 
-fn decode_str(input: &[u8], pos: &mut usize) -> Result<String, DecodeError> {
+pub(crate) fn decode_str(input: &[u8], pos: &mut usize) -> Result<String, DecodeError> {
     let len = get_varint(input, pos)? as usize;
     let end = pos.checked_add(len).ok_or(DecodeError::Truncated)?;
     let bytes = input.get(*pos..end).ok_or(DecodeError::Truncated)?;
@@ -210,7 +254,91 @@ pub fn encode_value(v: &JsonValue) -> Vec<u8> {
 /// Decodes a binary value, requiring the input to be exactly one value.
 pub fn decode_value(input: &[u8]) -> Result<JsonValue, DecodeError> {
     let mut pos = 0usize;
-    let v = decode_at(input, &mut pos, 0)?;
+    let v = decode_at(input, &mut pos, 0, None)?;
+    if pos != input.len() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(v)
+}
+
+/// Writer-side key interner for schema-table (indexed) payloads: every
+/// distinct object key is assigned a dense index in first-seen order.
+#[derive(Debug, Default)]
+pub struct KeyDict {
+    keys: Vec<String>,
+    index: std::collections::HashMap<String, u64>,
+}
+
+impl KeyDict {
+    /// Number of interned keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True iff no key has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The interned keys, in index order.
+    pub fn keys(&self) -> &[String] {
+        &self.keys
+    }
+
+    /// Pre-loads keys recovered from an existing payload stream, in index
+    /// order, so appended values keep resolving against the same table.
+    pub fn extend_known(&mut self, keys: &[String]) {
+        for k in keys {
+            self.intern(k);
+        }
+    }
+
+    fn intern(&mut self, key: &str) -> u64 {
+        if let Some(&i) = self.index.get(key) {
+            return i;
+        }
+        let i = self.keys.len() as u64;
+        self.keys.push(key.to_string());
+        self.index.insert(key.to_string(), i);
+        i
+    }
+}
+
+/// Encodes a value like [`encode_value`], but writes every object in the
+/// schema-table form: keys become varint indices into `dict`, and keys not
+/// yet interned are appended to it. The caller is responsible for shipping
+/// `dict`'s new tail alongside the payload so readers can rebuild the table.
+pub fn encode_value_indexed(v: &JsonValue, dict: &mut KeyDict, out: &mut Vec<u8>) {
+    match v {
+        JsonValue::Array(items) => {
+            out.push(TAG_ARRAY);
+            put_varint(out, items.len() as u64);
+            for item in items {
+                encode_value_indexed(item, dict, out);
+            }
+        }
+        JsonValue::Object(entries) => {
+            out.push(TAG_OBJECT_IDX);
+            put_varint(out, entries.len() as u64);
+            for (k, val) in entries {
+                put_varint(out, dict.intern(k));
+                encode_value_indexed(val, dict, out);
+            }
+        }
+        scalar => encode_into(scalar, out),
+    }
+}
+
+/// Decodes exactly one value whose indexed object keys resolve against
+/// `base` (the table carried over from earlier records) extended by
+/// `pending` (the keys the current record introduces).
+pub fn decode_value_indexed(
+    input: &[u8],
+    base: &[String],
+    pending: &[String],
+) -> Result<JsonValue, DecodeError> {
+    let mut pos = 0usize;
+    let v = decode_at(input, &mut pos, 0, Some(KeyTables { base, pending }))?;
     if pos != input.len() {
         return Err(DecodeError::TrailingBytes);
     }
@@ -321,6 +449,52 @@ mod tests {
             TAG_U64, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f,
         ];
         assert!(decode_value(&bytes).is_err());
+    }
+
+    #[test]
+    fn indexed_values_round_trip_and_drop_repeated_keys() {
+        let obj = JsonValue::Object(vec![
+            ("first_field".to_string(), JsonValue::U64(1)),
+            (
+                "nested".to_string(),
+                JsonValue::Array(vec![
+                    JsonValue::Object(vec![("first_field".to_string(), JsonValue::U64(2))]),
+                    JsonValue::Object(vec![("first_field".to_string(), JsonValue::U64(3))]),
+                ]),
+            ),
+        ]);
+        let mut dict = KeyDict::default();
+        let mut indexed = Vec::new();
+        encode_value_indexed(&obj, &mut dict, &mut indexed);
+        assert_eq!(
+            dict.keys(),
+            ["first_field".to_string(), "nested".to_string()]
+        );
+        // The three "first_field" occurrences collapse to one dict entry,
+        // so the indexed body is smaller than the inline-keyed form.
+        assert!(indexed.len() < encode_value(&obj).len() - 2 * "first_field".len());
+        let decoded = decode_value_indexed(&indexed, dict.keys(), &[]).unwrap();
+        assert_eq!(decoded, obj);
+        // Split tables (base + pending) resolve identically.
+        let decoded = decode_value_indexed(&indexed, &dict.keys()[..1], &dict.keys()[1..]).unwrap();
+        assert_eq!(decoded, obj);
+    }
+
+    #[test]
+    fn indexed_objects_are_rejected_without_a_key_table() {
+        let obj = JsonValue::Object(vec![("k".to_string(), JsonValue::Null)]);
+        let mut dict = KeyDict::default();
+        let mut indexed = Vec::new();
+        encode_value_indexed(&obj, &mut dict, &mut indexed);
+        assert_eq!(
+            decode_value(&indexed),
+            Err(DecodeError::BadTag(TAG_OBJECT_IDX))
+        );
+        // An index past both tables is a decode error, not a panic.
+        assert_eq!(
+            decode_value_indexed(&indexed, &[], &[]),
+            Err(DecodeError::BadKeyIndex(0))
+        );
     }
 
     #[test]
