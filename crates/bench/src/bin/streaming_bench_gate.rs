@@ -266,6 +266,55 @@ fn main() {
         });
     }
 
+    // Remote execution throughput (artifact-only: `backend/net-*` is not in
+    // the committed baseline, so these series inform without gating): the
+    // same workload against representative engines behind the loopback TCP
+    // server, sessions multiplexed by the async ingest driver. The gap to
+    // the matching in-process series is the price of a real wire.
+    for engine in ["sim-ser", "2pl"] {
+        let spec = mtc_net::spec_for_label(engine, wl_spec.num_keys).expect("fleet label");
+        let mut best = f64::MAX;
+        let mut committed = 0usize;
+        for _ in 0..3 {
+            let server = mtc_net::NetServer::spawn(spec.clone()).expect("loopback server");
+            let db = mtc_net::NetBackend::connect(server.addr()).expect("loopback connect");
+            let async_opts = mtc_dbsim::AsyncOptions {
+                client: ClientOptions::default(),
+                // A blocking engine needs one worker per session (see
+                // `execute_workload_async`); non-blocking ones showcase the
+                // multiplexing with fewer.
+                workers: if spec.blocking() {
+                    wl_spec.sessions as usize
+                } else {
+                    2
+                },
+            };
+            let start = Instant::now();
+            let (_, report) = mtc_dbsim::execute_workload_async(&db, &workload, &async_opts);
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            if elapsed < best {
+                best = elapsed;
+                committed = report.committed;
+            }
+            drop(db);
+            let _ = server.shutdown();
+        }
+        let name = format!("backend/net-{engine}");
+        let txns_per_sec = committed as f64 / (best / 1e3);
+        let peak_rss = peak_rss_kb();
+        println!(
+            "{name:<18} {best:>9.3} ms   {txns_per_sec:>12.0} txns/s   \
+             rss {peak_rss:>8} kB   committed {committed}"
+        );
+        series.push(Series {
+            name,
+            millis: best,
+            txns_per_sec,
+            peak_rss_kb: peak_rss,
+            retained_nodes: 0,
+        });
+    }
+
     let report = BenchReport {
         schema: 3,
         txns,

@@ -37,7 +37,13 @@ use mtc_history::{Key, Value};
 /// transaction, and the driver is expected to [`DbTxn::abort`] it and retry
 /// the template. Engines that cannot fail mid-transaction simply always
 /// return `Ok`.
-pub trait DbTxn {
+///
+/// Handles must be [`Send`]: the async ingest driver
+/// ([`crate::execute_workload_async`]) multiplexes many sessions over a
+/// small worker pool, so an open transaction may be polled from a different
+/// thread after a yield point. (Every in-tree engine's handle is plain data
+/// over a `Sync` backend reference, so this costs nothing.)
+pub trait DbTxn: Send {
     /// The transaction's begin instant on the backend's logical clock.
     fn begin_ts(&self) -> u64;
 

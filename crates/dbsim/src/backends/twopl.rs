@@ -22,9 +22,10 @@ use crate::store::StoredValue;
 use crate::txn::{AbortReason, CommitInfo};
 use mtc_core::IsolationLevel;
 use mtc_history::{Key, Value, INIT_VALUE};
+use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::Condvar;
 use std::time::Duration;
 
 /// Lock mode of one entry in the lock table.
@@ -53,6 +54,12 @@ struct TwoPlState {
 }
 
 /// The strict-2PL engine.
+///
+/// The lock-table mutex is the poison-free `parking_lot` compat mutex: a
+/// client thread that panics mid-transaction must not poison the shared
+/// state and cascade-panic every other session in the fleet. The panicked
+/// transaction's key locks are released by [`TwoPlTxn`]'s `Drop` impl
+/// during unwinding, so the other clients simply proceed.
 pub struct TwoPlDatabase {
     clock: AtomicU64,
     state: Mutex<TwoPlState>,
@@ -111,7 +118,7 @@ impl TwoPlDatabase {
     /// the wait-die "older waits" case. Returns the wait-die death as an
     /// error; the caller's transaction must then abort.
     fn acquire(&self, txn_ts: u64, key: Key, exclusive: bool) -> Result<(), AbortReason> {
-        let mut st = self.state.lock().expect("2PL state poisoned");
+        let mut st = self.state.lock();
         loop {
             let lock = st.locks.entry(key).or_insert(Lock {
                 mode: LockMode::Shared,
@@ -170,7 +177,7 @@ impl TwoPlDatabase {
             let (guard, _) = self
                 .released
                 .wait_timeout(st, Duration::from_millis(10))
-                .expect("2PL state poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             st = guard;
         }
     }
@@ -180,7 +187,7 @@ impl TwoPlDatabase {
         if held.is_empty() {
             return;
         }
-        let mut st = self.state.lock().expect("2PL state poisoned");
+        let mut st = self.state.lock();
         for key in held {
             if let Some(lock) = st.locks.get_mut(key) {
                 lock.holders.retain(|&h| h != txn_ts);
@@ -195,7 +202,7 @@ impl TwoPlDatabase {
 
     /// Number of keys currently locked (diagnostics and tests).
     pub fn locked_key_count(&self) -> usize {
-        self.state.lock().expect("2PL state poisoned").locks.len()
+        self.state.lock().locks.len()
     }
 }
 
@@ -238,7 +245,7 @@ impl<'db> TwoPlTxn<'db> {
         if let Some(v) = self.writes.get(&key) {
             return Ok(v.clone());
         }
-        let st = self.db.state.lock().expect("2PL state poisoned");
+        let st = self.db.state.lock();
         Ok(st
             .committed
             .get(&key)
@@ -303,7 +310,7 @@ impl<'db> DbTxn for TwoPlTxn<'db> {
         // the writes, which is what makes the histories strictly
         // serializable on the shared logical clock.
         let commit_ts = {
-            let mut st = self.db.state.lock().expect("2PL state poisoned");
+            let mut st = self.db.state.lock();
             let commit_ts = self.db.tick();
             for key in &self.write_order {
                 st.committed
@@ -454,6 +461,53 @@ mod tests {
         Box::new(t1).commit().unwrap();
         let mut t2 = db.begin();
         assert_eq!(t2.read_list(Key(9)).unwrap(), vec![Value(1), Value(2)]);
+    }
+
+    #[test]
+    fn panicked_txn_releases_locks_and_other_clients_proceed() {
+        // Regression for the poisoned-lock cascade: with `std::sync::Mutex`
+        // plus `.expect("2PL state poisoned")`, one panicking client thread
+        // poisoned the shared lock table and every later `lock()` call
+        // panicked too, taking the whole fleet down. The poison-free compat
+        // mutex recovers; the panicked transaction's key locks are released
+        // by `TwoPlTxn`'s Drop impl during unwinding.
+        let db = TwoPlDatabase::new();
+        let panicked = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut t = db.begin();
+                        t.write_register(Key(0), Value(1)).unwrap();
+                        t.read_register(Key(1)).unwrap();
+                        panic!("client died mid-transaction");
+                    }))
+                })
+                .join()
+                .expect("the panic must be caught inside the thread")
+        });
+        assert!(panicked.is_err(), "the client closure must have panicked");
+        // Its locks are gone and the shared state is not poisoned: other
+        // clients lock, read and commit as if nothing happened.
+        assert_eq!(db.locked_key_count(), 0);
+        let mut t = db.begin();
+        assert_eq!(t.read_register(Key(0)).unwrap(), INIT_VALUE);
+        t.write_register(Key(0), Value(9)).unwrap();
+        assert!(Box::new(t).commit().is_ok());
+        let mut t2 = db.begin();
+        assert_eq!(t2.read_register(Key(0)).unwrap(), Value(9));
+        drop(t2);
+
+        // Belt and braces: panic *while the state mutex itself is held* (a
+        // reader panicking inside the diagnostic closure), which is what
+        // actually poisons a std mutex. Subsequent clients must still work.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = db.state.lock();
+            panic!("died while holding the lock-table mutex");
+        }));
+        assert_eq!(db.locked_key_count(), 0, "lock() must recover, not panic");
+        let mut t3 = db.begin();
+        t3.write_register(Key(2), Value(11)).unwrap();
+        assert!(Box::new(t3).commit().is_ok());
     }
 
     #[test]

@@ -27,8 +27,13 @@ use std::time::{Duration, Instant};
 /// Client-side execution options.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ClientOptions {
-    /// How many times an aborted transaction template is retried before the
-    /// client gives up on it (0 = no retries).
+    /// How many times an aborted transaction template is **retried** after
+    /// its first attempt, so a template is attempted at most
+    /// `max_retries + 1` times (0 = a single attempt, no retries). Every
+    /// driver — threaded, interleaved, live and async — decides retries
+    /// through [`ClientOptions::should_retry`], so the bound cannot drift
+    /// between call sites again; `tests::max_retries_counts_retries_not_attempts`
+    /// pins the count on each driver.
     pub max_retries: u32,
     /// Record aborted attempts in the history (needed to detect
     /// `ABORTEDREAD`-style anomalies; the paper's checkers assume aborted
@@ -42,6 +47,26 @@ impl Default for ClientOptions {
             max_retries: 3,
             record_aborted: true,
         }
+    }
+}
+
+impl ClientOptions {
+    /// The single retry predicate shared by every driver: retry iff the
+    /// abort rolls back cleanly ([`AbortReason::is_retryable`]) and fewer
+    /// than [`ClientOptions::max_retries`] retries have been spent.
+    /// `retries_so_far` is the number of *completed* attempts beyond the
+    /// first — i.e. `attempts_made - 1`.
+    pub fn should_retry(&self, retries_so_far: u32, reason: AbortReason) -> bool {
+        retries_so_far < self.max_retries && reason.is_retryable()
+    }
+
+    /// Whether an aborted attempt should be written to the history: the
+    /// caller wants aborted attempts, the attempt observed something
+    /// (`ops` nonempty — empty attempts are not mini-transactions), and the
+    /// abort is a *known* outcome ([`AbortReason::outcome_known`]; an
+    /// ambiguous remote commit must not be recorded as aborted).
+    pub(crate) fn should_record_abort(&self, ops: &[Op], reason: AbortReason) -> bool {
+        self.record_aborted && !ops.is_empty() && reason.outcome_known()
     }
 }
 
@@ -72,12 +97,12 @@ impl ExecutionReport {
 }
 
 /// A transaction record produced by one client thread.
-struct TxnRecord {
-    session: u32,
-    ops: Vec<Op>,
-    status: TxnStatus,
-    begin: u64,
-    end: u64,
+pub(crate) struct TxnRecord {
+    pub(crate) session: u32,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) status: TxnStatus,
+    pub(crate) begin: u64,
+    pub(crate) end: u64,
 }
 
 /// Outcome of issuing one template's operations against an open handle:
@@ -189,7 +214,8 @@ pub fn execute_workload_interleaved(
         ops: Vec<Op>,
         next_op: usize,
         failed: Option<AbortReason>,
-        attempt: u32,
+        /// Retries spent on this template so far (0 on the first attempt).
+        retries: u32,
     }
     struct SessionState<'d> {
         session: u32,
@@ -240,7 +266,7 @@ pub fn execute_workload_interleaved(
                     ops: Vec::new(),
                     next_op: 0,
                     failed: None,
-                    attempt: 0,
+                    retries: 0,
                 });
             }
             Some(mut open) => {
@@ -279,7 +305,7 @@ pub fn execute_workload_interleaved(
                         }
                         Err(reason) => {
                             s.stats.aborted_attempts += 1;
-                            if opts.record_aborted && !open.ops.is_empty() {
+                            if opts.should_record_abort(&open.ops, reason) {
                                 s.records.push(TxnRecord {
                                     session: s.session,
                                     ops: open.ops,
@@ -288,9 +314,7 @@ pub fn execute_workload_interleaved(
                                     end: db.now(),
                                 });
                             }
-                            let retry = open.attempt < opts.max_retries
-                                && reason != AbortReason::InjectedAbort;
-                            if retry {
+                            if opts.should_retry(open.retries, reason) {
                                 // Reuse the failed attempt's begin instant so
                                 // wait-die backends let the retry keep ageing
                                 // (see `DbBackend::begin_retry`).
@@ -300,7 +324,7 @@ pub fn execute_workload_interleaved(
                                     ops: Vec::new(),
                                     next_op: 0,
                                     failed: None,
-                                    attempt: open.attempt + 1,
+                                    retries: open.retries + 1,
                                 });
                                 let o = s.open.as_mut().expect("just set");
                                 o.begin = o.handle.begin_ts();
@@ -336,11 +360,11 @@ pub fn execute_workload_interleaved(
 // ───────────────────────── internal helpers ─────────────────────────────────
 
 #[derive(Default)]
-struct SessionStats {
-    committed: usize,
-    failed: usize,
-    attempts: usize,
-    aborted_attempts: usize,
+pub(crate) struct SessionStats {
+    pub(crate) committed: usize,
+    pub(crate) failed: usize,
+    pub(crate) attempts: usize,
+    pub(crate) aborted_attempts: usize,
 }
 
 fn run_session(
@@ -354,10 +378,9 @@ fn run_session(
     let mut stats = SessionStats::default();
 
     for template in templates {
-        let mut attempt = 0;
+        let mut retries = 0u32;
         let mut first_begin = None;
         loop {
-            attempt += 1;
             stats.attempts += 1;
             // Retries reuse the first attempt's begin instant so wait-die
             // backends let the transaction keep ageing instead of rebirthing
@@ -393,10 +416,11 @@ fn run_session(
                 Err(reason) => {
                     stats.aborted_attempts += 1;
                     // Empty attempts (the first operation died inside the
-                    // backend before reading anything) carry no observable
-                    // behaviour and would not be mini-transactions; they
-                    // are counted but not recorded.
-                    if opts.record_aborted && !issued.ops.is_empty() {
+                    // backend before reading anything) are not
+                    // mini-transactions, and ambiguous remote commits have
+                    // no known outcome; either way the attempt is counted
+                    // but not recorded.
+                    if opts.should_record_abort(&issued.ops, reason) {
                         records.push(TxnRecord {
                             session,
                             ops: issued.ops,
@@ -405,13 +429,11 @@ fn run_session(
                             end: db.now(),
                         });
                     }
-                    // An InjectedAbort already published its writes; retrying
-                    // it would duplicate values, so treat it as final.
-                    let retry = attempt <= opts.max_retries && reason != AbortReason::InjectedAbort;
-                    if !retry {
+                    if !opts.should_retry(retries, reason) {
                         stats.failed += 1;
                         break;
                     }
+                    retries += 1;
                 }
             }
         }
@@ -504,6 +526,152 @@ mod tests {
         // A different schedule is allowed to produce a different history.
         let (h3, _) = run(43);
         assert_eq!(h1.committed_count(), h3.committed_count());
+    }
+
+    /// A backend whose commits always fail with a configurable reason —
+    /// the instrument for pinning the retry budget exactly.
+    struct AlwaysAbort {
+        clock: std::sync::atomic::AtomicU64,
+        attempts: std::sync::atomic::AtomicU64,
+        reason: AbortReason,
+    }
+
+    impl AlwaysAbort {
+        fn new(reason: AbortReason) -> Self {
+            AlwaysAbort {
+                clock: std::sync::atomic::AtomicU64::new(1),
+                attempts: std::sync::atomic::AtomicU64::new(0),
+                reason,
+            }
+        }
+
+        fn attempts(&self) -> u64 {
+            self.attempts.load(std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+
+    struct AlwaysAbortTxn<'a> {
+        db: &'a AlwaysAbort,
+        begin: u64,
+    }
+
+    impl DbTxn for AlwaysAbortTxn<'_> {
+        fn begin_ts(&self) -> u64 {
+            self.begin
+        }
+        fn read_register(
+            &mut self,
+            _key: mtc_history::Key,
+        ) -> Result<mtc_history::Value, AbortReason> {
+            Ok(mtc_history::INIT_VALUE)
+        }
+        fn write_register(
+            &mut self,
+            _key: mtc_history::Key,
+            _value: mtc_history::Value,
+        ) -> Result<(), AbortReason> {
+            Ok(())
+        }
+        fn read_list(
+            &mut self,
+            _key: mtc_history::Key,
+        ) -> Result<Vec<mtc_history::Value>, AbortReason> {
+            Ok(Vec::new())
+        }
+        fn append(
+            &mut self,
+            _key: mtc_history::Key,
+            _element: mtc_history::Value,
+        ) -> Result<(), AbortReason> {
+            Ok(())
+        }
+        fn commit(self: Box<Self>) -> Result<crate::txn::CommitInfo, AbortReason> {
+            Err(self.db.reason)
+        }
+        fn abort(self: Box<Self>) -> AbortReason {
+            self.db.reason
+        }
+    }
+
+    impl DbBackend for AlwaysAbort {
+        fn begin(&self) -> Box<dyn DbTxn + '_> {
+            self.attempts
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let begin = self.clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Box::new(AlwaysAbortTxn { db: self, begin })
+        }
+        fn now(&self) -> u64 {
+            self.clock.load(std::sync::atomic::Ordering::SeqCst)
+        }
+        fn label(&self) -> &'static str {
+            "always-abort"
+        }
+        fn promises(&self, _level: mtc_core::IsolationLevel) -> bool {
+            false
+        }
+    }
+
+    /// Pins the retry budget: `max_retries = N` means exactly `N + 1`
+    /// attempts per template, identically on the threaded and the
+    /// interleaved driver (the two sites used to encode the bound with
+    /// different comparisons — one counting attempts, one counting
+    /// retries — and only agreed by accident).
+    #[test]
+    fn max_retries_counts_retries_not_attempts() {
+        let workload = generate_mt_workload(&spec(1, 3, 4)); // 3 templates
+        for max_retries in [0u32, 1, 3] {
+            let opts = ClientOptions {
+                max_retries,
+                record_aborted: true,
+            };
+            let expected = 3 * u64::from(max_retries + 1);
+
+            let db = AlwaysAbort::new(AbortReason::WriteConflict);
+            let (_, report) = execute_workload(&db, &workload, &opts);
+            assert_eq!(
+                db.attempts(),
+                expected,
+                "threaded, max_retries={max_retries}"
+            );
+            assert_eq!(report.attempts as u64, expected);
+            assert_eq!(report.failed, 3);
+            assert_eq!(report.committed, 0);
+
+            let db = AlwaysAbort::new(AbortReason::WriteConflict);
+            let (_, report) = execute_workload_interleaved(&db, &workload, &opts, 9);
+            assert_eq!(
+                db.attempts(),
+                expected,
+                "interleaved, max_retries={max_retries}"
+            );
+            assert_eq!(report.attempts as u64, expected);
+            assert_eq!(report.failed, 3);
+        }
+    }
+
+    /// Non-retryable reasons are final after one attempt, and an ambiguous
+    /// remote commit (`CommitStatusUnknown`) is additionally kept out of
+    /// the collected history even with `record_aborted` on.
+    #[test]
+    fn final_abort_reasons_stop_after_one_attempt() {
+        let workload = generate_mt_workload(&spec(1, 2, 4));
+        let opts = ClientOptions {
+            max_retries: 5,
+            record_aborted: true,
+        };
+        for reason in [AbortReason::InjectedAbort, AbortReason::CommitStatusUnknown] {
+            let db = AlwaysAbort::new(reason);
+            let (history, report) = execute_workload(&db, &workload, &opts);
+            assert_eq!(db.attempts(), 2, "{reason:?}: one attempt per template");
+            assert_eq!(report.failed, 2);
+            if reason == AbortReason::CommitStatusUnknown {
+                assert_eq!(
+                    history.len(),
+                    1, // ⊥T only
+                    "ambiguous commits must not be recorded as aborted"
+                );
+            }
+        }
     }
 
     #[test]

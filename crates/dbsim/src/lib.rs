@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod async_exec;
 pub mod backend;
 pub mod backends;
 pub mod client;
@@ -46,6 +47,7 @@ pub mod live;
 pub mod store;
 pub mod txn;
 
+pub use async_exec::{execute_workload_async, AsyncOptions};
 pub use backend::{DbBackend, DbTxn};
 pub use backends::{BackendSpec, TwoPlDatabase, WeakLevel, WeakMvccDatabase};
 pub use client::{execute_workload, execute_workload_interleaved, ClientOptions, ExecutionReport};

@@ -19,7 +19,6 @@
 
 use crate::backend::DbBackend;
 use crate::client::{issue_ops, ClientOptions};
-use crate::txn::AbortReason;
 use mtc_core::{
     CheckError, CheckerSnapshot, GcPolicy, IncrementalChecker, IsolationLevel, ShardTuning,
     ShardedIncrementalChecker, StreamStatus, Verdict, Violation,
@@ -515,12 +514,19 @@ pub fn execute_workload_live(
                     if verifier.should_stop() {
                         break 'templates;
                     }
-                    let mut attempt = 0;
+                    let mut retries = 0u32;
+                    let mut first_begin = None;
                     loop {
-                        attempt += 1;
                         attempts += 1;
-                        let mut handle = db.begin();
+                        // Retries reuse the first attempt's begin instant so
+                        // wait-die backends let the transaction keep ageing
+                        // (see `DbBackend::begin_retry`).
+                        let mut handle = match first_begin {
+                            None => db.begin(),
+                            Some(ts) => db.begin_retry(ts),
+                        };
                         let begin = handle.begin_ts();
+                        first_begin.get_or_insert(begin);
                         let issued = issue_ops(handle.as_mut(), &template.ops, &mut allocator);
                         let ops = issued.ops;
                         let result = match issued.failed {
@@ -546,9 +552,10 @@ pub fn execute_workload_live(
                             Err(reason) => {
                                 aborted += 1;
                                 // Empty attempts (first op died in the
-                                // backend) are counted but not recorded —
-                                // they are not mini-transactions.
-                                if opts.record_aborted && !ops.is_empty() {
+                                // backend) are not mini-transactions and
+                                // ambiguous remote commits have no known
+                                // outcome — counted but not recorded.
+                                if opts.should_record_abort(&ops, reason) {
                                     let end = db.now();
                                     verifier.record_timed(
                                         sid,
@@ -559,11 +566,10 @@ pub fn execute_workload_live(
                                     );
                                     records.push((ops, TxnStatus::Aborted, begin, end));
                                 }
-                                let retry = attempt <= opts.max_retries
-                                    && reason != AbortReason::InjectedAbort;
-                                if !retry {
+                                if !opts.should_retry(retries, reason) {
                                     break;
                                 }
+                                retries += 1;
                             }
                         }
                     }

@@ -27,6 +27,39 @@ pub enum AbortReason {
     /// engine: it requested a lock held by an older transaction and was
     /// killed instead of being allowed to wait (deadlock prevention).
     Deadlock,
+    /// The connection to a remote backend failed (timeout, reset, refused)
+    /// before the commit request was sent. No write can have been applied,
+    /// so the attempt is safe to record as aborted and to retry.
+    ConnectionLost,
+    /// The connection to a remote backend failed *after* the commit request
+    /// was sent but before its reply arrived: the transaction may or may
+    /// not have committed on the server. The drivers neither record nor
+    /// retry such attempts — recording them as aborted could contradict a
+    /// commit that actually happened, and retrying could duplicate it.
+    CommitStatusUnknown,
+}
+
+impl AbortReason {
+    /// True iff a driver may retry the transaction template after this
+    /// abort. [`AbortReason::InjectedAbort`] already published its writes
+    /// (retrying would duplicate values) and
+    /// [`AbortReason::CommitStatusUnknown`] may already have committed, so
+    /// both are final; every other reason rolls back cleanly.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(
+            self,
+            AbortReason::InjectedAbort | AbortReason::CommitStatusUnknown
+        )
+    }
+
+    /// True iff the attempt's outcome is actually known to be an abort.
+    /// [`AbortReason::CommitStatusUnknown`] is the one reason for which it
+    /// is not: the drivers must keep such attempts out of the collected
+    /// history (an attempt recorded as aborted whose writes committed on
+    /// the server would be indistinguishable from a dirty-write anomaly).
+    pub fn outcome_known(&self) -> bool {
+        !matches!(self, AbortReason::CommitStatusUnknown)
+    }
 }
 
 impl fmt::Display for AbortReason {
@@ -37,6 +70,10 @@ impl fmt::Display for AbortReason {
             AbortReason::InjectedAbort => write!(f, "injected abort"),
             AbortReason::UserAbort => write!(f, "user abort"),
             AbortReason::Deadlock => write!(f, "wait-die deadlock victim"),
+            AbortReason::ConnectionLost => write!(f, "connection to the backend lost"),
+            AbortReason::CommitStatusUnknown => {
+                write!(f, "connection lost awaiting the commit reply")
+            }
         }
     }
 }

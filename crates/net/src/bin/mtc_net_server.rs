@@ -1,0 +1,85 @@
+//! Standalone server: one fleet engine behind the framed TCP protocol.
+//!
+//! ```text
+//! mtc_net_server <engine-label> [--addr 127.0.0.1:0] [--keys 64]
+//! ```
+//!
+//! Prints `listening on <addr>` (flushed) once bound, so a parent process
+//! can scrape the ephemeral port, then serves until killed. Engine labels
+//! are the fleet's: `sim-ser`, `sim-si`, `sim-rc`, `2pl`, `weak-rc`,
+//! `weak-ru`.
+
+use mtc_net::server::{serve, spec_for_label};
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut label: Option<String> = None;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut keys: u64 = 64;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" if i + 1 < args.len() => {
+                addr = args[i + 1].clone();
+                i += 2;
+            }
+            "--keys" if i + 1 < args.len() => {
+                keys = match args[i + 1].parse() {
+                    Ok(n) => n,
+                    Err(_) => return usage("--keys takes a number"),
+                };
+                i += 2;
+            }
+            flag if flag.starts_with("--") => return usage(&format!("unknown flag {flag}")),
+            engine if label.is_none() => {
+                label = Some(engine.to_string());
+                i += 1;
+            }
+            extra => return usage(&format!("unexpected argument {extra}")),
+        }
+    }
+
+    let Some(label) = label else {
+        return usage("an engine label is required");
+    };
+    let Some(spec) = spec_for_label(&label, keys) else {
+        return usage(&format!("unknown engine label {label:?}"));
+    };
+
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("mtc_net_server: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    println!("listening on {local}");
+    let _ = std::io::stdout().flush();
+
+    let backend = spec.build();
+    let shutdown = AtomicBool::new(false); // runs until killed
+    match serve(backend.as_ref(), listener, &shutdown) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mtc_net_server: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!(
+        "mtc_net_server: {problem}\n\
+         usage: mtc_net_server <engine-label> [--addr 127.0.0.1:0] [--keys 64]\n\
+         engine labels: sim-ser sim-si sim-rc 2pl weak-rc weak-ru"
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,395 @@
+//! The client side: a [`DbBackend`] that talks to a remote server.
+//!
+//! [`NetBackend::connect`] dials the server, handshakes (version check,
+//! engine label and promise discovery), and from then on behaves exactly
+//! like an in-process engine to the drivers — except that every failure of
+//! the wire maps to a typed [`AbortReason`] instead of a panic:
+//!
+//! * an I/O failure (timeout, reset, refused, corrupt frame) **before** the
+//!   commit request is sent aborts the transaction with
+//!   [`AbortReason::ConnectionLost`] — nothing can have been applied, so
+//!   the attempt is safe to record and retry;
+//! * an I/O failure **after** the commit request is sent surfaces as
+//!   [`AbortReason::CommitStatusUnknown`] — the commit may have happened
+//!   server-side, so the drivers neither record nor retry the attempt (see
+//!   `AbortReason::outcome_known`).
+//!
+//! Connections are pooled: a transaction checks one out for its lifetime
+//! (the protocol has at most one open transaction per connection from this
+//! client) and returns it on a clean commit/abort; a connection that saw
+//! any I/O error is discarded, never reused. Sequence numbers survive pool
+//! reuse, so a delayed reply to a request that timed out earlier is
+//! recognized as stale and skipped rather than misattributed to the next
+//! transaction on that connection.
+
+use crate::proto::{self, Reply, ReplyEnvelope, Request, RequestEnvelope, PROTOCOL_VERSION};
+use mtc_core::IsolationLevel;
+use mtc_dbsim::{AbortReason, CommitInfo, DbBackend, DbTxn};
+use mtc_history::{Key, Value};
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Knobs of a [`NetBackend`].
+#[derive(Clone, Copy, Debug)]
+pub struct NetOptions {
+    /// Maximum idle connections kept for reuse; transactions beyond this
+    /// many in flight dial extra connections that are closed on return.
+    pub pool_size: usize,
+    /// Per-operation reply deadline. A transaction whose reply misses it
+    /// aborts with [`AbortReason::ConnectionLost`] (or
+    /// [`AbortReason::CommitStatusUnknown`] if the commit request was
+    /// already on the wire).
+    pub op_timeout: Duration,
+    /// Deadline for establishing a connection.
+    pub connect_timeout: Duration,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            pool_size: 16,
+            op_timeout: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One pooled connection with its sequence counter.
+struct Conn {
+    stream: TcpStream,
+    next_seq: u64,
+}
+
+impl Conn {
+    fn dial(addr: SocketAddr, opts: &NetOptions) -> io::Result<Conn> {
+        let stream = TcpStream::connect_timeout(&addr, opts.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(opts.op_timeout))?;
+        stream.set_write_timeout(Some(opts.op_timeout))?;
+        Ok(Conn {
+            stream,
+            next_seq: 0,
+        })
+    }
+
+    /// One request/reply round trip. Replies with a stale sequence number
+    /// (duplicates, or answers to requests that already timed out on our
+    /// side) are skipped; a reply from the future is a protocol violation.
+    fn call(&mut self, request: Request) -> io::Result<(u64, Reply)> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        proto::send(&mut self.stream, &RequestEnvelope { seq, request })?;
+        loop {
+            let env: ReplyEnvelope = proto::recv(&mut self.stream)?;
+            match env.seq.cmp(&seq) {
+                std::cmp::Ordering::Less => continue, // stale or duplicate
+                std::cmp::Ordering::Equal => return Ok((env.now, env.reply)),
+                std::cmp::Ordering::Greater => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("reply sequence {} ahead of request {seq}", env.seq),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Interns `net/<label>` so [`DbBackend::label`] can hand out
+/// `&'static str` without leaking a fresh allocation per backend instance.
+fn intern_label(engine_label: &str) -> &'static str {
+    static LABELS: std::sync::OnceLock<std::sync::Mutex<Vec<&'static str>>> =
+        std::sync::OnceLock::new();
+    let full = format!("net/{engine_label}");
+    let mut labels = LABELS
+        .get_or_init(|| std::sync::Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if let Some(hit) = labels.iter().find(|l| **l == full) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(full.into_boxed_str());
+    labels.push(leaked);
+    leaked
+}
+
+/// A remote engine behind the framed TCP protocol, usable anywhere a local
+/// [`DbBackend`] is.
+pub struct NetBackend {
+    addr: SocketAddr,
+    opts: NetOptions,
+    label: &'static str,
+    promised: Vec<IsolationLevel>,
+    pool: Mutex<Vec<Conn>>,
+    /// Highest server clock value observed on any reply; answers
+    /// [`DbBackend::now`] without a round trip.
+    clock: AtomicU64,
+}
+
+impl NetBackend {
+    /// Dials `addr` with default options.
+    pub fn connect(addr: SocketAddr) -> io::Result<NetBackend> {
+        NetBackend::connect_with(addr, NetOptions::default())
+    }
+
+    /// Dials `addr`, handshakes, and learns the wrapped engine's label and
+    /// promised isolation levels.
+    pub fn connect_with(addr: SocketAddr, opts: NetOptions) -> io::Result<NetBackend> {
+        let mut conn = Conn::dial(addr, &opts)?;
+        let (now, reply) = conn.call(Request::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        let (label, promised) = match reply {
+            Reply::Hello {
+                version,
+                label,
+                promised,
+            } if version == PROTOCOL_VERSION => (label, promised),
+            Reply::Hello { version, .. } => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("server speaks protocol {version}, client {PROTOCOL_VERSION}"),
+                ));
+            }
+            Reply::Error(msg) => return Err(io::Error::new(io::ErrorKind::ConnectionRefused, msg)),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected handshake reply: {other:?}"),
+                ));
+            }
+        };
+        Ok(NetBackend {
+            addr,
+            opts,
+            label: intern_label(&label),
+            promised,
+            pool: Mutex::new(vec![conn]),
+            clock: AtomicU64::new(now),
+        })
+    }
+
+    fn observe(&self, now: u64) {
+        self.clock.fetch_max(now, Ordering::AcqRel);
+    }
+
+    fn checkout(&self) -> io::Result<Conn> {
+        if let Some(conn) = self.pool.lock().pop() {
+            return Ok(conn);
+        }
+        Conn::dial(self.addr, &self.opts)
+    }
+
+    fn check_in(&self, conn: Conn) {
+        let mut pool = self.pool.lock();
+        if pool.len() < self.opts.pool_size {
+            pool.push(conn);
+        }
+    }
+}
+
+impl DbBackend for NetBackend {
+    fn begin(&self) -> Box<dyn DbTxn + '_> {
+        Box::new(self.begin_inner(None))
+    }
+
+    fn begin_retry(&self, prior_begin_ts: u64) -> Box<dyn DbTxn + '_> {
+        Box::new(self.begin_inner(Some(prior_begin_ts)))
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.load(Ordering::Acquire)
+    }
+
+    fn label(&self) -> &'static str {
+        self.label
+    }
+
+    fn promises(&self, level: IsolationLevel) -> bool {
+        self.promised.contains(&level)
+    }
+}
+
+impl NetBackend {
+    /// Opens a transaction. `begin` cannot fail by signature, so wire
+    /// trouble yields a *doomed* handle: every operation on it returns
+    /// [`AbortReason::ConnectionLost`], the driver aborts and retries, and
+    /// since such an attempt records no operations it never enters the
+    /// history.
+    fn begin_inner(&self, retry_of: Option<u64>) -> NetTxn<'_> {
+        let mut conn = match self.checkout() {
+            Ok(conn) => conn,
+            Err(_) => return NetTxn::doomed(self),
+        };
+        match conn.call(Request::Begin { retry_of }) {
+            Ok((now, Reply::Begun { txn, begin_ts })) => {
+                self.observe(now);
+                NetTxn {
+                    backend: self,
+                    conn: Some(conn),
+                    txn,
+                    begin_ts,
+                    doomed: None,
+                }
+            }
+            // Anything else — I/O failure, protocol error — kills the
+            // connection (it may be desynchronized) and dooms the handle.
+            _ => NetTxn::doomed(self),
+        }
+    }
+}
+
+/// An open transaction on a checked-out connection.
+pub struct NetTxn<'b> {
+    backend: &'b NetBackend,
+    conn: Option<Conn>,
+    txn: u64,
+    begin_ts: u64,
+    /// Set once the wire failed; every subsequent operation fails fast
+    /// with this reason.
+    doomed: Option<AbortReason>,
+}
+
+impl<'b> NetTxn<'b> {
+    fn doomed(backend: &'b NetBackend) -> NetTxn<'b> {
+        NetTxn {
+            backend,
+            conn: None,
+            txn: 0,
+            begin_ts: backend.now(),
+            doomed: Some(AbortReason::ConnectionLost),
+        }
+    }
+
+    /// One operation round trip; on wire failure the connection is dropped
+    /// (never re-pooled) and the transaction is doomed with `on_io_failure`
+    /// — [`AbortReason::ConnectionLost`] for reads/writes,
+    /// [`AbortReason::CommitStatusUnknown`] once a commit request may have
+    /// reached the server.
+    fn call(&mut self, request: Request, on_io_failure: AbortReason) -> Result<Reply, AbortReason> {
+        if let Some(reason) = self.doomed {
+            return Err(reason);
+        }
+        let conn = self.conn.as_mut().expect("un-doomed txn holds a conn");
+        match conn.call(request) {
+            Ok((now, reply)) => {
+                self.backend.observe(now);
+                match reply {
+                    Reply::Aborted(reason) => Err(reason),
+                    Reply::Error(_) => {
+                        // Protocol-level failure: the server no longer
+                        // knows this transaction. Drop the connection.
+                        self.conn = None;
+                        self.doomed = Some(on_io_failure);
+                        Err(on_io_failure)
+                    }
+                    other => Ok(other),
+                }
+            }
+            Err(_) => {
+                self.conn = None;
+                self.doomed = Some(on_io_failure);
+                Err(on_io_failure)
+            }
+        }
+    }
+}
+
+impl DbTxn for NetTxn<'_> {
+    fn begin_ts(&self) -> u64 {
+        self.begin_ts
+    }
+
+    fn read_register(&mut self, key: Key) -> Result<Value, AbortReason> {
+        let txn = self.txn;
+        match self.call(Request::Read { txn, key }, AbortReason::ConnectionLost)? {
+            Reply::Value(value) => Ok(value),
+            _ => Err(self.desync()),
+        }
+    }
+
+    fn write_register(&mut self, key: Key, value: Value) -> Result<(), AbortReason> {
+        let txn = self.txn;
+        match self.call(
+            Request::Write { txn, key, value },
+            AbortReason::ConnectionLost,
+        )? {
+            Reply::Done => Ok(()),
+            _ => Err(self.desync()),
+        }
+    }
+
+    fn read_list(&mut self, key: Key) -> Result<Vec<Value>, AbortReason> {
+        let txn = self.txn;
+        match self.call(Request::ReadList { txn, key }, AbortReason::ConnectionLost)? {
+            Reply::Values(values) => Ok(values),
+            _ => Err(self.desync()),
+        }
+    }
+
+    fn append(&mut self, key: Key, element: Value) -> Result<(), AbortReason> {
+        let txn = self.txn;
+        match self.call(
+            Request::Append { txn, key, element },
+            AbortReason::ConnectionLost,
+        )? {
+            Reply::Done => Ok(()),
+            _ => Err(self.desync()),
+        }
+    }
+
+    fn commit(mut self: Box<Self>) -> Result<CommitInfo, AbortReason> {
+        let txn = self.txn;
+        // From here on the request may reach the server even if the reply
+        // never reaches us, so failures are ambiguous.
+        match self.call(Request::Commit { txn }, AbortReason::CommitStatusUnknown) {
+            Ok(Reply::Committed { commit_ts }) => {
+                if let Some(conn) = self.conn.take() {
+                    self.backend.check_in(conn);
+                }
+                Ok(CommitInfo { commit_ts })
+            }
+            Ok(_) => Err(self.desync()),
+            Err(reason) => {
+                // A *known* server-side abort (e.g. a write conflict) is a
+                // clean round trip; `call` only leaves the connection in
+                // place on that path, so reclaim it for the pool.
+                if let Some(conn) = self.conn.take() {
+                    self.backend.check_in(conn);
+                }
+                Err(reason)
+            }
+        }
+    }
+
+    fn abort(mut self: Box<Self>) -> AbortReason {
+        if let Some(reason) = self.doomed {
+            return reason;
+        }
+        let txn = self.txn;
+        match self.call(Request::Abort { txn }, AbortReason::ConnectionLost) {
+            Ok(Reply::Done) => {
+                if let Some(conn) = self.conn.take() {
+                    self.backend.check_in(conn);
+                }
+                AbortReason::UserAbort
+            }
+            // `call` already dropped the connection on failure paths.
+            _ => AbortReason::ConnectionLost,
+        }
+    }
+}
+
+impl NetTxn<'_> {
+    /// An in-protocol reply of the wrong shape: the connection cannot be
+    /// trusted any more. Doom the transaction and drop the connection.
+    fn desync(&mut self) -> AbortReason {
+        self.conn = None;
+        let reason = self.doomed.unwrap_or(AbortReason::ConnectionLost);
+        self.doomed = Some(reason);
+        reason
+    }
+}

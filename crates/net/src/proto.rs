@@ -1,0 +1,298 @@
+//! The wire protocol: CRC-framed binval records over a byte stream.
+//!
+//! Every message is one [`mtc_store::frame`] frame —
+//! `[len u32 LE][crc32 u32 LE][payload]` — whose payload is the
+//! [`mtc_store::binval`] encoding of a [`RequestEnvelope`] or
+//! [`ReplyEnvelope`]. Nothing here is new format: the network reuses the
+//! exact record encoding the durable history log already trusts, so a
+//! corrupt or truncated message surfaces as the same
+//! [`FrameError`]/decode errors recovery already distinguishes.
+//!
+//! Envelopes carry a per-connection sequence number assigned by the client;
+//! the server echoes it on the reply. A client waiting for reply `n`
+//! discards any reply with a *smaller* sequence number (a duplicate or a
+//! stale reply to an earlier request that already timed out on our side)
+//! and treats a *larger* one as a protocol violation — that asymmetry is
+//! what makes delayed and duplicated replies harmless (see the wire-fault
+//! conformance tests). Every reply also carries the server's logical clock,
+//! which the client caches to answer [`DbBackend::now`] locally.
+//!
+//! [`DbBackend::now`]: mtc_dbsim::DbBackend::now
+
+use mtc_core::IsolationLevel;
+use mtc_dbsim::AbortReason;
+use mtc_history::{Key, Value};
+use mtc_store::frame::{read_frame, write_frame, FrameError, FRAME_HEADER, MAX_FRAME_LEN};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Protocol version; bumped on any incompatible message change. The
+/// `Hello` exchange rejects mismatched peers instead of misdecoding them.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A client request, wrapped in a [`RequestEnvelope`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Handshake: version check, engine label and promise discovery.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Begin a transaction; `retry_of` carries the first attempt's begin
+    /// timestamp on retries (wait-die ageing, see `DbBackend::begin_retry`).
+    Begin {
+        /// The first attempt's begin timestamp, if this is a retry.
+        retry_of: Option<u64>,
+    },
+    /// Read the register at `key` in transaction `txn`.
+    Read {
+        /// Transaction id from [`Reply::Begun`].
+        txn: u64,
+        /// Register to read.
+        key: Key,
+    },
+    /// Write `value` to the register at `key` in transaction `txn`.
+    Write {
+        /// Transaction id from [`Reply::Begun`].
+        txn: u64,
+        /// Register to write.
+        key: Key,
+        /// Value to write.
+        value: Value,
+    },
+    /// Read the list at `key` in transaction `txn`.
+    ReadList {
+        /// Transaction id from [`Reply::Begun`].
+        txn: u64,
+        /// List to read.
+        key: Key,
+    },
+    /// Append `element` to the list at `key` in transaction `txn`.
+    Append {
+        /// Transaction id from [`Reply::Begun`].
+        txn: u64,
+        /// List to append to.
+        key: Key,
+        /// Element to append.
+        element: Value,
+    },
+    /// Attempt to commit transaction `txn`.
+    Commit {
+        /// Transaction id from [`Reply::Begun`].
+        txn: u64,
+    },
+    /// Roll transaction `txn` back.
+    Abort {
+        /// Transaction id from [`Reply::Begun`].
+        txn: u64,
+    },
+    /// Clock read; the answer rides in the envelope's `now` field.
+    Now,
+}
+
+/// A server reply, wrapped in a [`ReplyEnvelope`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Reply {
+    /// Handshake answer: the server's protocol version, the wrapped
+    /// engine's label, and the isolation levels it promises.
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// The wrapped engine's label (`"sim-ser"`, `"2pl"`, …).
+        label: String,
+        /// The isolation levels the engine promises.
+        promised: Vec<IsolationLevel>,
+    },
+    /// A transaction is open: its connection-local id and its begin
+    /// timestamp on the engine's logical clock.
+    Begun {
+        /// Connection-local transaction id for subsequent requests.
+        txn: u64,
+        /// Begin timestamp on the engine's logical clock.
+        begin_ts: u64,
+    },
+    /// A register read's result.
+    Value(Value),
+    /// A list read's result.
+    Values(Vec<Value>),
+    /// A write, append, abort or clock read went through.
+    Done,
+    /// The transaction committed at `commit_ts`.
+    Committed {
+        /// Commit timestamp on the engine's logical clock.
+        commit_ts: u64,
+    },
+    /// The operation (or commit) aborted the transaction.
+    Aborted(AbortReason),
+    /// Protocol-level failure (unknown transaction id, bad handshake).
+    /// The connection is not usable for the affected transaction.
+    Error(String),
+}
+
+/// A sequenced client request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Client-assigned, strictly increasing per connection.
+    pub seq: u64,
+    /// The request proper.
+    pub request: Request,
+}
+
+/// A sequenced server reply.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReplyEnvelope {
+    /// Echo of the request's sequence number.
+    pub seq: u64,
+    /// The server engine's logical clock after executing the request.
+    pub now: u64,
+    /// The reply proper.
+    pub reply: Reply,
+}
+
+/// Encodes `msg` as one frame and writes it to `w`.
+pub fn send<T: Serialize, W: Write>(w: &mut W, msg: &T) -> std::io::Result<()> {
+    let payload = mtc_store::binval::to_bytes(msg);
+    let mut buf = Vec::with_capacity(FRAME_HEADER + payload.len());
+    write_frame(&mut buf, &payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one frame from `r` and decodes it.
+///
+/// Corrupt frames (checksum mismatch, absurd length) and undecodable
+/// payloads map to [`std::io::ErrorKind::InvalidData`]; a cleanly closed
+/// peer surfaces as `UnexpectedEof` from the underlying reads.
+pub fn recv<T: Deserialize, R: Read>(r: &mut R) -> std::io::Result<T> {
+    let mut buf = vec![0u8; FRAME_HEADER];
+    r.read_exact(&mut buf)?;
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(invalid_data(FrameError::Corrupt));
+    }
+    buf.resize(FRAME_HEADER + len, 0);
+    r.read_exact(&mut buf[FRAME_HEADER..])?;
+    // Re-run the store's own frame reader over the reassembled bytes so
+    // the CRC check is the exact one the durable log uses.
+    let mut pos = 0;
+    let payload = read_frame(&buf, &mut pos).map_err(invalid_data)?;
+    mtc_store::binval::from_bytes(payload).map_err(invalid_data)
+}
+
+fn invalid_data<E: std::error::Error + Send + Sync + 'static>(e: E) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelopes_round_trip_through_the_frame() {
+        let reqs = vec![
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Request::Begin { retry_of: None },
+            Request::Begin { retry_of: Some(42) },
+            Request::Read {
+                txn: 7,
+                key: Key(3),
+            },
+            Request::Write {
+                txn: 7,
+                key: Key(3),
+                value: Value(91),
+            },
+            Request::Append {
+                txn: 7,
+                key: Key(0),
+                element: Value(u64::MAX),
+            },
+            Request::Commit { txn: 7 },
+            Request::Abort { txn: 8 },
+            Request::Now,
+        ];
+        let mut wire = Vec::new();
+        for (i, request) in reqs.iter().enumerate() {
+            send(
+                &mut wire,
+                &RequestEnvelope {
+                    seq: i as u64,
+                    request: request.clone(),
+                },
+            )
+            .unwrap();
+        }
+        let mut r = wire.as_slice();
+        for (i, request) in reqs.iter().enumerate() {
+            let env: RequestEnvelope = recv(&mut r).unwrap();
+            assert_eq!(env.seq, i as u64);
+            assert_eq!(&env.request, request);
+        }
+
+        let replies = vec![
+            Reply::Hello {
+                version: PROTOCOL_VERSION,
+                label: "2pl".to_string(),
+                promised: vec![IsolationLevel::Serializability],
+            },
+            Reply::Begun {
+                txn: 1,
+                begin_ts: 10,
+            },
+            Reply::Value(Value(5)),
+            Reply::Values(vec![Value(1), Value(2)]),
+            Reply::Done,
+            Reply::Committed { commit_ts: 12 },
+            Reply::Aborted(AbortReason::Deadlock),
+            Reply::Error("unknown txn".to_string()),
+        ];
+        for reply in replies {
+            let mut wire = Vec::new();
+            send(
+                &mut wire,
+                &ReplyEnvelope {
+                    seq: 3,
+                    now: 99,
+                    reply: reply.clone(),
+                },
+            )
+            .unwrap();
+            let env: ReplyEnvelope = recv(&mut wire.as_slice()).unwrap();
+            assert_eq!(env.now, 99);
+            assert_eq!(env.reply, reply);
+        }
+    }
+
+    #[test]
+    fn corrupt_and_truncated_messages_are_clean_io_errors() {
+        let mut wire = Vec::new();
+        send(
+            &mut wire,
+            &RequestEnvelope {
+                seq: 0,
+                request: Request::Now,
+            },
+        )
+        .unwrap();
+
+        // Flip a payload bit: CRC mismatch → InvalidData.
+        let mut bad = wire.clone();
+        *bad.last_mut().unwrap() ^= 0x40;
+        let err = recv::<RequestEnvelope, _>(&mut bad.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // Every strict prefix: UnexpectedEof, never a panic.
+        for cut in 0..wire.len() {
+            let err = recv::<RequestEnvelope, _>(&mut &wire[..cut]).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "cut={cut}");
+        }
+
+        // An absurd length field must not allocate: Corrupt → InvalidData.
+        let mut huge = (u32::MAX).to_le_bytes().to_vec();
+        huge.extend_from_slice(&[0u8; 4]);
+        let err = recv::<RequestEnvelope, _>(&mut huge.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

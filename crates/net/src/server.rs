@@ -1,0 +1,271 @@
+//! The server side: any [`DbBackend`] behind a TCP listener.
+//!
+//! [`serve`] runs an accept loop and one handler thread per connection
+//! inside a [`std::thread::scope`], so handlers can hold open transactions
+//! (`Box<dyn DbTxn + '_>`) against the borrowed engine. A connection that
+//! drops — cleanly or mid-transaction — has its leftover transactions
+//! explicitly aborted before the handler exits: engines like the weak MVCC
+//! store do not clean up on `Drop`, and a crashed client must never leave
+//! locks or uncommitted versions behind on the server.
+//!
+//! [`NetServer`] is the in-process convenience wrapper the tests and
+//! benches use: it binds an ephemeral loopback port, builds a fresh engine
+//! from a [`BackendSpec`] on its own thread, and shuts the loop down on
+//! drop.
+
+use crate::proto::{self, Reply, Request, RequestEnvelope, PROTOCOL_VERSION};
+use mtc_core::IsolationLevel;
+use mtc_dbsim::{BackendSpec, DbBackend, DbTxn};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The three levels a `Hello` reply may promise.
+const LEVELS: [IsolationLevel; 3] = [
+    IsolationLevel::SnapshotIsolation,
+    IsolationLevel::Serializability,
+    IsolationLevel::StrictSerializability,
+];
+
+/// Serves `backend` on `listener` until `shutdown` becomes true.
+///
+/// Each accepted connection gets its own handler thread; the accept loop
+/// polls the shutdown flag every few milliseconds (the listener is switched
+/// to non-blocking mode for that). Returns when the flag is set and every
+/// handler has finished.
+pub fn serve(
+    backend: &dyn DbBackend,
+    listener: TcpListener,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| {
+        while !shutdown.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    scope.spawn(move || handle_connection(backend, stream, shutdown));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    })
+}
+
+/// One connection: decode requests, run them against `backend`, reply.
+/// Exits on any I/O or decode error (the client will re-dial) or when the
+/// server shuts down, aborting whatever transactions the connection still
+/// holds.
+fn handle_connection(backend: &dyn DbBackend, mut stream: TcpStream, shutdown: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    // Connection-local transaction table. Ids are connection-local counters
+    // rather than begin timestamps so a retry (which *reuses* its first
+    // attempt's timestamp) can never collide with a live transaction.
+    let mut txns: HashMap<u64, Box<dyn DbTxn + '_>> = HashMap::new();
+    let mut next_txn_id: u64 = 1;
+
+    while !shutdown.load(Ordering::Acquire) {
+        // Idle phase: `peek` with a short timeout so the handler notices
+        // server shutdown without consuming (and on timeout, losing) any
+        // frame bytes.
+        if stream
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .is_err()
+        {
+            break;
+        }
+        match stream.peek(&mut [0u8; 1]) {
+            Ok(0) => break, // peer closed cleanly
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+        // A frame has started: read it whole, allowing the peer a bounded
+        // stall (a client dribbling a frame slower than this is treated as
+        // gone — it will surface a `ConnectionLost` on its side).
+        if stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .is_err()
+        {
+            break;
+        }
+        let env: RequestEnvelope = match proto::recv(&mut stream) {
+            Ok(env) => env,
+            Err(_) => break,
+        };
+        let reply = execute(backend, &mut txns, &mut next_txn_id, env.request);
+        let reply_env = proto::ReplyEnvelope {
+            seq: env.seq,
+            now: backend.now(),
+            reply,
+        };
+        if proto::send(&mut stream, &reply_env).is_err() {
+            break;
+        }
+    }
+    for (_, txn) in txns.drain() {
+        let _ = txn.abort();
+    }
+}
+
+fn execute<'b>(
+    backend: &'b dyn DbBackend,
+    txns: &mut HashMap<u64, Box<dyn DbTxn + 'b>>,
+    next_txn_id: &mut u64,
+    request: Request,
+) -> Reply {
+    match request {
+        Request::Hello { version } => {
+            if version != PROTOCOL_VERSION {
+                return Reply::Error(format!(
+                    "protocol version mismatch: client {version}, server {PROTOCOL_VERSION}"
+                ));
+            }
+            Reply::Hello {
+                version: PROTOCOL_VERSION,
+                label: backend.label().to_string(),
+                promised: LEVELS
+                    .into_iter()
+                    .filter(|&l| backend.promises(l))
+                    .collect(),
+            }
+        }
+        Request::Begin { retry_of } => {
+            let handle = match retry_of {
+                None => backend.begin(),
+                Some(ts) => backend.begin_retry(ts),
+            };
+            let begin_ts = handle.begin_ts();
+            let txn = *next_txn_id;
+            *next_txn_id += 1;
+            txns.insert(txn, handle);
+            Reply::Begun { txn, begin_ts }
+        }
+        Request::Read { txn, key } => match txns.get_mut(&txn) {
+            None => unknown_txn(txn),
+            Some(handle) => match handle.read_register(key) {
+                Ok(value) => Reply::Value(value),
+                Err(reason) => Reply::Aborted(reason),
+            },
+        },
+        Request::Write { txn, key, value } => match txns.get_mut(&txn) {
+            None => unknown_txn(txn),
+            Some(handle) => match handle.write_register(key, value) {
+                Ok(()) => Reply::Done,
+                Err(reason) => Reply::Aborted(reason),
+            },
+        },
+        Request::ReadList { txn, key } => match txns.get_mut(&txn) {
+            None => unknown_txn(txn),
+            Some(handle) => match handle.read_list(key) {
+                Ok(values) => Reply::Values(values),
+                Err(reason) => Reply::Aborted(reason),
+            },
+        },
+        Request::Append { txn, key, element } => match txns.get_mut(&txn) {
+            None => unknown_txn(txn),
+            Some(handle) => match handle.append(key, element) {
+                Ok(()) => Reply::Done,
+                Err(reason) => Reply::Aborted(reason),
+            },
+        },
+        Request::Commit { txn } => match txns.remove(&txn) {
+            None => unknown_txn(txn),
+            Some(handle) => match handle.commit() {
+                Ok(info) => Reply::Committed {
+                    commit_ts: info.commit_ts,
+                },
+                Err(reason) => Reply::Aborted(reason),
+            },
+        },
+        Request::Abort { txn } => match txns.remove(&txn) {
+            None => unknown_txn(txn),
+            Some(handle) => {
+                let _ = handle.abort();
+                Reply::Done
+            }
+        },
+        Request::Now => Reply::Done,
+    }
+}
+
+fn unknown_txn(txn: u64) -> Reply {
+    Reply::Error(format!("unknown transaction id {txn}"))
+}
+
+/// Resolves a fleet label (`"sim-ser"`, `"2pl"`, `"weak-rc"`, …) to its
+/// [`BackendSpec`]; the inverse of [`BackendSpec::label`] over the default
+/// fleet. `num_keys` sizes the simulator's pre-initialized key space.
+pub fn spec_for_label(label: &str, num_keys: u64) -> Option<BackendSpec> {
+    BackendSpec::fleet(num_keys)
+        .into_iter()
+        .find(|spec| spec.label() == label)
+}
+
+/// An in-process server on an ephemeral loopback port: the harness the
+/// conformance tests, the bench gate and the crash smoke build on.
+///
+/// The engine is built fresh from the spec on the server thread; dropping
+/// the handle (or calling [`NetServer::shutdown`]) stops the accept loop
+/// and joins the thread.
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl NetServer {
+    /// Binds `127.0.0.1:0` and serves a fresh `spec` engine on a new thread.
+    pub fn spawn(spec: BackendSpec) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || {
+            let backend = spec.build();
+            serve(backend.as_ref(), listener, &flag)
+        });
+        Ok(NetServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The server's loopback address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.stop()
+    }
+
+    fn stop(&mut self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::Release);
+        match self.handle.take() {
+            Some(handle) => handle
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("server thread panicked"))),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        let _ = self.stop();
+    }
+}

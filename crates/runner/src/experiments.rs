@@ -29,7 +29,7 @@ use mtc_baselines::elle::{elle_check_list_append, ElleLevel};
 use mtc_baselines::porcupine::porcupine_check_linearizability;
 use mtc_core::{check_linearizability, check_si, check_sser, IsolationLevel};
 use mtc_dbsim::{
-    BackendSpec, ClientOptions, Database, DbConfig, FaultKind, FaultSpec, IsolationMode,
+    BackendSpec, ClientOptions, Database, DbBackend, DbConfig, FaultKind, FaultSpec, IsolationMode,
 };
 use mtc_history::anomalies::AnomalyKind;
 use mtc_workload::{
@@ -762,6 +762,61 @@ pub fn backend_matrix(sweep: &BackendSweep) -> Table {
             format!("{verify_s:.4}"),
         ]);
     }
+
+    // Remote rows: representative engines behind the loopback TCP server,
+    // driven by the async ingest driver so many sessions multiplex over a
+    // small worker pool. A promising engine must keep its promises *through
+    // the wire*, and a weak engine's organic anomalies must survive the
+    // round trip.
+    for engine in ["sim-ser", "weak-rc"] {
+        let spec = mtc_net::spec_for_label(engine, sweep.num_keys).expect("fleet label resolves");
+        let server = mtc_net::NetServer::spawn(spec).expect("loopback server spawns");
+        let db = mtc_net::NetBackend::connect(server.addr()).expect("loopback connect");
+        let async_opts = mtc_dbsim::AsyncOptions {
+            client: ClientOptions::default(),
+            workers: 2,
+        };
+        let (history, report) = mtc_dbsim::execute_workload_async(&db, &workload, &async_opts);
+        let mut verdicts = Vec::new();
+        let mut promises = Vec::new();
+        let mut stream_agrees = true;
+        let mut verify_s = 0.0f64;
+        for (level, checker) in levels {
+            let batch = verify(checker, &history);
+            let streaming = mtc_core::check_streaming(level, &history)
+                .expect("collected histories are inside the checkers' domain");
+            stream_agrees &= batch.violated == streaming.is_violated();
+            verify_s += batch.duration.as_secs_f64();
+            if db.promises(level) {
+                promises.push(level.to_string());
+                assert!(
+                    !batch.violated,
+                    "{} violated its promised level {level}: {}",
+                    db.label(),
+                    batch.detail
+                );
+            }
+            verdicts.push(if batch.violated { "violated" } else { "ok" });
+        }
+        table.push_row(vec![
+            db.label().to_string(),
+            if promises.is_empty() {
+                "-".to_string()
+            } else {
+                promises.join("+")
+            },
+            report.committed.to_string(),
+            format!("{:.3}", report.abort_rate()),
+            verdicts[0].to_string(),
+            verdicts[1].to_string(),
+            verdicts[2].to_string(),
+            stream_agrees.to_string(),
+            secs(report.wall_time),
+            format!("{verify_s:.4}"),
+        ]);
+        drop(db);
+        let _ = server.shutdown();
+    }
     table
 }
 
@@ -1302,7 +1357,19 @@ mod tests {
     #[test]
     fn backend_matrix_quick_holds_promises_and_streaming_agreement() {
         let t = backend_matrix(&BackendSweep::quick());
-        assert_eq!(t.len(), 6, "one row per fleet backend");
+        assert_eq!(
+            t.len(),
+            8,
+            "one row per fleet backend plus the two remote rows"
+        );
+        assert!(
+            t.rows.iter().any(|r| r[0] == "net/sim-ser"),
+            "remote promising engine row missing"
+        );
+        assert!(
+            t.rows.iter().any(|r| r[0] == "net/weak-rc"),
+            "remote weak engine row missing"
+        );
         for row in &t.rows {
             assert_eq!(
                 row[7], "true",

@@ -87,10 +87,21 @@ pub(crate) fn get_varint(input: &[u8], pos: &mut usize) -> Result<u64, DecodeErr
         let &byte = input.get(*pos).ok_or(DecodeError::Truncated)?;
         *pos += 1;
         if shift == 63 && byte > 1 {
+            // The 10th byte holds the single remaining bit 63: any other
+            // payload bit (or a continuation bit) would overflow u64.
             return Err(DecodeError::BadVarint);
         }
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
+            // Canonical-form check: the final byte of a multi-byte varint
+            // must contribute bits. [`put_varint`] never emits a trailing
+            // zero byte, so accepting one (e.g. `0x80 0x00` for 0) would
+            // give a single value multiple wire forms — a gift to anyone
+            // trying to smuggle mismatched bytes past a CRC or dedup layer
+            // now that this decoder faces the network.
+            if byte == 0 && shift != 0 {
+                return Err(DecodeError::BadVarint);
+            }
             return Ok(v);
         }
         shift += 7;
@@ -449,6 +460,119 @@ mod tests {
             TAG_U64, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f,
         ];
         assert!(decode_value(&bytes).is_err());
+    }
+
+    #[test]
+    fn overflowing_varints_error_instead_of_wrapping() {
+        // 10 continuation bytes followed by anything: more than 64 bits.
+        let mut bytes = vec![TAG_U64];
+        bytes.extend_from_slice(&[0x80; 10]);
+        bytes.push(0x01);
+        assert_eq!(decode_value(&bytes), Err(DecodeError::BadVarint));
+        // Exactly 10 bytes but the last one carries payload bits above 63.
+        let mut bytes = vec![TAG_U64];
+        bytes.extend_from_slice(&[0xff; 9]);
+        bytes.push(0x02);
+        assert_eq!(decode_value(&bytes), Err(DecodeError::BadVarint));
+        // u64::MAX itself is the canonical 10-byte edge and must decode.
+        let mut pos = 0;
+        let max = encode_value(&JsonValue::U64(u64::MAX));
+        assert_eq!(get_varint(&max[1..], &mut pos), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn non_canonical_varints_are_rejected() {
+        // Every overlong spelling of small values: trailing zero bytes.
+        for overlong in [
+            vec![0x80, 0x00],             // 0 in two bytes
+            vec![0x81, 0x00],             // 1 in two bytes
+            vec![0xff, 0x80, 0x00],       // 127+pad in three bytes
+            vec![0x80, 0x80, 0x80, 0x00], // 0 in four bytes
+        ] {
+            let mut bytes = vec![TAG_U64];
+            bytes.extend_from_slice(&overlong);
+            assert_eq!(
+                decode_value(&bytes),
+                Err(DecodeError::BadVarint),
+                "overlong {overlong:02x?} must not decode"
+            );
+        }
+        // The canonical spellings of the same values still decode.
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let bytes = encode_value(&JsonValue::U64(v));
+            assert_eq!(decode_value(&bytes).unwrap(), JsonValue::U64(v));
+        }
+    }
+
+    #[test]
+    fn every_truncation_offset_of_a_record_corpus_errors_cleanly() {
+        use mtc_history::{Op, SessionId, Transaction, TxnId};
+        // A corpus of realistic encoded records: transactions of several
+        // shapes (the payloads that now cross the network), plus synthetic
+        // values stressing every tag. Decoding any strict prefix must fail
+        // with a decode error — never panic, never succeed on a prefix.
+        let mut corpus: Vec<Vec<u8>> = Vec::new();
+        for (id, ops) in [
+            (1u32, vec![Op::read(0u64, 0u64)]),
+            (
+                77,
+                vec![
+                    Op::read(5u64, 1u64 << 41),
+                    Op::write(5u64, (1u64 << 41) + 1),
+                ],
+            ),
+            (
+                u32::MAX,
+                vec![
+                    Op::write(9u64, u64::MAX - 1),
+                    Op::read(10u64, 0u64),
+                    Op::write(10u64, 3u64),
+                ],
+            ),
+        ] {
+            let txn = Transaction::committed(TxnId(id), SessionId(2), ops)
+                .with_times(u64::from(id) * 100, u64::from(id) * 100 + 7);
+            corpus.push(encode_value(&txn.to_json_value()));
+        }
+        corpus.push(encode_value(&JsonValue::Array(vec![
+            JsonValue::Null,
+            JsonValue::Bool(true),
+            JsonValue::U64(u64::MAX),
+            JsonValue::I64(i64::MIN),
+            JsonValue::F64(6.25),
+            JsonValue::Str("network-facing".to_string()),
+            JsonValue::Object(vec![("k".to_string(), JsonValue::U64(300))]),
+        ])));
+        // Indexed (schema-table) form of an object record, decoded against
+        // its key table: same every-offset guarantee.
+        let obj = JsonValue::Object(vec![
+            ("session".to_string(), JsonValue::U64(3)),
+            ("ops".to_string(), JsonValue::Array(vec![JsonValue::U64(9)])),
+        ]);
+        let mut dict = KeyDict::default();
+        let mut indexed = Vec::new();
+        encode_value_indexed(&obj, &mut dict, &mut indexed);
+        for cut in 0..indexed.len() {
+            assert!(
+                decode_value_indexed(&indexed[..cut], dict.keys(), &[]).is_err(),
+                "indexed prefix of length {cut} must not decode"
+            );
+        }
+        assert_eq!(
+            decode_value_indexed(&indexed, dict.keys(), &[]).unwrap(),
+            obj
+        );
+        for (i, record) in corpus.iter().enumerate() {
+            // The whole record decodes…
+            assert!(decode_value(record).is_ok(), "corpus record {i}");
+            // …and every strict prefix is a clean error.
+            for cut in 0..record.len() {
+                assert!(
+                    decode_value(&record[..cut]).is_err(),
+                    "corpus record {i}: prefix of length {cut} must not decode"
+                );
+            }
+        }
     }
 
     #[test]

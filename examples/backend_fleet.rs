@@ -19,7 +19,7 @@ use mtc::dbsim::{
 use mtc::history::{Key, Value, INIT_VALUE};
 use mtc::workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 // ───────────────────── a custom backend in ~50 lines ────────────────────────
@@ -27,29 +27,45 @@ use std::sync::Mutex;
 // The recipe: (1) an engine type implementing `DbBackend` (must be `Sync`;
 // `begin` hands out boxed transaction handles, `promises` declares which
 // isolation levels fault-free runs guarantee), and (2) a handle type
-// implementing `DbTxn` (reads/writes may fail with an `AbortReason`;
-// `commit` returns the commit instant). This one holds a single global
-// mutex for the whole transaction — fully serial execution, so it promises
-// everything, at the cost of zero concurrency.
+// implementing `DbTxn` (handles must be `Send` — the async driver may poll
+// them from different worker threads; reads/writes may fail with an
+// `AbortReason`; `commit` returns the commit instant). This one holds a
+// single global lock for the whole transaction — fully serial execution,
+// so it promises everything, at the cost of zero concurrency. The lock is
+// an atomic flag rather than a held `MutexGuard` precisely because guards
+// are not `Send`; the handle's `Drop` releases it exactly once, whichever
+// of commit/abort/drop ends the transaction.
 
 struct GlobalLockDb {
     clock: AtomicU64,
+    busy: AtomicBool,
     state: Mutex<HashMap<Key, Value>>,
 }
 
 struct GlobalLockTxn<'db> {
     db: &'db GlobalLockDb,
     begin_ts: u64,
-    // The trick that makes it serial: the state lock is held by the handle
-    // from begin to commit.
-    guard: std::sync::MutexGuard<'db, HashMap<Key, Value>>,
+}
+
+impl Drop for GlobalLockTxn<'_> {
+    fn drop(&mut self) {
+        self.db.busy.store(false, Ordering::Release);
+    }
 }
 
 impl DbBackend for GlobalLockDb {
     fn begin(&self) -> Box<dyn DbTxn + '_> {
+        // The trick that makes it serial: the whole-engine flag is held by
+        // the handle from begin until its Drop.
+        while self
+            .busy
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::thread::yield_now();
+        }
         Box::new(GlobalLockTxn {
             begin_ts: self.clock.fetch_add(1, Ordering::SeqCst),
-            guard: self.state.lock().unwrap(),
             db: self,
         })
     }
@@ -69,10 +85,11 @@ impl<'db> DbTxn for GlobalLockTxn<'db> {
         self.begin_ts
     }
     fn read_register(&mut self, key: Key) -> Result<Value, AbortReason> {
-        Ok(*self.guard.get(&key).unwrap_or(&INIT_VALUE))
+        let state = self.db.state.lock().unwrap();
+        Ok(*state.get(&key).unwrap_or(&INIT_VALUE))
     }
     fn write_register(&mut self, key: Key, value: Value) -> Result<(), AbortReason> {
-        self.guard.insert(key, value);
+        self.db.state.lock().unwrap().insert(key, value);
         Ok(())
     }
     fn read_list(&mut self, _key: Key) -> Result<Vec<Value>, AbortReason> {
@@ -125,6 +142,7 @@ fn main() {
         true,
         Box::new(GlobalLockDb {
             clock: AtomicU64::new(1),
+            busy: AtomicBool::new(false),
             state: Mutex::new(HashMap::new()),
         }),
     ));

@@ -8,7 +8,8 @@
 //! * [`dbsim`] — the in-memory MVCC transactional store used as the system under test;
 //! * [`baselines`] — Cobra-, PolySI-, Porcupine- and Elle-style baseline checkers;
 //! * [`runner`] — the end-to-end harness (generate → execute → collect → verify → report);
-//! * [`store`] — durable history logs, checkpoints and crash recovery.
+//! * [`store`] — durable history logs, checkpoints and crash recovery;
+//! * [`net`] — the framed TCP remote backend (server + pooled client).
 //!
 //! See `examples/quickstart.rs` for a three-minute tour.
 
@@ -16,6 +17,7 @@ pub use mtc_baselines as baselines;
 pub use mtc_core as core;
 pub use mtc_dbsim as dbsim;
 pub use mtc_history as history;
+pub use mtc_net as net;
 pub use mtc_runner as runner;
 pub use mtc_store as store;
 pub use mtc_workload as workload;
