@@ -3,7 +3,7 @@
 //! contention (the mechanism behind Figures 10, 11, 14 and 17).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mtc_dbsim::{execute_workload, ClientOptions, Database, DbConfig, IsolationMode};
+use mtc_dbsim::{Database, DbConfig, ExecutionOptions, IsolationMode};
 use mtc_workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
 
 fn bench_dbsim_throughput(c: &mut Criterion) {
@@ -29,7 +29,7 @@ fn bench_dbsim_throughput(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("mode", mode.label()), &workload, |b, w| {
             b.iter(|| {
                 let db = Database::new(DbConfig::correct(mode, 64));
-                execute_workload(&db, w, &ClientOptions::default())
+                ExecutionOptions::threaded().run(&db, w)
             })
         });
     }

@@ -24,7 +24,7 @@
 //! Exit code 0 on success; nonzero (with a diagnostic) on any mismatch.
 
 use mtc_core::{check_sser, check_streaming, check_streaming_sharded, IsolationLevel};
-use mtc_dbsim::{execute_workload, ClientOptions, DbBackend};
+use mtc_dbsim::{DbBackend, ExecutionOptions};
 use mtc_net::{spec_for_label, NetBackend};
 use mtc_workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
 use std::io::BufRead;
@@ -96,7 +96,7 @@ fn main() {
 
     let backend = NetBackend::connect(addr).expect("loopback connect");
     let workload = generate_mt_workload(&workload_spec());
-    let (history, report) = execute_workload(&backend, &workload, &ClientOptions::default());
+    let (history, report) = ExecutionOptions::threaded().run(&backend, &workload);
     let status = child.wait().expect("server child reaped");
     println!(
         "drivers survived the kill (child exit: {status}): {} committed, {} failed, \

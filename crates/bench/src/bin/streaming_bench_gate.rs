@@ -13,6 +13,13 @@
 //! baseline with recorded backend series exists, so heterogeneous engines
 //! leave a throughput trail without destabilizing CI.
 //!
+//! Schema 4 adds the verification-as-a-service scaling curve
+//! (`service/tenants-N` for N ∈ {1, 2, 4, 8}): the `mtc-service` daemon
+//! in-process, N concurrent tenants streaming clean histories over loopback
+//! TCP; `millis` is the p99 per-batch ingest latency and `txns_per_sec` the
+//! sustained end-to-end verification rate. Artifact-only — the curve
+//! depends on core count and loopback scheduling, so it is never gated.
+//!
 //! Since the epoch-GC work the `<level>/incremental-gc` series are **gated**
 //! alongside `incremental` and `sharded` (collection is expected to cost at
 //! most a modest constant factor now that commits are amortized off the
@@ -47,7 +54,7 @@ use mtc_core::{
     check_ser, check_si, check_sser, check_streaming, check_streaming_sharded, tune, GcPolicy,
     IncrementalChecker, IsolationLevel, Verdict,
 };
-use mtc_dbsim::{execute_workload, BackendSpec, ClientOptions};
+use mtc_dbsim::{BackendSpec, ExecutionOptions};
 use mtc_history::History;
 use mtc_workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -241,7 +248,7 @@ fn main() {
         for _ in 0..3 {
             let db = spec.build();
             let start = Instant::now();
-            let (_, report) = execute_workload(db.as_ref(), &workload, &ClientOptions::default());
+            let (_, report) = ExecutionOptions::threaded().run(db.as_ref(), &workload);
             let elapsed = start.elapsed().as_secs_f64() * 1e3;
             // Keep numerator and denominator from the same run: committed
             // counts vary per run on nondeterministic backends (wait-die).
@@ -278,19 +285,17 @@ fn main() {
         for _ in 0..3 {
             let server = mtc_net::NetServer::spawn(spec.clone()).expect("loopback server");
             let db = mtc_net::NetBackend::connect(server.addr()).expect("loopback connect");
-            let async_opts = mtc_dbsim::AsyncOptions {
-                client: ClientOptions::default(),
-                // A blocking engine needs one worker per session (see
-                // `execute_workload_async`); non-blocking ones showcase the
-                // multiplexing with fewer.
-                workers: if spec.blocking() {
-                    wl_spec.sessions as usize
-                } else {
-                    2
-                },
+            // A blocking engine needs one worker per session (see
+            // `Driver::Async`); non-blocking ones showcase the multiplexing
+            // with fewer.
+            let workers = if spec.blocking() {
+                wl_spec.sessions as usize
+            } else {
+                2
             };
             let start = Instant::now();
-            let (_, report) = mtc_dbsim::execute_workload_async(&db, &workload, &async_opts);
+            let (_, report) =
+                mtc_dbsim::ExecutionOptions::async_workers(workers).run(&db, &workload);
             let elapsed = start.elapsed().as_secs_f64() * 1e3;
             if elapsed < best {
                 best = elapsed;
@@ -315,8 +320,49 @@ fn main() {
         });
     }
 
+    // Verification-as-a-service scaling curve (schema 4, artifact-only):
+    // the `mtc-service` daemon in-process, N concurrent tenants streaming
+    // clean synthetic histories over loopback TCP. `millis` records the p99
+    // per-batch ingest latency (admission time, backpressure retries
+    // included) rather than a pass wall time; `txns_per_sec` the sustained
+    // end-to-end verification rate across all tenants. Not gated: the curve
+    // depends on core count and loopback scheduling.
+    {
+        let root = std::env::temp_dir().join(format!("mtc_bench_service_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let server = mtc_service::ServiceServer::spawn(mtc_service::ServiceConfig::new(&root))
+            .expect("in-process service daemon spawns");
+        for tenants in [1usize, 2, 4, 8] {
+            let spec = mtc_service::LoadSpec {
+                tenants,
+                sessions: 4,
+                txns_per_session: 250,
+                ..Default::default()
+            };
+            let point = mtc_service::drive(server.addr(), &spec, &format!("bench{tenants}"))
+                .expect("clean synthetic streams verify with zero loss");
+            let name = format!("service/tenants-{tenants}");
+            let p99_ms = point.p99_ingest_micros as f64 / 1e3;
+            let peak_rss = peak_rss_kb();
+            println!(
+                "{name:<18} {p99_ms:>9.3} ms   {:>12.0} txns/s   rss {peak_rss:>8} kB   \
+                 backpressure {}",
+                point.txns_per_sec, point.backpressure_hits
+            );
+            series.push(Series {
+                name,
+                millis: p99_ms,
+                txns_per_sec: point.txns_per_sec,
+                peak_rss_kb: peak_rss,
+                retained_nodes: 0,
+            });
+        }
+        let _ = server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
     let report = BenchReport {
-        schema: 3,
+        schema: 4,
         txns,
         shards: tuning.shards as u64,
         batch: tuning.batch as u64,
@@ -430,19 +476,22 @@ fn main() {
     // Peak-RSS gate: the run's memory high-water mark (`VmHWM` is monotone,
     // so the max over the series is the whole run's footprint) must stay
     // within [`MAX_RSS_GROWTH`] of the baseline's. Skipped when either side
-    // recorded 0 (no `/proc` on that platform).
-    let cur_peak = report
-        .series
-        .iter()
-        .map(|s| s.peak_rss_kb)
-        .max()
-        .unwrap_or(0);
-    let base_peak = baseline
-        .series
-        .iter()
-        .map(|s| s.peak_rss_kb)
-        .max()
-        .unwrap_or(0);
+    // recorded 0 (no `/proc` on that platform). The `service/*` series are
+    // excluded from the gate on both sides: the in-process daemon carries N
+    // tenants' checkers plus the load threads, so its footprint measures
+    // the *service* (artifact-only, like its latency), not the checkers
+    // this gate protects — and `VmHWM`'s monotony would otherwise leak that
+    // footprint into the checker gate forever after.
+    let gated_peak = |r: &BenchReport| {
+        r.series
+            .iter()
+            .filter(|s| !s.name.starts_with("service/"))
+            .map(|s| s.peak_rss_kb)
+            .max()
+            .unwrap_or(0)
+    };
+    let cur_peak = gated_peak(&report);
+    let base_peak = gated_peak(&baseline);
     if cur_peak > 0 && base_peak > 0 {
         let ratio = cur_peak as f64 / base_peak as f64;
         let verdict = if ratio <= MAX_RSS_GROWTH {

@@ -34,6 +34,7 @@
 
 use crate::backend::DbBackend;
 use crate::client::{issue_ops, ClientOptions, ExecutionReport, SessionStats, TxnRecord};
+use crate::live::LiveVerifier;
 use futures_lite::future::yield_now;
 use mtc_history::{History, HistoryBuilder, TxnStatus, ValueAllocator};
 use mtc_workload::Workload;
@@ -61,10 +62,26 @@ impl Default for AsyncOptions {
 /// Executes `workload` against `db` with one *task* per session on a
 /// `workers`-thread executor, and returns the collected history plus
 /// statistics. Sessions yield to the scheduler after every operation.
+#[deprecated(
+    note = "use `ExecutionOptions::async_workers(n).client(opts.client).run(db, workload)`"
+)]
 pub fn execute_workload_async(
     db: &dyn DbBackend,
     workload: &Workload,
     opts: &AsyncOptions,
+) -> (History, ExecutionReport) {
+    execute_async(db, workload, &opts.client, opts.workers, None)
+}
+
+/// The async driver proper, with an optional live verifier fed at every
+/// settle point; dispatched to by [`crate::ExecutionOptions::run`] for
+/// [`crate::Driver::Async`].
+pub(crate) fn execute_async(
+    db: &dyn DbBackend,
+    workload: &Workload,
+    client: &ClientOptions,
+    workers: usize,
+    verifier: Option<&LiveVerifier>,
 ) -> (History, ExecutionReport) {
     let start = Instant::now();
     type SessionLog = (u32, Vec<TxnRecord>, SessionStats);
@@ -72,11 +89,11 @@ pub fn execute_workload_async(
         .sessions
         .iter()
         .map(|s| {
-            let fut = run_session_async(db, s.session, &s.txns, &opts.client);
+            let fut = run_session_async(db, s.session, &s.txns, client, verifier);
             Box::pin(fut) as futures_lite::executor::BoxedTask<'_, SessionLog>
         })
         .collect();
-    let mut session_logs = futures_lite::executor::run_all(tasks, opts.workers);
+    let mut session_logs = futures_lite::executor::run_all(tasks, workers);
     session_logs.sort_by_key(|(s, _, _)| *s);
 
     let mut report = ExecutionReport {
@@ -104,12 +121,16 @@ async fn run_session_async(
     session: u32,
     templates: &[mtc_workload::TxnTemplate],
     opts: &ClientOptions,
+    verifier: Option<&LiveVerifier>,
 ) -> (u32, Vec<TxnRecord>, SessionStats) {
     let mut allocator = ValueAllocator::new(session);
     let mut records = Vec::with_capacity(templates.len());
     let mut stats = SessionStats::default();
 
     for template in templates {
+        if verifier.is_some_and(|v| v.should_stop()) {
+            break;
+        }
         let mut retries = 0u32;
         let mut first_begin = None;
         loop {
@@ -147,6 +168,15 @@ async fn run_session_async(
             match result {
                 Ok(info) => {
                     stats.committed += 1;
+                    if let Some(v) = verifier {
+                        v.record_timed(
+                            session,
+                            ops.clone(),
+                            TxnStatus::Committed,
+                            begin,
+                            info.commit_ts,
+                        );
+                    }
                     records.push(TxnRecord {
                         session,
                         ops,
@@ -159,12 +189,16 @@ async fn run_session_async(
                 Err(reason) => {
                     stats.aborted_attempts += 1;
                     if opts.should_record_abort(&ops, reason) {
+                        let end = db.now();
+                        if let Some(v) = verifier {
+                            v.record_timed(session, ops.clone(), TxnStatus::Aborted, begin, end);
+                        }
                         records.push(TxnRecord {
                             session,
                             ops,
                             status: TxnStatus::Aborted,
                             begin,
-                            end: db.now(),
+                            end,
                         });
                     }
                     if !opts.should_retry(retries, reason) {
@@ -182,7 +216,6 @@ async fn run_session_async(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::backends::BackendSpec;
     use mtc_workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
 
@@ -213,11 +246,8 @@ mod tests {
                     // module docs); driving it undersized would deadlock.
                     continue;
                 }
-                let opts = AsyncOptions {
-                    client: ClientOptions::default(),
-                    workers,
-                };
-                let (history, report) = execute_workload_async(db.as_ref(), &workload, &opts);
+                let (history, report) =
+                    crate::ExecutionOptions::async_workers(workers).run(db.as_ref(), &workload);
                 assert!(
                     report.committed > 0,
                     "{}: nothing committed",

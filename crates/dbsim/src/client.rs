@@ -16,6 +16,7 @@
 //! conformance suite uses to make organic anomalies reproducible.
 
 use crate::backend::{DbBackend, DbTxn};
+use crate::live::LiveVerifier;
 use crate::txn::AbortReason;
 use mtc_history::{History, HistoryBuilder, Op, TxnStatus, ValueAllocator};
 use mtc_workload::{ReqOp, Workload};
@@ -151,10 +152,23 @@ pub(crate) fn issue_ops(
 
 /// Executes `workload` against `db` with one thread per session and returns
 /// the collected history together with execution statistics.
+#[deprecated(note = "use `ExecutionOptions::threaded().client(*opts).run(db, workload)`")]
 pub fn execute_workload(
     db: &dyn DbBackend,
     workload: &Workload,
     opts: &ClientOptions,
+) -> (History, ExecutionReport) {
+    execute_threaded(db, workload, opts, None)
+}
+
+/// The threaded driver proper: one OS thread per session, with an optional
+/// live verifier fed in commit order. The unified entry point
+/// [`crate::ExecutionOptions::run`] dispatches here for [`crate::Driver::Threaded`].
+pub(crate) fn execute_threaded(
+    db: &dyn DbBackend,
+    workload: &Workload,
+    opts: &ClientOptions,
+    verifier: Option<&LiveVerifier>,
 ) -> (History, ExecutionReport) {
     let start = Instant::now();
     let mut session_logs: Vec<(u32, Vec<TxnRecord>, SessionStats)> = Vec::new();
@@ -163,7 +177,9 @@ pub fn execute_workload(
         let mut handles = Vec::new();
         for session in &workload.sessions {
             handles
-                .push(scope.spawn(move || run_session(db, session.session, &session.txns, opts)));
+                .push(scope.spawn(move || {
+                    run_session(db, session.session, &session.txns, opts, verifier)
+                }));
         }
         for h in handles {
             session_logs.push(h.join().expect("client thread panicked"));
@@ -202,11 +218,27 @@ pub fn execute_workload(
 /// qualify; the 2PL engine does not (its wait-die "older waits" path would
 /// wait forever for a holder parked on the same thread) — drive it with
 /// [`execute_workload`] instead.
+#[deprecated(note = "use `ExecutionOptions::interleaved(seed).client(*opts).run(db, workload)`")]
 pub fn execute_workload_interleaved(
     db: &dyn DbBackend,
     workload: &Workload,
     opts: &ClientOptions,
     schedule_seed: u64,
+) -> (History, ExecutionReport) {
+    execute_interleaved(db, workload, opts, schedule_seed, None)
+}
+
+/// The deterministic single-thread driver proper; dispatched to by
+/// [`crate::ExecutionOptions::run`] for [`crate::Driver::Interleaved`]. With a
+/// verifier attached, every settled attempt is recorded in schedule order and
+/// a latched `stop_on_violation` keeps sessions from *starting* further
+/// templates (open attempts still settle, mirroring the threaded driver).
+pub(crate) fn execute_interleaved(
+    db: &dyn DbBackend,
+    workload: &Workload,
+    opts: &ClientOptions,
+    schedule_seed: u64,
+    verifier: Option<&LiveVerifier>,
 ) -> (History, ExecutionReport) {
     struct OpenTxn<'d> {
         handle: Box<dyn DbTxn + 'd>,
@@ -244,10 +276,11 @@ pub fn execute_workload_interleaved(
         .collect();
 
     loop {
+        let stopped = verifier.is_some_and(|v| v.should_stop());
         let live: Vec<usize> = sessions
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.open.is_some() || s.next_template < s.templates.len())
+            .filter(|(_, s)| s.open.is_some() || (!stopped && s.next_template < s.templates.len()))
             .map(|(i, _)| i)
             .collect();
         if live.is_empty() {
@@ -294,6 +327,15 @@ pub fn execute_workload_interleaved(
                     match result {
                         Ok(info) => {
                             s.stats.committed += 1;
+                            if let Some(v) = verifier {
+                                v.record_timed(
+                                    s.session,
+                                    open.ops.clone(),
+                                    TxnStatus::Committed,
+                                    open.begin,
+                                    info.commit_ts,
+                                );
+                            }
                             s.records.push(TxnRecord {
                                 session: s.session,
                                 ops: open.ops,
@@ -306,12 +348,22 @@ pub fn execute_workload_interleaved(
                         Err(reason) => {
                             s.stats.aborted_attempts += 1;
                             if opts.should_record_abort(&open.ops, reason) {
+                                let end = db.now();
+                                if let Some(v) = verifier {
+                                    v.record_timed(
+                                        s.session,
+                                        open.ops.clone(),
+                                        TxnStatus::Aborted,
+                                        open.begin,
+                                        end,
+                                    );
+                                }
                                 s.records.push(TxnRecord {
                                     session: s.session,
                                     ops: open.ops,
                                     status: TxnStatus::Aborted,
                                     begin: open.begin,
-                                    end: db.now(),
+                                    end,
                                 });
                             }
                             if opts.should_retry(open.retries, reason) {
@@ -372,12 +424,18 @@ fn run_session(
     session: u32,
     templates: &[mtc_workload::TxnTemplate],
     opts: &ClientOptions,
+    verifier: Option<&LiveVerifier>,
 ) -> (u32, Vec<TxnRecord>, SessionStats) {
     let mut allocator = ValueAllocator::new(session);
     let mut records = Vec::with_capacity(templates.len());
     let mut stats = SessionStats::default();
 
     for template in templates {
+        // A latched stop_on_violation verifier truncates the run: no new
+        // templates once the violation is known.
+        if verifier.is_some_and(|v| v.should_stop()) {
+            break;
+        }
         let mut retries = 0u32;
         let mut first_begin = None;
         loop {
@@ -404,6 +462,15 @@ fn run_session(
             match result {
                 Ok(info) => {
                     stats.committed += 1;
+                    if let Some(v) = verifier {
+                        v.record_timed(
+                            session,
+                            issued.ops.clone(),
+                            TxnStatus::Committed,
+                            begin,
+                            info.commit_ts,
+                        );
+                    }
                     records.push(TxnRecord {
                         session,
                         ops: issued.ops,
@@ -421,12 +488,22 @@ fn run_session(
                     // no known outcome; either way the attempt is counted
                     // but not recorded.
                     if opts.should_record_abort(&issued.ops, reason) {
+                        let end = db.now();
+                        if let Some(v) = verifier {
+                            v.record_timed(
+                                session,
+                                issued.ops.clone(),
+                                TxnStatus::Aborted,
+                                begin,
+                                end,
+                            );
+                        }
                         records.push(TxnRecord {
                             session,
                             ops: issued.ops,
                             status: TxnStatus::Aborted,
                             begin,
-                            end: db.now(),
+                            end,
                         });
                     }
                     if !opts.should_retry(retries, reason) {
@@ -465,7 +542,7 @@ mod tests {
     fn executes_a_small_workload_and_counts_add_up() {
         let db = Database::new(DbConfig::correct(IsolationMode::Serializable, 20));
         let workload = generate_mt_workload(&spec(4, 50, 20));
-        let (history, report) = execute_workload(&db, &workload, &ClientOptions::default());
+        let (history, report) = crate::ExecutionOptions::threaded().run(&db, &workload);
         assert_eq!(report.committed + report.failed, workload.txn_count());
         assert_eq!(report.attempts, report.committed + report.aborted_attempts);
         assert_eq!(history.committed_count(), report.committed + 1); // + ⊥T
@@ -478,7 +555,7 @@ mod tests {
     fn histories_have_timestamps_on_committed_transactions() {
         let db = Database::new(DbConfig::correct(IsolationMode::Serializable, 10));
         let workload = generate_mt_workload(&spec(2, 20, 10));
-        let (history, _) = execute_workload(&db, &workload, &ClientOptions::default());
+        let (history, _) = crate::ExecutionOptions::threaded().run(&db, &workload);
         for t in history.committed() {
             assert!(t.begin.is_some(), "{t:?} lacks a begin timestamp");
             assert!(t.end.is_some(), "{t:?} lacks an end timestamp");
@@ -491,7 +568,7 @@ mod tests {
         let workload = generate_mt_workload(&s);
         for backend_spec in BackendSpec::fleet(s.num_keys) {
             let db = backend_spec.build();
-            let (history, report) = execute_workload(&*db, &workload, &ClientOptions::default());
+            let (history, report) = crate::ExecutionOptions::threaded().run(&*db, &workload);
             assert!(
                 report.committed > 0,
                 "{}: nothing committed",
@@ -512,7 +589,7 @@ mod tests {
         let workload = generate_mt_workload(&s);
         let run = |seed: u64| {
             let db = crate::backends::WeakMvccDatabase::new(WeakLevel::ReadCommitted);
-            execute_workload_interleaved(&db, &workload, &ClientOptions::default(), seed)
+            crate::ExecutionOptions::interleaved(seed).run(&db, &workload)
         };
         let (h1, r1) = run(42);
         let (h2, r2) = run(42);
@@ -627,7 +704,9 @@ mod tests {
             let expected = 3 * u64::from(max_retries + 1);
 
             let db = AlwaysAbort::new(AbortReason::WriteConflict);
-            let (_, report) = execute_workload(&db, &workload, &opts);
+            let (_, report) = crate::ExecutionOptions::threaded()
+                .client(opts)
+                .run(&db, &workload);
             assert_eq!(
                 db.attempts(),
                 expected,
@@ -638,7 +717,9 @@ mod tests {
             assert_eq!(report.committed, 0);
 
             let db = AlwaysAbort::new(AbortReason::WriteConflict);
-            let (_, report) = execute_workload_interleaved(&db, &workload, &opts, 9);
+            let (_, report) = crate::ExecutionOptions::interleaved(9)
+                .client(opts)
+                .run(&db, &workload);
             assert_eq!(
                 db.attempts(),
                 expected,
@@ -661,7 +742,9 @@ mod tests {
         };
         for reason in [AbortReason::InjectedAbort, AbortReason::CommitStatusUnknown] {
             let db = AlwaysAbort::new(reason);
-            let (history, report) = execute_workload(&db, &workload, &opts);
+            let (history, report) = crate::ExecutionOptions::threaded()
+                .client(opts)
+                .run(&db, &workload);
             assert_eq!(db.attempts(), 2, "{reason:?}: one attempt per template");
             assert_eq!(report.failed, 2);
             if reason == AbortReason::CommitStatusUnknown {
@@ -679,8 +762,7 @@ mod tests {
         let s = spec(4, 30, 6);
         let workload = generate_mt_workload(&s);
         let db = Database::new(DbConfig::correct(IsolationMode::Snapshot, s.num_keys));
-        let (history, report) =
-            execute_workload_interleaved(&db, &workload, &ClientOptions::default(), 7);
+        let (history, report) = crate::ExecutionOptions::interleaved(7).run(&db, &workload);
         assert_eq!(report.committed + report.failed, workload.txn_count());
         assert_eq!(report.attempts, report.committed + report.aborted_attempts);
         assert_eq!(history.committed_count(), report.committed + 1);

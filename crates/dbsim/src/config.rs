@@ -186,8 +186,8 @@ mod tests {
         // every recorded interval must be well-formed and consistent with
         // a transaction that begins after another's acknowledged commit
         // observing a later instant.
-        use crate::client::execute_workload;
         use crate::db::Database;
+        use crate::driver::ExecutionOptions;
         use mtc_workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
         for mode in [
             IsolationMode::Serializable,
@@ -207,8 +207,7 @@ mod tests {
                     .with_latency(Duration::from_micros(150), Duration::from_micros(75)),
             );
             let workload = generate_mt_workload(&spec);
-            let (history, report) =
-                execute_workload(&db, &workload, &crate::client::ClientOptions::default());
+            let (history, report) = ExecutionOptions::threaded().run(&db, &workload);
             assert!(report.committed > 0);
             for t in history.committed() {
                 let (b, e) = (t.begin.unwrap(), t.end.unwrap());

@@ -1,0 +1,314 @@
+//! The unified execution API: one entry point for every client driver.
+//!
+//! Historically each driver was its own free function — `execute_workload`
+//! (threaded), `execute_workload_interleaved` (deterministic single-thread),
+//! `execute_workload_async` (executor-multiplexed) and
+//! `execute_workload_live` (threaded + streaming verification) — and callers
+//! picked semantics by picking a symbol. The four signatures drifted apart
+//! (the live driver took a verifier, the async one its own options struct,
+//! the interleaved one a bare seed) even though the retry/recording policy
+//! underneath is the single [`ClientOptions`] contract.
+//!
+//! [`ExecutionOptions`] collapses that surface: choose a [`Driver`], set the
+//! client policy, optionally attach a [`LiveVerifier`] — on *any* driver —
+//! and call [`ExecutionOptions::run`]. The old free functions survive as
+//! thin deprecated wrappers.
+//!
+//! ```
+//! use mtc_dbsim::{Database, DbConfig, ExecutionOptions, IsolationMode};
+//! use mtc_workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
+//!
+//! let spec = MtWorkloadSpec {
+//!     sessions: 2,
+//!     txns_per_session: 10,
+//!     num_keys: 8,
+//!     distribution: Distribution::Uniform,
+//!     read_only_fraction: 0.2,
+//!     two_key_fraction: 0.5,
+//!     seed: 1,
+//! };
+//! let workload = generate_mt_workload(&spec);
+//! let db = Database::new(DbConfig::correct(IsolationMode::Serializable, spec.num_keys));
+//! let (history, report) = ExecutionOptions::threaded().run(&db, &workload);
+//! assert_eq!(report.committed + report.failed, workload.txn_count());
+//! assert!(history.has_init());
+//! ```
+//!
+//! Driver caveats carry over unchanged and are enforced by nothing but the
+//! operator's judgement, exactly as before: [`Driver::Interleaved`] must only
+//! drive non-blocking backends, and [`Driver::Async`] needs
+//! `workers >= sessions` on a blocking backend (see
+//! [`crate::BackendSpec::blocking`]).
+
+use crate::backend::DbBackend;
+use crate::client::{execute_interleaved, execute_threaded, ClientOptions, ExecutionReport};
+use crate::live::LiveVerifier;
+use mtc_history::History;
+use mtc_workload::Workload;
+
+/// Which client driver carries the sessions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Driver {
+    /// One OS thread per session — the default. Works with every backend,
+    /// including blocking ones (2PL lock waits park only their own thread).
+    #[default]
+    Threaded,
+    /// All sessions on one thread, interleaved operation-by-operation from
+    /// a seeded schedule: fully deterministic, the conformance suite's tool
+    /// for reproducible anomalies. **Non-blocking backends only** — a 2PL
+    /// "older waits" path would wait forever for a holder parked on the
+    /// same thread.
+    Interleaved {
+        /// Seed of the interleaving schedule.
+        schedule_seed: u64,
+    },
+    /// One future per session on the scoped `futures_lite` executor:
+    /// thousands of sessions overlapping on a few worker threads, the shape
+    /// remote backends want. A blocking backend needs
+    /// `workers >= sessions`.
+    Async {
+        /// Executor worker threads carrying all session tasks (clamped to
+        /// at least one).
+        workers: usize,
+    },
+}
+
+/// Options of the unified driver entry point — see the [module docs](self)
+/// for the full tour.
+///
+/// The lifetime `'v` is the borrow of the attached verifier; options without
+/// one are `ExecutionOptions<'static>`.
+#[derive(Clone, Copy, Default)]
+pub struct ExecutionOptions<'v> {
+    /// The driver carrying the sessions.
+    pub driver: Driver,
+    /// Retry/recording policy, shared by every driver.
+    pub client: ClientOptions,
+    /// Optional streaming verifier fed every finished attempt in commit
+    /// order (the order attempts settle under the chosen driver). With
+    /// [`LiveVerifier`] built `stop_on_violation`, a latched violation stops
+    /// sessions from starting further templates on any driver.
+    pub verifier: Option<&'v LiveVerifier>,
+}
+
+impl std::fmt::Debug for ExecutionOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutionOptions")
+            .field("driver", &self.driver)
+            .field("client", &self.client)
+            .field("verifier", &self.verifier.is_some())
+            .finish()
+    }
+}
+
+impl ExecutionOptions<'static> {
+    /// Defaults: [`Driver::Threaded`], default [`ClientOptions`], no
+    /// verifier.
+    pub fn new() -> Self {
+        ExecutionOptions::default()
+    }
+
+    /// The threaded driver (one OS thread per session).
+    pub fn threaded() -> Self {
+        ExecutionOptions::new()
+    }
+
+    /// The deterministic interleaved driver with `schedule_seed`.
+    pub fn interleaved(schedule_seed: u64) -> Self {
+        ExecutionOptions::new().driver(Driver::Interleaved { schedule_seed })
+    }
+
+    /// The async driver with `workers` executor threads.
+    pub fn async_workers(workers: usize) -> Self {
+        ExecutionOptions::new().driver(Driver::Async { workers })
+    }
+}
+
+impl<'v> ExecutionOptions<'v> {
+    /// Replaces the driver.
+    pub fn driver(mut self, driver: Driver) -> Self {
+        self.driver = driver;
+        self
+    }
+
+    /// Replaces the whole client policy.
+    pub fn client(mut self, client: ClientOptions) -> Self {
+        self.client = client;
+        self
+    }
+
+    /// Sets [`ClientOptions::max_retries`].
+    pub fn max_retries(mut self, max_retries: u32) -> Self {
+        self.client.max_retries = max_retries;
+        self
+    }
+
+    /// Sets [`ClientOptions::record_aborted`].
+    pub fn record_aborted(mut self, record_aborted: bool) -> Self {
+        self.client.record_aborted = record_aborted;
+        self
+    }
+
+    /// Attaches a streaming verifier for the duration of the run.
+    pub fn verifier(self, verifier: &LiveVerifier) -> ExecutionOptions<'_> {
+        ExecutionOptions {
+            driver: self.driver,
+            client: self.client,
+            verifier: Some(verifier),
+        }
+    }
+
+    /// Executes `workload` against `db` under the configured driver and
+    /// returns the collected history plus execution statistics. If a
+    /// verifier is attached, its time-to-first-violation clock is restarted
+    /// here and every finished attempt is recorded; call
+    /// [`LiveVerifier::finish`] afterwards for the verification outcome.
+    pub fn run(&self, db: &dyn DbBackend, workload: &Workload) -> (History, ExecutionReport) {
+        if let Some(v) = self.verifier {
+            v.mark_started();
+        }
+        match self.driver {
+            Driver::Threaded => execute_threaded(db, workload, &self.client, self.verifier),
+            Driver::Interleaved { schedule_seed } => {
+                execute_interleaved(db, workload, &self.client, schedule_seed, self.verifier)
+            }
+            Driver::Async { workers } => {
+                crate::async_exec::execute_async(db, workload, &self.client, workers, self.verifier)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::BackendSpec;
+    use crate::config::{DbConfig, IsolationMode};
+    use crate::db::Database;
+    use crate::faults::{FaultKind, FaultSpec};
+    use mtc_core::IsolationLevel;
+    use mtc_workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
+
+    fn spec(sessions: u32, txns: u32, keys: u64, seed: u64) -> MtWorkloadSpec {
+        MtWorkloadSpec {
+            sessions,
+            txns_per_session: txns,
+            num_keys: keys,
+            distribution: Distribution::Uniform,
+            read_only_fraction: 0.2,
+            two_key_fraction: 0.5,
+            seed,
+        }
+    }
+
+    /// Every driver satisfies the same accounting invariants on the same
+    /// workload; blocking engines skip the drivers documented as unsuited.
+    #[test]
+    fn all_drivers_agree_on_invariants_across_the_fleet() {
+        let s = spec(4, 12, 8, 31);
+        let workload = generate_mt_workload(&s);
+        for backend_spec in BackendSpec::fleet(s.num_keys) {
+            let drivers: &[Driver] = if backend_spec.blocking() {
+                &[Driver::Threaded, Driver::Async { workers: 4 }]
+            } else {
+                &[
+                    Driver::Threaded,
+                    Driver::Interleaved { schedule_seed: 7 },
+                    Driver::Async { workers: 2 },
+                ]
+            };
+            for &driver in drivers {
+                let db = backend_spec.build();
+                let (history, report) = ExecutionOptions::new().driver(driver).run(&*db, &workload);
+                assert!(
+                    report.committed > 0,
+                    "{} / {driver:?}: nothing committed",
+                    backend_spec.label()
+                );
+                assert_eq!(report.committed + report.failed, workload.txn_count());
+                assert_eq!(report.attempts, report.committed + report.aborted_attempts);
+                assert_eq!(history.committed_count(), report.committed + 1); // + ⊥T
+                assert!(history.has_unique_values());
+            }
+        }
+    }
+
+    /// A verifier attaches to *any* driver and reaches the same verdict the
+    /// batch checker reaches over the collected history.
+    #[test]
+    fn verifier_rides_every_driver() {
+        let s = spec(3, 20, 8, 17);
+        let workload = generate_mt_workload(&s);
+        for driver in [
+            Driver::Threaded,
+            Driver::Interleaved { schedule_seed: 5 },
+            Driver::Async { workers: 2 },
+        ] {
+            let db = Database::new(DbConfig::correct(IsolationMode::Serializable, s.num_keys));
+            let verifier =
+                LiveVerifier::builder(IsolationLevel::Serializability, s.num_keys).build();
+            let (history, _) = ExecutionOptions::new()
+                .driver(driver)
+                .verifier(&verifier)
+                .run(&db, &workload);
+            let outcome = verifier.finish();
+            assert!(
+                outcome.verdict.unwrap().is_satisfied(),
+                "{driver:?}: clean run must verify clean"
+            );
+            assert_eq!(
+                outcome.checked_txns,
+                history.len() - 1,
+                "{driver:?}: the verifier must consume every recorded transaction"
+            );
+            let batch = mtc_core::check_streaming(IsolationLevel::Serializability, &history);
+            assert!(batch.unwrap().is_satisfied());
+        }
+    }
+
+    /// stop_on_violation truncates the run on the deterministic driver too:
+    /// the faulty engine is caught and no session starts a template after
+    /// the latch.
+    #[test]
+    fn stop_on_violation_truncates_interleaved_runs() {
+        let s = spec(4, 150, 4, 7);
+        let workload = generate_mt_workload(&s);
+        let config = DbConfig::correct(IsolationMode::Snapshot, s.num_keys)
+            .with_faults(vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.6)], 7);
+        let db = Database::new(config);
+        let verifier = LiveVerifier::builder(IsolationLevel::SnapshotIsolation, s.num_keys)
+            .stop_on_violation(true)
+            .build();
+        let (_, report) = ExecutionOptions::interleaved(3)
+            .verifier(&verifier)
+            .run(&db, &workload);
+        let outcome = verifier.finish();
+        assert!(outcome.verdict.unwrap().is_violated());
+        let total = (s.sessions * s.txns_per_session) as usize;
+        assert!(
+            report.committed < total,
+            "stop-on-violation must truncate the schedule ({} of {total} committed)",
+            report.committed
+        );
+    }
+
+    /// The deprecated wrappers stay behaviourally identical to the unified
+    /// entry point (they are the compatibility contract of this redesign).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_unified_api() {
+        let s = spec(3, 15, 6, 23);
+        let workload = generate_mt_workload(&s);
+        let opts = ClientOptions::default();
+
+        let db = crate::backends::WeakMvccDatabase::new(crate::backends::WeakLevel::ReadCommitted);
+        let (h_old, r_old) = crate::execute_workload_interleaved(&db, &workload, &opts, 42);
+        let db = crate::backends::WeakMvccDatabase::new(crate::backends::WeakLevel::ReadCommitted);
+        let (h_new, r_new) = ExecutionOptions::interleaved(42).run(&db, &workload);
+        assert_eq!(r_old.committed, r_new.committed);
+        assert_eq!(h_old.len(), h_new.len());
+        for (a, b) in h_old.txns().iter().zip(h_new.txns()) {
+            assert_eq!(a.ops, b.ops);
+        }
+    }
+}

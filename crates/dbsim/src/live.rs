@@ -18,17 +18,16 @@
 //! per-session renumbering of the final [`History`](mtc_history::History).
 
 use crate::backend::DbBackend;
-use crate::client::{issue_ops, ClientOptions};
+use crate::client::ClientOptions;
 use mtc_core::{
     CheckError, CheckerSnapshot, GcPolicy, IncrementalChecker, IsolationLevel, ShardTuning,
     ShardedIncrementalChecker, StreamStatus, Verdict, Violation,
 };
-use mtc_history::{
-    History, HistoryBuilder, Op, SessionId, Transaction, TxnId, TxnStatus, ValueAllocator,
-};
+use mtc_history::{History, Op, SessionId, Transaction, TxnId, TxnStatus};
 use mtc_store::MtcStore;
 use mtc_workload::Workload;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -225,51 +224,210 @@ pub struct LiveOutcome {
     pub sink_error: Option<String>,
 }
 
+/// Chained-setter construction of a [`LiveVerifier`] — the one way the
+/// daemon (and everything else) builds one.
+///
+/// Replaces the historical constructor sprawl (`new` / `new_tuned` /
+/// `with_tuning` / `with_store` / `with_gc` / `from_resumed`, all now
+/// deprecated wrappers over this type): tuning, GC policy, durable store and
+/// resume source are orthogonal knobs, so they compose as setters instead of
+/// multiplying constructors.
+///
+/// ```
+/// use mtc_core::{GcPolicy, IsolationLevel};
+/// use mtc_dbsim::LiveVerifier;
+///
+/// let verifier = LiveVerifier::builder(IsolationLevel::Serializability, 16)
+///     .stop_on_violation(true)
+///     .gc(GcPolicy { window: 64, every: 16, reader_cap: 0 })
+///     .build();
+/// assert!(!verifier.is_violated());
+/// ```
+pub struct LiveVerifierBuilder {
+    level: IsolationLevel,
+    num_keys: u64,
+    stop_on_violation: bool,
+    tuning: Option<ShardTuning>,
+    gc: Option<GcPolicy>,
+    store: Option<(MtcStore, usize)>,
+    resume: Option<IncrementalChecker>,
+}
+
+impl LiveVerifierBuilder {
+    /// When set, sessions executing through [`crate::ExecutionOptions`] with
+    /// this verifier attached stop issuing new transactions once a violation
+    /// is latched. Defaults to `false`.
+    pub fn stop_on_violation(mut self, stop: bool) -> Self {
+        self.stop_on_violation = stop;
+        self
+    }
+
+    /// Shard geometry picked by the autotuner ([`mtc_core::tune`]): on a
+    /// single-core box this is the sequential backend; with spare cores the
+    /// per-key edge derivation fans out across the sharded checker's worker
+    /// pool.
+    pub fn autotuned(self) -> Self {
+        self.tuning(mtc_core::tune())
+    }
+
+    /// Explicit shard geometry. `tuning.shards <= 1` selects the sequential
+    /// backend; otherwise transactions are buffered (at most `tuning.batch`,
+    /// capped at [`LIVE_BATCH_CAP`] to bound the `stop_on_violation` latch
+    /// delay) and fed to a [`ShardedIncrementalChecker`] batch by batch.
+    /// Verdicts are identical to the sequential backend's in every case.
+    /// Ignored when a [`LiveVerifierBuilder::resume_from`] source is set (a
+    /// recovered snapshot is sequential checker state).
+    pub fn tuning(mut self, tuning: ShardTuning) -> Self {
+        self.tuning = Some(tuning);
+        self
+    }
+
+    /// Enables settled-prefix garbage collection on the backing checker:
+    /// resident state stays proportional to the GC window instead of the
+    /// run length (see [`GcPolicy`] for the staleness-window contract).
+    pub fn gc(mut self, policy: GcPolicy) -> Self {
+        self.gc = Some(policy);
+        self
+    }
+
+    /// Attaches a durable write-ahead sink: every recorded transaction is
+    /// appended to `store` *before* the checker consumes it, and a
+    /// checkpoint (a complete [`CheckerSnapshot`]) is written every
+    /// `checkpoint_every` recorded transactions. After a crash,
+    /// [`mtc_store::recover`] + [`IncrementalChecker::resume`] + replay of
+    /// the logged tail reproduce the uninterrupted verdict.
+    pub fn store(mut self, store: MtcStore, checkpoint_every: usize) -> Self {
+        self.store = Some((store, checkpoint_every));
+        self
+    }
+
+    /// Resumes from an already-populated checker — the recovery path:
+    /// recover a store, replay the logged tail into
+    /// [`IncrementalChecker::resume`]'s result, then hand it here to keep
+    /// verifying live. The latch state is inherited from the checker; the
+    /// builder's `level`/`num_keys` and any [`LiveVerifierBuilder::tuning`]
+    /// are ignored (the snapshot already fixes them).
+    pub fn resume_from(mut self, checker: IncrementalChecker) -> Self {
+        self.resume = Some(checker);
+        self
+    }
+
+    /// Builds the verifier.
+    pub fn build(self) -> LiveVerifier {
+        let v = match self.resume {
+            Some(checker) => LiveVerifier::resume_checker(checker, self.stop_on_violation),
+            None => {
+                let checker = match self.tuning {
+                    Some(tuning) if tuning.shards > 1 => {
+                        let batch = tuning.batch.clamp(1, LIVE_BATCH_CAP);
+                        LiveChecker::Sharded {
+                            checker: ShardedIncrementalChecker::new(self.level, tuning.shards)
+                                .with_init_keys(0..self.num_keys),
+                            buf: Vec::with_capacity(batch),
+                            batch,
+                        }
+                    }
+                    _ => LiveChecker::Sequential(
+                        IncrementalChecker::new(self.level).with_init_keys(0..self.num_keys),
+                    ),
+                };
+                LiveVerifier::from_checker(checker, self.stop_on_violation)
+            }
+        };
+        {
+            let mut inner = v.inner.lock();
+            if let Some(policy) = self.gc {
+                inner.checker.set_gc(policy);
+            }
+            if let Some((store, checkpoint_every)) = self.store {
+                inner.sink = Some(StoreSink {
+                    store,
+                    checkpoint_every: checkpoint_every.max(1),
+                    since_checkpoint: 0,
+                    error: None,
+                });
+            }
+        }
+        v
+    }
+}
+
+/// One finished transaction attempt, as fed to a [`LiveVerifier`] — the
+/// serializable unit the verification service ingests over the wire.
+/// `begin`/`end` carry the backend's logical clock when known; without them
+/// the SSER mode degenerates to SER (see [`LiveVerifier::record_timed`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IngestEvent {
+    /// Session (client thread) the attempt ran on.
+    pub session: u32,
+    /// The attempt's operations in issue order.
+    pub ops: Vec<Op>,
+    /// Whether the attempt committed or aborted.
+    pub status: TxnStatus,
+    /// Begin timestamp on the backend's logical clock, if known.
+    pub begin: Option<u64>,
+    /// Commit-acknowledgement timestamp, if known.
+    pub end: Option<u64>,
+}
+
+impl IngestEvent {
+    /// An event with both instants known.
+    pub fn timed(session: u32, ops: Vec<Op>, status: TxnStatus, begin: u64, end: u64) -> Self {
+        IngestEvent {
+            session,
+            ops,
+            status,
+            begin: Some(begin),
+            end: Some(end),
+        }
+    }
+}
+
 impl LiveVerifier {
-    /// A live verifier for `level` over a database pre-initialized with
-    /// `num_keys` register keys, backed by the sequential incremental
-    /// checker. When `stop_on_violation` is set, sessions executing through
-    /// [`execute_workload_live`] stop issuing new transactions once a
-    /// violation is latched.
+    /// Starts building a live verifier for `level` over a database
+    /// pre-initialized with `num_keys` register keys. See
+    /// [`LiveVerifierBuilder`].
+    pub fn builder(level: IsolationLevel, num_keys: u64) -> LiveVerifierBuilder {
+        LiveVerifierBuilder {
+            level,
+            num_keys,
+            stop_on_violation: false,
+            tuning: None,
+            gc: None,
+            store: None,
+            resume: None,
+        }
+    }
+
+    /// A live verifier backed by the sequential incremental checker.
+    #[deprecated(note = "use `LiveVerifier::builder(level, num_keys).stop_on_violation(..)`")]
     pub fn new(level: IsolationLevel, num_keys: u64, stop_on_violation: bool) -> Self {
-        LiveVerifier::from_checker(
-            LiveChecker::Sequential(IncrementalChecker::new(level).with_init_keys(0..num_keys)),
-            stop_on_violation,
-        )
+        LiveVerifier::builder(level, num_keys)
+            .stop_on_violation(stop_on_violation)
+            .build()
     }
 
-    /// A live verifier with the shard geometry picked by the autotuner
-    /// ([`mtc_core::tune`]): on a single-core box this is exactly
-    /// [`LiveVerifier::new`]; with spare cores the per-key edge derivation
-    /// fans out across the sharded checker's worker pool.
+    /// A live verifier with the shard geometry picked by the autotuner.
+    #[deprecated(note = "use `LiveVerifier::builder(level, num_keys).autotuned()`")]
     pub fn new_tuned(level: IsolationLevel, num_keys: u64, stop_on_violation: bool) -> Self {
-        LiveVerifier::with_tuning(level, num_keys, stop_on_violation, mtc_core::tune())
+        LiveVerifier::builder(level, num_keys)
+            .stop_on_violation(stop_on_violation)
+            .autotuned()
+            .build()
     }
 
-    /// A live verifier with an explicit shard geometry. `tuning.shards <= 1`
-    /// selects the sequential backend; otherwise transactions are buffered
-    /// (at most `tuning.batch`, capped at [`LIVE_BATCH_CAP`] to bound the
-    /// `stop_on_violation` latch delay) and fed to a
-    /// [`ShardedIncrementalChecker`] batch by batch. Verdicts are identical
-    /// to the sequential backend's in every case.
+    /// A live verifier with an explicit shard geometry.
+    #[deprecated(note = "use `LiveVerifier::builder(level, num_keys).tuning(tuning)`")]
     pub fn with_tuning(
         level: IsolationLevel,
         num_keys: u64,
         stop_on_violation: bool,
         tuning: ShardTuning,
     ) -> Self {
-        let checker = if tuning.shards <= 1 {
-            LiveChecker::Sequential(IncrementalChecker::new(level).with_init_keys(0..num_keys))
-        } else {
-            let batch = tuning.batch.clamp(1, LIVE_BATCH_CAP);
-            LiveChecker::Sharded {
-                checker: ShardedIncrementalChecker::new(level, tuning.shards)
-                    .with_init_keys(0..num_keys),
-                buf: Vec::with_capacity(batch),
-                batch,
-            }
-        };
-        LiveVerifier::from_checker(checker, stop_on_violation)
+        LiveVerifier::builder(level, num_keys)
+            .stop_on_violation(stop_on_violation)
+            .tuning(tuning)
+            .build()
     }
 
     fn from_checker(checker: LiveChecker, stop_on_violation: bool) -> Self {
@@ -285,11 +443,9 @@ impl LiveVerifier {
         }
     }
 
-    /// Wraps an already-populated checker — the resume path: recover a
-    /// store, replay the logged tail into [`IncrementalChecker::resume`]'s
-    /// result, then hand it here to keep verifying live. The latch state is
-    /// inherited from the checker.
-    pub fn from_resumed(checker: IncrementalChecker, stop_on_violation: bool) -> Self {
+    /// Wraps an already-populated checker, inheriting its latch state — the
+    /// implementation behind [`LiveVerifierBuilder::resume_from`].
+    fn resume_checker(checker: IncrementalChecker, stop_on_violation: bool) -> Self {
         let violated = checker.is_violated();
         let v = LiveVerifier::from_checker(LiveChecker::Sequential(checker), stop_on_violation);
         if violated {
@@ -299,12 +455,14 @@ impl LiveVerifier {
         v
     }
 
-    /// Attaches a durable write-ahead sink: every recorded transaction is
-    /// appended to `store` *before* the checker consumes it, and a
-    /// checkpoint (a complete [`CheckerSnapshot`]) is written every
-    /// `checkpoint_every` recorded transactions. After a crash,
-    /// [`mtc_store::recover`] + [`IncrementalChecker::resume`] + replay of
-    /// the logged tail reproduce the uninterrupted verdict.
+    /// Wraps an already-populated checker — the resume path.
+    #[deprecated(note = "use `LiveVerifier::builder(..).resume_from(checker)`")]
+    pub fn from_resumed(checker: IncrementalChecker, stop_on_violation: bool) -> Self {
+        LiveVerifier::resume_checker(checker, stop_on_violation)
+    }
+
+    /// Attaches a durable write-ahead sink.
+    #[deprecated(note = "use `LiveVerifier::builder(..).store(store, checkpoint_every)`")]
     pub fn with_store(self, store: MtcStore, checkpoint_every: usize) -> Self {
         self.inner.lock().sink = Some(StoreSink {
             store,
@@ -315,9 +473,8 @@ impl LiveVerifier {
         self
     }
 
-    /// Enables settled-prefix garbage collection on the backing checker:
-    /// resident state stays proportional to the GC window instead of the
-    /// run length (see [`GcPolicy`] for the staleness-window contract).
+    /// Enables settled-prefix garbage collection on the backing checker.
+    #[deprecated(note = "use `LiveVerifier::builder(..).gc(policy)`")]
     pub fn with_gc(self, policy: GcPolicy) -> Self {
         self.inner.lock().checker.set_gc(policy);
         self
@@ -327,6 +484,24 @@ impl LiveVerifier {
     /// (once steady state is reached) when a GC policy is set.
     pub fn live_txn_count(&self) -> usize {
         self.inner.lock().checker.live_txn_count()
+    }
+
+    /// Transactions consumed by the checker so far (excluding `⊥T` and any
+    /// transactions still buffered by the sharded backend) — the "checked"
+    /// half of a tenant's ingest lag.
+    pub fn consumed(&self) -> usize {
+        self.inner.lock().checker.consumed()
+    }
+
+    /// Index of the first violating transaction (excluding `⊥T`), once a
+    /// violation has latched.
+    pub fn first_violation_at(&self) -> Option<usize> {
+        let inner = self.inner.lock();
+        inner
+            .first_violation
+            .as_ref()
+            .map(|v| v.at_txn)
+            .or_else(|| inner.checker.first_violation_index())
     }
 
     /// Restarts the time-to-first-violation clock. Called by
@@ -370,6 +545,18 @@ impl LiveVerifier {
         end: u64,
     ) {
         self.record_inner(session, ops, status, Some((begin, end)))
+    }
+
+    /// Feeds one wire-shaped [`IngestEvent`] — [`LiveVerifier::record_timed`]
+    /// when both instants are present, [`LiveVerifier::record`] otherwise.
+    /// This is the entry point the verification service's per-tenant drain
+    /// uses.
+    pub fn record_event(&self, event: IngestEvent) {
+        let times = match (event.begin, event.end) {
+            (Some(begin), Some(end)) => Some((begin, end)),
+            _ => None,
+        };
+        self.record_inner(event.session, event.ops, event.status, times)
     }
 
     fn record_inner(
@@ -480,123 +667,25 @@ impl LiveVerifier {
 }
 
 /// Executes `workload` against `db` — any [`DbBackend`] — with one thread
-/// per session, like [`crate::execute_workload`], while feeding every
-/// finished attempt to `verifier`. Returns the collected history and
-/// execution statistics; call [`LiveVerifier::finish`] afterwards for the
+/// per session, like the threaded driver, while feeding every finished
+/// attempt to `verifier`. Returns the collected history and execution
+/// statistics; call [`LiveVerifier::finish`] afterwards for the
 /// verification outcome.
+#[deprecated(
+    note = "use `ExecutionOptions::threaded().client(*opts).verifier(verifier).run(db, \
+                     workload)`"
+)]
 pub fn execute_workload_live(
     db: &dyn DbBackend,
     workload: &Workload,
     opts: &ClientOptions,
     verifier: &LiveVerifier,
 ) -> (History, ExecutionReportLive) {
-    verifier.mark_started();
-    let start = Instant::now();
-    type SessionLog = (
-        u32,
-        Vec<(Vec<Op>, TxnStatus, u64, u64)>,
-        usize,
-        usize,
-        usize,
-    );
-    let mut session_logs: Vec<SessionLog> = Vec::new();
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for session in &workload.sessions {
-            let sid = session.session;
-            let templates = &session.txns;
-            handles.push(scope.spawn(move || {
-                let mut allocator = ValueAllocator::new(sid);
-                let mut records = Vec::with_capacity(templates.len());
-                let (mut committed, mut aborted, mut attempts) = (0usize, 0usize, 0usize);
-                'templates: for template in templates {
-                    if verifier.should_stop() {
-                        break 'templates;
-                    }
-                    let mut retries = 0u32;
-                    let mut first_begin = None;
-                    loop {
-                        attempts += 1;
-                        // Retries reuse the first attempt's begin instant so
-                        // wait-die backends let the transaction keep ageing
-                        // (see `DbBackend::begin_retry`).
-                        let mut handle = match first_begin {
-                            None => db.begin(),
-                            Some(ts) => db.begin_retry(ts),
-                        };
-                        let begin = handle.begin_ts();
-                        first_begin.get_or_insert(begin);
-                        let issued = issue_ops(handle.as_mut(), &template.ops, &mut allocator);
-                        let ops = issued.ops;
-                        let result = match issued.failed {
-                            Some(reason) => {
-                                let _ = handle.abort();
-                                Err(reason)
-                            }
-                            None => handle.commit(),
-                        };
-                        match result {
-                            Ok(info) => {
-                                committed += 1;
-                                verifier.record_timed(
-                                    sid,
-                                    ops.clone(),
-                                    TxnStatus::Committed,
-                                    begin,
-                                    info.commit_ts,
-                                );
-                                records.push((ops, TxnStatus::Committed, begin, info.commit_ts));
-                                break;
-                            }
-                            Err(reason) => {
-                                aborted += 1;
-                                // Empty attempts (first op died in the
-                                // backend) are not mini-transactions and
-                                // ambiguous remote commits have no known
-                                // outcome — counted but not recorded.
-                                if opts.should_record_abort(&ops, reason) {
-                                    let end = db.now();
-                                    verifier.record_timed(
-                                        sid,
-                                        ops.clone(),
-                                        TxnStatus::Aborted,
-                                        begin,
-                                        end,
-                                    );
-                                    records.push((ops, TxnStatus::Aborted, begin, end));
-                                }
-                                if !opts.should_retry(retries, reason) {
-                                    break;
-                                }
-                                retries += 1;
-                            }
-                        }
-                    }
-                }
-                (sid, records, committed, aborted, attempts)
-            }));
-        }
-        for h in handles {
-            session_logs.push(h.join().expect("live client thread panicked"));
-        }
-    });
-
-    session_logs.sort_by_key(|(s, ..)| *s);
-    let mut builder = HistoryBuilder::new().with_init(workload.num_keys);
-    let mut report = ExecutionReportLive {
-        wall_time: start.elapsed(),
-        ..ExecutionReportLive::default()
-    };
-    for (sid, records, committed, aborted, attempts) in session_logs {
-        report.committed += committed;
-        report.aborted_attempts += aborted;
-        report.attempts += attempts;
-        for (ops, status, begin, end) in records {
-            builder.push_timed(sid, ops, status, begin, end);
-        }
-    }
-    (builder.build(), report)
+    let (history, report) = crate::ExecutionOptions::threaded()
+        .client(*opts)
+        .verifier(verifier)
+        .run(db, workload);
+    (history, report.into())
 }
 
 /// Statistics of one live-verified execution. (A separate type from
@@ -625,6 +714,19 @@ impl ExecutionReportLive {
     }
 }
 
+impl From<crate::ExecutionReport> for ExecutionReportLive {
+    /// Drops the "failed templates" count, which a truncated live run
+    /// cannot interpret.
+    fn from(r: crate::ExecutionReport) -> Self {
+        ExecutionReportLive {
+            committed: r.committed,
+            aborted_attempts: r.aborted_attempts,
+            attempts: r.attempts,
+            wall_time: r.wall_time,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -645,14 +747,27 @@ mod tests {
         }
     }
 
+    /// The unified threaded-driver call the old `execute_workload_live`
+    /// free function used to be.
+    fn run_live(
+        db: &dyn DbBackend,
+        workload: &Workload,
+        opts: &ClientOptions,
+        verifier: &LiveVerifier,
+    ) -> (History, crate::ExecutionReport) {
+        crate::ExecutionOptions::threaded()
+            .client(*opts)
+            .verifier(verifier)
+            .run(db, workload)
+    }
+
     #[test]
     fn clean_database_passes_live_verification() {
         let s = spec(3, 16, 50);
         let workload = generate_mt_workload(&s);
         let db = Database::new(DbConfig::correct(IsolationMode::Serializable, s.num_keys));
-        let verifier = LiveVerifier::new(IsolationLevel::Serializability, s.num_keys, false);
-        let (history, report) =
-            execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+        let verifier = LiveVerifier::builder(IsolationLevel::Serializability, s.num_keys).build();
+        let (history, report) = run_live(&db, &workload, &ClientOptions::default(), &verifier);
         assert!(report.committed > 0);
         let outcome = verifier.finish();
         assert!(outcome.verdict.unwrap().is_satisfied());
@@ -671,9 +786,9 @@ mod tests {
         let s = spec(5, 8, 60);
         let workload = generate_mt_workload(&s);
         let db = Database::new(DbConfig::correct(IsolationMode::Serializable, s.num_keys));
-        let verifier = LiveVerifier::new(IsolationLevel::StrictSerializability, s.num_keys, false);
-        let (history, _) =
-            execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+        let verifier =
+            LiveVerifier::builder(IsolationLevel::StrictSerializability, s.num_keys).build();
+        let (history, _) = run_live(&db, &workload, &ClientOptions::default(), &verifier);
         let outcome = verifier.finish();
         assert!(
             outcome.verdict.unwrap().is_satisfied(),
@@ -697,8 +812,9 @@ mod tests {
             )
         };
 
-        let ser_verifier = LiveVerifier::new(IsolationLevel::Serializability, s.num_keys, false);
-        execute_workload_live(
+        let ser_verifier =
+            LiveVerifier::builder(IsolationLevel::Serializability, s.num_keys).build();
+        run_live(
             &make_db(),
             &workload,
             &ClientOptions::default(),
@@ -710,8 +826,10 @@ mod tests {
         );
 
         let sser_verifier =
-            LiveVerifier::new(IsolationLevel::StrictSerializability, s.num_keys, true);
-        execute_workload_live(
+            LiveVerifier::builder(IsolationLevel::StrictSerializability, s.num_keys)
+                .stop_on_violation(true)
+                .build();
+        run_live(
             &make_db(),
             &workload,
             &ClientOptions::default(),
@@ -735,10 +853,10 @@ mod tests {
         let s = spec(3, 16, 50);
         let workload = generate_mt_workload(&s);
         let db = Database::new(DbConfig::correct(IsolationMode::Serializable, s.num_keys));
-        let verifier =
-            LiveVerifier::with_tuning(IsolationLevel::Serializability, s.num_keys, false, tuning);
-        let (history, _) =
-            execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+        let verifier = LiveVerifier::builder(IsolationLevel::Serializability, s.num_keys)
+            .tuning(tuning)
+            .build();
+        let (history, _) = run_live(&db, &workload, &ClientOptions::default(), &verifier);
         let outcome = verifier.finish();
         assert!(outcome.verdict.unwrap().is_satisfied());
         assert!(outcome.first_violation.is_none());
@@ -754,9 +872,11 @@ mod tests {
             .with_latency(Duration::from_micros(200), Duration::from_micros(100))
             .with_faults(vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.6)], 7);
         let db = Database::new(config);
-        let verifier =
-            LiveVerifier::with_tuning(IsolationLevel::SnapshotIsolation, s.num_keys, true, tuning);
-        let (_, _) = execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+        let verifier = LiveVerifier::builder(IsolationLevel::SnapshotIsolation, s.num_keys)
+            .stop_on_violation(true)
+            .tuning(tuning)
+            .build();
+        let (_, _) = run_live(&db, &workload, &ClientOptions::default(), &verifier);
         let outcome = verifier.finish();
         assert!(
             outcome.verdict.unwrap().is_violated(),
@@ -772,9 +892,10 @@ mod tests {
         let s = spec(11, 8, 40);
         let workload = generate_mt_workload(&s);
         let db = Database::new(DbConfig::correct(IsolationMode::Serializable, s.num_keys));
-        let verifier = LiveVerifier::new_tuned(IsolationLevel::Serializability, s.num_keys, false);
-        let (history, _) =
-            execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+        let verifier = LiveVerifier::builder(IsolationLevel::Serializability, s.num_keys)
+            .autotuned()
+            .build();
+        let (history, _) = run_live(&db, &workload, &ClientOptions::default(), &verifier);
         let outcome = verifier.finish();
         assert!(outcome.verdict.unwrap().is_satisfied());
         assert_eq!(outcome.checked_txns, history.len() - 1);
@@ -802,7 +923,9 @@ mod tests {
             },
         )
         .unwrap();
-        let verifier = LiveVerifier::new(level, s.num_keys, false).with_store(store, 25);
+        let verifier = LiveVerifier::builder(level, s.num_keys)
+            .store(store, 25)
+            .build();
         // Skip aborted-attempt records: how many conflict aborts occur (and
         // get logged) depends on thread scheduling, and this test asserts
         // the log's record count exactly.
@@ -810,7 +933,7 @@ mod tests {
             record_aborted: false,
             ..ClientOptions::default()
         };
-        let (_, report) = execute_workload_live(&db, &workload, &opts, &verifier);
+        let (_, report) = run_live(&db, &workload, &opts, &verifier);
         // "Crash": drop the verifier without finish(). The log was written
         // ahead of the checker; the sink synced at each checkpoint.
         drop(verifier);
@@ -853,8 +976,11 @@ mod tests {
             },
         )
         .unwrap();
-        let verifier = LiveVerifier::new(level, s.num_keys, true).with_store(store, 20);
-        let (_, _) = execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+        let verifier = LiveVerifier::builder(level, s.num_keys)
+            .stop_on_violation(true)
+            .store(store, 20)
+            .build();
+        let (_, _) = run_live(&db, &workload, &ClientOptions::default(), &verifier);
         let outcome = verifier.finish();
         assert!(outcome.sink_error.is_none(), "{:?}", outcome.sink_error);
         let live_verdict = outcome.verdict.unwrap();
@@ -880,12 +1006,13 @@ mod tests {
         // session threads; sizing the window for a deployment is the
         // operator's knob).
         let keys = 16u64;
-        let verifier =
-            LiveVerifier::new(IsolationLevel::Serializability, keys, false).with_gc(GcPolicy {
+        let verifier = LiveVerifier::builder(IsolationLevel::Serializability, keys)
+            .gc(GcPolicy {
                 window: 64,
                 every: 16,
                 reader_cap: 0,
-            });
+            })
+            .build();
         let mut last = vec![0u64; keys as usize];
         let n = 800u64;
         for i in 0..n {
@@ -918,8 +1045,10 @@ mod tests {
             .with_latency(Duration::from_micros(200), Duration::from_micros(100))
             .with_faults(vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.6)], 7);
         let db = Database::new(config);
-        let verifier = LiveVerifier::new(IsolationLevel::SnapshotIsolation, s.num_keys, true);
-        let (_, _) = execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+        let verifier = LiveVerifier::builder(IsolationLevel::SnapshotIsolation, s.num_keys)
+            .stop_on_violation(true)
+            .build();
+        let (_, _) = run_live(&db, &workload, &ClientOptions::default(), &verifier);
         let outcome = verifier.finish();
         let total = (s.sessions * s.txns_per_session) as usize;
         assert!(

@@ -35,6 +35,7 @@ pub mod proto;
 pub mod server;
 
 pub use client::{NetBackend, NetOptions, NetTxn};
+pub use proto::TenantStatus;
 pub use server::{serve, spec_for_label, NetServer};
 
 #[cfg(test)]

@@ -20,7 +20,7 @@
 //! [`DbBackend::now`]: mtc_dbsim::DbBackend::now
 
 use mtc_core::IsolationLevel;
-use mtc_dbsim::AbortReason;
+use mtc_dbsim::{AbortReason, IngestEvent};
 use mtc_history::{Key, Value};
 use mtc_store::frame::{read_frame, write_frame, FrameError, FRAME_HEADER, MAX_FRAME_LEN};
 use serde::{Deserialize, Serialize};
@@ -28,7 +28,9 @@ use std::io::{Read, Write};
 
 /// Protocol version; bumped on any incompatible message change. The
 /// `Hello` exchange rejects mismatched peers instead of misdecoding them.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added the verification-service role (`OpenTenant` / `Ingest` /
+/// `TenantStatus` / `CloseTenant` and their replies).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// A client request, wrapped in a [`RequestEnvelope`].
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -88,6 +90,39 @@ pub enum Request {
     },
     /// Clock read; the answer rides in the envelope's `now` field.
     Now,
+    /// **Service role.** Open (or resume) the named verification tenant.
+    /// Execution servers answer service-role requests with [`Reply::Error`];
+    /// only `mtc-service` daemons accept them.
+    OpenTenant {
+        /// Tenant name — also its per-tenant WAL directory name.
+        tenant: String,
+        /// Isolation level the tenant's stream is checked against.
+        level: IsolationLevel,
+        /// Pre-initialized key space of the tenant's database.
+        num_keys: u64,
+    },
+    /// **Service role.** Feed a batch of finished transaction attempts into
+    /// tenant `tenant`'s ingest queue. Admission is all-or-nothing: either
+    /// the whole batch is queued ([`Reply::Ingested`]) or none of it is
+    /// ([`Reply::Backpressure`]) — events are never silently dropped.
+    Ingest {
+        /// Tenant id from [`Reply::TenantOpened`].
+        tenant: u64,
+        /// The finished attempts, in session order.
+        events: Vec<IngestEvent>,
+    },
+    /// **Service role.** Live verdict/lag/queue/RSS statistics for tenant
+    /// `tenant`.
+    TenantStatus {
+        /// Tenant id from [`Reply::TenantOpened`].
+        tenant: u64,
+    },
+    /// **Service role.** Drain, checkpoint and close tenant `tenant`,
+    /// returning its final verdict summary.
+    CloseTenant {
+        /// Tenant id from [`Reply::TenantOpened`].
+        tenant: u64,
+    },
 }
 
 /// A server reply, wrapped in a [`ReplyEnvelope`].
@@ -127,6 +162,77 @@ pub enum Reply {
     /// Protocol-level failure (unknown transaction id, bad handshake).
     /// The connection is not usable for the affected transaction.
     Error(String),
+    /// **Service role.** The tenant is open; answer to
+    /// [`Request::OpenTenant`].
+    TenantOpened {
+        /// Tenant id for subsequent `Ingest`/`TenantStatus`/`CloseTenant`.
+        tenant: u64,
+        /// Transactions already durable in the tenant's WAL (non-zero when
+        /// the open resumed an existing tenant directory).
+        resumed_txns: u64,
+        /// Whether the resume restarted from a checkpoint snapshot (as
+        /// opposed to a scratch replay of the log).
+        from_checkpoint: bool,
+    },
+    /// **Service role.** The whole `Ingest` batch was admitted to the
+    /// tenant's queue.
+    Ingested {
+        /// Events admitted (the batch size).
+        accepted: u64,
+    },
+    /// **Service role.** The tenant's bounded queue cannot take the batch;
+    /// nothing was admitted. The client should drain/wait and retry —
+    /// backpressure, not loss.
+    Backpressure {
+        /// Events currently queued for the tenant.
+        queue_depth: u64,
+        /// The tenant's queue capacity.
+        queue_cap: u64,
+    },
+    /// **Service role.** Live statistics; answer to
+    /// [`Request::TenantStatus`].
+    TenantStat(TenantStatus),
+    /// **Service role.** Final verdict summary; answer to
+    /// [`Request::CloseTenant`].
+    TenantClosed {
+        /// Transactions the tenant's checker consumed over its lifetime.
+        checked: u64,
+        /// Whether an isolation violation latched.
+        violated: bool,
+        /// Index of the first violating transaction (excluding `⊥T`).
+        first_violation_at: Option<u64>,
+    },
+}
+
+/// Live per-tenant statistics, carried by [`Reply::TenantStat`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantStatus {
+    /// Tenant name.
+    pub name: String,
+    /// Events admitted to the queue over the tenant's lifetime (including
+    /// any recovered from the WAL on resume).
+    pub ingested: u64,
+    /// Transactions the checker has consumed (excluding `⊥T`). The
+    /// tenant's ingest lag is `ingested - checked`.
+    pub checked: u64,
+    /// Events currently queued, not yet consumed by the checker.
+    pub queue_depth: u64,
+    /// The bounded queue's capacity.
+    pub queue_cap: u64,
+    /// `Ingest` batches refused with [`Reply::Backpressure`] so far.
+    pub backpressured: u64,
+    /// Whether an isolation violation has latched.
+    pub violated: bool,
+    /// Index of the first violating transaction, once latched.
+    pub first_violation_at: Option<u64>,
+    /// Transactions currently resident in the checker (bounded by the GC
+    /// window in steady state).
+    pub live_txns: u64,
+    /// Checkpoints written to the tenant's WAL so far.
+    pub checkpoints: u64,
+    /// The daemon process's peak resident set (`VmHWM`), in KiB — process
+    /// wide, reported identically for every tenant.
+    pub rss_kb: u64,
 }
 
 /// A sequenced client request.
@@ -212,6 +318,23 @@ mod tests {
             Request::Commit { txn: 7 },
             Request::Abort { txn: 8 },
             Request::Now,
+            Request::OpenTenant {
+                tenant: "acct-7".to_string(),
+                level: IsolationLevel::SnapshotIsolation,
+                num_keys: 64,
+            },
+            Request::Ingest {
+                tenant: 3,
+                events: vec![IngestEvent::timed(
+                    2,
+                    vec![mtc_history::Op::write(Key(1), Value(9))],
+                    mtc_history::TxnStatus::Committed,
+                    10,
+                    12,
+                )],
+            },
+            Request::TenantStatus { tenant: 3 },
+            Request::CloseTenant { tenant: 3 },
         ];
         let mut wire = Vec::new();
         for (i, request) in reqs.iter().enumerate() {
@@ -247,6 +370,34 @@ mod tests {
             Reply::Committed { commit_ts: 12 },
             Reply::Aborted(AbortReason::Deadlock),
             Reply::Error("unknown txn".to_string()),
+            Reply::TenantOpened {
+                tenant: 3,
+                resumed_txns: 17,
+                from_checkpoint: true,
+            },
+            Reply::Ingested { accepted: 5 },
+            Reply::Backpressure {
+                queue_depth: 1024,
+                queue_cap: 1024,
+            },
+            Reply::TenantStat(TenantStatus {
+                name: "acct-7".to_string(),
+                ingested: 100,
+                checked: 98,
+                queue_depth: 2,
+                queue_cap: 1024,
+                backpressured: 1,
+                violated: false,
+                first_violation_at: None,
+                live_txns: 40,
+                checkpoints: 3,
+                rss_kb: 12345,
+            }),
+            Reply::TenantClosed {
+                checked: 100,
+                violated: true,
+                first_violation_at: Some(61),
+            },
         ];
         for reply in replies {
             let mut wire = Vec::new();

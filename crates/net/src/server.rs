@@ -197,6 +197,15 @@ fn execute<'b>(
             }
         },
         Request::Now => Reply::Done,
+        // Service-role requests (tenant streams) belong to `mtc-service`
+        // daemons; an execution server refuses them explicitly rather than
+        // misdecoding or hanging.
+        Request::OpenTenant { .. }
+        | Request::Ingest { .. }
+        | Request::TenantStatus { .. }
+        | Request::CloseTenant { .. } => {
+            Reply::Error("this is an execution server, not a verification service".to_string())
+        }
     }
 }
 

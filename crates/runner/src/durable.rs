@@ -19,7 +19,7 @@
 
 use crate::exec::{verify, Checker, VerifyOutcome};
 use mtc_core::{CheckError, GcPolicy, IncrementalChecker, IsolationLevel, Verdict};
-use mtc_dbsim::{execute_workload_live, ClientOptions, DbBackend, LiveVerifier};
+use mtc_dbsim::{ClientOptions, DbBackend, ExecutionOptions, LiveVerifier};
 use mtc_store::{recover, MtcStore, StoreError, StreamMeta};
 use mtc_workload::Workload;
 use std::path::Path;
@@ -76,12 +76,17 @@ pub fn record_streaming(
             num_keys: workload.num_keys,
         },
     )?;
-    let mut verifier = LiveVerifier::new(level, workload.num_keys, opts.stop_on_violation)
-        .with_store(store, opts.checkpoint_every);
+    let mut builder = LiveVerifier::builder(level, workload.num_keys)
+        .stop_on_violation(opts.stop_on_violation)
+        .store(store, opts.checkpoint_every);
     if let Some(policy) = opts.gc {
-        verifier = verifier.with_gc(policy);
+        builder = builder.gc(policy);
     }
-    let (_history, report) = execute_workload_live(db, workload, client, &verifier);
+    let verifier = builder.build();
+    let (_history, report) = ExecutionOptions::threaded()
+        .client(*client)
+        .verifier(&verifier)
+        .run(db, workload);
     let outcome = verifier.finish();
     Ok(RecordOutcome {
         verdict: outcome.verdict,

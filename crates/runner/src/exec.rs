@@ -14,10 +14,7 @@ use mtc_core::{
     build_dependency, check_ser, check_si, check_sser, check_sser_naive, tune, IncrementalChecker,
     IsolationLevel, ShardedIncrementalChecker,
 };
-use mtc_dbsim::{
-    execute_workload, execute_workload_live, ClientOptions, DbBackend, ExecutionReport,
-    LiveVerifier,
-};
+use mtc_dbsim::{ClientOptions, DbBackend, ExecutionOptions, ExecutionReport, LiveVerifier};
 use mtc_history::{History, HistoryBuilder, Op, SessionId, TxnStatus, ValueAllocator};
 use mtc_workload::{ElleOpTemplate, ElleWorkload, Workload};
 use serde::{Deserialize, Serialize};
@@ -240,7 +237,7 @@ pub fn run_register_workload(
     workload: &Workload,
     opts: &ClientOptions,
 ) -> (History, ExecutionReport) {
-    execute_workload(db, workload, opts)
+    ExecutionOptions::threaded().client(*opts).run(db, workload)
 }
 
 /// A complete end-to-end measurement: generation plus verification.
@@ -323,8 +320,14 @@ pub fn end_to_end_streaming(
     level: IsolationLevel,
     stop_on_violation: bool,
 ) -> StreamingEndToEnd {
-    let verifier = LiveVerifier::new_tuned(level, workload.num_keys, stop_on_violation);
-    let (_history, report) = execute_workload_live(db, workload, opts, &verifier);
+    let verifier = LiveVerifier::builder(level, workload.num_keys)
+        .stop_on_violation(stop_on_violation)
+        .autotuned()
+        .build();
+    let (_history, report) = ExecutionOptions::threaded()
+        .client(*opts)
+        .verifier(&verifier)
+        .run(db, workload);
     let outcome = verifier.finish();
     let (violated, detail) = match &outcome.verdict {
         Ok(verdict) => (

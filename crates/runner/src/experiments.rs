@@ -717,12 +717,7 @@ pub fn backend_matrix(sweep: &BackendSweep) -> Table {
         let (history, report) = if backend_spec.blocking() {
             run_register_workload(db.as_ref(), &workload, &ClientOptions::default())
         } else {
-            mtc_dbsim::execute_workload_interleaved(
-                db.as_ref(),
-                &workload,
-                &ClientOptions::default(),
-                0xBACD,
-            )
+            mtc_dbsim::ExecutionOptions::interleaved(0xBACD).run(db.as_ref(), &workload)
         };
         let mut verdicts = Vec::new();
         let mut promises = Vec::new();
@@ -772,11 +767,7 @@ pub fn backend_matrix(sweep: &BackendSweep) -> Table {
         let spec = mtc_net::spec_for_label(engine, sweep.num_keys).expect("fleet label resolves");
         let server = mtc_net::NetServer::spawn(spec).expect("loopback server spawns");
         let db = mtc_net::NetBackend::connect(server.addr()).expect("loopback connect");
-        let async_opts = mtc_dbsim::AsyncOptions {
-            client: ClientOptions::default(),
-            workers: 2,
-        };
-        let (history, report) = mtc_dbsim::execute_workload_async(&db, &workload, &async_opts);
+        let (history, report) = mtc_dbsim::ExecutionOptions::async_workers(2).run(&db, &workload);
         let mut verdicts = Vec::new();
         let mut promises = Vec::new();
         let mut stream_agrees = true;

@@ -1,0 +1,81 @@
+//! The verification daemon: tenant streams over framed TCP, until killed.
+//!
+//! ```text
+//! mtc_service_server --root DIR [--addr 127.0.0.1:0] [--queue-cap N]
+//!                    [--checkpoint-every N] [--drain-workers N]
+//! ```
+//!
+//! Prints `listening on <addr>` on stdout once bound (the line the smoke
+//! harnesses scrape), then serves until the process dies. There is no
+//! graceful-shutdown path on purpose: crash-resume from the per-tenant
+//! WALs *is* the shutdown story, and the smoke tests SIGKILL this binary
+//! to prove it.
+
+use mtc_service::{serve, ServiceConfig, ServiceCore};
+use std::io::Write;
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mtc_service_server --root DIR [--addr HOST:PORT] [--queue-cap N] \
+         [--checkpoint-every N] [--drain-workers N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<String> = None;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut queue_cap: Option<usize> = None;
+    let mut checkpoint_every: Option<usize> = None;
+    let mut drain_workers: Option<usize> = None;
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--root" => root = Some(value()),
+            "--addr" => addr = value(),
+            "--queue-cap" => queue_cap = value().parse().ok(),
+            "--checkpoint-every" => checkpoint_every = value().parse().ok(),
+            "--drain-workers" => drain_workers = value().parse().ok(),
+            _ => usage(),
+        }
+    }
+    let Some(root) = root else { usage() };
+
+    let mut config = ServiceConfig::new(root);
+    if let Some(cap) = queue_cap {
+        config = config.queue_cap(cap);
+    }
+    if let Some(every) = checkpoint_every {
+        config = config.checkpoint_every(every);
+    }
+    if let Some(workers) = drain_workers {
+        config = config.drain_workers(workers);
+    }
+
+    let core = Arc::new(ServiceCore::new(config).unwrap_or_else(|e| {
+        eprintln!("cannot initialize service root: {e}");
+        std::process::exit(1)
+    }));
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1)
+    });
+    println!(
+        "listening on {}",
+        listener.local_addr().expect("bound socket has an address")
+    );
+    let _ = std::io::stdout().flush();
+
+    let drain_core = Arc::clone(&core);
+    std::thread::spawn(move || drain_core.run_drain());
+
+    let shutdown = AtomicBool::new(false);
+    if let Err(e) = serve(core.as_ref(), listener, &shutdown) {
+        eprintln!("accept loop failed: {e}");
+        std::process::exit(1)
+    }
+}

@@ -1,0 +1,171 @@
+//! The tenant-side handle: one connection, typed calls, explicit
+//! backpressure.
+//!
+//! [`ServiceClient`] wraps one TCP connection to a daemon and exposes the
+//! service role as methods. [`ServiceClient::ingest`] surfaces
+//! backpressure as a value ([`IngestOutcome::Backpressure`]) so callers
+//! own their back-off policy; [`ServiceClient::ingest_all`] is the common
+//! policy canned: retry the same batch with a short sleep until admitted
+//! (all-or-nothing admission makes the retry safe — a refused batch
+//! admitted nothing).
+
+use mtc_core::IsolationLevel;
+use mtc_dbsim::IngestEvent;
+use mtc_net::proto::{self, Reply, Request, RequestEnvelope, TenantStatus, PROTOCOL_VERSION};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+pub use crate::core::{TenantOpen, TenantSummary};
+
+/// Outcome of one non-blocking ingest call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The whole batch was admitted.
+    Accepted(u64),
+    /// The daemon refused the whole batch; retry it after backing off.
+    Backpressure {
+        /// Events queued at the tenant when the batch was refused.
+        queue_depth: u64,
+        /// The tenant's queue capacity.
+        queue_cap: u64,
+    },
+}
+
+/// One connection to a verification daemon.
+pub struct ServiceClient {
+    stream: TcpStream,
+    seq: u64,
+}
+
+impl ServiceClient {
+    /// Connects and handshakes; fails on a protocol-version mismatch or if
+    /// the peer is not a verification service.
+    pub fn connect(addr: SocketAddr) -> io::Result<ServiceClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = ServiceClient { stream, seq: 0 };
+        match client.call(Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Reply::Hello { version, .. } if version == PROTOCOL_VERSION => Ok(client),
+            Reply::Hello { version, .. } => Err(io::Error::other(format!(
+                "server speaks protocol {version}, client {PROTOCOL_VERSION}"
+            ))),
+            Reply::Error(e) => Err(io::Error::other(e)),
+            other => Err(unexpected("Hello", &other)),
+        }
+    }
+
+    fn call(&mut self, request: Request) -> io::Result<Reply> {
+        let seq = self.seq;
+        self.seq += 1;
+        proto::send(&mut self.stream, &RequestEnvelope { seq, request })?;
+        loop {
+            let env: proto::ReplyEnvelope = proto::recv(&mut self.stream)?;
+            if env.seq == seq {
+                return Ok(env.reply);
+            }
+            if env.seq > seq {
+                return Err(io::Error::other(format!(
+                    "reply sequence ran ahead: got {}, waiting for {seq}",
+                    env.seq
+                )));
+            }
+            // Smaller seq: stale duplicate; discard and keep waiting.
+        }
+    }
+
+    /// Opens (or resumes, or re-attaches to) tenant `name`.
+    pub fn open_tenant(
+        &mut self,
+        name: &str,
+        level: IsolationLevel,
+        num_keys: u64,
+    ) -> io::Result<TenantOpen> {
+        match self.call(Request::OpenTenant {
+            tenant: name.to_string(),
+            level,
+            num_keys,
+        })? {
+            Reply::TenantOpened {
+                tenant,
+                resumed_txns,
+                from_checkpoint,
+            } => Ok(TenantOpen {
+                tenant,
+                resumed_txns,
+                from_checkpoint,
+            }),
+            Reply::Error(e) => Err(io::Error::other(e)),
+            other => Err(unexpected("OpenTenant", &other)),
+        }
+    }
+
+    /// Offers one batch; never blocks on a full queue.
+    pub fn ingest(&mut self, tenant: u64, events: Vec<IngestEvent>) -> io::Result<IngestOutcome> {
+        match self.call(Request::Ingest { tenant, events })? {
+            Reply::Ingested { accepted } => Ok(IngestOutcome::Accepted(accepted)),
+            Reply::Backpressure {
+                queue_depth,
+                queue_cap,
+            } => Ok(IngestOutcome::Backpressure {
+                queue_depth,
+                queue_cap,
+            }),
+            Reply::Error(e) => Err(io::Error::other(e)),
+            other => Err(unexpected("Ingest", &other)),
+        }
+    }
+
+    /// Offers one batch until admitted, sleeping `backoff` between refused
+    /// attempts. Returns how many backpressure replies were absorbed.
+    pub fn ingest_all(
+        &mut self,
+        tenant: u64,
+        events: Vec<IngestEvent>,
+        backoff: Duration,
+    ) -> io::Result<u64> {
+        let mut refused = 0u64;
+        loop {
+            match self.ingest(tenant, events.clone())? {
+                IngestOutcome::Accepted(_) => return Ok(refused),
+                IngestOutcome::Backpressure { .. } => {
+                    refused += 1;
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+
+    /// A point-in-time stats snapshot of the tenant.
+    pub fn status(&mut self, tenant: u64) -> io::Result<TenantStatus> {
+        match self.call(Request::TenantStatus { tenant })? {
+            Reply::TenantStat(status) => Ok(status),
+            Reply::Error(e) => Err(io::Error::other(e)),
+            other => Err(unexpected("TenantStatus", &other)),
+        }
+    }
+
+    /// Closes the tenant: waits for its queue to drain, finishes the
+    /// checker, returns the stream verdict summary.
+    pub fn close_tenant(&mut self, tenant: u64) -> io::Result<TenantSummary> {
+        match self.call(Request::CloseTenant { tenant })? {
+            Reply::TenantClosed {
+                checked,
+                violated,
+                first_violation_at,
+            } => Ok(TenantSummary {
+                checked,
+                violated,
+                first_violation_at,
+            }),
+            Reply::Error(e) => Err(io::Error::other(e)),
+            other => Err(unexpected("CloseTenant", &other)),
+        }
+    }
+}
+
+fn unexpected(what: &str, reply: &Reply) -> io::Error {
+    io::Error::other(format!("unexpected reply to {what}: {reply:?}"))
+}

@@ -1,0 +1,567 @@
+//! The protocol-independent heart of the daemon: the tenant registry, the
+//! per-tenant admission queue / checker / WAL assembly, and the drain loop
+//! that multiplexes ingestion over the `futures_lite` executor.
+//!
+//! A [`Tenant`] is three pieces glued by locks chosen for their contention
+//! profile:
+//!
+//! * a **bounded admission queue** (`Mutex<VecDeque<IngestEvent>>`):
+//!   connection handlers push whole `Ingest` batches all-or-nothing, or
+//!   refuse with `Backpressure` when the batch would overflow — admission
+//!   never blocks an ingest RPC on verification;
+//! * a **single-flight drain lock** held across pop-and-record, so any
+//!   number of drain workers preserve admission order per tenant (two
+//!   workers that popped consecutive batches could otherwise record them
+//!   in either order, which would corrupt session order and the verdict);
+//! * the tenant's [`LiveVerifier`], built *exclusively* through
+//!   [`LiveVerifier::builder`]: settled-prefix GC on, write-ahead
+//!   [`MtcStore`] WAL under `root/<tenant>/` with periodic checkpoints, and
+//!   — when the directory already holds a log — resumed from the newest
+//!   checkpoint plus tail replay.
+//!
+//! [`ServiceCore::run_drain`] runs the drain as a fixed set of cooperative
+//! futures on [`futures_lite::executor::run_all`]: each worker sweeps the
+//! registry round-robin (offset by its index so workers spread over
+//! tenants), drains one bounded batch per tenant, and yields between
+//! tenants.
+
+use mtc_core::{GcPolicy, IncrementalChecker, IsolationLevel};
+use mtc_dbsim::{IngestEvent, LiveVerifier};
+use mtc_net::proto::TenantStatus;
+use mtc_store::{MtcStore, StreamMeta};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning of a [`ServiceCore`]; every knob has a serviceable default.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Root directory of the per-tenant WAL stores (`root/<tenant>/`).
+    pub root: PathBuf,
+    /// Per-tenant admission queue capacity, in events. An `Ingest` batch
+    /// that would push the queue past this is refused whole with a
+    /// `Backpressure` reply — events are never partially admitted and never
+    /// dropped after admission.
+    pub queue_cap: usize,
+    /// A checkpoint (full checker snapshot) is written to the tenant's WAL
+    /// every this many recorded events.
+    pub checkpoint_every: usize,
+    /// Settled-prefix GC policy applied to every tenant's checker, or
+    /// `None` to retain the full stream.
+    pub gc: Option<GcPolicy>,
+    /// Worker futures (and executor threads) carrying the drain loop.
+    pub drain_workers: usize,
+    /// Events a drain worker feeds a tenant's checker per sweep — the unit
+    /// of fairness across tenants.
+    pub drain_batch: usize,
+}
+
+impl ServiceConfig {
+    /// Defaults rooted at `root`: 1024-event queues, checkpoint every 256
+    /// events, default GC policy, 2 drain workers, 128-event drain batches.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        ServiceConfig {
+            root: root.into(),
+            queue_cap: 1024,
+            checkpoint_every: 256,
+            gc: Some(GcPolicy::default()),
+            drain_workers: 2,
+            drain_batch: 128,
+        }
+    }
+
+    /// Replaces the admission queue capacity.
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap.max(1);
+        self
+    }
+
+    /// Replaces the checkpoint cadence.
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// Replaces (or disables, with `None`) the per-tenant GC policy.
+    pub fn gc(mut self, gc: Option<GcPolicy>) -> Self {
+        self.gc = gc;
+        self
+    }
+
+    /// Replaces the drain worker count.
+    pub fn drain_workers(mut self, workers: usize) -> Self {
+        self.drain_workers = workers.max(1);
+        self
+    }
+}
+
+/// Admission verdict of one `Ingest` batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// The whole batch was queued.
+    Accepted(u64),
+    /// The batch would overflow the queue; nothing was admitted. The
+    /// client backs off and retries the same batch.
+    Backpressure {
+        /// Events currently queued.
+        queue_depth: u64,
+        /// The queue capacity.
+        queue_cap: u64,
+    },
+}
+
+/// What [`ServiceCore::close_tenant`] distills out of
+/// [`mtc_dbsim::LiveOutcome`] for the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantSummary {
+    /// Events the checker consumed over the tenant's lifetime (including
+    /// any resumed prefix).
+    pub checked: u64,
+    /// True iff the stream violated its isolation level.
+    pub violated: bool,
+    /// Stream index of the first violating transaction, if any.
+    pub first_violation_at: Option<u64>,
+}
+
+/// Result of opening (or re-attaching to) a tenant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantOpen {
+    /// The tenant handle subsequent `Ingest`/`TenantStatus`/`CloseTenant`
+    /// requests use.
+    pub tenant: u64,
+    /// Logged transactions already consumed when the stream resumed (0 for
+    /// a fresh stream).
+    pub resumed_txns: u64,
+    /// True iff the resume restarted from a checkpoint snapshot rather
+    /// than replaying the log from scratch.
+    pub from_checkpoint: bool,
+}
+
+struct TenantQueue {
+    queue: VecDeque<IngestEvent>,
+    closing: bool,
+}
+
+/// One named verification stream: queue, drain lock, verifier, counters.
+pub struct Tenant {
+    name: String,
+    level: IsolationLevel,
+    num_keys: u64,
+    queue_cap: usize,
+    checkpoint_every: usize,
+    queue: Mutex<TenantQueue>,
+    /// Single-flight drain: held across pop-and-record so concurrent drain
+    /// workers cannot reorder a tenant's events.
+    drain: Mutex<()>,
+    verifier: Mutex<Option<LiveVerifier>>,
+    /// Drain freeze — the deterministic-backpressure knob for tests and
+    /// operations. Admission stays open until the queue fills.
+    paused: AtomicBool,
+    ingested: AtomicU64,
+    drained: AtomicU64,
+    backpressured: AtomicU64,
+}
+
+impl Tenant {
+    /// All-or-nothing admission of one batch.
+    fn ingest(&self, events: Vec<IngestEvent>) -> Result<Admission, String> {
+        let mut q = self.queue.lock();
+        if q.closing {
+            return Err(format!("tenant \"{}\" is closing", self.name));
+        }
+        if q.queue.len() + events.len() > self.queue_cap {
+            self.backpressured.fetch_add(1, Ordering::Relaxed);
+            return Ok(Admission::Backpressure {
+                queue_depth: q.queue.len() as u64,
+                queue_cap: self.queue_cap as u64,
+            });
+        }
+        let n = events.len() as u64;
+        q.queue.extend(events);
+        self.ingested.fetch_add(n, Ordering::Relaxed);
+        Ok(Admission::Accepted(n))
+    }
+
+    /// Feeds at most `cap` queued events to the checker, in admission
+    /// order. Returns how many were recorded; 0 when the queue is empty,
+    /// the tenant is paused, or another worker is already draining it.
+    fn drain_batch(&self, cap: usize) -> usize {
+        let Some(_flight) = self.drain.try_lock() else {
+            return 0;
+        };
+        if self.paused.load(Ordering::Acquire) {
+            return 0;
+        }
+        let batch: Vec<IngestEvent> = {
+            let mut q = self.queue.lock();
+            let n = q.queue.len().min(cap);
+            q.queue.drain(..n).collect()
+        };
+        if batch.is_empty() {
+            return 0;
+        }
+        let n = batch.len();
+        let guard = self.verifier.lock();
+        if let Some(v) = guard.as_ref() {
+            for event in batch {
+                v.record_event(event);
+            }
+        }
+        drop(guard);
+        self.drained.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// Seals the tenant: refuses further admission, drains the queue to
+    /// empty (unpausing if needed), then finishes the verifier.
+    fn close(&self) -> Result<TenantSummary, String> {
+        {
+            let mut q = self.queue.lock();
+            if q.closing {
+                return Err(format!("tenant \"{}\" is already closing", self.name));
+            }
+            q.closing = true;
+        }
+        self.paused.store(false, Ordering::Release);
+        // Waits out any in-flight drain batch, then keeps workers off while
+        // we drain the remainder ourselves (close must not depend on the
+        // drain loop even running).
+        let _flight = self.drain.lock();
+        loop {
+            let batch: Vec<IngestEvent> = {
+                let mut q = self.queue.lock();
+                let n = q.queue.len();
+                q.queue.drain(..n).collect()
+            };
+            if batch.is_empty() {
+                break;
+            }
+            let n = batch.len() as u64;
+            let guard = self.verifier.lock();
+            let Some(v) = guard.as_ref() else {
+                return Err(format!("tenant \"{}\" is already closed", self.name));
+            };
+            for event in batch {
+                v.record_event(event);
+            }
+            drop(guard);
+            self.drained.fetch_add(n, Ordering::Relaxed);
+        }
+        let verifier = self
+            .verifier
+            .lock()
+            .take()
+            .ok_or_else(|| format!("tenant \"{}\" is already closed", self.name))?;
+        let outcome = verifier.finish();
+        let violated = match &outcome.verdict {
+            Ok(verdict) => verdict.is_violated(),
+            // A checker domain error means the stream cannot be certified.
+            Err(_) => true,
+        };
+        Ok(TenantSummary {
+            checked: outcome.checked_txns as u64,
+            violated,
+            // `finish()` already falls back to the checker's latched index
+            // for violations that only surfaced on the final flush.
+            first_violation_at: outcome.first_violation.map(|v| v.at_txn as u64),
+        })
+    }
+
+    /// A point-in-time stats snapshot; `rss_kb` is the daemon process RSS
+    /// (shared across tenants — the per-tenant share is not separable).
+    fn status(&self, rss_kb: u64) -> TenantStatus {
+        let (queue_depth, _closing) = {
+            let q = self.queue.lock();
+            (q.queue.len() as u64, q.closing)
+        };
+        let (checked, violated, first_violation_at, live_txns) = {
+            let guard = self.verifier.lock();
+            match guard.as_ref() {
+                Some(v) => (
+                    v.consumed() as u64,
+                    v.is_violated(),
+                    v.first_violation_at().map(|i| i as u64),
+                    v.live_txn_count() as u64,
+                ),
+                None => (self.drained.load(Ordering::Relaxed), false, None, 0),
+            }
+        };
+        TenantStatus {
+            name: self.name.clone(),
+            ingested: self.ingested.load(Ordering::Relaxed),
+            checked,
+            queue_depth,
+            queue_cap: self.queue_cap as u64,
+            backpressured: self.backpressured.load(Ordering::Relaxed),
+            violated,
+            first_violation_at,
+            live_txns,
+            // Cadence-derived: checkpoints written since this process
+            // opened the stream (the sink checkpoints every
+            // `checkpoint_every` recorded events).
+            checkpoints: self.drained.load(Ordering::Relaxed) / self.checkpoint_every as u64,
+            rss_kb,
+        }
+    }
+}
+
+struct Registry {
+    next_id: u64,
+    by_id: HashMap<u64, Arc<Tenant>>,
+    by_name: HashMap<String, u64>,
+}
+
+/// The daemon state shared by every connection handler and drain worker.
+pub struct ServiceCore {
+    config: ServiceConfig,
+    tenants: Mutex<Registry>,
+    shutdown: AtomicBool,
+}
+
+impl ServiceCore {
+    /// Creates the core, making sure the WAL root exists.
+    pub fn new(config: ServiceConfig) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&config.root)?;
+        Ok(ServiceCore {
+            config,
+            tenants: Mutex::new(Registry {
+                next_id: 1,
+                by_id: HashMap::new(),
+                by_name: HashMap::new(),
+            }),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The configuration the core was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Opens tenant `name` at `level` over a `num_keys`-key space.
+    ///
+    /// Fresh name → fresh WAL directory and empty checker. Name whose
+    /// directory already holds a log (an earlier daemon run, crashed or
+    /// closed) → the stream *resumes*: newest intact checkpoint snapshot,
+    /// tail replay, verdict-equivalent to never having stopped. Name
+    /// already open in this process → re-attach to the running tenant
+    /// (same handle semantics as opening a second connection).
+    pub fn open_tenant(
+        &self,
+        name: &str,
+        level: IsolationLevel,
+        num_keys: u64,
+    ) -> Result<TenantOpen, String> {
+        if name.is_empty() {
+            return Err("tenant name must be non-empty".to_string());
+        }
+        let mut reg = self.tenants.lock();
+        if let Some(&id) = reg.by_name.get(name) {
+            // Re-attach: the stream's level/keyspace were fixed at first
+            // open; a mismatched re-open is a client bug.
+            let tenant = &reg.by_id[&id];
+            if tenant.level != level || tenant.num_keys != num_keys {
+                return Err(format!(
+                    "tenant \"{name}\" is open at {} over {} keys; \
+                     requested {level} over {num_keys}",
+                    tenant.level, tenant.num_keys
+                ));
+            }
+            return Ok(TenantOpen {
+                tenant: id,
+                resumed_txns: 0,
+                from_checkpoint: false,
+            });
+        }
+
+        let dir = self.config.root.join(tenant_dir_name(name));
+        let (resumed_txns, from_checkpoint, verifier) = if dir.exists() {
+            let (store, recovery) =
+                MtcStore::open_append(&dir).map_err(|e| format!("open tenant store: {e}"))?;
+            if recovery.meta.level != level || recovery.meta.num_keys != num_keys {
+                return Err(format!(
+                    "tenant \"{name}\" already has a stream at {} over {} keys; \
+                     requested {level} over {num_keys}",
+                    recovery.meta.level, recovery.meta.num_keys
+                ));
+            }
+            let mut checker = match recovery.snapshot.clone() {
+                Some(snapshot) => IncrementalChecker::resume(snapshot),
+                None => IncrementalChecker::new(level).with_init_keys(0..num_keys),
+            };
+            for txn in recovery.tail() {
+                let _ = checker.push(txn.clone());
+            }
+            let mut builder = LiveVerifier::builder(level, num_keys)
+                .resume_from(checker)
+                .store(store, self.config.checkpoint_every);
+            if let Some(gc) = self.config.gc {
+                builder = builder.gc(gc);
+            }
+            (
+                recovery.txns.len() as u64,
+                recovery.snapshot.is_some(),
+                builder.build(),
+            )
+        } else {
+            let store = MtcStore::create(&dir, &StreamMeta { level, num_keys })
+                .map_err(|e| format!("create tenant store: {e}"))?;
+            let mut builder =
+                LiveVerifier::builder(level, num_keys).store(store, self.config.checkpoint_every);
+            if let Some(gc) = self.config.gc {
+                builder = builder.gc(gc);
+            }
+            (0, false, builder.build())
+        };
+
+        let id = reg.next_id;
+        reg.next_id += 1;
+        let tenant = Arc::new(Tenant {
+            name: name.to_string(),
+            level,
+            num_keys,
+            queue_cap: self.config.queue_cap,
+            checkpoint_every: self.config.checkpoint_every,
+            queue: Mutex::new(TenantQueue {
+                queue: VecDeque::new(),
+                closing: false,
+            }),
+            drain: Mutex::new(()),
+            verifier: Mutex::new(Some(verifier)),
+            paused: AtomicBool::new(false),
+            ingested: AtomicU64::new(resumed_txns),
+            drained: AtomicU64::new(resumed_txns),
+            backpressured: AtomicU64::new(0),
+        });
+        reg.by_id.insert(id, tenant);
+        reg.by_name.insert(name.to_string(), id);
+        Ok(TenantOpen {
+            tenant: id,
+            resumed_txns,
+            from_checkpoint,
+        })
+    }
+
+    fn tenant(&self, id: u64) -> Result<Arc<Tenant>, String> {
+        self.tenants
+            .lock()
+            .by_id
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| format!("unknown tenant id {id}"))
+    }
+
+    /// Admits one `Ingest` batch, all-or-nothing.
+    pub fn ingest(&self, id: u64, events: Vec<IngestEvent>) -> Result<Admission, String> {
+        self.tenant(id)?.ingest(events)
+    }
+
+    /// A point-in-time stats snapshot of tenant `id`.
+    pub fn status(&self, id: u64) -> Result<TenantStatus, String> {
+        Ok(self.tenant(id)?.status(rss_kb()))
+    }
+
+    /// Freezes (or thaws) tenant `id`'s drain — admission stays open, so a
+    /// frozen tenant's queue fills and `Ingest` turns into deterministic
+    /// `Backpressure`. The lifecycle tests' backpressure knob; also an
+    /// operational valve for shedding checker load.
+    pub fn pause_tenant(&self, id: u64, paused: bool) -> Result<(), String> {
+        self.tenant(id)?.paused.store(paused, Ordering::Release);
+        Ok(())
+    }
+
+    /// Closes tenant `id`: drains the queue, finishes the checker, frees
+    /// the registry slot. The WAL directory stays — reopening the name
+    /// resumes the stream.
+    pub fn close_tenant(&self, id: u64) -> Result<TenantSummary, String> {
+        let tenant = self.tenant(id)?;
+        let summary = tenant.close()?;
+        let mut reg = self.tenants.lock();
+        reg.by_id.remove(&id);
+        reg.by_name.remove(&tenant.name);
+        Ok(summary)
+    }
+
+    /// True once [`ServiceCore::stop`] has been called.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Asks the drain loop (and anything polling
+    /// [`ServiceCore::is_shutdown`]) to wind down.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Runs the ingest drain until [`ServiceCore::stop`]: `drain_workers`
+    /// cooperative futures on the scoped `futures_lite` executor, each
+    /// sweeping the tenant registry round-robin (offset by worker index)
+    /// and yielding between tenants. Blocks the calling thread; the daemon
+    /// gives it a dedicated one.
+    pub fn run_drain(&self) {
+        let workers = self.config.drain_workers.max(1);
+        let tasks: Vec<futures_lite::executor::BoxedTask<'_, ()>> = (0..workers)
+            .map(|offset| {
+                Box::pin(self.drain_task(offset)) as futures_lite::executor::BoxedTask<'_, ()>
+            })
+            .collect();
+        futures_lite::executor::run_all(tasks, workers);
+    }
+
+    async fn drain_task(&self, offset: usize) {
+        while !self.is_shutdown() {
+            let tenants: Vec<Arc<Tenant>> =
+                { self.tenants.lock().by_id.values().cloned().collect() };
+            let mut fed = 0;
+            let n = tenants.len();
+            for i in 0..n {
+                fed += tenants[(i + offset) % n].drain_batch(self.config.drain_batch);
+                futures_lite::future::yield_now().await;
+            }
+            if fed == 0 {
+                // Idle: this worker thread has nothing else to poll, so a
+                // short blocking nap is the right kind of cheap.
+                std::thread::sleep(Duration::from_micros(500));
+                futures_lite::future::yield_now().await;
+            }
+        }
+    }
+}
+
+/// Maps a tenant name to its WAL directory name: ASCII alphanumerics,
+/// `-` and `_` pass through, everything else becomes `_` (names that
+/// collide after mapping share a directory — pick filesystem-friendly
+/// tenant names).
+fn tenant_dir_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Current resident set size of this process in KiB (Linux `/proc`; 0
+/// where unavailable).
+pub fn rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            return rest
+                .trim()
+                .trim_end_matches(" kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}

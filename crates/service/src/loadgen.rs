@@ -1,0 +1,200 @@
+//! The daemon load generator: N tenants × M sessions at full offered
+//! load, measuring sustained verification throughput and ingest latency.
+//!
+//! Shared by the `service_load` binary (scaling curve, kill/resume smoke)
+//! and the bench gate's `service/tenants-N` artifact series, so the CI
+//! numbers and the command-line numbers come from the same code.
+//!
+//! Each tenant is driven by its own thread over its own connection:
+//! generate a deterministic clean event stream ([`synthetic_events`]),
+//! send it in fixed-size batches with bounded backoff on backpressure,
+//! close the tenant (which drains and verifies the remainder), and demand
+//! `checked == sent` — the zero-loss contract: admission may refuse, but
+//! an admitted event is never dropped.
+
+use crate::client::{IngestOutcome, ServiceClient};
+use mtc_core::IsolationLevel;
+use mtc_dbsim::IngestEvent;
+use mtc_history::{Op, TxnStatus};
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Shape of one load-generation run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadSpec {
+    /// Concurrent tenants, each on its own connection and thread.
+    pub tenants: usize,
+    /// Sessions interleaved inside each tenant's stream.
+    pub sessions: u32,
+    /// Transactions per session.
+    pub txns_per_session: u32,
+    /// Keys per tenant stream.
+    pub num_keys: u64,
+    /// Isolation level every tenant verifies at.
+    pub level: IsolationLevel,
+    /// Events per `Ingest` batch.
+    pub batch: usize,
+    /// Stream seed (varies the per-tenant key walk).
+    pub seed: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            tenants: 4,
+            sessions: 4,
+            txns_per_session: 500,
+            num_keys: 32,
+            level: IsolationLevel::Serializability,
+            batch: 64,
+            seed: 1,
+        }
+    }
+}
+
+impl LoadSpec {
+    /// Events each tenant sends.
+    pub fn events_per_tenant(&self) -> u64 {
+        self.sessions as u64 * self.txns_per_session as u64
+    }
+}
+
+/// One point of the scaling curve.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadPoint {
+    /// Concurrent tenants driven.
+    pub tenants: usize,
+    /// Events sent (and verified) across all tenants.
+    pub total_txns: u64,
+    /// Wall-clock from first open to last close (verification included —
+    /// close drains the tenant).
+    pub wall: Duration,
+    /// `total_txns / wall`: sustained end-to-end verification rate.
+    pub txns_per_sec: f64,
+    /// 99th percentile of per-batch ingest latency (time until the batch
+    /// was admitted, backpressure retries included), in microseconds.
+    pub p99_ingest_micros: u64,
+    /// Backpressure replies absorbed across all tenants.
+    pub backpressure_hits: u64,
+}
+
+/// A deterministic, isolation-clean event stream for one tenant:
+/// `sessions` round-robin writers over a private key walk, every read
+/// observing the stream's latest write, monotone disjoint commit windows
+/// (clean at SER and SSER alike).
+pub fn synthetic_events(spec: &LoadSpec, tenant_idx: usize) -> Vec<IngestEvent> {
+    let total = spec.events_per_tenant();
+    // Keys start at INIT_VALUE (0) — the daemon initializes each tenant's
+    // checker with ⊥T over 0..num_keys — so the first touch reads 0.
+    let mut last = vec![0u64; spec.num_keys as usize];
+    let stride = spec.seed.wrapping_mul(2).wrapping_add(5) | 1;
+    let mut events = Vec::with_capacity(total as usize);
+    for i in 0..total {
+        let k = i
+            .wrapping_mul(stride)
+            .wrapping_add(tenant_idx as u64)
+            .rem_euclid(spec.num_keys.max(1));
+        let v = 1_000 + i;
+        // Mini-transaction discipline: read the key, then write it.
+        let ops = vec![Op::read(k, last[k as usize]), Op::write(k, v)];
+        last[k as usize] = v;
+        events.push(IngestEvent::timed(
+            (i % spec.sessions as u64) as u32,
+            ops,
+            TxnStatus::Committed,
+            10 * i + 1,
+            10 * i + 6,
+        ));
+    }
+    events
+}
+
+/// Drives `spec.tenants` tenants against the daemon at `addr` and returns
+/// the scaling point. Tenant names are `"{name_prefix}-{i}"`. Errors if
+/// any tenant loses events (`checked != sent`) or reports a violation (the
+/// synthetic stream is clean by construction).
+pub fn drive(addr: SocketAddr, spec: &LoadSpec, name_prefix: &str) -> io::Result<LoadPoint> {
+    let started = Instant::now();
+    let per_tenant = spec.events_per_tenant();
+    type TenantResult = io::Result<(Vec<u64>, u64)>;
+    let results: Vec<TenantResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.tenants)
+            .map(|t| {
+                let prefix = name_prefix.to_string();
+                scope.spawn(move || -> TenantResult {
+                    let mut client = ServiceClient::connect(addr)?;
+                    let open =
+                        client.open_tenant(&format!("{prefix}-{t}"), spec.level, spec.num_keys)?;
+                    let events = synthetic_events(spec, t);
+                    let mut latencies = Vec::with_capacity(events.len() / spec.batch + 1);
+                    let mut backpressure = 0u64;
+                    for chunk in events.chunks(spec.batch.max(1)) {
+                        let t0 = Instant::now();
+                        loop {
+                            match client.ingest(open.tenant, chunk.to_vec())? {
+                                IngestOutcome::Accepted(_) => break,
+                                IngestOutcome::Backpressure { .. } => {
+                                    backpressure += 1;
+                                    std::thread::sleep(Duration::from_micros(200));
+                                }
+                            }
+                        }
+                        latencies.push(t0.elapsed().as_micros() as u64);
+                    }
+                    let summary = client.close_tenant(open.tenant)?;
+                    if summary.checked != open.resumed_txns + per_tenant {
+                        return Err(io::Error::other(format!(
+                            "tenant {t}: sent {} events (on top of {} resumed) but only {} \
+                             were checked — events were lost",
+                            per_tenant, open.resumed_txns, summary.checked
+                        )));
+                    }
+                    if summary.violated {
+                        return Err(io::Error::other(format!(
+                            "tenant {t}: clean synthetic stream reported violated \
+                             (first at {:?})",
+                            summary.first_violation_at
+                        )));
+                    }
+                    Ok((latencies, backpressure))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(io::Error::other("load thread panicked")))
+            })
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut latencies = Vec::new();
+    let mut backpressure_hits = 0u64;
+    for r in results {
+        let (l, b) = r?;
+        latencies.extend(l);
+        backpressure_hits += b;
+    }
+    latencies.sort_unstable();
+    let p99 = percentile(&latencies, 0.99);
+    let total_txns = per_tenant * spec.tenants as u64;
+    Ok(LoadPoint {
+        tenants: spec.tenants,
+        total_txns,
+        wall,
+        txns_per_sec: total_txns as f64 / wall.as_secs_f64().max(1e-9),
+        p99_ingest_micros: p99,
+        backpressure_hits,
+    })
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}

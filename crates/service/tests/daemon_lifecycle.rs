@@ -1,0 +1,395 @@
+//! Daemon lifecycle tests: open/ingest/status/close round trips, reattach
+//! and mismatch handling, deterministic backpressure with zero loss, role
+//! separation, and SIGKILL + checkpoint resume bit-identical to a clean
+//! replay (against the real `mtc_service_server` binary).
+
+use mtc_core::IsolationLevel;
+use mtc_service::loadgen::{synthetic_events, LoadSpec};
+use mtc_service::{IngestOutcome, ServiceClient, ServiceConfig, ServiceServer};
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mtc_lifecycle_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_spec() -> LoadSpec {
+    LoadSpec {
+        tenants: 1,
+        sessions: 2,
+        txns_per_session: 60,
+        num_keys: 8,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn open_ingest_status_close_round_trip() {
+    let root = temp_root("round_trip");
+    let server = ServiceServer::spawn(ServiceConfig::new(&root)).expect("daemon spawns");
+    let mut client = ServiceClient::connect(server.addr()).expect("connect");
+    let spec = small_spec();
+    let total = spec.events_per_tenant();
+
+    let open = client
+        .open_tenant("acct", spec.level, spec.num_keys)
+        .expect("open");
+    assert_eq!(open.resumed_txns, 0, "fresh tenant resumes nothing");
+    assert!(!open.from_checkpoint);
+
+    let refused = client
+        .ingest_all(
+            open.tenant,
+            synthetic_events(&spec, 0),
+            Duration::from_micros(200),
+        )
+        .expect("ingest");
+    let status = client.status(open.tenant).expect("status");
+    assert_eq!(status.name, "acct");
+    assert_eq!(status.ingested, total);
+    assert_eq!(status.queue_cap, 1024);
+    assert!(!status.violated);
+    assert_eq!(status.backpressured, refused);
+
+    let summary = client.close_tenant(open.tenant).expect("close");
+    assert_eq!(summary.checked, total, "close must drain and verify all");
+    assert!(!summary.violated, "the synthetic stream is clean");
+
+    // The tenant is gone: its handle no longer resolves.
+    assert!(client.status(open.tenant).is_err());
+    // But its WAL survives on disk for a later resume.
+    assert!(root.join("acct").exists());
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn reattach_shares_the_stream_and_mismatched_meta_is_refused() {
+    let root = temp_root("reattach");
+    let server = ServiceServer::spawn(ServiceConfig::new(&root)).expect("daemon spawns");
+    let spec = small_spec();
+    let mut a = ServiceClient::connect(server.addr()).expect("connect");
+    let mut b = ServiceClient::connect(server.addr()).expect("connect");
+
+    let open_a = a
+        .open_tenant("shared", spec.level, spec.num_keys)
+        .expect("open");
+    // A second connection opening the same name attaches to the same stream.
+    let open_b = b
+        .open_tenant("shared", spec.level, spec.num_keys)
+        .expect("reattach");
+    assert_eq!(open_a.tenant, open_b.tenant);
+    // ... but only under the same meta: level or key-space drift is refused.
+    assert!(b
+        .open_tenant("shared", IsolationLevel::SnapshotIsolation, spec.num_keys)
+        .is_err());
+    assert!(b
+        .open_tenant("shared", spec.level, spec.num_keys + 1)
+        .is_err());
+
+    let events = synthetic_events(&spec, 0);
+    let (half_a, half_b) = events.split_at(events.len() / 2);
+    a.ingest_all(open_a.tenant, half_a.to_vec(), Duration::from_micros(200))
+        .expect("ingest a");
+    b.ingest_all(open_b.tenant, half_b.to_vec(), Duration::from_micros(200))
+        .expect("ingest b");
+    let summary = a.close_tenant(open_a.tenant).expect("close");
+    assert_eq!(summary.checked, spec.events_per_tenant());
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Freezing the drain loop (the test side door) fills the bounded queue, so
+/// admission must deterministically refuse with `Backpressure` — and after
+/// unfreezing, every refused-then-retried event is verified: shedding load
+/// never loses admitted events.
+#[test]
+fn backpressure_refuses_whole_batches_and_loses_nothing() {
+    let root = temp_root("backpressure");
+    let server = ServiceServer::spawn(ServiceConfig::new(&root).queue_cap(64)).expect("spawns");
+    let mut client = ServiceClient::connect(server.addr()).expect("connect");
+    let spec = LoadSpec {
+        sessions: 2,
+        txns_per_session: 50,
+        num_keys: 8,
+        batch: 32,
+        ..Default::default()
+    };
+    let open = client
+        .open_tenant("firehose", spec.level, spec.num_keys)
+        .expect("open");
+    server
+        .core()
+        .pause_tenant(open.tenant, true)
+        .expect("pause");
+
+    let events = synthetic_events(&spec, 0);
+    let mut sent = 0usize;
+    let mut refused = 0u64;
+    let mut stashed: Vec<_> = Vec::new();
+    for chunk in events.chunks(spec.batch) {
+        match client
+            .ingest(open.tenant, chunk.to_vec())
+            .expect("ingest call")
+        {
+            IngestOutcome::Accepted(n) => sent += n as usize,
+            IngestOutcome::Backpressure {
+                queue_depth,
+                queue_cap,
+            } => {
+                assert_eq!(queue_cap, 64);
+                assert!(
+                    queue_depth + spec.batch as u64 > queue_cap,
+                    "refusal must mean the batch would overflow"
+                );
+                refused += 1;
+                stashed.extend_from_slice(chunk);
+            }
+        }
+    }
+    assert!(refused > 0, "a frozen 64-slot queue must refuse 100 events");
+    assert!(sent as u64 <= 64);
+    let status = client.status(open.tenant).expect("status");
+    assert_eq!(status.backpressured, refused);
+    assert_eq!(
+        status.queue_depth, sent as u64,
+        "frozen queue holds all admitted"
+    );
+
+    // Thaw and resend what was refused: nothing may be lost.
+    server
+        .core()
+        .pause_tenant(open.tenant, false)
+        .expect("unpause");
+    client
+        .ingest_all(open.tenant, stashed, Duration::from_micros(200))
+        .expect("resend");
+    let summary = client.close_tenant(open.tenant).expect("close");
+    assert_eq!(summary.checked, events.len() as u64);
+    assert!(!summary.violated);
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The service role and the execution role share the protocol but not the
+/// endpoints: a verification daemon refuses execution-role requests the
+/// same way an execution server refuses service-role ones.
+#[test]
+fn the_daemon_refuses_execution_role_requests() {
+    let root = temp_root("roles");
+    let server = ServiceServer::spawn(ServiceConfig::new(&root)).expect("spawns");
+    // A NetBackend client expects an execution server. The handshake itself
+    // succeeds (same protocol), but the Hello exposes the role: a service
+    // label and no promised isolation levels ...
+    use mtc_dbsim::DbBackend;
+    let backend = mtc_net::NetBackend::connect(server.addr()).expect("shared handshake");
+    assert_eq!(backend.label(), "net/mtc-service");
+    for level in [
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::Serializability,
+        IsolationLevel::StrictSerializability,
+    ] {
+        assert!(!backend.promises(level), "a verifier promises no execution");
+    }
+    // ... and every execution-role request is refused, surfacing as a clean
+    // typed abort rather than a hang or a protocol wedge.
+    let mut txn = backend.begin();
+    assert!(txn.read_register(mtc_history::Key(0)).is_err());
+    drop(txn);
+    drop(backend);
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A violating stream is reported per tenant and does not disturb its
+/// neighbours.
+#[test]
+fn a_violating_tenant_is_isolated_from_clean_neighbours() {
+    let root = temp_root("violation");
+    let server = ServiceServer::spawn(ServiceConfig::new(&root)).expect("spawns");
+    let mut client = ServiceClient::connect(server.addr()).expect("connect");
+    let spec = small_spec();
+
+    let clean = client
+        .open_tenant("clean", spec.level, spec.num_keys)
+        .expect("open");
+    let dirty = client
+        .open_tenant("dirty", spec.level, spec.num_keys)
+        .expect("open");
+
+    client
+        .ingest_all(
+            clean.tenant,
+            synthetic_events(&spec, 0),
+            Duration::from_micros(200),
+        )
+        .expect("clean ingest");
+    // The dirty stream is a lost update: both transactions read the initial
+    // version of key 0, then both overwrite it.
+    use mtc_dbsim::IngestEvent;
+    use mtc_history::{Op, TxnStatus};
+    let lost_update = vec![
+        IngestEvent::timed(
+            0,
+            vec![Op::read(0u64, 0u64), Op::write(0u64, 1u64)],
+            TxnStatus::Committed,
+            1,
+            4,
+        ),
+        IngestEvent::timed(
+            1,
+            vec![Op::read(0u64, 0u64), Op::write(0u64, 2u64)],
+            TxnStatus::Committed,
+            2,
+            6,
+        ),
+    ];
+    client
+        .ingest_all(dirty.tenant, lost_update, Duration::from_micros(200))
+        .expect("dirty ingest");
+
+    let dirty_summary = client.close_tenant(dirty.tenant).expect("close dirty");
+    assert!(dirty_summary.violated, "the lost update must be caught");
+    let clean_summary = client.close_tenant(clean.tenant).expect("close clean");
+    assert!(
+        !clean_summary.violated,
+        "a neighbour's violation must not leak"
+    );
+    assert_eq!(clean_summary.checked, spec.events_per_tenant());
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+// ───────────────────────── kill/resume harness ─────────────────────────────
+
+fn spawn_daemon(root: &Path, extra: &[&str]) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mtc_service_server"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("daemon binary spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("daemon announces its address");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("announcement format")
+        .parse()
+        .expect("announced address parses");
+    (child, addr)
+}
+
+fn sigkill(child: &mut Child) {
+    let _ = Command::new("kill")
+        .args(["-9", &child.id().to_string()])
+        .status();
+    let _ = child.wait();
+}
+
+/// SIGKILL the real daemon binary mid-ingest, then: (a) prove offline that
+/// resuming from the newest checkpoint plus tail replay reaches the same
+/// verdict as a clean full replay of the log, and (b) restart the daemon on
+/// the same root, re-send the unlogged suffix, and close to a clean verdict
+/// over every event.
+#[test]
+fn sigkill_resume_matches_clean_replay() {
+    let root = temp_root("sigkill");
+    std::fs::create_dir_all(&root).expect("root");
+    let (mut child, addr) = spawn_daemon(&root, &["--checkpoint-every", "32"]);
+
+    let spec = LoadSpec {
+        sessions: 2,
+        txns_per_session: 80,
+        num_keys: 8,
+        batch: 16,
+        ..Default::default()
+    };
+    let events = synthetic_events(&spec, 0);
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let open = client
+        .open_tenant("phoenix", spec.level, spec.num_keys)
+        .expect("open");
+    // Send the first half, then wait until at least one checkpoint exists so
+    // the resume below genuinely starts from a snapshot.
+    let half = events.len() / 2;
+    client
+        .ingest_all(
+            open.tenant,
+            events[..half].to_vec(),
+            Duration::from_micros(200),
+        )
+        .expect("first half");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = client.status(open.tenant).expect("status");
+        if status.checkpoints >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no checkpoint after 10s (drained {})",
+            status.checked
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    sigkill(&mut child);
+    drop(client);
+
+    // (a) Offline: checkpoint + tail replay ≡ clean replay of the whole log.
+    let dir = root.join("phoenix");
+    let recovery = mtc_store::recover(&dir).expect("recover");
+    let logged = recovery.txns.len();
+    assert!(logged <= half, "only WAL'd events survive the kill");
+    let clean = mtc_core::check_streaming(spec.level, &recovery.to_history())
+        .expect("clean replay in domain");
+    let mut resumed = match &recovery.snapshot {
+        Some(snapshot) => mtc_core::IncrementalChecker::resume(snapshot.clone()),
+        None => mtc_core::IncrementalChecker::new(spec.level).with_init_keys(0..spec.num_keys),
+    };
+    assert!(
+        recovery.snapshot.is_some(),
+        "the checkpoint poll above guarantees a snapshot"
+    );
+    for txn in recovery.tail() {
+        resumed.push(txn.clone()).expect("tail replays");
+    }
+    let resumed_verdict = resumed.finish().expect("resumed replay in domain");
+    assert_eq!(
+        clean, resumed_verdict,
+        "checkpoint resume must be bit-identical to a clean replay"
+    );
+
+    // (b) Restart the daemon on the same root and finish the stream.
+    let (mut child, addr) = spawn_daemon(&root, &["--checkpoint-every", "32"]);
+    let mut client = ServiceClient::connect(addr).expect("reconnect");
+    let open = client
+        .open_tenant("phoenix", spec.level, spec.num_keys)
+        .expect("reopen");
+    assert_eq!(open.resumed_txns, logged as u64);
+    assert!(
+        open.from_checkpoint,
+        "the reopen must start from the snapshot"
+    );
+    client
+        .ingest_all(
+            open.tenant,
+            events[logged..].to_vec(),
+            Duration::from_micros(200),
+        )
+        .expect("suffix");
+    let summary = client.close_tenant(open.tenant).expect("close");
+    assert_eq!(summary.checked, events.len() as u64);
+    assert!(!summary.violated);
+    sigkill(&mut child);
+    let _ = std::fs::remove_dir_all(&root);
+}

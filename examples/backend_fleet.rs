@@ -12,10 +12,7 @@
 //! ```
 
 use mtc::core::{check_ser, check_si, check_sser, IsolationLevel};
-use mtc::dbsim::{
-    execute_workload, execute_workload_interleaved, AbortReason, BackendSpec, ClientOptions,
-    CommitInfo, DbBackend, DbTxn,
-};
+use mtc::dbsim::{AbortReason, BackendSpec, CommitInfo, DbBackend, DbTxn, ExecutionOptions};
 use mtc::history::{Key, Value, INIT_VALUE};
 use mtc::workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
 use std::collections::HashMap;
@@ -156,9 +153,9 @@ fn main() {
         // keep one thread per session.
         let blocking = *blocking;
         let (history, report) = if blocking {
-            execute_workload(db.as_ref(), &workload, &ClientOptions::default())
+            ExecutionOptions::threaded().run(db.as_ref(), &workload)
         } else {
-            execute_workload_interleaved(db.as_ref(), &workload, &ClientOptions::default(), 0xD1CE)
+            ExecutionOptions::interleaved(0xD1CE).run(db.as_ref(), &workload)
         };
         let flag = |v: bool| if v { "✗" } else { "ok" };
         let si = check_si(&history).unwrap().is_violated();

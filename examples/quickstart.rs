@@ -10,9 +10,7 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use mtc::core::{check_ser, check_si, check_sser};
-use mtc::dbsim::{
-    execute_workload, ClientOptions, Database, DbConfig, FaultKind, FaultSpec, IsolationMode,
-};
+use mtc::dbsim::{Database, DbConfig, ExecutionOptions, FaultKind, FaultSpec, IsolationMode};
 use mtc::workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
 
 fn main() {
@@ -39,7 +37,7 @@ fn main() {
         IsolationMode::Serializable,
         spec.num_keys,
     ));
-    let (history, report) = execute_workload(&db, &workload, &ClientOptions::default());
+    let (history, report) = ExecutionOptions::threaded().run(&db, &workload);
     println!(
         "executed: {} committed, {} aborted attempts, abort rate {:.1}%, {:?}",
         report.committed,
@@ -62,7 +60,7 @@ fn main() {
             )
             .with_faults(vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.2)], 7),
     );
-    let (history, _) = execute_workload(&buggy, &workload, &ClientOptions::default());
+    let (history, _) = ExecutionOptions::threaded().run(&buggy, &workload);
     match check_si(&history).unwrap() {
         mtc::core::Verdict::Satisfied => {
             println!("buggy store: no SI violation surfaced in this run (try another seed)")

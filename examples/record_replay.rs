@@ -16,11 +16,11 @@
 //!    completely different checker (batch MTC-SI), long after the
 //!    "database" is gone.
 
-use mtc::dbsim::{ClientOptions, Database, DbConfig, FaultKind, FaultSpec, IsolationMode};
+use mtc::dbsim::{Database, DbConfig, FaultKind, FaultSpec, IsolationMode};
 use mtc::runner::{replay_verify, resume_verification, Checker};
 use mtc::store::{MtcStore, StreamMeta};
 use mtc::workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
-use mtc::{execute_workload_live, GcPolicy, IsolationLevel, LiveVerifier};
+use mtc::{ExecutionOptions, GcPolicy, IsolationLevel, LiveVerifier};
 use std::time::Duration;
 
 fn main() {
@@ -53,15 +53,18 @@ fn main() {
         },
     )
     .expect("fresh store");
-    let verifier = LiveVerifier::new(level, spec.num_keys, false)
-        .with_store(store, 128) // checkpoint every 128 recorded txns
-        .with_gc(GcPolicy {
+    let verifier = LiveVerifier::builder(level, spec.num_keys)
+        .store(store, 128) // checkpoint every 128 recorded txns
+        .gc(GcPolicy {
             window: 4096,
             every: 1024,
             reader_cap: 0,
-        }); // bounded resident state for long runs
+        }) // bounded resident state for long runs
+        .build();
     let db = Database::new(config);
-    let (_, report) = execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+    let (_, report) = ExecutionOptions::threaded()
+        .verifier(&verifier)
+        .run(&db, &workload);
     println!(
         "recorded {} committed transactions into {}",
         report.committed,

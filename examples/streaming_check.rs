@@ -14,8 +14,7 @@
 
 use mtc::core::{IncrementalChecker, IncrementalSserChecker, IsolationLevel, StreamStatus};
 use mtc::dbsim::{
-    execute_workload_live, ClientOptions, Database, DbConfig, FaultKind, FaultSpec, IsolationMode,
-    LiveVerifier,
+    Database, DbConfig, ExecutionOptions, FaultKind, FaultSpec, IsolationMode, LiveVerifier,
 };
 use mtc::history::Op;
 use mtc::workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
@@ -48,12 +47,12 @@ fn main() {
         .with_faults(vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.6)], 7);
     let db = Database::new(config);
 
-    let verifier = LiveVerifier::new(
-        IsolationLevel::SnapshotIsolation,
-        spec.num_keys,
-        /* stop_on_violation = */ true,
-    );
-    let (_, report) = execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+    let verifier = LiveVerifier::builder(IsolationLevel::SnapshotIsolation, spec.num_keys)
+        .stop_on_violation(true)
+        .build();
+    let (_, report) = ExecutionOptions::threaded()
+        .verifier(&verifier)
+        .run(&db, &workload);
     let outcome = verifier.finish();
 
     println!("── live verification of a buggy SI store ──");

@@ -9,7 +9,9 @@
 //! * [`baselines`] — Cobra-, PolySI-, Porcupine- and Elle-style baseline checkers;
 //! * [`runner`] — the end-to-end harness (generate → execute → collect → verify → report);
 //! * [`store`] — durable history logs, checkpoints and crash recovery;
-//! * [`net`] — the framed TCP remote backend (server + pooled client).
+//! * [`net`] — the framed TCP remote backend (server + pooled client);
+//! * [`service`] — the multi-tenant streaming-verification daemon
+//!   (`mtc_service_server`) and its client/load-generation library.
 //!
 //! See `examples/quickstart.rs` for a three-minute tour.
 
@@ -19,6 +21,7 @@ pub use mtc_dbsim as dbsim;
 pub use mtc_history as history;
 pub use mtc_net as net;
 pub use mtc_runner as runner;
+pub use mtc_service as service;
 pub use mtc_store as store;
 pub use mtc_workload as workload;
 
@@ -29,6 +32,11 @@ pub use mtc_core::{
     IncrementalChecker, IncrementalSserChecker, IsolationLevel, ShardedIncrementalChecker,
     StreamStatus,
 };
-pub use mtc_dbsim::{execute_workload_live, LiveVerifier};
+// The unified execution/verification API: one `execute` entry point
+// parameterized by `Driver`, and one `LiveVerifier::builder` constructor.
+pub use mtc_dbsim::{
+    Driver, ExecutionOptions, IngestEvent, LiveOutcome, LiveVerifier, LiveVerifierBuilder,
+};
 pub use mtc_history::{IncrementalTopo, TimeChain};
+pub use mtc_service::{ServiceClient, ServiceConfig, ServiceCore, ServiceServer};
 pub use mtc_store::{MtcStore, StreamMeta};

@@ -21,8 +21,7 @@ use mtc::core::{
     Verdict,
 };
 use mtc::dbsim::{
-    execute_workload, execute_workload_interleaved, BackendSpec, ClientOptions, DbBackend, DbTxn,
-    TwoPlDatabase, WeakLevel, WeakMvccDatabase,
+    BackendSpec, DbBackend, DbTxn, ExecutionOptions, TwoPlDatabase, WeakLevel, WeakMvccDatabase,
 };
 use mtc::history::{History, HistoryBuilder, Key, Op, TxnStatus, Value};
 use mtc::workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
@@ -97,8 +96,7 @@ proptest! {
         let workload = generate_mt_workload(&mt_spec(sessions, txns, keys, seed));
         for spec in BackendSpec::fleet(keys) {
             let db = spec.build();
-            let (history, report) =
-                execute_workload(db.as_ref(), &workload, &ClientOptions::default());
+            let (history, report) = ExecutionOptions::threaded().run(db.as_ref(), &workload);
             prop_assert!(report.committed > 0, "{}: nothing committed", spec.label());
             assert_conformant(spec.label(), db.as_ref(), &history);
         }
@@ -115,7 +113,7 @@ proptest! {
     ) {
         let workload = generate_mt_workload(&mt_spec(sessions, txns, 3, seed));
         let db = TwoPlDatabase::new();
-        let (history, report) = execute_workload(&db, &workload, &ClientOptions::default());
+        let (history, report) = ExecutionOptions::threaded().run(&db, &workload);
         prop_assert!(report.committed > 0);
         prop_assert_eq!(db.locked_key_count(), 0, "locks must all be released");
         for level in LEVELS {
@@ -144,12 +142,7 @@ proptest! {
     ) {
         let workload = generate_mt_workload(&mt_spec(3, 25, 2, wl_seed));
         let db = WeakMvccDatabase::new(level);
-        let (history, _) = execute_workload_interleaved(
-            &db,
-            &workload,
-            &ClientOptions::default(),
-            schedule_seed,
-        );
+        let (history, _) = ExecutionOptions::interleaved(schedule_seed).run(&db, &workload);
         assert_conformant(level.label(), &db, &history);
     }
 }
@@ -366,8 +359,7 @@ fn weak_rc_interleaved_workloads_surface_organic_violations() {
     let mut caught_ser = false;
     for schedule_seed in 0..32u64 {
         let db = WeakMvccDatabase::new(WeakLevel::ReadCommitted);
-        let (history, _) =
-            execute_workload_interleaved(&db, &workload, &ClientOptions::default(), schedule_seed);
+        let (history, _) = ExecutionOptions::interleaved(schedule_seed).run(&db, &workload);
         caught_si |= batch_check(IsolationLevel::SnapshotIsolation, &history).is_violated();
         caught_ser |= batch_check(IsolationLevel::Serializability, &history).is_violated();
         if caught_si && caught_ser {
@@ -402,7 +394,7 @@ fn twopl_wait_die_aborts_surface_and_histories_stay_clean() {
     // And end-to-end: a contended threaded run stays organically clean.
     let workload = generate_mt_workload(&mt_spec(4, 40, 2, 7));
     let db = TwoPlDatabase::new();
-    let (history, report) = execute_workload(&db, &workload, &ClientOptions::default());
+    let (history, report) = ExecutionOptions::threaded().run(&db, &workload);
     assert!(report.committed > 0);
     for level in LEVELS {
         assert!(batch_check(level, &history).is_satisfied());

@@ -15,10 +15,7 @@ use mtc::core::{
     check_ser, check_si, check_sser, check_streaming, check_streaming_sharded, IsolationLevel,
     Verdict,
 };
-use mtc::dbsim::{
-    execute_workload, execute_workload_async, AbortReason, AsyncOptions, BackendSpec,
-    ClientOptions, DbBackend,
-};
+use mtc::dbsim::{AbortReason, BackendSpec, DbBackend, ExecutionOptions};
 use mtc::history::History;
 use mtc::net::{spec_for_label, NetBackend, NetOptions, NetServer};
 use mtc::workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
@@ -94,7 +91,7 @@ fn remote_fleet_passes_conformance_over_loopback() {
             "handshake must carry the wrapped engine's label"
         );
 
-        let (history, report) = execute_workload(&remote, &workload, &ClientOptions::default());
+        let (history, report) = ExecutionOptions::threaded().run(&remote, &workload);
         assert!(
             report.committed > 0,
             "{}: nothing committed over the wire",
@@ -107,18 +104,15 @@ fn remote_fleet_passes_conformance_over_loopback() {
         // The async driver, against a *fresh* server (engine state from the
         // first run would read as thin-air values): same invariants, with
         // sessions multiplexed over fewer workers than sessions (blocking
-        // engines need one worker per session — see `execute_workload_async`).
+        // engines need one worker per session — see `Driver::Async`).
         let server = NetServer::spawn(backend_spec.clone()).unwrap();
         let remote = NetBackend::connect(server.addr()).unwrap();
-        let async_opts = AsyncOptions {
-            client: ClientOptions::default(),
-            workers: if backend_spec.blocking() {
-                spec.sessions as usize
-            } else {
-                2
-            },
+        let workers = if backend_spec.blocking() {
+            spec.sessions as usize
+        } else {
+            2
         };
-        let (history, report) = execute_workload_async(&remote, &workload, &async_opts);
+        let (history, report) = ExecutionOptions::async_workers(workers).run(&remote, &workload);
         assert!(report.committed > 0, "{}: async run idle", remote.label());
         assert_conformant(remote.label(), &remote, &history);
 
@@ -242,7 +236,7 @@ fn delayed_and_duplicated_replies_are_harmless() {
     let remote = NetBackend::connect(proxy.addr).unwrap();
     assert_eq!(remote.label(), "net/sim-ser");
 
-    let (history, report) = execute_workload(&remote, &workload, &ClientOptions::default());
+    let (history, report) = ExecutionOptions::threaded().run(&remote, &workload);
     assert!(
         report.committed > 0,
         "duplicated/delayed replies starved the run"
@@ -332,7 +326,7 @@ fn server_death_mid_stream_keeps_the_recorded_history_verifiable() {
         std::thread::sleep(Duration::from_millis(120));
         server.shutdown().unwrap();
     });
-    let (history, report) = execute_workload(&remote, &workload, &ClientOptions::default());
+    let (history, report) = ExecutionOptions::threaded().run(&remote, &workload);
     killer.join().unwrap();
 
     assert!(report.committed > 0, "nothing committed before the death");

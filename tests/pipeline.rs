@@ -4,9 +4,7 @@
 
 use mtc::baselines::{cobra_check_ser, polysi_check_si};
 use mtc::core::{check_ser, check_si, check_sser};
-use mtc::dbsim::{
-    execute_workload, ClientOptions, Database, DbConfig, FaultKind, FaultSpec, IsolationMode,
-};
+use mtc::dbsim::{Database, DbConfig, ExecutionOptions, FaultKind, FaultSpec, IsolationMode};
 use mtc::history::serde_io;
 use mtc::workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
 use std::time::Duration;
@@ -31,7 +29,7 @@ fn serializable_store_produces_histories_every_checker_accepts() {
         IsolationMode::Serializable,
         spec.num_keys,
     ));
-    let (history, report) = execute_workload(&db, &workload, &ClientOptions::default());
+    let (history, report) = ExecutionOptions::threaded().run(&db, &workload);
 
     assert!(report.committed > 200, "too few commits: {report:?}");
     assert!(history.has_unique_values());
@@ -48,7 +46,7 @@ fn snapshot_store_satisfies_si_across_seeds() {
         let spec = mt_spec(seed, 8);
         let workload = generate_mt_workload(&spec);
         let db = Database::new(DbConfig::correct(IsolationMode::Snapshot, spec.num_keys));
-        let (history, _) = execute_workload(&db, &workload, &ClientOptions::default());
+        let (history, _) = ExecutionOptions::threaded().run(&db, &workload);
         let verdict = check_si(&history).unwrap();
         assert!(
             verdict.is_satisfied(),
@@ -68,7 +66,7 @@ fn lost_update_fault_is_caught_by_mtc_si() {
         .with_latency(Duration::from_micros(200), Duration::from_micros(100))
         .with_faults(vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.6)], 7);
     let db = Database::new(config);
-    let (history, _) = execute_workload(&db, &workload, &ClientOptions::default());
+    let (history, _) = ExecutionOptions::threaded().run(&db, &workload);
     let verdict = check_si(&history).unwrap();
     assert!(
         verdict.is_violated(),
@@ -83,7 +81,7 @@ fn dirty_release_fault_is_caught_as_aborted_read() {
     let config = DbConfig::correct(IsolationMode::Snapshot, spec.num_keys)
         .with_faults(vec![FaultSpec::new(FaultKind::DirtyRelease, 0.2)], 9);
     let db = Database::new(config);
-    let (history, _) = execute_workload(&db, &workload, &ClientOptions::default());
+    let (history, _) = ExecutionOptions::threaded().run(&db, &workload);
     let verdict = check_si(&history).unwrap();
     assert!(verdict.is_violated());
 }
@@ -96,7 +94,7 @@ fn histories_survive_a_serialization_round_trip() {
         IsolationMode::Serializable,
         spec.num_keys,
     ));
-    let (history, _) = execute_workload(&db, &workload, &ClientOptions::default());
+    let (history, _) = ExecutionOptions::threaded().run(&db, &workload);
 
     let text = serde_io::to_json_lines(&history).unwrap();
     let restored = serde_io::from_json_lines(&text).unwrap();

@@ -5,7 +5,9 @@
 //! timestamps from the simulated store.
 
 use mtc::core::{check_ser, check_si, check_sser};
-use mtc::dbsim::{ClientOptions, Database, DbConfig, FaultKind, FaultSpec, IsolationMode};
+use mtc::dbsim::{
+    ClientOptions, Database, DbConfig, ExecutionOptions, FaultKind, FaultSpec, IsolationMode,
+};
 use mtc::history::{HistoryBuilder, Op};
 use mtc::runner::{end_to_end_streaming, verify, Checker};
 use mtc::workload::{generate_mt_workload, Distribution, MtWorkloadSpec};
@@ -36,7 +38,7 @@ fn streaming_checkers_agree_with_batch_on_executed_histories() {
             IsolationMode::Serializable,
             spec.num_keys,
         ));
-        let (history, _) = mtc::dbsim::execute_workload(&db, &workload, &ClientOptions::default());
+        let (history, _) = ExecutionOptions::threaded().run(&db, &workload);
 
         let batch_ser = check_ser(&history).unwrap();
         let batch_si = check_si(&history).unwrap();
@@ -66,9 +68,12 @@ fn live_verifier_catches_the_fault_before_the_run_ends() {
         )
         .with_faults(vec![FaultSpec::new(FaultKind::SkipWriteValidation, 0.6)], 7);
     let db = Database::new(config);
-    let verifier = LiveVerifier::new(IsolationLevel::SnapshotIsolation, spec.num_keys, true);
-    let (_, _) =
-        mtc::dbsim::execute_workload_live(&db, &workload, &ClientOptions::default(), &verifier);
+    let verifier = LiveVerifier::builder(IsolationLevel::SnapshotIsolation, spec.num_keys)
+        .stop_on_violation(true)
+        .build();
+    let (_, _) = ExecutionOptions::threaded()
+        .verifier(&verifier)
+        .run(&db, &workload);
     let outcome = verifier.finish();
     assert!(outcome.verdict.unwrap().is_violated());
     let first = outcome.first_violation.expect("latched mid-run");
@@ -115,7 +120,7 @@ fn incremental_runner_checkers_are_wired() {
         IsolationMode::Serializable,
         spec.num_keys,
     ));
-    let (history, _) = mtc::dbsim::execute_workload(&db, &workload, &ClientOptions::default());
+    let (history, _) = ExecutionOptions::threaded().run(&db, &workload);
     for checker in [
         Checker::MtcSerIncremental,
         Checker::MtcSiIncremental,
@@ -139,7 +144,7 @@ fn streaming_sser_agrees_with_batch_on_executed_histories() {
             IsolationMode::Serializable,
             spec.num_keys,
         ));
-        let (history, _) = mtc::dbsim::execute_workload(&db, &workload, &ClientOptions::default());
+        let (history, _) = ExecutionOptions::threaded().run(&db, &workload);
         let batch = check_sser(&history).unwrap();
         let streaming = check_streaming(IsolationLevel::StrictSerializability, &history).unwrap();
         assert_eq!(batch.is_violated(), streaming.is_violated(), "seed {seed}");
@@ -168,9 +173,12 @@ fn sser_stop_on_violation_truncates_the_run() {
             13,
         );
     let db = Database::new(config);
-    let opts = ClientOptions::default();
-    let verifier = LiveVerifier::new(IsolationLevel::StrictSerializability, spec.num_keys, true);
-    let (_, _) = mtc::dbsim::execute_workload_live(&db, &workload, &opts, &verifier);
+    let verifier = LiveVerifier::builder(IsolationLevel::StrictSerializability, spec.num_keys)
+        .stop_on_violation(true)
+        .build();
+    let (_, _) = ExecutionOptions::threaded()
+        .verifier(&verifier)
+        .run(&db, &workload);
     let outcome = verifier.finish();
     assert!(outcome.verdict.unwrap().is_violated());
     let first = outcome.first_violation.expect("latched mid-run");
@@ -179,7 +187,7 @@ fn sser_stop_on_violation_truncates_the_run() {
     // stop within that in-flight bound of the latch point. (`checked_txns`
     // counts *attempts* including aborted retries, so comparing it against
     // the template total would be meaningless under contention.)
-    let in_flight_bound = (spec.sessions * (opts.max_retries + 1)) as usize;
+    let in_flight_bound = (spec.sessions * (ClientOptions::default().max_retries + 1)) as usize;
     assert!(
         first.at_txn <= outcome.checked_txns
             && outcome.checked_txns <= first.at_txn + in_flight_bound,
@@ -266,7 +274,7 @@ fn sser_runner_checkers_are_wired() {
         IsolationMode::Serializable,
         spec.num_keys,
     ));
-    let (history, _) = mtc::dbsim::execute_workload(&db, &workload, &ClientOptions::default());
+    let (history, _) = ExecutionOptions::threaded().run(&db, &workload);
     for checker in [Checker::MtcSserIncremental, Checker::MtcSserSharded] {
         let out = verify(checker, &history);
         assert!(!out.violated, "{}: {}", checker.label(), out.detail);
