@@ -20,6 +20,14 @@
 //! sustained end-to-end verification rate. Artifact-only — the curve
 //! depends on core count and loopback scheduling, so it is never gated.
 //!
+//! Schema 5 adds the observability-overhead series (`ser/incremental-obs`):
+//! the streaming SER pass re-measured with `mtc-obs` metric recording
+//! switched on. It is gated **in-run**, baseline-free: the instrumented
+//! pass must reach at least 95% of the uninstrumented pass measured
+//! seconds earlier in the same process — the "zero-overhead when disabled,
+//! bounded when enabled" contract of the metrics layer, enforced on every
+//! run even without `--check`.
+//!
 //! Since the epoch-GC work the `<level>/incremental-gc` series are **gated**
 //! alongside `incremental` and `sharded` (collection is expected to cost at
 //! most a modest constant factor now that commits are amortized off the
@@ -228,6 +236,50 @@ fn main() {
         record("sharded-allcores", millis, 0);
     }
 
+    // Observability overhead (schema 5, gated in-run): the streaming SER
+    // pass with metric recording enabled, against the `ser/incremental`
+    // number measured moments ago with recording off (the process default).
+    // Gated against *this run's* own uninstrumented measurement rather than
+    // the committed baseline, so the 5% bound holds machine-independently.
+    let mut inrun_failures: Vec<String> = Vec::new();
+    {
+        let level = IsolationLevel::Serializability;
+        let base_tps = series
+            .iter()
+            .find(|s| s.name == "ser/incremental")
+            .map(|s| s.txns_per_sec)
+            .expect("ser/incremental measured above");
+        mtc_obs::set_enabled(true);
+        mtc_obs::registry().reset();
+        let millis = measure("ser/incremental-obs", || {
+            check_streaming(level, &history).unwrap()
+        });
+        mtc_obs::set_enabled(false);
+        let name = "ser/incremental-obs".to_string();
+        let txns_per_sec = txns as f64 / (millis / 1e3);
+        let peak_rss = peak_rss_kb();
+        let ratio = txns_per_sec / base_tps;
+        println!(
+            "{name:<18} {millis:>9.3} ms   {txns_per_sec:>12.0} txns/s   \
+             rss {peak_rss:>8} kB   ({:.1}% of uninstrumented)",
+            ratio * 1e2
+        );
+        if ratio < 0.95 {
+            inrun_failures.push(format!(
+                "{name}: instrumented ingest reaches only {:.1}% of the uninstrumented \
+                 pass (floor 95%)",
+                ratio * 1e2
+            ));
+        }
+        series.push(Series {
+            name,
+            millis,
+            txns_per_sec,
+            peak_rss_kb: peak_rss,
+            retained_nodes: 0,
+        });
+    }
+
     // Per-backend execution throughput (schema 3, artifact-only): the same
     // MT workload executed end-to-end against each engine of the fleet.
     // Committed-transaction throughput, best of 3 runs (thread-spawn noise).
@@ -359,10 +411,13 @@ fn main() {
         }
         let _ = server.shutdown();
         let _ = std::fs::remove_dir_all(&root);
+        // The in-process daemon switched recording on for its own curve;
+        // anything measured after this point must be uninstrumented again.
+        mtc_obs::set_enabled(false);
     }
 
     let report = BenchReport {
-        schema: 4,
+        schema: 5,
         txns,
         shards: tuning.shards as u64,
         batch: tuning.batch as u64,
@@ -374,6 +429,15 @@ fn main() {
         "wrote {out} (autotuned: {} shards, batch {})",
         report.shards, report.batch
     );
+
+    if !inrun_failures.is_empty() {
+        eprintln!("observability overhead regression:");
+        for f in &inrun_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("gate ser/incremental-obs: instrumented ingest within 5% of uninstrumented [ok]");
 
     let Some(baseline_path) = baseline_path else {
         return;

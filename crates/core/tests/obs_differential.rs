@@ -1,0 +1,128 @@
+//! Observability must never change a verdict: the exact same stream fed
+//! through the sequential and sharded streaming checkers with metric
+//! recording *disabled* and then *enabled* must produce bit-identical
+//! results — same verdict payload, same `first_violation_at`. The
+//! instrumentation only ever times and counts; this suite is the proof
+//! that it stays off the decision path.
+
+use mtc_core::{GcPolicy, IncrementalChecker, IsolationLevel, ShardedIncrementalChecker};
+use mtc_history::{History, HistoryBuilder, Op, Value};
+
+/// A serial read-modify-write history over `keys` keys: clean at SER and
+/// SI by construction.
+fn serial_history(keys: u64, txns: usize, sessions: u32) -> History {
+    let mut state = vec![0u64; keys as usize];
+    let mut builder = HistoryBuilder::new().with_init(keys);
+    for i in 0..txns {
+        let next = i as u64 + 1;
+        let k = ((i as u64).wrapping_mul(7).wrapping_add(3) % keys) as usize;
+        let ops = vec![Op::read(k as u64, state[k]), Op::write(k as u64, next)];
+        state[k] = next;
+        builder.committed(i as u32 % sessions, ops);
+    }
+    builder.build()
+}
+
+/// Rebuilds `history` with the first read of the `target`-th user
+/// transaction made stale — a violation for every RMW stream.
+fn corrupted(history: &History, target: usize) -> History {
+    let mut builder = HistoryBuilder::new().with_init(history.keys().len() as u64);
+    let user: Vec<_> = history
+        .txns()
+        .iter()
+        .filter(|t| Some(t.id) != history.init_txn())
+        .collect();
+    for (i, t) in user.iter().enumerate() {
+        let mut ops = t.ops.clone();
+        if i == target % user.len().max(1) {
+            if let Some(Op::Read { value, .. }) = ops.first_mut() {
+                *value = Value(value.raw().wrapping_add(1_000_000));
+            }
+        }
+        builder.committed(t.session.0, ops);
+    }
+    builder.build()
+}
+
+/// One full run of the sequential checker (GC'd) over `history`, returning
+/// everything a caller could observe: the debug-rendered final verdict and
+/// the latched first-violation index.
+fn run_sequential(
+    level: IsolationLevel,
+    history: &History,
+) -> (String, Option<mtc_history::TxnId>) {
+    let mut checker = IncrementalChecker::new(level)
+        .with_init_keys(0..history.keys().len() as u64)
+        .with_gc(GcPolicy::clamped(16, 3));
+    for t in history.txns() {
+        if Some(t.id) == history.init_txn() {
+            continue;
+        }
+        let _ = checker.push(t.clone());
+    }
+    let first = checker.first_violation_at();
+    (format!("{:?}", checker.finish()), first)
+}
+
+/// The same, through the sharded checker fed in batches.
+fn run_sharded(level: IsolationLevel, history: &History) -> (String, Option<mtc_history::TxnId>) {
+    let mut checker = ShardedIncrementalChecker::new(level, 4)
+        .with_init_keys(0..history.keys().len() as u64)
+        .with_gc(GcPolicy::clamped(16, 3));
+    let txns: Vec<_> = history
+        .txns()
+        .iter()
+        .filter(|t| Some(t.id) != history.init_txn())
+        .cloned()
+        .collect();
+    for batch in txns.chunks(7) {
+        let _ = checker.push_batch(batch.to_vec());
+    }
+    let first = checker.first_violation_at();
+    (format!("{:?}", checker.finish()), first)
+}
+
+fn assert_identical_on_off(level: IsolationLevel, history: &History) {
+    let (seq_off, sharded_off) = {
+        let _off = mtc_obs::test_support::with_enabled(false);
+        (run_sequential(level, history), run_sharded(level, history))
+    };
+    let (seq_on, sharded_on) = {
+        let _on = mtc_obs::test_support::with_enabled(true);
+        (run_sequential(level, history), run_sharded(level, history))
+    };
+    assert_eq!(
+        seq_off, seq_on,
+        "sequential verdict differs with metrics on at {level}"
+    );
+    assert_eq!(
+        sharded_off, sharded_on,
+        "sharded verdict differs with metrics on at {level}"
+    );
+}
+
+#[test]
+fn clean_streams_identical_with_metrics_on_and_off() {
+    for &(keys, txns, sessions) in &[(4u64, 60usize, 2u32), (8, 200, 4), (3, 33, 1)] {
+        let history = serial_history(keys, txns, sessions);
+        for level in [
+            IsolationLevel::Serializability,
+            IsolationLevel::SnapshotIsolation,
+        ] {
+            assert_identical_on_off(level, &history);
+        }
+    }
+}
+
+#[test]
+fn violating_streams_identical_with_metrics_on_and_off() {
+    for &(keys, txns, target) in &[(4u64, 60usize, 10usize), (8, 200, 150), (3, 33, 0)] {
+        let history = corrupted(&serial_history(keys, txns, 2), target);
+        for level in [
+            IsolationLevel::Serializability,
+            IsolationLevel::SnapshotIsolation,
+        ] {
+            assert_identical_on_off(level, &history);
+        }
+    }
+}

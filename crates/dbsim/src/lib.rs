@@ -68,7 +68,8 @@ pub use faults::{FaultKind, FaultSpec};
 #[allow(deprecated)]
 pub use live::execute_workload_live;
 pub use live::{
-    ExecutionReportLive, IngestEvent, LiveOutcome, LiveVerifier, LiveVerifierBuilder, LiveViolation,
+    ExecutionReportLive, IngestEvent, LiveOutcome, LiveVerifier, LiveVerifierBuilder,
+    LiveViolation, SinkStats,
 };
 pub use store::StoredValue;
 pub use txn::{AbortReason, CommitInfo, TxnHandle};

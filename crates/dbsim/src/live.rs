@@ -163,15 +163,45 @@ struct StoreSink {
     checkpoint_every: usize,
     since_checkpoint: usize,
     error: Option<String>,
+    /// Per-sink WAL append latency, owned rather than registered — tenants
+    /// come and go, and the daemon surfaces this through `TenantStatus`.
+    /// Empty unless observability is enabled.
+    append_hist: mtc_obs::Histogram,
+    /// Failed sink operations (appends/checkpoints after the first error
+    /// short-circuit, so in practice 0 or 1).
+    errors: u64,
+    /// When the newest checkpoint finished, for staleness reporting.
+    last_checkpoint: Option<Instant>,
+    /// Checkpoints actually written (not cadence-derived).
+    checkpoints: u64,
 }
 
 impl StoreSink {
+    fn new(store: MtcStore, checkpoint_every: usize) -> Self {
+        StoreSink {
+            store,
+            checkpoint_every: checkpoint_every.max(1),
+            since_checkpoint: 0,
+            error: None,
+            append_hist: mtc_obs::Histogram::new(),
+            errors: 0,
+            last_checkpoint: None,
+            checkpoints: 0,
+        }
+    }
+
     fn append(&mut self, txn: &Transaction) {
         if self.error.is_some() {
             return;
         }
+        let timer = mtc_obs::enabled().then(Instant::now);
         if let Err(e) = self.store.append_txn(txn) {
             self.error = Some(e.to_string());
+            self.errors += 1;
+            return;
+        }
+        if let Some(t0) = timer {
+            self.append_hist.record(t0.elapsed().as_micros() as u64);
         }
     }
 
@@ -184,8 +214,43 @@ impl StoreSink {
         self.since_checkpoint = 0;
         if let Err(e) = self.store.checkpoint(consumed, snapshot) {
             self.error = Some(e.to_string());
+            self.errors += 1;
+            return;
+        }
+        self.last_checkpoint = Some(Instant::now());
+        self.checkpoints += 1;
+    }
+
+    fn stats(&self) -> SinkStats {
+        SinkStats {
+            wal_append_p99_micros: self.append_hist.snapshot().p99,
+            wal_appends: self.append_hist.count(),
+            last_checkpoint_age_micros: self
+                .last_checkpoint
+                .map(|t| t.elapsed().as_micros() as u64),
+            checkpoints: self.checkpoints,
+            sink_errors: self.errors,
         }
     }
+}
+
+/// Observability of a verifier's persistence sink, surfaced per tenant by
+/// the service's `TenantStatus` — lets an operator tell a slow tenant from
+/// a stalled WAL.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SinkStats {
+    /// 99th-percentile WAL append latency (0 until observability is
+    /// enabled — the histogram only records while the global switch is on).
+    pub wal_append_p99_micros: u64,
+    /// Appends measured into the p99 (0 while observability is disabled).
+    pub wal_appends: u64,
+    /// Microseconds since the newest checkpoint finished (`None` before
+    /// the first one).
+    pub last_checkpoint_age_micros: Option<u64>,
+    /// Checkpoints actually written.
+    pub checkpoints: u64,
+    /// Failed sink operations.
+    pub sink_errors: u64,
 }
 
 struct LiveInner {
@@ -340,12 +405,7 @@ impl LiveVerifierBuilder {
                 inner.checker.set_gc(policy);
             }
             if let Some((store, checkpoint_every)) = self.store {
-                inner.sink = Some(StoreSink {
-                    store,
-                    checkpoint_every: checkpoint_every.max(1),
-                    since_checkpoint: 0,
-                    error: None,
-                });
+                inner.sink = Some(StoreSink::new(store, checkpoint_every));
             }
         }
         v
@@ -464,12 +524,7 @@ impl LiveVerifier {
     /// Attaches a durable write-ahead sink.
     #[deprecated(note = "use `LiveVerifier::builder(..).store(store, checkpoint_every)`")]
     pub fn with_store(self, store: MtcStore, checkpoint_every: usize) -> Self {
-        self.inner.lock().sink = Some(StoreSink {
-            store,
-            checkpoint_every: checkpoint_every.max(1),
-            since_checkpoint: 0,
-            error: None,
-        });
+        self.inner.lock().sink = Some(StoreSink::new(store, checkpoint_every));
         self
     }
 
@@ -491,6 +546,16 @@ impl LiveVerifier {
     /// half of a tenant's ingest lag.
     pub fn consumed(&self) -> usize {
         self.inner.lock().checker.consumed()
+    }
+
+    /// The latched first-violation metadata (stream index plus wall-clock
+    /// detection latency), once a violation has latched via the record
+    /// path. Unlike [`LiveVerifier::first_violation_at`] this does not
+    /// consult the checker directly, so a violation still sitting in the
+    /// sharded hand-off buffer is invisible until the next record or
+    /// [`LiveVerifier::violation`] call flushes it.
+    pub fn first_violation(&self) -> Option<LiveViolation> {
+        self.inner.lock().first_violation.clone()
     }
 
     /// Index of the first violating transaction (excluding `⊥T`), once a
@@ -619,6 +684,12 @@ impl LiveVerifier {
             }
             self.violated.store(true, Ordering::Relaxed);
         }
+    }
+
+    /// Observability of the attached persistence sink (`None` without one):
+    /// WAL append p99, checkpoint staleness, error count.
+    pub fn sink_stats(&self) -> Option<SinkStats> {
+        self.inner.lock().sink.as_ref().map(StoreSink::stats)
     }
 
     /// A snapshot of the currently latched violation, if any. Flushes the

@@ -2,16 +2,26 @@
 //!
 //! ```text
 //! mtc_net_server <engine-label> [--addr 127.0.0.1:0] [--keys 64]
+//! mtc_net_server --metrics-json --addr HOST:PORT
 //! ```
 //!
 //! Prints `listening on <addr>` (flushed) once bound, so a parent process
 //! can scrape the ephemeral port, then serves until killed. Engine labels
 //! are the fleet's: `sim-ser`, `sim-si`, `sim-rc`, `2pl`, `weak-rc`,
 //! `weak-ru`.
+//!
+//! Observability is on: metric recording is enabled, structured one-line
+//! JSON events (startup, connection-accepted) go to stderr, and a running
+//! server answers `Request::MetricsSnapshot` on its ordinary port. The
+//! `--metrics-json` mode is the matching scraper — it dials `--addr`,
+//! fetches one snapshot, prints it as JSON on stdout and exits.
 
+use mtc_net::proto::{self, Reply, ReplyEnvelope, Request, RequestEnvelope};
 use mtc_net::server::{serve, spec_for_label};
+use mtc_obs::events::JsonValue;
+use serde::Serialize as _;
 use std::io::Write;
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::atomic::AtomicBool;
 
@@ -20,6 +30,7 @@ fn main() -> ExitCode {
     let mut label: Option<String> = None;
     let mut addr = "127.0.0.1:0".to_string();
     let mut keys: u64 = 64;
+    let mut metrics_json = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -35,6 +46,10 @@ fn main() -> ExitCode {
                 };
                 i += 2;
             }
+            "--metrics-json" => {
+                metrics_json = true;
+                i += 1;
+            }
             flag if flag.starts_with("--") => return usage(&format!("unknown flag {flag}")),
             engine if label.is_none() => {
                 label = Some(engine.to_string());
@@ -42,6 +57,19 @@ fn main() -> ExitCode {
             }
             extra => return usage(&format!("unexpected argument {extra}")),
         }
+    }
+
+    if metrics_json {
+        return match scrape_metrics(&addr) {
+            Ok(json) => {
+                println!("{json}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("mtc_net_server: cannot scrape {addr}: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let Some(label) = label else {
@@ -64,6 +92,18 @@ fn main() -> ExitCode {
     println!("listening on {local}");
     let _ = std::io::stdout().flush();
 
+    mtc_obs::set_enabled(true);
+    mtc_obs::events::log_to_stderr();
+    mtc_obs::events::emit(
+        "startup",
+        &[
+            ("role", JsonValue::Str("execution".to_string())),
+            ("addr", JsonValue::Str(local.to_string())),
+            ("engine", JsonValue::Str(label.clone())),
+            ("keys", JsonValue::U64(keys)),
+        ],
+    );
+
     let backend = spec.build();
     let shutdown = AtomicBool::new(false); // runs until killed
     match serve(backend.as_ref(), listener, &shutdown) {
@@ -75,10 +115,37 @@ fn main() -> ExitCode {
     }
 }
 
+/// Dials a running server, fetches one [`Request::MetricsSnapshot`], and
+/// renders the reply as one JSON document.
+fn scrape_metrics(addr: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    proto::send(
+        &mut stream,
+        &RequestEnvelope {
+            seq: 0,
+            request: Request::MetricsSnapshot,
+        },
+    )?;
+    let env: ReplyEnvelope = proto::recv(&mut stream)?;
+    match env.reply {
+        Reply::Metrics(snapshot) => {
+            let mut out = String::new();
+            snapshot.to_json_value().render(&mut out);
+            Ok(out)
+        }
+        Reply::Error(e) => Err(std::io::Error::other(e)),
+        other => Err(std::io::Error::other(format!(
+            "unexpected reply to MetricsSnapshot: {other:?}"
+        ))),
+    }
+}
+
 fn usage(problem: &str) -> ExitCode {
     eprintln!(
         "mtc_net_server: {problem}\n\
          usage: mtc_net_server <engine-label> [--addr 127.0.0.1:0] [--keys 64]\n\
+         \u{20}      mtc_net_server --metrics-json --addr HOST:PORT\n\
          engine labels: sim-ser sim-si sim-rc 2pl weak-rc weak-ru"
     );
     ExitCode::FAILURE

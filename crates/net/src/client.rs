@@ -79,6 +79,22 @@ impl Conn {
     /// (duplicates, or answers to requests that already timed out on our
     /// side) are skipped; a reply from the future is a protocol violation.
     fn call(&mut self, request: Request) -> io::Result<(u64, Reply)> {
+        let timer = mtc_obs::enabled().then(|| (request.label(), std::time::Instant::now()));
+        let result = self.call_inner(request);
+        if let Some((label, t0)) = timer {
+            // Dynamic lookup, not the cached-site macro: the name varies
+            // per op. Amortized fine — round trips are ≥ tens of µs.
+            mtc_obs::registry()
+                .histogram(&format!("net.call_micros.{label}"))
+                .record(t0.elapsed().as_micros() as u64);
+            if result.is_err() {
+                mtc_obs::counter!("net.call_io_errors").inc();
+            }
+        }
+        result
+    }
+
+    fn call_inner(&mut self, request: Request) -> io::Result<(u64, Reply)> {
         let seq = self.next_seq;
         self.next_seq += 1;
         proto::send(&mut self.stream, &RequestEnvelope { seq, request })?;
@@ -95,6 +111,16 @@ impl Conn {
                 }
             }
         }
+    }
+}
+
+/// Accounts a wire-failure doom under its reason, so an operator can tell
+/// retryable [`AbortReason::ConnectionLost`] dooms apart from ambiguous
+/// [`AbortReason::CommitStatusUnknown`] ones at a glance.
+fn count_doom(reason: AbortReason) {
+    match reason {
+        AbortReason::CommitStatusUnknown => mtc_obs::counter!("net.commit_status_unknown").inc(),
+        _ => mtc_obs::counter!("net.connection_lost").inc(),
     }
 }
 
@@ -197,6 +223,7 @@ impl DbBackend for NetBackend {
     }
 
     fn begin_retry(&self, prior_begin_ts: u64) -> Box<dyn DbTxn + '_> {
+        mtc_obs::counter!("net.txn_retries").inc();
         Box::new(self.begin_inner(Some(prior_begin_ts)))
     }
 
@@ -255,6 +282,7 @@ pub struct NetTxn<'b> {
 
 impl<'b> NetTxn<'b> {
     fn doomed(backend: &'b NetBackend) -> NetTxn<'b> {
+        count_doom(AbortReason::ConnectionLost);
         NetTxn {
             backend,
             conn: None,
@@ -284,6 +312,7 @@ impl<'b> NetTxn<'b> {
                         // knows this transaction. Drop the connection.
                         self.conn = None;
                         self.doomed = Some(on_io_failure);
+                        count_doom(on_io_failure);
                         Err(on_io_failure)
                     }
                     other => Ok(other),
@@ -292,6 +321,7 @@ impl<'b> NetTxn<'b> {
             Err(_) => {
                 self.conn = None;
                 self.doomed = Some(on_io_failure);
+                count_doom(on_io_failure);
                 Err(on_io_failure)
             }
         }
@@ -389,6 +419,9 @@ impl NetTxn<'_> {
     fn desync(&mut self) -> AbortReason {
         self.conn = None;
         let reason = self.doomed.unwrap_or(AbortReason::ConnectionLost);
+        if self.doomed.is_none() {
+            count_doom(reason);
+        }
         self.doomed = Some(reason);
         reason
     }

@@ -123,6 +123,36 @@ pub enum Request {
         /// Tenant id from [`Reply::TenantOpened`].
         tenant: u64,
     },
+    /// Scrape the server's metric registry ([`Reply::Metrics`]). Answered
+    /// by both execution servers and service daemons; all-zero metrics
+    /// with `enabled: false` mean the server never turned observability
+    /// on. Still protocol version 2: the externally-tagged envelope
+    /// encoding makes added variants wire-compatible — an old server
+    /// answers an unknown tag with [`Reply::Error`], not a misdecode.
+    MetricsSnapshot,
+}
+
+impl Request {
+    /// Short stable label of the request kind, used as the per-op metric
+    /// name suffix in `net.call_micros.<label>`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::Begin { .. } => "begin",
+            Request::Read { .. } => "read",
+            Request::Write { .. } => "write",
+            Request::ReadList { .. } => "read_list",
+            Request::Append { .. } => "append",
+            Request::Commit { .. } => "commit",
+            Request::Abort { .. } => "abort",
+            Request::Now => "now",
+            Request::OpenTenant { .. } => "open_tenant",
+            Request::Ingest { .. } => "ingest",
+            Request::TenantStatus { .. } => "tenant_status",
+            Request::CloseTenant { .. } => "close_tenant",
+            Request::MetricsSnapshot => "metrics_snapshot",
+        }
+    }
 }
 
 /// A server reply, wrapped in a [`ReplyEnvelope`].
@@ -192,6 +222,9 @@ pub enum Reply {
     /// **Service role.** Live statistics; answer to
     /// [`Request::TenantStatus`].
     TenantStat(TenantStatus),
+    /// The server's metric registry at scrape time; answer to
+    /// [`Request::MetricsSnapshot`].
+    Metrics(mtc_obs::MetricsSnapshot),
     /// **Service role.** Final verdict summary; answer to
     /// [`Request::CloseTenant`].
     TenantClosed {
@@ -233,6 +266,18 @@ pub struct TenantStatus {
     /// The daemon process's peak resident set (`VmHWM`), in KiB — process
     /// wide, reported identically for every tenant.
     pub rss_kb: u64,
+    /// 99th-percentile WAL append latency for this tenant, in
+    /// microseconds. Zero until the daemon enables observability (the
+    /// per-sink histogram records only while the global switch is on).
+    pub wal_append_p99_micros: u64,
+    /// Microseconds since the tenant's newest checkpoint finished —
+    /// `None` before the first checkpoint. A growing age under steady
+    /// ingest is the signature of a stalled WAL.
+    pub last_checkpoint_age_micros: Option<u64>,
+    /// Failed persistence-sink operations. Non-zero means the durability
+    /// guarantee only covers the prefix persisted before the first error
+    /// (verification itself continues).
+    pub sink_errors: u64,
 }
 
 /// A sequenced client request.
@@ -335,6 +380,7 @@ mod tests {
             },
             Request::TenantStatus { tenant: 3 },
             Request::CloseTenant { tenant: 3 },
+            Request::MetricsSnapshot,
         ];
         let mut wire = Vec::new();
         for (i, request) in reqs.iter().enumerate() {
@@ -392,6 +438,26 @@ mod tests {
                 live_txns: 40,
                 checkpoints: 3,
                 rss_kb: 12345,
+                wal_append_p99_micros: 87,
+                last_checkpoint_age_micros: Some(250_000),
+                sink_errors: 0,
+            }),
+            Reply::Metrics(mtc_obs::MetricsSnapshot {
+                enabled: true,
+                counters: vec![("net.connection_lost".to_string(), 2)],
+                gauges: vec![("service.tenants_open".to_string(), 3)],
+                histograms: vec![(
+                    "store.wal_append_micros".to_string(),
+                    mtc_obs::HistogramSnapshot {
+                        count: 10,
+                        sum: 1000,
+                        min: 50,
+                        max: 200,
+                        p50: 100,
+                        p90: 180,
+                        p99: 200,
+                    },
+                )],
             }),
             Reply::TenantClosed {
                 checked: 100,

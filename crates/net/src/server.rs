@@ -16,6 +16,7 @@
 use crate::proto::{self, Reply, Request, RequestEnvelope, PROTOCOL_VERSION};
 use mtc_core::IsolationLevel;
 use mtc_dbsim::{BackendSpec, DbBackend, DbTxn};
+use mtc_obs::events::JsonValue;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -45,8 +46,19 @@ pub fn serve(
     std::thread::scope(|scope| {
         while !shutdown.load(Ordering::Acquire) {
             match listener.accept() {
-                Ok((stream, _)) => {
-                    scope.spawn(move || handle_connection(backend, stream, shutdown));
+                Ok((stream, peer)) => {
+                    mtc_obs::gauge!("net.connections_open").add(1);
+                    mtc_obs::events::emit(
+                        "connection-accepted",
+                        &[
+                            ("role", JsonValue::Str("execution".to_string())),
+                            ("peer", JsonValue::Str(peer.to_string())),
+                        ],
+                    );
+                    scope.spawn(move || {
+                        handle_connection(backend, stream, shutdown);
+                        mtc_obs::gauge!("net.connections_open").sub(1);
+                    });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(2));
@@ -197,6 +209,7 @@ fn execute<'b>(
             }
         },
         Request::Now => Reply::Done,
+        Request::MetricsSnapshot => Reply::Metrics(mtc_obs::registry().snapshot()),
         // Service-role requests (tenant streams) belong to `mtc-service`
         // daemons; an execution server refuses them explicitly rather than
         // misdecoding or hanging.

@@ -1,0 +1,109 @@
+//! A structured JSONL event log.
+//!
+//! One JSON object per line, written to a sink the *binary* chooses —
+//! libraries call [`emit`] and pay nothing while no sink is installed
+//! (the default). The daemons route lifecycle events (startup, connection
+//! accepted, tenant open/close) and violation reports here so operators
+//! get machine-parseable logs instead of ad-hoc `eprintln!`s.
+//!
+//! Every line carries `ts_micros` (wall clock, microseconds since the
+//! Unix epoch) and `event` (the kind), then the caller's fields in order:
+//!
+//! ```json
+//! {"ts_micros":1754650000000000,"event":"startup","role":"mtc-service","addr":"127.0.0.1:7777"}
+//! ```
+
+pub use serde::JsonValue;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+enum Sink {
+    Off,
+    Stderr,
+    File(File),
+}
+
+static SINK: Mutex<Sink> = Mutex::new(Sink::Off);
+
+/// Routes events to stderr (one JSON object per line).
+pub fn log_to_stderr() {
+    *SINK.lock().unwrap_or_else(|e| e.into_inner()) = Sink::Stderr;
+}
+
+/// Routes events to `path`, appending (one JSON object per line).
+pub fn log_to_file(path: &std::path::Path) -> io::Result<()> {
+    let file = OpenOptions::new().create(true).append(true).open(path)?;
+    *SINK.lock().unwrap_or_else(|e| e.into_inner()) = Sink::File(file);
+    Ok(())
+}
+
+/// Stops routing events (the default state).
+pub fn disable() {
+    *SINK.lock().unwrap_or_else(|e| e.into_inner()) = Sink::Off;
+}
+
+/// Emits one event line. A no-op (one mutex lock) while no sink is
+/// installed; events are rare (lifecycle + violations), so the lock is
+/// never contended on a hot path.
+pub fn emit(kind: &str, fields: &[(&str, JsonValue)]) {
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if matches!(*sink, Sink::Off) {
+        return;
+    }
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    let mut entries = Vec::with_capacity(fields.len() + 2);
+    entries.push(("ts_micros".to_string(), JsonValue::U64(ts)));
+    entries.push(("event".to_string(), JsonValue::Str(kind.to_string())));
+    for (k, v) in fields {
+        entries.push((k.to_string(), v.clone()));
+    }
+    let mut line = String::new();
+    JsonValue::Object(entries).render(&mut line);
+    line.push('\n');
+    // Lifecycle events should be visible promptly; write + flush per line.
+    let _ = match &mut *sink {
+        Sink::Off => Ok(()),
+        Sink::Stderr => io::stderr().write_all(line.as_bytes()),
+        Sink::File(f) => f.write_all(line.as_bytes()).and_then(|()| f.flush()),
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test body: these share the global sink, so they must not run in
+    // parallel test threads.
+    #[test]
+    fn file_sink_writes_one_json_line_per_event() {
+        emit("dropped-while-off", &[]); // default sink: no-op
+
+        let dir = std::env::temp_dir().join(format!("mtc-obs-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let _ = std::fs::remove_file(&path);
+        log_to_file(&path).unwrap();
+        emit(
+            "unit-test",
+            &[
+                ("tenant", JsonValue::Str("t0".into())),
+                ("checked", JsonValue::U64(42)),
+            ],
+        );
+        disable();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let line = lines[0];
+        assert!(line.starts_with("{\"ts_micros\":"), "line: {line}");
+        assert!(line.contains("\"event\":\"unit-test\""), "line: {line}");
+        assert!(line.contains("\"tenant\":\"t0\""), "line: {line}");
+        assert!(line.contains("\"checked\":42"), "line: {line}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,123 @@
+//! Concurrency properties of the metric primitives: N threads hammer
+//! counters, gauges and histograms, and nothing is lost — totals are
+//! exact after a join, and mid-flight snapshots only ever move forward.
+
+use mtc_obs::test_support::with_enabled;
+use mtc_obs::{registry, Counter, Gauge, Histogram};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Counters lose no increments under contention: the post-join total
+    /// is exactly `threads × per_thread × delta`.
+    #[test]
+    fn counter_exact_under_contention(
+        threads in 2usize..8,
+        per_thread in 1u64..2_000,
+        delta in 1u64..5,
+    ) {
+        let _on = with_enabled(true);
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..per_thread {
+                        c.add(delta);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(c.get(), threads as u64 * per_thread * delta);
+    }
+
+    /// Histograms lose no samples under contention, min/max are exact,
+    /// and the bucket sum matches the count.
+    #[test]
+    fn histogram_exact_under_contention(
+        threads in 2usize..8,
+        per_thread in 1u64..1_000,
+        base in 1u64..1_000_000,
+    ) {
+        let _on = with_enabled(true);
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..threads as u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(base + t * per_thread + i);
+                    }
+                });
+            }
+        });
+        let total = threads as u64 * per_thread;
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, total);
+        prop_assert_eq!(h.count(), total);
+        prop_assert_eq!(snap.min, base);
+        prop_assert_eq!(snap.max, base + total - 1);
+        prop_assert!(snap.p50 >= snap.min / 2 && snap.p99 <= snap.max * 2);
+    }
+
+    /// Paired add/sub across threads leaves the gauge at exactly the sum
+    /// of the unpaired residues.
+    #[test]
+    fn gauge_exact_after_paired_updates(
+        threads in 2usize..8,
+        pairs in 1u64..2_000,
+        residue in 0u64..10,
+    ) {
+        let _on = with_enabled(true);
+        let g = Gauge::new();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..pairs {
+                        g.add(2);
+                        g.sub(2);
+                    }
+                    g.add(residue);
+                });
+            }
+        });
+        prop_assert_eq!(g.get(), threads as i64 * residue as i64);
+    }
+}
+
+/// Snapshots taken *while* writers are running are monotone: counter
+/// totals and histogram counts never move backwards between successive
+/// observations, and the final observation sees everything.
+#[test]
+fn snapshots_are_monotone_under_concurrent_writes() {
+    let _on = with_enabled(true);
+    let c = registry().counter("test.conc.snapshot_counter");
+    let h = registry().histogram("test.conc.snapshot_hist");
+    c.reset();
+    h.reset();
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 50_000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record(1 + (t * PER_THREAD + i) % 10_000);
+                }
+            });
+        }
+        let mut last_count = 0u64;
+        let mut last_hist = 0u64;
+        for _ in 0..200 {
+            let snap = registry().snapshot();
+            let now_count = snap.counter("test.conc.snapshot_counter").unwrap();
+            let now_hist = snap.histogram("test.conc.snapshot_hist").unwrap().count;
+            assert!(now_count >= last_count, "counter went backwards");
+            assert!(now_hist >= last_hist, "histogram count went backwards");
+            last_count = now_count;
+            last_hist = now_hist;
+        }
+    });
+    assert_eq!(c.get(), THREADS * PER_THREAD);
+    assert_eq!(h.count(), THREADS * PER_THREAD);
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! mtc_service_server --root DIR [--addr 127.0.0.1:0] [--queue-cap N]
 //!                    [--checkpoint-every N] [--drain-workers N]
+//! mtc_service_server --metrics-json --addr HOST:PORT
 //! ```
 //!
 //! Prints `listening on <addr>` on stdout once bound (the line the smoke
@@ -10,17 +11,27 @@
 //! graceful-shutdown path on purpose: crash-resume from the per-tenant
 //! WALs *is* the shutdown story, and the smoke tests SIGKILL this binary
 //! to prove it.
+//!
+//! Observability is on: metric recording is enabled, structured one-line
+//! JSON events (startup, connection-accepted, tenant-open/close,
+//! violation) go to stderr, and the daemon answers
+//! `Request::MetricsSnapshot` on its ordinary port. `--metrics-json`
+//! dials a *running* daemon at `--addr`, fetches one snapshot, prints it
+//! as JSON on stdout and exits.
 
-use mtc_service::{serve, ServiceConfig, ServiceCore};
+use mtc_obs::events::JsonValue;
+use mtc_service::{serve, ServiceClient, ServiceConfig, ServiceCore};
+use serde::Serialize as _;
 use std::io::Write;
-use std::net::TcpListener;
+use std::net::{TcpListener, ToSocketAddrs};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: mtc_service_server --root DIR [--addr HOST:PORT] [--queue-cap N] \
-         [--checkpoint-every N] [--drain-workers N]"
+         [--checkpoint-every N] [--drain-workers N]\n\
+         \u{20}      mtc_service_server --metrics-json --addr HOST:PORT"
     );
     std::process::exit(2)
 }
@@ -32,6 +43,7 @@ fn main() {
     let mut queue_cap: Option<usize> = None;
     let mut checkpoint_every: Option<usize> = None;
     let mut drain_workers: Option<usize> = None;
+    let mut metrics_json = false;
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
         match flag.as_str() {
@@ -40,9 +52,22 @@ fn main() {
             "--queue-cap" => queue_cap = value().parse().ok(),
             "--checkpoint-every" => checkpoint_every = value().parse().ok(),
             "--drain-workers" => drain_workers = value().parse().ok(),
+            "--metrics-json" => metrics_json = true,
             _ => usage(),
         }
     }
+
+    if metrics_json {
+        match scrape_metrics(&addr) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("cannot scrape {addr}: {e}");
+                std::process::exit(1)
+            }
+        }
+        return;
+    }
+
     let Some(root) = root else { usage() };
 
     let mut config = ServiceConfig::new(root);
@@ -64,11 +89,32 @@ fn main() {
         eprintln!("cannot bind {addr}: {e}");
         std::process::exit(1)
     });
-    println!(
-        "listening on {}",
-        listener.local_addr().expect("bound socket has an address")
-    );
+    let local = listener.local_addr().expect("bound socket has an address");
+    println!("listening on {local}");
     let _ = std::io::stdout().flush();
+
+    mtc_obs::set_enabled(true);
+    mtc_obs::events::log_to_stderr();
+    mtc_obs::events::emit(
+        "startup",
+        &[
+            ("role", JsonValue::Str("service".to_string())),
+            ("addr", JsonValue::Str(local.to_string())),
+            (
+                "root",
+                JsonValue::Str(core.config().root.display().to_string()),
+            ),
+            ("queue_cap", JsonValue::U64(core.config().queue_cap as u64)),
+            (
+                "checkpoint_every",
+                JsonValue::U64(core.config().checkpoint_every as u64),
+            ),
+            (
+                "drain_workers",
+                JsonValue::U64(core.config().drain_workers as u64),
+            ),
+        ],
+    );
 
     let drain_core = Arc::clone(&core);
     std::thread::spawn(move || drain_core.run_drain());
@@ -78,4 +124,17 @@ fn main() {
         eprintln!("accept loop failed: {e}");
         std::process::exit(1)
     }
+}
+
+/// Dials a running daemon, fetches one `MetricsSnapshot`, and renders the
+/// reply as one JSON document.
+fn scrape_metrics(addr: &str) -> std::io::Result<String> {
+    let target = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::other(format!("{addr} resolves to no address")))?;
+    let snapshot = ServiceClient::connect(target)?.metrics()?;
+    let mut out = String::new();
+    snapshot.to_json_value().render(&mut out);
+    Ok(out)
 }

@@ -150,6 +150,33 @@ fn main() {
             point.p99_ingest_micros as f64 / 1e3,
             point.backpressure_hits
         );
+        // In-process daemon: the load generator mirrored every measured
+        // ingest latency into the shared registry, so the wire-scraped
+        // histogram p99 must agree with the exact sorted-vec p99 (the
+        // log-linear buckets quantize at ≤1.6%; demand 10%).
+        if external.is_none() {
+            let snapshot = ServiceClient::connect(addr)
+                .and_then(|mut c| c.metrics())
+                .unwrap_or_else(|e| fail(&format!("metrics scrape: {e}")));
+            let hist = snapshot
+                .histogram(&format!("service.ingest_micros.curve{round}"))
+                .unwrap_or_else(|| fail("scraped snapshot is missing the run histogram"));
+            let exact = point.p99_ingest_micros.max(1) as f64;
+            let deviation = (hist.p99 as f64 - exact).abs() / exact;
+            if deviation > 0.10 {
+                fail(&format!(
+                    "scraped ingest p99 {} µs deviates {:.1}% from measured {} µs",
+                    hist.p99,
+                    deviation * 1e2,
+                    point.p99_ingest_micros
+                ));
+            }
+            eprintln!(
+                "             scraped p99 {:>8.3} ms agrees with measured ({:.1}% off)",
+                hist.p99 as f64 / 1e3,
+                deviation * 1e2
+            );
+        }
         points.push(CurvePoint {
             tenants: point.tenants,
             total_txns: point.total_txns,

@@ -147,6 +147,15 @@ impl ServiceClient {
         }
     }
 
+    /// Scrapes the daemon's process-wide metrics registry.
+    pub fn metrics(&mut self) -> io::Result<mtc_obs::MetricsSnapshot> {
+        match self.call(Request::MetricsSnapshot)? {
+            Reply::Metrics(snapshot) => Ok(snapshot),
+            Reply::Error(e) => Err(io::Error::other(e)),
+            other => Err(unexpected("MetricsSnapshot", &other)),
+        }
+    }
+
     /// Closes the tenant: waits for its queue to drain, finishes the
     /// checker, returns the stream verdict summary.
     pub fn close_tenant(&mut self, tenant: u64) -> io::Result<TenantSummary> {

@@ -163,17 +163,24 @@ pub struct Tenant {
     ingested: AtomicU64,
     drained: AtomicU64,
     backpressured: AtomicU64,
+    /// Admission latency histogram, `service.tenant.<name>.admit_micros` —
+    /// resolved once at open so the ingest path never touches the registry.
+    admit_hist: &'static mtc_obs::Histogram,
+    /// Latch: the tenant's violation has been written to the event log.
+    violation_logged: AtomicBool,
 }
 
 impl Tenant {
     /// All-or-nothing admission of one batch.
     fn ingest(&self, events: Vec<IngestEvent>) -> Result<Admission, String> {
+        let timer = mtc_obs::enabled().then(std::time::Instant::now);
         let mut q = self.queue.lock();
         if q.closing {
             return Err(format!("tenant \"{}\" is closing", self.name));
         }
         if q.queue.len() + events.len() > self.queue_cap {
             self.backpressured.fetch_add(1, Ordering::Relaxed);
+            mtc_obs::counter!("service.backpressure_rejections").inc();
             return Ok(Admission::Backpressure {
                 queue_depth: q.queue.len() as u64,
                 queue_cap: self.queue_cap as u64,
@@ -182,6 +189,10 @@ impl Tenant {
         let n = events.len() as u64;
         q.queue.extend(events);
         self.ingested.fetch_add(n, Ordering::Relaxed);
+        mtc_obs::gauge!("service.queue_depth").add(n);
+        if let Some(t0) = timer {
+            self.admit_hist.record(t0.elapsed().as_micros() as u64);
+        }
         Ok(Admission::Accepted(n))
     }
 
@@ -190,6 +201,9 @@ impl Tenant {
     /// the tenant is paused, or another worker is already draining it.
     fn drain_batch(&self, cap: usize) -> usize {
         let Some(_flight) = self.drain.try_lock() else {
+            // Another worker already holds this tenant's drain — the sweep
+            // moves on, but the contention is worth counting.
+            mtc_obs::counter!("service.drain_stalls").inc();
             return 0;
         };
         if self.paused.load(Ordering::Acquire) {
@@ -209,10 +223,51 @@ impl Tenant {
             for event in batch {
                 v.record_event(event);
             }
+            self.maybe_log_violation(v);
         }
         drop(guard);
         self.drained.fetch_add(n as u64, Ordering::Relaxed);
+        mtc_obs::gauge!("service.queue_depth").sub(n as u64);
         n
+    }
+
+    /// Writes the structured "violation" event-log line the first time this
+    /// tenant's verifier latches: tenant name, stream index of the offender,
+    /// wall-clock detection latency, and the certificate as JSON.
+    fn maybe_log_violation(&self, v: &LiveVerifier) {
+        if !v.is_violated() || self.violation_logged.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        use mtc_obs::events::JsonValue;
+        use serde::Serialize as _;
+        // `violation()` flushes the hand-off buffer and latches the
+        // metadata, so take the certificate *before* reading it.
+        let certificate = v
+            .violation()
+            .map(|c| c.to_json_value())
+            .unwrap_or(JsonValue::Null);
+        let latched = v.first_violation();
+        mtc_obs::events::emit(
+            "violation",
+            &[
+                ("tenant", JsonValue::Str(self.name.clone())),
+                (
+                    "first_violation_at",
+                    match latched.as_ref().map(|l| l.at_txn as u64) {
+                        Some(at) => JsonValue::U64(at),
+                        None => JsonValue::Null,
+                    },
+                ),
+                (
+                    "detection_micros",
+                    match latched.as_ref().map(|l| l.elapsed.as_micros() as u64) {
+                        Some(us) => JsonValue::U64(us),
+                        None => JsonValue::Null,
+                    },
+                ),
+                ("certificate", certificate),
+            ],
+        );
     }
 
     /// Seals the tenant: refuses further admission, drains the queue to
@@ -247,8 +302,10 @@ impl Tenant {
             for event in batch {
                 v.record_event(event);
             }
+            self.maybe_log_violation(v);
             drop(guard);
             self.drained.fetch_add(n, Ordering::Relaxed);
+            mtc_obs::gauge!("service.queue_depth").sub(n);
         }
         let verifier = self
             .verifier
@@ -277,7 +334,7 @@ impl Tenant {
             let q = self.queue.lock();
             (q.queue.len() as u64, q.closing)
         };
-        let (checked, violated, first_violation_at, live_txns) = {
+        let (checked, violated, first_violation_at, live_txns, sink) = {
             let guard = self.verifier.lock();
             match guard.as_ref() {
                 Some(v) => (
@@ -285,8 +342,9 @@ impl Tenant {
                     v.is_violated(),
                     v.first_violation_at().map(|i| i as u64),
                     v.live_txn_count() as u64,
+                    v.sink_stats(),
                 ),
-                None => (self.drained.load(Ordering::Relaxed), false, None, 0),
+                None => (self.drained.load(Ordering::Relaxed), false, None, 0, None),
             }
         };
         TenantStatus {
@@ -299,11 +357,17 @@ impl Tenant {
             violated,
             first_violation_at,
             live_txns,
-            // Cadence-derived: checkpoints written since this process
-            // opened the stream (the sink checkpoints every
-            // `checkpoint_every` recorded events).
-            checkpoints: self.drained.load(Ordering::Relaxed) / self.checkpoint_every as u64,
+            // Sink-counted when a WAL sink is attached; otherwise
+            // cadence-derived (checkpoint every `checkpoint_every`
+            // recorded events).
+            checkpoints: match &sink {
+                Some(s) => s.checkpoints,
+                None => self.drained.load(Ordering::Relaxed) / self.checkpoint_every as u64,
+            },
             rss_kb,
+            wal_append_p99_micros: sink.map(|s| s.wal_append_p99_micros).unwrap_or(0),
+            last_checkpoint_age_micros: sink.and_then(|s| s.last_checkpoint_age_micros),
+            sink_errors: sink.map(|s| s.sink_errors).unwrap_or(0),
         }
     }
 }
@@ -435,9 +499,25 @@ impl ServiceCore {
             ingested: AtomicU64::new(resumed_txns),
             drained: AtomicU64::new(resumed_txns),
             backpressured: AtomicU64::new(0),
+            admit_hist: mtc_obs::registry()
+                .histogram(&format!("service.tenant.{name}.admit_micros")),
+            violation_logged: AtomicBool::new(false),
         });
         reg.by_id.insert(id, tenant);
         reg.by_name.insert(name.to_string(), id);
+        {
+            use mtc_obs::events::JsonValue;
+            mtc_obs::events::emit(
+                "tenant-open",
+                &[
+                    ("tenant", JsonValue::Str(name.to_string())),
+                    ("id", JsonValue::U64(id)),
+                    ("level", JsonValue::Str(level.to_string())),
+                    ("resumed_txns", JsonValue::U64(resumed_txns)),
+                    ("from_checkpoint", JsonValue::Bool(from_checkpoint)),
+                ],
+            );
+        }
         Ok(TenantOpen {
             tenant: id,
             resumed_txns,
@@ -482,6 +562,19 @@ impl ServiceCore {
         let mut reg = self.tenants.lock();
         reg.by_id.remove(&id);
         reg.by_name.remove(&tenant.name);
+        drop(reg);
+        {
+            use mtc_obs::events::JsonValue;
+            mtc_obs::events::emit(
+                "tenant-close",
+                &[
+                    ("tenant", JsonValue::Str(tenant.name.clone())),
+                    ("id", JsonValue::U64(id)),
+                    ("checked", JsonValue::U64(summary.checked)),
+                    ("violated", JsonValue::Bool(summary.violated)),
+                ],
+            );
+        }
         Ok(summary)
     }
 

@@ -129,6 +129,14 @@ pub fn drive(addr: SocketAddr, spec: &LoadSpec, name_prefix: &str) -> io::Result
                     let events = synthetic_events(spec, t);
                     let mut latencies = Vec::with_capacity(events.len() / spec.batch + 1);
                     let mut backpressure = 0u64;
+                    // Client-measured ingest latency (round trip plus
+                    // backpressure retries), mirrored into the registry so
+                    // an in-process daemon's `MetricsSnapshot` can be
+                    // cross-checked against the exact sorted-vec p99.
+                    let tenant_hist = mtc_obs::registry()
+                        .histogram(&format!("service.tenant.{prefix}-{t}.ingest_micros"));
+                    let run_hist =
+                        mtc_obs::registry().histogram(&format!("service.ingest_micros.{prefix}"));
                     for chunk in events.chunks(spec.batch.max(1)) {
                         let t0 = Instant::now();
                         loop {
@@ -140,7 +148,10 @@ pub fn drive(addr: SocketAddr, spec: &LoadSpec, name_prefix: &str) -> io::Result
                                 }
                             }
                         }
-                        latencies.push(t0.elapsed().as_micros() as u64);
+                        let micros = t0.elapsed().as_micros() as u64;
+                        tenant_hist.record(micros);
+                        run_hist.record(micros);
+                        latencies.push(micros);
                     }
                     let summary = client.close_tenant(open.tenant)?;
                     if summary.checked != open.resumed_txns + per_tenant {

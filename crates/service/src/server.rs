@@ -31,8 +31,20 @@ pub fn serve(core: &ServiceCore, listener: TcpListener, shutdown: &AtomicBool) -
     std::thread::scope(|scope| {
         while !shutdown.load(Ordering::Acquire) && !core.is_shutdown() {
             match listener.accept() {
-                Ok((stream, _)) => {
-                    scope.spawn(move || handle_connection(core, stream, shutdown));
+                Ok((stream, peer)) => {
+                    use mtc_obs::events::JsonValue;
+                    mtc_obs::gauge!("net.connections_open").add(1);
+                    mtc_obs::events::emit(
+                        "connection-accepted",
+                        &[
+                            ("role", JsonValue::Str("service".to_string())),
+                            ("peer", JsonValue::Str(peer.to_string())),
+                        ],
+                    );
+                    scope.spawn(move || {
+                        handle_connection(core, stream, shutdown);
+                        mtc_obs::gauge!("net.connections_open").sub(1);
+                    });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(2));
@@ -143,6 +155,7 @@ fn execute(core: &ServiceCore, request: Request) -> Reply {
             },
             Err(e) => Reply::Error(e),
         },
+        Request::MetricsSnapshot => Reply::Metrics(mtc_obs::registry().snapshot()),
         Request::Begin { .. }
         | Request::Read { .. }
         | Request::Write { .. }
@@ -168,8 +181,11 @@ pub struct ServiceServer {
 
 impl ServiceServer {
     /// Binds `127.0.0.1:0` and starts serving a fresh core built from
-    /// `config`.
+    /// `config`. Observability recording is switched on for the process:
+    /// a daemon's whole point is to be watchable, and the layer's cost is
+    /// bounded by the bench gate's `obs-overhead` series.
     pub fn spawn(config: ServiceConfig) -> io::Result<ServiceServer> {
+        mtc_obs::set_enabled(true);
         let core = Arc::new(ServiceCore::new(config)?);
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;

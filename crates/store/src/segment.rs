@@ -247,6 +247,7 @@ impl LogWriter {
             // when the writer was continuing an old v1 tail segment.
             self.segment_version = LOG_VERSION;
             self.dict = binval::KeyDict::default();
+            mtc_obs::counter!("store.segment_rotations").inc();
         }
         let payload = if self.segment_version >= 2 {
             encode_record_v2(record, &mut self.dict)

@@ -72,7 +72,12 @@ impl MtcStore {
     /// Appends one transaction to the log (write-ahead: call this *before*
     /// feeding the transaction to the checker). Returns its stream index.
     pub fn append_txn(&mut self, txn: &Transaction) -> Result<u64, StoreError> {
-        self.writer.append(txn)
+        let timer = mtc_obs::enabled().then(std::time::Instant::now);
+        let idx = self.writer.append(txn)?;
+        if let Some(t0) = timer {
+            mtc_obs::histogram!("store.wal_append_micros").record(t0.elapsed().as_micros() as u64);
+        }
+        Ok(idx)
     }
 
     /// Stream index the next appended transaction will get.
@@ -93,9 +98,13 @@ impl MtcStore {
         consumed: u64,
         snapshot: &CheckerSnapshot,
     ) -> Result<PathBuf, StoreError> {
+        let timer = mtc_obs::enabled().then(std::time::Instant::now);
         self.writer.sync()?;
         let path = write_checkpoint(&self.dir, consumed, snapshot)?;
         prune_checkpoints(&self.dir, self.checkpoint_keep)?;
+        if let Some(t0) = timer {
+            mtc_obs::histogram!("store.checkpoint_micros").record(t0.elapsed().as_micros() as u64);
+        }
         Ok(path)
     }
 }
