@@ -8,6 +8,11 @@
 //! verification from the newest intact checkpoint, and asserts the verdict
 //! equals a clean from-scratch verification of the same logged stream.
 //!
+//! Since the store writes *delta* checkpoints between full snapshots, the
+//! parent also asserts the kill landed mid-delta-chain (at least one
+//! `.mtcckd` file survived), so the recovery being validated is the
+//! chain-resolving path, not just the single-full-file one.
+//!
 //! ```text
 //! cargo run --release -p mtc-bench --bin crash_resume_smoke
 //! ```
@@ -63,7 +68,10 @@ fn child(dir: &str) -> ! {
         &ClientOptions::default(),
         LEVEL,
         &RecordOptions {
-            checkpoint_every: 64,
+            // Tight cadence: even a slow child (cold page cache, loaded CI
+            // box) writes several checkpoints — and so enters the delta
+            // chain — before the watchdog fires.
+            checkpoint_every: 16,
             stop_on_violation: false,
             gc: None,
         },
@@ -93,6 +101,27 @@ fn main() {
         .status()
         .expect("spawn recorder child");
     println!("recorder child exited with {status} (kill expected)");
+
+    // The checkpoint cadence (every 64 txns over a multi-second workload)
+    // guarantees several checkpoints before the 500 ms watchdog fires, and
+    // the store's rebase interval makes most of them deltas: the kill must
+    // land mid-delta-chain for this smoke to exercise chain recovery.
+    let count_ext = |ext: &str| {
+        std::fs::read_dir(&dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.file_name().to_string_lossy().ends_with(ext))
+                    .count()
+            })
+            .unwrap_or(0)
+    };
+    let (fulls, deltas) = (count_ext(".mtcck"), count_ext(".mtcckd"));
+    println!("checkpoints on disk: {fulls} full, {deltas} delta");
+    if deltas == 0 {
+        eprintln!("FAIL: the kill did not land mid-delta-chain (no .mtcckd files)");
+        std::process::exit(1);
+    }
 
     let resumed = resume_verification(&dir).expect("store must recover");
     println!(

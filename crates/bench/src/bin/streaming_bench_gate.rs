@@ -28,6 +28,14 @@
 //! bounded when enabled" contract of the metrics layer, enforced on every
 //! run even without `--check`.
 //!
+//! Schema 6 gates the online-SSER fast path **in-run**, baseline-free:
+//! since the time-chain append fast path (pre-materialized anchors, batched
+//! chain+hook edges, sorted-vec slot store) the streaming SSER checker must
+//! reach at least 95% of the batch SSER checker measured seconds earlier in
+//! the same process. Like the observability gate, the comparison is
+//! machine-independent by construction, so it holds on every run even
+//! without `--check`.
+//!
 //! Since the epoch-GC work the `<level>/incremental-gc` series are **gated**
 //! alongside `incremental` and `sharded` (collection is expected to cost at
 //! most a modest constant factor now that commits are amortized off the
@@ -280,6 +288,33 @@ fn main() {
         });
     }
 
+    // Online-SSER fast path (schema 6, gated in-run): streaming SSER
+    // ingest must keep pace with the batch SSER checker it replaced on the
+    // hot path. Both sides were measured minutes apart in this process, so
+    // the ratio is machine-independent; no baseline involved.
+    {
+        let tps = |name: &str| {
+            series
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.txns_per_sec)
+                .expect("measured above")
+        };
+        let ratio = tps("sser/incremental") / tps("sser/batch");
+        println!(
+            "gate sser/incremental: {:.1}% of sser/batch (floor 95%)   [{}]",
+            ratio * 1e2,
+            if ratio >= 0.95 { "ok" } else { "REGRESSED" }
+        );
+        if ratio < 0.95 {
+            inrun_failures.push(format!(
+                "sser/incremental: streaming SSER reaches only {:.1}% of the batch \
+                 checker measured in this run (floor 95%)",
+                ratio * 1e2
+            ));
+        }
+    }
+
     // Per-backend execution throughput (schema 3, artifact-only): the same
     // MT workload executed end-to-end against each engine of the fleet.
     // Committed-transaction throughput, best of 3 runs (thread-spawn noise).
@@ -417,7 +452,7 @@ fn main() {
     }
 
     let report = BenchReport {
-        schema: 5,
+        schema: 6,
         txns,
         shards: tuning.shards as u64,
         batch: tuning.batch as u64,
@@ -431,7 +466,7 @@ fn main() {
     );
 
     if !inrun_failures.is_empty() {
-        eprintln!("observability overhead regression:");
+        eprintln!("in-run gate regression:");
         for f in &inrun_failures {
             eprintln!("  {f}");
         }

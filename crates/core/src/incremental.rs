@@ -70,8 +70,8 @@ use crate::mini::{validate_transaction, MtViolation};
 use crate::verdict::{CheckError, Verdict, Violation};
 use mtc_history::{
     DependencyGraph, Edge, EdgeKind, FastHashMap, FastHashSet, IncrementalTopo, IntraAnomaly,
-    IntraViolation, Key, Op, SessionId, TimeChain, TimeSlot, Transaction, TxnId, TxnStatus, Value,
-    INIT_VALUE,
+    IntraViolation, Key, Op, Role, SessionId, TimeChain, TimeSlot, Transaction, TxnId, TxnStatus,
+    Value, INIT_VALUE,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -1224,6 +1224,20 @@ struct Engine {
     /// checker sees its graph.
     #[serde(skip)]
     pending_set: FastHashSet<(TxnId, TxnId, EdgeKind)>,
+    /// Reusable buffer for a transaction's chain + hook edge pairs (SSER
+    /// ingest fast path) — pure scratch, never holds data across calls.
+    #[serde(skip)]
+    time_scratch: Vec<(usize, usize)>,
+    /// Chain splice edges emitted while pre-materializing the admitted
+    /// transaction's anchors (see [`Engine::admit`]); drained by the same
+    /// transaction's `TimeBounds` event. Scratch: always consumed (or
+    /// cleared by the next admit) before a snapshot can be taken.
+    #[serde(skip)]
+    time_prepairs: Vec<(usize, usize)>,
+    /// The pre-materialized (begin, end) anchors of the admitted
+    /// transaction, saving the `TimeBounds` application the chain lookups.
+    #[serde(skip)]
+    time_preanchors: (Option<usize>, Option<usize>),
     has_init: bool,
     txn_count: usize,
     committed_count: usize,
@@ -1255,6 +1269,9 @@ impl Engine {
             pruned_txns: 0,
             pending: Vec::new(),
             pending_set: FastHashSet::default(),
+            time_scratch: Vec::new(),
+            time_prepairs: Vec::new(),
+            time_preanchors: (None, None),
             has_init: false,
             txn_count: 0,
             committed_count: 0,
@@ -1309,11 +1326,43 @@ impl Engine {
         debug_assert_eq!(id.index(), self.txn_count);
         self.txn_count += 1;
         self.graph.add_node();
+
+        // SSER: committed transactions with at least one recorded instant
+        // (⊥T included, matching `check_sser`'s instant collection) hook
+        // into the time-chain.
+        let time_bounds = (self.level == IsolationLevel::StrictSerializability
+            && txn.status == TxnStatus::Committed
+            && (txn.begin.is_some() || txn.end.is_some()))
+        .then_some((txn.begin, txn.end));
+
+        // SSER ingest fast path: materialize the chain anchors *around* the
+        // transaction's own topo node — begin anchor first, end anchor after
+        // — so that for in-timestamp-order streams every chain splice and
+        // hook edge already agrees with the maintained order and inserts in
+        // O(1), with no reorder pass. The splice edges are stashed in
+        // `time_prepairs` and submitted together with the hook edges when
+        // this transaction's `TimeBounds` event is applied (or deferred).
+        self.time_prepairs.clear();
+        self.time_preanchors = (None, None);
+        let mut pre_pairs = std::mem::take(&mut self.time_prepairs);
+        if let Some((Some(begin), _)) = time_bounds {
+            let anchor = self.time_anchor(begin, Role::Begin, &mut pre_pairs);
+            self.time_preanchors.0 = Some(anchor);
+        }
         let node = self.topo.add_node();
         self.txn_node.insert(id, node);
         self.set_owner(node, NodeOwner::Txn(id));
-        let cnode = self.composed.add_node();
-        self.txn_cnode.insert(id, cnode);
+        if let Some((_, Some(end))) = time_bounds {
+            let anchor = self.time_anchor(end, Role::End, &mut pre_pairs);
+            self.time_preanchors.1 = Some(anchor);
+        }
+        self.time_prepairs = pre_pairs;
+        // The composed order only exists at SI; the other levels skip the
+        // node bookkeeping entirely on the ingest hot path.
+        if self.level == IsolationLevel::SnapshotIsolation {
+            let cnode = self.composed.add_node();
+            self.txn_cnode.insert(id, cnode);
+        }
         self.live_txns.insert(
             id,
             TxnMeta {
@@ -1333,14 +1382,6 @@ impl Engine {
             });
             seq += 1;
         };
-
-        // SSER: committed transactions with at least one recorded instant
-        // (⊥T included, matching `check_sser`'s instant collection) hook
-        // into the time-chain.
-        let time_bounds = (self.level == IsolationLevel::StrictSerializability
-            && txn.status == TxnStatus::Committed
-            && (txn.begin.is_some() || txn.end.is_some()))
-        .then_some((txn.begin, txn.end));
 
         if is_init {
             self.has_init = true;
@@ -1538,37 +1579,53 @@ impl Engine {
 
     /// SSER: hooks transaction `at` into the time-chain at its begin/commit
     /// instants (each side independently — a partially timed transaction
-    /// still constrains one direction of the real-time order). The hook
-    /// edges themselves can close a cycle (e.g. a commit whose reported
-    /// instants contradict edges already derived), which latches exactly
-    /// like a dependency-edge rejection.
+    /// still constrains one direction of the real-time order). The chain
+    /// splice edges and the hook edges are submitted as **one**
+    /// [`IncrementalTopo::try_add_edges`] batch — sequence-equivalent to
+    /// edge-at-a-time insertion (same first offender, same canonical
+    /// certificate) but with a single affected-region pass per transaction.
+    /// A rejected hook edge (e.g. a commit whose reported instants
+    /// contradict edges already derived) latches exactly like a
+    /// dependency-edge rejection; chain edges can never be the offender
+    /// (see the [`mtc_history::TimeChain`] module docs).
     fn apply_time_bounds(&mut self, at: TxnId, begin: Option<u64>, end: Option<u64>) {
         let tnode = self.node_of(at);
+        let mut pairs = std::mem::take(&mut self.time_scratch);
+        pairs.clear();
+        // The admitting pass already materialized the anchors around the
+        // transaction's node and stashed their splice edges; pick those up
+        // so the whole group inserts forward-only in the monotone case.
+        pairs.append(&mut self.time_prepairs);
+        let (pre_begin, pre_end) = std::mem::take(&mut self.time_preanchors);
         if let Some(begin) = begin {
-            let slot = self.touch_instant(begin);
-            if let Err(cycle) = self.topo.try_add_edge(slot.begin_node, tnode) {
-                let edges = self.sser_cycle_edges(&cycle);
-                self.latch_violation(Violation::Cycle { edges }, at);
-                return;
-            }
+            let anchor = match pre_begin {
+                Some(a) => a,
+                None => self.time_anchor(begin, Role::Begin, &mut pairs),
+            };
+            pairs.push((anchor, tnode));
         }
         if let Some(end) = end {
-            let slot = self.touch_instant(end);
-            if let Err(cycle) = self.topo.try_add_edge(tnode, slot.end_node) {
-                let edges = self.sser_cycle_edges(&cycle);
-                self.latch_violation(Violation::Cycle { edges }, at);
-            }
+            let anchor = match pre_end {
+                Some(a) => a,
+                None => self.time_anchor(end, Role::End, &mut pairs),
+            };
+            pairs.push((tnode, anchor));
         }
+        if let Err((_, cycle)) = self.topo.try_add_edges(&pairs) {
+            let edges = self.sser_cycle_edges(&cycle);
+            self.latch_violation(Violation::Cycle { edges }, at);
+        }
+        self.time_scratch = pairs;
     }
 
-    /// Splices `instant` into the chain (if new) and keeps the node-owner
-    /// map aligned with the nodes the chain created (which may recycle
-    /// previously pruned ids).
-    fn touch_instant(&mut self, instant: u64) -> TimeSlot {
-        let slot = self.chain.touch(instant, &mut self.topo);
-        self.set_owner(slot.begin_node, NodeOwner::Time);
-        self.set_owner(slot.end_node, NodeOwner::Time);
-        slot
+    /// Materializes the `role` anchor of `instant` (required chain edges
+    /// are pushed onto `pairs`, not yet inserted) and keeps the node-owner
+    /// map aligned: at most one node is allocated per call — possibly
+    /// recycling a pruned id — and when one is, it is the returned anchor.
+    fn time_anchor(&mut self, instant: u64, role: Role, pairs: &mut Vec<(usize, usize)>) -> usize {
+        let anchor = self.chain.anchor(instant, role, &mut self.topo, pairs);
+        self.set_owner(anchor, NodeOwner::Time);
+        anchor
     }
 
     /// Maps a cycle over the augmented (transaction + time node) order back
@@ -1776,29 +1833,43 @@ impl Engine {
         }
     }
 
-    /// SSER merge path: the time-chain splice itself happens immediately
-    /// (chain edges can never be rejected, and their node ids must be
-    /// assigned in event order), while the begin/end *hook* edges join the
-    /// deferred queue like any dependency edge — so one flush inserts
-    /// dependency and time-chain constraints together.
+    /// SSER merge path: the chain *nodes* are still allocated immediately
+    /// (their ids must be assigned in event order), but both the splice
+    /// edges and the begin/end *hook* edges join the deferred queue like
+    /// any dependency edge — so one flush inserts dependency and time-chain
+    /// constraints together. Deferring the splice edges is safe because
+    /// they can never be rejected (see [`mtc_history::TimeChain`]), so they
+    /// can never be a batch's first offender.
     fn defer_time_bounds(&mut self, at: TxnId, begin: Option<u64>, end: Option<u64>) {
         let tnode = self.node_of(at);
+        let mut pairs = std::mem::take(&mut self.time_scratch);
+        pairs.clear();
+        // Same pick-up as `apply_time_bounds`: admit pre-materialized the
+        // anchors, the splice edges ride the deferred queue with the hooks.
+        pairs.append(&mut self.time_prepairs);
+        let (pre_begin, pre_end) = std::mem::take(&mut self.time_preanchors);
         if let Some(begin) = begin {
-            let slot = self.touch_instant(begin);
-            self.pending.push(PendingInsert {
-                pair: Some((slot.begin_node, tnode)),
-                edge: None,
-                at,
-            });
+            let anchor = match pre_begin {
+                Some(a) => a,
+                None => self.time_anchor(begin, Role::Begin, &mut pairs),
+            };
+            pairs.push((anchor, tnode));
         }
         if let Some(end) = end {
-            let slot = self.touch_instant(end);
+            let anchor = match pre_end {
+                Some(a) => a,
+                None => self.time_anchor(end, Role::End, &mut pairs),
+            };
+            pairs.push((tnode, anchor));
+        }
+        for pair in pairs.drain(..) {
             self.pending.push(PendingInsert {
-                pair: Some((tnode, slot.end_node)),
+                pair: Some(pair),
                 edge: None,
                 at,
             });
         }
+        self.time_scratch = pairs;
     }
 
     /// Drains the deferred queue: inserts the queued node pairs with one
@@ -1977,9 +2048,10 @@ impl Engine {
             .iter()
             .map(|&(_, s)| s.end_node)
             .collect();
+        let si = self.level == IsolationLevel::SnapshotIsolation;
         let bot_cnode = if self.has_init {
             cut_sources.push(self.node_of(TxnId(0)));
-            Some(self.cnode_of(TxnId(0)))
+            si.then(|| self.cnode_of(TxnId(0)))
         } else {
             None
         };
@@ -1998,10 +2070,20 @@ impl Engine {
             in_nodes[self.node_of(t)] = true;
         }
         for &(_, s) in &pruned_slots {
-            in_nodes[s.begin_node] = true;
-            in_nodes[s.end_node] = true;
+            for n in s.nodes() {
+                in_nodes[n] = true;
+            }
         }
-        let si = self.level == IsolationLevel::SnapshotIsolation;
+        // Chain-exit anchors of candidate slots that the closure retains.
+        // A retained slot's exit only ever points *forward* along the chain
+        // (splice, split and shortcut edges all follow instant order), so it
+        // is an acceptable predecessor of a later candidate: the collection
+        // commit deletes its edges into the pruned set and re-establishes
+        // the chain order with one shortcut per pruned run. Without this, a
+        // single straggler-pinned slot would cascade-retain every slot (and
+        // transaction) behind it.
+        let mut slot_out_mask = vec![false; nb];
+        let mut slot_dead = vec![false; pruned_slots.len()];
         let mut in_cnodes = vec![false; if si { self.composed.node_count() } else { 0 }];
         if si {
             for &t in &cand_list {
@@ -2010,7 +2092,7 @@ impl Engine {
         }
         loop {
             let mut drop_txns: Vec<TxnId> = Vec::new();
-            let mut slot_break: Option<usize> = None;
+            let mut drop_slots: Vec<usize> = Vec::new();
             for &t in &cand_list {
                 if !cand[t.index()] {
                     continue;
@@ -2019,23 +2101,22 @@ impl Engine {
                 if self
                     .topo
                     .predecessors(n)
-                    .any(|p| !in_nodes[p] && !cut_mask[p])
+                    .any(|p| !in_nodes[p] && !cut_mask[p] && !slot_out_mask[p])
                 {
                     drop_txns.push(t);
                 }
             }
             for (i, &(_, s)) in pruned_slots.iter().enumerate() {
-                let bad = self
-                    .topo
-                    .predecessors(s.begin_node)
-                    .any(|p| !in_nodes[p] && !cut_mask[p])
-                    || self
-                        .topo
-                        .predecessors(s.end_node)
-                        .any(|p| !in_nodes[p] && !cut_mask[p]);
+                if slot_dead[i] {
+                    continue;
+                }
+                let bad = s.nodes().any(|n| {
+                    self.topo
+                        .predecessors(n)
+                        .any(|p| !in_nodes[p] && !cut_mask[p] && !slot_out_mask[p])
+                });
                 if bad {
-                    slot_break = Some(i);
-                    break;
+                    drop_slots.push(i);
                 }
             }
             if si {
@@ -2074,7 +2155,7 @@ impl Engine {
                     }
                 }
             }
-            if drop_txns.is_empty() && slot_break.is_none() {
+            if drop_txns.is_empty() && drop_slots.is_empty() {
                 break;
             }
             for t in drop_txns {
@@ -2086,15 +2167,18 @@ impl Engine {
                     }
                 }
             }
-            if let Some(i) = slot_break {
-                for &(_, s) in &pruned_slots[i..] {
-                    in_nodes[s.begin_node] = false;
-                    in_nodes[s.end_node] = false;
+            for i in drop_slots {
+                slot_dead[i] = true;
+                let (_, s) = pruned_slots[i];
+                for n in s.nodes() {
+                    in_nodes[n] = false;
                 }
-                pruned_slots.truncate(i);
+                slot_out_mask[s.end_node] = true;
             }
         }
         cand_list.retain(|&t| cand[t.index()]);
+        let mut dead = slot_dead.iter();
+        pruned_slots.retain(|_| !*dead.next().expect("one flag per slot"));
         if cand_list.is_empty() && pruned_slots.is_empty() {
             return;
         }
@@ -2102,33 +2186,48 @@ impl Engine {
         // ── commit the collection ──
         let mut nodes: Vec<usize> = cand_list.iter().map(|&t| self.node_of(t)).collect();
         for &(_, s) in &pruned_slots {
-            nodes.push(s.begin_node);
-            nodes.push(s.end_node);
+            nodes.extend(s.nodes());
         }
-        if let Some(&(first_pruned, _)) = pruned_slots.first() {
-            let last_pruned = pruned_slots.last().expect("nonempty").0;
-            // Shortcut across the pruned chain gap before cutting into it.
-            let anchor = self.chain.pred(first_pruned);
-            let successor = self.chain.succ(last_pruned);
-            if let (Some((_, a)), Some((_, s))) = (anchor, successor) {
+        // Closure-retained slots keep their chain exits as deliberate cut
+        // sources: their forward edges into the pruned runs are deleted and
+        // replaced by one shortcut per run below.
+        for (s, _) in slot_out_mask.iter().enumerate().filter(|&(_, &m)| m) {
+            cut_sources.push(s);
+        }
+        // Group the surviving slots into maximal chain-adjacent runs; each
+        // run is bridged by a single shortcut from the retained slot just
+        // below it to the retained slot just above it (when both exist), so
+        // the retained chain order survives mid-chain compaction, not just
+        // prefix pruning.
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for &(t, _) in &pruned_slots {
+            match runs.last_mut() {
+                Some(run) if self.chain.succ(run.1).map(|(n, _)| n) == Some(t) => run.1 = t,
+                _ => runs.push((t, t)),
+            }
+        }
+        for &(first, last) in &runs {
+            if let (Some((_, a)), Some((_, s))) = (self.chain.pred(first), self.chain.succ(last)) {
                 if !self.topo.has_edge(a.end_node, s.begin_node) {
                     self.topo
                         .try_add_edge(a.end_node, s.begin_node)
                         .expect("chain shortcut follows the existing order");
                 }
             }
-            self.chain.remove_range(first_pruned, last_pruned + 1);
+        }
+        for &(first, last) in &runs {
+            self.chain.remove_range(first, last + 1);
         }
         for &src in &cut_sources {
             self.topo.remove_edges_into(src, &nodes);
         }
         self.topo.prune(&nodes);
-        let cand_cnodes: Vec<usize> = cand_list.iter().map(|&t| self.cnode_of(t)).collect();
-        if let Some(bc) = bot_cnode {
-            self.composed.remove_edges_into(bc, &cand_cnodes);
-        }
-        self.composed.prune(&cand_cnodes);
         if si {
+            let cand_cnodes: Vec<usize> = cand_list.iter().map(|&t| self.cnode_of(t)).collect();
+            if let Some(bc) = bot_cnode {
+                self.composed.remove_edges_into(bc, &cand_cnodes);
+            }
+            self.composed.prune(&cand_cnodes);
             // `in_cnodes` now flags exactly the surviving candidates.
             self.composed_prov.prune(&in_cnodes);
         }
@@ -2220,8 +2319,10 @@ pub struct CheckerSnapshot {
 /// Current snapshot format version. Bumped to 2 when the per-key state
 /// gained explicit reader-eviction markers (the GC reader-cap feature); to
 /// 3 when the engine's hot maps moved to windowed arenas ([`TxnMap`] /
-/// [`ProvMap`] layouts) and the GC gained epoch scheduling (`gc_epochs`).
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// [`ProvMap`] layouts) and the GC gained epoch scheduling (`gc_epochs`);
+/// to 4 when the time-chain moved to collapsed single-node slots with lazy
+/// role splitting (the `TimeChain` serialization changed shape).
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 impl CheckerSnapshot {
     /// The isolation level the snapshotted checker enforces.
@@ -2830,10 +2931,21 @@ struct BatchJob {
     has_init: bool,
     validate_mt: bool,
     prescan: bool,
-    /// True when an intra-shard dependency cycle implies a violation
-    /// (SER/SSER). SI violations live in the *composed* graph, so SI
-    /// workers pre-filter duplicates but never hint.
-    cycle_hints: bool,
+    /// How the workers turn local structure into early-latch hints.
+    hints: HintMode,
+}
+
+/// How a shard's pre-filter derives early-latch hints from its local edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HintMode {
+    /// SER/SSER: a cycle in the shard's local dependency order is already a
+    /// violation (the local edge set is a subset of the global one).
+    Direct,
+    /// SI: violations live in the *composed* graph, so the shard maintains
+    /// its local `(WR ∪ WW) ; RW?` fragment — compositions of its own base
+    /// and RW edges, a subset of the global composed edge set — and hints
+    /// when a fragment edge closes a cycle there.
+    Composed,
 }
 
 enum ShardMsg {
@@ -2875,21 +2987,33 @@ enum ShardReply {
 ///   outcome is unchanged, the channel traffic and merge work shrink.
 /// * An edge that closes a cycle in the local order certifies a violation
 ///   no later than the transaction being derived (the local edge set is a
-///   subset of the global one). The worker reports the transaction's batch
-///   index as a *hint*; the merge thread flushes its deferred queue right
-///   after that transaction, latching the violation without collecting or
-///   merging the rest of the batch.
+///   subset of the global one — at SI the local *composed fragment* is a
+///   subset of the global composed edge set). The worker reports the
+///   transaction's batch index as a *hint*; the merge thread flushes its
+///   deferred queue right after that transaction, latching the violation
+///   without collecting or merging the rest of the batch.
 #[derive(Debug, Default)]
 struct ShardPrefilter {
+    /// SER/SSER: the local dependency order. SI: the local *composed*
+    /// order (nodes still keyed by transaction via `node_of`).
     topo: IncrementalTopo,
     node_of: HashMap<TxnId, usize>,
     forwarded: HashSet<(TxnId, TxnId, EdgeKind)>,
+    /// SI fragment state: sources of the shard's base (WR/WW) edges into a
+    /// transaction, mirroring the merge engine's `base_in`.
+    base_in: HashMap<TxnId, Vec<TxnId>>,
+    /// SI fragment state: targets of the shard's RW edges out of a
+    /// transaction, mirroring the merge engine's `rw_out`.
+    rw_out: HashMap<TxnId, Vec<TxnId>>,
+    /// Composed pairs already inserted into the local order (first
+    /// provenance wins, like the merge engine's `ProvMap`).
+    composed: HashSet<(TxnId, TxnId)>,
 }
 
 impl ShardPrefilter {
     /// Filters one transaction's events in place; true iff an edge closed a
-    /// cycle in the local order (only meaningful with `cycle_hints`).
-    fn filter(&mut self, events: &mut Vec<TaggedEvent>, cycle_hints: bool) -> bool {
+    /// cycle in the local (direct or composed) order.
+    fn filter(&mut self, events: &mut Vec<TaggedEvent>, mode: HintMode) -> bool {
         let mut local_cycle = false;
         let (mut dropped, mut forwarded) = (0u64, 0u64);
         events.retain(|e| {
@@ -2906,13 +3030,15 @@ impl ShardPrefilter {
                 dropped += 1;
                 return false;
             }
-            if cycle_hints {
-                let u = self.node(from);
-                let v = self.node(to);
-                if self.topo.try_add_edge(u, v).is_err() {
-                    local_cycle = true;
+            let hit = match mode {
+                HintMode::Direct => {
+                    let u = self.node(from);
+                    let v = self.node(to);
+                    self.topo.try_add_edge(u, v).is_err()
                 }
-            }
+                HintMode::Composed => self.compose_local(from, to, kind),
+            };
+            local_cycle |= hit;
             forwarded += 1;
             true
         });
@@ -2920,7 +3046,52 @@ impl ShardPrefilter {
         // of derived edges the workers kept off the merge thread.
         mtc_obs::counter!("checker.prefilter_dropped_edges").add(dropped);
         mtc_obs::counter!("checker.prefilter_forwarded_edges").add(forwarded);
+        if local_cycle {
+            mtc_obs::counter!("checker.prefilter_cycle_hints").add(1);
+        }
         local_cycle
+    }
+
+    /// Extends the local composed fragment with one shard-derived edge,
+    /// mirroring the merge engine's `apply_si_edge` over shard-local state:
+    /// a base (WR/WW) edge enters composed both bare and extended by every
+    /// known RW suffix; an RW edge extends every known base into its
+    /// source. True iff a new composed pair closed a cycle locally.
+    fn compose_local(&mut self, from: TxnId, to: TxnId, kind: EdgeKind) -> bool {
+        match kind {
+            EdgeKind::So | EdgeKind::Wr(_) | EdgeKind::Ww(_) => {
+                let mut cycle = self.composed_pair(from, to);
+                if let Some(suffixes) = self.rw_out.get(&to) {
+                    for c in suffixes.clone() {
+                        cycle |= self.composed_pair(from, c);
+                    }
+                }
+                self.base_in.entry(to).or_default().push(from);
+                cycle
+            }
+            EdgeKind::Rw(_) => {
+                let mut cycle = false;
+                if let Some(bases) = self.base_in.get(&from) {
+                    for a in bases.clone() {
+                        cycle |= self.composed_pair(a, to);
+                    }
+                }
+                self.rw_out.entry(from).or_default().push(to);
+                cycle
+            }
+            EdgeKind::Rt => false,
+        }
+    }
+
+    /// Inserts one composed pair into the local order (first occurrence
+    /// only); true iff it closed a cycle there.
+    fn composed_pair(&mut self, a: TxnId, c: TxnId) -> bool {
+        if !self.composed.insert((a, c)) {
+            return false;
+        }
+        let u = self.node(a);
+        let v = self.node(c);
+        self.topo.try_add_edge(u, v).is_err()
     }
 
     fn node(&mut self, txn: TxnId) -> usize {
@@ -2934,14 +3105,17 @@ impl ShardPrefilter {
         }
     }
 
-    /// Shrinks the pre-filter at a GC watermark. The local order is rebuilt
-    /// empty (it only powers early-latch *hints*, never verdicts) and the
-    /// dedup set keeps only pairs with a live endpoint — retired versions
-    /// can never re-derive their RW edges, and the merge thread re-checks
-    /// duplicates against its graph anyway.
+    /// Shrinks the pre-filter at a GC watermark. The local order and the SI
+    /// fragment are rebuilt empty (they only power early-latch *hints*,
+    /// never verdicts) and the dedup set keeps only pairs with a live
+    /// endpoint — retired versions can never re-derive their RW edges, and
+    /// the merge thread re-checks duplicates against its graph anyway.
     fn trim(&mut self, watermark: TxnId) {
         self.topo = IncrementalTopo::new();
         self.node_of = HashMap::new();
+        self.base_in = HashMap::new();
+        self.rw_out = HashMap::new();
+        self.composed = HashSet::new();
         self.forwarded
             .retain(|&(from, to, _)| from >= watermark || to >= watermark);
     }
@@ -3002,7 +3176,7 @@ impl ShardPool {
                                                 job.prescan,
                                                 &mut out,
                                             );
-                                            if prefilter.filter(&mut out, job.cycle_hints)
+                                            if prefilter.filter(&mut out, job.hints)
                                                 && hint.is_none()
                                             {
                                                 hint = Some(i);
@@ -3344,7 +3518,11 @@ impl ShardedIncrementalChecker {
         let div_pass = divergence_pass(self.engine.level, &self.engine.opts);
         let has_init = self.engine.has_init || batch[0].1;
         let (validate_mt, prescan) = (self.engine.opts.validate_mt, self.engine.opts.prescan_intra);
-        let cycle_hints = self.engine.level != IsolationLevel::SnapshotIsolation;
+        let hints = if self.engine.level == IsolationLevel::SnapshotIsolation {
+            HintMode::Composed
+        } else {
+            HintMode::Direct
+        };
 
         // Decide the epoch boundary up front: `txn_count` always advances by
         // the whole batch (a mid-merge latch still counts the tail as
@@ -3395,7 +3573,7 @@ impl ShardedIncrementalChecker {
                     has_init,
                     validate_mt,
                     prescan,
-                    cycle_hints,
+                    hints,
                 });
                 for w in workers.iter() {
                     w.tx.as_ref()

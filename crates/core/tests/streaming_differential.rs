@@ -342,6 +342,36 @@ proptest! {
         prop_assert_eq!(sequential.finish().unwrap(), sharded.finish().unwrap());
     }
 
+    /// SI analogue of the worker-hint test: a single-key lost update funnels
+    /// the WW and RW edges into one shard, whose local composed fragment
+    /// `(WR ∪ WW) ; RW?` closes the cycle and hints the merge thread. The
+    /// verdict, certificate and latching transaction must be exactly the
+    /// sequential checker's.
+    #[test]
+    fn single_key_si_composed_cycles_latch_identically_under_worker_hints(
+        n in 3u64..16,
+        pick in 1usize..16,
+        shards in 2usize..5,
+    ) {
+        let mut b = HistoryBuilder::new().with_init(1);
+        let mut last = 0u64;
+        for i in 0..n {
+            // One stale read mid-chain: two transactions update from the
+            // same version — a lost update, forbidden at SI.
+            let read = if i as usize == pick % (n as usize) && i > 0 { 0 } else { last };
+            b.committed((i % 3) as u32, vec![Op::read(0u64, read), Op::write(0u64, i + 1)]);
+            last = i + 1;
+        }
+        let h = b.build();
+        let mut sequential = IncrementalChecker::new(IsolationLevel::SnapshotIsolation);
+        let _ = sequential.push_history(&h);
+        let mut sharded =
+            ShardedIncrementalChecker::new(IsolationLevel::SnapshotIsolation, shards);
+        let _ = sharded.push_history(&h, 1024);
+        prop_assert_eq!(sequential.first_violation_at(), sharded.first_violation_at());
+        prop_assert_eq!(sequential.finish().unwrap(), sharded.finish().unwrap());
+    }
+
     /// Early exit: when a violating prefix exists, the checker latches no
     /// later than the batch verdict over that same prefix would flag it, and
     /// the latched status never reverts while the tail streams in.

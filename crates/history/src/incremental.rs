@@ -149,6 +149,11 @@ impl IncrementalTopo {
         self.back[node].iter().map(|&p| p as usize)
     }
 
+    /// The current successors of `node` (targets of edges out of it).
+    pub fn successors(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        self.fwd[node].iter().map(|&v| v as usize)
+    }
+
     /// True iff at least one edge `from → to` is present.
     pub fn has_edge(&self, from: usize, to: usize) -> bool {
         self.fwd[from].iter().any(|&v| v as usize == to)

@@ -47,6 +47,6 @@ pub use incremental::IncrementalTopo;
 pub use intra::{check_int, check_int_history, find_intra_anomalies, IntraAnomaly, IntraViolation};
 pub use op::{LwtKind, Op, TimedOp};
 pub use session::SessionId;
-pub use timechain::{TimeChain, TimeSlot};
+pub use timechain::{Role, TimeChain, TimeSlot};
 pub use txn::{Transaction, TxnId, TxnStatus};
 pub use value::{Key, Value, ValueAllocator, INIT_VALUE};

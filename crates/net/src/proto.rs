@@ -456,6 +456,7 @@ mod tests {
                         p50: 100,
                         p90: 180,
                         p99: 200,
+                        buckets: vec![(50, 4), (101, 6)],
                     },
                 )],
             }),

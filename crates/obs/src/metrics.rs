@@ -246,42 +246,52 @@ impl Histogram {
         self.count.load(Relaxed)
     }
 
+    /// Adds every sample recorded in `other` into this histogram. Both
+    /// histograms share the fixed bucket layout, so the merge is exact:
+    /// bucket-wise addition plus min/max widening. Used to aggregate
+    /// per-worker or per-tenant histograms into a fleet-wide one.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Relaxed), Relaxed);
+        self.sum.fetch_add(other.sum.load(Relaxed), Relaxed);
+        // An empty `other` holds min = u64::MAX / max = 0; both merges are
+        // then no-ops, so emptiness needs no special case.
+        self.min.fetch_min(other.min.load(Relaxed), Relaxed);
+        self.max.fetch_max(other.max.load(Relaxed), Relaxed);
+    }
+
     /// A point-in-time summary. Concurrent recording is fine: the summary
     /// is built from a relaxed sweep, and `count` never decreases between
     /// successive snapshots.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
-        let count: u64 = counts.iter().sum();
-        let quantile = |q: f64| -> u64 {
-            if count == 0 {
-                return 0;
-            }
-            let target = ((count as f64 - 1.0) * q).round() as u64;
-            let mut seen = 0u64;
-            for (i, &c) in counts.iter().enumerate() {
-                seen += c;
-                if c > 0 && seen > target {
-                    return bucket_value(i);
-                }
-            }
-            bucket_value(BUCKETS - 1)
-        };
+        let buckets: Vec<(u32, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Relaxed);
+                (c > 0).then_some((i as u32, c))
+            })
+            .collect();
+        let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
         let raw_min = self.min.load(Relaxed);
         let min = if raw_min == u64::MAX { 0 } else { raw_min };
         let max = self.max.load(Relaxed);
-        // Quantiles report bucket midpoints, which can land outside the
-        // exact recorded extremes (e.g. every sample in one bucket whose
-        // midpoint exceeds the true max). Clamp so min ≤ p50 ≤ p90 ≤ p99
-        // ≤ max always holds in the published summary.
-        let clamped = |q: f64| quantile(q).clamp(min, max.max(min));
+        let (p50, p90, p99) = quantiles_from(&buckets, count, min, max);
         HistogramSnapshot {
             count,
             sum: self.sum.load(Relaxed),
             min,
             max,
-            p50: clamped(0.50),
-            p90: clamped(0.90),
-            p99: clamped(0.99),
+            p50,
+            p90,
+            p99,
+            buckets,
         }
     }
 
@@ -312,9 +322,34 @@ impl std::fmt::Debug for Histogram {
     }
 }
 
+/// Quantile estimates over a sparse `(bucket index, count)` list, clamped
+/// into `[min, max]` (bucket midpoints can overshoot the exact extremes).
+fn quantiles_from(buckets: &[(u32, u64)], count: u64, min: u64, max: u64) -> (u64, u64, u64) {
+    let quantile = |q: f64| -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let target = ((count as f64 - 1.0) * q).round() as u64;
+        let mut seen = 0u64;
+        for &(i, c) in buckets {
+            seen += c;
+            if seen > target {
+                return bucket_value(i as usize);
+            }
+        }
+        bucket_value(BUCKETS - 1)
+    };
+    let clamped = |q: f64| quantile(q).clamp(min, max.max(min));
+    (clamped(0.50), clamped(0.90), clamped(0.99))
+}
+
 /// A point-in-time summary of one [`Histogram`]: sample count, sum, exact
-/// min/max, and log-linear-estimated quantiles (≤ ~1.6% off).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// min/max, log-linear-estimated quantiles (≤ ~1.6% off), and the sparse
+/// bucket counts the quantiles were computed from. Carrying the buckets
+/// makes snapshots *mergeable*: aggregating scrapes from several workers
+/// (or daemons) yields the same quantiles the union of their samples
+/// would.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Samples recorded.
     pub count: u64,
@@ -330,6 +365,65 @@ pub struct HistogramSnapshot {
     pub p90: u64,
     /// Estimated 99th percentile.
     pub p99: u64,
+    /// Sparse `(bucket index, samples)` pairs, ascending by index; only
+    /// non-empty buckets appear.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into this snapshot: counts and sums add, extremes
+    /// widen, bucket lists union (both share the fixed layout, so the
+    /// merge is exact), and the quantiles are recomputed from the merged
+    /// buckets.
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ai, ac)), Some(&&(bi, bc))) => {
+                    if ai < bi {
+                        merged.push((ai, ac));
+                        a.next();
+                    } else if bi < ai {
+                        merged.push((bi, bc));
+                        b.next();
+                    } else {
+                        merged.push((ai, ac + bc));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let (p50, p90, p99) = quantiles_from(&merged, self.count, self.min, self.max);
+        self.p50 = p50;
+        self.p90 = p90;
+        self.p99 = p99;
+        self.buckets = merged;
+    }
 }
 
 #[cfg(test)]
@@ -391,6 +485,56 @@ mod tests {
             let err = (q as f64 - expect).abs() / expect;
             assert!(err < 0.02, "quantile {q} vs {expect}: err {err}");
         }
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_everything_in_one() {
+        let _on = with_enabled(true);
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in 1..=5_000u64 {
+            a.record(v);
+            both.record(v);
+        }
+        for v in 5_001..=10_000u64 {
+            b.record(v * 7);
+            both.record(v * 7);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), both.snapshot(), "live merge must be exact");
+        // Merging an empty histogram changes nothing.
+        let before = a.snapshot();
+        a.merge_from(&Histogram::new());
+        assert_eq!(a.snapshot(), before);
+    }
+
+    #[test]
+    fn snapshot_merge_aligns_buckets_exactly() {
+        let _on = with_enabled(true);
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        // Interleaved magnitudes, so the sparse lists overlap on some
+        // buckets and are disjoint on others.
+        for v in [1u64, 3, 31, 32, 33, 1000, 1_000_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [3u64, 17, 33, 999, 1000, 50_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge_from(&b.snapshot());
+        assert_eq!(merged, both.snapshot(), "snapshot merge must be exact");
+        assert!(
+            merged.buckets.windows(2).all(|w| w[0].0 < w[1].0),
+            "merged bucket list must stay strictly ascending"
+        );
+        // Empty edges: empty ← x clones, x ← empty is a no-op.
+        let mut empty = HistogramSnapshot::default();
+        empty.merge_from(&merged);
+        assert_eq!(empty, merged);
+        let before = merged.clone();
+        merged.merge_from(&HistogramSnapshot::default());
+        assert_eq!(merged, before);
     }
 
     #[test]

@@ -1,31 +1,46 @@
-//! Checkpoint files: framed, CRC-checked checker snapshots.
+//! Checkpoint files: framed, CRC-checked checker snapshots, full or delta.
 //!
-//! A checkpoint file holds one [`mtc_core::CheckerSnapshot`] taken after
-//! consuming `consumed` recorded transactions:
+//! A *full* checkpoint holds one binval-encoded [`mtc_core::CheckerSnapshot`]
+//! taken after consuming `consumed` recorded transactions; a *delta*
+//! checkpoint holds [`crate::delta::DeltaOp`]s against the payload of the
+//! previous checkpoint (itself full or delta), plus a CRC of the payload it
+//! reconstructs:
 //!
 //! ```text
-//! <dir>/checkpoint-000000001234.mtcck
+//! <dir>/checkpoint-000000001024.mtcck     full snapshot
+//! <dir>/checkpoint-000000002048.mtcckd    delta against 1024
+//! <dir>/checkpoint-000000003072.mtcckd    delta against 2048
 //! ```
 //!
-//! The file is two frames — a small header binding it to the format, then
-//! the binary-encoded snapshot — written to a temporary name and renamed
-//! into place, so a crash mid-checkpoint never damages an older checkpoint.
+//! Each file is two frames — a small header binding it to the format, then
+//! the payload — written to a temporary name and renamed into place, so a
+//! crash mid-checkpoint never damages an older checkpoint.
 //! [`latest_checkpoint`] walks the files newest-first and returns the first
-//! one that validates, so a torn newest checkpoint degrades to the previous
-//! one instead of failing recovery.
+//! one that *fully resolves* (for a delta: every link of its base chain
+//! loads and the reconstructed payload matches the recorded CRC), so a torn
+//! or orphaned newest checkpoint degrades to an older one instead of
+//! failing recovery. [`prune_checkpoints`] is chain-aware: a retained delta
+//! pins its bases, however old.
 
 use crate::binval;
-use crate::frame::{read_frame, write_frame};
+use crate::delta;
+use crate::frame::{crc32, read_frame, write_frame};
 use crate::StoreError;
 use mtc_core::CheckerSnapshot;
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Magic tag of checkpoint files.
+/// Magic tag of full checkpoint files.
 pub const CHECKPOINT_MAGIC: &str = "mtc-store-checkpoint";
+/// Magic tag of delta checkpoint files.
+pub const CHECKPOINT_DELTA_MAGIC: &str = "mtc-store-checkpoint-delta";
 /// Current checkpoint file format version.
 pub const CHECKPOINT_VERSION: u32 = 1;
+/// Longest tolerated base chain under a delta (defense against a buggy or
+/// hostile directory; the store's rebase cadence keeps real chains short).
+const MAX_CHAIN: usize = 64;
 
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 struct CheckpointHeader {
@@ -36,35 +51,74 @@ struct CheckpointHeader {
     consumed: u64,
 }
 
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct DeltaHeader {
+    magic: String,
+    version: u32,
+    /// Same meaning as [`CheckpointHeader::consumed`].
+    consumed: u64,
+    /// `consumed` of the checkpoint the ops apply against.
+    base_consumed: u64,
+    /// CRC-32 of the reconstructed full snapshot payload.
+    snapshot_crc: u32,
+}
+
 fn checkpoint_path(dir: &Path, consumed: u64) -> PathBuf {
     dir.join(format!("checkpoint-{consumed:012}.mtcck"))
 }
 
-/// Lists checkpoint files in `dir`, oldest first.
-fn checkpoint_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+fn delta_checkpoint_path(dir: &Path, consumed: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{consumed:012}.mtcckd"))
+}
+
+/// Which kind of checkpoint a file holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CkKind {
+    Full,
+    Delta,
+}
+
+/// Lists checkpoint files in `dir`, oldest first; a full and a delta at the
+/// same `consumed` sort full-first.
+fn checkpoint_files(dir: &Path) -> Result<Vec<(u64, CkKind, PathBuf)>, StoreError> {
     let mut out = Vec::new();
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        if let Some(consumed) = name
-            .strip_prefix("checkpoint-")
-            .and_then(|s| s.strip_suffix(".mtcck"))
-            .and_then(|s| s.parse::<u64>().ok())
+        let Some(rest) = name.strip_prefix("checkpoint-") else {
+            continue;
+        };
+        let parsed = rest
+            .strip_suffix(".mtcck")
+            .map(|s| (s, CkKind::Full))
+            .or_else(|| rest.strip_suffix(".mtcckd").map(|s| (s, CkKind::Delta)));
+        if let Some((consumed, kind)) = parsed.and_then(|(s, k)| Some((s.parse::<u64>().ok()?, k)))
         {
-            out.push((consumed, entry.path()));
+            out.push((consumed, kind, entry.path()));
         }
     }
-    out.sort_unstable();
+    out.sort_unstable_by_key(|&(c, k, _)| (c, k == CkKind::Delta));
     Ok(out)
 }
 
-/// Writes a checkpoint for a snapshot that consumed `consumed` recorded
-/// transactions, atomically (write-then-rename). Returns the final path.
+/// Writes a full checkpoint for a snapshot that consumed `consumed`
+/// recorded transactions, atomically (write-then-rename). Returns the
+/// final path.
 pub fn write_checkpoint(
     dir: impl AsRef<Path>,
     consumed: u64,
     snapshot: &CheckerSnapshot,
+) -> Result<PathBuf, StoreError> {
+    write_checkpoint_bytes(dir, consumed, &binval::to_bytes(snapshot))
+}
+
+/// [`write_checkpoint`] over an already-encoded snapshot payload (the store
+/// facade encodes once and shares the bytes with the delta writer).
+pub fn write_checkpoint_bytes(
+    dir: impl AsRef<Path>,
+    consumed: u64,
+    payload: &[u8],
 ) -> Result<PathBuf, StoreError> {
     let dir = dir.as_ref();
     fs::create_dir_all(dir)?;
@@ -75,7 +129,7 @@ pub fn write_checkpoint(
         consumed,
     };
     write_frame(&mut bytes, &binval::to_bytes(&header));
-    write_frame(&mut bytes, &binval::to_bytes(snapshot));
+    write_frame(&mut bytes, payload);
     let finals = checkpoint_path(dir, consumed);
     let tmp = finals.with_extension("mtcck.tmp");
     fs::write(&tmp, &bytes)?;
@@ -83,57 +137,241 @@ pub fn write_checkpoint(
     Ok(finals)
 }
 
-/// Reads and validates one checkpoint file.
-pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<(u64, CheckerSnapshot), StoreError> {
-    let path = path.as_ref();
-    let bytes = fs::read(path)?;
-    let mut pos = 0usize;
-    let header: CheckpointHeader = binval::from_bytes(
-        read_frame(&bytes, &mut pos)
-            .map_err(|e| StoreError::Corrupt(format!("{}: {e}", path.display())))?,
-    )?;
-    if header.magic != CHECKPOINT_MAGIC {
-        return Err(StoreError::Format(format!(
-            "{}: not an mtc-store checkpoint",
-            path.display()
-        )));
+/// Writes a delta checkpoint: `payload` (the binval-encoded snapshot at
+/// `consumed`) expressed against `base_payload` (the snapshot payload of
+/// the checkpoint at `base_consumed`). Returns `None` — writing nothing —
+/// when the delta would not undercut a full checkpoint, so callers fall
+/// back to [`write_checkpoint_bytes`]; otherwise the final path.
+pub fn write_checkpoint_delta(
+    dir: impl AsRef<Path>,
+    consumed: u64,
+    base_consumed: u64,
+    payload: &[u8],
+    base_payload: &[u8],
+) -> Result<Option<PathBuf>, StoreError> {
+    assert!(
+        base_consumed < consumed,
+        "a delta base must be strictly older than the checkpoint"
+    );
+    let ops = delta::compute(base_payload, payload);
+    let encoded = delta::encode_ops(&ops);
+    if encoded.len() >= payload.len() {
+        return Ok(None);
     }
-    if header.version != CHECKPOINT_VERSION {
-        return Err(StoreError::Format(format!(
-            "{}: unsupported checkpoint version {}",
-            path.display(),
-            header.version
-        )));
-    }
-    let snapshot: CheckerSnapshot = binval::from_bytes(
-        read_frame(&bytes, &mut pos)
-            .map_err(|e| StoreError::Corrupt(format!("{}: {e}", path.display())))?,
-    )?;
-    Ok((header.consumed, snapshot))
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let mut bytes = Vec::new();
+    let header = DeltaHeader {
+        magic: CHECKPOINT_DELTA_MAGIC.to_string(),
+        version: CHECKPOINT_VERSION,
+        consumed,
+        base_consumed,
+        snapshot_crc: crc32(payload),
+    };
+    write_frame(&mut bytes, &binval::to_bytes(&header));
+    write_frame(&mut bytes, &encoded);
+    let finals = delta_checkpoint_path(dir, consumed);
+    let tmp = finals.with_extension("mtcckd.tmp");
+    fs::write(&tmp, &bytes)?;
+    fs::rename(&tmp, &finals)?;
+    Ok(Some(finals))
 }
 
-/// The newest checkpoint in `dir` that validates, if any. Damaged newer
-/// checkpoints are skipped (a crash mid-`write_checkpoint` leaves only a
+/// The two validated frames of a checkpoint file: its parsed header (full
+/// or delta) and the payload frame.
+fn read_frames(path: &Path) -> Result<(CkHeader, Vec<u8>), StoreError> {
+    let bytes = fs::read(path)?;
+    let mut pos = 0usize;
+    let corrupt =
+        |e: crate::frame::FrameError| StoreError::Corrupt(format!("{}: {e}", path.display()));
+    let header_bytes = read_frame(&bytes, &mut pos).map_err(corrupt)?;
+    // The magic discriminates the kinds. Both headers start with the magic
+    // string, so a full-header parse that yields the full magic settles it;
+    // anything else must decode as a delta header.
+    let header = match binval::from_bytes::<CheckpointHeader>(header_bytes) {
+        Ok(h) if h.magic == CHECKPOINT_MAGIC => {
+            if h.version != CHECKPOINT_VERSION {
+                return Err(StoreError::Format(format!(
+                    "{}: unsupported checkpoint version {}",
+                    path.display(),
+                    h.version
+                )));
+            }
+            CkHeader::Full {
+                consumed: h.consumed,
+            }
+        }
+        _ => {
+            let h: DeltaHeader = binval::from_bytes(header_bytes)?;
+            if h.magic != CHECKPOINT_DELTA_MAGIC {
+                return Err(StoreError::Format(format!(
+                    "{}: not an mtc-store checkpoint",
+                    path.display()
+                )));
+            }
+            if h.version != CHECKPOINT_VERSION {
+                return Err(StoreError::Format(format!(
+                    "{}: unsupported checkpoint version {}",
+                    path.display(),
+                    h.version
+                )));
+            }
+            CkHeader::Delta {
+                consumed: h.consumed,
+                base_consumed: h.base_consumed,
+                snapshot_crc: h.snapshot_crc,
+            }
+        }
+    };
+    let payload = read_frame(&bytes, &mut pos).map_err(corrupt)?.to_vec();
+    Ok((header, payload))
+}
+
+#[derive(Clone, Debug)]
+enum CkHeader {
+    Full {
+        consumed: u64,
+    },
+    Delta {
+        consumed: u64,
+        base_consumed: u64,
+        snapshot_crc: u32,
+    },
+}
+
+/// Resolves the full snapshot payload of the checkpoint at `path`,
+/// following the delta chain through `by_consumed` (full files preferred
+/// over deltas at the same `consumed`). Errors if any link is missing,
+/// damaged, non-terminating or CRC-divergent.
+fn resolve_payload(
+    path: &Path,
+    by_consumed: &HashMap<u64, Vec<PathBuf>>,
+) -> Result<(u64, Vec<u8>), StoreError> {
+    let mut chain: Vec<(Vec<u8>, u32)> = Vec::new();
+    let mut cur = path.to_path_buf();
+    let mut top_consumed: Option<u64> = None;
+    let mut payload = loop {
+        let (header, payload) = read_frames(&cur)?;
+        match header {
+            CkHeader::Full { consumed } => {
+                top_consumed.get_or_insert(consumed);
+                break payload;
+            }
+            CkHeader::Delta {
+                consumed,
+                base_consumed,
+                snapshot_crc,
+            } => {
+                top_consumed.get_or_insert(consumed);
+                if base_consumed >= consumed || chain.len() >= MAX_CHAIN {
+                    return Err(StoreError::Corrupt(format!(
+                        "{}: non-terminating delta chain",
+                        path.display()
+                    )));
+                }
+                chain.push((payload, snapshot_crc));
+                cur = by_consumed
+                    .get(&base_consumed)
+                    .and_then(|paths| paths.first())
+                    .ok_or_else(|| {
+                        StoreError::Corrupt(format!(
+                            "{}: delta base {base_consumed} is missing",
+                            cur.display()
+                        ))
+                    })?
+                    .clone();
+            }
+        }
+    };
+    // Replay the chain outward: oldest delta applies to the full payload.
+    for (ops_bytes, want_crc) in chain.into_iter().rev() {
+        let ops = delta::decode_ops(&ops_bytes).map_err(StoreError::Corrupt)?;
+        payload = delta::apply(&payload, &ops).map_err(StoreError::Corrupt)?;
+        if crc32(&payload) != want_crc {
+            return Err(StoreError::Corrupt(format!(
+                "{}: delta chain reconstructs a divergent snapshot",
+                path.display()
+            )));
+        }
+    }
+    Ok((top_consumed.expect("loop sets it on first read"), payload))
+}
+
+/// Groups the directory's checkpoint files by `consumed`, full files first
+/// within a group (the resolver prefers them as chain bases).
+fn files_by_consumed(files: &[(u64, CkKind, PathBuf)]) -> HashMap<u64, Vec<PathBuf>> {
+    let mut map: HashMap<u64, Vec<PathBuf>> = HashMap::new();
+    for (consumed, _, path) in files {
+        // `files` is sorted full-first within a `consumed`.
+        map.entry(*consumed).or_default().push(path.clone());
+    }
+    map
+}
+
+/// Reads and validates one checkpoint file; a delta file resolves its base
+/// chain through its own directory.
+pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<(u64, CheckerSnapshot), StoreError> {
+    let path = path.as_ref();
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let by_consumed = files_by_consumed(&checkpoint_files(dir)?);
+    let (consumed, payload) = resolve_payload(path, &by_consumed)?;
+    Ok((consumed, binval::from_bytes(&payload)?))
+}
+
+/// The newest checkpoint in `dir` that fully resolves, if any. Damaged or
+/// orphaned newer checkpoints are skipped (a crash mid-write leaves only a
 /// `.tmp` file, but defense-in-depth costs one CRC pass).
 pub fn latest_checkpoint(
     dir: impl AsRef<Path>,
 ) -> Result<Option<(u64, CheckerSnapshot)>, StoreError> {
     let mut files = checkpoint_files(dir.as_ref())?;
+    let by_consumed = files_by_consumed(&files);
     files.reverse();
-    for (_, path) in files {
-        if let Ok(loaded) = read_checkpoint(&path) {
-            return Ok(Some(loaded));
+    for (_, _, path) in files {
+        if let Ok((consumed, payload)) = resolve_payload(&path, &by_consumed) {
+            if let Ok(snapshot) = binval::from_bytes(&payload) {
+                return Ok(Some((consumed, snapshot)));
+            }
         }
     }
     Ok(None)
 }
 
-/// Deletes all but the newest `keep` checkpoints.
+/// Deletes all but the newest `keep` checkpoints — chain-aware: a retained
+/// delta also retains every base its chain needs, however old.
 pub fn prune_checkpoints(dir: impl AsRef<Path>, keep: usize) -> Result<usize, StoreError> {
     let files = checkpoint_files(dir.as_ref())?;
-    let doomed = files.len().saturating_sub(keep);
-    for (_, path) in files.into_iter().take(doomed) {
-        fs::remove_file(path)?;
+    // Newest `keep` distinct consumed counts survive directly.
+    let mut kept: Vec<u64> = files.iter().map(|&(c, _, _)| c).collect();
+    kept.dedup();
+    let kept: HashSet<u64> = kept.into_iter().rev().take(keep).collect();
+    // Pin the base chains of every retained delta.
+    let by_consumed = files_by_consumed(&files);
+    let mut pinned: HashSet<u64> = kept.clone();
+    for &(consumed, kind, ref path) in &files {
+        if kind != CkKind::Delta || !kept.contains(&consumed) {
+            continue;
+        }
+        let mut cur = path.clone();
+        for _ in 0..MAX_CHAIN {
+            match read_frames(&cur) {
+                Ok((CkHeader::Delta { base_consumed, .. }, _)) => {
+                    pinned.insert(base_consumed);
+                    match by_consumed.get(&base_consumed).and_then(|p| p.first()) {
+                        Some(next) => cur = next.clone(),
+                        None => break,
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+    let mut doomed = 0usize;
+    for (consumed, _, path) in files {
+        if !pinned.contains(&consumed) {
+            fs::remove_file(path)?;
+            doomed += 1;
+        }
     }
     Ok(doomed)
 }
@@ -201,9 +439,90 @@ mod tests {
         assert_eq!(prune_checkpoints(&dir, 2).unwrap(), 2);
         let files = checkpoint_files(&dir).unwrap();
         assert_eq!(
-            files.iter().map(|&(c, _)| c).collect::<Vec<_>>(),
+            files.iter().map(|&(c, _, _)| c).collect::<Vec<_>>(),
             vec![15, 20]
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Writes a full at 10 and deltas at 20 and 30, returning the encoded
+    /// payloads by consumed count.
+    fn sample_chain(dir: &Path) -> Vec<(u64, Vec<u8>)> {
+        let payloads: Vec<(u64, Vec<u8>)> = [10u64, 20, 30]
+            .into_iter()
+            .map(|n| (n, binval::to_bytes(&sample_snapshot(n))))
+            .collect();
+        write_checkpoint_bytes(dir, 10, &payloads[0].1).unwrap();
+        for w in payloads.windows(2) {
+            let (base_consumed, ref base) = w[0];
+            let (consumed, ref payload) = w[1];
+            write_checkpoint_delta(dir, consumed, base_consumed, payload, base)
+                .unwrap()
+                .expect("near-identical snapshots must delta below full size");
+        }
+        payloads
+    }
+
+    #[test]
+    fn delta_chain_resolves_to_the_newest_snapshot() {
+        let dir = tmpdir("chain");
+        sample_chain(&dir);
+        let (consumed, loaded) = latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(consumed, 30);
+        assert_eq!(loaded.txn_count(), sample_snapshot(30).txn_count());
+        // Resolving a mid-chain delta directly also works.
+        let (consumed, _) = read_checkpoint(delta_checkpoint_path(&dir, 20)).unwrap();
+        assert_eq!(consumed, 20);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_mid_chain_base_falls_back_to_the_full() {
+        let dir = tmpdir("chain_damage");
+        sample_chain(&dir);
+        // Corrupt the payload of the delta at 20: the delta at 30 can no
+        // longer resolve (its chain runs through 20), and 20 itself is
+        // damaged, so recovery lands on the full at 10.
+        let mid = delta_checkpoint_path(&dir, 20);
+        let mut bytes = fs::read(&mid).unwrap();
+        let at = bytes.len() - 5;
+        bytes[at] ^= 0xff;
+        fs::write(&mid, &bytes).unwrap();
+        let (consumed, _) = latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(consumed, 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_delta_base_falls_back_and_crc_guard_catches_divergence() {
+        let dir = tmpdir("chain_missing");
+        sample_chain(&dir);
+        fs::remove_file(delta_checkpoint_path(&dir, 20)).unwrap();
+        let (consumed, _) = latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(consumed, 10, "orphaned delta at 30 must be skipped");
+        // A delta applied against the wrong base trips the snapshot CRC.
+        let wrong_base = binval::to_bytes(&sample_snapshot(11));
+        write_checkpoint_bytes(&dir, 20, &wrong_base).unwrap();
+        let err = read_checkpoint(delta_checkpoint_path(&dir, 30)).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "got {err:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_pins_the_bases_of_retained_deltas() {
+        let dir = tmpdir("chain_prune");
+        sample_chain(&dir);
+        // keep=1 directly retains only consumed=30, but 30 is a delta whose
+        // chain needs 20 and 10 — nothing may be deleted.
+        assert_eq!(prune_checkpoints(&dir, 1).unwrap(), 0);
+        let (consumed, _) = latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(consumed, 30);
+        // A fresh full at 40 breaks the dependency; keep=1 now deletes the
+        // whole older chain.
+        write_checkpoint(&dir, 40, &sample_snapshot(40)).unwrap();
+        assert_eq!(prune_checkpoints(&dir, 1).unwrap(), 3);
+        let files = checkpoint_files(&dir).unwrap();
+        assert_eq!(files.iter().map(|&(c, _, _)| c).collect::<Vec<_>>(), [40]);
         let _ = fs::remove_dir_all(&dir);
     }
 

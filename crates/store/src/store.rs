@@ -15,7 +15,10 @@
 //! checker reproduces the uninterrupted verdict. With no usable checkpoint
 //! the whole log replays from scratch — slower, same answer.
 
-use crate::checkpoint::{latest_checkpoint, prune_checkpoints, write_checkpoint};
+use crate::binval;
+use crate::checkpoint::{
+    latest_checkpoint, prune_checkpoints, write_checkpoint_bytes, write_checkpoint_delta,
+};
 use crate::segment::{read_log, LogWriter, StreamMeta};
 use crate::StoreError;
 use mtc_core::CheckerSnapshot;
@@ -25,12 +28,31 @@ use std::path::{Path, PathBuf};
 /// How many checkpoints [`MtcStore::checkpoint`] retains.
 pub const DEFAULT_CHECKPOINT_KEEP: usize = 3;
 
+/// Every how many checkpoints the store writes a fresh full snapshot
+/// instead of another delta (bounds recovery chain length and keeps pruning
+/// effective).
+pub const CHECKPOINT_REBASE_INTERVAL: u32 = 4;
+
+/// The previous checkpoint's identity, kept in memory so the next
+/// checkpoint can be expressed as a delta against it without re-reading it
+/// from disk.
+#[derive(Debug)]
+struct LastCheckpoint {
+    consumed: u64,
+    /// The encoded snapshot payload the checkpoint reconstructs.
+    bytes: Vec<u8>,
+    /// Number of delta links under that checkpoint (0 for a full).
+    chain: u32,
+}
+
 /// A writable store: history log plus checkpoints in one directory.
 #[derive(Debug)]
 pub struct MtcStore {
     dir: PathBuf,
     writer: LogWriter,
     checkpoint_keep: usize,
+    rebase_interval: u32,
+    last_checkpoint: Option<LastCheckpoint>,
 }
 
 impl MtcStore {
@@ -40,6 +62,8 @@ impl MtcStore {
             dir: dir.as_ref().to_path_buf(),
             writer: LogWriter::create(&dir, meta)?,
             checkpoint_keep: DEFAULT_CHECKPOINT_KEEP,
+            rebase_interval: CHECKPOINT_REBASE_INTERVAL,
+            last_checkpoint: None,
         })
     }
 
@@ -53,6 +77,8 @@ impl MtcStore {
                 dir: dir.as_ref().to_path_buf(),
                 writer,
                 checkpoint_keep: DEFAULT_CHECKPOINT_KEEP,
+                rebase_interval: CHECKPOINT_REBASE_INTERVAL,
+                last_checkpoint: None,
             },
             recovery,
         ))
@@ -66,6 +92,13 @@ impl MtcStore {
     /// Overrides how many checkpoints are retained.
     pub fn with_checkpoint_keep(mut self, keep: usize) -> Self {
         self.checkpoint_keep = keep.max(1);
+        self
+    }
+
+    /// Overrides the full-checkpoint rebase cadence. `1` disables delta
+    /// checkpoints entirely (every checkpoint is a full snapshot).
+    pub fn with_rebase_interval(mut self, interval: u32) -> Self {
+        self.rebase_interval = interval.max(1);
         self
     }
 
@@ -93,6 +126,11 @@ impl MtcStore {
     /// Persists a checker snapshot taken after consuming `consumed` logged
     /// transactions, syncing the log first (a checkpoint must never be
     /// newer than the log it indexes into) and pruning old checkpoints.
+    ///
+    /// Between full snapshots the store writes *delta* checkpoints against
+    /// the previous one — usually a small fraction of the snapshot size —
+    /// and rebases to a full snapshot every [`CHECKPOINT_REBASE_INTERVAL`]
+    /// checkpoints (or whenever a delta would not actually be smaller).
     pub fn checkpoint(
         &mut self,
         consumed: u64,
@@ -100,7 +138,37 @@ impl MtcStore {
     ) -> Result<PathBuf, StoreError> {
         let timer = mtc_obs::enabled().then(std::time::Instant::now);
         self.writer.sync()?;
-        let path = write_checkpoint(&self.dir, consumed, snapshot)?;
+        let payload = binval::to_bytes(snapshot);
+        let delta_base = self
+            .last_checkpoint
+            .as_ref()
+            .filter(|prev| prev.consumed < consumed && prev.chain + 1 < self.rebase_interval);
+        let mut written = None;
+        let mut chain = 0u32;
+        if let Some(prev) = delta_base {
+            if let Some(path) =
+                write_checkpoint_delta(&self.dir, consumed, prev.consumed, &payload, &prev.bytes)?
+            {
+                mtc_obs::counter!("store.checkpoint_delta_bytes")
+                    .add(std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0));
+                chain = prev.chain + 1;
+                written = Some(path);
+            }
+        }
+        let path = match written {
+            Some(path) => path,
+            None => {
+                let path = write_checkpoint_bytes(&self.dir, consumed, &payload)?;
+                mtc_obs::counter!("store.checkpoint_full_bytes")
+                    .add(std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0));
+                path
+            }
+        };
+        self.last_checkpoint = Some(LastCheckpoint {
+            consumed,
+            bytes: payload,
+            chain,
+        });
         prune_checkpoints(&self.dir, self.checkpoint_keep)?;
         if let Some(t0) = timer {
             mtc_obs::histogram!("store.checkpoint_micros").record(t0.elapsed().as_micros() as u64);
@@ -237,6 +305,69 @@ mod tests {
             check_streaming(IsolationLevel::Serializability, &recovery.to_history()).unwrap();
         assert_eq!(resumed_verdict, clean);
         assert!(clean.is_satisfied());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_checkpoint_cadence_resumes_bit_identically() {
+        let dir = tmpdir("delta_resume");
+        let mut store = MtcStore::create(&dir, &meta()).unwrap();
+        let mut checker =
+            IncrementalChecker::new(IsolationLevel::Serializability).with_init_keys(0..2u64);
+        let mut last = 0u64;
+        // Checkpoint every 5 txns: full at 5, deltas at 10/15/20, rebase at
+        // 25, delta at 30 — recovery resumes from the delta at 30.
+        for i in 0..32u64 {
+            let t = txn(i, last, i + 1);
+            store.append_txn(&t).unwrap();
+            let _ = checker.push(t);
+            last = i + 1;
+            if (i + 1) % 5 == 0 {
+                store.checkpoint(i + 1, &checker.checkpoint()).unwrap();
+            }
+        }
+        let deltas = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".mtcckd"))
+            .count();
+        assert!(deltas >= 3, "cadence must actually produce deltas");
+        store.sync().unwrap();
+        drop(store);
+        drop(checker); // "crash"
+
+        let recovery = recover(&dir).unwrap();
+        assert_eq!(recovery.resume_from, 30);
+        let mut resumed = IncrementalChecker::resume(recovery.snapshot.clone().unwrap());
+        for t in recovery.tail() {
+            let _ = resumed.push(t.clone());
+        }
+        let clean =
+            check_streaming(IsolationLevel::Serializability, &recovery.to_history()).unwrap();
+        assert_eq!(resumed.finish().unwrap(), clean);
+        assert!(clean.is_satisfied());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rebase_interval_one_disables_deltas() {
+        let dir = tmpdir("no_deltas");
+        let mut store = MtcStore::create(&dir, &meta())
+            .unwrap()
+            .with_rebase_interval(1);
+        let mut checker =
+            IncrementalChecker::new(IsolationLevel::Serializability).with_init_keys(0..2u64);
+        let mut last = 0u64;
+        for i in 0..10u64 {
+            let t = txn(i, last, i + 1);
+            store.append_txn(&t).unwrap();
+            let _ = checker.push(t);
+            last = i + 1;
+            if (i + 1) % 5 == 0 {
+                let path = store.checkpoint(i + 1, &checker.checkpoint()).unwrap();
+                assert_eq!(path.extension().unwrap(), "mtcck");
+            }
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 
